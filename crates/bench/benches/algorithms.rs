@@ -1,0 +1,23 @@
+//! Criterion micro-benchmarks of the four core algorithms (the kernels
+//! behind every figure).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smda_bench::data::seed_dataset;
+use smda_core::tasks::run_reference;
+use smda_core::Task;
+
+fn bench_algorithms(c: &mut Criterion) {
+    let ds = seed_dataset(20);
+    let mut group = c.benchmark_group("algorithms");
+    group.sample_size(10);
+    for task in [Task::Histogram, Task::ThreeLine, Task::Par] {
+        group.bench_with_input(BenchmarkId::new("per-consumer", task.name()), &task, |b, &t| {
+            b.iter(|| run_reference(t, &ds))
+        });
+    }
+    group.bench_function("similarity-20", |b| b.iter(|| run_reference(Task::Similarity, &ds)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Figures 13/16/18 as a criterion bench: Spark vs Hive per data format
+//! (virtual time is the experiment's metric; this bench tracks the real
+//! job-execution cost of the engines themselves).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smda_bench::data::synthetic_dataset;
+use smda_cluster::{ClusterTopology, CostModel};
+use smda_core::Task;
+use smda_hive::HiveEngine;
+use smda_spark::SparkEngine;
+use smda_types::DataFormat;
+
+const BLOCK: u64 = 256 * 1024;
+
+fn topo(cost: CostModel) -> ClusterTopology {
+    ClusterTopology { workers: 4, slots_per_worker: 4, cost }
+}
+
+fn bench_cluster_formats(c: &mut Criterion) {
+    let ds = synthetic_dataset(8);
+    let mut group = c.benchmark_group("cluster-formats");
+    group.sample_size(10);
+    for format in [
+        DataFormat::ReadingPerLine,
+        DataFormat::ConsumerPerLine,
+        DataFormat::ManyFiles { files: 4 },
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("hive-histogram", format.label()),
+            &format,
+            |b, &f| {
+                let mut hive = HiveEngine::new(topo(CostModel::mapreduce()), BLOCK);
+                hive.load(&ds, f).unwrap();
+                b.iter(|| hive.run_task(Task::Histogram).unwrap())
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("spark-histogram", format.label()),
+            &format,
+            |b, &f| {
+                let mut spark = SparkEngine::new(topo(CostModel::spark()), BLOCK);
+                spark.load(&ds, f).unwrap();
+                b.iter(|| spark.run_task(Task::Histogram).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cluster_formats);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Figure 6 as a criterion bench: cold vs warm 3-line on each platform.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smda_bench::data::{seed_dataset, Scratch};
+use smda_core::Task;
+use smda_engines::{ColumnarEngine, NumericEngine, Platform, RelationalEngine, RelationalLayout};
+use smda_storage::FileLayout;
+
+fn engines(scratch: &Scratch) -> Vec<Box<dyn Platform>> {
+    vec![
+        Box::new(NumericEngine::new(scratch.path("m"), FileLayout::Partitioned)),
+        Box::new(RelationalEngine::new(scratch.path("p"), RelationalLayout::ReadingPerRow)),
+        Box::new(ColumnarEngine::new(scratch.path("c"))),
+    ]
+}
+
+fn bench_cold_warm(c: &mut Criterion) {
+    let ds = seed_dataset(12);
+    let scratch = Scratch::new("crit-cw");
+    let mut loaded = engines(&scratch);
+    for e in &mut loaded {
+        e.load(&ds).unwrap();
+    }
+    let mut group = c.benchmark_group("fig6-cold-warm");
+    group.sample_size(10);
+    for engine in &mut loaded {
+        group.bench_with_input(BenchmarkId::new("cold", engine.name()), &(), |b, _| {
+            b.iter(|| {
+                engine.make_cold();
+                engine.run(Task::ThreeLine, 1).unwrap()
+            })
+        });
+    }
+    for engine in &mut loaded {
+        engine.warm().unwrap();
+        group.bench_with_input(BenchmarkId::new("warm", engine.name()), &(), |b, _| {
+            b.iter(|| engine.run(Task::ThreeLine, 1).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cold_warm);
+criterion_main!(benches);

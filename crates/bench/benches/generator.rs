@@ -1,0 +1,32 @@
+//! The Section 4 data generator: training and generation throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use smda_bench::data::seed_dataset;
+use smda_core::{DataGenerator, GeneratorConfig};
+
+fn bench_generator(c: &mut Criterion) {
+    let seed = seed_dataset(16);
+    let mut group = c.benchmark_group("generator");
+    group.sample_size(10);
+    group.bench_function("train-16-consumers", |b| {
+        b.iter(|| {
+            DataGenerator::train(
+                &seed,
+                GeneratorConfig { clusters: 4, noise_sigma: 0.1, seed: 1 },
+            )
+            .unwrap()
+        })
+    });
+    let generator = DataGenerator::train(
+        &seed,
+        GeneratorConfig { clusters: 4, noise_sigma: 0.1, seed: 1 },
+    )
+    .unwrap();
+    group.bench_function("generate-50-consumers", |b| {
+        b.iter(|| generator.generate(50, seed.temperature(), 0).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generator);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Figure 9 as a criterion bench: the three PostgreSQL table layouts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smda_bench::data::{seed_dataset, Scratch};
+use smda_core::Task;
+use smda_engines::{Platform, RelationalEngine, RelationalLayout};
+
+fn bench_layouts(c: &mut Criterion) {
+    let ds = seed_dataset(10);
+    let mut group = c.benchmark_group("fig9-layouts");
+    group.sample_size(10);
+    for layout in [
+        RelationalLayout::ReadingPerRow,
+        RelationalLayout::DayPerRow,
+        RelationalLayout::ArrayPerConsumer,
+    ] {
+        let scratch = Scratch::new("crit-layout");
+        let mut engine = RelationalEngine::new(scratch.path("t"), layout);
+        engine.load(&ds).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("three-line", layout.label()),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    engine.make_cold();
+                    engine.run(Task::ThreeLine, 1).unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_layouts);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Figure 4 as a criterion bench: loading into each storage substrate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use smda_bench::data::{seed_dataset, Scratch};
+use smda_engines::{ColumnarEngine, NumericEngine, Platform, RelationalEngine, RelationalLayout};
+use smda_storage::FileLayout;
+
+fn bench_loading(c: &mut Criterion) {
+    let ds = seed_dataset(12);
+    let mut group = c.benchmark_group("fig4-loading");
+    group.sample_size(10);
+    group.bench_function("matlab-split", |b| {
+        b.iter(|| {
+            let scratch = Scratch::new("crit-load-m");
+            let mut e = NumericEngine::new(scratch.path("m"), FileLayout::Partitioned);
+            e.load(&ds).unwrap()
+        })
+    });
+    group.bench_function("madlib-bulk-load", |b| {
+        b.iter(|| {
+            let scratch = Scratch::new("crit-load-p");
+            let mut e = RelationalEngine::new(scratch.path("p"), RelationalLayout::ReadingPerRow);
+            e.load(&ds).unwrap()
+        })
+    });
+    group.bench_function("systemc-column-append", |b| {
+        b.iter(|| {
+            let scratch = Scratch::new("crit-load-c");
+            let mut e = ColumnarEngine::new(scratch.path("c"));
+            e.load(&ds).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_loading);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Figure 7 as a criterion bench: single-threaded task runtimes on the
+//! three single-server platforms.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smda_bench::data::{seed_dataset, Scratch};
+use smda_core::Task;
+use smda_engines::{ColumnarEngine, NumericEngine, Platform, RelationalEngine, RelationalLayout};
+use smda_storage::FileLayout;
+
+fn bench_single_thread(c: &mut Criterion) {
+    let ds = seed_dataset(10);
+    let scratch = Scratch::new("crit-st");
+    let mut engines: Vec<Box<dyn Platform>> = vec![
+        Box::new(NumericEngine::new(scratch.path("m"), FileLayout::Partitioned)),
+        Box::new(RelationalEngine::new(scratch.path("p"), RelationalLayout::ReadingPerRow)),
+        Box::new(ColumnarEngine::new(scratch.path("c"))),
+    ];
+    for e in &mut engines {
+        e.load(&ds).unwrap();
+    }
+    let mut group = c.benchmark_group("fig7-single-thread");
+    group.sample_size(10);
+    for task in [Task::Histogram, Task::ThreeLine, Task::Par, Task::Similarity] {
+        for engine in &mut engines {
+            group.bench_with_input(
+                BenchmarkId::new(task.name(), engine.name()),
+                &task,
+                |b, &t| {
+                    b.iter(|| {
+                        engine.make_cold();
+                        engine.run(t, 1).unwrap()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_thread);
+criterion_main!(benches);

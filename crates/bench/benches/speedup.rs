@@ -1,0 +1,31 @@
+//! Figure 10 as a criterion bench: thread scaling on one server.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smda_bench::data::{seed_dataset, Scratch};
+use smda_core::Task;
+use smda_engines::{ColumnarEngine, Platform};
+
+fn bench_speedup(c: &mut Criterion) {
+    let ds = seed_dataset(24);
+    let scratch = Scratch::new("crit-speedup");
+    let mut engine = ColumnarEngine::new(scratch.path("c"));
+    engine.load(&ds).unwrap();
+    let mut group = c.benchmark_group("fig10-speedup");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("system-c-par", threads),
+            &threads,
+            |b, &t| {
+                b.iter(|| {
+                    engine.make_cold();
+                    engine.run(Task::Par, t).unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_speedup);
+criterion_main!(benches);

@@ -1,0 +1,133 @@
+//! Figures 18–19: **format 3** (many whole-household files): Hive with a
+//! UDTF (map-only, custom non-splittable input format) vs Hive with a
+//! UDAF (reduce required) vs Spark, sweeping the number of files; plus
+//! the speedup figure at 100 files.
+//!
+//! The paper's observations reproduced here: Hive-UDTF wins (no reduce),
+//! Hive is insensitive to the file count, Spark degrades as files grow
+//! and eventually fails with "too many open files".
+
+use smda_core::Task;
+use smda_types::DataFormat;
+
+use crate::data::synthetic_dataset;
+use crate::experiments::{hive, spark};
+use crate::report::{secs, Table};
+use crate::scale::Scale;
+
+/// File counts swept (the paper went 10 → 10,000, and found Spark not
+/// runnable at 100,000).
+pub const FILE_COUNTS: [usize; 4] = [10, 100, 1_000, 10_000];
+/// Node counts for Figure 19.
+pub const NODES: [usize; 4] = [4, 8, 12, 16];
+/// The three per-consumer tasks (similarity is excluded in the paper:
+/// pairwise distances cannot be one UDTF pass).
+pub const TASKS: [(char, Task); 3] =
+    [('a', Task::ThreeLine), ('b', Task::Par), ('c', Task::Histogram)];
+
+/// Regenerate Figure 18 (times vs file count) and Figure 19 (speedup at
+/// 100 files).
+pub fn run(scale: Scale) -> Vec<Table> {
+    let consumers = scale.cluster_consumers_for_gb(100.0);
+    let mut tables = Vec::new();
+
+    for (letter, task) in TASKS {
+        let mut t = Table::new(
+            format!("fig18{letter}"),
+            format!("{task} on format 3, 100 GB (nominal), varying file count"),
+            &["files", "variant", "seconds"],
+        );
+        for files in FILE_COUNTS {
+            // A household cannot span files; cap at one household/file.
+            let files = files.min(consumers);
+            let ds = synthetic_dataset(consumers);
+
+            let mut hv = hive(16, scale);
+            hv.load(&ds, DataFormat::ManyFiles { files }).expect("hive load succeeds");
+            let r = hv.run_task(task).expect("hive UDTF run succeeds");
+            t.row(vec![files.to_string(), "Hive-UDTF".into(), secs(r.stats.virtual_elapsed)]);
+            hv.force_udaf = true;
+            let r = hv.run_task(task).expect("hive UDAF run succeeds");
+            t.row(vec![files.to_string(), "Hive-UDAF".into(), secs(r.stats.virtual_elapsed)]);
+
+            let mut sp = spark(16, scale);
+            sp.load(&ds, DataFormat::ManyFiles { files }).expect("spark load succeeds");
+            match sp.run_task(task) {
+                Ok(r) => {
+                    t.row(vec![files.to_string(), "Spark".into(), secs(r.virtual_elapsed)]);
+                }
+                Err(e) => {
+                    // "too many open files" — reported, not fatal.
+                    t.row(vec![files.to_string(), "Spark".into(), format!("failed: {e}")]);
+                }
+            }
+        }
+        tables.push(t);
+    }
+
+    // Figure 19: speedup at 100 files.
+    let files = 100.min(consumers);
+    let ds = synthetic_dataset(consumers);
+    for (letter, task) in TASKS {
+        let mut t = Table::new(
+            format!("fig19{letter}"),
+            format!("{task} speedup on format 3, 100 files (relative to 4 nodes)"),
+            &["workers", "variant", "speedup"],
+        );
+        let mut base_udtf = 0.0;
+        let mut base_spark = 0.0;
+        for workers in NODES {
+            let mut hv = hive(workers, scale);
+            hv.load(&ds, DataFormat::ManyFiles { files }).expect("hive load succeeds");
+            let r = hv.run_task(task).expect("hive run succeeds");
+            let s = r.stats.virtual_elapsed.as_secs_f64().max(1e-9);
+            if workers == NODES[0] {
+                base_udtf = s;
+            }
+            t.row(vec![workers.to_string(), "Hive-UDTF".into(), format!("{:.2}", base_udtf / s)]);
+
+            let mut sp = spark(workers, scale);
+            sp.load(&ds, DataFormat::ManyFiles { files }).expect("spark load succeeds");
+            let r = sp.run_task(task).expect("spark run succeeds");
+            let s = r.virtual_elapsed.as_secs_f64().max(1e-9);
+            if workers == NODES[0] {
+                base_spark = s;
+            }
+            t.row(vec![workers.to_string(), "Spark".into(), format!("{:.2}", base_spark / s)]);
+        }
+        tables.push(t);
+    }
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[cfg_attr(debug_assertions, ignore = "full-sweep shape test; run with --release")]
+    #[test]
+    fn produces_all_tables() {
+        let tables = run(Scale::smoke());
+        assert_eq!(tables.len(), 6);
+        assert!(tables.iter().any(|t| t.id == "fig18a"));
+        assert!(tables.iter().any(|t| t.id == "fig19c"));
+    }
+
+    #[cfg_attr(debug_assertions, ignore = "full-sweep shape test; run with --release")]
+    #[test]
+    fn udtf_beats_udaf() {
+        // Figure 18's headline: the map-only UDTF wins over the
+        // reduce-full UDAF.
+        let tables = run(Scale::smoke());
+        let t = tables.iter().find(|t| t.id == "fig18c").unwrap();
+        let first_files = t.rows[0][0].clone();
+        let at = |variant: &str| -> f64 {
+            t.rows
+                .iter()
+                .find(|r| r[0] == first_files && r[1] == variant)
+                .map(|r| r[2].parse().unwrap())
+                .expect("row present")
+        };
+        assert!(at("Hive-UDTF") < at("Hive-UDAF"));
+    }
+}

@@ -1,0 +1,46 @@
+//! Figure 8: memory consumption of each algorithm on each single-server
+//! platform (the paper sampled `free -m`; we track heap peaks).
+
+use smda_core::Task;
+
+use crate::alloc::measure_peak;
+use crate::data::{seed_dataset, Scratch};
+use crate::experiments::loaded_platforms;
+use crate::report::{mib, Table};
+use crate::scale::Scale;
+
+/// Regenerate Figure 8 (peak heap growth per run, MiB).
+pub fn run(scale: Scale) -> Vec<Table> {
+    let ds = seed_dataset(scale.consumers_for_gb(6.0));
+    let scratch = Scratch::new("fig8");
+    let mut t = Table::new(
+        "fig8",
+        "Memory consumption of each algorithm (peak heap growth, MiB)",
+        &["task", "platform", "peak_mib"],
+    );
+    for task in Task::ALL {
+        for engine in &mut loaded_platforms(&scratch, &ds) {
+            engine.make_cold();
+            let (_, peak) = measure_peak(|| engine.run(task, 1).expect("run succeeds"));
+            t.row(vec![task.name().into(), engine.name().into(), mib(peak as u64)]);
+        }
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[cfg_attr(debug_assertions, ignore = "full-sweep shape test; run with --release")]
+    #[test]
+    fn covers_all_task_platform_pairs() {
+        let tables = run(Scale::smoke());
+        let t = &tables[0];
+        assert_eq!(t.rows.len(), 4 * 3);
+        for row in &t.rows {
+            let v: f64 = row[2].parse().unwrap();
+            assert!(v >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Figure 10: multi-core speedup on a single server, 1–8 workers,
+//! 10 GB dataset, all four algorithms on all three platforms.
+
+use smda_core::Task;
+
+use crate::data::{seed_dataset, Scratch};
+use crate::experiments::{cold_run, loaded_platforms};
+use crate::report::Table;
+use crate::scale::Scale;
+
+/// Worker counts swept (the paper's 4-core, 8-hyperthread server).
+pub const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// Regenerate Figure 10 (speedup relative to one worker).
+pub fn run(scale: Scale) -> Vec<Table> {
+    let ds = seed_dataset(scale.consumers_for_gb(10.0));
+    let sim_ds = seed_dataset(scale.consumers_for_households(6_400));
+    let mut tables = Vec::new();
+    for (letter, task) in [
+        ('a', Task::ThreeLine),
+        ('b', Task::Par),
+        ('c', Task::Histogram),
+        ('d', Task::Similarity),
+    ] {
+        let data = if task == Task::Similarity { &sim_ds } else { &ds };
+        let scratch = Scratch::new("fig10");
+        let mut t = Table::new(
+            format!("fig10{letter}"),
+            format!("Speedup of {task} on a single multi-core server"),
+            &["threads", "platform", "speedup"],
+        );
+        for engine in &mut loaded_platforms(&scratch, data) {
+            let base = cold_run(engine.as_mut(), task, 1);
+            t.row(vec!["1".into(), engine.name().into(), "1.00".into()]);
+            for threads in &THREADS[1..] {
+                let d = cold_run(engine.as_mut(), task, *threads);
+                let speedup = base.as_secs_f64() / d.as_secs_f64().max(1e-9);
+                t.row(vec![threads.to_string(), engine.name().into(), format!("{speedup:.2}")]);
+            }
+        }
+        tables.push(t);
+    }
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[cfg_attr(debug_assertions, ignore = "full-sweep shape test; run with --release")]
+    #[test]
+    fn produces_all_series() {
+        let tables = run(Scale::smoke());
+        assert_eq!(tables.len(), 4);
+        for t in &tables {
+            assert_eq!(t.rows.len(), THREADS.len() * 3, "{}", t.id);
+            for row in &t.rows {
+                let s: f64 = row[2].parse().unwrap();
+                assert!(s > 0.0);
+            }
+        }
+    }
+}

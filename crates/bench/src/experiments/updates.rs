@@ -1,0 +1,101 @@
+//! Extension experiment (the paper's Section 3 future work): the cost
+//! of updates per storage layout.
+//!
+//! Workload: a late-data restatement — one corrected day of readings for
+//! every household — applied to each single-server storage substrate.
+//! The paper hypothesized that "read-optimized data structures that help
+//! improve running time may be expensive to update"; this table measures
+//! exactly that trade-off (the column store must additionally invalidate
+//! its resident chunks).
+
+use std::time::Instant;
+
+use smda_storage::update::DayRestatement;
+use smda_storage::{
+    restate_array_table, restate_column_store, restate_day_table, restate_reading_table,
+    ArrayTable, ColumnStore, DayTable, ReadingTable,
+};
+use smda_types::{Dataset, HOURS_PER_DAY};
+
+use crate::data::{seed_dataset, Scratch};
+use crate::report::{secs, Table};
+use crate::scale::Scale;
+
+fn restatements(ds: &Dataset, day: usize) -> Vec<DayRestatement> {
+    ds.consumers()
+        .iter()
+        .map(|c| {
+            let mut kwh = [0.0; HOURS_PER_DAY];
+            for (h, v) in kwh.iter_mut().enumerate() {
+                *v = c.readings()[day * HOURS_PER_DAY + h] * 1.1 + 0.05;
+            }
+            DayRestatement { consumer: c.id, day, kwh }
+        })
+        .collect()
+}
+
+/// Regenerate the update-cost extension table.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let ds = seed_dataset(scale.consumers_for_gb(10.0));
+    let updates = restatements(&ds, 180);
+    let scratch = Scratch::new("ext-updates");
+    let mut t = Table::new(
+        "ext_updates",
+        "Late-data restatement of one day across all households, per storage layout",
+        &["layout", "seconds", "seconds_per_household"],
+    );
+    let n = ds.len() as f64;
+
+    let mut row = |name: &str, elapsed: std::time::Duration| {
+        t.row(vec![
+            name.into(),
+            secs(elapsed),
+            format!("{:.6}", elapsed.as_secs_f64() / n),
+        ]);
+    };
+
+    let mut l1 = ReadingTable::create(scratch.path("l1.tbl"), &ds).expect("create succeeds");
+    let start = Instant::now();
+    restate_reading_table(&mut l1, &updates).expect("restatement succeeds");
+    row("row (one reading/row)", start.elapsed());
+
+    let mut l3 = DayTable::create(scratch.path("l3.tbl"), &ds).expect("create succeeds");
+    let start = Instant::now();
+    restate_day_table(&mut l3, &updates).expect("restatement succeeds");
+    row("day (one day/row)", start.elapsed());
+
+    let mut l2 = ArrayTable::create(scratch.path("l2.tbl"), &ds).expect("create succeeds");
+    let start = Instant::now();
+    restate_array_table(&mut l2, &updates).expect("restatement succeeds");
+    row("array (one consumer/row)", start.elapsed());
+
+    let mut col = ColumnStore::create(scratch.path("col"), &ds).expect("create succeeds");
+    // Warm the cache so invalidation cost is visible in a follow-up read.
+    for i in 0..col.len() {
+        col.readings(i).expect("warm read succeeds");
+    }
+    let start = Instant::now();
+    restate_column_store(&mut col, &updates).expect("restatement succeeds");
+    // Include the cost of re-faulting what a subsequent query touches.
+    col.readings(0).expect("refault succeeds");
+    row("column store (+cache refault)", start.elapsed());
+
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[cfg_attr(debug_assertions, ignore = "full-sweep shape test; run with --release")]
+    #[test]
+    fn all_layouts_absorb_the_restatement() {
+        let tables = run(Scale::smoke());
+        let t = &tables[0];
+        assert_eq!(t.rows.len(), 4);
+        for row in &t.rows {
+            let s: f64 = row[1].parse().unwrap();
+            assert!(s >= 0.0, "{row:?}");
+        }
+    }
+}

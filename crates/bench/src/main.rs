@@ -1,0 +1,64 @@
+//! `smda-bench`: regenerate the paper's tables and figures.
+//!
+//! ```text
+//! smda-bench                 # run the full suite at the default scale
+//! smda-bench fig7 fig9       # run selected experiments
+//! smda-bench --smoke         # fastest scale (CI smoke)
+//! smda-bench --full fig4     # the paper's true sizes (hours!)
+//! ```
+//!
+//! CSVs land in `results/`; tables are printed as markdown.
+
+use std::path::PathBuf;
+
+use smda_bench::{run_all, run_experiment, Scale, EXPERIMENT_IDS};
+
+#[global_allocator]
+static ALLOC: smda_bench::alloc::CountingAlloc = smda_bench::alloc::CountingAlloc;
+
+fn main() {
+    let mut scale = Scale::default();
+    let mut ids: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--smoke" => scale = Scale::smoke(),
+            "--full" => scale = Scale::full(),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: smda-bench [--smoke|--full] [EXPERIMENT...]\n\
+                     experiments: {}",
+                    EXPERIMENT_IDS.join(" ")
+                );
+                return;
+            }
+            id => ids.push(id.to_string()),
+        }
+    }
+
+    let out_dir = PathBuf::from("results");
+    let tables = if ids.is_empty() {
+        run_all(scale, &out_dir)
+    } else {
+        let mut all = Vec::new();
+        for id in &ids {
+            match run_experiment(id, scale) {
+                Some(tables) => {
+                    for t in &tables {
+                        t.write_csv(&out_dir).expect("results directory is writable");
+                    }
+                    all.extend(tables);
+                }
+                None => {
+                    eprintln!("unknown experiment `{id}`; known: {}", EXPERIMENT_IDS.join(" "));
+                    std::process::exit(2);
+                }
+            }
+        }
+        all
+    };
+
+    for t in &tables {
+        println!("{}", t.to_markdown());
+    }
+    eprintln!("wrote {} tables to {}", tables.len(), out_dir.display());
+}

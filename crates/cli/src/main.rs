@@ -1,0 +1,219 @@
+//! `smda`: command-line interface to the smart meter analytics benchmark.
+//!
+//! ```text
+//! smda generate --consumers 200 --out data/           # seed dataset (Format 1)
+//! smda amplify  --seed 50 --consumers 5000 --out big/ # paper's generator
+//! smda run histogram --data data/                     # run one task
+//! smda bench fig7                                     # run an experiment
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use smda_bench::{run_experiment, Scale, EXPERIMENT_IDS};
+use smda_core::tasks::run_reference;
+use smda_core::{DataGenerator, GeneratorConfig, SeedConfig, Task, TaskOutput};
+use smda_types::{DataFormat, Dataset, FormatReader, FormatWriter, Result};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        usage();
+        return ExitCode::from(2);
+    };
+    let result = match command.as_str() {
+        "generate" => generate(&args[1..]),
+        "amplify" => amplify(&args[1..]),
+        "run" => run_task_cmd(&args[1..]),
+        "bench" => bench(&args[1..]),
+        "--help" | "-h" | "help" => {
+            usage();
+            Ok(())
+        }
+        other => {
+            eprintln!("unknown command `{other}`");
+            usage();
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "smda — smart meter data analytics benchmark (EDBT 2015 reproduction)\n\
+         \n\
+         commands:\n\
+           generate --consumers N [--seed S] [--out DIR]   synthesize a seed dataset\n\
+           amplify  --seed N --consumers M [--out DIR]     amplify via the paper's generator\n\
+           run TASK --data DIR [--format f1|f2]            run histogram|three-line|par|similarity\n\
+           bench [--smoke|--full] [EXPERIMENT...]          regenerate tables/figures ({})",
+        EXPERIMENT_IDS.join(" ")
+    );
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn parse_usize(args: &[String], name: &str, default: usize) -> usize {
+    flag(args, name).and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn out_dir(args: &[String]) -> PathBuf {
+    flag(args, "--out").map(PathBuf::from).unwrap_or_else(|| PathBuf::from("data"))
+}
+
+fn generate(args: &[String]) -> Result<()> {
+    let consumers = parse_usize(args, "--consumers", 100);
+    let seed = parse_usize(args, "--seed", 2014) as u64;
+    let dir = out_dir(args);
+    let ds = smda_core::generator::generate_seed(&SeedConfig {
+        consumers,
+        seed,
+        ..Default::default()
+    })?;
+    FormatWriter::new(&dir)?.write(&ds, DataFormat::ReadingPerLine)?;
+    let stats = ds.stats();
+    println!(
+        "wrote {} consumers ({} readings, mean annual {:.0} kWh) to {}",
+        stats.consumers,
+        stats.readings,
+        stats.mean_annual_kwh,
+        dir.display()
+    );
+    Ok(())
+}
+
+fn amplify(args: &[String]) -> Result<()> {
+    let seed_consumers = parse_usize(args, "--seed", 50);
+    let consumers = parse_usize(args, "--consumers", 1000);
+    let dir = out_dir(args);
+    let seed = smda_core::generator::generate_seed(&SeedConfig {
+        consumers: seed_consumers,
+        ..Default::default()
+    })?;
+    let generator = DataGenerator::train(&seed, GeneratorConfig::default())?;
+    let ds = generator.generate(consumers, seed.temperature(), 0)?;
+    FormatWriter::new(&dir)?.write(&ds, DataFormat::ReadingPerLine)?;
+    println!(
+        "amplified {seed_consumers}-consumer seed to {consumers} consumers at {}",
+        dir.display()
+    );
+    Ok(())
+}
+
+fn load_dataset(args: &[String]) -> Result<Dataset> {
+    let dir = flag(args, "--data").map(PathBuf::from).unwrap_or_else(|| PathBuf::from("data"));
+    let format = match flag(args, "--format").as_deref() {
+        Some("f2") => DataFormat::ConsumerPerLine,
+        _ => DataFormat::ReadingPerLine,
+    };
+    FormatReader::new(dir).read(format)
+}
+
+fn run_task_cmd(args: &[String]) -> Result<()> {
+    let task = match args.first().map(String::as_str) {
+        Some("histogram") => Task::Histogram,
+        Some("three-line") | Some("3line") => Task::ThreeLine,
+        Some("par") => Task::Par,
+        Some("similarity") => Task::Similarity,
+        other => {
+            return Err(smda_types::Error::Invalid(format!(
+                "unknown task {:?}; expected histogram|three-line|par|similarity",
+                other.unwrap_or("<none>")
+            )));
+        }
+    };
+    let ds = load_dataset(&args[1..])?;
+    let start = Instant::now();
+    let output = run_reference(task, &ds);
+    let elapsed = start.elapsed();
+    println!("{task} over {} consumers in {:.3}s", ds.len(), elapsed.as_secs_f64());
+    summarize(&output);
+    Ok(())
+}
+
+fn summarize(output: &TaskOutput) {
+    match output {
+        TaskOutput::Histograms(hs) => {
+            for h in hs.iter().take(3) {
+                println!("  {}: mode bucket {} / 10", h.consumer, h.histogram.mode_bucket());
+            }
+        }
+        TaskOutput::ThreeLine(models, phases) => {
+            for m in models.iter().take(3) {
+                println!(
+                    "  {}: heating {:.3}, cooling {:.3}, base {:.3} kWh",
+                    m.consumer,
+                    m.heating_gradient(),
+                    m.cooling_gradient(),
+                    m.base_load()
+                );
+            }
+            println!(
+                "  phases: T1 {:.3}s T2 {:.3}s T3 {:.3}s",
+                phases.t1.as_secs_f64(),
+                phases.t2.as_secs_f64(),
+                phases.t3.as_secs_f64()
+            );
+        }
+        TaskOutput::Par(models) => {
+            for m in models.iter().take(3) {
+                println!(
+                    "  {}: peak hour {}, daily activity {:.2} kWh",
+                    m.consumer,
+                    m.peak_hour(),
+                    m.daily_total()
+                );
+            }
+        }
+        TaskOutput::Similarity(matches) => {
+            for m in matches.iter().take(3) {
+                let best = m
+                    .matches
+                    .first()
+                    .map(|(id, s)| format!("{id} ({s:.4})"))
+                    .unwrap_or_else(|| "-".into());
+                println!("  {}: best match {best}", m.consumer);
+            }
+        }
+    }
+    println!("  ... {} results total", output.len());
+}
+
+fn bench(args: &[String]) -> Result<()> {
+    let mut scale = Scale::default();
+    let mut ids = Vec::new();
+    for a in args {
+        match a.as_str() {
+            "--smoke" => scale = Scale::smoke(),
+            "--full" => scale = Scale::full(),
+            id => ids.push(id.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        ids = EXPERIMENT_IDS.iter().map(|s| s.to_string()).collect();
+    }
+    let out = PathBuf::from("results");
+    for id in &ids {
+        let Some(tables) = run_experiment(id, scale) else {
+            return Err(smda_types::Error::Invalid(format!(
+                "unknown experiment `{id}`; known: {}",
+                EXPERIMENT_IDS.join(" ")
+            )));
+        };
+        for t in &tables {
+            t.write_csv(&out)?;
+            println!("{}", t.to_markdown());
+        }
+    }
+    Ok(())
+}

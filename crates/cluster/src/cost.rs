@@ -1,0 +1,115 @@
+//! The explicit cost model behind virtual time.
+//!
+//! Defaults approximate the paper's testbed: 7200 RPM disks (~120 MB/s
+//! sequential), gigabit Ethernet (~117 MiB/s effective), and per-task
+//! startup overheads in the range JVM-era Hadoop/Spark exhibited.
+
+use std::time::Duration;
+
+/// Throughput/latency parameters used to convert bytes into virtual time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Sequential disk read throughput, bytes/second.
+    pub disk_read_bps: f64,
+    /// Sequential disk write throughput, bytes/second.
+    pub disk_write_bps: f64,
+    /// Per-link network throughput, bytes/second.
+    pub net_bps: f64,
+    /// Fixed latency per network transfer.
+    pub net_latency: Duration,
+    /// Fixed overhead to launch one task (container/JVM/task setup).
+    pub task_startup: Duration,
+    /// Calibration factor applied to measured compute time — maps this
+    /// host's core speed onto the modeled cluster's cores (1.0 = equal).
+    pub compute_scale: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            disk_read_bps: 120.0e6,
+            disk_write_bps: 100.0e6,
+            net_bps: 117.0e6,
+            net_latency: Duration::from_micros(500),
+            task_startup: Duration::from_millis(150),
+            compute_scale: 1.0,
+        }
+    }
+}
+
+impl CostModel {
+    /// A cost model with Hadoop-era task startup (higher than Spark's
+    /// executor reuse).
+    pub fn mapreduce() -> Self {
+        CostModel { task_startup: Duration::from_millis(800), ..Default::default() }
+    }
+
+    /// A cost model with Spark-style executor reuse (low per-task cost)
+    /// but in-memory pressure handled elsewhere.
+    pub fn spark() -> Self {
+        CostModel { task_startup: Duration::from_millis(120), ..Default::default() }
+    }
+
+    /// Virtual time to read `bytes` sequentially from local disk.
+    pub fn disk_read(&self, bytes: u64) -> Duration {
+        Duration::from_secs_f64(bytes as f64 / self.disk_read_bps)
+    }
+
+    /// Virtual time to write `bytes` sequentially to local disk.
+    pub fn disk_write(&self, bytes: u64) -> Duration {
+        Duration::from_secs_f64(bytes as f64 / self.disk_write_bps)
+    }
+
+    /// Virtual time to move `bytes` across one network link.
+    pub fn network(&self, bytes: u64) -> Duration {
+        self.net_latency + Duration::from_secs_f64(bytes as f64 / self.net_bps)
+    }
+
+    /// Virtual time to read `bytes` from a remote node (disk + network).
+    pub fn remote_read(&self, bytes: u64) -> Duration {
+        self.disk_read(bytes) + self.network(bytes)
+    }
+
+    /// Scale a measured compute duration onto the modeled cores.
+    pub fn scale_compute(&self, measured: Duration) -> Duration {
+        measured.mul_f64(self.compute_scale)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_time_is_linear_in_bytes() {
+        let m = CostModel::default();
+        let one = m.disk_read(120_000_000);
+        assert!((one.as_secs_f64() - 1.0).abs() < 1e-9);
+        let two = m.disk_read(240_000_000);
+        assert!((two.as_secs_f64() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn remote_read_exceeds_local() {
+        let m = CostModel::default();
+        let bytes = 64 * 1024 * 1024;
+        assert!(m.remote_read(bytes) > m.disk_read(bytes));
+    }
+
+    #[test]
+    fn network_includes_latency() {
+        let m = CostModel::default();
+        assert!(m.network(0) >= m.net_latency);
+    }
+
+    #[test]
+    fn mapreduce_startup_dominates_spark() {
+        assert!(CostModel::mapreduce().task_startup > CostModel::spark().task_startup);
+    }
+
+    #[test]
+    fn compute_scaling() {
+        let m = CostModel { compute_scale: 2.0, ..Default::default() };
+        assert_eq!(m.scale_compute(Duration::from_secs(1)), Duration::from_secs(2));
+    }
+}

@@ -1,0 +1,283 @@
+//! The simulated distributed file system.
+//!
+//! Models the *placement* of data — files split into fixed-size blocks,
+//! each replicated on several nodes — so the scheduler can reason about
+//! locality. Block payloads are not materialized; the engines keep the
+//! actual rows in host memory and only account their sizes here.
+
+use std::collections::HashMap;
+
+use smda_types::{Error, Result};
+
+/// DFS parameters. The paper's HDFS used 64 MiB blocks and 3 replicas;
+/// experiments run at reduced scale shrink the block size proportionally
+/// so files still split into multiple blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DfsConfig {
+    /// Block size in bytes.
+    pub block_bytes: u64,
+    /// Number of replicas per block.
+    pub replication: usize,
+    /// Number of datanodes.
+    pub nodes: usize,
+}
+
+impl Default for DfsConfig {
+    fn default() -> Self {
+        DfsConfig { block_bytes: 64 * 1024 * 1024, replication: 3, nodes: 16 }
+    }
+}
+
+/// One block: its size and the nodes holding replicas.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DfsBlock {
+    /// Bytes in this block.
+    pub bytes: u64,
+    /// Nodes holding a replica (first = primary).
+    pub replicas: Vec<usize>,
+}
+
+/// One file: an ordered list of blocks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DfsFile {
+    /// File name (unique within the DFS).
+    pub name: String,
+    /// Total size in bytes.
+    pub bytes: u64,
+    /// Whether readers may split the file at block boundaries. A
+    /// non-splittable file (the paper's format 3 with a custom
+    /// `isSplitable() == false` input format) is one split regardless of
+    /// its size.
+    pub splittable: bool,
+    /// The file's blocks in order.
+    pub blocks: Vec<DfsBlock>,
+}
+
+/// One input split handed to a map task.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InputSplit {
+    /// File the split comes from.
+    pub file: String,
+    /// Index of the split within the file.
+    pub index: usize,
+    /// Bytes covered.
+    pub bytes: u64,
+    /// Nodes on which the split's data is local.
+    pub hosts: Vec<usize>,
+}
+
+/// The simulated DFS namespace.
+#[derive(Debug)]
+pub struct SimDfs {
+    config: DfsConfig,
+    files: HashMap<String, DfsFile>,
+    /// Deterministic placement cursor.
+    cursor: usize,
+}
+
+impl SimDfs {
+    /// An empty DFS on `config.nodes` datanodes.
+    ///
+    /// # Panics
+    /// Panics if the config has zero nodes, zero block size, or zero
+    /// replication.
+    pub fn new(config: DfsConfig) -> Self {
+        assert!(config.nodes > 0, "DFS needs at least one node");
+        assert!(config.block_bytes > 0, "block size must be positive");
+        assert!(config.replication > 0, "replication must be positive");
+        SimDfs { config, files: HashMap::new(), cursor: 0 }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> DfsConfig {
+        self.config
+    }
+
+    /// Ingest a file of `bytes`, placing blocks round-robin with
+    /// `replication` consecutive replicas. Returns the placement.
+    pub fn ingest(&mut self, name: impl Into<String>, bytes: u64, splittable: bool) -> Result<&DfsFile> {
+        let name = name.into();
+        if self.files.contains_key(&name) {
+            return Err(Error::Invalid(format!("DFS file `{name}` already exists")));
+        }
+        if bytes == 0 {
+            return Err(Error::Invalid(format!("DFS file `{name}` is empty")));
+        }
+        let nodes = self.config.nodes;
+        let replication = self.config.replication.min(nodes);
+        let block_count = bytes.div_ceil(self.config.block_bytes);
+        let mut blocks = Vec::with_capacity(block_count as usize);
+        let mut remaining = bytes;
+        for _ in 0..block_count {
+            let size = remaining.min(self.config.block_bytes);
+            remaining -= size;
+            let primary = self.cursor % nodes;
+            self.cursor += 1;
+            let replicas = (0..replication).map(|r| (primary + r) % nodes).collect();
+            blocks.push(DfsBlock { bytes: size, replicas });
+        }
+        let file = DfsFile { name: name.clone(), bytes, splittable, blocks };
+        self.files.insert(name.clone(), file);
+        Ok(self.files.get(&name).expect("just inserted"))
+    }
+
+    /// Look up a file.
+    pub fn file(&self, name: &str) -> Option<&DfsFile> {
+        self.files.get(name)
+    }
+
+    /// Remove a file (e.g. intermediate shuffle output).
+    pub fn delete(&mut self, name: &str) -> bool {
+        self.files.remove(name).is_some()
+    }
+
+    /// Fail a datanode: every replica it held disappears (failure
+    /// injection). Returns the names of files that lost **all** replicas
+    /// of some block — data loss the caller must surface.
+    pub fn fail_node(&mut self, node: usize) -> Vec<String> {
+        let mut lost = Vec::new();
+        for (name, file) in self.files.iter_mut() {
+            for block in &mut file.blocks {
+                block.replicas.retain(|&r| r != node);
+                if block.replicas.is_empty() && !lost.contains(name) {
+                    lost.push(name.clone());
+                }
+            }
+        }
+        lost.sort();
+        lost
+    }
+
+    /// Number of files stored.
+    pub fn file_count(&self) -> usize {
+        self.files.len()
+    }
+
+    /// The input splits for a set of files, in deterministic order. A
+    /// splittable file produces one split per block; a non-splittable
+    /// file produces a single split local to its *first* block's hosts.
+    pub fn splits(&self, names: &[String]) -> Result<Vec<InputSplit>> {
+        let mut out = Vec::new();
+        for name in names {
+            let file = self
+                .files
+                .get(name)
+                .ok_or_else(|| Error::Invalid(format!("DFS file `{name}` not found")))?;
+            if file.splittable {
+                for (i, b) in file.blocks.iter().enumerate() {
+                    out.push(InputSplit {
+                        file: name.clone(),
+                        index: i,
+                        bytes: b.bytes,
+                        hosts: b.replicas.clone(),
+                    });
+                }
+            } else {
+                out.push(InputSplit {
+                    file: name.clone(),
+                    index: 0,
+                    bytes: file.bytes,
+                    hosts: file.blocks[0].replicas.clone(),
+                });
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> DfsConfig {
+        DfsConfig { block_bytes: 1024, replication: 3, nodes: 4 }
+    }
+
+    #[test]
+    fn splits_follow_block_boundaries() {
+        let mut dfs = SimDfs::new(small());
+        dfs.ingest("data", 2500, true).unwrap();
+        let splits = dfs.splits(&["data".into()]).unwrap();
+        assert_eq!(splits.len(), 3);
+        assert_eq!(splits[0].bytes, 1024);
+        assert_eq!(splits[2].bytes, 2500 - 2048);
+        let total: u64 = splits.iter().map(|s| s.bytes).sum();
+        assert_eq!(total, 2500);
+    }
+
+    #[test]
+    fn non_splittable_file_is_one_split() {
+        let mut dfs = SimDfs::new(small());
+        dfs.ingest("whole", 5000, false).unwrap();
+        let splits = dfs.splits(&["whole".into()]).unwrap();
+        assert_eq!(splits.len(), 1);
+        assert_eq!(splits[0].bytes, 5000);
+    }
+
+    #[test]
+    fn replication_clamped_to_nodes() {
+        let mut dfs = SimDfs::new(DfsConfig { block_bytes: 100, replication: 5, nodes: 2 });
+        let file = dfs.ingest("f", 100, true).unwrap();
+        assert_eq!(file.blocks[0].replicas.len(), 2);
+    }
+
+    #[test]
+    fn placement_spreads_over_nodes() {
+        let mut dfs = SimDfs::new(small());
+        dfs.ingest("big", 8 * 1024, true).unwrap();
+        let file = dfs.file("big").unwrap();
+        let primaries: std::collections::HashSet<usize> =
+            file.blocks.iter().map(|b| b.replicas[0]).collect();
+        assert_eq!(primaries.len(), 4, "all 4 nodes should hold a primary");
+    }
+
+    #[test]
+    fn replicas_are_distinct_nodes() {
+        let mut dfs = SimDfs::new(small());
+        dfs.ingest("r", 100, true).unwrap();
+        let b = &dfs.file("r").unwrap().blocks[0];
+        let unique: std::collections::HashSet<usize> = b.replicas.iter().copied().collect();
+        assert_eq!(unique.len(), b.replicas.len());
+    }
+
+    #[test]
+    fn duplicate_and_missing_files_error() {
+        let mut dfs = SimDfs::new(small());
+        dfs.ingest("x", 10, true).unwrap();
+        assert!(dfs.ingest("x", 10, true).is_err());
+        assert!(dfs.splits(&["y".into()]).is_err());
+        assert!(dfs.ingest("empty", 0, true).is_err());
+    }
+
+    #[test]
+    fn node_failure_degrades_replication_gracefully() {
+        let mut dfs = SimDfs::new(small()); // replication 3 over 4 nodes
+        dfs.ingest("data", 4 * 1024, true).unwrap();
+        let lost = dfs.fail_node(0);
+        assert!(lost.is_empty(), "3-way replication survives one failure: {lost:?}");
+        let splits = dfs.splits(&["data".into()]).unwrap();
+        for s in &splits {
+            assert!(!s.hosts.contains(&0), "failed node still listed: {s:?}");
+            assert!(!s.hosts.is_empty());
+        }
+    }
+
+    #[test]
+    fn losing_every_replica_reports_data_loss() {
+        let mut dfs = SimDfs::new(DfsConfig { block_bytes: 1024, replication: 1, nodes: 2 });
+        dfs.ingest("fragile", 512, true).unwrap();
+        // Single replica: failing its node loses the file.
+        let holder = dfs.file("fragile").unwrap().blocks[0].replicas[0];
+        let lost = dfs.fail_node(holder);
+        assert_eq!(lost, vec!["fragile".to_string()]);
+    }
+
+    #[test]
+    fn delete_removes_files() {
+        let mut dfs = SimDfs::new(small());
+        dfs.ingest("tmp", 10, true).unwrap();
+        assert!(dfs.delete("tmp"));
+        assert!(!dfs.delete("tmp"));
+        assert_eq!(dfs.file_count(), 0);
+    }
+}

@@ -1,0 +1,29 @@
+//! A deterministic cluster simulator.
+//!
+//! The paper's distributed experiments (Figures 11–19) ran on a 16-worker
+//! Hadoop cluster. This crate substitutes that hardware with a hybrid
+//! measured/modeled simulator (see DESIGN.md):
+//!
+//! * tasks execute **really** on a local thread pool ([`exec`]), so every
+//!   result is exact and per-task *compute* time is measured;
+//! * data placement is modeled by a block-based DFS with replication and
+//!   locality ([`dfs`]);
+//! * I/O, network and startup costs come from an explicit cost model
+//!   ([`cost`]);
+//! * a deterministic list scheduler ([`scheduler`]) combines the three
+//!   into per-phase virtual makespans on the configured topology.
+//!
+//! The Hive- and Spark-like engines (`smda-hive`, `smda-spark`) build
+//! their jobs on these primitives.
+
+pub mod cost;
+pub mod dfs;
+pub mod exec;
+pub mod scheduler;
+pub mod textdata;
+
+pub use cost::CostModel;
+pub use dfs::{DfsConfig, DfsFile, InputSplit, SimDfs};
+pub use exec::{measured_run, WorkerPool};
+pub use scheduler::{ClusterTopology, PhaseResult, SimTask, VirtualScheduler};
+pub use textdata::{parse_consumer, parse_reading, ReadingRow, TextSplit, TextTable};

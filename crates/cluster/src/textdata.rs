@@ -1,0 +1,315 @@
+//! In-memory text renderings of a dataset, split for cluster input.
+//!
+//! The cluster engines process *text*, exactly as Hive external tables
+//! and Spark text RDDs do — parsing costs are real and format-dependent
+//! (Section 5.4.2). A [`TextTable`] renders a dataset into lines in one
+//! of the three formats, registers the file(s) in the simulated DFS, and
+//! exposes the DFS input splits paired with their actual lines.
+
+use std::sync::Arc;
+
+use smda_types::{ConsumerId, DataFormat, Dataset, Error, Result};
+
+use crate::dfs::SimDfs;
+
+/// One parsed Format-1/Format-3 row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReadingRow {
+    /// Household id.
+    pub consumer: ConsumerId,
+    /// Hour of year.
+    pub hour: u32,
+    /// Outdoor temperature, °C.
+    pub temperature: f64,
+    /// Consumption, kWh.
+    pub kwh: f64,
+}
+
+/// Parse a `consumer,hour,temp,kwh` line (the engines' map-side cost).
+pub fn parse_reading(line: &str) -> Result<ReadingRow> {
+    let mut it = line.split(',');
+    let consumer = next_field(&mut it, line)?.parse::<u32>().map_err(bad(line))?;
+    let hour = next_field(&mut it, line)?.parse::<u32>().map_err(bad(line))?;
+    let temperature = next_field(&mut it, line)?.parse::<f64>().map_err(bad(line))?;
+    let kwh = next_field(&mut it, line)?.parse::<f64>().map_err(bad(line))?;
+    Ok(ReadingRow { consumer: ConsumerId(consumer), hour, temperature, kwh })
+}
+
+/// Parse a Format-2 `consumer,kwh0,...,kwh8759` line.
+pub fn parse_consumer(line: &str) -> Result<(ConsumerId, Vec<f64>)> {
+    let (id, rest) = line
+        .split_once(',')
+        .ok_or_else(|| Error::parse("consumer line", None, "missing readings"))?;
+    let id = id.parse::<u32>().map_err(bad(line))?;
+    let readings = rest
+        .split(',')
+        .map(|f| f.parse::<f64>().map_err(bad(line)))
+        .collect::<Result<Vec<f64>>>()?;
+    Ok((ConsumerId(id), readings))
+}
+
+fn next_field<'a>(it: &mut impl Iterator<Item = &'a str>, line: &str) -> Result<&'a str> {
+    it.next().ok_or_else(|| {
+        Error::parse("reading line", None, format!("too few fields in `{}`", truncate_line(line)))
+    })
+}
+
+fn bad<E>(line: &str) -> impl FnOnce(E) -> Error + '_ {
+    move |_| {
+        Error::parse("text line", None, format!("unparsable number in `{}`", truncate_line(line)))
+    }
+}
+
+fn truncate_line(line: &str) -> &str {
+    &line[..line.len().min(60)]
+}
+
+/// One input split: real lines plus modeled placement.
+#[derive(Debug, Clone)]
+pub struct TextSplit {
+    /// The actual text lines of the split.
+    pub lines: Arc<Vec<String>>,
+    /// Split size in bytes (drives modeled read time).
+    pub bytes: u64,
+    /// Nodes holding the split locally.
+    pub hosts: Vec<usize>,
+}
+
+/// A dataset rendered to text and registered in the DFS.
+#[derive(Debug)]
+pub struct TextTable {
+    /// Table name (DFS file prefix).
+    pub name: String,
+    /// The format the text is in.
+    pub format: DataFormat,
+    /// The input splits, in file/offset order.
+    pub splits: Vec<TextSplit>,
+    /// The shared temperature series, hour-indexed (formats 2/3 do not
+    /// embed temperature per line; format 1 does, but engines may still
+    /// use this sidecar).
+    pub temperature: Arc<Vec<f64>>,
+    /// Total data bytes.
+    pub total_bytes: u64,
+}
+
+fn line_bytes(lines: &[String]) -> u64 {
+    lines.iter().map(|l| l.len() as u64 + 1).sum()
+}
+
+/// Render one reading as a Format-1/Format-3 line.
+fn reading_line(consumer: u32, hour: usize, temperature: f64, kwh: f64) -> String {
+    format!("{consumer},{hour},{temperature:.3},{kwh:.4}")
+}
+
+/// Render one consumer as a Format-2 line.
+fn consumer_line(consumer: u32, readings: &[f64]) -> String {
+    let mut s = String::with_capacity(8 + readings.len() * 7);
+    s.push_str(&consumer.to_string());
+    for v in readings {
+        s.push(',');
+        s.push_str(&format!("{v:.4}"));
+    }
+    s
+}
+
+impl TextTable {
+    /// Render `ds` in `format`, register it in `dfs`, and cut splits.
+    ///
+    /// Formats 1 and 2 produce one splittable DFS file whose splits
+    /// follow block boundaries (respecting line boundaries on the real
+    /// text). Format 3 produces `files` non-splittable DFS files, one
+    /// split each.
+    pub fn build(
+        name: impl Into<String>,
+        ds: &Dataset,
+        format: DataFormat,
+        dfs: &mut SimDfs,
+    ) -> Result<Self> {
+        let name = name.into();
+        if ds.is_empty() {
+            return Err(Error::Invalid("cannot build a text table from an empty dataset".into()));
+        }
+        let temperature = Arc::new(ds.temperature().values().to_vec());
+        let block = dfs.config().block_bytes;
+        let mut splits = Vec::new();
+        let mut total_bytes = 0u64;
+
+        match format {
+            DataFormat::ReadingPerLine => {
+                let temps = ds.temperature().values();
+                let mut lines = Vec::with_capacity(ds.reading_count());
+                for c in ds.consumers() {
+                    for (h, kwh) in c.readings().iter().enumerate() {
+                        lines.push(reading_line(c.id.raw(), h, temps[h], *kwh));
+                    }
+                }
+                total_bytes = line_bytes(&lines);
+                let file = dfs.ingest(&name, total_bytes, true)?;
+                splits = cut_line_splits(lines, file.blocks.len(), block);
+                // Attach hosts from the DFS placement.
+                let file = dfs.file(&name).expect("just ingested");
+                for (s, b) in splits.iter_mut().zip(&file.blocks) {
+                    s.hosts = b.replicas.clone();
+                }
+            }
+            DataFormat::ConsumerPerLine => {
+                let lines: Vec<String> =
+                    ds.consumers().iter().map(|c| consumer_line(c.id.raw(), c.readings())).collect();
+                total_bytes = line_bytes(&lines);
+                let file = dfs.ingest(&name, total_bytes, true)?;
+                splits = cut_line_splits(lines, file.blocks.len(), block);
+                let file = dfs.file(&name).expect("just ingested");
+                for (s, b) in splits.iter_mut().zip(&file.blocks) {
+                    s.hosts = b.replicas.clone();
+                }
+            }
+            DataFormat::ManyFiles { files } => {
+                if files == 0 {
+                    return Err(Error::Invalid("format 3 requires at least one file".into()));
+                }
+                let temps = ds.temperature().values();
+                let per_file = ds.len().div_ceil(files);
+                for (fi, chunk) in ds.consumers().chunks(per_file.max(1)).enumerate() {
+                    let mut lines = Vec::with_capacity(chunk.len() * temps.len());
+                    for c in chunk {
+                        for (h, kwh) in c.readings().iter().enumerate() {
+                            lines.push(reading_line(c.id.raw(), h, temps[h], *kwh));
+                        }
+                    }
+                    let bytes = line_bytes(&lines);
+                    total_bytes += bytes;
+                    let file_name = format!("{name}/part-{fi:05}");
+                    dfs.ingest(&file_name, bytes, false)?;
+                    let file = dfs.file(&file_name).expect("just ingested");
+                    splits.push(TextSplit {
+                        lines: Arc::new(lines),
+                        bytes,
+                        hosts: file.blocks[0].replicas.clone(),
+                    });
+                }
+            }
+        }
+
+        Ok(TextTable { name, format, splits, temperature, total_bytes })
+    }
+
+    /// Number of map input splits.
+    pub fn split_count(&self) -> usize {
+        self.splits.len()
+    }
+}
+
+/// Cut `lines` into `parts` splits of roughly `block` bytes each,
+/// respecting line boundaries (like HDFS readers do).
+fn cut_line_splits(lines: Vec<String>, parts: usize, block: u64) -> Vec<TextSplit> {
+    let mut splits = Vec::with_capacity(parts);
+    let mut current: Vec<String> = Vec::new();
+    let mut current_bytes = 0u64;
+    for line in lines {
+        let lb = line.len() as u64 + 1;
+        if current_bytes + lb > block && !current.is_empty() {
+            splits.push(TextSplit {
+                lines: Arc::new(std::mem::take(&mut current)),
+                bytes: current_bytes,
+                hosts: Vec::new(),
+            });
+            current_bytes = 0;
+        }
+        current.push(line);
+        current_bytes += lb;
+    }
+    if !current.is_empty() {
+        splits.push(TextSplit { lines: Arc::new(current), bytes: current_bytes, hosts: Vec::new() });
+    }
+    splits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfs::DfsConfig;
+    use smda_types::{ConsumerId, ConsumerSeries, TemperatureSeries, HOURS_PER_YEAR};
+
+    fn tiny(n: u32) -> Dataset {
+        let temp = TemperatureSeries::new(
+            (0..HOURS_PER_YEAR).map(|h| (h % 30) as f64 - 5.0).collect(),
+        )
+        .unwrap();
+        let consumers = (0..n)
+            .map(|i| {
+                ConsumerSeries::new(
+                    ConsumerId(i),
+                    (0..HOURS_PER_YEAR).map(|h| 0.5 + (h % 24) as f64 * 0.02).collect(),
+                )
+                .unwrap()
+            })
+            .collect();
+        Dataset::new(consumers, temp).unwrap()
+    }
+
+    fn dfs() -> SimDfs {
+        SimDfs::new(DfsConfig { block_bytes: 256 * 1024, replication: 3, nodes: 8 })
+    }
+
+    #[test]
+    fn format1_lines_count_matches_readings() {
+        let ds = tiny(2);
+        let mut d = dfs();
+        let t = TextTable::build("f1", &ds, DataFormat::ReadingPerLine, &mut d).unwrap();
+        let total_lines: usize = t.splits.iter().map(|s| s.lines.len()).sum();
+        assert_eq!(total_lines, 2 * HOURS_PER_YEAR);
+        assert!(t.split_count() > 1, "2 consumers of readings exceed one 256 KiB block");
+        for s in &t.splits {
+            assert!(!s.hosts.is_empty());
+        }
+    }
+
+    #[test]
+    fn format2_one_line_per_consumer() {
+        let ds = tiny(3);
+        let mut d = dfs();
+        let t = TextTable::build("f2", &ds, DataFormat::ConsumerPerLine, &mut d).unwrap();
+        let total_lines: usize = t.splits.iter().map(|s| s.lines.len()).sum();
+        assert_eq!(total_lines, 3);
+    }
+
+    #[test]
+    fn format3_one_split_per_file() {
+        let ds = tiny(4);
+        let mut d = dfs();
+        let t =
+            TextTable::build("f3", &ds, DataFormat::ManyFiles { files: 2 }, &mut d).unwrap();
+        assert_eq!(t.split_count(), 2);
+        // Households never split across files: each split's consumer set
+        // is disjoint.
+        let consumers_of = |s: &TextSplit| -> std::collections::HashSet<String> {
+            s.lines.iter().map(|l| l.split(',').next().unwrap().to_string()).collect()
+        };
+        let a = consumers_of(&t.splits[0]);
+        let b = consumers_of(&t.splits[1]);
+        assert!(a.is_disjoint(&b));
+    }
+
+    #[test]
+    fn split_bytes_sum_to_total() {
+        let ds = tiny(2);
+        let mut d = dfs();
+        for format in [
+            DataFormat::ReadingPerLine,
+            DataFormat::ConsumerPerLine,
+            DataFormat::ManyFiles { files: 3 },
+        ] {
+            let t = TextTable::build(format.label(), &ds, format, &mut d).unwrap();
+            let sum: u64 = t.splits.iter().map(|s| s.bytes).sum();
+            assert_eq!(sum, t.total_bytes, "{format:?}");
+        }
+    }
+
+    #[test]
+    fn empty_dataset_rejected() {
+        let temp = TemperatureSeries::new(vec![0.0; HOURS_PER_YEAR]).unwrap();
+        let empty = Dataset::new(vec![], temp).unwrap();
+        let mut d = dfs();
+        assert!(TextTable::build("e", &empty, DataFormat::ReadingPerLine, &mut d).is_err());
+    }
+}

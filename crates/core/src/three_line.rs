@@ -1,0 +1,577 @@
+//! Benchmark task 2 (Section 3.2): the 3-line thermal sensitivity model.
+//!
+//! Following Birt et al. [10], each consumer's consumption–temperature
+//! scatter plot is summarized by two piecewise-linear curves of three
+//! segments each: one fitted to the 90th percentile of consumption per
+//! temperature value, one to the 10th percentile. The left segment's slope
+//! is the *heating gradient*, the right segment's slope the *cooling
+//! gradient*, and the lowest point of the 10th-percentile curve the
+//! *base load*.
+//!
+//! The computation is phased exactly as the paper instruments it
+//! (Figure 6):
+//!
+//! * **T1** — group readings by temperature (rounded to the nearest °C)
+//!   and compute the 10th/90th percentile of consumption per group;
+//! * **T2** — fit the two sets of three least-squares lines, choosing the
+//!   two breakpoints by exhaustive search over candidate split positions
+//!   (O(1) per candidate via prefix sums);
+//! * **T3** — remove discontinuities: if adjacent free-fitted lines
+//!   disagree at a breakpoint, re-fit a *continuous* piecewise model with
+//!   hinge basis `[1, t, (t−k₁)⁺, (t−k₂)⁺]` at the chosen knots.
+
+use std::time::{Duration, Instant};
+
+use smda_stats::linalg::Matrix;
+use smda_stats::{ols_multiple, quantile_sorted};
+use smda_types::{ConsumerId, ConsumerSeries, Dataset, TemperatureSeries};
+
+/// Tuning knobs; the defaults reproduce the paper's setup.
+#[derive(Debug, Clone, Copy)]
+pub struct ThreeLineConfig {
+    /// Lower percentile curve (paper: 10th).
+    pub low_percentile: f64,
+    /// Upper percentile curve (paper: 90th).
+    pub high_percentile: f64,
+    /// Minimum readings a temperature group needs to contribute a point.
+    pub min_points_per_temp: usize,
+    /// Minimum percentile points per fitted segment.
+    pub min_segment_points: usize,
+    /// A free fit whose lines disagree at a knot by more than this
+    /// fraction of the consumption range triggers the T3 re-fit.
+    pub continuity_tolerance: f64,
+}
+
+impl Default for ThreeLineConfig {
+    fn default() -> Self {
+        ThreeLineConfig {
+            low_percentile: 0.10,
+            high_percentile: 0.90,
+            min_points_per_temp: 60,
+            min_segment_points: 3,
+            continuity_tolerance: 0.02,
+        }
+    }
+}
+
+/// One straight-line segment over a temperature interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LineSegment {
+    /// Left end of the temperature interval, °C.
+    pub lo: f64,
+    /// Right end of the temperature interval, °C.
+    pub hi: f64,
+    /// Line intercept (kWh at 0 °C).
+    pub intercept: f64,
+    /// Line slope (kWh per °C).
+    pub slope: f64,
+}
+
+impl LineSegment {
+    /// Consumption predicted at temperature `t`.
+    pub fn eval(&self, t: f64) -> f64 {
+        self.intercept + self.slope * t
+    }
+}
+
+/// Three segments with two knots, fitted to one percentile point set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PiecewiseFit {
+    /// Heating / base / cooling segments, left to right.
+    pub segments: [LineSegment; 3],
+    /// The two temperature breakpoints.
+    pub knots: [f64; 2],
+    /// Residual sum of squares of the final (possibly adjusted) fit.
+    pub sse: f64,
+    /// Whether the T3 continuity re-fit replaced the free fit.
+    pub adjusted: bool,
+}
+
+impl PiecewiseFit {
+    /// Predicted consumption at temperature `t` (segments chosen by knot).
+    pub fn eval(&self, t: f64) -> f64 {
+        if t < self.knots[0] {
+            self.segments[0].eval(t)
+        } else if t < self.knots[1] {
+            self.segments[1].eval(t)
+        } else {
+            self.segments[2].eval(t)
+        }
+    }
+
+    /// Largest gap between adjacent segments at their shared knot.
+    pub fn max_discontinuity(&self) -> f64 {
+        let d0 = (self.segments[0].eval(self.knots[0]) - self.segments[1].eval(self.knots[0])).abs();
+        let d1 = (self.segments[1].eval(self.knots[1]) - self.segments[2].eval(self.knots[1])).abs();
+        d0.max(d1)
+    }
+}
+
+/// The fitted 3-line model for one consumer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThreeLineModel {
+    /// The household the model describes.
+    pub consumer: ConsumerId,
+    /// Fit to the 90th-percentile points.
+    pub high: PiecewiseFit,
+    /// Fit to the 10th-percentile points.
+    pub low: PiecewiseFit,
+}
+
+impl ThreeLineModel {
+    /// Heating sensitivity: slope of the left 90th-percentile segment
+    /// (negative when consumption rises as it gets colder).
+    pub fn heating_gradient(&self) -> f64 {
+        self.high.segments[0].slope
+    }
+
+    /// Cooling sensitivity: slope of the right 90th-percentile segment
+    /// (positive when consumption rises as it gets hotter).
+    pub fn cooling_gradient(&self) -> f64 {
+        self.high.segments[2].slope
+    }
+
+    /// Base load: the lowest point of the 10th-percentile curve — the
+    /// always-on consumption regardless of temperature.
+    pub fn base_load(&self) -> f64 {
+        // A piecewise-linear curve attains its minimum at an interval end.
+        let xs = [
+            self.low.segments[0].lo,
+            self.low.knots[0],
+            self.low.knots[1],
+            self.low.segments[2].hi,
+        ];
+        xs.iter().map(|&t| self.low.eval(t)).fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// Wall-clock spent in each phase of the algorithm (Figure 6's T1/T2/T3).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ThreeLinePhases {
+    /// Percentile extraction.
+    pub t1: Duration,
+    /// Free per-segment regression with breakpoint search.
+    pub t2: Duration,
+    /// Continuity adjustment.
+    pub t3: Duration,
+}
+
+impl ThreeLinePhases {
+    /// Accumulate another consumer's phase times.
+    pub fn add(&mut self, other: ThreeLinePhases) {
+        self.t1 += other.t1;
+        self.t2 += other.t2;
+        self.t3 += other.t3;
+    }
+
+    /// Total across phases.
+    pub fn total(&self) -> Duration {
+        self.t1 + self.t2 + self.t3
+    }
+}
+
+/// Percentile points for one curve: temperatures ascending.
+#[derive(Debug, Clone, Default)]
+pub struct PercentilePoints {
+    /// Temperature per point, °C, strictly ascending.
+    pub temps: Vec<f64>,
+    /// Percentile consumption per point, kWh.
+    pub values: Vec<f64>,
+}
+
+/// Phase T1: group by rounded temperature and extract the two percentile
+/// point sets. Exposed so the platform engines can reuse it.
+pub fn percentile_points(
+    readings: &[f64],
+    temperature: &TemperatureSeries,
+    config: &ThreeLineConfig,
+) -> (PercentilePoints, PercentilePoints) {
+    // Group consumption values by integer temperature. Temperatures span
+    // a modest physical range, so a BTreeMap keeps them ordered cheaply.
+    use std::collections::BTreeMap;
+    let mut groups: BTreeMap<i32, Vec<f64>> = BTreeMap::new();
+    for (kwh, t) in readings.iter().zip(temperature.values()) {
+        groups.entry(t.round() as i32).or_default().push(*kwh);
+    }
+    let mut low = PercentilePoints::default();
+    let mut high = PercentilePoints::default();
+    for (t, mut values) in groups {
+        if values.len() < config.min_points_per_temp {
+            continue;
+        }
+        values.sort_by(|a, b| a.partial_cmp(b).expect("readings are finite"));
+        low.temps.push(t as f64);
+        low.values.push(quantile_sorted(&values, config.low_percentile));
+        high.temps.push(t as f64);
+        high.values.push(quantile_sorted(&values, config.high_percentile));
+    }
+    (low, high)
+}
+
+/// Prefix sums enabling O(1) least-squares fits over any point range.
+struct FitSums {
+    sx: Vec<f64>,
+    sy: Vec<f64>,
+    sxx: Vec<f64>,
+    sxy: Vec<f64>,
+    syy: Vec<f64>,
+}
+
+impl FitSums {
+    fn build(x: &[f64], y: &[f64]) -> Self {
+        let n = x.len();
+        let mut s = FitSums {
+            sx: vec![0.0; n + 1],
+            sy: vec![0.0; n + 1],
+            sxx: vec![0.0; n + 1],
+            sxy: vec![0.0; n + 1],
+            syy: vec![0.0; n + 1],
+        };
+        for i in 0..n {
+            s.sx[i + 1] = s.sx[i] + x[i];
+            s.sy[i + 1] = s.sy[i] + y[i];
+            s.sxx[i + 1] = s.sxx[i] + x[i] * x[i];
+            s.sxy[i + 1] = s.sxy[i] + x[i] * y[i];
+            s.syy[i + 1] = s.syy[i] + y[i] * y[i];
+        }
+        s
+    }
+
+    /// OLS over points `lo..hi`; returns `(intercept, slope, sse)`.
+    /// Falls back to a horizontal line through the mean when the range is
+    /// degenerate (a single distinct x).
+    fn fit(&self, lo: usize, hi: usize) -> (f64, f64, f64) {
+        let n = (hi - lo) as f64;
+        let sx = self.sx[hi] - self.sx[lo];
+        let sy = self.sy[hi] - self.sy[lo];
+        let sxx = self.sxx[hi] - self.sxx[lo];
+        let sxy = self.sxy[hi] - self.sxy[lo];
+        let syy = self.syy[hi] - self.syy[lo];
+        let den = n * sxx - sx * sx;
+        if den.abs() < 1e-9 {
+            let mean = sy / n;
+            let sse = syy - 2.0 * mean * sy + n * mean * mean;
+            return (mean, 0.0, sse.max(0.0));
+        }
+        let slope = (n * sxy - sx * sy) / den;
+        let intercept = (sy - slope * sx) / n;
+        // SSE from moments: Σ(y − a − bx)² expanded.
+        let sse = syy + n * intercept * intercept + slope * slope * sxx
+            - 2.0 * intercept * sy
+            - 2.0 * slope * sxy
+            + 2.0 * intercept * slope * sx;
+        (intercept, slope, sse.max(0.0))
+    }
+}
+
+/// Phase T2: exhaustive breakpoint search for the best free 3-segment fit.
+fn free_fit(points: &PercentilePoints, config: &ThreeLineConfig) -> PiecewiseFit {
+    let x = &points.temps;
+    let y = &points.values;
+    let n = x.len();
+    // Each segment must cover a meaningful share of the temperature
+    // range, not just `min_segment_points` raw points — otherwise a
+    // handful of noisy percentile estimates at the extreme-cold tail
+    // forms its own "segment" and hijacks the heating gradient.
+    let m = config.min_segment_points.max(n / 8);
+    let sums = FitSums::build(x, y);
+
+    if n < 3 * m {
+        // Too few percentile points for three segments: fit one line and
+        // present it as three collinear segments at range thirds.
+        let (a, b, sse) = sums.fit(0, n);
+        let (lo, hi) = (x[0], x[n - 1]);
+        let k1 = lo + (hi - lo) / 3.0;
+        let k2 = lo + 2.0 * (hi - lo) / 3.0;
+        let seg = |l: f64, h: f64| LineSegment { lo: l, hi: h, intercept: a, slope: b };
+        return PiecewiseFit {
+            segments: [seg(lo, k1), seg(k1, k2), seg(k2, hi)],
+            knots: [k1, k2],
+            sse,
+            adjusted: false,
+        };
+    }
+
+    let mut best = (f64::INFINITY, m, 2 * m);
+    for i in m..=(n - 2 * m) {
+        let (_, _, sse1) = sums.fit(0, i);
+        for j in (i + m)..=(n - m) {
+            let (_, _, sse2) = sums.fit(i, j);
+            let (_, _, sse3) = sums.fit(j, n);
+            let total = sse1 + sse2 + sse3;
+            if total < best.0 {
+                best = (total, i, j);
+            }
+        }
+    }
+    let (sse, i, j) = best;
+    let (a1, b1, _) = sums.fit(0, i);
+    let (a2, b2, _) = sums.fit(i, j);
+    let (a3, b3, _) = sums.fit(j, n);
+    let k1 = (x[i - 1] + x[i]) / 2.0;
+    let k2 = (x[j - 1] + x[j]) / 2.0;
+    PiecewiseFit {
+        segments: [
+            LineSegment { lo: x[0], hi: k1, intercept: a1, slope: b1 },
+            LineSegment { lo: k1, hi: k2, intercept: a2, slope: b2 },
+            LineSegment { lo: k2, hi: x[n - 1], intercept: a3, slope: b3 },
+        ],
+        knots: [k1, k2],
+        sse,
+        adjusted: false,
+    }
+}
+
+/// Phase T3: re-fit a continuous hinge-basis model at the chosen knots if
+/// the free fit is discontinuous beyond tolerance.
+fn adjust_continuity(
+    fit: PiecewiseFit,
+    points: &PercentilePoints,
+    config: &ThreeLineConfig,
+) -> PiecewiseFit {
+    let range = points
+        .values
+        .iter()
+        .cloned()
+        .fold(f64::NEG_INFINITY, f64::max)
+        - points.values.iter().cloned().fold(f64::INFINITY, f64::min);
+    let tol = config.continuity_tolerance * range.max(1e-9);
+    if fit.max_discontinuity() <= tol {
+        return fit;
+    }
+    let [k1, k2] = fit.knots;
+    // Continuous piecewise-linear: y = a + b t + c (t−k1)⁺ + d (t−k2)⁺.
+    let rows: Vec<Vec<f64>> = points
+        .temps
+        .iter()
+        .map(|&t| vec![1.0, t, (t - k1).max(0.0), (t - k2).max(0.0)])
+        .collect();
+    let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+    let design = Matrix::from_rows(&refs);
+    let Some(hinge) = ols_multiple(&design, &points.values) else {
+        // Rank-deficient hinge design (e.g. no points beyond a knot):
+        // keep the free fit rather than inventing coefficients.
+        return fit;
+    };
+    let (a, b, c, d) = (hinge.beta[0], hinge.beta[1], hinge.beta[2], hinge.beta[3]);
+    let seg1 = LineSegment { lo: fit.segments[0].lo, hi: k1, intercept: a, slope: b };
+    let seg2 = LineSegment {
+        lo: k1,
+        hi: k2,
+        intercept: a - c * k1,
+        slope: b + c,
+    };
+    let seg3 = LineSegment {
+        lo: k2,
+        hi: fit.segments[2].hi,
+        intercept: a - c * k1 - d * k2,
+        slope: b + c + d,
+    };
+    PiecewiseFit { segments: [seg1, seg2, seg3], knots: [k1, k2], sse: hinge.sse, adjusted: true }
+}
+
+/// Fit the 3-line model for one consumer, reporting per-phase wall time.
+///
+/// Returns `None` when the series yields fewer than two percentile points
+/// (e.g. a constant temperature year), which cannot support any line.
+pub fn fit_three_line_timed(
+    series: &ConsumerSeries,
+    temperature: &TemperatureSeries,
+    config: &ThreeLineConfig,
+) -> Option<(ThreeLineModel, ThreeLinePhases)> {
+    let mut phases = ThreeLinePhases::default();
+
+    let t = Instant::now();
+    let (low_pts, high_pts) = percentile_points(series.readings(), temperature, config);
+    phases.t1 = t.elapsed();
+    if low_pts.temps.len() < 2 {
+        return None;
+    }
+
+    let t = Instant::now();
+    let high_free = free_fit(&high_pts, config);
+    let low_free = free_fit(&low_pts, config);
+    phases.t2 = t.elapsed();
+
+    let t = Instant::now();
+    let high = adjust_continuity(high_free, &high_pts, config);
+    let low = adjust_continuity(low_free, &low_pts, config);
+    phases.t3 = t.elapsed();
+
+    Some((ThreeLineModel { consumer: series.id, high, low }, phases))
+}
+
+/// Fit the 3-line model for one consumer with default configuration.
+pub fn fit_three_line(
+    series: &ConsumerSeries,
+    temperature: &TemperatureSeries,
+) -> Option<ThreeLineModel> {
+    fit_three_line_timed(series, temperature, &ThreeLineConfig::default()).map(|(m, _)| m)
+}
+
+/// Run task 2 over a whole dataset, accumulating phase times — the
+/// single-threaded reference implementation.
+pub fn three_line_models(ds: &Dataset) -> (Vec<ThreeLineModel>, ThreeLinePhases) {
+    let config = ThreeLineConfig::default();
+    let mut phases = ThreeLinePhases::default();
+    let mut models = Vec::with_capacity(ds.len());
+    for c in ds.consumers() {
+        if let Some((m, p)) = fit_three_line_timed(c, ds.temperature(), &config) {
+            models.push(m);
+            phases.add(p);
+        }
+    }
+    (models, phases)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smda_types::HOURS_PER_YEAR;
+
+    /// A synthetic year whose consumption is an exact V: heating below
+    /// 10 °C with slope −0.2, flat base 1.0 kWh between 10 and 20 °C,
+    /// cooling above 20 °C with slope +0.3.
+    fn v_shaped() -> (ConsumerSeries, TemperatureSeries) {
+        let temps: Vec<f64> = (0..HOURS_PER_YEAR).map(|h| ((h % 51) as f64) - 15.0).collect();
+        let kwh: Vec<f64> = temps
+            .iter()
+            .map(|&t| {
+                if t < 10.0 {
+                    1.0 + 0.2 * (10.0 - t)
+                } else if t <= 20.0 {
+                    1.0
+                } else {
+                    1.0 + 0.3 * (t - 20.0)
+                }
+            })
+            .collect();
+        (
+            ConsumerSeries::new(ConsumerId(7), kwh).unwrap(),
+            TemperatureSeries::new(temps).unwrap(),
+        )
+    }
+
+    #[test]
+    fn recovers_gradients_of_exact_v() {
+        let (series, temps) = v_shaped();
+        let model = fit_three_line(&series, &temps).unwrap();
+        assert!(
+            (model.heating_gradient() + 0.2).abs() < 0.03,
+            "heating {}",
+            model.heating_gradient()
+        );
+        assert!(
+            (model.cooling_gradient() - 0.3).abs() < 0.03,
+            "cooling {}",
+            model.cooling_gradient()
+        );
+        // Knots are discretized to midpoints between integer temperatures,
+        // so the base estimate carries up to ~½°C × slope of error.
+        assert!((model.base_load() - 1.0).abs() < 0.15, "base {}", model.base_load());
+        // Knots near the true change points.
+        assert!((model.high.knots[0] - 10.0).abs() < 3.0, "k1 {}", model.high.knots[0]);
+        assert!((model.high.knots[1] - 20.0).abs() < 3.0, "k2 {}", model.high.knots[1]);
+    }
+
+    #[test]
+    fn percentiles_split_high_and_low() {
+        // Alternate a high-consumption and low-consumption regime at the
+        // same temperature: the 90th percentile tracks the high regime.
+        let temps: Vec<f64> = (0..HOURS_PER_YEAR).map(|h| ((h / 200) % 30) as f64).collect();
+        let kwh: Vec<f64> =
+            (0..HOURS_PER_YEAR).map(|h| if h % 10 == 0 { 4.0 } else { 0.5 }).collect();
+        let series = ConsumerSeries::new(ConsumerId(1), kwh).unwrap();
+        let temp = TemperatureSeries::new(temps).unwrap();
+        let (low, high) = percentile_points(series.readings(), &temp, &ThreeLineConfig::default());
+        assert_eq!(low.temps, high.temps);
+        for (l, h) in low.values.iter().zip(&high.values) {
+            assert!(l <= h);
+            assert!((*l - 0.5).abs() < 0.2);
+        }
+    }
+
+    #[test]
+    fn adjusted_fit_is_continuous() {
+        // A step function: free segments will disagree at the knots, so
+        // T3 must produce a continuous model.
+        let temps: Vec<f64> = (0..HOURS_PER_YEAR).map(|h| ((h % 41) as f64) - 10.0).collect();
+        let kwh: Vec<f64> = temps
+            .iter()
+            .map(|&t| if t < 0.0 { 3.0 } else if t < 15.0 { 1.0 } else { 2.5 })
+            .collect();
+        let series = ConsumerSeries::new(ConsumerId(2), kwh).unwrap();
+        let temp = TemperatureSeries::new(temps).unwrap();
+        let model = fit_three_line(&series, &temp).unwrap();
+        assert!(model.high.adjusted);
+        assert!(model.high.max_discontinuity() < 1e-9);
+        assert!(model.low.max_discontinuity() < 1e-9);
+    }
+
+    #[test]
+    fn continuous_free_fit_is_left_alone() {
+        let (series, temps) = v_shaped();
+        let model = fit_three_line(&series, &temps).unwrap();
+        // The exact V needs no adjustment on the high percentile curve
+        // (free fit is already near-continuous).
+        assert!(model.high.max_discontinuity() < 0.2);
+    }
+
+    #[test]
+    fn constant_temperature_yields_none() {
+        let temps = TemperatureSeries::new(vec![5.0; HOURS_PER_YEAR]).unwrap();
+        let series = ConsumerSeries::new(ConsumerId(3), vec![1.0; HOURS_PER_YEAR]).unwrap();
+        assert!(fit_three_line(&series, &temps).is_none());
+    }
+
+    #[test]
+    fn sparse_temperatures_fall_back_to_single_line() {
+        // Only 4 distinct temperatures → fewer than 9 percentile points.
+        let temps: Vec<f64> = (0..HOURS_PER_YEAR).map(|h| (h % 4) as f64 * 5.0).collect();
+        let kwh: Vec<f64> = temps.iter().map(|&t| 2.0 - 0.05 * t).collect();
+        let series = ConsumerSeries::new(ConsumerId(4), kwh).unwrap();
+        let temp = TemperatureSeries::new(temps).unwrap();
+        let model = fit_three_line(&series, &temp).unwrap();
+        // All three segments share the single fitted slope.
+        let s = model.high.segments;
+        assert!((s[0].slope - s[1].slope).abs() < 1e-9);
+        assert!((s[1].slope - s[2].slope).abs() < 1e-9);
+        assert!((s[0].slope + 0.05).abs() < 1e-6);
+    }
+
+    #[test]
+    fn phase_times_are_recorded() {
+        let (series, temps) = v_shaped();
+        let (_, phases) =
+            fit_three_line_timed(&series, &temps, &ThreeLineConfig::default()).unwrap();
+        assert!(phases.t1 > Duration::ZERO);
+        assert!(phases.t2 > Duration::ZERO);
+        assert_eq!(phases.total(), phases.t1 + phases.t2 + phases.t3);
+    }
+
+    #[test]
+    fn whole_dataset_reference_runs() {
+        let (series, temps) = v_shaped();
+        let ds = Dataset::new(vec![series], temps).unwrap();
+        let (models, phases) = three_line_models(&ds);
+        assert_eq!(models.len(), 1);
+        assert!(phases.total() > Duration::ZERO);
+    }
+
+    #[test]
+    fn piecewise_eval_uses_correct_segment() {
+        let fit = PiecewiseFit {
+            segments: [
+                LineSegment { lo: -10.0, hi: 0.0, intercept: 1.0, slope: -1.0 },
+                LineSegment { lo: 0.0, hi: 10.0, intercept: 1.0, slope: 0.0 },
+                LineSegment { lo: 10.0, hi: 20.0, intercept: -1.0, slope: 0.2 },
+            ],
+            knots: [0.0, 10.0],
+            sse: 0.0,
+            adjusted: false,
+        };
+        assert_eq!(fit.eval(-5.0), 6.0);
+        assert_eq!(fit.eval(5.0), 1.0);
+        assert_eq!(fit.eval(15.0), 2.0);
+    }
+}

@@ -1,0 +1,122 @@
+//! The Table 1 capability matrix: which statistical functions each
+//! platform provides natively versus what must be implemented by hand.
+
+/// How a platform obtains one statistical function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Support {
+    /// Shipped with the platform.
+    BuiltIn,
+    /// Available through a third-party library (e.g. Apache Math).
+    ThirdParty,
+    /// Had to be implemented from scratch for the benchmark.
+    HandWritten,
+}
+
+impl Support {
+    /// The cell text used in the paper's Table 1.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Support::BuiltIn => "yes",
+            Support::ThirdParty => "third party",
+            Support::HandWritten => "no",
+        }
+    }
+}
+
+/// One platform's row of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Capabilities {
+    /// Histogram construction.
+    pub histogram: Support,
+    /// Sample quantiles.
+    pub quantiles: Support,
+    /// Least-squares regression (simple and PAR).
+    pub regression: Support,
+    /// Cosine similarity.
+    pub cosine_similarity: Support,
+}
+
+impl Capabilities {
+    /// Matlab: everything built in except cosine similarity.
+    pub fn matlab() -> Self {
+        Capabilities {
+            histogram: Support::BuiltIn,
+            quantiles: Support::BuiltIn,
+            regression: Support::BuiltIn,
+            cosine_similarity: Support::HandWritten,
+        }
+    }
+
+    /// PostgreSQL/MADLib: everything built in except cosine similarity.
+    pub fn madlib() -> Self {
+        Capabilities {
+            histogram: Support::BuiltIn,
+            quantiles: Support::BuiltIn,
+            regression: Support::BuiltIn,
+            cosine_similarity: Support::HandWritten,
+        }
+    }
+
+    /// System C: nothing built in; all hand-written UDFs.
+    pub fn system_c() -> Self {
+        Capabilities {
+            histogram: Support::HandWritten,
+            quantiles: Support::HandWritten,
+            regression: Support::HandWritten,
+            cosine_similarity: Support::HandWritten,
+        }
+    }
+
+    /// Spark: regression via a third-party library, the rest hand-written.
+    pub fn spark() -> Self {
+        Capabilities {
+            histogram: Support::HandWritten,
+            quantiles: Support::HandWritten,
+            regression: Support::ThirdParty,
+            cosine_similarity: Support::HandWritten,
+        }
+    }
+
+    /// Hive: built-in histogram, third-party regression, hand-written
+    /// quantile and cosine UDFs.
+    pub fn hive() -> Self {
+        Capabilities {
+            histogram: Support::BuiltIn,
+            quantiles: Support::HandWritten,
+            regression: Support::ThirdParty,
+            cosine_similarity: Support::HandWritten,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_matches_paper_table_1() {
+        assert_eq!(Capabilities::matlab().histogram, Support::BuiltIn);
+        assert_eq!(Capabilities::madlib().quantiles, Support::BuiltIn);
+        assert_eq!(Capabilities::system_c().regression, Support::HandWritten);
+        assert_eq!(Capabilities::spark().regression, Support::ThirdParty);
+        assert_eq!(Capabilities::hive().histogram, Support::BuiltIn);
+        assert_eq!(Capabilities::hive().quantiles, Support::HandWritten);
+        // Nobody ships cosine similarity.
+        for caps in [
+            Capabilities::matlab(),
+            Capabilities::madlib(),
+            Capabilities::system_c(),
+            Capabilities::spark(),
+            Capabilities::hive(),
+        ] {
+            assert_eq!(caps.cosine_similarity, Support::HandWritten);
+        }
+    }
+
+    #[test]
+    fn labels_render() {
+        assert_eq!(Support::BuiltIn.label(), "yes");
+        assert_eq!(Support::ThirdParty.label(), "third party");
+        assert_eq!(Support::HandWritten.label(), "no");
+    }
+}

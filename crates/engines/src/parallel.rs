@@ -1,0 +1,322 @@
+//! The shared execution skeleton: per-consumer fan-out over worker
+//! threads, each with its own storage handle (the paper parallelizes
+//! Matlab with independent instances and MADLib with multiple database
+//! connections — shared-nothing workers are the common shape).
+
+use std::ops::Range;
+
+use smda_core::three_line::{fit_three_line_timed, ThreeLineConfig};
+use smda_core::{
+    fit_par, ConsumerHistogram, ConsumerMatches, Task, TaskOutput, ThreeLineModel,
+    ThreeLinePhases,
+};
+use smda_stats::{normalize_all, select_top_k, SimilarityMatch};
+use smda_types::{ConsumerId, ConsumerSeries, Error, Result, TemperatureSeries};
+
+/// A per-worker handle that can enumerate households and fetch one
+/// household's year of data. Implemented by every engine's storage.
+pub trait ConsumerSource: Send {
+    /// Household ids, ascending.
+    fn consumer_ids(&mut self) -> Result<Vec<ConsumerId>>;
+
+    /// One household's `(kwh, temperature)` year.
+    fn consumer_year(&mut self, id: ConsumerId) -> Result<(Vec<f64>, Vec<f64>)>;
+}
+
+/// Split `0..n` into at most `parts` contiguous, near-equal ranges.
+pub fn split_ranges(n: usize, parts: usize) -> Vec<Range<usize>> {
+    let parts = parts.max(1).min(n.max(1));
+    let base = n / parts;
+    let extra = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let len = base + usize::from(i < extra);
+        if len == 0 {
+            continue;
+        }
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// A factory producing one storage handle ("connection") per worker.
+pub type SourceFactory<'a> = dyn Fn() -> Result<Box<dyn ConsumerSource>> + Sync + 'a;
+
+/// A per-worker unit of work over a slice of household ids.
+type Work<'a, T> = dyn Fn(&mut dyn ConsumerSource, &[ConsumerId]) -> Result<T> + Sync + 'a;
+
+/// Run worker closures over id ranges, one source per worker, gathering
+/// per-range outputs in range order.
+fn fan_out<T: Send>(
+    ids: &[ConsumerId],
+    threads: usize,
+    make_source: &SourceFactory,
+    work: &Work<T>,
+) -> Result<Vec<T>> {
+    let ranges = split_ranges(ids.len(), threads);
+    if ranges.len() <= 1 {
+        let mut source = make_source()?;
+        return Ok(vec![work(source.as_mut(), ids)?]);
+    }
+    let results = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .map(|range| {
+                let slice = &ids[range.clone()];
+                scope.spawn(move |_| -> Result<T> {
+                    let mut source = make_source()?;
+                    work(source.as_mut(), slice)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect::<Result<Vec<T>>>()
+    })
+    .expect("thread scope panicked")?;
+    Ok(results)
+}
+
+/// Execute one benchmark task with `threads` shared-nothing workers.
+///
+/// `make_source` is invoked once per worker to open an independent
+/// storage handle ("connection"). `k` is the similarity top-k.
+pub fn execute_task(
+    make_source: &SourceFactory,
+    task: Task,
+    threads: usize,
+    k: usize,
+) -> Result<TaskOutput> {
+    let ids = make_source()?.consumer_ids()?;
+    match task {
+        Task::Histogram => {
+            let parts = fan_out(&ids, threads, make_source, &|src, ids| {
+                ids.iter()
+                    .map(|&id| {
+                        let (kwh, _) = src.consumer_year(id)?;
+                        Ok(ConsumerHistogram::build(&ConsumerSeries::new(id, kwh)?))
+                    })
+                    .collect::<Result<Vec<_>>>()
+            })?;
+            Ok(TaskOutput::Histograms(parts.into_iter().flatten().collect()))
+        }
+        Task::ThreeLine => {
+            let config = ThreeLineConfig::default();
+            let parts = fan_out(&ids, threads, make_source, &|src, ids| {
+                let mut models = Vec::with_capacity(ids.len());
+                let mut phases = ThreeLinePhases::default();
+                for &id in ids {
+                    let (kwh, temps) = src.consumer_year(id)?;
+                    let series = ConsumerSeries::new(id, kwh)?;
+                    let temps = TemperatureSeries::new(temps)?;
+                    if let Some((m, p)) = fit_three_line_timed(&series, &temps, &config) {
+                        models.push(m);
+                        phases.add(p);
+                    }
+                }
+                Ok((models, phases))
+            })?;
+            let mut models: Vec<ThreeLineModel> = Vec::with_capacity(ids.len());
+            let mut phases = ThreeLinePhases::default();
+            for (m, p) in parts {
+                models.extend(m);
+                phases.add(p);
+            }
+            Ok(TaskOutput::ThreeLine(models, phases))
+        }
+        Task::Par => {
+            let parts = fan_out(&ids, threads, make_source, &|src, ids| {
+                ids.iter()
+                    .map(|&id| {
+                        let (kwh, temps) = src.consumer_year(id)?;
+                        let series = ConsumerSeries::new(id, kwh)?;
+                        let temps = TemperatureSeries::new(temps)?;
+                        Ok(fit_par(&series, &temps))
+                    })
+                    .collect::<Result<Vec<_>>>()
+            })?;
+            Ok(TaskOutput::Par(parts.into_iter().flatten().collect()))
+        }
+        Task::Similarity => {
+            // Phase 1: extract every series (parallel over consumers).
+            let parts = fan_out(&ids, threads, make_source, &|src, ids| {
+                ids.iter()
+                    .map(|&id| Ok(src.consumer_year(id)?.0))
+                    .collect::<Result<Vec<Vec<f64>>>>()
+            })?;
+            let series: Vec<Vec<f64>> = parts.into_iter().flatten().collect();
+            let normalized = normalize_all(&series);
+            // Phase 2: all-pairs scoring, parallel over query ranges.
+            let matches = top_k_parallel(&normalized, k, threads);
+            Ok(TaskOutput::Similarity(
+                matches
+                    .into_iter()
+                    .enumerate()
+                    .map(|(q, hits)| ConsumerMatches {
+                        consumer: ids[q],
+                        matches: hits.into_iter().map(|h| (ids[h.index], h.score)).collect(),
+                    })
+                    .collect(),
+            ))
+        }
+    }
+}
+
+/// Parallel all-pairs top-k over unit vectors: each worker owns a range
+/// of query indices and scores them against every series.
+pub fn top_k_parallel(
+    normalized: &[Vec<f64>],
+    k: usize,
+    threads: usize,
+) -> Vec<Vec<SimilarityMatch>> {
+    let n = normalized.len();
+    let ranges = split_ranges(n, threads);
+    if ranges.len() <= 1 {
+        return (0..n).map(|q| top_k_one(normalized, q, k)).collect();
+    }
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|range| {
+                scope.spawn(move |_| {
+                    range.map(|q| top_k_one(normalized, q, k)).collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("similarity worker panicked"))
+            .collect()
+    })
+    .expect("thread scope panicked")
+}
+
+fn top_k_one(normalized: &[Vec<f64>], q: usize, k: usize) -> Vec<SimilarityMatch> {
+    let query = &normalized[q];
+    let mut hits: Vec<SimilarityMatch> = Vec::with_capacity(normalized.len().saturating_sub(1));
+    for (i, v) in normalized.iter().enumerate() {
+        if i == q {
+            continue;
+        }
+        let score: f64 = query.iter().zip(v).map(|(a, b)| a * b).sum();
+        hits.push(SimilarityMatch { index: i, score });
+    }
+    select_top_k(&mut hits, k);
+    hits
+}
+
+/// A [`ConsumerSource`] over an in-memory dataset — the "warm" workspace
+/// every engine can fall back to once data is resident.
+pub struct MemorySource {
+    data: std::sync::Arc<smda_types::Dataset>,
+}
+
+impl MemorySource {
+    /// Wrap a shared dataset.
+    pub fn new(data: std::sync::Arc<smda_types::Dataset>) -> Self {
+        MemorySource { data }
+    }
+}
+
+impl ConsumerSource for MemorySource {
+    fn consumer_ids(&mut self) -> Result<Vec<ConsumerId>> {
+        let mut ids: Vec<ConsumerId> = self.data.consumers().iter().map(|c| c.id).collect();
+        ids.sort();
+        Ok(ids)
+    }
+
+    fn consumer_year(&mut self, id: ConsumerId) -> Result<(Vec<f64>, Vec<f64>)> {
+        let c = self
+            .data
+            .consumer(id)
+            .ok_or_else(|| Error::Invalid(format!("unknown consumer {id}")))?;
+        Ok((c.readings().to_vec(), self.data.temperature().values().to_vec()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smda_types::{Dataset, HOURS_PER_YEAR};
+    use std::sync::Arc;
+
+    fn tiny(n: u32) -> Arc<Dataset> {
+        let temp = TemperatureSeries::new(
+            (0..HOURS_PER_YEAR).map(|h| ((h % 45) as f64) - 10.0).collect(),
+        )
+        .unwrap();
+        let consumers = (0..n)
+            .map(|i| {
+                ConsumerSeries::new(
+                    ConsumerId(i),
+                    (0..HOURS_PER_YEAR)
+                        .map(|h| 0.3 + 0.1 * (((h % 24) + i as usize) % 24) as f64)
+                        .collect(),
+                )
+                .unwrap()
+            })
+            .collect();
+        Arc::new(Dataset::new(consumers, temp).unwrap())
+    }
+
+    #[test]
+    fn split_ranges_covers_everything() {
+        for (n, parts) in [(10, 3), (1, 4), (0, 2), (100, 7), (8, 8), (5, 1)] {
+            let ranges = split_ranges(n, parts);
+            let total: usize = ranges.iter().map(|r| r.len()).sum();
+            assert_eq!(total, n, "n={n} parts={parts}");
+            // Contiguous and ordered.
+            let mut expect = 0;
+            for r in &ranges {
+                assert_eq!(r.start, expect);
+                expect = r.end;
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_results_match_single_threaded() {
+        let data = tiny(6);
+        let make: Box<dyn Fn() -> Result<Box<dyn ConsumerSource>> + Sync> = {
+            let data = data.clone();
+            Box::new(move || Ok(Box::new(MemorySource::new(data.clone())) as Box<dyn ConsumerSource>))
+        };
+        for task in Task::ALL {
+            let single = execute_task(make.as_ref(), task, 1, 3).unwrap();
+            let multi = execute_task(make.as_ref(), task, 4, 3).unwrap();
+            assert_eq!(single.len(), multi.len(), "{task}");
+            match (&single, &multi) {
+                (TaskOutput::Histograms(a), TaskOutput::Histograms(b)) => assert_eq!(a, b),
+                (TaskOutput::Par(a), TaskOutput::Par(b)) => assert_eq!(a, b),
+                (TaskOutput::ThreeLine(a, _), TaskOutput::ThreeLine(b, _)) => assert_eq!(a, b),
+                (TaskOutput::Similarity(a), TaskOutput::Similarity(b)) => assert_eq!(a, b),
+                _ => panic!("mismatched task outputs"),
+            }
+        }
+    }
+
+    #[test]
+    fn matches_reference_implementation() {
+        let data = tiny(5);
+        let make: Box<dyn Fn() -> Result<Box<dyn ConsumerSource>> + Sync> = {
+            let data = data.clone();
+            Box::new(move || Ok(Box::new(MemorySource::new(data.clone())) as Box<dyn ConsumerSource>))
+        };
+        let out = execute_task(make.as_ref(), Task::Histogram, 2, 10).unwrap();
+        let reference = smda_core::tasks::run_reference(Task::Histogram, &data);
+        match (&out, &reference) {
+            (TaskOutput::Histograms(a), TaskOutput::Histograms(b)) => assert_eq!(a, b),
+            _ => panic!("wrong output variants"),
+        }
+    }
+
+    #[test]
+    fn memory_source_rejects_unknown_id() {
+        let mut src = MemorySource::new(tiny(2));
+        assert!(src.consumer_year(ConsumerId(99)).is_err());
+        assert_eq!(src.consumer_ids().unwrap().len(), 2);
+    }
+}

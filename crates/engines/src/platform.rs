@@ -1,0 +1,46 @@
+//! The [`Platform`] trait driven by the benchmark harness.
+
+use std::time::Duration;
+
+use smda_core::{Task, TaskOutput};
+use smda_types::{Dataset, Result};
+
+use crate::capabilities::Capabilities;
+
+/// Outcome of one task run on a platform.
+#[derive(Debug)]
+pub struct RunResult {
+    /// The task's output (validated against the reference implementation
+    /// in the integration tests).
+    pub output: TaskOutput,
+    /// Wall-clock time of the run, including any data access the platform
+    /// performs (cold) or skips (warm).
+    pub elapsed: Duration,
+}
+
+/// A single-node analytics platform under benchmark.
+pub trait Platform {
+    /// Platform name as used in the paper's figures.
+    fn name(&self) -> &'static str;
+
+    /// Ingest a dataset into the platform's storage, returning the load
+    /// wall time (Figure 4). For the numeric engine this is the cost of
+    /// splitting/writing files; for the stores it includes tuple or
+    /// column materialization.
+    fn load(&mut self, ds: &Dataset) -> Result<Duration>;
+
+    /// Drop all caches so the next [`Platform::run`] starts cold.
+    fn make_cold(&mut self);
+
+    /// Bring the data into memory ahead of a warm-start run (Figure 6):
+    /// Matlab loads its arrays, MADLib runs the extracting SELECTs, the
+    /// column store faults its chunks in. Returns the time spent.
+    fn warm(&mut self) -> Result<Duration>;
+
+    /// Run one benchmark task with `threads` parallel workers.
+    fn run(&mut self, task: Task, threads: usize) -> Result<RunResult>;
+
+    /// Which statistical functions the platform ships versus what had to
+    /// be hand-written (Table 1).
+    fn capabilities(&self) -> Capabilities;
+}

@@ -1,0 +1,597 @@
+//! The Hive engine: plans each benchmark task into MapReduce jobs
+//! according to the table's text format.
+
+use std::sync::Arc;
+
+use smda_cluster::{ClusterTopology, DfsConfig, SimDfs, TextTable, VirtualScheduler, WorkerPool};
+use smda_core::tasks::{collect_consumer_results, ConsumerResult};
+use smda_core::{ConsumerMatches, Task, TaskOutput, SIMILARITY_TOP_K};
+use smda_stats::{normalize_all, select_top_k, SimilarityMatch};
+use smda_types::{ConsumerId, DataFormat, Dataset, Error, Result, HOURS_PER_YEAR};
+
+use crate::mapreduce::{run_map_only, run_map_reduce, run_map_reduce_partitioned, JobInput, JobStats};
+use crate::parse::{parse_consumer, parse_reading};
+use crate::udf::{GenericUdf, HiveOperator, TaskUdaf, TaskUdf, TaskUdtf, Udaf, Udtf};
+
+/// Result of one Hive job (or job chain).
+#[derive(Debug)]
+pub struct HiveRunResult {
+    /// The task output, identical to the reference implementation's.
+    pub output: TaskOutput,
+    /// Aggregated job accounting (virtual time spans all chained jobs).
+    pub stats: JobStats,
+    /// Which Hive mechanism the planner chose.
+    pub operator: HiveOperator,
+}
+
+/// The Hive-like engine.
+pub struct HiveEngine {
+    topology: ClusterTopology,
+    pool: WorkerPool,
+    reduce_tasks: usize,
+    dfs: SimDfs,
+    table: Option<TextTable>,
+    /// For format 3: run the UDAF (reduce-full) plan instead of the UDTF
+    /// (map-only) plan — the Figure 18 comparison.
+    pub force_udaf: bool,
+}
+
+impl std::fmt::Debug for HiveEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HiveEngine")
+            .field("workers", &self.topology.workers)
+            .field("reduce_tasks", &self.reduce_tasks)
+            .finish()
+    }
+}
+
+/// Modeled bytes of one shuffled `(household, (hour, temp, kwh))` pair.
+const READING_PAIR_BYTES: u64 = 24;
+/// Modeled bytes of one assembled series (id + 8760 doubles).
+const SERIES_BYTES: u64 = 8 + HOURS_PER_YEAR as u64 * 8;
+
+impl HiveEngine {
+    /// An engine on `topology`, with `block_bytes`-sized DFS blocks.
+    pub fn new(topology: ClusterTopology, block_bytes: u64) -> Self {
+        let dfs = SimDfs::new(DfsConfig {
+            block_bytes,
+            replication: 3,
+            nodes: topology.workers,
+        });
+        // The paper found Hive "generally performed better with more
+        // MapReduce tasks up to a certain point": default to one reducer
+        // per worker core-pair.
+        let reduce_tasks = (topology.workers * topology.slots_per_worker / 2).max(1);
+        HiveEngine {
+            topology,
+            pool: WorkerPool::default(),
+            reduce_tasks,
+            dfs,
+            table: None,
+            force_udaf: false,
+        }
+    }
+
+    /// Override the number of reduce tasks.
+    pub fn set_reduce_tasks(&mut self, n: usize) {
+        self.reduce_tasks = n.max(1);
+    }
+
+    /// The modeled topology.
+    pub fn topology(&self) -> ClusterTopology {
+        self.topology
+    }
+
+    /// Create the external table: render `ds` in `format` and register
+    /// it in the DFS.
+    pub fn load(&mut self, ds: &Dataset, format: DataFormat) -> Result<()> {
+        if self.table.is_some() {
+            // Replace: drop old placement for determinism.
+            self.dfs = SimDfs::new(self.dfs.config());
+        }
+        self.table = Some(TextTable::build("meter_data", ds, format, &mut self.dfs)?);
+        Ok(())
+    }
+
+    fn table(&self) -> Result<&TextTable> {
+        self.table.as_ref().ok_or_else(|| Error::Invalid("no external table loaded".into()))
+    }
+
+    fn inputs(&self) -> Result<Vec<JobInput<Arc<Vec<String>>>>> {
+        Ok(self
+            .table()?
+            .splits
+            .iter()
+            .map(|s| JobInput { data: s.lines.clone(), bytes: s.bytes, hosts: s.hosts.clone() })
+            .collect())
+    }
+
+    /// Run one benchmark task, returning output + virtual-time stats.
+    pub fn run_task(&mut self, task: Task) -> Result<HiveRunResult> {
+        let format = self.table()?.format;
+        match task {
+            Task::Similarity => self.run_similarity(),
+            _ => match format {
+                DataFormat::ReadingPerLine => self.run_udaf_plan(task),
+                DataFormat::ConsumerPerLine => self.run_udf_plan(task),
+                DataFormat::ManyFiles { .. } => {
+                    if self.force_udaf {
+                        self.run_udaf_plan(task)
+                    } else {
+                        self.run_udtf_plan(task)
+                    }
+                }
+            },
+        }
+    }
+
+    /// Format 1 (or forced): full map/shuffle/reduce with the task UDAF.
+    fn run_udaf_plan(&mut self, task: Task) -> Result<HiveRunResult> {
+        let inputs = self.inputs()?;
+        let udaf = TaskUdaf { task };
+        let mut scheduler = VirtualScheduler::new(self.topology);
+        let error = parking_lot::Mutex::new(None);
+        let (results, stats) = run_map_reduce(
+            inputs,
+            &|lines: Arc<Vec<String>>, emit: &mut Vec<(u32, (u32, f64, f64))>| {
+                for line in lines.iter() {
+                    match parse_reading(line) {
+                        Ok(r) => emit.push((r.consumer.raw(), (r.hour, r.temperature, r.kwh))),
+                        Err(e) => {
+                            error.lock().get_or_insert(e);
+                        }
+                    }
+                }
+            },
+            &|_, _| READING_PAIR_BYTES,
+            &|key, rows| {
+                let mut partial = udaf.init();
+                for row in rows {
+                    udaf.iterate(&mut partial, row);
+                }
+                match udaf.terminate(ConsumerId(*key), partial) {
+                    Ok(r) => vec![r],
+                    Err(e) => {
+                        error.lock().get_or_insert(e);
+                        vec![]
+                    }
+                }
+            },
+            self.reduce_tasks,
+            &mut scheduler,
+            &self.pool,
+        );
+        if let Some(e) = error.into_inner() {
+            return Err(e);
+        }
+        Ok(HiveRunResult {
+            output: collect_consumer_results(task, results),
+            stats,
+            operator: HiveOperator::Udaf,
+        })
+    }
+
+    /// Format 2: map-only with the generic UDF.
+    fn run_udf_plan(&mut self, task: Task) -> Result<HiveRunResult> {
+        let inputs = self.inputs()?;
+        let udf = TaskUdf { task, temperature: self.table()?.temperature.clone() };
+        let mut scheduler = VirtualScheduler::new(self.topology);
+        let error = parking_lot::Mutex::new(None);
+        let (results, stats) = run_map_only(
+            inputs,
+            &|lines: Arc<Vec<String>>, emit: &mut Vec<ConsumerResult>| {
+                for line in lines.iter() {
+                    let evaluated = parse_consumer(line).and_then(|row| udf.evaluate(row));
+                    match evaluated {
+                        Ok(out) => emit.extend(out),
+                        Err(e) => {
+                            error.lock().get_or_insert(e);
+                        }
+                    }
+                }
+            },
+            64,
+            &mut scheduler,
+            &self.pool,
+        );
+        if let Some(e) = error.into_inner() {
+            return Err(e);
+        }
+        Ok(HiveRunResult {
+            output: collect_consumer_results(task, results),
+            stats,
+            operator: HiveOperator::GenericUdf,
+        })
+    }
+
+    /// Format 3: map-only with the UDTF over non-split files.
+    fn run_udtf_plan(&mut self, task: Task) -> Result<HiveRunResult> {
+        let inputs = self.inputs()?;
+        let udtf = TaskUdtf { task };
+        let mut scheduler = VirtualScheduler::new(self.topology);
+        let error = parking_lot::Mutex::new(None);
+        let (results, stats) = run_map_only(
+            inputs,
+            &|lines: Arc<Vec<String>>, emit: &mut Vec<ConsumerResult>| {
+                let parsed: Result<Vec<_>> = lines.iter().map(|l| parse_reading(l)).collect();
+                let run = parsed.and_then(|rows| udtf.process(rows, &mut |r| emit.push(r)));
+                if let Err(e) = run {
+                    error.lock().get_or_insert(e);
+                }
+            },
+            64,
+            &mut scheduler,
+            &self.pool,
+        );
+        if let Some(e) = error.into_inner() {
+            return Err(e);
+        }
+        Ok(HiveRunResult {
+            output: collect_consumer_results(task, results),
+            stats,
+            operator: HiveOperator::Udtf,
+        })
+    }
+
+    /// Similarity as a self-join: assemble series (job 1, format-
+    /// dependent), then shuffle **every** series to **every** reducer
+    /// (job 2) — the plan Hive produces without map-side joins.
+    fn run_similarity(&mut self) -> Result<HiveRunResult> {
+        let (series, mut stats, operator) = self.assemble_series()?;
+        let n = series.len();
+        if n == 0 {
+            return Ok(HiveRunResult {
+                output: TaskOutput::Similarity(Vec::new()),
+                stats,
+                operator,
+            });
+        }
+        // Normalize once (id order), then self-join.
+        let ids: Vec<ConsumerId> = series.iter().map(|(id, _)| *id).collect();
+        let vectors: Vec<Vec<f64>> = series.into_iter().map(|(_, v)| v).collect();
+        let normalized: Vec<Arc<Vec<f64>>> =
+            normalize_all(&vectors).into_iter().map(Arc::new).collect();
+        let reduce_tasks = self.reduce_tasks.min(n).max(1);
+
+        // Job 2 inputs: chunks of the assembled series.
+        let chunk = n.div_ceil(reduce_tasks);
+        let mut inputs = Vec::new();
+        for (ci, idx_chunk) in (0..n).collect::<Vec<_>>().chunks(chunk).enumerate() {
+            let data: Vec<(usize, Arc<Vec<f64>>)> =
+                idx_chunk.iter().map(|&i| (i, normalized[i].clone())).collect();
+            let _ = ci;
+            inputs.push(JobInput {
+                data,
+                bytes: idx_chunk.len() as u64 * SERIES_BYTES,
+                hosts: Vec::new(),
+            });
+        }
+
+        let ids_ref = &ids;
+        let normalized_ref = &normalized;
+        let mut scheduler = VirtualScheduler::new(self.topology);
+        let (mut matches, join_stats) = run_map_reduce_partitioned(
+            inputs,
+            // Map: replicate every series to every reduce partition (the
+            // reduce-side join's data explosion).
+            &move |chunk: Vec<(usize, Arc<Vec<f64>>)>,
+                   emit: &mut Vec<(u64, (usize, Arc<Vec<f64>>))>| {
+                for (i, v) in chunk {
+                    for r in 0..reduce_tasks as u64 {
+                        emit.push((r, (i, v.clone())));
+                    }
+                }
+            },
+            &|_, _| SERIES_BYTES,
+            // Reduce: partition r owns queries with index ≡ r (mod R) and
+            // scores them against everything it received (= everything).
+            &move |r: &u64, received: Vec<(usize, Arc<Vec<f64>>)>| {
+                let mut by_index: Vec<Option<Arc<Vec<f64>>>> = vec![None; n];
+                for (i, v) in received {
+                    by_index[i] = Some(v);
+                }
+                let mut out = Vec::new();
+                for q in (*r as usize..n).step_by(reduce_tasks) {
+                    let query = by_index[q].as_ref().expect("all series replicated");
+                    let mut hits: Vec<SimilarityMatch> = Vec::with_capacity(n - 1);
+                    for (i, v) in by_index.iter().enumerate() {
+                        if i == q {
+                            continue;
+                        }
+                        let v = v.as_ref().expect("all series replicated");
+                        let score: f64 = query.iter().zip(v.iter()).map(|(a, b)| a * b).sum();
+                        hits.push(SimilarityMatch { index: i, score });
+                    }
+                    select_top_k(&mut hits, SIMILARITY_TOP_K);
+                    out.push(ConsumerMatches {
+                        consumer: ids_ref[q],
+                        matches: hits
+                            .into_iter()
+                            .map(|h| (ids_ref[h.index], h.score))
+                            .collect(),
+                    });
+                }
+                out
+            },
+            reduce_tasks,
+            &|key, parts| (*key as usize) % parts,
+            &mut scheduler,
+            &self.pool,
+        );
+        let _ = normalized_ref;
+        matches.sort_by_key(|m| m.consumer);
+
+        stats = combine(stats, join_stats);
+        Ok(HiveRunResult { output: TaskOutput::Similarity(matches), stats, operator })
+    }
+
+    /// Job 1 of similarity: produce `(id, readings)` per household.
+    #[allow(clippy::type_complexity)]
+    fn assemble_series(&mut self) -> Result<(Vec<(ConsumerId, Vec<f64>)>, JobStats, HiveOperator)> {
+        let format = self.table()?.format;
+        let inputs = self.inputs()?;
+        let mut scheduler = VirtualScheduler::new(self.topology);
+        let error = parking_lot::Mutex::new(None);
+        match format {
+            DataFormat::ReadingPerLine => {
+                let (mut series, stats) = run_map_reduce(
+                    inputs,
+                    &|lines: Arc<Vec<String>>, emit: &mut Vec<(u32, (u32, f64))>| {
+                        for line in lines.iter() {
+                            match parse_reading(line) {
+                                Ok(r) => emit.push((r.consumer.raw(), (r.hour, r.kwh))),
+                                Err(e) => {
+                                    error.lock().get_or_insert(e);
+                                }
+                            }
+                        }
+                    },
+                    &|_, _| 16,
+                    &|key, mut rows| {
+                        rows.sort_by_key(|(h, _)| *h);
+                        vec![(ConsumerId(*key), rows.into_iter().map(|(_, v)| v).collect())]
+                    },
+                    self.reduce_tasks,
+                    &mut scheduler,
+                    &self.pool,
+                );
+                if let Some(e) = error.into_inner() {
+                    return Err(e);
+                }
+                series.sort_by_key(|(id, _)| *id);
+                Ok((series, stats, HiveOperator::Udaf))
+            }
+            DataFormat::ConsumerPerLine => {
+                let (mut series, stats) = run_map_only(
+                    inputs,
+                    &|lines: Arc<Vec<String>>, emit: &mut Vec<(ConsumerId, Vec<f64>)>| {
+                        for line in lines.iter() {
+                            match parse_consumer(line) {
+                                Ok(row) => emit.push(row),
+                                Err(e) => {
+                                    error.lock().get_or_insert(e);
+                                }
+                            }
+                        }
+                    },
+                    SERIES_BYTES,
+                    &mut scheduler,
+                    &self.pool,
+                );
+                if let Some(e) = error.into_inner() {
+                    return Err(e);
+                }
+                series.sort_by_key(|(id, _)| *id);
+                Ok((series, stats, HiveOperator::GenericUdf))
+            }
+            DataFormat::ManyFiles { .. } => {
+                let (mut series, stats) = run_map_only(
+                    inputs,
+                    &|lines: Arc<Vec<String>>, emit: &mut Vec<(ConsumerId, Vec<f64>)>| {
+                        let run = (|| -> Result<()> {
+                            let mut rows =
+                                lines.iter().map(|l| parse_reading(l)).collect::<Result<Vec<_>>>()?;
+                            rows.sort_by_key(|r| (r.consumer, r.hour));
+                            let mut i = 0;
+                            while i < rows.len() {
+                                let id = rows[i].consumer;
+                                let mut kwh = Vec::with_capacity(HOURS_PER_YEAR);
+                                while i < rows.len() && rows[i].consumer == id {
+                                    kwh.push(rows[i].kwh);
+                                    i += 1;
+                                }
+                                emit.push((id, kwh));
+                            }
+                            Ok(())
+                        })();
+                        if let Err(e) = run {
+                            error.lock().get_or_insert(e);
+                        }
+                    },
+                    SERIES_BYTES,
+                    &mut scheduler,
+                    &self.pool,
+                );
+                if let Some(e) = error.into_inner() {
+                    return Err(e);
+                }
+                series.sort_by_key(|(id, _)| *id);
+                Ok((series, stats, HiveOperator::Udtf))
+            }
+        }
+    }
+}
+
+/// Sum two job-chain accountings (virtual times are sequential).
+pub fn combine(a: JobStats, b: JobStats) -> JobStats {
+    JobStats {
+        virtual_elapsed: a.virtual_elapsed + b.virtual_elapsed,
+        map_tasks: a.map_tasks + b.map_tasks,
+        reduce_tasks: a.reduce_tasks + b.reduce_tasks,
+        shuffle_bytes: a.shuffle_bytes + b.shuffle_bytes,
+        network_bytes: a.network_bytes + b.network_bytes,
+        map_locality: (a.map_locality + b.map_locality) / 2.0,
+        map_output_records: a.map_output_records + b.map_output_records,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smda_core::tasks::run_reference;
+    use smda_types::{ConsumerSeries, TemperatureSeries};
+
+    fn tiny(n: u32) -> Dataset {
+        let temp = TemperatureSeries::new(
+            (0..HOURS_PER_YEAR).map(|h| ((h % 43) as f64) - 9.0).collect(),
+        )
+        .unwrap();
+        let consumers = (0..n)
+            .map(|i| {
+                ConsumerSeries::new(
+                    ConsumerId(i),
+                    (0..HOURS_PER_YEAR)
+                        .map(|h| 0.3 + 0.04 * (((h % 24) + 5 * i as usize) % 24) as f64)
+                        .collect(),
+                )
+                .unwrap()
+            })
+            .collect();
+        Dataset::new(consumers, temp).unwrap()
+    }
+
+    fn engine(workers: usize) -> HiveEngine {
+        HiveEngine::new(
+            ClusterTopology {
+                workers,
+                slots_per_worker: 2,
+                cost: smda_cluster::CostModel::mapreduce(),
+            },
+            256 * 1024,
+        )
+    }
+
+    fn assert_matches_reference(ds: &Dataset, got: &TaskOutput, task: Task) {
+        let want = run_reference(task, ds);
+        match (got, &want) {
+            (TaskOutput::Histograms(a), TaskOutput::Histograms(b)) => {
+                assert_eq!(a.len(), b.len());
+                for (x, y) in a.iter().zip(b) {
+                    assert_eq!(x.consumer, y.consumer);
+                    assert_eq!(x.histogram.counts, y.histogram.counts);
+                }
+            }
+            (TaskOutput::Par(a), TaskOutput::Par(b)) => {
+                assert_eq!(a.len(), b.len());
+                for (x, y) in a.iter().zip(b) {
+                    assert_eq!(x.consumer, y.consumer);
+                    for (p, q) in x.profile.iter().zip(&y.profile) {
+                        assert!((p - q).abs() < 1e-3, "{p} vs {q}");
+                    }
+                }
+            }
+            (TaskOutput::ThreeLine(a, _), TaskOutput::ThreeLine(b, _)) => {
+                assert_eq!(a.len(), b.len());
+                for (x, y) in a.iter().zip(b) {
+                    assert_eq!(x.consumer, y.consumer);
+                    assert!((x.heating_gradient() - y.heating_gradient()).abs() < 1e-2);
+                }
+            }
+            (TaskOutput::Similarity(a), TaskOutput::Similarity(b)) => {
+                assert_eq!(a.len(), b.len());
+                for (x, y) in a.iter().zip(b) {
+                    assert_eq!(x.consumer, y.consumer);
+                    let xi: Vec<ConsumerId> = x.matches.iter().map(|(i, _)| *i).collect();
+                    let yi: Vec<ConsumerId> = y.matches.iter().map(|(i, _)| *i).collect();
+                    assert_eq!(xi, yi);
+                }
+            }
+            _ => panic!("mismatched outputs for {task}"),
+        }
+    }
+
+    #[test]
+    fn format1_udaf_plan_matches_reference() {
+        let ds = tiny(4);
+        let mut hive = engine(4);
+        hive.load(&ds, DataFormat::ReadingPerLine).unwrap();
+        for task in [Task::Histogram, Task::Par] {
+            let r = hive.run_task(task).unwrap();
+            assert_eq!(r.operator, HiveOperator::Udaf);
+            assert!(r.stats.reduce_tasks > 0);
+            assert!(r.stats.shuffle_bytes > 0);
+            assert_matches_reference(&ds, &r.output, task);
+        }
+    }
+
+    #[test]
+    fn format2_udf_plan_is_map_only() {
+        let ds = tiny(4);
+        let mut hive = engine(4);
+        hive.load(&ds, DataFormat::ConsumerPerLine).unwrap();
+        let r = hive.run_task(Task::Histogram).unwrap();
+        assert_eq!(r.operator, HiveOperator::GenericUdf);
+        assert_eq!(r.stats.reduce_tasks, 0);
+        assert_eq!(r.stats.shuffle_bytes, 0);
+        assert_matches_reference(&ds, &r.output, Task::Histogram);
+    }
+
+    #[test]
+    fn format3_udtf_plan_is_map_only_and_forced_udaf_shuffles() {
+        let ds = tiny(6);
+        let mut hive = engine(4);
+        hive.load(&ds, DataFormat::ManyFiles { files: 3 }).unwrap();
+        let udtf = hive.run_task(Task::Histogram).unwrap();
+        assert_eq!(udtf.operator, HiveOperator::Udtf);
+        assert_eq!(udtf.stats.shuffle_bytes, 0);
+        assert_matches_reference(&ds, &udtf.output, Task::Histogram);
+
+        hive.force_udaf = true;
+        let udaf = hive.run_task(Task::Histogram).unwrap();
+        assert_eq!(udaf.operator, HiveOperator::Udaf);
+        assert!(udaf.stats.shuffle_bytes > 0);
+        assert!(
+            udaf.stats.virtual_elapsed > udtf.stats.virtual_elapsed,
+            "UDAF {:?} should be slower than UDTF {:?} (Figure 18)",
+            udaf.stats.virtual_elapsed,
+            udtf.stats.virtual_elapsed
+        );
+        assert_matches_reference(&ds, &udaf.output, Task::Histogram);
+    }
+
+    #[test]
+    fn similarity_self_join_matches_reference_and_shuffles_heavily() {
+        let ds = tiny(5);
+        let mut hive = engine(2);
+        hive.set_reduce_tasks(3);
+        hive.load(&ds, DataFormat::ConsumerPerLine).unwrap();
+        let r = hive.run_task(Task::Similarity).unwrap();
+        assert_matches_reference(&ds, &r.output, Task::Similarity);
+        // Self-join shuffle: every series to every reducer.
+        assert!(r.stats.shuffle_bytes >= 5 * 3 * SERIES_BYTES);
+    }
+
+    #[test]
+    fn similarity_from_format1_also_works() {
+        let ds = tiny(4);
+        let mut hive = engine(2);
+        hive.load(&ds, DataFormat::ReadingPerLine).unwrap();
+        let r = hive.run_task(Task::Similarity).unwrap();
+        assert_matches_reference(&ds, &r.output, Task::Similarity);
+    }
+
+    #[test]
+    fn run_before_load_errors() {
+        let mut hive = engine(2);
+        assert!(hive.run_task(Task::Histogram).is_err());
+    }
+
+    #[test]
+    fn three_line_through_format3() {
+        let ds = tiny(3);
+        let mut hive = engine(3);
+        hive.load(&ds, DataFormat::ManyFiles { files: 2 }).unwrap();
+        let r = hive.run_task(Task::ThreeLine).unwrap();
+        assert_matches_reference(&ds, &r.output, Task::ThreeLine);
+    }
+}

@@ -1,0 +1,38 @@
+//! Text-line parsers used map-side by the cluster engines.
+//!
+//! The implementations live in [`smda_cluster::textdata`] so the Hive-
+//! and Spark-like engines share one (measured) parsing path; this module
+//! re-exports them under the Hive engine's namespace.
+
+pub use smda_cluster::textdata::{parse_consumer, parse_reading, ReadingRow};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smda_types::ConsumerId;
+
+    #[test]
+    fn reading_round_trip() {
+        let r = parse_reading("12,8759,-10.500,1.2345").unwrap();
+        assert_eq!(r.consumer, ConsumerId(12));
+        assert_eq!(r.hour, 8759);
+        assert!((r.temperature + 10.5).abs() < 1e-9);
+        assert!((r.kwh - 1.2345).abs() < 1e-9);
+    }
+
+    #[test]
+    fn consumer_round_trip() {
+        let (id, vals) = parse_consumer("7,0.1000,0.2000,0.3000").unwrap();
+        assert_eq!(id, ConsumerId(7));
+        assert_eq!(vals.len(), 3);
+        assert!((vals[2] - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn malformed_lines_error() {
+        assert!(parse_reading("1,2,3").is_err());
+        assert!(parse_reading("x,2,3.0,4.0").is_err());
+        assert!(parse_consumer("noreadings").is_err());
+        assert!(parse_consumer("1,x").is_err());
+    }
+}

@@ -1,0 +1,370 @@
+//! The Spark engine: plans each benchmark task into RDD pipelines
+//! according to the table's text format.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use smda_cluster::textdata::{parse_consumer, parse_reading};
+use smda_cluster::{ClusterTopology, DfsConfig, SimDfs, TextTable};
+use smda_core::tasks::{collect_consumer_results, run_consumer_task, ConsumerResult};
+use smda_core::{ConsumerMatches, Task, TaskOutput, SIMILARITY_TOP_K};
+use smda_stats::{normalize_all, select_top_k, SimilarityMatch};
+use smda_types::{ConsumerId, DataFormat, Dataset, Error, Result, HOURS_PER_YEAR};
+
+use crate::rdd::{SparkContext, SparkStats};
+
+/// Result of one Spark job chain.
+#[derive(Debug)]
+pub struct SparkRunResult {
+    /// The task output, identical to the reference implementation's.
+    pub output: TaskOutput,
+    /// Virtual wall-clock of the whole chain.
+    pub virtual_elapsed: Duration,
+    /// The context's accumulated accounting.
+    pub stats: SparkStats,
+}
+
+/// The Spark-like engine.
+pub struct SparkEngine {
+    topology: ClusterTopology,
+    dfs: SimDfs,
+    table: Option<TextTable>,
+    /// Shuffle partitions for wide operations (default: 2 × workers).
+    pub shuffle_partitions: usize,
+}
+
+impl std::fmt::Debug for SparkEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SparkEngine").field("workers", &self.topology.workers).finish()
+    }
+}
+
+impl SparkEngine {
+    /// An engine on `topology` with `block_bytes`-sized DFS blocks.
+    pub fn new(topology: ClusterTopology, block_bytes: u64) -> Self {
+        let dfs = SimDfs::new(DfsConfig {
+            block_bytes,
+            replication: 3,
+            nodes: topology.workers,
+        });
+        SparkEngine {
+            topology,
+            dfs,
+            table: None,
+            shuffle_partitions: topology.workers * 2,
+        }
+    }
+
+    /// The modeled topology.
+    pub fn topology(&self) -> ClusterTopology {
+        self.topology
+    }
+
+    /// Render `ds` in `format` and register it in the DFS.
+    pub fn load(&mut self, ds: &Dataset, format: DataFormat) -> Result<()> {
+        if self.table.is_some() {
+            self.dfs = SimDfs::new(self.dfs.config());
+        }
+        self.table = Some(TextTable::build("meter_data", ds, format, &mut self.dfs)?);
+        Ok(())
+    }
+
+    fn table(&self) -> Result<&TextTable> {
+        self.table.as_ref().ok_or_else(|| Error::Invalid("no RDD input loaded".into()))
+    }
+
+    /// Run one benchmark task, returning output + virtual-time stats.
+    pub fn run_task(&mut self, task: Task) -> Result<SparkRunResult> {
+        let sc = SparkContext::new(self.topology);
+        let table = self.table()?;
+        let lines = sc.text_table(table)?;
+        let format = table.format;
+        let temperature = table.temperature.clone();
+
+        let output = match task {
+            Task::Similarity => {
+                let series = match format {
+                    DataFormat::ReadingPerLine => {
+                        // Shuffle readings by household, then assemble.
+                        lines
+                            .map(|l| {
+                                let r = parse_reading(&l).expect("engine-rendered line parses");
+                                (r.consumer.raw(), (r.hour, r.kwh))
+                            })
+                            .group_by_key(self.shuffle_partitions)
+                            .map(|(id, mut rows)| {
+                                rows.sort_by_key(|(h, _)| *h);
+                                (
+                                    ConsumerId(id),
+                                    rows.into_iter().map(|(_, v)| v).collect::<Vec<f64>>(),
+                                )
+                            })
+                            .collect()
+                    }
+                    DataFormat::ConsumerPerLine => lines
+                        .map(|l| parse_consumer(&l).expect("engine-rendered line parses"))
+                        .collect(),
+                    DataFormat::ManyFiles { .. } => lines
+                        .map_partitions(|part| {
+                            let mut rows: Vec<_> = part
+                                .iter()
+                                .map(|l| parse_reading(l).expect("engine-rendered line parses"))
+                                .collect();
+                            rows.sort_by_key(|r| (r.consumer, r.hour));
+                            let mut out = Vec::new();
+                            let mut i = 0;
+                            while i < rows.len() {
+                                let id = rows[i].consumer;
+                                let mut kwh = Vec::with_capacity(HOURS_PER_YEAR);
+                                while i < rows.len() && rows[i].consumer == id {
+                                    kwh.push(rows[i].kwh);
+                                    i += 1;
+                                }
+                                out.push((id, kwh));
+                            }
+                            out
+                        })
+                        .collect(),
+                };
+                // Driver-side normalize, broadcast, map-side join: the
+                // plan the paper's Spark implementation used.
+                let mut series = series;
+                series.sort_by_key(|(id, _)| *id);
+                let ids: Vec<ConsumerId> = series.iter().map(|(id, _)| *id).collect();
+                let vectors: Vec<Vec<f64>> = series.into_iter().map(|(_, v)| v).collect();
+                let normalized = normalize_all(&vectors);
+                let broadcast = sc.broadcast(normalized.clone());
+                let ids_arc = Arc::new(ids);
+                let ids_for_map = ids_arc.clone();
+                let queries = sc.parallelize(
+                    (0..ids_arc.len()).collect::<Vec<usize>>(),
+                    self.shuffle_partitions,
+                );
+                let bval = broadcast.clone();
+                let mut matches: Vec<ConsumerMatches> = queries
+                    .map(move |q| {
+                        let all = bval.value();
+                        let query = &all[q];
+                        let mut hits: Vec<SimilarityMatch> =
+                            Vec::with_capacity(all.len().saturating_sub(1));
+                        for (i, v) in all.iter().enumerate() {
+                            if i == q {
+                                continue;
+                            }
+                            let score: f64 =
+                                query.iter().zip(v.iter()).map(|(a, b)| a * b).sum();
+                            hits.push(SimilarityMatch { index: i, score });
+                        }
+                        select_top_k(&mut hits, SIMILARITY_TOP_K);
+                        ConsumerMatches {
+                            consumer: ids_for_map[q],
+                            matches: hits
+                                .into_iter()
+                                .map(|h| (ids_for_map[h.index], h.score))
+                                .collect(),
+                        }
+                    })
+                    .collect();
+                matches.sort_by_key(|m| m.consumer);
+                TaskOutput::Similarity(matches)
+            }
+            _ => {
+                let results: Vec<ConsumerResult> = match format {
+                    DataFormat::ReadingPerLine => lines
+                        .map(|l| {
+                            let r = parse_reading(&l).expect("engine-rendered line parses");
+                            (r.consumer.raw(), (r.hour, r.temperature, r.kwh))
+                        })
+                        .group_by_key(self.shuffle_partitions)
+                        .map(move |(id, mut rows)| {
+                            rows.sort_by_key(|(h, _, _)| *h);
+                            let mut kwh = Vec::with_capacity(HOURS_PER_YEAR);
+                            let mut temps = Vec::with_capacity(HOURS_PER_YEAR);
+                            for (_, t, v) in rows {
+                                temps.push(t);
+                                kwh.push(v);
+                            }
+                            run_consumer_task(task, ConsumerId(id), kwh, &temps)
+                                .expect("assembled year is valid")
+                        })
+                        .collect(),
+                    DataFormat::ConsumerPerLine => {
+                        let temps = temperature.clone();
+                        lines
+                            .map(move |l| {
+                                let (id, kwh) =
+                                    parse_consumer(&l).expect("engine-rendered line parses");
+                                run_consumer_task(task, id, kwh, &temps)
+                                    .expect("rendered year is valid")
+                            })
+                            .collect()
+                    }
+                    DataFormat::ManyFiles { .. } => lines
+                        .map_partitions(move |part| {
+                            let mut rows: Vec<_> = part
+                                .iter()
+                                .map(|l| parse_reading(l).expect("engine-rendered line parses"))
+                                .collect();
+                            rows.sort_by_key(|r| (r.consumer, r.hour));
+                            let mut out = Vec::new();
+                            let mut i = 0;
+                            while i < rows.len() {
+                                let id = rows[i].consumer;
+                                let mut kwh = Vec::with_capacity(HOURS_PER_YEAR);
+                                let mut temps = Vec::with_capacity(HOURS_PER_YEAR);
+                                while i < rows.len() && rows[i].consumer == id {
+                                    kwh.push(rows[i].kwh);
+                                    temps.push(rows[i].temperature);
+                                    i += 1;
+                                }
+                                out.push(
+                                    run_consumer_task(task, id, kwh, &temps)
+                                        .expect("file-local year is valid"),
+                                );
+                            }
+                            out
+                        })
+                        .collect(),
+                };
+                collect_consumer_results(task, results)
+            }
+        };
+
+        Ok(SparkRunResult {
+            output,
+            virtual_elapsed: sc.virtual_time(),
+            stats: sc.stats(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smda_cluster::CostModel;
+    use smda_core::tasks::run_reference;
+    use smda_types::{ConsumerSeries, TemperatureSeries};
+
+    fn tiny(n: u32) -> Dataset {
+        let temp = TemperatureSeries::new(
+            (0..HOURS_PER_YEAR).map(|h| ((h % 37) as f64) - 8.0).collect(),
+        )
+        .unwrap();
+        let consumers = (0..n)
+            .map(|i| {
+                ConsumerSeries::new(
+                    ConsumerId(i),
+                    (0..HOURS_PER_YEAR)
+                        .map(|h| 0.3 + 0.05 * (((h % 24) + 7 * i as usize) % 24) as f64)
+                        .collect(),
+                )
+                .unwrap()
+            })
+            .collect();
+        Dataset::new(consumers, temp).unwrap()
+    }
+
+    fn engine(workers: usize) -> SparkEngine {
+        SparkEngine::new(
+            ClusterTopology { workers, slots_per_worker: 2, cost: CostModel::spark() },
+            256 * 1024,
+        )
+    }
+
+    fn check(ds: &Dataset, got: &TaskOutput, task: Task) {
+        let want = run_reference(task, ds);
+        assert_eq!(got.len(), want.len(), "{task}");
+        match (got, &want) {
+            (TaskOutput::Histograms(a), TaskOutput::Histograms(b)) => {
+                for (x, y) in a.iter().zip(b) {
+                    assert_eq!(x.consumer, y.consumer);
+                    assert_eq!(x.histogram.counts, y.histogram.counts);
+                }
+            }
+            (TaskOutput::Par(a), TaskOutput::Par(b)) => {
+                for (x, y) in a.iter().zip(b) {
+                    assert_eq!(x.consumer, y.consumer);
+                    for (p, q) in x.profile.iter().zip(&y.profile) {
+                        assert!((p - q).abs() < 1e-3);
+                    }
+                }
+            }
+            (TaskOutput::ThreeLine(a, _), TaskOutput::ThreeLine(b, _)) => {
+                for (x, y) in a.iter().zip(b) {
+                    assert_eq!(x.consumer, y.consumer);
+                    assert!((x.cooling_gradient() - y.cooling_gradient()).abs() < 1e-2);
+                }
+            }
+            (TaskOutput::Similarity(a), TaskOutput::Similarity(b)) => {
+                for (x, y) in a.iter().zip(b) {
+                    assert_eq!(x.consumer, y.consumer);
+                    let xi: Vec<ConsumerId> = x.matches.iter().map(|(i, _)| *i).collect();
+                    let yi: Vec<ConsumerId> = y.matches.iter().map(|(i, _)| *i).collect();
+                    assert_eq!(xi, yi);
+                }
+            }
+            _ => panic!("mismatched outputs"),
+        }
+    }
+
+    #[test]
+    fn format1_pipeline_matches_reference() {
+        let ds = tiny(4);
+        let mut spark = engine(4);
+        spark.load(&ds, DataFormat::ReadingPerLine).unwrap();
+        for task in [Task::Histogram, Task::Par] {
+            let r = spark.run_task(task).unwrap();
+            check(&ds, &r.output, task);
+            assert!(r.stats.shuffle_bytes > 0, "format 1 requires a shuffle");
+            assert!(r.virtual_elapsed > Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn format2_pipeline_is_shuffle_free() {
+        let ds = tiny(4);
+        let mut spark = engine(4);
+        spark.load(&ds, DataFormat::ConsumerPerLine).unwrap();
+        let r = spark.run_task(Task::Histogram).unwrap();
+        check(&ds, &r.output, Task::Histogram);
+        assert_eq!(r.stats.shuffle_bytes, 0);
+    }
+
+    #[test]
+    fn format3_pipeline_matches_reference() {
+        let ds = tiny(6);
+        let mut spark = engine(4);
+        spark.load(&ds, DataFormat::ManyFiles { files: 3 }).unwrap();
+        let r = spark.run_task(Task::ThreeLine).unwrap();
+        check(&ds, &r.output, Task::ThreeLine);
+        assert_eq!(r.stats.shuffle_bytes, 0);
+    }
+
+    #[test]
+    fn similarity_uses_broadcast_join() {
+        let ds = tiny(5);
+        let mut spark = engine(4);
+        spark.load(&ds, DataFormat::ConsumerPerLine).unwrap();
+        let r = spark.run_task(Task::Similarity).unwrap();
+        check(&ds, &r.output, Task::Similarity);
+        assert!(r.stats.broadcast_bytes > 0, "similarity broadcasts the series");
+        // Broadcast replaces the reduce-side join: shuffle stays zero
+        // under format 2.
+        assert_eq!(r.stats.shuffle_bytes, 0);
+    }
+
+    #[test]
+    fn similarity_from_format1() {
+        let ds = tiny(4);
+        let mut spark = engine(2);
+        spark.load(&ds, DataFormat::ReadingPerLine).unwrap();
+        let r = spark.run_task(Task::Similarity).unwrap();
+        check(&ds, &r.output, Task::Similarity);
+    }
+
+    #[test]
+    fn run_before_load_errors() {
+        let mut spark = engine(2);
+        assert!(spark.run_task(Task::Histogram).is_err());
+    }
+}

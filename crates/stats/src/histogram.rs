@@ -1,0 +1,152 @@
+//! Equi-width histograms (the Section 3.1 benchmark task's kernel).
+
+/// How to bucket values: `buckets` equal-width bins over `[min, max]`,
+/// right-open except the last bin which includes `max`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSpec {
+    /// Lower edge of the first bucket.
+    pub min: f64,
+    /// Upper edge of the last bucket.
+    pub max: f64,
+    /// Number of buckets (the benchmark fixes this to 10).
+    pub buckets: usize,
+}
+
+impl HistogramSpec {
+    /// A spec spanning the observed range of `values` with `buckets` bins.
+    /// Returns `None` on empty input or non-finite extremes.
+    pub fn covering(values: &[f64], buckets: usize) -> Option<Self> {
+        if values.is_empty() || buckets == 0 {
+            return None;
+        }
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for &v in values {
+            if !v.is_finite() {
+                return None;
+            }
+            min = min.min(v);
+            max = max.max(v);
+        }
+        Some(HistogramSpec { min, max, buckets })
+    }
+
+    /// Which bucket a value falls in; `None` when outside `[min, max]`.
+    pub fn bucket_of(&self, v: f64) -> Option<usize> {
+        if v < self.min || v > self.max {
+            return None;
+        }
+        if self.min == self.max {
+            return Some(0);
+        }
+        let width = (self.max - self.min) / self.buckets as f64;
+        // `max` belongs to the last bucket (right-closed final bin).
+        Some((((v - self.min) / width) as usize).min(self.buckets - 1))
+    }
+
+    /// The `[lo, hi)` edges of bucket `i`.
+    pub fn edges(&self, i: usize) -> (f64, f64) {
+        let width = (self.max - self.min) / self.buckets as f64;
+        (self.min + width * i as f64, self.min + width * (i + 1) as f64)
+    }
+}
+
+/// An equi-width histogram: a spec plus per-bucket counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EquiWidthHistogram {
+    /// Bucketing parameters.
+    pub spec: HistogramSpec,
+    /// Number of values that fell into each bucket.
+    pub counts: Vec<u64>,
+}
+
+impl EquiWidthHistogram {
+    /// Histogram of `values` over their own range with `buckets` bins.
+    /// Returns `None` on empty input.
+    pub fn build(values: &[f64], buckets: usize) -> Option<Self> {
+        let spec = HistogramSpec::covering(values, buckets)?;
+        Some(Self::build_with_spec(values, spec))
+    }
+
+    /// Histogram with an externally fixed spec (values outside the range
+    /// are dropped — used when comparing consumers on a common axis).
+    pub fn build_with_spec(values: &[f64], spec: HistogramSpec) -> Self {
+        let mut counts = vec![0u64; spec.buckets];
+        for &v in values {
+            if let Some(b) = spec.bucket_of(v) {
+                counts[b] += 1;
+            }
+        }
+        EquiWidthHistogram { spec, counts }
+    }
+
+    /// Total count across all buckets.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Index of the most populated bucket (first on ties).
+    pub fn mode_bucket(&self) -> usize {
+        self.counts
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_all_values_within_range() {
+        let vals: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let h = EquiWidthHistogram::build(&vals, 10).unwrap();
+        assert_eq!(h.total(), 100);
+        assert_eq!(h.counts, vec![10; 10]);
+    }
+
+    #[test]
+    fn max_value_lands_in_last_bucket() {
+        let h = EquiWidthHistogram::build(&[0.0, 10.0], 10).unwrap();
+        assert_eq!(h.counts[0], 1);
+        assert_eq!(h.counts[9], 1);
+    }
+
+    #[test]
+    fn constant_series_occupies_single_bucket() {
+        let h = EquiWidthHistogram::build(&[5.0; 42], 10).unwrap();
+        assert_eq!(h.counts[0], 42);
+        assert_eq!(h.total(), 42);
+    }
+
+    #[test]
+    fn empty_or_nan_input_yields_none() {
+        assert!(EquiWidthHistogram::build(&[], 10).is_none());
+        assert!(EquiWidthHistogram::build(&[1.0, f64::NAN], 10).is_none());
+        assert!(EquiWidthHistogram::build(&[1.0], 0).is_none());
+    }
+
+    #[test]
+    fn fixed_spec_drops_out_of_range() {
+        let spec = HistogramSpec { min: 0.0, max: 1.0, buckets: 4 };
+        let h = EquiWidthHistogram::build_with_spec(&[-1.0, 0.1, 0.6, 2.0], spec);
+        assert_eq!(h.total(), 2);
+    }
+
+    #[test]
+    fn edges_partition_range() {
+        let spec = HistogramSpec { min: 0.0, max: 10.0, buckets: 5 };
+        assert_eq!(spec.edges(0), (0.0, 2.0));
+        assert_eq!(spec.edges(4), (8.0, 10.0));
+    }
+
+    #[test]
+    fn mode_bucket_finds_peak() {
+        let vals = [1.0, 1.1, 1.2, 5.0, 9.9];
+        let h = EquiWidthHistogram::build(&vals, 10).unwrap();
+        assert_eq!(h.mode_bucket(), 0);
+    }
+}

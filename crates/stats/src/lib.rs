@@ -1,0 +1,39 @@
+//! From-scratch statistics and dense linear algebra substrate.
+//!
+//! The paper notes (Table 1) that "System C" ships **no** built-in
+//! statistical or machine-learning operators, so the authors implemented
+//! every operator by hand; likewise, mature Rust stats/clustering crates
+//! are outside this workspace's dependency budget. This crate is that
+//! hand-built toolkit: descriptive statistics, sample quantiles,
+//! equi-width histograms, dense matrices with Cholesky and Householder-QR
+//! solvers, ordinary least squares (simple and multiple), k-means with
+//! k-means++ seeding, cosine similarity with top-*k* selection, and the
+//! random distributions the data generator needs.
+//!
+//! Everything operates on `f64` slices so the columnar engine can run the
+//! same kernels over its memory-mapped columns without conversion.
+
+pub mod descriptive;
+pub mod histogram;
+pub mod kmeans;
+pub mod linalg;
+pub mod online;
+pub mod quantile;
+pub mod regression;
+pub mod rng;
+pub mod sax;
+pub mod similarity;
+
+pub use descriptive::{covariance, mean, pearson, population_variance, sample_variance, stddev};
+pub use histogram::{EquiWidthHistogram, HistogramSpec};
+pub use kmeans::{KMeans, KMeansConfig};
+pub use linalg::Matrix;
+pub use online::OnlineStats;
+pub use quantile::{quantile, quantile_sorted, quantiles_sorted};
+pub use regression::{ols_multiple, ols_simple, MultipleFit, SimpleFit};
+pub use rng::{GaussianNoise, Picker};
+pub use sax::{mindist, sax, SaxConfig, SaxWord};
+pub use similarity::{
+    cosine_similarity, dot, normalize_all, select_top_k, top_k_cosine, top_k_normalized, norm2,
+    SimilarityMatch,
+};

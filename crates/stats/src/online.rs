@@ -1,0 +1,145 @@
+//! Welford's online mean/variance accumulator.
+//!
+//! The Hive-like engine's UDAFs see data one row at a time and must merge
+//! partial aggregates computed on different nodes; this accumulator
+//! supports both (numerically stable update and a Chan-et-al. merge).
+
+/// Streaming count/mean/variance with mergeable partials.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Fold one observation in.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merge another accumulator (parallel aggregation).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n = self.n + other.n;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.n as f64 / n as f64;
+        self.m2 += other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
+        self.n = n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Count of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Mean; `NaN` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sample variance; `NaN` when `n < 2`.
+    pub fn sample_variance(&self) -> f64 {
+        if self.n < 2 {
+            f64::NAN
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Minimum observed value; `+∞` when empty.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum observed value; `−∞` when empty.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+impl FromIterator<f64> for OnlineStats {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = OnlineStats::new();
+        for x in iter {
+            s.push(x);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptive;
+
+    #[test]
+    fn matches_two_pass_statistics() {
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let s: OnlineStats = data.iter().copied().collect();
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - descriptive::mean(&data)).abs() < 1e-12);
+        assert!((s.sample_variance() - descriptive::sample_variance(&data)).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let all: Vec<f64> = (0..1000).map(|i| ((i * 31) % 97) as f64 * 0.37).collect();
+        let sequential: OnlineStats = all.iter().copied().collect();
+        let mut merged = OnlineStats::new();
+        for chunk in all.chunks(123) {
+            let partial: OnlineStats = chunk.iter().copied().collect();
+            merged.merge(&partial);
+        }
+        assert_eq!(merged.count(), sequential.count());
+        assert!((merged.mean() - sequential.mean()).abs() < 1e-9);
+        assert!((merged.sample_variance() - sequential.sample_variance()).abs() < 1e-9);
+        assert_eq!(merged.min(), sequential.min());
+        assert_eq!(merged.max(), sequential.max());
+    }
+
+    #[test]
+    fn merging_empty_is_identity() {
+        let mut s: OnlineStats = [1.0, 2.0].iter().copied().collect();
+        let before = s;
+        s.merge(&OnlineStats::new());
+        assert_eq!(s, before);
+        let mut empty = OnlineStats::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn empty_accumulator_reports_nan() {
+        let s = OnlineStats::new();
+        assert!(s.mean().is_nan());
+        assert!(s.sample_variance().is_nan());
+        assert_eq!(s.count(), 0);
+    }
+}

@@ -1,0 +1,93 @@
+//! Sample quantiles with linear interpolation (Hyndman–Fan type 7).
+//!
+//! Type 7 is the default of Matlab's `prctile`-adjacent `quantile`, NumPy,
+//! and R, so the 3-line algorithm's 10th/90th percentile step (Section 3.2)
+//! matches what the paper's Matlab reference implementation computes.
+
+/// Quantile `q ∈ [0, 1]` of a **sorted ascending** slice, type-7
+/// (linear interpolation between closest ranks).
+///
+/// Returns `NaN` on empty input.
+///
+/// # Panics
+/// Panics if `q` is outside `[0, 1]`.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0,1]");
+    match sorted.len() {
+        0 => f64::NAN,
+        1 => sorted[0],
+        n => {
+            let h = (n - 1) as f64 * q;
+            let lo = h.floor() as usize;
+            let hi = h.ceil() as usize;
+            let frac = h - lo as f64;
+            sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+        }
+    }
+}
+
+/// Quantile of an unsorted slice; sorts a copy.
+pub fn quantile(values: &[f64], q: f64) -> f64 {
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in quantile input"));
+    quantile_sorted(&v, q)
+}
+
+/// Several quantiles of a sorted slice at once (single pass over `qs`).
+pub fn quantiles_sorted(sorted: &[f64], qs: &[f64]) -> Vec<f64> {
+    qs.iter().map(|&q| quantile_sorted(sorted, q)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints_are_min_and_max() {
+        let v = [1.0, 3.0, 5.0, 9.0];
+        assert_eq!(quantile_sorted(&v, 0.0), 1.0);
+        assert_eq!(quantile_sorted(&v, 1.0), 9.0);
+    }
+
+    #[test]
+    fn median_even_and_odd() {
+        assert_eq!(quantile_sorted(&[1.0, 2.0, 3.0], 0.5), 2.0);
+        assert_eq!(quantile_sorted(&[1.0, 2.0, 3.0, 4.0], 0.5), 2.5);
+    }
+
+    #[test]
+    fn matches_numpy_type7_reference() {
+        // numpy.quantile([15, 20, 35, 40, 50], .4) == 29.0
+        let v = [15.0, 20.0, 35.0, 40.0, 50.0];
+        assert!((quantile_sorted(&v, 0.4) - 29.0).abs() < 1e-12);
+        // numpy.quantile([1, 2, 3, 4], .9) == 3.7
+        assert!((quantile_sorted(&[1.0, 2.0, 3.0, 4.0], 0.9) - 3.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singleton_and_empty() {
+        assert_eq!(quantile_sorted(&[7.0], 0.3), 7.0);
+        assert!(quantile_sorted(&[], 0.5).is_nan());
+    }
+
+    #[test]
+    fn unsorted_wrapper_sorts() {
+        assert_eq!(quantile(&[9.0, 1.0, 5.0, 3.0], 0.0), 1.0);
+        assert_eq!(quantile(&[9.0, 1.0, 5.0, 3.0], 1.0), 9.0);
+    }
+
+    #[test]
+    fn batch_quantiles() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let qs = quantiles_sorted(&v, &[0.1, 0.5, 0.9]);
+        assert_eq!(qs.len(), 3);
+        assert!((qs[1] - 3.0).abs() < 1e-12);
+        assert!(qs[0] < qs[1] && qs[1] < qs[2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_range_q_panics() {
+        quantile_sorted(&[1.0], 1.5);
+    }
+}

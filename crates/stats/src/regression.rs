@@ -1,0 +1,206 @@
+//! Ordinary least squares regression.
+//!
+//! [`ols_simple`] fits `y = a + b·x` in closed form — the kernel of the
+//! 3-line algorithm's per-segment fits. [`ols_multiple`] fits
+//! `y = Xβ` for a design matrix with several regressors — the kernel of
+//! the PAR model (three autoregressive lags, temperature, intercept).
+
+use crate::linalg::{cholesky_solve, qr_least_squares, Matrix};
+
+/// Result of a simple (one regressor) OLS fit `y ≈ intercept + slope·x`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimpleFit {
+    /// Intercept `a`.
+    pub intercept: f64,
+    /// Slope `b`.
+    pub slope: f64,
+    /// Residual sum of squares.
+    pub sse: f64,
+    /// Coefficient of determination (`NaN` when `y` is constant).
+    pub r2: f64,
+    /// Number of points fitted.
+    pub n: usize,
+}
+
+impl SimpleFit {
+    /// Predicted value at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.intercept + self.slope * x
+    }
+}
+
+/// Fit `y = a + b·x` by closed-form least squares.
+///
+/// Returns `None` when fewer than two points are given or when all `x`
+/// values are identical (vertical line).
+///
+/// # Panics
+/// Panics if `x` and `y` differ in length.
+pub fn ols_simple(x: &[f64], y: &[f64]) -> Option<SimpleFit> {
+    assert_eq!(x.len(), y.len(), "x and y must have equal length");
+    let n = x.len();
+    if n < 2 {
+        return None;
+    }
+    let nf = n as f64;
+    let mx = x.iter().sum::<f64>() / nf;
+    let my = y.iter().sum::<f64>() / nf;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for (&xi, &yi) in x.iter().zip(y) {
+        let dx = xi - mx;
+        let dy = yi - my;
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+    if sxx < 1e-12 {
+        return None;
+    }
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let sse = (syy - slope * sxy).max(0.0);
+    let r2 = if syy > 0.0 { 1.0 - sse / syy } else { f64::NAN };
+    Some(SimpleFit { intercept, slope, sse, r2, n })
+}
+
+/// Result of a multiple OLS fit `y ≈ Xβ`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultipleFit {
+    /// Coefficients, one per design-matrix column.
+    pub beta: Vec<f64>,
+    /// Residual sum of squares.
+    pub sse: f64,
+    /// Coefficient of determination against the mean model.
+    pub r2: f64,
+    /// Number of observations.
+    pub n: usize,
+}
+
+impl MultipleFit {
+    /// Predicted value for one design-matrix row.
+    ///
+    /// # Panics
+    /// Panics if `row.len() != beta.len()`.
+    pub fn predict(&self, row: &[f64]) -> f64 {
+        assert_eq!(row.len(), self.beta.len(), "row arity must match coefficients");
+        row.iter().zip(&self.beta).map(|(a, b)| a * b).sum()
+    }
+}
+
+/// Fit `y = Xβ` by least squares: Cholesky on the normal equations with a
+/// Householder-QR fallback for ill-conditioned designs.
+///
+/// Returns `None` when the system is rank deficient or under-determined
+/// (`rows < cols`).
+///
+/// # Panics
+/// Panics if `y.len() != x.rows()`.
+pub fn ols_multiple(x: &Matrix, y: &[f64]) -> Option<MultipleFit> {
+    assert_eq!(y.len(), x.rows(), "y length must equal design rows");
+    if x.rows() < x.cols() {
+        return None;
+    }
+    let beta = cholesky_solve(&x.gram(), &x.t_vec(y)).or_else(|| qr_least_squares(x, y))?;
+    let n = x.rows();
+    let my = y.iter().sum::<f64>() / n as f64;
+    let mut sse = 0.0;
+    let mut syy = 0.0;
+    for (r, &yr) in y.iter().enumerate() {
+        let pred: f64 = x.row(r).iter().zip(&beta).map(|(a, b)| a * b).sum();
+        let e = yr - pred;
+        sse += e * e;
+        let d = yr - my;
+        syy += d * d;
+    }
+    let r2 = if syy > 0.0 { 1.0 - sse / syy } else { f64::NAN };
+    Some(MultipleFit { beta, sse, r2, n })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_exact_line() {
+        let x = [0.0, 1.0, 2.0, 3.0];
+        let y: Vec<f64> = x.iter().map(|v| 1.5 - 2.0 * v).collect();
+        let f = ols_simple(&x, &y).unwrap();
+        assert!((f.intercept - 1.5).abs() < 1e-12);
+        assert!((f.slope + 2.0).abs() < 1e-12);
+        assert!(f.sse < 1e-20);
+        assert!((f.r2 - 1.0).abs() < 1e-12);
+        assert!((f.predict(10.0) - (1.5 - 20.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simple_noisy_line_recovers_trend() {
+        let x: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        // Deterministic "noise" that averages out.
+        let y: Vec<f64> =
+            x.iter().enumerate().map(|(i, v)| 3.0 * v + if i % 2 == 0 { 0.5 } else { -0.5 }).collect();
+        let f = ols_simple(&x, &y).unwrap();
+        assert!((f.slope - 3.0).abs() < 0.01, "slope {}", f.slope);
+        assert!(f.r2 > 0.999);
+    }
+
+    #[test]
+    fn simple_degenerate_inputs() {
+        assert!(ols_simple(&[1.0], &[2.0]).is_none());
+        assert!(ols_simple(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0]).is_none());
+        assert!(ols_simple(&[], &[]).is_none());
+    }
+
+    #[test]
+    fn simple_constant_y_gives_zero_slope() {
+        let f = ols_simple(&[1.0, 2.0, 3.0], &[5.0, 5.0, 5.0]).unwrap();
+        assert!(f.slope.abs() < 1e-12);
+        assert!((f.intercept - 5.0).abs() < 1e-12);
+        assert!(f.r2.is_nan());
+    }
+
+    #[test]
+    fn multiple_recovers_three_coefficients() {
+        // y = 2 + 0.5 x1 - 1.5 x2 over a grid.
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..10 {
+            for j in 0..10 {
+                let x1 = i as f64;
+                let x2 = j as f64 * 0.3;
+                rows.push(vec![1.0, x1, x2]);
+                y.push(2.0 + 0.5 * x1 - 1.5 * x2);
+            }
+        }
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let x = Matrix::from_rows(&refs);
+        let f = ols_multiple(&x, &y).unwrap();
+        assert!((f.beta[0] - 2.0).abs() < 1e-9);
+        assert!((f.beta[1] - 0.5).abs() < 1e-9);
+        assert!((f.beta[2] + 1.5).abs() < 1e-9);
+        assert!((f.r2 - 1.0).abs() < 1e-9);
+        assert!((f.predict(&[1.0, 2.0, 1.0]) - (2.0 + 1.0 - 1.5)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multiple_agrees_with_simple() {
+        let x = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let y = [0.1, 1.2, 1.9, 3.1, 3.9];
+        let simple = ols_simple(&x, &y).unwrap();
+        let rows: Vec<Vec<f64>> = x.iter().map(|&v| vec![1.0, v]).collect();
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let multi = ols_multiple(&Matrix::from_rows(&refs), &y).unwrap();
+        assert!((multi.beta[0] - simple.intercept).abs() < 1e-9);
+        assert!((multi.beta[1] - simple.slope).abs() < 1e-9);
+        assert!((multi.sse - simple.sse).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multiple_rejects_underdetermined_and_collinear() {
+        let x = Matrix::from_rows(&[&[1.0, 2.0, 3.0]]);
+        assert!(ols_multiple(&x, &[1.0]).is_none());
+        let x = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]);
+        assert!(ols_multiple(&x, &[1.0, 2.0, 3.0]).is_none());
+    }
+}

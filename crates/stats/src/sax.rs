@@ -1,0 +1,219 @@
+//! Symbolic Aggregate approXimation (SAX) of time series.
+//!
+//! The paper's related work (Wijaya et al. [27]) applies symbolic
+//! representation to smart meter series; this module provides the
+//! classic SAX pipeline — z-normalization, piecewise aggregate
+//! approximation (PAA), and alphabet discretization under Gaussian
+//! breakpoints — plus the MINDIST lower-bounding distance.
+
+/// Gaussian breakpoints for alphabet sizes 2..=10 (columns of the
+/// standard SAX lookup table).
+fn breakpoints(alphabet: usize) -> Vec<f64> {
+    match alphabet {
+        2 => vec![0.0],
+        3 => vec![-0.43, 0.43],
+        4 => vec![-0.67, 0.0, 0.67],
+        5 => vec![-0.84, -0.25, 0.25, 0.84],
+        6 => vec![-0.97, -0.43, 0.0, 0.43, 0.97],
+        7 => vec![-1.07, -0.57, -0.18, 0.18, 0.57, 1.07],
+        8 => vec![-1.15, -0.67, -0.32, 0.0, 0.32, 0.67, 1.15],
+        9 => vec![-1.22, -0.76, -0.43, -0.14, 0.14, 0.43, 0.76, 1.22],
+        10 => vec![-1.28, -0.84, -0.52, -0.25, 0.0, 0.25, 0.52, 0.84, 1.28],
+        _ => panic!("SAX alphabet size must be in 2..=10, got {alphabet}"),
+    }
+}
+
+/// SAX parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SaxConfig {
+    /// Number of PAA segments (word length).
+    pub word_length: usize,
+    /// Alphabet size, 2..=10.
+    pub alphabet: usize,
+}
+
+impl Default for SaxConfig {
+    fn default() -> Self {
+        SaxConfig { word_length: 24, alphabet: 4 }
+    }
+}
+
+/// A SAX word: one symbol (0-based) per PAA segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SaxWord {
+    /// Symbols, `0..alphabet`.
+    pub symbols: Vec<u8>,
+    /// The alphabet size the word was built with.
+    pub alphabet: usize,
+    /// Original series length (needed by MINDIST).
+    pub series_len: usize,
+}
+
+impl SaxWord {
+    /// Render as letters (`a`, `b`, ...).
+    pub fn to_letters(&self) -> String {
+        self.symbols.iter().map(|&s| (b'a' + s) as char).collect()
+    }
+}
+
+/// Z-normalize a series (mean 0, stddev 1); constant series map to all
+/// zeros.
+pub fn z_normalize(series: &[f64]) -> Vec<f64> {
+    let n = series.len() as f64;
+    if series.is_empty() {
+        return Vec::new();
+    }
+    let mean = series.iter().sum::<f64>() / n;
+    let var = series.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+    let sd = var.sqrt();
+    if sd < 1e-12 {
+        return vec![0.0; series.len()];
+    }
+    series.iter().map(|v| (v - mean) / sd).collect()
+}
+
+/// Piecewise aggregate approximation into `segments` means.
+///
+/// # Panics
+/// Panics if `segments` is zero or exceeds the series length.
+pub fn paa(series: &[f64], segments: usize) -> Vec<f64> {
+    assert!(segments > 0, "PAA needs at least one segment");
+    assert!(segments <= series.len(), "more segments than points");
+    let n = series.len();
+    let mut out = Vec::with_capacity(segments);
+    for s in 0..segments {
+        // Fractional boundaries keep segments balanced when `segments`
+        // does not divide `n`.
+        let start = s * n / segments;
+        let end = ((s + 1) * n / segments).max(start + 1);
+        let mean = series[start..end].iter().sum::<f64>() / (end - start) as f64;
+        out.push(mean);
+    }
+    out
+}
+
+/// The full SAX transform: z-normalize → PAA → discretize.
+pub fn sax(series: &[f64], config: SaxConfig) -> SaxWord {
+    let bps = breakpoints(config.alphabet);
+    let normalized = z_normalize(series);
+    let segments = paa(&normalized, config.word_length);
+    let symbols = segments
+        .iter()
+        .map(|&v| bps.iter().take_while(|&&b| v >= b).count() as u8)
+        .collect();
+    SaxWord { symbols, alphabet: config.alphabet, series_len: series.len() }
+}
+
+/// MINDIST: the lower-bounding distance between two SAX words
+/// (Lin et al.). Zero for adjacent symbols.
+///
+/// # Panics
+/// Panics on mismatched word lengths or alphabets.
+pub fn mindist(a: &SaxWord, b: &SaxWord) -> f64 {
+    assert_eq!(a.symbols.len(), b.symbols.len(), "word lengths must match");
+    assert_eq!(a.alphabet, b.alphabet, "alphabets must match");
+    assert_eq!(a.series_len, b.series_len, "series lengths must match");
+    let bps = breakpoints(a.alphabet);
+    let cell = |x: u8, y: u8| -> f64 {
+        let (lo, hi) = if x < y { (x, y) } else { (y, x) };
+        if hi - lo <= 1 {
+            0.0
+        } else {
+            bps[hi as usize - 1] - bps[lo as usize]
+        }
+    };
+    let sum: f64 = a
+        .symbols
+        .iter()
+        .zip(&b.symbols)
+        .map(|(&x, &y)| {
+            let d = cell(x, y);
+            d * d
+        })
+        .sum();
+    ((a.series_len as f64 / a.symbols.len() as f64) * sum).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paa_means_are_correct() {
+        let series = [1.0, 1.0, 2.0, 2.0, 3.0, 3.0];
+        assert_eq!(paa(&series, 3), vec![1.0, 2.0, 3.0]);
+        assert_eq!(paa(&series, 1), vec![2.0]);
+        assert_eq!(paa(&series, 6), series.to_vec());
+    }
+
+    #[test]
+    fn paa_handles_uneven_split() {
+        let series = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let segs = paa(&series, 2);
+        assert_eq!(segs.len(), 2);
+        // Segments cover all points.
+        assert!((segs[0] - 1.5).abs() < 1e-12);
+        assert!((segs[1] - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn z_normalization_properties() {
+        let z = z_normalize(&[1.0, 2.0, 3.0, 4.0]);
+        let mean: f64 = z.iter().sum::<f64>() / 4.0;
+        assert!(mean.abs() < 1e-12);
+        let var: f64 = z.iter().map(|v| v * v).sum::<f64>() / 4.0;
+        assert!((var - 1.0).abs() < 1e-9);
+        assert_eq!(z_normalize(&[5.0; 10]), vec![0.0; 10]);
+    }
+
+    #[test]
+    fn sax_word_reflects_shape() {
+        // A ramp: symbols must be non-decreasing.
+        let series: Vec<f64> = (0..96).map(|i| i as f64).collect();
+        let w = sax(&series, SaxConfig { word_length: 8, alphabet: 4 });
+        assert_eq!(w.symbols.len(), 8);
+        assert!(w.symbols.windows(2).all(|p| p[0] <= p[1]), "{:?}", w.symbols);
+        assert_eq!(w.symbols[0], 0);
+        assert_eq!(w.symbols[7], 3);
+        assert_eq!(w.to_letters().len(), 8);
+    }
+
+    #[test]
+    fn identical_series_have_zero_mindist() {
+        let series: Vec<f64> = (0..48).map(|i| ((i % 7) as f64).sin()).collect();
+        let a = sax(&series, SaxConfig::default());
+        let b = sax(&series, SaxConfig::default());
+        assert_eq!(mindist(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn mindist_lower_bounds_euclidean() {
+        // The defining SAX property: MINDIST(Â, B̂) ≤ ‖A − B‖₂ on
+        // z-normalized series.
+        let a: Vec<f64> = (0..96).map(|i| (i as f64 / 9.0).sin()).collect();
+        let b: Vec<f64> = (0..96).map(|i| (i as f64 / 5.0).cos() * 2.0).collect();
+        let za = z_normalize(&a);
+        let zb = z_normalize(&b);
+        let euclid: f64 =
+            za.iter().zip(&zb).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt();
+        let cfg = SaxConfig { word_length: 12, alphabet: 6 };
+        let d = mindist(&sax(&a, cfg), &sax(&b, cfg));
+        assert!(d <= euclid + 1e-9, "mindist {d} vs euclidean {euclid}");
+        assert!(d > 0.0, "distinct shapes should have positive mindist");
+    }
+
+    #[test]
+    fn opposite_trends_are_far_apart() {
+        let up: Vec<f64> = (0..48).map(|i| i as f64).collect();
+        let down: Vec<f64> = (0..48).map(|i| -(i as f64)).collect();
+        let cfg = SaxConfig { word_length: 8, alphabet: 8 };
+        let d = mindist(&sax(&up, cfg), &sax(&down, cfg));
+        assert!(d > 1.0, "opposite ramps mindist {d}");
+    }
+
+    #[test]
+    #[should_panic(expected = "alphabet size")]
+    fn oversized_alphabet_panics() {
+        sax(&[1.0; 32], SaxConfig { word_length: 4, alphabet: 26 });
+    }
+}

@@ -1,0 +1,179 @@
+//! Cosine similarity and top-k search (the Section 3.4 benchmark task).
+
+/// Euclidean (L2) norm.
+pub fn norm2(v: &[f64]) -> f64 {
+    v.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+/// Dot product of equal-length slices.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot product requires equal lengths");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Cosine similarity `a·b / (‖a‖‖b‖)`; zero when either vector is zero.
+pub fn cosine_similarity(a: &[f64], b: &[f64]) -> f64 {
+    let na = norm2(a);
+    let nb = norm2(b);
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    dot(a, b) / (na * nb)
+}
+
+/// One similarity-search hit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimilarityMatch {
+    /// Index of the matched series in the input collection.
+    pub index: usize,
+    /// Cosine similarity to the query series.
+    pub score: f64,
+}
+
+/// Normalize each vector to unit length (zero vectors stay zero), so the
+/// all-pairs search reduces to plain dot products.
+pub fn normalize_all(series: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    series
+        .iter()
+        .map(|v| {
+            let n = norm2(v);
+            if n == 0.0 {
+                v.clone()
+            } else {
+                v.iter().map(|x| x / n).collect()
+            }
+        })
+        .collect()
+}
+
+/// For the `query`-th series in `normalized` (unit vectors), find the
+/// `k` most cosine-similar other series, best first. Ties broken by the
+/// lower index for determinism.
+pub fn top_k_normalized(normalized: &[Vec<f64>], query: usize, k: usize) -> Vec<SimilarityMatch> {
+    let q = &normalized[query];
+    let mut hits: Vec<SimilarityMatch> = Vec::with_capacity(normalized.len().saturating_sub(1));
+    for (i, v) in normalized.iter().enumerate() {
+        if i == query {
+            continue;
+        }
+        hits.push(SimilarityMatch { index: i, score: dot(q, v) });
+    }
+    select_top_k(&mut hits, k);
+    hits
+}
+
+/// For each series, the top-`k` most similar other series — the full
+/// quadratic benchmark task. Single-threaded reference implementation;
+/// the engines parallelize their own variants.
+pub fn top_k_cosine(series: &[Vec<f64>], k: usize) -> Vec<Vec<SimilarityMatch>> {
+    let normalized = normalize_all(series);
+    (0..series.len()).map(|i| top_k_normalized(&normalized, i, k)).collect()
+}
+
+/// Truncate `hits` to the `k` best, sorted best-first (score desc, index
+/// asc). Uses `select_nth_unstable` so the common `k ≪ n` case avoids a
+/// full sort.
+pub fn select_top_k(hits: &mut Vec<SimilarityMatch>, k: usize) {
+    let by_score_desc = |a: &SimilarityMatch, b: &SimilarityMatch| {
+        b.score
+            .partial_cmp(&a.score)
+            .expect("scores are finite")
+            .then(a.index.cmp(&b.index))
+    };
+    if hits.len() > k {
+        let pivot = k.saturating_sub(1).min(hits.len() - 1);
+        hits.select_nth_unstable_by(pivot, by_score_desc);
+        hits.truncate(k);
+    }
+    hits.sort_by(by_score_desc);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cosine_of_parallel_vectors_is_one() {
+        assert!((cosine_similarity(&[1.0, 2.0], &[2.0, 4.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_of_orthogonal_vectors_is_zero() {
+        assert!(cosine_similarity(&[1.0, 0.0], &[0.0, 1.0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_of_opposite_vectors_is_minus_one() {
+        assert!((cosine_similarity(&[1.0, 1.0], &[-1.0, -1.0]) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_vector_similarity_is_zero() {
+        assert_eq!(cosine_similarity(&[0.0, 0.0], &[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn top_k_excludes_self_and_orders_by_score() {
+        let series = vec![
+            vec![1.0, 0.0],  // 0
+            vec![0.9, 0.1],  // 1: close to 0
+            vec![0.0, 1.0],  // 2: orthogonal to 0
+            vec![1.0, 0.05], // 3: closest to 0
+        ];
+        let all = top_k_cosine(&series, 2);
+        let hits = &all[0];
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].index, 3);
+        assert_eq!(hits[1].index, 1);
+        assert!(hits[0].score >= hits[1].score);
+        assert!(all.iter().enumerate().all(|(i, hs)| hs.iter().all(|h| h.index != i)));
+    }
+
+    #[test]
+    fn k_larger_than_collection_returns_all_others() {
+        let series = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let all = top_k_cosine(&series, 10);
+        assert!(all.iter().all(|h| h.len() == 2));
+    }
+
+    #[test]
+    fn ties_broken_by_lower_index() {
+        let series = vec![vec![1.0, 0.0], vec![1.0, 0.0], vec![1.0, 0.0]];
+        let hits = top_k_cosine(&series, 2);
+        assert_eq!(hits[0][0].index, 1);
+        assert_eq!(hits[0][1].index, 2);
+        assert_eq!(hits[2][0].index, 0);
+    }
+
+    #[test]
+    fn normalized_vectors_have_unit_norm() {
+        let n = normalize_all(&[vec![3.0, 4.0], vec![0.0, 0.0]]);
+        assert!((norm2(&n[0]) - 1.0).abs() < 1e-12);
+        assert_eq!(norm2(&n[1]), 0.0);
+    }
+
+    #[test]
+    fn select_top_k_handles_small_inputs() {
+        let mut hits = vec![SimilarityMatch { index: 0, score: 0.5 }];
+        select_top_k(&mut hits, 5);
+        assert_eq!(hits.len(), 1);
+        let mut hits: Vec<SimilarityMatch> = Vec::new();
+        select_top_k(&mut hits, 3);
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn select_top_k_matches_full_sort() {
+        let mut hits: Vec<SimilarityMatch> = (0..100)
+            .map(|i| SimilarityMatch { index: i, score: ((i * 37) % 100) as f64 / 100.0 })
+            .collect();
+        let mut expected = hits.clone();
+        expected.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap().then(a.index.cmp(&b.index)));
+        expected.truncate(10);
+        select_top_k(&mut hits, 10);
+        assert_eq!(hits, expected);
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests for the statistics substrate.
+
+use proptest::prelude::*;
+use smda_stats::linalg::Matrix;
+use smda_stats::{
+    cosine_similarity, mean, ols_simple, quantile_sorted, sample_variance, EquiWidthHistogram,
+    KMeans, KMeansConfig, OnlineStats,
+};
+
+fn finite_vec(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6f64..1e6, 1..max_len)
+}
+
+proptest! {
+    #[test]
+    fn mean_within_min_max(v in finite_vec(200)) {
+        let m = mean(&v);
+        let lo = v.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = v.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(m >= lo - 1e-6 && m <= hi + 1e-6);
+    }
+
+    #[test]
+    fn variance_is_non_negative(v in finite_vec(200)) {
+        prop_assume!(v.len() >= 2);
+        prop_assert!(sample_variance(&v) >= -1e-9);
+    }
+
+    #[test]
+    fn mean_is_shift_equivariant(v in finite_vec(100), shift in -1e3f64..1e3) {
+        let shifted: Vec<f64> = v.iter().map(|x| x + shift).collect();
+        prop_assert!((mean(&shifted) - (mean(&v) + shift)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn quantile_is_monotone_in_q(mut v in finite_vec(100), q1 in 0.0f64..1.0, q2 in 0.0f64..1.0) {
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        prop_assert!(quantile_sorted(&v, lo) <= quantile_sorted(&v, hi) + 1e-12);
+    }
+
+    #[test]
+    fn quantile_bounded_by_extremes(mut v in finite_vec(100), q in 0.0f64..1.0) {
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let x = quantile_sorted(&v, q);
+        prop_assert!(x >= v[0] - 1e-12 && x <= v[v.len()-1] + 1e-12);
+    }
+
+    #[test]
+    fn histogram_counts_everything_in_range(v in finite_vec(300)) {
+        let h = EquiWidthHistogram::build(&v, 10).unwrap();
+        prop_assert_eq!(h.total(), v.len() as u64);
+    }
+
+    #[test]
+    fn cosine_similarity_bounded(a in finite_vec(50), b in finite_vec(50)) {
+        let n = a.len().min(b.len());
+        let s = cosine_similarity(&a[..n], &b[..n]);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&s));
+    }
+
+    #[test]
+    fn cosine_similarity_symmetric(a in finite_vec(50), b in finite_vec(50)) {
+        let n = a.len().min(b.len());
+        let s1 = cosine_similarity(&a[..n], &b[..n]);
+        let s2 = cosine_similarity(&b[..n], &a[..n]);
+        prop_assert!((s1 - s2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cosine_scale_invariant(a in finite_vec(30), b in finite_vec(30), scale in 0.001f64..1e3) {
+        let n = a.len().min(b.len());
+        let scaled: Vec<f64> = a[..n].iter().map(|x| x * scale).collect();
+        let s1 = cosine_similarity(&a[..n], &b[..n]);
+        let s2 = cosine_similarity(&scaled, &b[..n]);
+        prop_assert!((s1 - s2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn online_stats_match_two_pass(v in finite_vec(200)) {
+        let s: OnlineStats = v.iter().copied().collect();
+        prop_assert!((s.mean() - mean(&v)).abs() < 1e-6 * (1.0 + mean(&v).abs()));
+        if v.len() >= 2 {
+            let tv = sample_variance(&v);
+            prop_assert!((s.sample_variance() - tv).abs() < 1e-6 * (1.0 + tv.abs()));
+        }
+    }
+
+    #[test]
+    fn ols_residuals_orthogonal_to_x(
+        pairs in prop::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 3..100)
+    ) {
+        let x: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let y: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        if let Some(fit) = ols_simple(&x, &y) {
+            // Normal equations: residuals orthogonal to [1, x].
+            let resid: Vec<f64> = x.iter().zip(&y).map(|(xi, yi)| yi - fit.predict(*xi)).collect();
+            let sum_r: f64 = resid.iter().sum();
+            let dot_rx: f64 = resid.iter().zip(&x).map(|(r, xi)| r * xi).sum();
+            let scale = 1.0 + y.iter().map(|v| v.abs()).fold(0.0, f64::max) * x.len() as f64;
+            prop_assert!(sum_r.abs() < 1e-6 * scale, "sum {sum_r}");
+            prop_assert!(dot_rx.abs() < 1e-4 * scale * 100.0, "dot {dot_rx}");
+        }
+    }
+
+    #[test]
+    fn cholesky_qr_agree(
+        rows in prop::collection::vec((-10.0f64..10.0, -10.0f64..10.0), 5..40)
+    ) {
+        // Design [1, x, x^2] with x from the first tuple element.
+        let design: Vec<Vec<f64>> = rows.iter().map(|(x, _)| vec![1.0, *x, x * x]).collect();
+        let y: Vec<f64> = rows.iter().map(|(_, y)| *y).collect();
+        let refs: Vec<&[f64]> = design.iter().map(|r| r.as_slice()).collect();
+        let m = Matrix::from_rows(&refs);
+        let chol = smda_stats::linalg::cholesky_solve(&m.gram(), &m.t_vec(&y));
+        let qr = smda_stats::linalg::qr_least_squares(&m, &y);
+        if let (Some(a), Some(b)) = (chol, qr) {
+            for (x1, x2) in a.iter().zip(&b) {
+                prop_assert!((x1 - x2).abs() < 1e-4 * (1.0 + x1.abs()), "{a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn kmeans_assignments_in_range(
+        pts in prop::collection::vec(prop::collection::vec(-50.0f64..50.0, 3), 2..60),
+        k in 1usize..6
+    ) {
+        let km = KMeans::fit(&pts, KMeansConfig { k, seed: 1, ..Default::default() }).unwrap();
+        prop_assert!(km.assignments.iter().all(|&a| a < km.k()));
+        prop_assert_eq!(km.assignments.len(), pts.len());
+        prop_assert!(km.inertia >= 0.0);
+    }
+}

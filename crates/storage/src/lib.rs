@@ -1,0 +1,37 @@
+//! Single-node storage substrates for the platform engines.
+//!
+//! The paper's single-server platforms differ primarily in how they store
+//! and reach the data; this crate builds each storage architecture from
+//! scratch:
+//!
+//! * [`page`] / [`heap`] / [`btree`] / [`buffer`] — the PostgreSQL-like
+//!   row store: 8 KiB slotted pages in a heap file, a B+tree index on the
+//!   household id, and a buffer pool with clock eviction. Three table
+//!   layouts mirror Figure 9 of the paper: one reading per row, one
+//!   consumer per row (arrays), and one consumer-day per row.
+//! * [`colstore`] — the "System C"-like main-memory column store: raw
+//!   `f64` column files with a consumer-offset index, faulted in by chunk
+//!   and cached (standing in for memory-mapped I/O; see DESIGN.md).
+//! * [`files`] — the Matlab-like file store: CSV read directly per query,
+//!   either partitioned (one file per consumer) or as one large file.
+
+pub mod btree;
+pub mod buffer;
+pub mod colstore;
+pub mod files;
+pub mod heap;
+pub mod layout;
+pub mod page;
+pub mod update;
+
+pub use btree::BTreeIndex;
+pub use buffer::{BufferPool, PoolStats};
+pub use colstore::{ColumnStore, ColumnStoreStats};
+pub use files::{FileStore, FileLayout};
+pub use heap::{HeapFile, TupleId};
+pub use layout::{ArrayTable, DayTable, ReadingTable, TableLayout};
+pub use page::{Page, PAGE_SIZE};
+pub use update::{
+    restate_array_table, restate_column_store, restate_day_table, restate_reading_table,
+    DayRestatement,
+};

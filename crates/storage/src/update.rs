@@ -1,0 +1,238 @@
+//! Update workloads — the paper's future work ("adding updates to the
+//! benchmark is an important direction ... read-optimized data
+//! structures that help improve running time may be expensive to
+//! update", Section 3).
+//!
+//! The realistic MDM update is a *late-data restatement*: a day's
+//! readings arrive corrected and must be overwritten in place. This
+//! module implements `restate_day` for every storage substrate so the
+//! harness can compare update costs across layouts:
+//!
+//! * [`ReadingTable`] — 24 fixed-size tuple overwrites per household,
+//!   located through the B+tree (page writes through the heap file);
+//! * [`ArrayTable`] — one 192-byte in-place region write per household;
+//! * [`DayTable`] — one tuple overwrite per household;
+//! * [`ColumnStore`] — one strided region write per household, plus
+//!   chunk-cache invalidation (the read-optimized layout pays extra).
+
+use std::io::{Seek, SeekFrom, Write};
+
+use bytes::BufMut;
+
+use smda_types::{ConsumerId, Error, Result, DAYS_PER_YEAR, HOURS_PER_DAY, HOURS_PER_YEAR};
+
+use crate::colstore::ColumnStore;
+use crate::heap::TupleId;
+use crate::layout::{ArrayTable, DayTable, ReadingTable};
+
+/// A corrected day for one household: 24 kWh values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DayRestatement {
+    /// The household to correct.
+    pub consumer: ConsumerId,
+    /// Day of year, `0..365`.
+    pub day: usize,
+    /// The corrected readings.
+    pub kwh: [f64; HOURS_PER_DAY],
+}
+
+impl DayRestatement {
+    fn validate(&self) -> Result<()> {
+        if self.day >= DAYS_PER_YEAR {
+            return Err(Error::Invalid(format!("day {} out of range", self.day)));
+        }
+        if self.kwh.iter().any(|v| !v.is_finite() || *v < 0.0) {
+            return Err(Error::Invalid("corrected readings must be finite and non-negative".into()));
+        }
+        Ok(())
+    }
+}
+
+/// Apply restatements to a [`ReadingTable`]: per reading, an index
+/// lookup plus a same-size tuple overwrite.
+pub fn restate_reading_table(table: &mut ReadingTable, updates: &[DayRestatement]) -> Result<()> {
+    for u in updates {
+        u.validate()?;
+        // The index posting list is ordered by insertion = hour order.
+        let postings: Vec<u64> = table.index().get(u.consumer.raw() as u64).to_vec();
+        if postings.len() != HOURS_PER_YEAR {
+            return Err(Error::Invalid(format!("unknown or incomplete consumer {}", u.consumer)));
+        }
+        for (offset, &raw) in
+            postings[u.day * HOURS_PER_DAY..(u.day + 1) * HOURS_PER_DAY].iter().enumerate()
+        {
+            let tid = TupleId::unpack(raw);
+            table.overwrite_kwh(tid, u.kwh[offset])?;
+        }
+    }
+    Ok(())
+}
+
+/// Apply restatements to an [`ArrayTable`]: one contiguous in-place
+/// region write per household.
+pub fn restate_array_table(table: &mut ArrayTable, updates: &[DayRestatement]) -> Result<()> {
+    for u in updates {
+        u.validate()?;
+        table.overwrite_day(u.consumer, u.day, &u.kwh)?;
+    }
+    Ok(())
+}
+
+/// Apply restatements to a [`DayTable`]: one tuple overwrite per
+/// household.
+pub fn restate_day_table(table: &mut DayTable, updates: &[DayRestatement]) -> Result<()> {
+    for u in updates {
+        u.validate()?;
+        table.overwrite_day(u.consumer, u.day, &u.kwh)?;
+    }
+    Ok(())
+}
+
+/// Apply restatements to a [`ColumnStore`]: strided column writes plus a
+/// full cache eviction (resident chunks may now be stale).
+pub fn restate_column_store(store: &mut ColumnStore, updates: &[DayRestatement]) -> Result<()> {
+    for u in updates {
+        u.validate()?;
+        let index = store
+            .consumer_ids()
+            .iter()
+            .position(|id| *id == u.consumer)
+            .ok_or_else(|| Error::Invalid(format!("unknown consumer {}", u.consumer)))?;
+        let start = index * HOURS_PER_YEAR + u.day * HOURS_PER_DAY;
+        store.overwrite_values(start, &u.kwh)?;
+    }
+    // Read-optimized price: resident chunks are invalidated wholesale.
+    store.evict_all();
+    Ok(())
+}
+
+/// Helper used by the implementations: serialize 24 kWh values LE.
+pub(crate) fn day_bytes(kwh: &[f64; HOURS_PER_DAY]) -> [u8; HOURS_PER_DAY * 8] {
+    let mut buf = [0u8; HOURS_PER_DAY * 8];
+    {
+        let mut w = &mut buf[..];
+        for &v in kwh {
+            w.put_f64_le(v);
+        }
+    }
+    buf
+}
+
+/// Shared low-level write-at-offset with context-rich errors.
+pub(crate) fn write_at(file: &mut std::fs::File, offset: u64, bytes: &[u8]) -> Result<()> {
+    file.seek(SeekFrom::Start(offset)).map_err(|e| Error::io("seeking for restatement", e))?;
+    file.write_all(bytes).map_err(|e| Error::io("writing restatement", e))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::TableLayout;
+    use smda_types::{ConsumerSeries, Dataset, TemperatureSeries};
+
+    fn tiny(n: u32) -> Dataset {
+        let temp = TemperatureSeries::new(
+            (0..HOURS_PER_YEAR).map(|h| (h % 30) as f64 - 5.0).collect(),
+        )
+        .unwrap();
+        let consumers = (0..n)
+            .map(|i| {
+                ConsumerSeries::new(
+                    ConsumerId(i),
+                    (0..HOURS_PER_YEAR).map(|h| 0.5 + (h % 24) as f64 * 0.01).collect(),
+                )
+                .unwrap()
+            })
+            .collect();
+        Dataset::new(consumers, temp).unwrap()
+    }
+
+    fn restatement(consumer: u32, day: usize) -> DayRestatement {
+        let mut kwh = [0.0; HOURS_PER_DAY];
+        for (h, v) in kwh.iter_mut().enumerate() {
+            *v = 9.0 + h as f64 * 0.01;
+        }
+        DayRestatement { consumer: ConsumerId(consumer), day, kwh }
+    }
+
+    fn tmp(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("smda-update-{tag}-{}", std::process::id()))
+    }
+
+    fn assert_day_updated(kwh: &[f64], day: usize) {
+        for h in 0..HOURS_PER_DAY {
+            let v = kwh[day * HOURS_PER_DAY + h];
+            assert!((v - (9.0 + h as f64 * 0.01)).abs() < 1e-9, "hour {h}: {v}");
+        }
+        // Neighbouring days untouched.
+        if day > 0 {
+            assert!(kwh[day * HOURS_PER_DAY - 1] < 2.0);
+        }
+        assert!(kwh[(day + 1) * HOURS_PER_DAY] < 2.0);
+    }
+
+    #[test]
+    fn reading_table_restatement() {
+        let ds = tiny(2);
+        let path = tmp("l1");
+        let mut t = ReadingTable::create(&path, &ds).unwrap();
+        restate_reading_table(&mut t, &[restatement(1, 100)]).unwrap();
+        let (kwh, _) = t.consumer_year(ConsumerId(1)).unwrap();
+        assert_day_updated(&kwh, 100);
+        // The other consumer is untouched.
+        let (other, _) = t.consumer_year(ConsumerId(0)).unwrap();
+        assert!(other[100 * 24] < 2.0);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn array_table_restatement() {
+        let ds = tiny(2);
+        let path = tmp("l2");
+        let mut t = ArrayTable::create(&path, &ds).unwrap();
+        restate_array_table(&mut t, &[restatement(0, 0)]).unwrap();
+        let (kwh, _) = t.consumer_year(ConsumerId(0)).unwrap();
+        assert_day_updated(&kwh, 0);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn day_table_restatement() {
+        let ds = tiny(2);
+        let path = tmp("l3");
+        let mut t = DayTable::create(&path, &ds).unwrap();
+        restate_day_table(&mut t, &[restatement(1, 364)]).unwrap();
+        let (kwh, _) = t.consumer_year(ConsumerId(1)).unwrap();
+        assert_day_updated(&kwh, 364);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn column_store_restatement_invalidates_cache() {
+        let ds = tiny(2);
+        let dir = tmp("col");
+        let mut store = ColumnStore::create(&dir, &ds).unwrap();
+        store.readings(1).unwrap();
+        assert!(store.stats().resident_bytes > 0);
+        restate_column_store(&mut store, &[restatement(1, 50)]).unwrap();
+        assert_eq!(store.stats().resident_bytes, 0, "cache invalidated");
+        let kwh = store.readings(1).unwrap();
+        assert_day_updated(&kwh, 50);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn invalid_restatements_are_rejected() {
+        let ds = tiny(1);
+        let path = tmp("bad");
+        let mut t = ReadingTable::create(&path, &ds).unwrap();
+        let mut bad_day = restatement(0, 365);
+        assert!(restate_reading_table(&mut t, &[bad_day]).is_err());
+        bad_day.day = 0;
+        bad_day.kwh[0] = -1.0;
+        assert!(restate_reading_table(&mut t, &[bad_day]).is_err());
+        assert!(restate_reading_table(&mut t, &[restatement(42, 0)]).is_err());
+        std::fs::remove_file(path).unwrap();
+    }
+}

@@ -1,0 +1,135 @@
+//! Minimal, allocation-conscious CSV codecs for benchmark data.
+//!
+//! The files the benchmark reads are numeric-only and schema-fixed, so a
+//! hand-rolled parser is both simpler and faster than a general CSV crate
+//! (and keeps the dependency set to the approved list). Numbers are written
+//! with enough precision to round-trip `f64` values used in practice.
+
+use std::io::{BufRead, Write};
+
+use crate::error::{Error, Result};
+use crate::reading::Reading;
+use crate::series::ConsumerId;
+
+/// Write one reading as a Format-1 CSV line: `consumer,hour,temperature,kwh`.
+pub fn write_reading_line<W: Write>(w: &mut W, r: &Reading) -> Result<()> {
+    writeln!(w, "{},{},{:.3},{:.4}", r.consumer.raw(), r.hour, r.temperature, r.kwh)
+        .map_err(|e| Error::io("writing reading line", e))
+}
+
+/// Parse one Format-1 CSV line. `context`/`line_no` feed error messages.
+pub fn parse_reading_line(line: &str, context: &str, line_no: usize) -> Result<Reading> {
+    let mut fields = line.split(',');
+    let mut next = |name: &str| {
+        fields
+            .next()
+            .ok_or_else(|| Error::parse(context, Some(line_no), format!("missing field `{name}`")))
+    };
+    let consumer: u32 = parse_field(next("consumer")?, "consumer", context, line_no)?;
+    let hour: u32 = parse_field(next("hour")?, "hour", context, line_no)?;
+    let temperature: f64 = parse_field(next("temperature")?, "temperature", context, line_no)?;
+    let kwh: f64 = parse_field(next("kwh")?, "kwh", context, line_no)?;
+    if fields.next().is_some() {
+        return Err(Error::parse(context, Some(line_no), "trailing fields"));
+    }
+    Ok(Reading { consumer: ConsumerId(consumer), hour, temperature, kwh })
+}
+
+fn parse_field<T: std::str::FromStr>(
+    raw: &str,
+    name: &str,
+    context: &str,
+    line_no: usize,
+) -> Result<T> {
+    raw.trim().parse::<T>().map_err(|_| {
+        Error::parse(context, Some(line_no), format!("invalid `{name}` value `{raw}`"))
+    })
+}
+
+/// Read every reading from a Format-1 CSV stream.
+pub fn read_readings<R: BufRead>(reader: R, context: &str) -> Result<Vec<Reading>> {
+    let mut out = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| Error::io(format!("reading {context}"), e))?;
+        if line.is_empty() {
+            continue;
+        }
+        out.push(parse_reading_line(&line, context, i + 1)?);
+    }
+    Ok(out)
+}
+
+/// Write a slice of `f64`s as a single comma-separated line (Format 2 body).
+pub fn write_f64_csv_line<W: Write>(w: &mut W, values: &[f64]) -> Result<()> {
+    let mut buf = String::with_capacity(values.len() * 8);
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            buf.push(',');
+        }
+        // 4 decimal places matches the kWh precision of the seed data.
+        buf.push_str(&format!("{v:.4}"));
+    }
+    buf.push('\n');
+    w.write_all(buf.as_bytes()).map_err(|e| Error::io("writing csv line", e))
+}
+
+/// Parse a comma-separated list of `f64`s.
+pub fn parse_f64_csv(line: &str, context: &str, line_no: usize) -> Result<Vec<f64>> {
+    line.split(',')
+        .map(|f| parse_field::<f64>(f, "value", context, line_no))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn reading_round_trip() {
+        let r = Reading { consumer: ConsumerId(12), hour: 8759, temperature: -10.5, kwh: 1.2345 };
+        let mut buf = Vec::new();
+        write_reading_line(&mut buf, &r).unwrap();
+        let line = String::from_utf8(buf).unwrap();
+        let parsed = parse_reading_line(line.trim_end(), "test", 1).unwrap();
+        assert_eq!(parsed.consumer, r.consumer);
+        assert_eq!(parsed.hour, r.hour);
+        assert!((parsed.temperature - r.temperature).abs() < 1e-9);
+        assert!((parsed.kwh - r.kwh).abs() < 1e-4);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_reading_line("1,2,3", "t", 1).is_err()); // missing field
+        assert!(parse_reading_line("1,2,3,4,5", "t", 1).is_err()); // extra field
+        assert!(parse_reading_line("x,2,3.0,4.0", "t", 1).is_err()); // bad consumer
+        assert!(parse_reading_line("1,y,3.0,4.0", "t", 1).is_err()); // bad hour
+    }
+
+    #[test]
+    fn error_mentions_line_number() {
+        let err = parse_reading_line("bad", "seed.csv", 17).unwrap_err();
+        assert!(err.to_string().contains("line 17"), "{err}");
+    }
+
+    #[test]
+    fn read_readings_skips_blank_lines() {
+        let data = "1,0,5.000,0.5000\n\n1,1,5.000,0.6000\n";
+        let rows = read_readings(Cursor::new(data), "mem").unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1].hour, 1);
+    }
+
+    #[test]
+    fn f64_line_round_trip() {
+        let vals = vec![0.0, 1.5, 2.25, 100.0001];
+        let mut buf = Vec::new();
+        write_f64_csv_line(&mut buf, &vals).unwrap();
+        let line = String::from_utf8(buf).unwrap();
+        let parsed = parse_f64_csv(line.trim_end(), "t", 1).unwrap();
+        assert_eq!(parsed.len(), vals.len());
+        for (a, b) in parsed.iter().zip(&vals) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Error handling shared across the workspace.
+
+use std::fmt;
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced while loading, validating or processing benchmark data.
+#[derive(Debug)]
+pub enum Error {
+    /// An underlying I/O failure, annotated with the operation that failed.
+    Io {
+        /// What the caller was doing when the failure occurred.
+        context: String,
+        /// The operating system error.
+        source: std::io::Error,
+    },
+    /// A malformed line or field in a text file.
+    Parse {
+        /// Path or format being parsed.
+        context: String,
+        /// Line number (1-based) if known.
+        line: Option<usize>,
+        /// Description of what was wrong.
+        message: String,
+    },
+    /// Data that parses but violates a benchmark invariant
+    /// (e.g. a series whose length is not 8760).
+    Schema(String),
+    /// A request that cannot be satisfied (unknown consumer, empty
+    /// dataset, invalid parameter value).
+    Invalid(String),
+}
+
+impl Error {
+    /// Wrap an I/O error with context about the failed operation.
+    pub fn io(context: impl Into<String>, source: std::io::Error) -> Self {
+        Error::Io { context: context.into(), source }
+    }
+
+    /// Build a parse error for `context` at an optional line number.
+    pub fn parse(context: impl Into<String>, line: Option<usize>, message: impl Into<String>) -> Self {
+        Error::Parse { context: context.into(), line, message: message.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io { context, source } => write!(f, "I/O error while {context}: {source}"),
+            Error::Parse { context, line: Some(line), message } => {
+                write!(f, "parse error in {context} at line {line}: {message}")
+            }
+            Error::Parse { context, line: None, message } => {
+                write!(f, "parse error in {context}: {message}")
+            }
+            Error::Schema(msg) => write!(f, "schema violation: {msg}"),
+            Error::Invalid(msg) => write!(f, "invalid request: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_error_displays_context() {
+        let e = Error::io("reading seed file", std::io::Error::new(std::io::ErrorKind::NotFound, "gone"));
+        let s = e.to_string();
+        assert!(s.contains("reading seed file"), "{s}");
+        assert!(s.contains("gone"), "{s}");
+    }
+
+    #[test]
+    fn parse_error_displays_line() {
+        let e = Error::parse("readings.csv", Some(42), "expected 4 fields");
+        assert_eq!(e.to_string(), "parse error in readings.csv at line 42: expected 4 fields");
+    }
+
+    #[test]
+    fn parse_error_without_line() {
+        let e = Error::parse("readings.csv", None, "truncated");
+        assert_eq!(e.to_string(), "parse error in readings.csv: truncated");
+    }
+
+    #[test]
+    fn source_is_preserved_for_io() {
+        use std::error::Error as _;
+        let e = Error::io("x", std::io::Error::new(std::io::ErrorKind::Other, "y"));
+        assert!(e.source().is_some());
+        assert!(Error::Schema("s".into()).source().is_none());
+    }
+}

@@ -1,0 +1,380 @@
+//! The three text formats evaluated in Section 5.4.2 of the paper.
+//!
+//! * [`DataFormat::ReadingPerLine`] (format 1): one file, one smart meter
+//!   reading per line. The most flexible layout, but a grouping (reduce)
+//!   step is needed because a household's readings may be scattered.
+//! * [`DataFormat::ConsumerPerLine`] (format 2): one file, one household
+//!   per line — all 8760 readings on a single line. Map-only jobs suffice.
+//! * [`DataFormat::ManyFiles`] (format 3): many files, one reading per
+//!   line, with every household fully contained in exactly one file
+//!   (the paper pairs this with a non-splittable input format).
+//!
+//! Formats 2 and 3 do not embed temperature per line; the shared weather
+//! series is stored in a sidecar `temperature.csv` (one value per line).
+//! Format 1 embeds the temperature in every row, which is why the paper
+//! observes 3-line to be the most memory-hungry task under format 1.
+
+use std::fs;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use crate::calendar::HOURS_PER_YEAR;
+use crate::csv;
+use crate::dataset::Dataset;
+use crate::error::{Error, Result};
+use crate::reading::Reading;
+use crate::series::{ConsumerId, ConsumerSeries, TemperatureSeries};
+
+/// Which on-disk text format a dataset is materialized in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataFormat {
+    /// Format 1: one file, one reading per line (`consumer,hour,temp,kwh`).
+    ReadingPerLine,
+    /// Format 2: one file, one consumer per line (`consumer,kwh0,...,kwh8759`).
+    ConsumerPerLine,
+    /// Format 3: `files` files, one reading per line, households never split
+    /// across files.
+    ManyFiles {
+        /// Number of part files to produce.
+        files: usize,
+    },
+}
+
+impl DataFormat {
+    /// Short name used in reports ("F1"/"F2"/"F3").
+    pub fn label(&self) -> &'static str {
+        match self {
+            DataFormat::ReadingPerLine => "F1",
+            DataFormat::ConsumerPerLine => "F2",
+            DataFormat::ManyFiles { .. } => "F3",
+        }
+    }
+
+    /// Whether a household's readings are guaranteed to be colocated in one
+    /// file (formats 2 and 3) so that map-only processing is possible.
+    pub fn household_colocated(&self) -> bool {
+        !matches!(self, DataFormat::ReadingPerLine)
+    }
+}
+
+const TEMPERATURE_FILE: &str = "temperature.csv";
+
+/// Writes datasets to a directory in one of the three formats.
+#[derive(Debug)]
+pub struct FormatWriter {
+    dir: PathBuf,
+}
+
+impl FormatWriter {
+    /// A writer rooted at `dir` (created if missing).
+    pub fn new(dir: impl Into<PathBuf>) -> Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(|e| Error::io(format!("creating {}", dir.display()), e))?;
+        Ok(FormatWriter { dir })
+    }
+
+    /// Materialize `ds` in `format`, returning the data files written
+    /// (excluding the temperature sidecar).
+    pub fn write(&self, ds: &Dataset, format: DataFormat) -> Result<Vec<PathBuf>> {
+        match format {
+            DataFormat::ReadingPerLine => self.write_f1(ds),
+            DataFormat::ConsumerPerLine => self.write_f2(ds),
+            DataFormat::ManyFiles { files } => self.write_f3(ds, files),
+        }
+    }
+
+    fn create(&self, name: &str) -> Result<BufWriter<fs::File>> {
+        let path = self.dir.join(name);
+        let f = fs::File::create(&path)
+            .map_err(|e| Error::io(format!("creating {}", path.display()), e))?;
+        Ok(BufWriter::new(f))
+    }
+
+    fn write_temperature(&self, ds: &Dataset) -> Result<()> {
+        let mut w = self.create(TEMPERATURE_FILE)?;
+        for v in ds.temperature().values() {
+            writeln!(w, "{v:.3}").map_err(|e| Error::io("writing temperature", e))?;
+        }
+        w.flush().map_err(|e| Error::io("flushing temperature", e))
+    }
+
+    fn write_f1(&self, ds: &Dataset) -> Result<Vec<PathBuf>> {
+        let mut w = self.create("readings.csv")?;
+        for r in ds.readings() {
+            csv::write_reading_line(&mut w, &r)?;
+        }
+        w.flush().map_err(|e| Error::io("flushing readings.csv", e))?;
+        self.write_temperature(ds)?;
+        Ok(vec![self.dir.join("readings.csv")])
+    }
+
+    fn write_f2(&self, ds: &Dataset) -> Result<Vec<PathBuf>> {
+        let mut w = self.create("consumers.csv")?;
+        for c in ds.consumers() {
+            write!(w, "{},", c.id.raw()).map_err(|e| Error::io("writing consumers.csv", e))?;
+            csv::write_f64_csv_line(&mut w, c.readings())?;
+        }
+        w.flush().map_err(|e| Error::io("flushing consumers.csv", e))?;
+        self.write_temperature(ds)?;
+        Ok(vec![self.dir.join("consumers.csv")])
+    }
+
+    fn write_f3(&self, ds: &Dataset, files: usize) -> Result<Vec<PathBuf>> {
+        if files == 0 {
+            return Err(Error::Invalid("format 3 requires at least one file".into()));
+        }
+        let n = ds.len();
+        let per_file = n.div_ceil(files.max(1));
+        let mut paths = Vec::new();
+        let temp = ds.temperature().values();
+        for (fi, chunk) in ds.consumers().chunks(per_file.max(1)).enumerate() {
+            let name = format!("part-{fi:05}.csv");
+            let mut w = self.create(&name)?;
+            for c in chunk {
+                for (h, kwh) in c.readings().iter().enumerate() {
+                    let r = Reading {
+                        consumer: c.id,
+                        hour: h as u32,
+                        temperature: temp[h],
+                        kwh: *kwh,
+                    };
+                    csv::write_reading_line(&mut w, &r)?;
+                }
+            }
+            w.flush().map_err(|e| Error::io(format!("flushing {name}"), e))?;
+            paths.push(self.dir.join(name));
+        }
+        self.write_temperature(ds)?;
+        Ok(paths)
+    }
+}
+
+/// Reads datasets back from a directory written by [`FormatWriter`].
+#[derive(Debug)]
+pub struct FormatReader {
+    dir: PathBuf,
+}
+
+impl FormatReader {
+    /// A reader rooted at `dir`.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        FormatReader { dir: dir.into() }
+    }
+
+    /// The data files for `format`, in deterministic (sorted) order —
+    /// the unit of input splits for the cluster engines.
+    pub fn data_files(&self, format: DataFormat) -> Result<Vec<PathBuf>> {
+        match format {
+            DataFormat::ReadingPerLine => Ok(vec![self.dir.join("readings.csv")]),
+            DataFormat::ConsumerPerLine => Ok(vec![self.dir.join("consumers.csv")]),
+            DataFormat::ManyFiles { .. } => {
+                let mut parts = Vec::new();
+                let entries = fs::read_dir(&self.dir)
+                    .map_err(|e| Error::io(format!("listing {}", self.dir.display()), e))?;
+                for entry in entries {
+                    let entry = entry.map_err(|e| Error::io("listing directory", e))?;
+                    let name = entry.file_name();
+                    let name = name.to_string_lossy();
+                    if name.starts_with("part-") && name.ends_with(".csv") {
+                        parts.push(entry.path());
+                    }
+                }
+                parts.sort();
+                Ok(parts)
+            }
+        }
+    }
+
+    /// Read the shared temperature sidecar.
+    pub fn read_temperature(&self) -> Result<TemperatureSeries> {
+        let path = self.dir.join(TEMPERATURE_FILE);
+        let f = fs::File::open(&path)
+            .map_err(|e| Error::io(format!("opening {}", path.display()), e))?;
+        let mut values = Vec::with_capacity(HOURS_PER_YEAR);
+        for (i, line) in BufReader::new(f).lines().enumerate() {
+            let line = line.map_err(|e| Error::io("reading temperature", e))?;
+            if line.is_empty() {
+                continue;
+            }
+            let v: f64 = line.trim().parse().map_err(|_| {
+                Error::parse(TEMPERATURE_FILE, Some(i + 1), format!("invalid value `{line}`"))
+            })?;
+            values.push(v);
+        }
+        TemperatureSeries::new(values)
+    }
+
+    /// Read the whole dataset back into memory.
+    pub fn read(&self, format: DataFormat) -> Result<Dataset> {
+        let temperature = self.read_temperature()?;
+        let consumers = match format {
+            DataFormat::ReadingPerLine | DataFormat::ManyFiles { .. } => {
+                let mut readings = Vec::new();
+                for path in self.data_files(format)? {
+                    let f = fs::File::open(&path)
+                        .map_err(|e| Error::io(format!("opening {}", path.display()), e))?;
+                    readings.extend(csv::read_readings(
+                        BufReader::new(f),
+                        &path.display().to_string(),
+                    )?);
+                }
+                assemble_consumers(readings)?
+            }
+            DataFormat::ConsumerPerLine => {
+                let path = self.dir.join("consumers.csv");
+                let f = fs::File::open(&path)
+                    .map_err(|e| Error::io(format!("opening {}", path.display()), e))?;
+                let mut out = Vec::new();
+                for (i, line) in BufReader::new(f).lines().enumerate() {
+                    let line = line.map_err(|e| Error::io("reading consumers.csv", e))?;
+                    if line.is_empty() {
+                        continue;
+                    }
+                    out.push(parse_consumer_line(&line, i + 1)?);
+                }
+                out
+            }
+        };
+        Dataset::new(consumers, temperature)
+    }
+}
+
+/// Parse a Format-2 line (`consumer,kwh0,...`) into a series.
+pub fn parse_consumer_line(line: &str, line_no: usize) -> Result<ConsumerSeries> {
+    let (id_str, rest) = line.split_once(',').ok_or_else(|| {
+        Error::parse("consumers.csv", Some(line_no), "expected `consumer,` prefix")
+    })?;
+    let id: u32 = id_str.trim().parse().map_err(|_| {
+        Error::parse("consumers.csv", Some(line_no), format!("invalid consumer id `{id_str}`"))
+    })?;
+    let readings = csv::parse_f64_csv(rest, "consumers.csv", line_no)?;
+    ConsumerSeries::new(ConsumerId(id), readings)
+}
+
+/// Group row-oriented readings back into per-consumer series (the "reduce"
+/// the paper says format 1 requires). Hours must cover `0..8760` exactly
+/// once per consumer.
+pub fn assemble_consumers(mut readings: Vec<Reading>) -> Result<Vec<ConsumerSeries>> {
+    readings.sort_by_key(|r| (r.consumer, r.hour));
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < readings.len() {
+        let id = readings[i].consumer;
+        let mut values = Vec::with_capacity(HOURS_PER_YEAR);
+        while i < readings.len() && readings[i].consumer == id {
+            let r = readings[i];
+            if r.hour as usize != values.len() {
+                return Err(Error::Schema(format!(
+                    "consumer {id}: expected hour {}, found {}",
+                    values.len(),
+                    r.hour
+                )));
+            }
+            values.push(r.kwh);
+            i += 1;
+        }
+        out.push(ConsumerSeries::new(id, values)?);
+    }
+    Ok(out)
+}
+
+/// Look up a file's size in bytes (used by DFS ingestion and reports).
+pub fn file_size(path: &Path) -> Result<u64> {
+    fs::metadata(path)
+        .map(|m| m.len())
+        .map_err(|e| Error::io(format!("stat {}", path.display()), e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(n: u32) -> Dataset {
+        let temp =
+            TemperatureSeries::new((0..HOURS_PER_YEAR).map(|h| (h % 40) as f64 - 10.0).collect())
+                .unwrap();
+        let consumers = (0..n)
+            .map(|i| {
+                let readings =
+                    (0..HOURS_PER_YEAR).map(|h| 0.1 * ((h % 24) as f64) + i as f64 * 0.01).collect();
+                ConsumerSeries::new(ConsumerId(i), readings).unwrap()
+            })
+            .collect();
+        Dataset::new(consumers, temp).unwrap()
+    }
+
+    fn round_trip(format: DataFormat) {
+        let dir = std::env::temp_dir().join(format!("smda-fmt-{}-{}", format.label(), std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let ds = tiny(5);
+        let writer = FormatWriter::new(&dir).unwrap();
+        let files = writer.write(&ds, format).unwrap();
+        assert!(!files.is_empty());
+        let back = FormatReader::new(&dir).read(format).unwrap();
+        assert_eq!(back.len(), ds.len());
+        for (a, b) in back.consumers().iter().zip(ds.consumers()) {
+            assert_eq!(a.id, b.id);
+            for (x, y) in a.readings().iter().zip(b.readings()) {
+                assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+            }
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn format1_round_trip() {
+        round_trip(DataFormat::ReadingPerLine);
+    }
+
+    #[test]
+    fn format2_round_trip() {
+        round_trip(DataFormat::ConsumerPerLine);
+    }
+
+    #[test]
+    fn format3_round_trip_and_file_count() {
+        let dir = std::env::temp_dir().join(format!("smda-f3-count-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let ds = tiny(7);
+        let writer = FormatWriter::new(&dir).unwrap();
+        let files = writer.write(&ds, DataFormat::ManyFiles { files: 3 }).unwrap();
+        assert_eq!(files.len(), 3);
+        let reader = FormatReader::new(&dir);
+        let listed = reader.data_files(DataFormat::ManyFiles { files: 3 }).unwrap();
+        assert_eq!(listed, files);
+        round_trip(DataFormat::ManyFiles { files: 3 });
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn format3_rejects_zero_files() {
+        let dir = std::env::temp_dir().join(format!("smda-f3-zero-{}", std::process::id()));
+        let writer = FormatWriter::new(&dir).unwrap();
+        assert!(writer.write(&tiny(1), DataFormat::ManyFiles { files: 0 }).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn assemble_rejects_gaps() {
+        let mut rows: Vec<Reading> = tiny(1).readings().collect();
+        rows.remove(100);
+        assert!(assemble_consumers(rows).is_err());
+    }
+
+    #[test]
+    fn assemble_handles_shuffled_input() {
+        let mut rows: Vec<Reading> = tiny(2).readings().collect();
+        rows.reverse();
+        let consumers = assemble_consumers(rows).unwrap();
+        assert_eq!(consumers.len(), 2);
+        assert_eq!(consumers[0].id, ConsumerId(0));
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(DataFormat::ReadingPerLine.label(), "F1");
+        assert!(!DataFormat::ReadingPerLine.household_colocated());
+        assert!(DataFormat::ConsumerPerLine.household_colocated());
+        assert!(DataFormat::ManyFiles { files: 2 }.household_colocated());
+    }
+}

@@ -1,0 +1,43 @@
+//! The row-oriented reading record.
+
+use serde::{Deserialize, Serialize};
+
+use crate::series::ConsumerId;
+
+/// One smart meter reading joined with the outdoor temperature at the same
+/// hour — the unit of the row-oriented storage layouts (Table 1 in Figure 9
+/// of the paper) and of text Format 1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Reading {
+    /// The household the reading belongs to.
+    pub consumer: ConsumerId,
+    /// Hour of year, `0..8760`.
+    pub hour: u32,
+    /// Outdoor temperature at that hour, °C.
+    pub temperature: f64,
+    /// Electricity consumption during that hour, kWh.
+    pub kwh: f64,
+}
+
+impl Reading {
+    /// Nominal on-disk footprint of one reading in the paper's CSV data
+    /// (used to translate row counts to the GB axis labels of Section 5).
+    ///
+    /// The paper's 10 GB ≈ 27,300 consumers × 8760 readings works out to
+    /// ~42 bytes per reading; we use that constant when reporting nominal
+    /// dataset sizes.
+    pub const NOMINAL_BYTES: usize = 42;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_size_matches_paper_arithmetic() {
+        // 27,300 consumers * 8760 readings * 42 B ≈ 10 GB.
+        let bytes = 27_300usize * 8760 * Reading::NOMINAL_BYTES;
+        let gb = bytes as f64 / 1e9;
+        assert!((9.0..11.0).contains(&gb), "nominal size {gb} GB should be ~10 GB");
+    }
+}

@@ -1,0 +1,189 @@
+//! Consumption and temperature time series.
+
+use serde::{Deserialize, Serialize};
+
+use crate::calendar::HOURS_PER_YEAR;
+use crate::error::{Error, Result};
+
+/// Identifier of one electricity consumer (household / smart meter).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ConsumerId(pub u32);
+
+impl ConsumerId {
+    /// The raw numeric id.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for ConsumerId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "H{:06}", self.0)
+    }
+}
+
+/// One consumer's hourly electricity consumption for a year (kWh).
+///
+/// Invariant: `readings.len() == 8760`. Construct with
+/// [`ConsumerSeries::new`], which validates the length.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConsumerSeries {
+    /// The household this series belongs to.
+    pub id: ConsumerId,
+    /// Hourly kWh readings, indexed by hour of year.
+    readings: Vec<f64>,
+}
+
+impl ConsumerSeries {
+    /// Build a series, validating that it holds exactly one year of
+    /// hourly readings and that no reading is NaN or negative.
+    pub fn new(id: ConsumerId, readings: Vec<f64>) -> Result<Self> {
+        if readings.len() != HOURS_PER_YEAR {
+            return Err(Error::Schema(format!(
+                "consumer {id}: expected {HOURS_PER_YEAR} hourly readings, got {}",
+                readings.len()
+            )));
+        }
+        if let Some(pos) = readings.iter().position(|r| !r.is_finite() || *r < 0.0) {
+            return Err(Error::Schema(format!(
+                "consumer {id}: reading at hour {pos} is {} (must be finite and non-negative)",
+                readings[pos]
+            )));
+        }
+        Ok(ConsumerSeries { id, readings })
+    }
+
+    /// The hourly readings, indexed by hour of year.
+    pub fn readings(&self) -> &[f64] {
+        &self.readings
+    }
+
+    /// Consume the series, returning the raw readings.
+    pub fn into_readings(self) -> Vec<f64> {
+        self.readings
+    }
+
+    /// Total annual consumption in kWh.
+    pub fn annual_total(&self) -> f64 {
+        self.readings.iter().sum()
+    }
+
+    /// Peak (maximum) hourly consumption in kWh.
+    pub fn peak(&self) -> f64 {
+        self.readings.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Mean hourly consumption in kWh.
+    pub fn mean(&self) -> f64 {
+        self.annual_total() / HOURS_PER_YEAR as f64
+    }
+}
+
+/// Hourly outdoor temperature for a year (degrees Celsius).
+///
+/// The benchmark pairs every consumption series with one external
+/// temperature series (Section 3); all consumers in a dataset share the
+/// same weather.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TemperatureSeries {
+    values: Vec<f64>,
+}
+
+impl TemperatureSeries {
+    /// Build a temperature series, validating length and finiteness.
+    pub fn new(values: Vec<f64>) -> Result<Self> {
+        if values.len() != HOURS_PER_YEAR {
+            return Err(Error::Schema(format!(
+                "temperature series: expected {HOURS_PER_YEAR} hourly values, got {}",
+                values.len()
+            )));
+        }
+        if let Some(pos) = values.iter().position(|v| !v.is_finite()) {
+            return Err(Error::Schema(format!(
+                "temperature at hour {pos} is not finite"
+            )));
+        }
+        Ok(TemperatureSeries { values })
+    }
+
+    /// The hourly temperatures, indexed by hour of year.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Temperature at a given hour of year.
+    ///
+    /// # Panics
+    /// Panics if `hour >= 8760`.
+    pub fn at(&self, hour: usize) -> f64 {
+        self.values[hour]
+    }
+
+    /// Minimum temperature over the year.
+    pub fn min(&self) -> f64 {
+        self.values.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Maximum temperature over the year.
+    pub fn max(&self) -> f64 {
+        self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn year_of(v: f64) -> Vec<f64> {
+        vec![v; HOURS_PER_YEAR]
+    }
+
+    #[test]
+    fn consumer_series_validates_length() {
+        let err = ConsumerSeries::new(ConsumerId(1), vec![1.0; 100]).unwrap_err();
+        assert!(matches!(err, Error::Schema(_)));
+    }
+
+    #[test]
+    fn consumer_series_rejects_nan_and_negative() {
+        let mut r = year_of(1.0);
+        r[7] = f64::NAN;
+        assert!(ConsumerSeries::new(ConsumerId(1), r).is_err());
+        let mut r = year_of(1.0);
+        r[8] = -0.5;
+        assert!(ConsumerSeries::new(ConsumerId(1), r).is_err());
+    }
+
+    #[test]
+    fn consumer_series_aggregates() {
+        let mut r = year_of(1.0);
+        r[0] = 5.0;
+        let s = ConsumerSeries::new(ConsumerId(9), r).unwrap();
+        assert_eq!(s.peak(), 5.0);
+        assert!((s.annual_total() - (HOURS_PER_YEAR as f64 + 4.0)).abs() < 1e-9);
+        assert!((s.mean() - s.annual_total() / 8760.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn temperature_series_allows_negative_values() {
+        let mut v = year_of(10.0);
+        v[0] = -25.0;
+        let t = TemperatureSeries::new(v).unwrap();
+        assert_eq!(t.min(), -25.0);
+        assert_eq!(t.max(), 10.0);
+        assert_eq!(t.at(0), -25.0);
+    }
+
+    #[test]
+    fn temperature_series_rejects_nan() {
+        let mut v = year_of(10.0);
+        v[100] = f64::INFINITY;
+        assert!(TemperatureSeries::new(v).is_err());
+    }
+
+    #[test]
+    fn consumer_id_formats_padded() {
+        assert_eq!(ConsumerId(42).to_string(), "H000042");
+        assert_eq!(ConsumerId(42).raw(), 42);
+    }
+}

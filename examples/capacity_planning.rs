@@ -1,0 +1,58 @@
+//! Capacity planning: stress-test with the paper's data generator
+//! (Section 4). Train the generator on a small "real" seed, synthesize a
+//! larger service territory, and study aggregate peak load under a
+//! heat-wave weather scenario — the producer-side planning workload the
+//! paper's introduction motivates. Run with
+//! `cargo run --release -p smda-examples --bin capacity_planning`.
+
+use smda_core::generator::{generate_temperature, WeatherConfig};
+use smda_core::{DataGenerator, GeneratorConfig};
+use smda_examples::demo_dataset;
+use smda_types::HOURS_PER_DAY;
+
+fn main() {
+    // 1. Train the paper's generator on the seed utility data.
+    let seed = demo_dataset(25);
+    let generator = DataGenerator::train(
+        &seed,
+        GeneratorConfig { clusters: 6, noise_sigma: 0.08, seed: 99 },
+    )
+    .expect("training succeeds on the demo seed");
+    println!("trained generator with {} activity clusters", generator.clusters().len());
+
+    // 2. Synthesize a service territory under two weather scenarios.
+    let normal = seed.temperature().clone();
+    let heat_wave = generate_temperature(
+        &WeatherConfig { annual_mean: 11.0, seasonal_amplitude: 16.0, ..Default::default() },
+        7,
+    );
+
+    let n = 400;
+    for (name, weather) in [("normal year", &normal), ("heat-wave year", &heat_wave)] {
+        let territory = generator.generate(n, weather, 0).expect("generation succeeds");
+
+        // 3. Aggregate hourly system load and locate the peak.
+        let mut system = vec![0.0f64; weather.values().len()];
+        for c in territory.consumers() {
+            for (h, v) in c.readings().iter().enumerate() {
+                system[h] += v;
+            }
+        }
+        let (peak_hour, peak_mw) = system
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("loads are finite"))
+            .map(|(h, v)| (h, v / 1000.0))
+            .expect("non-empty year");
+        let annual_gwh: f64 = system.iter().sum::<f64>() / 1e6;
+        println!(
+            "\n{name}: {n} households, annual {annual_gwh:.2} GWh, system peak {peak_mw:.3} MW \
+             on day {} at {}:00 ({:.1} °C)",
+            peak_hour / HOURS_PER_DAY,
+            peak_hour % HOURS_PER_DAY,
+            weather.values()[peak_hour]
+        );
+        // Reserve margin rule-of-thumb: 15% above observed peak.
+        println!("  recommended procurement with 15% reserve: {:.3} MW", peak_mw * 1.15);
+    }
+}

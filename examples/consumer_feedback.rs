@@ -1,0 +1,54 @@
+//! Consumer feedback: the paper's motivating consumer-oriented
+//! application (Section 2.1). For each household, combine the 3-line
+//! thermal model and the PAR daily profile into personalized advice:
+//! inefficient heating/cooling flags, always-on base load, and the
+//! habit profile. Run with
+//! `cargo run --release -p smda-examples --bin consumer_feedback`.
+
+use smda_core::{fit_par, fit_three_line};
+use smda_examples::{demo_dataset, sparkline};
+
+fn main() {
+    let ds = demo_dataset(12);
+    let temps = ds.temperature();
+
+    // Population statistics first, so advice is relative to peers.
+    let models: Vec<_> = ds
+        .consumers()
+        .iter()
+        .filter_map(|c| fit_three_line(c, temps).map(|m| (c, m)))
+        .collect();
+    let mean_cooling = models.iter().map(|(_, m)| m.cooling_gradient()).sum::<f64>()
+        / models.len().max(1) as f64;
+    let mean_heating = models.iter().map(|(_, m)| m.heating_gradient()).sum::<f64>()
+        / models.len().max(1) as f64;
+    let mean_base =
+        models.iter().map(|(_, m)| m.base_load()).sum::<f64>() / models.len().max(1) as f64;
+
+    println!("peer averages: heating {mean_heating:.3} kWh/°C, cooling {mean_cooling:.3} kWh/°C, base {mean_base:.2} kWh\n");
+
+    for (series, model) in models.iter().take(6) {
+        let par = fit_par(series, temps);
+        println!("{} — annual {:.0} kWh", series.id, series.annual_total());
+        println!("  daily habit  {}", sparkline(&par.profile));
+        println!(
+            "  thermal      heating {:.3} kWh/°C | cooling {:.3} kWh/°C | base {:.2} kWh",
+            model.heating_gradient(),
+            model.cooling_gradient(),
+            model.base_load()
+        );
+        // The paper's feedback rules: a high cooling gradient suggests an
+        // inefficient A/C or a low set point; a high base load suggests
+        // always-on appliances worth hunting down.
+        if model.cooling_gradient() > 1.5 * mean_cooling && mean_cooling > 0.0 {
+            println!("  ⚠ cooling response well above peers — check A/C efficiency or set point");
+        }
+        if model.heating_gradient() < 1.5 * mean_heating {
+            println!("  ⚠ heating response well above peers — check insulation / heating system");
+        }
+        if model.base_load() > 1.5 * mean_base {
+            println!("  ⚠ base load well above peers — look for always-on appliances");
+        }
+        println!();
+    }
+}

@@ -1,0 +1,44 @@
+//! Shared helpers for the example applications.
+
+use smda_core::SeedConfig;
+use smda_types::Dataset;
+
+/// A small, deterministic demonstration dataset.
+pub fn demo_dataset(consumers: usize) -> Dataset {
+    smda_core::generator::generate_seed(&SeedConfig {
+        consumers,
+        seed: 42,
+        ..Default::default()
+    })
+    .expect("seed generation succeeds for valid configs")
+}
+
+/// Render a 24-value daily profile as a tiny ASCII sparkline.
+pub fn sparkline(values: &[f64]) -> String {
+    const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let span = (hi - lo).max(1e-9);
+    values
+        .iter()
+        .map(|v| LEVELS[(((v - lo) / span) * 7.0).round() as usize])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demo_dataset_builds() {
+        assert_eq!(demo_dataset(3).len(), 3);
+    }
+
+    #[test]
+    fn sparkline_has_one_char_per_value() {
+        let s = sparkline(&[0.0, 0.5, 1.0]);
+        assert_eq!(s.chars().count(), 3);
+        assert!(s.starts_with('▁'));
+        assert!(s.ends_with('█'));
+    }
+}

@@ -1,0 +1,68 @@
+//! Shared fixtures for the cross-crate integration tests.
+
+use smda_types::{ConsumerId, ConsumerSeries, Dataset, TemperatureSeries, HOURS_PER_YEAR};
+
+/// A deterministic dataset with mixed daily shapes and a seasonal
+/// temperature cycle — structured enough for every algorithm to produce
+/// non-trivial output, small enough for fast tests.
+pub fn fixture_dataset(n: u32) -> Dataset {
+    let temps: Vec<f64> = (0..HOURS_PER_YEAR)
+        .map(|h| {
+            let day = (h / 24) as f64;
+            let hod = (h % 24) as f64;
+            7.0 - 14.0 * (std::f64::consts::TAU * (day - 15.0) / 365.0).cos()
+                + 3.5 * (std::f64::consts::TAU * (hod - 15.0) / 24.0).cos()
+        })
+        .collect();
+    let consumers = (0..n)
+        .map(|i| {
+            let readings: Vec<f64> = (0..HOURS_PER_YEAR)
+                .map(|h| {
+                    let hod = (h + 3 * i as usize) % 24;
+                    let activity = match hod {
+                        6..=8 => 1.4,
+                        17..=21 => 1.9,
+                        0..=4 => 0.25,
+                        _ => 0.7,
+                    };
+                    let hvac = 0.04 * (temps[h] - 17.0).abs() * (1.0 + i as f64 * 0.1);
+                    let jitter = ((h * 31 + i as usize * 7) % 97) as f64 / 970.0;
+                    activity + hvac + jitter
+                })
+                .collect();
+            ConsumerSeries::new(ConsumerId(i * 3), readings).expect("fixture readings are valid")
+        })
+        .collect();
+    Dataset::new(consumers, TemperatureSeries::new(temps).expect("fixture temps are valid"))
+        .expect("fixture ids are unique")
+}
+
+/// A scratch directory cleaned on drop.
+pub struct TempDir(pub std::path::PathBuf);
+
+impl TempDir {
+    /// A unique scratch directory tagged with `tag`.
+    pub fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!(
+            "smda-it-{tag}-{}-{:x}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_nanos())
+                .unwrap_or(0)
+        ));
+        std::fs::create_dir_all(&dir).expect("temp dir is creatable");
+        TempDir(dir)
+    }
+
+    /// A path inside the directory.
+    pub fn path(&self, name: &str) -> std::path::PathBuf {
+        self.0.join(name)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}

@@ -1,0 +1,95 @@
+//! End-to-end pipeline of Section 4: seed → disaggregate → cluster →
+//! re-aggregate, then verify the synthetic data is *realistic* — it
+//! preserves the statistical structure the benchmark algorithms probe.
+
+use smda_core::generator::{generate_seed, SeedConfig};
+use smda_core::tasks::run_reference;
+use smda_core::{fit_three_line, DataGenerator, GeneratorConfig, Task, TaskOutput};
+
+#[test]
+fn generated_data_supports_all_benchmark_tasks() {
+    let seed = generate_seed(&SeedConfig { consumers: 15, seed: 5, ..Default::default() })
+        .expect("seed generation succeeds");
+    let generator = DataGenerator::train(
+        &seed,
+        GeneratorConfig { clusters: 4, noise_sigma: 0.05, seed: 5 },
+    )
+    .expect("training succeeds");
+    let synthetic = generator.generate(25, seed.temperature(), 1_000).expect("generation");
+    for task in Task::ALL {
+        let out = run_reference(task, &synthetic);
+        assert_eq!(out.len(), 25, "{task} on synthetic data");
+    }
+}
+
+#[test]
+fn synthetic_consumers_preserve_thermal_structure() {
+    let seed = generate_seed(&SeedConfig { consumers: 20, seed: 9, ..Default::default() })
+        .expect("seed generation succeeds");
+    let generator = DataGenerator::train(
+        &seed,
+        GeneratorConfig { clusters: 4, noise_sigma: 0.02, seed: 9 },
+    )
+    .expect("training succeeds");
+    let synthetic = generator.generate(20, seed.temperature(), 0).expect("generation");
+
+    // Seed households heat: 3-line on synthetic data should recover
+    // negative heating gradients on average, like the seed.
+    let mean_heating = |ds: &smda_types::Dataset| -> f64 {
+        let models: Vec<_> = ds
+            .consumers()
+            .iter()
+            .filter_map(|c| fit_three_line(c, ds.temperature()))
+            .collect();
+        models.iter().map(|m| m.heating_gradient()).sum::<f64>() / models.len().max(1) as f64
+    };
+    let seed_heating = mean_heating(&seed);
+    let synth_heating = mean_heating(&synthetic);
+    assert!(seed_heating < -0.01, "seed heats: {seed_heating}");
+    assert!(synth_heating < -0.01, "synthetic heats: {synth_heating}");
+    // Same order of magnitude.
+    assert!(
+        synth_heating / seed_heating > 0.2 && synth_heating / seed_heating < 5.0,
+        "seed {seed_heating} vs synthetic {synth_heating}"
+    );
+}
+
+#[test]
+fn synthetic_daily_profiles_resemble_cluster_centroids() {
+    let seed = generate_seed(&SeedConfig { consumers: 12, seed: 3, ..Default::default() })
+        .expect("seed generation succeeds");
+    let generator = DataGenerator::train(
+        &seed,
+        GeneratorConfig { clusters: 3, noise_sigma: 0.0, seed: 3 },
+    )
+    .expect("training succeeds");
+    let synthetic = generator.generate(10, seed.temperature(), 0).expect("generation");
+    // With zero noise, each synthetic consumer's PAR profile must be
+    // close (cosine) to SOME trained centroid.
+    let out = run_reference(Task::Par, &synthetic);
+    let TaskOutput::Par(models) = out else { panic!("expected PAR output") };
+    for m in &models {
+        let best: f64 = generator
+            .clusters()
+            .iter()
+            .map(|c| smda_stats::cosine_similarity(&m.profile, &c.centroid))
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(best > 0.85, "{}: best centroid cosine {best}", m.consumer);
+    }
+}
+
+#[test]
+fn amplification_is_unbounded_and_ids_are_disjoint() {
+    let seed = generate_seed(&SeedConfig { consumers: 6, seed: 1, ..Default::default() })
+        .expect("seed generation succeeds");
+    let generator =
+        DataGenerator::train(&seed, GeneratorConfig { clusters: 2, noise_sigma: 0.1, seed: 1 })
+            .expect("training succeeds");
+    // Amplify 6 consumers to 60 — a 10× stress-test set, as the paper
+    // scales 27k to millions.
+    let big = generator.generate(60, seed.temperature(), 500).expect("generation");
+    assert_eq!(big.len(), 60);
+    let seed_ids: std::collections::HashSet<u32> =
+        seed.consumers().iter().map(|c| c.id.raw()).collect();
+    assert!(big.consumers().iter().all(|c| !seed_ids.contains(&c.id.raw())));
+}

@@ -1,0 +1,68 @@
+//! HiveQL end-to-end: the four paper queries through the SQL front end.
+
+use smda_cluster::{ClusterTopology, CostModel};
+use smda_core::TaskOutput;
+use smda_hive::{HiveEngine, HiveSession};
+use smda_integration::fixture_dataset;
+use smda_types::DataFormat;
+
+fn session(format: DataFormat) -> HiveSession {
+    let ds = fixture_dataset(4);
+    let mut engine = HiveEngine::new(
+        ClusterTopology { workers: 2, slots_per_worker: 2, cost: CostModel::mapreduce() },
+        128 * 1024,
+    );
+    engine.load(&ds, format).expect("load succeeds");
+    HiveSession::new(engine)
+}
+
+#[test]
+fn all_four_benchmark_queries_execute() {
+    let mut s = session(DataFormat::ReadingPerLine);
+    let queries = [
+        "SELECT histogram(kwh, 10) FROM meter_data GROUP BY household",
+        "SELECT three_line(kwh, temperature) FROM meter_data GROUP BY household",
+        "SELECT par(kwh, temperature, 3) FROM meter_data GROUP BY household",
+        "SELECT top_k_cosine(a.kwh, b.kwh, 10) FROM meter_data a JOIN meter_data b",
+    ];
+    for q in queries {
+        let r = s.sql(q).unwrap_or_else(|e| panic!("{q}: {e}"));
+        assert_eq!(r.output.len(), 4, "{q}");
+    }
+}
+
+#[test]
+fn planner_chooses_operator_by_format() {
+    use smda_hive::HiveOperator;
+    let q = "SELECT histogram(kwh, 10) FROM meter_data GROUP BY household";
+    let r = session(DataFormat::ReadingPerLine).sql(q).unwrap();
+    assert_eq!(r.operator, HiveOperator::Udaf);
+    let r = session(DataFormat::ConsumerPerLine).sql(q).unwrap();
+    assert_eq!(r.operator, HiveOperator::GenericUdf);
+    let r = session(DataFormat::ManyFiles { files: 2 }).sql(q).unwrap();
+    assert_eq!(r.operator, HiveOperator::Udtf);
+}
+
+#[test]
+fn sql_histogram_matches_reference() {
+    let ds = fixture_dataset(4);
+    let mut s = session(DataFormat::ConsumerPerLine);
+    let r = s.sql("SELECT histogram(kwh, 10) FROM meter_data GROUP BY household").unwrap();
+    let want = smda_core::tasks::run_reference(smda_core::Task::Histogram, &ds);
+    match (&r.output, &want) {
+        (TaskOutput::Histograms(a), TaskOutput::Histograms(b)) => {
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x.histogram.counts, y.histogram.counts);
+            }
+        }
+        _ => panic!("unexpected outputs"),
+    }
+}
+
+#[test]
+fn bad_sql_is_rejected_cleanly() {
+    let mut s = session(DataFormat::ConsumerPerLine);
+    assert!(s.sql("DROP TABLE meter_data").is_err());
+    assert!(s.sql("SELECT histogram(kwh) FROM nowhere").is_err());
+    assert!(s.sql("SELECT top_k_cosine(kwh) FROM meter_data").is_err());
+}
