@@ -3,7 +3,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use smda_bench::data::{seed_dataset, Scratch};
 use smda_core::Task;
-use smda_engines::{ColumnarEngine, NumericEngine, Platform, RelationalEngine, RelationalLayout};
+use smda_engines::{
+    ColumnarEngine, NumericEngine, Platform, RelationalEngine, RelationalLayout, RunSpec,
+};
 use smda_storage::FileLayout;
 
 fn engines(scratch: &Scratch) -> Vec<Box<dyn Platform>> {
@@ -27,14 +29,14 @@ fn bench_cold_warm(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("cold", engine.name()), &(), |b, _| {
             b.iter(|| {
                 engine.make_cold();
-                engine.run(Task::ThreeLine, 1).unwrap()
+                engine.run(&RunSpec::builder(Task::ThreeLine).build()).unwrap()
             })
         });
     }
     for engine in &mut loaded {
         engine.warm().unwrap();
         group.bench_with_input(BenchmarkId::new("warm", engine.name()), &(), |b, _| {
-            b.iter(|| engine.run(Task::ThreeLine, 1).unwrap())
+            b.iter(|| engine.run(&RunSpec::builder(Task::ThreeLine).build()).unwrap())
         });
     }
     group.finish();

@@ -3,7 +3,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use smda_bench::data::{seed_dataset, Scratch};
 use smda_core::Task;
-use smda_engines::{Platform, RelationalEngine, RelationalLayout};
+use smda_engines::{Platform, RelationalEngine, RelationalLayout, RunSpec};
 
 fn bench_layouts(c: &mut Criterion) {
     let ds = seed_dataset(10);
@@ -23,7 +23,7 @@ fn bench_layouts(c: &mut Criterion) {
             |b, _| {
                 b.iter(|| {
                     engine.make_cold();
-                    engine.run(Task::ThreeLine, 1).unwrap()
+                    engine.run(&RunSpec::builder(Task::ThreeLine).build()).unwrap()
                 })
             },
         );

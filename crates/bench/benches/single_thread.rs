@@ -4,7 +4,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use smda_bench::data::{seed_dataset, Scratch};
 use smda_core::Task;
-use smda_engines::{ColumnarEngine, NumericEngine, Platform, RelationalEngine, RelationalLayout};
+use smda_engines::{
+    ColumnarEngine, NumericEngine, Platform, RelationalEngine, RelationalLayout, RunSpec,
+};
 use smda_storage::FileLayout;
 
 fn bench_single_thread(c: &mut Criterion) {
@@ -28,7 +30,7 @@ fn bench_single_thread(c: &mut Criterion) {
                 |b, &t| {
                     b.iter(|| {
                         engine.make_cold();
-                        engine.run(t, 1).unwrap()
+                        engine.run(&RunSpec::builder(t).build()).unwrap()
                     })
                 },
             );

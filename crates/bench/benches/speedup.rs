@@ -3,7 +3,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use smda_bench::data::{seed_dataset, Scratch};
 use smda_core::Task;
-use smda_engines::{ColumnarEngine, Platform};
+use smda_engines::{ColumnarEngine, Platform, RunSpec};
 
 fn bench_speedup(c: &mut Criterion) {
     let ds = seed_dataset(24);
@@ -19,7 +19,7 @@ fn bench_speedup(c: &mut Criterion) {
             |b, &t| {
                 b.iter(|| {
                     engine.make_cold();
-                    engine.run(Task::Par, t).unwrap()
+                    engine.run(&RunSpec::builder(Task::Par).threads(t).build()).unwrap()
                 })
             },
         );

@@ -3,6 +3,7 @@
 //! T3 (line adjustment).
 
 use smda_core::{Task, TaskOutput};
+use smda_engines::RunSpec;
 use smda_types::Dataset;
 
 use crate::data::{seed_dataset, Scratch};
@@ -21,9 +22,10 @@ pub fn run(scale: Scale) -> Vec<Table> {
     );
     for engine in &mut loaded_platforms(&scratch, &ds) {
         engine.make_cold();
-        let cold = engine.run(Task::ThreeLine, 1).expect("cold run succeeds");
+        let spec = RunSpec::builder(Task::ThreeLine).build();
+        let cold = engine.run(&spec).expect("cold run succeeds");
         engine.warm().expect("warm load succeeds");
-        let warm = engine.run(Task::ThreeLine, 1).expect("warm run succeeds");
+        let warm = engine.run(&spec).expect("warm run succeeds");
         let phases = match &warm.output {
             TaskOutput::ThreeLine(_, phases) => *phases,
             _ => unreachable!("3-line output carries phases"),

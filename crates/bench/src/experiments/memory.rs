@@ -2,6 +2,7 @@
 //! platform (the paper sampled `free -m`; we track heap peaks).
 
 use smda_core::Task;
+use smda_engines::RunSpec;
 
 use crate::alloc::measure_peak;
 use crate::data::{seed_dataset, Scratch};
@@ -21,7 +22,8 @@ pub fn run(scale: Scale) -> Vec<Table> {
     for task in Task::ALL {
         for engine in &mut loaded_platforms(&scratch, &ds) {
             engine.make_cold();
-            let (_, peak) = measure_peak(|| engine.run(task, 1).expect("run succeeds"));
+            let spec = RunSpec::builder(task).build();
+            let (_, peak) = measure_peak(|| engine.run(&spec).expect("run succeeds"));
             t.row(vec![task.name().into(), engine.name().into(), mib(peak as u64)]);
         }
     }

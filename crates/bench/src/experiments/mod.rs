@@ -19,7 +19,7 @@ use std::time::Duration;
 use smda_cluster::{ClusterTopology, CostModel};
 use smda_core::Task;
 use smda_engines::{
-    ColumnarEngine, NumericEngine, Platform, RelationalEngine, RelationalLayout,
+    ColumnarEngine, NumericEngine, Platform, RelationalEngine, RelationalLayout, RunSpec,
 };
 use smda_hive::HiveEngine;
 use smda_spark::SparkEngine;
@@ -46,7 +46,8 @@ pub(crate) fn loaded_platforms(scratch: &Scratch, ds: &Dataset) -> Vec<Box<dyn P
 /// Cold run: drop caches, run, return elapsed.
 pub(crate) fn cold_run(engine: &mut dyn Platform, task: Task, threads: usize) -> Duration {
     engine.make_cold();
-    engine.run(task, threads).expect("task run succeeds").elapsed
+    let spec = RunSpec::builder(task).threads(threads).build();
+    engine.run(&spec).expect("task run succeeds").elapsed
 }
 
 /// The modeled cluster with `workers` nodes (12 slots each, as in the

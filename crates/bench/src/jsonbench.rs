@@ -1,0 +1,135 @@
+//! The `--json` export: an instrumented platform × task matrix.
+//!
+//! Every platform runs every task twice on a small dataset — one fully
+//! observed warm session (load / warm / run) and one cold run — plus one
+//! job per task on each cluster engine. The recorded phase trees and
+//! counters are flattened into the continuous-benchmarking entries of
+//! `smda_obs::BenchExport` and written wherever `--json <path>` points.
+
+use smda_core::Task;
+use smda_engines::{
+    observe_session, ColumnarEngine, NumericEngine, Platform, RelationalEngine, RelationalLayout,
+    RunSpec,
+};
+use smda_obs::{BenchExport, MetricsSink, RunManifest};
+use smda_storage::FileLayout;
+use smda_types::DataFormat;
+
+use crate::data::{seed_dataset, Scratch};
+use crate::experiments::{hive, spark};
+use crate::scale::Scale;
+
+/// Parallelism used by every instrumented run.
+const THREADS: usize = 2;
+
+/// Workers on the modeled cluster for the instrumented cluster jobs.
+const CLUSTER_WORKERS: usize = 4;
+
+/// Run the instrumented matrix at `scale` and collect the export.
+pub fn run_json_bench(scale: Scale) -> BenchExport {
+    let ds = seed_dataset(scale.consumers_for_gb(1.0));
+    let scratch = Scratch::new("jsonbench");
+    let mut runs = Vec::new();
+
+    let mut platforms: Vec<Box<dyn Platform>> = vec![
+        Box::new(NumericEngine::new(scratch.path("matlab"), FileLayout::Partitioned)),
+        Box::new(RelationalEngine::new(scratch.path("madlib"), RelationalLayout::ReadingPerRow)),
+        Box::new(ColumnarEngine::new(scratch.path("systemc"))),
+    ];
+    for engine in &mut platforms {
+        for task in Task::ALL {
+            // Warm session: load, warm, run, fully observed.
+            let spec = RunSpec::builder(task)
+                .threads(THREADS)
+                .metrics(MetricsSink::recording())
+                .build();
+            let (_, report) = observe_session(engine.as_mut(), &ds, &spec)
+                .expect("instrumented session succeeds on valid data");
+            runs.push(report);
+
+            // Cold run: caches dropped, only the run phase.
+            engine.make_cold();
+            let sink = MetricsSink::recording();
+            let spec = RunSpec::builder(task).threads(THREADS).metrics(sink.clone()).build();
+            {
+                let _run = sink.scope("run");
+                engine.run(&spec).expect("cold run succeeds on loaded data");
+            }
+            let manifest = RunManifest::new(task.name(), engine.name())
+                .threads(THREADS)
+                .consumers(ds.len())
+                .cold(true);
+            runs.push(sink.finish(manifest));
+        }
+    }
+
+    // Cluster engines: counters (tasks scheduled, bytes shuffled, workers
+    // spawned) flow in from the scheduler and worker pool; the virtual
+    // makespan is recorded as an explicit sub-phase.
+    let mut hive = hive(CLUSTER_WORKERS, scale);
+    hive.load(&ds, DataFormat::ReadingPerLine).expect("hive table builds from valid data");
+    for task in Task::ALL {
+        let sink = MetricsSink::recording();
+        hive.set_metrics(sink.clone());
+        let result = {
+            let _run = sink.scope("run");
+            hive.run_task(task).expect("hive job succeeds on loaded table")
+        };
+        sink.add_phase(&["run", "virtual"], result.stats.virtual_elapsed);
+        let manifest = RunManifest::new(task.name(), "Hive")
+            .threads(CLUSTER_WORKERS)
+            .consumers(ds.len());
+        runs.push(sink.finish(manifest));
+    }
+
+    let mut spark = spark(CLUSTER_WORKERS, scale);
+    spark.load(&ds, DataFormat::ReadingPerLine).expect("spark input builds from valid data");
+    for task in Task::ALL {
+        let sink = MetricsSink::recording();
+        spark.set_metrics(sink.clone());
+        let result = {
+            let _run = sink.scope("run");
+            spark.run_task(task).expect("spark job succeeds on loaded input")
+        };
+        sink.add_phase(&["run", "virtual"], result.virtual_elapsed);
+        let manifest = RunManifest::new(task.name(), "Spark")
+            .threads(CLUSTER_WORKERS)
+            .consumers(ds.len());
+        runs.push(sink.finish(manifest));
+    }
+
+    BenchExport::from_runs(runs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smda_obs::counters;
+
+    #[test]
+    fn export_covers_every_platform_and_task() {
+        let export = run_json_bench(Scale::smoke());
+        // 3 single-server platforms × 4 tasks × {warm, cold} + 2 cluster
+        // engines × 4 tasks.
+        assert_eq!(export.runs.len(), 3 * 4 * 2 + 2 * 4);
+        for name in ["Matlab", "MADLib", "System C", "Hive", "Spark"] {
+            assert!(
+                export.runs.iter().any(|r| r.manifest.platform == name),
+                "missing platform {name}"
+            );
+        }
+        // Warm sessions carry the three top-level phases.
+        for report in export.runs.iter().filter(|r| !r.manifest.cold) {
+            assert!(report.phase_ns(&["run"]).unwrap_or(0) > 0, "{:?}", report.manifest);
+        }
+        // The cluster wiring produced scheduling counters.
+        let hive_hist = export
+            .runs
+            .iter()
+            .find(|r| r.manifest.platform == "Hive" && r.manifest.task == "Histogram")
+            .expect("hive histogram run present");
+        assert!(hive_hist.counter(counters::TASKS_SCHEDULED).unwrap_or(0) > 0);
+        assert!(hive_hist.counter(counters::BYTES_SHUFFLED).unwrap_or(0) > 0);
+        assert!(hive_hist.counter(counters::WORKERS_SPAWNED).unwrap_or(0) > 0);
+    }
+}

@@ -13,10 +13,12 @@
 pub mod alloc;
 pub mod data;
 pub mod experiments;
+pub mod jsonbench;
 pub mod report;
 pub mod runner;
 pub mod scale;
 
+pub use jsonbench::run_json_bench;
 pub use report::Table;
 pub use runner::{run_all, run_experiment, EXPERIMENT_IDS};
 pub use scale::Scale;

@@ -5,13 +5,17 @@
 //! smda-bench fig7 fig9       # run selected experiments
 //! smda-bench --smoke         # fastest scale (CI smoke)
 //! smda-bench --full fig4     # the paper's true sizes (hours!)
+//! smda-bench --json out.json --small   # instrumented matrix -> JSON export
 //! ```
 //!
-//! CSVs land in `results/`; tables are printed as markdown.
+//! CSVs land in `results/`; tables are printed as markdown. With
+//! `--json <path>`, the instrumented platform × task matrix runs instead
+//! and its phase timings/counters land at `path` in the
+//! `smda-bench/v1` format (see `smda_obs::BenchExport`).
 
 use std::path::PathBuf;
 
-use smda_bench::{run_all, run_experiment, Scale, EXPERIMENT_IDS};
+use smda_bench::{run_all, run_experiment, run_json_bench, Scale, EXPERIMENT_IDS};
 
 #[global_allocator]
 static ALLOC: smda_bench::alloc::CountingAlloc = smda_bench::alloc::CountingAlloc;
@@ -19,13 +23,22 @@ static ALLOC: smda_bench::alloc::CountingAlloc = smda_bench::alloc::CountingAllo
 fn main() {
     let mut scale = Scale::default();
     let mut ids: Vec<String> = Vec::new();
-    for arg in std::env::args().skip(1) {
+    let mut json_out: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--smoke" => scale = Scale::smoke(),
+            "--smoke" | "--small" => scale = Scale::smoke(),
             "--full" => scale = Scale::full(),
+            "--json" => match args.next() {
+                Some(path) => json_out = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("--json needs an output path");
+                    std::process::exit(2);
+                }
+            },
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: smda-bench [--smoke|--full] [EXPERIMENT...]\n\
+                    "usage: smda-bench [--smoke|--small|--full] [--json PATH] [EXPERIMENT...]\n\
                      experiments: {}",
                     EXPERIMENT_IDS.join(" ")
                 );
@@ -33,6 +46,18 @@ fn main() {
             }
             id => ids.push(id.to_string()),
         }
+    }
+
+    if let Some(path) = json_out {
+        let export = run_json_bench(scale);
+        std::fs::write(&path, export.to_json_pretty()).expect("bench output path is writable");
+        eprintln!(
+            "wrote {} bench entries ({} runs) to {}",
+            export.benches.len(),
+            export.runs.len(),
+            path.display()
+        );
+        return;
     }
 
     let out_dir = PathBuf::from("results");

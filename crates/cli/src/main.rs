@@ -54,7 +54,8 @@ fn usage() {
            generate --consumers N [--seed S] [--out DIR]   synthesize a seed dataset\n\
            amplify  --seed N --consumers M [--out DIR]     amplify via the paper's generator\n\
            run TASK --data DIR [--format f1|f2]            run histogram|three-line|par|similarity\n\
-           bench [--smoke|--full] [EXPERIMENT...]          regenerate tables/figures ({})",
+           bench [--smoke|--small|--full] [--json PATH] [EXPERIMENT...]\n\
+                                                           regenerate tables/figures ({})",
         EXPERIMENT_IDS.join(" ")
     );
 }
@@ -192,12 +193,32 @@ fn summarize(output: &TaskOutput) {
 fn bench(args: &[String]) -> Result<()> {
     let mut scale = Scale::default();
     let mut ids = Vec::new();
-    for a in args {
+    let mut json_out: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
         match a.as_str() {
-            "--smoke" => scale = Scale::smoke(),
+            "--smoke" | "--small" => scale = Scale::smoke(),
             "--full" => scale = Scale::full(),
+            "--json" => {
+                let path = it.next().ok_or_else(|| {
+                    smda_types::Error::Invalid("--json needs an output path".into())
+                })?;
+                json_out = Some(PathBuf::from(path));
+            }
             id => ids.push(id.to_string()),
         }
+    }
+    if let Some(path) = json_out {
+        let export = smda_bench::run_json_bench(scale);
+        std::fs::write(&path, export.to_json_pretty())
+            .map_err(|e| smda_types::Error::io(format!("writing {}", path.display()), e))?;
+        println!(
+            "wrote {} bench entries ({} runs) to {}",
+            export.benches.len(),
+            export.runs.len(),
+            path.display()
+        );
+        return Ok(());
     }
     if ids.is_empty() {
         ids = EXPERIMENT_IDS.iter().map(|s| s.to_string()).collect();

@@ -7,6 +7,8 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
+use smda_obs::{counters, MetricsSink};
+
 /// A fixed-size worker pool built on scoped threads with an atomic
 /// work-stealing cursor.
 #[derive(Debug, Clone, Copy)]
@@ -44,6 +46,27 @@ impl WorkerPool {
         R: Send,
         F: Fn(T) -> R + Sync,
     {
+        measured_run(items, &f, self.threads)
+    }
+
+    /// [`WorkerPool::run`], additionally counting the workers that
+    /// actually get spawned (at most one per item) into `metrics` under
+    /// [`counters::WORKERS_SPAWNED`].
+    pub fn run_metered<T, R, F>(
+        &self,
+        items: Vec<T>,
+        f: F,
+        metrics: &MetricsSink,
+    ) -> Vec<(R, Duration)>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        let workers = self.threads.min(items.len());
+        if workers > 0 {
+            metrics.incr(counters::WORKERS_SPAWNED, workers as u64);
+        }
         measured_run(items, &f, self.threads)
     }
 }

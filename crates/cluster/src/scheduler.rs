@@ -8,6 +8,8 @@
 
 use std::time::Duration;
 
+use smda_obs::{counters, MetricsSink};
+
 use crate::cost::CostModel;
 
 /// The modeled cluster: `workers` nodes with `slots_per_worker` parallel
@@ -83,6 +85,7 @@ pub struct VirtualScheduler {
     topology: ClusterTopology,
     /// Virtual time at which each slot becomes free.
     slot_free: Vec<Duration>,
+    metrics: MetricsSink,
 }
 
 impl VirtualScheduler {
@@ -92,12 +95,29 @@ impl VirtualScheduler {
     /// Panics if the topology has no slots.
     pub fn new(topology: ClusterTopology) -> Self {
         assert!(topology.total_slots() > 0, "cluster needs at least one slot");
-        VirtualScheduler { topology, slot_free: vec![Duration::ZERO; topology.total_slots()] }
+        VirtualScheduler {
+            topology,
+            slot_free: vec![Duration::ZERO; topology.total_slots()],
+            metrics: MetricsSink::disabled(),
+        }
     }
 
     /// The topology in force.
     pub fn topology(&self) -> ClusterTopology {
         self.topology
+    }
+
+    /// Route scheduling counters (`tasks_scheduled`, `bytes_shuffled`)
+    /// into `sink`. The scheduler is the single source of truth for both:
+    /// every placed task counts once, and every byte that crosses the
+    /// modeled network (remote reads and shuffle pulls) counts once.
+    pub fn attach_metrics(&mut self, sink: MetricsSink) {
+        self.metrics = sink;
+    }
+
+    /// The sink scheduling counters go to (disabled by default).
+    pub fn metrics(&self) -> &MetricsSink {
+        &self.metrics
     }
 
     fn node_of_slot(&self, slot: usize) -> usize {
@@ -183,6 +203,9 @@ impl VirtualScheduler {
                 end = finish;
             }
         }
+
+        self.metrics.incr(counters::TASKS_SCHEDULED, tasks.len() as u64);
+        self.metrics.incr(counters::BYTES_SHUFFLED, network_bytes);
 
         let with_locality = tasks.iter().filter(|t| !t.locality.is_empty()).count();
         PhaseResult {

@@ -96,9 +96,10 @@ fn line_bytes(lines: &[String]) -> u64 {
     lines.iter().map(|l| l.len() as u64 + 1).sum()
 }
 
-/// Render one reading as a Format-1/Format-3 line.
+/// Render one reading as a Format-1/Format-3 line. Floats use shortest
+/// round-trip formatting so parsed values match the source bit-exactly.
 fn reading_line(consumer: u32, hour: usize, temperature: f64, kwh: f64) -> String {
-    format!("{consumer},{hour},{temperature:.3},{kwh:.4}")
+    format!("{consumer},{hour},{temperature},{kwh}")
 }
 
 /// Render one consumer as a Format-2 line.
@@ -107,7 +108,7 @@ fn consumer_line(consumer: u32, readings: &[f64]) -> String {
     s.push_str(&consumer.to_string());
     for v in readings {
         s.push(',');
-        s.push_str(&format!("{v:.4}"));
+        s.push_str(&format!("{v}"));
     }
     s
 }

@@ -235,23 +235,42 @@ mod tests {
         )
         .unwrap();
         let out = gen.generate(10, seed.temperature(), 0).unwrap();
-        // Average consumption on the coldest 10% of hours should exceed
-        // the mildest 30% (the seed archetypes all heat).
+        // The coldest 10% of hours should carry more load than the
+        // mildest 30% (the seed archetypes all heat). Compare residuals
+        // against each hour-of-day's mean so the daily activity shape
+        // (busy evenings, quiet nights) cannot mask the thermal signal —
+        // cold hours are not uniformly spread over the day.
         let temps = seed.temperature().values();
+        let mut hod_mean = [0.0; HOURS_PER_DAY];
+        let mut hod_count = [0usize; HOURS_PER_DAY];
+        for c in out.consumers() {
+            for (h, &r) in c.readings().iter().enumerate() {
+                hod_mean[h % HOURS_PER_DAY] += r;
+                hod_count[h % HOURS_PER_DAY] += 1;
+            }
+        }
+        for (m, n) in hod_mean.iter_mut().zip(hod_count) {
+            *m /= n as f64;
+        }
         let mut idx: Vec<usize> = (0..temps.len()).collect();
         idx.sort_by(|&a, &b| temps[a].partial_cmp(&temps[b]).unwrap());
         let cold = &idx[..temps.len() / 10];
         let mild = &idx[temps.len() * 4 / 10..temps.len() * 7 / 10];
-        let avg = |hours: &[usize]| -> f64 {
+        let residual = |hours: &[usize]| -> f64 {
             let mut s = 0.0;
             for c in out.consumers() {
                 for &h in hours {
-                    s += c.readings()[h];
+                    s += c.readings()[h] - hod_mean[h % HOURS_PER_DAY];
                 }
             }
             s / (hours.len() * out.len()) as f64
         };
-        assert!(avg(cold) > avg(mild), "cold {} vs mild {}", avg(cold), avg(mild));
+        assert!(
+            residual(cold) > residual(mild),
+            "cold residual {} vs mild residual {}",
+            residual(cold),
+            residual(mild)
+        );
     }
 
     #[test]

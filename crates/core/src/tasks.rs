@@ -116,8 +116,9 @@ impl ConsumerResult {
 /// Run one per-consumer task on raw year arrays — the kernel cluster
 /// engines invoke from their UDFs/closures.
 ///
-/// # Panics
-/// Panics if called with [`Task::Similarity`], which is not per-consumer.
+/// # Errors
+/// Returns [`smda_types::Error::NotPerConsumer`] when called with
+/// [`Task::Similarity`], which is all-pairs rather than per-consumer.
 pub fn run_consumer_task(
     task: Task,
     id: smda_types::ConsumerId,
@@ -126,7 +127,9 @@ pub fn run_consumer_task(
 ) -> smda_types::Result<ConsumerResult> {
     use crate::three_line::{fit_three_line_timed, ThreeLineConfig};
     use smda_types::{ConsumerSeries, TemperatureSeries};
-    assert!(task.per_consumer(), "similarity search is not a per-consumer task");
+    if !task.per_consumer() {
+        return Err(smda_types::Error::NotPerConsumer(task.name().to_owned()));
+    }
     let series = ConsumerSeries::new(id, kwh)?;
     Ok(match task {
         Task::Histogram => ConsumerResult::Histogram(ConsumerHistogram::build(&series)),
@@ -141,7 +144,7 @@ pub fn run_consumer_task(
             let temps = TemperatureSeries::new(temps.to_vec())?;
             ConsumerResult::Par(Box::new(crate::par::fit_par(&series, &temps)))
         }
-        Task::Similarity => unreachable!("guarded by the per_consumer assertion"),
+        Task::Similarity => unreachable!("rejected by the per_consumer guard above"),
     })
 }
 
@@ -244,5 +247,16 @@ mod tests {
         assert!(Task::ThreeLine.per_consumer());
         assert!(Task::Par.per_consumer());
         assert!(!Task::Similarity.per_consumer());
+    }
+
+    #[test]
+    fn similarity_on_consumer_path_is_a_typed_error() {
+        let kwh: Vec<f64> = vec![0.5; HOURS_PER_YEAR];
+        let temps: Vec<f64> = vec![10.0; HOURS_PER_YEAR];
+        let err = run_consumer_task(Task::Similarity, ConsumerId(0), kwh, &temps).unwrap_err();
+        match err {
+            smda_types::Error::NotPerConsumer(task) => assert_eq!(task, "Similarity"),
+            other => panic!("expected NotPerConsumer, got {other:?}"),
+        }
     }
 }

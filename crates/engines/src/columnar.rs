@@ -14,13 +14,15 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
-use smda_core::{Task, SIMILARITY_TOP_K};
+use smda_core::SIMILARITY_TOP_K;
 use smda_storage::{ColumnStore, ColumnStoreStats};
 use smda_types::{ConsumerId, Dataset, Error, Result};
 
+use smda_obs::counters;
+
 use crate::capabilities::Capabilities;
 use crate::parallel::{execute_task, ConsumerSource};
-use crate::platform::{Platform, RunResult};
+use crate::platform::{Platform, RunResult, RunSpec};
 
 /// The System C analogue.
 pub struct ColumnarEngine {
@@ -121,13 +123,21 @@ impl Platform for ColumnarEngine {
         Ok(start.elapsed())
     }
 
-    fn run(&mut self, task: Task, threads: usize) -> Result<RunResult> {
+    fn run(&mut self, spec: &RunSpec) -> Result<RunResult> {
         let start = Instant::now();
         let store = self.shared()?;
-        let make = move || -> Result<Box<dyn ConsumerSource>> {
-            Ok(Box::new(ColumnSource::new(store.clone())))
+        let before = store.lock().stats();
+        let make = {
+            let store = store.clone();
+            move || -> Result<Box<dyn ConsumerSource>> {
+                Ok(Box::new(ColumnSource::new(store.clone())))
+            }
         };
-        let output = execute_task(&make, task, threads, SIMILARITY_TOP_K)?;
+        let output = execute_task(&make, spec.task, spec.threads, SIMILARITY_TOP_K, &spec.metrics)?;
+        // Chunk-cache traffic attributable to this run.
+        let after = store.lock().stats();
+        spec.metrics.incr(counters::PAGES_FAULTED, after.chunk_faults - before.chunk_faults);
+        spec.metrics.incr(counters::CACHE_HITS, after.chunk_hits - before.chunk_hits);
         Ok(RunResult { output, elapsed: start.elapsed() })
     }
 
@@ -140,7 +150,7 @@ impl Platform for ColumnarEngine {
 mod tests {
     use super::*;
     use smda_core::tasks::run_reference;
-    use smda_core::TaskOutput;
+    use smda_core::{Task, TaskOutput};
     use smda_types::{ConsumerSeries, TemperatureSeries, HOURS_PER_YEAR};
 
     fn tiny(n: u32) -> Dataset {
@@ -174,7 +184,7 @@ mod tests {
         let mut engine = ColumnarEngine::new(tmp("ref"));
         engine.load(&ds).unwrap();
         for task in Task::ALL {
-            let got = engine.run(task, 2).unwrap();
+            let got = engine.run(&RunSpec::builder(task).threads(2).build()).unwrap();
             let want = run_reference(task, &ds);
             assert_eq!(got.output.len(), want.len(), "{task}");
             match (&got.output, &want) {
@@ -205,7 +215,7 @@ mod tests {
     #[test]
     fn run_before_load_errors() {
         let mut engine = ColumnarEngine::new(tmp("noload"));
-        assert!(engine.run(Task::Histogram, 1).is_err());
+        assert!(engine.run(&RunSpec::builder(Task::Histogram).build()).is_err());
         assert!(engine.warm().is_err());
     }
 
@@ -215,9 +225,19 @@ mod tests {
         let mut engine = ColumnarEngine::new(tmp("cw"));
         engine.load(&ds).unwrap();
         engine.make_cold();
-        let cold = engine.run(Task::Par, 2).unwrap();
+        let sink = smda_obs::MetricsSink::recording();
+        let cold_spec = RunSpec::builder(Task::Par).threads(2).metrics(sink.clone()).build();
+        let cold = engine.run(&cold_spec).unwrap();
+        let cold_report = sink.finish(smda_obs::RunManifest::new("par", engine.name()).cold(true));
+        // A cold run faults chunks in from disk.
+        assert!(cold_report.counter(counters::PAGES_FAULTED).unwrap_or(0) > 0);
         engine.warm().unwrap();
-        let warm = engine.run(Task::Par, 2).unwrap();
+        let warm_spec = RunSpec::builder(Task::Par).threads(2).metrics(sink.clone()).build();
+        let warm = engine.run(&warm_spec).unwrap();
+        let warm_report = sink.finish(smda_obs::RunManifest::new("par", engine.name()));
+        // A warm run is served from the chunk cache.
+        assert_eq!(warm_report.counter(counters::PAGES_FAULTED).unwrap_or(0), 0);
+        assert!(warm_report.counter(counters::CACHE_HITS).unwrap_or(0) > 0);
         match (&cold.output, &warm.output) {
             (TaskOutput::Par(a), TaskOutput::Par(b)) => assert_eq!(a, b),
             _ => panic!("unexpected outputs"),

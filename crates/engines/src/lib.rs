@@ -26,5 +26,5 @@ pub mod relational;
 pub use capabilities::{Capabilities, Support};
 pub use columnar::ColumnarEngine;
 pub use numeric::NumericEngine;
-pub use platform::{Platform, RunResult};
+pub use platform::{observe_session, Platform, RunResult, RunSpec, RunSpecBuilder};
 pub use relational::{RelationalEngine, RelationalLayout};

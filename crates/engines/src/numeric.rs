@@ -12,13 +12,13 @@ use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use smda_core::{Task, SIMILARITY_TOP_K};
+use smda_core::SIMILARITY_TOP_K;
 use smda_storage::{FileLayout, FileStore};
 use smda_types::{ConsumerId, Dataset, Error, Result};
 
 use crate::capabilities::Capabilities;
 use crate::parallel::{execute_task, ConsumerSource, MemorySource};
-use crate::platform::{Platform, RunResult};
+use crate::platform::{Platform, RunResult, RunSpec};
 
 /// The Matlab analogue.
 #[derive(Debug)]
@@ -89,7 +89,8 @@ impl Platform for NumericEngine {
         Ok(start.elapsed())
     }
 
-    fn run(&mut self, task: Task, threads: usize) -> Result<RunResult> {
+    fn run(&mut self, spec: &RunSpec) -> Result<RunResult> {
+        let RunSpec { task, threads, metrics } = spec;
         let start = Instant::now();
         let output = if let Some(ws) = &self.workspace {
             // Warm: compute from the in-memory workspace.
@@ -97,7 +98,7 @@ impl Platform for NumericEngine {
             let make = move || -> Result<Box<dyn ConsumerSource>> {
                 Ok(Box::new(MemorySource::new(ws.clone())))
             };
-            execute_task(&make, task, threads, SIMILARITY_TOP_K)?
+            execute_task(&make, *task, *threads, SIMILARITY_TOP_K, metrics)?
         } else {
             match self.layout {
                 FileLayout::Partitioned => {
@@ -110,18 +111,21 @@ impl Platform for NumericEngine {
                             temps: temps.clone(),
                         }))
                     };
-                    execute_task(&make, task, threads, SIMILARITY_TOP_K)?
+                    execute_task(&make, *task, *threads, SIMILARITY_TOP_K, metrics)?
                 }
                 FileLayout::Unpartitioned => {
                     // Cold, one big file: parse and group everything first
                     // (Matlab's whole-file index), then compute in memory.
                     // The workspace is NOT retained — the next cold run
                     // pays the parse again.
-                    let data = Arc::new(self.store()?.read_all()?);
+                    let data = {
+                        let _parse = metrics.scope("parse");
+                        Arc::new(self.store()?.read_all()?)
+                    };
                     let make = move || -> Result<Box<dyn ConsumerSource>> {
                         Ok(Box::new(MemorySource::new(data.clone())))
                     };
-                    execute_task(&make, task, threads, SIMILARITY_TOP_K)?
+                    execute_task(&make, *task, *threads, SIMILARITY_TOP_K, metrics)?
                 }
             }
         };
@@ -137,7 +141,7 @@ impl Platform for NumericEngine {
 mod tests {
     use super::*;
     use smda_core::tasks::run_reference;
-    use smda_core::TaskOutput;
+    use smda_core::{Task, TaskOutput};
     use smda_types::{ConsumerSeries, TemperatureSeries, HOURS_PER_YEAR};
 
     fn tiny(n: u32) -> Dataset {
@@ -171,7 +175,7 @@ mod tests {
         let mut engine = NumericEngine::new(tmp("cp"), FileLayout::Partitioned);
         engine.load(&ds).unwrap();
         for task in [Task::Histogram, Task::Par] {
-            let got = engine.run(task, 2).unwrap();
+            let got = engine.run(&RunSpec::builder(task).threads(2).build()).unwrap();
             let want = run_reference(task, &ds);
             match (&got.output, &want) {
                 (TaskOutput::Histograms(a), TaskOutput::Histograms(b)) => {
@@ -204,9 +208,9 @@ mod tests {
         let ds = tiny(3);
         let mut engine = NumericEngine::new(tmp("warm"), FileLayout::Unpartitioned);
         engine.load(&ds).unwrap();
-        let cold = engine.run(Task::Similarity, 1).unwrap();
+        let cold = engine.run(&RunSpec::builder(Task::Similarity).build()).unwrap();
         engine.warm().unwrap();
-        let warm = engine.run(Task::Similarity, 1).unwrap();
+        let warm = engine.run(&RunSpec::builder(Task::Similarity).build()).unwrap();
         match (&cold.output, &warm.output) {
             (TaskOutput::Similarity(a), TaskOutput::Similarity(b)) => assert_eq!(a, b),
             _ => panic!("unexpected outputs"),
@@ -217,7 +221,7 @@ mod tests {
     #[test]
     fn run_without_load_errors() {
         let mut engine = NumericEngine::new(tmp("noload"), FileLayout::Partitioned);
-        assert!(engine.run(Task::Histogram, 1).is_err());
+        assert!(engine.run(&RunSpec::builder(Task::Histogram).build()).is_err());
     }
 
     #[test]

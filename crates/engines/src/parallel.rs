@@ -10,6 +10,7 @@ use smda_core::{
     fit_par, ConsumerHistogram, ConsumerMatches, Task, TaskOutput, ThreeLineModel,
     ThreeLinePhases,
 };
+use smda_obs::{counters, MetricsSink};
 use smda_stats::{normalize_all, select_top_k, SimilarityMatch};
 use smda_types::{ConsumerId, ConsumerSeries, Error, Result, TemperatureSeries};
 
@@ -53,6 +54,7 @@ fn fan_out<T: Send>(
     ids: &[ConsumerId],
     threads: usize,
     make_source: &SourceFactory,
+    metrics: &MetricsSink,
     work: &Work<T>,
 ) -> Result<Vec<T>> {
     let ranges = split_ranges(ids.len(), threads);
@@ -60,6 +62,7 @@ fn fan_out<T: Send>(
         let mut source = make_source()?;
         return Ok(vec![work(source.as_mut(), ids)?]);
     }
+    metrics.incr(counters::WORKERS_SPAWNED, ranges.len() as u64);
     let results = crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = ranges
             .iter()
@@ -83,20 +86,28 @@ fn fan_out<T: Send>(
 /// Execute one benchmark task with `threads` shared-nothing workers.
 ///
 /// `make_source` is invoked once per worker to open an independent
-/// storage handle ("connection"). `k` is the similarity top-k.
+/// storage handle ("connection"). `k` is the similarity top-k. Phase
+/// timings and counters (rows scanned, workers spawned) are recorded
+/// into `metrics`, nesting under whatever scope the caller has open.
 pub fn execute_task(
     make_source: &SourceFactory,
     task: Task,
     threads: usize,
     k: usize,
+    metrics: &MetricsSink,
 ) -> Result<TaskOutput> {
-    let ids = make_source()?.consumer_ids()?;
+    let ids = {
+        let _plan = metrics.scope("plan");
+        make_source()?.consumer_ids()?
+    };
     match task {
         Task::Histogram => {
-            let parts = fan_out(&ids, threads, make_source, &|src, ids| {
+            let _t = metrics.scope("fan_out");
+            let parts = fan_out(&ids, threads, make_source, metrics, &|src, ids| {
                 ids.iter()
                     .map(|&id| {
                         let (kwh, _) = src.consumer_year(id)?;
+                        metrics.incr(counters::ROWS_SCANNED, kwh.len() as u64);
                         Ok(ConsumerHistogram::build(&ConsumerSeries::new(id, kwh)?))
                     })
                     .collect::<Result<Vec<_>>>()
@@ -104,12 +115,14 @@ pub fn execute_task(
             Ok(TaskOutput::Histograms(parts.into_iter().flatten().collect()))
         }
         Task::ThreeLine => {
+            let _t = metrics.scope("fan_out");
             let config = ThreeLineConfig::default();
-            let parts = fan_out(&ids, threads, make_source, &|src, ids| {
+            let parts = fan_out(&ids, threads, make_source, metrics, &|src, ids| {
                 let mut models = Vec::with_capacity(ids.len());
                 let mut phases = ThreeLinePhases::default();
                 for &id in ids {
                     let (kwh, temps) = src.consumer_year(id)?;
+                    metrics.incr(counters::ROWS_SCANNED, kwh.len() as u64);
                     let series = ConsumerSeries::new(id, kwh)?;
                     let temps = TemperatureSeries::new(temps)?;
                     if let Some((m, p)) = fit_three_line_timed(&series, &temps, &config) {
@@ -125,13 +138,20 @@ pub fn execute_task(
                 models.extend(m);
                 phases.add(p);
             }
+            // CPU-time split across workers, nested under the open scope
+            // (so `run/fan_out/t1`.. when driven through a Platform).
+            metrics.add_phase_nested(&["t1"], phases.t1);
+            metrics.add_phase_nested(&["t2"], phases.t2);
+            metrics.add_phase_nested(&["t3"], phases.t3);
             Ok(TaskOutput::ThreeLine(models, phases))
         }
         Task::Par => {
-            let parts = fan_out(&ids, threads, make_source, &|src, ids| {
+            let _t = metrics.scope("fan_out");
+            let parts = fan_out(&ids, threads, make_source, metrics, &|src, ids| {
                 ids.iter()
                     .map(|&id| {
                         let (kwh, temps) = src.consumer_year(id)?;
+                        metrics.incr(counters::ROWS_SCANNED, kwh.len() as u64);
                         let series = ConsumerSeries::new(id, kwh)?;
                         let temps = TemperatureSeries::new(temps)?;
                         Ok(fit_par(&series, &temps))
@@ -142,12 +162,20 @@ pub fn execute_task(
         }
         Task::Similarity => {
             // Phase 1: extract every series (parallel over consumers).
-            let parts = fan_out(&ids, threads, make_source, &|src, ids| {
-                ids.iter()
-                    .map(|&id| Ok(src.consumer_year(id)?.0))
-                    .collect::<Result<Vec<Vec<f64>>>>()
-            })?;
+            let parts = {
+                let _t = metrics.scope("extract");
+                fan_out(&ids, threads, make_source, metrics, &|src, ids| {
+                    ids.iter()
+                        .map(|&id| {
+                            let (kwh, _) = src.consumer_year(id)?;
+                            metrics.incr(counters::ROWS_SCANNED, kwh.len() as u64);
+                            Ok(kwh)
+                        })
+                        .collect::<Result<Vec<Vec<f64>>>>()
+                })?
+            };
             let series: Vec<Vec<f64>> = parts.into_iter().flatten().collect();
+            let _t = metrics.scope("score");
             let normalized = normalize_all(&series);
             // Phase 2: all-pairs scoring, parallel over query ranges.
             let matches = top_k_parallel(&normalized, k, threads);
@@ -284,9 +312,10 @@ mod tests {
             let data = data.clone();
             Box::new(move || Ok(Box::new(MemorySource::new(data.clone())) as Box<dyn ConsumerSource>))
         };
+        let sink = MetricsSink::recording();
         for task in Task::ALL {
-            let single = execute_task(make.as_ref(), task, 1, 3).unwrap();
-            let multi = execute_task(make.as_ref(), task, 4, 3).unwrap();
+            let single = execute_task(make.as_ref(), task, 1, 3, &MetricsSink::disabled()).unwrap();
+            let multi = execute_task(make.as_ref(), task, 4, 3, &sink).unwrap();
             assert_eq!(single.len(), multi.len(), "{task}");
             match (&single, &multi) {
                 (TaskOutput::Histograms(a), TaskOutput::Histograms(b)) => assert_eq!(a, b),
@@ -296,6 +325,12 @@ mod tests {
                 _ => panic!("mismatched task outputs"),
             }
         }
+        // The recording sink saw the parallel runs: workers were spawned
+        // and every consumer-year was scanned at least once per task.
+        let report = sink.finish(smda_obs::RunManifest::new("all", "memory"));
+        assert!(report.counter(smda_obs::counters::WORKERS_SPAWNED).unwrap_or(0) >= 4);
+        assert!(report.counter(smda_obs::counters::ROWS_SCANNED).unwrap_or(0) > 0);
+        assert!(report.phase_ns(&["fan_out", "t1"]).is_some());
     }
 
     #[test]
@@ -305,7 +340,8 @@ mod tests {
             let data = data.clone();
             Box::new(move || Ok(Box::new(MemorySource::new(data.clone())) as Box<dyn ConsumerSource>))
         };
-        let out = execute_task(make.as_ref(), Task::Histogram, 2, 10).unwrap();
+        let out =
+            execute_task(make.as_ref(), Task::Histogram, 2, 10, &MetricsSink::disabled()).unwrap();
         let reference = smda_core::tasks::run_reference(Task::Histogram, &data);
         match (&out, &reference) {
             (TaskOutput::Histograms(a), TaskOutput::Histograms(b)) => assert_eq!(a, b),

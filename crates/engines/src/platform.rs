@@ -1,11 +1,74 @@
-//! The [`Platform`] trait driven by the benchmark harness.
+//! The [`Platform`] trait driven by the benchmark harness, and the
+//! [`RunSpec`] describing one run of it.
 
 use std::time::Duration;
 
 use smda_core::{Task, TaskOutput};
+use smda_obs::{MetricsReport, MetricsSink, RunManifest};
 use smda_types::{Dataset, Result};
 
 use crate::capabilities::Capabilities;
+
+/// Everything a platform needs to execute one benchmark run: the task,
+/// the degree of parallelism, and where to record metrics.
+///
+/// Construct with the builder:
+///
+/// ```
+/// use smda_core::Task;
+/// use smda_engines::RunSpec;
+/// use smda_obs::MetricsSink;
+///
+/// let spec = RunSpec::builder(Task::ThreeLine)
+///     .threads(4)
+///     .metrics(MetricsSink::recording())
+///     .build();
+/// assert_eq!(spec.threads, 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RunSpec {
+    /// The benchmark task to execute.
+    pub task: Task,
+    /// Worker threads (shared-nothing connections/instances) to use.
+    pub threads: usize,
+    /// Sink the platform writes phase timings and counters into. A
+    /// [`MetricsSink::disabled`] sink (the builder default) makes all
+    /// instrumentation no-ops.
+    pub metrics: MetricsSink,
+}
+
+impl RunSpec {
+    /// Start building a spec for `task`; one thread and no metrics until
+    /// the setters say otherwise.
+    pub fn builder(task: Task) -> RunSpecBuilder {
+        RunSpecBuilder { spec: RunSpec { task, threads: 1, metrics: MetricsSink::disabled() } }
+    }
+}
+
+/// Builder for [`RunSpec`]; see [`RunSpec::builder`].
+#[derive(Debug, Clone)]
+pub struct RunSpecBuilder {
+    spec: RunSpec,
+}
+
+impl RunSpecBuilder {
+    /// Set the worker-thread count (minimum 1).
+    pub fn threads(mut self, threads: usize) -> RunSpecBuilder {
+        self.spec.threads = threads.max(1);
+        self
+    }
+
+    /// Attach a metrics sink.
+    pub fn metrics(mut self, metrics: MetricsSink) -> RunSpecBuilder {
+        self.spec.metrics = metrics;
+        self
+    }
+
+    /// Finish the spec.
+    pub fn build(self) -> RunSpec {
+        self.spec
+    }
+}
 
 /// Outcome of one task run on a platform.
 #[derive(Debug)]
@@ -37,10 +100,37 @@ pub trait Platform {
     /// column store faults its chunks in. Returns the time spent.
     fn warm(&mut self) -> Result<Duration>;
 
-    /// Run one benchmark task with `threads` parallel workers.
-    fn run(&mut self, task: Task, threads: usize) -> Result<RunResult>;
+    /// Execute `spec.task` with `spec.threads` parallel workers,
+    /// recording phase timings and counters into `spec.metrics`.
+    fn run(&mut self, spec: &RunSpec) -> Result<RunResult>;
 
     /// Which statistical functions the platform ships versus what had to
     /// be hand-written (Table 1).
     fn capabilities(&self) -> Capabilities;
+}
+
+/// Drive one fully-observed session — load, warm, run — against `engine`,
+/// recording the three top-level phases into `spec.metrics` and snapshotting
+/// them into a [`MetricsReport`].
+///
+/// The engine's own instrumentation nests beneath `run` (the `run` scope
+/// is open on the sink while [`Platform::run`] executes).
+pub fn observe_session(
+    engine: &mut dyn Platform,
+    ds: &Dataset,
+    spec: &RunSpec,
+) -> Result<(RunResult, MetricsReport)> {
+    let load = engine.load(ds)?;
+    spec.metrics.add_phase(&["load"], load);
+    let warm = engine.warm()?;
+    spec.metrics.add_phase(&["warm"], warm);
+    let result = {
+        let _run = spec.metrics.scope("run");
+        engine.run(spec)?
+    };
+    let manifest = RunManifest::new(spec.task.name(), engine.name())
+        .threads(spec.threads)
+        .consumers(ds.len());
+    let report = spec.metrics.finish(manifest);
+    Ok((result, report))
 }

@@ -11,14 +11,14 @@ use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use smda_core::{Task, SIMILARITY_TOP_K};
+use smda_core::SIMILARITY_TOP_K;
 use smda_storage::layout::{dataset_from_layout, table_path};
 use smda_storage::{ArrayTable, DayTable, ReadingTable, TableLayout};
 use smda_types::{ConsumerId, Dataset, Error, Result};
 
 use crate::capabilities::Capabilities;
 use crate::parallel::{execute_task, ConsumerSource, MemorySource};
-use crate::platform::{Platform, RunResult};
+use crate::platform::{Platform, RunResult, RunSpec};
 
 /// Which Figure 9 table layout the engine stores data in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -147,19 +147,19 @@ impl Platform for RelationalEngine {
         Ok(start.elapsed())
     }
 
-    fn run(&mut self, task: Task, threads: usize) -> Result<RunResult> {
+    fn run(&mut self, spec: &RunSpec) -> Result<RunResult> {
         let start = Instant::now();
         let output = if let Some(ws) = &self.workspace {
             let ws = ws.clone();
             let make = move || -> Result<Box<dyn ConsumerSource>> {
                 Ok(Box::new(MemorySource::new(ws.clone())))
             };
-            execute_task(&make, task, threads, SIMILARITY_TOP_K)?
+            execute_task(&make, spec.task, spec.threads, SIMILARITY_TOP_K, &spec.metrics)?
         } else {
             let make = || -> Result<Box<dyn ConsumerSource>> {
                 Ok(Box::new(TableSource(self.connect()?)))
             };
-            execute_task(&make, task, threads, SIMILARITY_TOP_K)?
+            execute_task(&make, spec.task, spec.threads, SIMILARITY_TOP_K, &spec.metrics)?
         };
         Ok(RunResult { output, elapsed: start.elapsed() })
     }
@@ -173,7 +173,7 @@ impl Platform for RelationalEngine {
 mod tests {
     use super::*;
     use smda_core::tasks::run_reference;
-    use smda_core::TaskOutput;
+    use smda_core::{Task, TaskOutput};
     use smda_types::{ConsumerSeries, TemperatureSeries, HOURS_PER_YEAR};
 
     fn tiny(n: u32) -> Dataset {
@@ -211,7 +211,7 @@ mod tests {
         ] {
             let mut engine = RelationalEngine::new(tmp(layout.label()), layout);
             engine.load(&ds).unwrap();
-            let got = engine.run(Task::Histogram, 2).unwrap();
+            let got = engine.run(&RunSpec::builder(Task::Histogram).threads(2).build()).unwrap();
             let want = run_reference(Task::Histogram, &ds);
             match (&got.output, &want) {
                 (TaskOutput::Histograms(a), TaskOutput::Histograms(b)) => {
@@ -228,10 +228,10 @@ mod tests {
         let ds = tiny(3);
         let mut engine = RelationalEngine::new(tmp("warm"), RelationalLayout::ArrayPerConsumer);
         engine.load(&ds).unwrap();
-        let cold = engine.run(Task::ThreeLine, 1).unwrap();
+        let cold = engine.run(&RunSpec::builder(Task::ThreeLine).build()).unwrap();
         let wtime = engine.warm().unwrap();
         assert!(wtime > Duration::ZERO);
-        let warm = engine.run(Task::ThreeLine, 1).unwrap();
+        let warm = engine.run(&RunSpec::builder(Task::ThreeLine).build()).unwrap();
         match (&cold.output, &warm.output) {
             (TaskOutput::ThreeLine(a, _), TaskOutput::ThreeLine(b, _)) => assert_eq!(a, b),
             _ => panic!("unexpected outputs"),
@@ -242,7 +242,7 @@ mod tests {
     #[test]
     fn run_before_load_errors() {
         let mut engine = RelationalEngine::new(tmp("noload"), RelationalLayout::ReadingPerRow);
-        assert!(engine.run(Task::Histogram, 1).is_err());
+        assert!(engine.run(&RunSpec::builder(Task::Histogram).build()).is_err());
     }
 
     #[test]
@@ -250,8 +250,8 @@ mod tests {
         let ds = tiny(5);
         let mut engine = RelationalEngine::new(tmp("par"), RelationalLayout::ReadingPerRow);
         engine.load(&ds).unwrap();
-        let one = engine.run(Task::Similarity, 1).unwrap();
-        let four = engine.run(Task::Similarity, 4).unwrap();
+        let one = engine.run(&RunSpec::builder(Task::Similarity).build()).unwrap();
+        let four = engine.run(&RunSpec::builder(Task::Similarity).threads(4).build()).unwrap();
         match (&one.output, &four.output) {
             (TaskOutput::Similarity(a), TaskOutput::Similarity(b)) => assert_eq!(a, b),
             _ => panic!("unexpected outputs"),

@@ -4,6 +4,7 @@
 use std::sync::Arc;
 
 use smda_cluster::{ClusterTopology, DfsConfig, SimDfs, TextTable, VirtualScheduler, WorkerPool};
+use smda_obs::MetricsSink;
 use smda_core::tasks::{collect_consumer_results, ConsumerResult};
 use smda_core::{ConsumerMatches, Task, TaskOutput, SIMILARITY_TOP_K};
 use smda_stats::{normalize_all, select_top_k, SimilarityMatch};
@@ -31,6 +32,7 @@ pub struct HiveEngine {
     reduce_tasks: usize,
     dfs: SimDfs,
     table: Option<TextTable>,
+    metrics: MetricsSink,
     /// For format 3: run the UDAF (reduce-full) plan instead of the UDTF
     /// (map-only) plan — the Figure 18 comparison.
     pub force_udaf: bool,
@@ -68,8 +70,22 @@ impl HiveEngine {
             reduce_tasks,
             dfs,
             table: None,
+            metrics: MetricsSink::disabled(),
             force_udaf: false,
         }
+    }
+
+    /// Route cluster counters (tasks scheduled, bytes shuffled, workers
+    /// spawned) from subsequent jobs into `sink`.
+    pub fn set_metrics(&mut self, sink: MetricsSink) {
+        self.metrics = sink;
+    }
+
+    /// A fresh scheduler on the engine's topology, wired to its sink.
+    fn scheduler(&self) -> VirtualScheduler {
+        let mut scheduler = VirtualScheduler::new(self.topology);
+        scheduler.attach_metrics(self.metrics.clone());
+        scheduler
     }
 
     /// Override the number of reduce tasks.
@@ -129,7 +145,7 @@ impl HiveEngine {
     fn run_udaf_plan(&mut self, task: Task) -> Result<HiveRunResult> {
         let inputs = self.inputs()?;
         let udaf = TaskUdaf { task };
-        let mut scheduler = VirtualScheduler::new(self.topology);
+        let mut scheduler = self.scheduler();
         let error = parking_lot::Mutex::new(None);
         let (results, stats) = run_map_reduce(
             inputs,
@@ -175,7 +191,7 @@ impl HiveEngine {
     fn run_udf_plan(&mut self, task: Task) -> Result<HiveRunResult> {
         let inputs = self.inputs()?;
         let udf = TaskUdf { task, temperature: self.table()?.temperature.clone() };
-        let mut scheduler = VirtualScheduler::new(self.topology);
+        let mut scheduler = self.scheduler();
         let error = parking_lot::Mutex::new(None);
         let (results, stats) = run_map_only(
             inputs,
@@ -208,7 +224,7 @@ impl HiveEngine {
     fn run_udtf_plan(&mut self, task: Task) -> Result<HiveRunResult> {
         let inputs = self.inputs()?;
         let udtf = TaskUdtf { task };
-        let mut scheduler = VirtualScheduler::new(self.topology);
+        let mut scheduler = self.scheduler();
         let error = parking_lot::Mutex::new(None);
         let (results, stats) = run_map_only(
             inputs,
@@ -269,7 +285,7 @@ impl HiveEngine {
 
         let ids_ref = &ids;
         let normalized_ref = &normalized;
-        let mut scheduler = VirtualScheduler::new(self.topology);
+        let mut scheduler = self.scheduler();
         let (mut matches, join_stats) = run_map_reduce_partitioned(
             inputs,
             // Map: replicate every series to every reduce partition (the
@@ -330,7 +346,7 @@ impl HiveEngine {
     fn assemble_series(&mut self) -> Result<(Vec<(ConsumerId, Vec<f64>)>, JobStats, HiveOperator)> {
         let format = self.table()?.format;
         let inputs = self.inputs()?;
-        let mut scheduler = VirtualScheduler::new(self.topology);
+        let mut scheduler = self.scheduler();
         let error = parking_lot::Mutex::new(None);
         match format {
             DataFormat::ReadingPerLine => {

@@ -115,11 +115,15 @@ where
         sim_inputs.push((input.bytes, input.hosts));
         payloads.push(input.data);
     }
-    let map_results = pool.run(payloads, |data| {
-        let mut pairs = Vec::new();
-        mapper(data, &mut pairs);
-        pairs
-    });
+    let map_results = pool.run_metered(
+        payloads,
+        |data| {
+            let mut pairs = Vec::new();
+            mapper(data, &mut pairs);
+            pairs
+        },
+        scheduler.metrics(),
+    );
 
     let mut map_sim = Vec::with_capacity(map_tasks);
     let mut partitions: Vec<BTreeMap<K, Vec<V>>> =
@@ -148,13 +152,17 @@ where
     let shuffle_bytes: u64 = partition_bytes.iter().sum();
 
     // ---- reduce phase --------------------------------------------------
-    let reduce_results = pool.run(partitions, |groups| {
-        let mut out = Vec::new();
-        for (k, vs) in groups {
-            out.extend(reducer(&k, vs));
-        }
-        out
-    });
+    let reduce_results = pool.run_metered(
+        partitions,
+        |groups| {
+            let mut out = Vec::new();
+            for (k, vs) in groups {
+                out.extend(reducer(&k, vs));
+            }
+            out
+        },
+        scheduler.metrics(),
+    );
     let mut reduce_sim = Vec::with_capacity(reduce_tasks);
     let mut outputs = Vec::new();
     for ((out, compute), bytes) in reduce_results.into_iter().zip(&partition_bytes) {
@@ -203,11 +211,15 @@ where
         sim_inputs.push((input.bytes, input.hosts));
         payloads.push(input.data);
     }
-    let results = pool.run(payloads, |data| {
-        let mut out = Vec::new();
-        mapper(data, &mut out);
-        out
-    });
+    let results = pool.run_metered(
+        payloads,
+        |data| {
+            let mut out = Vec::new();
+            mapper(data, &mut out);
+            out
+        },
+        scheduler.metrics(),
+    );
     let mut sim = Vec::with_capacity(map_tasks);
     let mut outputs = Vec::new();
     let mut map_output_records = 0usize;

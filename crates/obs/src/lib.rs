@@ -1,0 +1,143 @@
+//! Observability layer for benchmark runs.
+//!
+//! Three pieces, designed to thread through every platform with near-zero
+//! cost when disabled:
+//!
+//! - [`MetricsSink`] — a cheap cloneable handle that engines write into:
+//!   hierarchical phase durations (via [`PhaseTimer`] scopes or explicit
+//!   [`MetricsSink::add_phase`] calls) and named monotonic counters
+//!   ([`MetricsSink::incr`]). A [`MetricsSink::disabled`] sink makes every
+//!   operation a no-op, so instrumented code paths cost one branch when
+//!   nobody is listening.
+//! - [`RunManifest`] — what was run: task, platform, thread count,
+//!   dataset size, cold/warm.
+//! - [`MetricsReport`] — the snapshot of one run (manifest + phase tree +
+//!   counters). Serializes to JSON and flattens to the continuous-bench
+//!   entry format (`{"name", "value", "range", "unit"}`) used by
+//!   `BENCH_*.json` exports; see [`report::BenchExport`].
+//!
+//! # Phase hierarchy
+//!
+//! Phases form a tree keyed by `/`-joined paths. The benchmark driver
+//! records the three top-level phases `load`, `warm` and `run`; engines
+//! nest detail beneath `run` (for example `run/t1`..`run/t3` for the
+//! three-line algorithm phases, or `run/fan_out` for the parallel
+//! executor). Repeated scopes with the same path accumulate.
+//!
+//! ```
+//! use smda_obs::{counters, MetricsSink, RunManifest};
+//!
+//! let sink = MetricsSink::recording();
+//! {
+//!     let _load = sink.scope("load");
+//!     // ... do the load ...
+//!     sink.incr(counters::ROWS_SCANNED, 8760);
+//! }
+//! {
+//!     let _run = sink.scope("run");
+//!     let _part = sink.scope("partition");
+//!     // records under "run/partition"
+//! }
+//! let report = sink.finish(RunManifest::new("three_line", "matlab"));
+//! assert!(report.phase_ns(&["run", "partition"]).is_some());
+//! ```
+
+mod sink;
+
+pub mod report;
+
+pub use report::{BenchEntry, BenchExport, MetricsReport, PhaseNode, RunManifest};
+pub use sink::{snapshot_phases, MetricsSink, PhaseTimer};
+
+/// Canonical counter names. Engines should prefer these constants over ad
+/// hoc strings so exports stay mergeable across platforms.
+pub mod counters {
+    /// Individual readings visited while executing a task.
+    pub const ROWS_SCANNED: &str = "rows_scanned";
+    /// Page-granular reads that missed the buffer pool and hit storage.
+    pub const PAGES_FAULTED: &str = "pages_faulted";
+    /// Page-granular reads served from the buffer pool.
+    pub const CACHE_HITS: &str = "cache_hits";
+    /// OS threads spawned to execute the run.
+    pub const WORKERS_SPAWNED: &str = "workers_spawned";
+    /// Logical tasks placed by a cluster scheduler.
+    pub const TASKS_SCHEDULED: &str = "tasks_scheduled";
+    /// Bytes moved across the simulated cluster network.
+    pub const BYTES_SHUFFLED: &str = "bytes_shuffled";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_sink_records_nothing() {
+        let sink = MetricsSink::disabled();
+        {
+            let _t = sink.scope("load");
+            sink.incr(counters::ROWS_SCANNED, 10);
+        }
+        let report = sink.finish(RunManifest::new("t", "p"));
+        assert!(report.phases.is_empty());
+        assert!(report.counters.is_empty());
+        assert!(!sink.is_recording());
+    }
+
+    #[test]
+    fn scopes_nest_into_a_tree() {
+        let sink = MetricsSink::recording();
+        assert!(sink.is_recording());
+        {
+            let _run = sink.scope("run");
+            {
+                let _a = sink.scope("t1");
+            }
+            {
+                let _b = sink.scope("t2");
+            }
+        }
+        let report = sink.finish(RunManifest::new("three_line", "x"));
+        assert_eq!(report.phases.len(), 1);
+        assert_eq!(report.phases[0].name, "run");
+        let kids: Vec<&str> =
+            report.phases[0].children.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(kids, ["t1", "t2"]);
+        // Parent spans at least its children.
+        let child_sum: u64 = report.phases[0].children.iter().map(|c| c.ns).sum();
+        assert!(report.phases[0].ns >= child_sum);
+    }
+
+    #[test]
+    fn explicit_paths_accumulate() {
+        let sink = MetricsSink::recording();
+        sink.add_phase(&["run", "t1"], std::time::Duration::from_nanos(50));
+        sink.add_phase(&["run", "t1"], std::time::Duration::from_nanos(25));
+        sink.incr("widgets", 2);
+        sink.incr("widgets", 3);
+        let report = sink.finish(RunManifest::new("t", "p"));
+        assert_eq!(report.phase_ns(&["run", "t1"]), Some(75));
+        assert_eq!(report.counter("widgets"), Some(5));
+        assert_eq!(report.counter("missing"), None);
+    }
+
+    #[test]
+    fn clones_share_the_recorder() {
+        let sink = MetricsSink::recording();
+        let clone = sink.clone();
+        clone.incr(counters::WORKERS_SPAWNED, 4);
+        sink.add_phase(&["load"], std::time::Duration::from_nanos(9));
+        let report = sink.finish(RunManifest::new("t", "p"));
+        assert_eq!(report.counter(counters::WORKERS_SPAWNED), Some(4));
+        assert_eq!(report.phase_ns(&["load"]), Some(9));
+    }
+
+    #[test]
+    fn finish_resets_for_reuse() {
+        let sink = MetricsSink::recording();
+        sink.incr("a", 1);
+        let first = sink.finish(RunManifest::new("t", "p"));
+        assert_eq!(first.counter("a"), Some(1));
+        let second = sink.finish(RunManifest::new("t", "p"));
+        assert_eq!(second.counter("a"), None);
+    }
+}

@@ -11,6 +11,8 @@ use smda_core::{ConsumerMatches, Task, TaskOutput, SIMILARITY_TOP_K};
 use smda_stats::{normalize_all, select_top_k, SimilarityMatch};
 use smda_types::{ConsumerId, DataFormat, Dataset, Error, Result, HOURS_PER_YEAR};
 
+use smda_obs::MetricsSink;
+
 use crate::rdd::{SparkContext, SparkStats};
 
 /// Result of one Spark job chain.
@@ -29,6 +31,7 @@ pub struct SparkEngine {
     topology: ClusterTopology,
     dfs: SimDfs,
     table: Option<TextTable>,
+    metrics: MetricsSink,
     /// Shuffle partitions for wide operations (default: 2 × workers).
     pub shuffle_partitions: usize,
 }
@@ -51,8 +54,15 @@ impl SparkEngine {
             topology,
             dfs,
             table: None,
+            metrics: MetricsSink::disabled(),
             shuffle_partitions: topology.workers * 2,
         }
+    }
+
+    /// Route cluster counters (tasks scheduled, bytes shuffled, workers
+    /// spawned) from subsequent jobs into `sink`.
+    pub fn set_metrics(&mut self, sink: MetricsSink) {
+        self.metrics = sink;
     }
 
     /// The modeled topology.
@@ -76,6 +86,7 @@ impl SparkEngine {
     /// Run one benchmark task, returning output + virtual-time stats.
     pub fn run_task(&mut self, task: Task) -> Result<SparkRunResult> {
         let sc = SparkContext::new(self.topology);
+        sc.attach_metrics(self.metrics.clone());
         let table = self.table()?;
         let lines = sc.text_table(table)?;
         let format = table.format;

@@ -10,6 +10,7 @@ use std::time::Duration;
 use parking_lot::Mutex;
 
 use smda_cluster::{ClusterTopology, SimTask, TextTable, VirtualScheduler, WorkerPool};
+use smda_obs::MetricsSink;
 use smda_types::{Error, Result};
 
 use crate::sizeof::SizeOf;
@@ -101,6 +102,12 @@ impl SparkContext {
     /// Accounting so far.
     pub fn stats(&self) -> SparkStats {
         self.inner.state.lock().stats
+    }
+
+    /// Route cluster counters (tasks scheduled, bytes shuffled, workers
+    /// spawned) from subsequent stages into `sink`.
+    pub fn attach_metrics(&self, sink: MetricsSink) {
+        self.inner.state.lock().scheduler.attach_metrics(sink);
     }
 
     /// Distribute a vector over `parts` partitions.
@@ -288,11 +295,12 @@ impl<T: Clone + Send + Sync + 'static> Rdd<T> {
     fn run_stage(&self, extra_output_bytes: &[u64]) -> Vec<Vec<T>> {
         let n = self.inner.partitions;
         let this = self.clone();
-        let results = self
-            .ctx
-            .inner
-            .pool
-            .run((0..n).collect::<Vec<usize>>(), move |i| this.compute_partition(i));
+        let metrics = self.ctx.inner.state.lock().scheduler.metrics().clone();
+        let results = self.ctx.inner.pool.run_metered(
+            (0..n).collect::<Vec<usize>>(),
+            move |i| this.compute_partition(i),
+            &metrics,
+        );
         let mut sim = Vec::with_capacity(n);
         for (i, (_, compute)) in results.iter().enumerate() {
             sim.push(SimTask {
@@ -456,11 +464,12 @@ where
         // same).
         let n = self.inner.partitions;
         let this = self.clone();
-        let results = self
-            .ctx
-            .inner
-            .pool
-            .run((0..n).collect::<Vec<usize>>(), move |i| this.compute_partition(i));
+        let metrics = self.ctx.inner.state.lock().scheduler.metrics().clone();
+        let results = self.ctx.inner.pool.run_metered(
+            (0..n).collect::<Vec<usize>>(),
+            move |i| this.compute_partition(i),
+            &metrics,
+        );
         let mut sim = Vec::with_capacity(n);
         let mut data = Vec::with_capacity(n);
         for (i, (part, compute)) in results.into_iter().enumerate() {

@@ -64,7 +64,7 @@ impl FileStore {
                         .map_err(|e| Error::io(format!("creating {}", path.display()), e))?;
                     let mut w = BufWriter::new(f);
                     for (h, kwh) in c.readings().iter().enumerate() {
-                        writeln!(w, "{h},{kwh:.4}")
+                        writeln!(w, "{h},{kwh}")
                             .map_err(|e| Error::io("writing consumer file", e))?;
                     }
                     w.flush().map_err(|e| Error::io("flushing consumer file", e))?;
@@ -76,7 +76,7 @@ impl FileStore {
                     .map_err(|e| Error::io(format!("creating {}", path.display()), e))?;
                 let mut w = BufWriter::new(f);
                 for t in ds.temperature().values() {
-                    writeln!(w, "{t:.3}").map_err(|e| Error::io("writing temperature", e))?;
+                    writeln!(w, "{t}").map_err(|e| Error::io("writing temperature", e))?;
                 }
                 w.flush().map_err(|e| Error::io("flushing temperature", e))?;
             }

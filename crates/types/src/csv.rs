@@ -2,8 +2,9 @@
 //!
 //! The files the benchmark reads are numeric-only and schema-fixed, so a
 //! hand-rolled parser is both simpler and faster than a general CSV crate
-//! (and keeps the dependency set to the approved list). Numbers are written
-//! with enough precision to round-trip `f64` values used in practice.
+//! (and keeps the dependency set to the approved list). Floats are written
+//! with shortest-round-trip formatting so every value parses back
+//! bit-identical — required for the cross-platform equivalence tests.
 
 use std::io::{BufRead, Write};
 
@@ -12,8 +13,12 @@ use crate::reading::Reading;
 use crate::series::ConsumerId;
 
 /// Write one reading as a Format-1 CSV line: `consumer,hour,temperature,kwh`.
+///
+/// Floats use Rust's shortest-round-trip formatting, so a written dataset
+/// parses back bit-identical — platforms that load from disk must agree
+/// exactly with the in-memory reference, bucket boundaries included.
 pub fn write_reading_line<W: Write>(w: &mut W, r: &Reading) -> Result<()> {
-    writeln!(w, "{},{},{:.3},{:.4}", r.consumer.raw(), r.hour, r.temperature, r.kwh)
+    writeln!(w, "{},{},{},{}", r.consumer.raw(), r.hour, r.temperature, r.kwh)
         .map_err(|e| Error::io("writing reading line", e))
 }
 
@@ -66,8 +71,8 @@ pub fn write_f64_csv_line<W: Write>(w: &mut W, values: &[f64]) -> Result<()> {
         if i > 0 {
             buf.push(',');
         }
-        // 4 decimal places matches the kWh precision of the seed data.
-        buf.push_str(&format!("{v:.4}"));
+        // Shortest round-trip formatting: parses back bit-identical.
+        buf.push_str(&format!("{v}"));
     }
     buf.push('\n');
     w.write_all(buf.as_bytes()).map_err(|e| Error::io("writing csv line", e))
@@ -87,15 +92,16 @@ mod tests {
 
     #[test]
     fn reading_round_trip() {
-        let r = Reading { consumer: ConsumerId(12), hour: 8759, temperature: -10.5, kwh: 1.2345 };
+        // An awkward float (0.1 + 0.2) must survive the trip bit-exactly.
+        let r = Reading { consumer: ConsumerId(12), hour: 8759, temperature: -10.5, kwh: 0.1 + 0.2 };
         let mut buf = Vec::new();
         write_reading_line(&mut buf, &r).unwrap();
         let line = String::from_utf8(buf).unwrap();
         let parsed = parse_reading_line(line.trim_end(), "test", 1).unwrap();
         assert_eq!(parsed.consumer, r.consumer);
         assert_eq!(parsed.hour, r.hour);
-        assert!((parsed.temperature - r.temperature).abs() < 1e-9);
-        assert!((parsed.kwh - r.kwh).abs() < 1e-4);
+        assert_eq!(parsed.temperature.to_bits(), r.temperature.to_bits());
+        assert_eq!(parsed.kwh.to_bits(), r.kwh.to_bits());
     }
 
     #[test]

@@ -30,6 +30,9 @@ pub enum Error {
     /// A request that cannot be satisfied (unknown consumer, empty
     /// dataset, invalid parameter value).
     Invalid(String),
+    /// A task that is not embarrassingly parallel over consumers was
+    /// handed to a per-consumer execution path. Carries the task name.
+    NotPerConsumer(String),
 }
 
 impl Error {
@@ -56,6 +59,9 @@ impl fmt::Display for Error {
             }
             Error::Schema(msg) => write!(f, "schema violation: {msg}"),
             Error::Invalid(msg) => write!(f, "invalid request: {msg}"),
+            Error::NotPerConsumer(task) => {
+                write!(f, "task {task} is not per-consumer and cannot run on a per-consumer path")
+            }
         }
     }
 }
@@ -99,5 +105,13 @@ mod tests {
         let e = Error::io("x", std::io::Error::new(std::io::ErrorKind::Other, "y"));
         assert!(e.source().is_some());
         assert!(Error::Schema("s".into()).source().is_none());
+    }
+
+    #[test]
+    fn not_per_consumer_names_the_task() {
+        use std::error::Error as _;
+        let e = Error::NotPerConsumer("Similarity".into());
+        assert!(e.to_string().contains("Similarity"), "{e}");
+        assert!(e.source().is_none());
     }
 }

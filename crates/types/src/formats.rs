@@ -93,7 +93,7 @@ impl FormatWriter {
     fn write_temperature(&self, ds: &Dataset) -> Result<()> {
         let mut w = self.create(TEMPERATURE_FILE)?;
         for v in ds.temperature().values() {
-            writeln!(w, "{v:.3}").map_err(|e| Error::io("writing temperature", e))?;
+            writeln!(w, "{v}").map_err(|e| Error::io("writing temperature", e))?;
         }
         w.flush().map_err(|e| Error::io("flushing temperature", e))
     }

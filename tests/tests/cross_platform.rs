@@ -6,7 +6,7 @@ use smda_cluster::{ClusterTopology, CostModel};
 use smda_core::tasks::run_reference;
 use smda_core::{Task, TaskOutput};
 use smda_engines::{
-    ColumnarEngine, NumericEngine, Platform, RelationalEngine, RelationalLayout,
+    ColumnarEngine, NumericEngine, Platform, RelationalEngine, RelationalLayout, RunSpec,
 };
 use smda_hive::HiveEngine;
 use smda_integration::{fixture_dataset, TempDir};
@@ -77,7 +77,7 @@ fn single_server_platforms_agree_with_reference() {
     for engine in &mut engines {
         engine.load(&ds).expect("load succeeds");
         for task in Task::ALL {
-            let r = engine.run(task, 2).expect("run succeeds");
+            let r = engine.run(&RunSpec::builder(task).threads(2).build()).expect("run succeeds");
             if engine.name() == "Matlab" {
                 // Matlab's CSV round-trip quantizes readings: similarity
                 // rankings can swap near-ties, so only the per-consumer
@@ -127,9 +127,9 @@ fn warm_and_cold_runs_agree_everywhere() {
     for engine in &mut engines {
         engine.load(&ds).expect("load succeeds");
         engine.make_cold();
-        let cold = engine.run(Task::Par, 1).expect("cold run succeeds");
+        let cold = engine.run(&RunSpec::builder(Task::Par).build()).expect("cold run succeeds");
         engine.warm().expect("warm succeeds");
-        let warm = engine.run(Task::Par, 1).expect("warm run succeeds");
+        let warm = engine.run(&RunSpec::builder(Task::Par).build()).expect("warm run succeeds");
         match (&cold.output, &warm.output) {
             (TaskOutput::Par(a), TaskOutput::Par(b)) => {
                 for (x, y) in a.iter().zip(b) {

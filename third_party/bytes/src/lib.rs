@@ -1,0 +1,180 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Implements the [`Buf`]/[`BufMut`] subset the storage layer uses:
+//! little-endian u16/u32/u64/f64 reads and writes over `&[u8]`,
+//! `&mut [u8]` and `Vec<u8>`, with the same advancing-cursor semantics
+//! (a `&[u8]` reader consumes its front; a `&mut [u8]` writer shrinks;
+//! a `Vec<u8>` writer appends).
+
+/// Read access to a buffer of bytes with an advancing cursor.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Copy `dst.len()` bytes out, advancing the cursor.
+    ///
+    /// # Panics
+    /// Panics if fewer than `dst.len()` bytes remain.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    /// True when bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Read one byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    /// Read a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_le_bytes(b)
+    }
+
+    /// Read a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Read a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Read a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.len() >= dst.len(), "buffer underflow");
+        let (head, tail) = self.split_at(dst.len());
+        dst.copy_from_slice(head);
+        *self = tail;
+    }
+}
+
+impl<B: Buf + ?Sized> Buf for &mut B {
+    fn remaining(&self) -> usize {
+        (**self).remaining()
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        (**self).copy_to_slice(dst)
+    }
+}
+
+/// Write access to a buffer of bytes with an advancing cursor.
+pub trait BufMut {
+    /// Append/write `src`, advancing the cursor.
+    ///
+    /// # Panics
+    /// Panics if the buffer cannot hold `src.len()` more bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Write one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Write a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Write a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Write a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Write a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_u64_le(v.to_bits());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+impl BufMut for &mut [u8] {
+    fn put_slice(&mut self, src: &[u8]) {
+        assert!(self.len() >= src.len(), "buffer overflow");
+        let taken = std::mem::take(self);
+        let (head, tail) = taken.split_at_mut(src.len());
+        head.copy_from_slice(src);
+        *self = tail;
+    }
+}
+
+impl<B: BufMut + ?Sized> BufMut for &mut B {
+    fn put_slice(&mut self, src: &[u8]) {
+        (**self).put_slice(src)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_reader_advances() {
+        let data = [1u8, 0, 2, 0, 0, 0, 0, 0];
+        let mut r = &data[..];
+        assert_eq!(r.get_u16_le(), 1);
+        assert_eq!(r.remaining(), 6);
+        assert_eq!(r.get_u16_le(), 2);
+        assert!(r.has_remaining());
+    }
+
+    #[test]
+    fn vec_writer_appends_and_round_trips() {
+        let mut w = Vec::new();
+        w.put_u32_le(77);
+        w.put_f64_le(1.5);
+        w.put_u16_le(3);
+        let mut r = &w[..];
+        assert_eq!(r.get_u32_le(), 77);
+        assert_eq!(r.get_f64_le(), 1.5);
+        assert_eq!(r.get_u16_le(), 3);
+        assert!(!r.has_remaining());
+    }
+
+    #[test]
+    fn mut_slice_writer_writes_in_place() {
+        let mut buf = [0u8; 4];
+        (&mut buf[..]).put_u16_le(0x0102);
+        assert_eq!(buf, [0x02, 0x01, 0, 0]);
+        (&mut buf[2..4]).put_u16_le(0x0304);
+        assert_eq!(buf, [0x02, 0x01, 0x04, 0x03]);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn reading_past_end_panics() {
+        let mut r = &[1u8][..];
+        r.get_u32_le();
+    }
+}

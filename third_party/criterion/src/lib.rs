@@ -1,0 +1,217 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Keeps the bench targets compiling and runnable without the real
+//! statistics engine: `b.iter(..)` times a handful of iterations and the
+//! runner prints one line per benchmark. Because `harness = false` bench
+//! targets are also executed by `cargo test`, the generated `main` only
+//! runs benchmarks when invoked with `--bench` (which `cargo bench`
+//! passes); under plain `cargo test` it exits immediately so the tier-1
+//! suite stays fast.
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// Top-level benchmark driver handed to each `criterion_group!` target.
+pub struct Criterion {
+    enabled: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { enabled: true }
+    }
+}
+
+impl Criterion {
+    #[doc(hidden)]
+    pub fn with_enabled(enabled: bool) -> Criterion {
+        Criterion { enabled }
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_owned() }
+    }
+
+    /// Run a single benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(self.enabled, id, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub always runs a fixed,
+    /// small number of iterations.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; measurement time is not
+    /// configurable in the stub.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run `f` as the benchmark named `id` within this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl fmt::Display, f: F) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_one(self.criterion.enabled, &label, f);
+        self
+    }
+
+    /// Run `f` with `input`, as the benchmark named `id`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(self.criterion.enabled, &label, |b| f(b, input));
+        self
+    }
+
+    /// End the group (no-op; present for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// A `function/parameter` benchmark identifier.
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Identifier for `function` at `parameter`.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { function: function.to_string(), parameter: parameter.to_string() }
+    }
+
+    /// Identifier with only a parameter component.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { function: String::new(), parameter: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.function.is_empty() {
+            write!(f, "{}", self.parameter)
+        } else {
+            write!(f, "{}/{}", self.function, self.parameter)
+        }
+    }
+}
+
+/// Passed to the benchmark closure; `iter` times the routine.
+pub struct Bencher {
+    enabled: bool,
+    elapsed: Duration,
+    iterations: u32,
+}
+
+impl Bencher {
+    /// Time `routine`. In the stub this runs a small fixed number of
+    /// iterations (once when the routine takes over a millisecond).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if !self.enabled {
+            return;
+        }
+        let start = Instant::now();
+        black_box(routine());
+        let first = start.elapsed();
+        let extra = if first > Duration::from_millis(1) { 0 } else { 4 };
+        for _ in 0..extra {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iterations = 1 + extra;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(enabled: bool, label: &str, mut f: F) {
+    let mut b = Bencher { enabled, elapsed: Duration::ZERO, iterations: 0 };
+    f(&mut b);
+    if enabled && b.iterations > 0 {
+        let per_iter = b.elapsed / b.iterations;
+        println!("bench: {label:<48} {per_iter:>12.2?}/iter ({} iters)", b.iterations);
+    }
+}
+
+/// Should this process actually execute benchmarks?
+///
+/// `cargo bench` passes `--bench`; `cargo test` runs `harness = false`
+/// bench targets with `--test` (or no marker), in which case we skip.
+#[doc(hidden)]
+pub fn benches_requested() -> bool {
+    std::env::args().any(|a| a == "--bench")
+}
+
+/// Bundle benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(criterion: &mut $crate::Criterion) {
+            $($target(criterion);)+
+        }
+    };
+}
+
+/// Generate `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let enabled = $crate::benches_requested();
+            let mut criterion = $crate::Criterion::with_enabled(enabled);
+            $($group(&mut criterion);)+
+            if !enabled {
+                println!("benchmarks skipped (pass --bench, e.g. via `cargo bench`, to run)");
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("stub");
+        group.sample_size(10);
+        group.bench_function("add", |b| b.iter(|| black_box(2u64) + 2));
+        group.bench_with_input(BenchmarkId::new("mul", 3), &3u64, |b, &x| {
+            b.iter(|| black_box(x) * x)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn disabled_runner_executes_nothing() {
+        let mut c = Criterion::with_enabled(false);
+        sample_bench(&mut c);
+    }
+
+    #[test]
+    fn enabled_runner_times_iterations() {
+        let mut c = Criterion::with_enabled(true);
+        sample_bench(&mut c);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 8).to_string(), "f/8");
+        assert_eq!(BenchmarkId::from_parameter("p").to_string(), "p");
+    }
+}

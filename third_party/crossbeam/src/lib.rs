@@ -1,0 +1,113 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides `crossbeam::thread::scope` with the crossbeam 0.8 calling
+//! convention (`scope(|s| ...)` returning `Result`, handles joined with
+//! `.join()` returning `thread::Result`), implemented on top of
+//! `std::thread::scope` — available since Rust 1.63, which postdates the
+//! original crossbeam API the workspace was written against.
+
+/// Scoped threads.
+pub mod thread {
+    use std::any::Any;
+    use std::marker::PhantomData;
+
+    /// Error payload of a panicked scope (crossbeam returns the panic
+    /// value of the closure itself; spawned-thread panics surface through
+    /// the individual [`ScopedJoinHandle::join`] calls).
+    pub type ScopeError = Box<dyn Any + Send + 'static>;
+
+    /// A handle to one spawned thread within a scope.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread to finish, returning its panic payload on
+        /// the `Err` side like `std::thread::JoinHandle::join`.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    /// The scope passed to the closure; spawns threads borrowing from the
+    /// enclosing stack frame.
+    pub struct Scope<'env, 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+        _env: PhantomData<&'env ()>,
+    }
+
+    impl<'env, 'scope> Scope<'env, 'scope> {
+        /// Spawn a thread inside the scope. The closure receives the
+        /// scope (crossbeam convention) so it could spawn further
+        /// threads; the workspace ignores that argument.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'env, 'scope>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || {
+                    f(&Scope { inner, _env: PhantomData })
+                }),
+            }
+        }
+    }
+
+    /// Run `f` with a scope; all spawned threads are joined before this
+    /// returns. Mirrors `crossbeam::thread::scope`'s `Result` shape: `Ok`
+    /// with the closure's value unless the closure itself panicked
+    /// (spawned-thread panics are reported by their `join()` calls, and
+    /// any *unjoined* panicked thread turns into a closure panic here).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, ScopeError>
+    where
+        F: for<'scope> FnOnce(&Scope<'env, 'scope>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s, _env: PhantomData }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+
+    #[test]
+    fn scope_joins_and_collects() {
+        let data = vec![1, 2, 3, 4];
+        let out = thread::scope(|s| {
+            let handles: Vec<_> = data
+                .iter()
+                .map(|&x| s.spawn(move |_| x * 10))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect::<Vec<_>>()
+        })
+        .unwrap();
+        assert_eq!(out, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn join_reports_thread_panic() {
+        let result = thread::scope(|s| {
+            let h = s.spawn(|_| panic!("boom"));
+            h.join()
+        })
+        .unwrap();
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn threads_borrow_environment() {
+        let mut counter = 0u64;
+        let shared = std::sync::atomic::AtomicU64::new(0);
+        thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| shared.fetch_add(1, std::sync::atomic::Ordering::Relaxed));
+            }
+        })
+        .unwrap();
+        counter += shared.load(std::sync::atomic::Ordering::Relaxed);
+        assert_eq!(counter, 8);
+    }
+}

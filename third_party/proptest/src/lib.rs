@@ -1,0 +1,220 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Same shape as real proptest — `proptest! { #[test] fn f(x in strat) {..} }`,
+//! strategies over ranges/tuples/collections, `prop_assert*!`,
+//! `prop_assume!`, `ProptestConfig` — but the engine underneath is plain
+//! deterministic random testing: each test gets a PRNG seeded from its
+//! own name, runs `config.cases` generated inputs, and asserts directly
+//! (no shrinking; a failing case panics with the generated values via the
+//! normal assertion message).
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Re-exports intended for `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::strategy::{Arbitrary, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Namespace mirror of `proptest::prop` (`prop::collection::vec` etc.).
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Anything usable as the size argument of [`vec`].
+    pub trait IntoSizeRange {
+        /// Inclusive lower bound and exclusive upper bound on the length.
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self + 1)
+        }
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (self.start, self.end)
+        }
+    }
+
+    impl IntoSizeRange for RangeInclusive<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (*self.start(), *self.end() + 1)
+        }
+    }
+
+    /// Strategy producing `Vec`s whose elements come from `element` and
+    /// whose length falls in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (lo, hi) = size.bounds();
+        assert!(lo < hi, "empty length range for collection::vec");
+        VecStrategy { element, lo, hi }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        lo: usize,
+        hi: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.lo + rng.below(self.hi - self.lo);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Strategy for any value of `T` (`any::<u32>()` etc.).
+pub fn any<T: strategy::Arbitrary>() -> strategy::Any<T> {
+    strategy::Any(std::marker::PhantomData)
+}
+
+/// Assert inside a proptest body; panics with the message on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert inequality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skip the current generated case when the precondition fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+/// Define property tests: `proptest! { #[test] fn f(x in strat) { .. } }`.
+///
+/// Each `fn` becomes an ordinary `#[test]` (the attribute is written by
+/// the caller, as with real proptest) that generates `config.cases`
+/// inputs from the listed strategies and runs the body on each.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($config:expr)) => {};
+    (($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($params:tt)*) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $config;
+            let mut __rng = $crate::test_runner::TestRng::from_name(concat!(
+                module_path!(), "::", stringify!($name),
+            ));
+            for __case in 0..__config.cases {
+                let __outcome: ::std::result::Result<(), ()> =
+                    $crate::__proptest_case!((__rng) [$($params)*] $body);
+                let _ = __outcome;
+            }
+        }
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_case {
+    // Munch one `pat in strategy` parameter, binding it with `let`.
+    (($rng:ident) [$pat:pat in $strat:expr, $($more:tt)*] $body:block) => {
+        {
+            let $pat = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
+            $crate::__proptest_case!(($rng) [$($more)*] $body)
+        }
+    };
+    // Last parameter (with or without trailing comma already consumed).
+    (($rng:ident) [$pat:pat in $strat:expr] $body:block) => {
+        {
+            let $pat = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
+            $crate::__proptest_case!(($rng) [] $body)
+        }
+    };
+    // All parameters bound: run the body. `prop_assume!` early-returns
+    // `Ok(())` out of this closure to skip the case.
+    (($rng:ident) [] $body:block) => {
+        (|| -> ::std::result::Result<(), ()> {
+            $body
+            ::std::result::Result::Ok(())
+        })()
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn generated_floats_stay_in_range(x in -3.0f64..7.0) {
+            prop_assert!((-3.0..7.0).contains(&x));
+        }
+
+        #[test]
+        fn vec_lengths_respect_bounds(v in prop::collection::vec(0.0f64..1.0, 2..9)) {
+            prop_assert!((2..9).contains(&v.len()));
+        }
+
+        #[test]
+        fn tuples_and_maps_compose(
+            (a, b) in (1usize..5, any::<u32>()).prop_map(|(a, s)| (a * 2, s % 10)),
+        ) {
+            prop_assert!(a >= 2 && a < 10);
+            prop_assert!(b < 10);
+        }
+
+        #[test]
+        fn assume_skips_cases(n in 0usize..10) {
+            prop_assume!(n != 3);
+            prop_assert_ne!(n, 3);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+        #[test]
+        fn config_form_parses(k in 1usize..=4) {
+            prop_assert!((1..=4).contains(&k));
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no crates.io access, so this in-repo crate
+//! provides the exact API subset the workspace uses: [`rngs::StdRng`],
+//! [`SeedableRng::seed_from_u64`], [`Rng::gen_range`] over `f64`/integer
+//! ranges and [`Rng::gen`] for `f64`. The generator is xoshiro256**,
+//! seeded through SplitMix64 — deterministic for a fixed seed, which is
+//! all the data generator and k-means init require. Streams do **not**
+//! match upstream `rand`; nothing in the workspace depends on specific
+//! draws, only on determinism and uniformity.
+
+use std::ops::Range;
+
+/// Seedable generators (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Construct deterministically from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be drawn uniformly from the generator's full range
+/// (stand-in for sampling from the `Standard` distribution).
+pub trait Standard: Sized {
+    /// Draw one value from `rng`.
+    fn draw(rng: &mut rngs::StdRng) -> Self;
+}
+
+impl Standard for f64 {
+    fn draw(rng: &mut rngs::StdRng) -> f64 {
+        // 53 random mantissa bits → uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for u64 {
+    fn draw(rng: &mut rngs::StdRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn draw(rng: &mut rngs::StdRng) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+/// Ranges a generator can sample uniformly (subset of
+/// `rand::distributions::uniform::SampleRange`).
+pub trait SampleRange<T> {
+    /// Draw one value from the range.
+    fn sample_from(self, rng: &mut rngs::StdRng) -> T;
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from(self, rng: &mut rngs::StdRng) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let u = f64::draw(rng);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+macro_rules! int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from(self, rng: &mut rngs::StdRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                // Debiased multiply-shift (Lemire); reject the low half
+                // when it lands below 2^64 mod span so every value in the
+                // range is exactly equally likely.
+                let threshold = span.wrapping_neg() % span;
+                loop {
+                    let x = rng.next_u64();
+                    let hi = ((x as u128 * span as u128) >> 64) as u64;
+                    let lo = (x as u128 * span as u128) as u64;
+                    if lo < threshold {
+                        continue;
+                    }
+                    return self.start + hi as $t;
+                }
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_from(self, rng: &mut rngs::StdRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                if hi < <$t>::MAX {
+                    (lo..hi + 1).sample_from(rng)
+                } else {
+                    lo + (<$t>::draw_wide(rng) % (hi - lo + 1))
+                }
+            }
+        }
+    )*};
+}
+
+int_range!(usize, u64, u32, u16, u8, i64, i32);
+
+/// Helper for the inclusive-range fallback above.
+trait DrawWide {
+    fn draw_wide(rng: &mut rngs::StdRng) -> Self;
+}
+
+macro_rules! draw_wide {
+    ($($t:ty),*) => {$(
+        impl DrawWide for $t {
+            fn draw_wide(rng: &mut rngs::StdRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+draw_wide!(usize, u64, u32, u16, u8, i64, i32);
+
+/// The user-facing generator methods (subset of `rand::Rng`).
+pub trait Rng {
+    /// Next raw 64 bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from `range`.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized + AsStdRng,
+    {
+        range.sample_from(self.as_std_rng())
+    }
+
+    /// Uniform sample over the type's natural range ( `[0,1)` for `f64`).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized + AsStdRng,
+    {
+        T::draw(self.as_std_rng())
+    }
+}
+
+/// Internal plumbing so the `Rng` methods can hand a concrete generator
+/// to the sampling traits.
+pub trait AsStdRng {
+    /// The concrete generator behind this handle.
+    fn as_std_rng(&mut self) -> &mut rngs::StdRng;
+}
+
+/// Generator implementations.
+pub mod rngs {
+    use super::{AsStdRng, Rng, SeedableRng};
+
+    /// xoshiro256** — the stand-in for `rand`'s `StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, as recommended by the xoshiro authors.
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng { s: [next(), next(), next(), next()] }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl AsStdRng for StdRng {
+        fn as_std_rng(&mut self) -> &mut StdRng {
+            self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(
+            (0..4).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..4).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn f64_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn usize_range_covers_all_values() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut seen = [false; 5];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0..5usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    fn gen_f64_is_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mean: f64 = (0..10_000).map(|_| rng.gen::<f64>()).sum::<f64>() / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+}

@@ -1,0 +1,525 @@
+//! A minimal JSON tree: build, print (compact or pretty), and parse.
+//!
+//! Object member order is preserved (members live in a `Vec`), so emitted
+//! reports are stable across runs and easy to diff.
+
+use std::fmt;
+
+use crate::{Deserialize, Serialize};
+
+/// An owned JSON document node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (integers print without a fractional part).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An ordered array.
+    Array(Vec<Value>),
+    /// An object; insertion order is preserved.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// An empty object, ready for [`Value::insert`].
+    pub fn object() -> Value {
+        Value::Object(Vec::new())
+    }
+
+    /// Append or replace `key` in an object node.
+    ///
+    /// # Panics
+    /// Panics when `self` is not an object.
+    pub fn insert(&mut self, key: &str, value: Value) -> &mut Value {
+        match self {
+            Value::Object(members) => {
+                if let Some(slot) = members.iter_mut().find(|(k, _)| k == key) {
+                    slot.1 = value;
+                } else {
+                    members.push((key.to_owned(), value));
+                }
+            }
+            other => panic!("insert on non-object JSON value: {other}"),
+        }
+        self
+    }
+
+    /// Member lookup on an object node; `None` for other node kinds.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(members) => {
+                members.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string node.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number node.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as `u64` when it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a bool node.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array node.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The members, if this is an object node.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(members) => Some(members),
+            _ => None,
+        }
+    }
+
+    /// One-word description of the node kind, for error messages.
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(true) => out.push_str("true"),
+            Value::Bool(false) => out.push_str("false"),
+            Value::Number(n) => write_number(out, *n),
+            Value::String(s) => write_string(out, s),
+            Value::Array(items) => {
+                write_seq(out, indent, depth, '[', ']', items.len(), |out, i, d| {
+                    items[i].write(out, indent, d);
+                });
+            }
+            Value::Object(members) => {
+                write_seq(out, indent, depth, '{', '}', members.len(), |out, i, d| {
+                    let (key, value) = &members[i];
+                    write_string(out, key);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    value.write(out, indent, d);
+                });
+            }
+        }
+    }
+
+    /// Compact single-line rendering.
+    pub fn to_compact_string(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Indented multi-line rendering (two spaces per level).
+    pub fn to_pretty_string(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_compact_string())
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat(' ').take(width * (depth + 1)));
+        }
+        item(out, i, depth + 1);
+    }
+    if let Some(width) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat(' ').take(width * depth));
+    }
+    out.push(close);
+}
+
+fn write_number(out: &mut String, n: f64) {
+    use fmt::Write as _;
+    if !n.is_finite() {
+        // JSON has no Inf/NaN; null is the conventional stand-in.
+        out.push_str("null");
+    } else if n.fract() == 0.0 && n.abs() < 9.007_199_254_740_992e15 {
+        let _ = write!(out, "{}", n as i64);
+    } else {
+        let _ = write!(out, "{n}");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                use fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Error from [`from_str`]/[`parse`]: malformed JSON text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset into the input where parsing stopped.
+    pub offset: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Error from [`Deserialize`]: well-formed JSON with the wrong shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchemaError {
+    /// What the deserializer needed and what it found.
+    pub message: String,
+}
+
+impl SchemaError {
+    /// A mismatch error naming the expected shape and the actual node.
+    pub fn expected(what: &str, found: &Value) -> SchemaError {
+        SchemaError { message: format!("expected {what}, found {}", found.kind()) }
+    }
+
+    /// A missing-member error for object field `name`.
+    pub fn missing(name: &str) -> SchemaError {
+        SchemaError { message: format!("missing field `{name}`") }
+    }
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON schema error: {}", self.message)
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+/// Fetch object member `name` and deserialize it as `T`.
+pub fn field<T: Deserialize>(value: &Value, name: &str) -> Result<T, SchemaError> {
+    let member = value.get(name).ok_or_else(|| SchemaError::missing(name))?;
+    T::deserialize(member).map_err(|e| SchemaError {
+        message: format!("field `{name}`: {}", e.message),
+    })
+}
+
+/// Serialize `value` to compact JSON text.
+pub fn to_string<T: Serialize>(value: &T) -> String {
+    value.serialize().to_compact_string()
+}
+
+/// Serialize `value` to indented JSON text.
+pub fn to_string_pretty<T: Serialize>(value: &T) -> String {
+    value.serialize().to_pretty_string()
+}
+
+/// Parse JSON text and deserialize it as `T`.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Box<dyn std::error::Error>> {
+    let value = parse(text)?;
+    Ok(T::deserialize(&value)?)
+}
+
+/// Parse JSON text into a [`Value`] tree.
+pub fn parse(text: &str) -> Result<Value, ParseError> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after document"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: &str) -> ParseError {
+        ParseError { message: message.to_owned(), offset: self.pos }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, expected: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(expected) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", expected as char)))
+        }
+    }
+
+    fn eat_keyword(&mut self, word: &str) -> Result<(), ParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{word}`")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, ParseError> {
+        match self.peek() {
+            Some(b'n') => self.eat_keyword("null").map(|()| Value::Null),
+            Some(b't') => self.eat_keyword("true").map(|()| Value::Bool(true)),
+            Some(b'f') => self.eat_keyword("false").map(|()| Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::String),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, ParseError> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, ParseError> {
+        self.eat(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            members.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(members));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            // Surrogate pairs are not needed for the
+                            // ASCII-dominated reports this crate handles.
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape sequence")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 code point.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<f64>()
+            .map(Value::Number)
+            .map_err(|_| self.err("malformed number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_prints_compact() {
+        let mut v = Value::object();
+        v.insert("name", Value::String("load".into()));
+        v.insert("value", Value::Number(1234.0));
+        v.insert("unit", Value::String("ns".into()));
+        assert_eq!(v.to_compact_string(), r#"{"name":"load","value":1234,"unit":"ns"}"#);
+    }
+
+    #[test]
+    fn round_trips_through_parse() {
+        let mut v = Value::object();
+        v.insert("benches", Value::Array(vec![Value::Number(1.5), Value::Null]));
+        v.insert("ok", Value::Bool(true));
+        v.insert("label", Value::String("a\"b\\c\nd".into()));
+        let text = v.to_pretty_string();
+        assert_eq!(parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn parses_nested_documents() {
+        let doc = r#" {"a": [1, 2.5, -3e2], "b": {"c": null, "d": "x"}} "#;
+        let v = parse(doc).unwrap();
+        assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 3);
+        assert_eq!(v.get("a").unwrap().as_array().unwrap()[2].as_f64(), Some(-300.0));
+        assert_eq!(v.get("b").unwrap().get("d").unwrap().as_str(), Some("x"));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse(r#"{"a" 1}"#).is_err());
+        assert!(parse("12 34").is_err());
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn integers_survive_u64_accessor() {
+        let v = parse("9007199254740991").unwrap();
+        assert_eq!(v.as_u64(), Some(9007199254740991));
+        assert_eq!(parse("1.5").unwrap().as_u64(), None);
+        assert_eq!(parse("-3").unwrap().as_u64(), None);
+    }
+}

@@ -1,0 +1,153 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The real serde is a visitor-driven framework; this stand-in keeps the
+//! same two trait names but routes everything through an owned JSON tree
+//! ([`json::Value`]): serialization builds a `Value`, deserialization
+//! reads one back. That is all the workspace needs — metrics reports and
+//! bench exports are JSON, and round-tripping through a tree keeps the
+//! implementation small enough to vendor.
+//!
+//! With the `derive` feature the `Serialize`/`Deserialize` derive macros
+//! are re-exported from the sibling `serde_derive` stub, which accepts
+//! the attribute and expands to nothing (types that are actually
+//! serialized implement the traits by hand).
+
+pub mod json;
+
+/// Convert `self` into a [`json::Value`] tree.
+pub trait Serialize {
+    /// Build the JSON representation of `self`.
+    fn serialize(&self) -> json::Value;
+}
+
+/// Reconstruct `Self` from a [`json::Value`] tree.
+pub trait Deserialize: Sized {
+    /// Parse `Self` out of `value`, reporting which field is missing or
+    /// mistyped on failure.
+    fn deserialize(value: &json::Value) -> Result<Self, json::SchemaError>;
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+impl Serialize for bool {
+    fn serialize(&self) -> json::Value {
+        json::Value::Bool(*self)
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize(&self) -> json::Value {
+        json::Value::Number(*self)
+    }
+}
+
+impl Serialize for u64 {
+    fn serialize(&self) -> json::Value {
+        json::Value::Number(*self as f64)
+    }
+}
+
+impl Serialize for usize {
+    fn serialize(&self) -> json::Value {
+        json::Value::Number(*self as f64)
+    }
+}
+
+impl Serialize for u32 {
+    fn serialize(&self) -> json::Value {
+        json::Value::Number(f64::from(*self))
+    }
+}
+
+impl Serialize for i64 {
+    fn serialize(&self) -> json::Value {
+        json::Value::Number(*self as f64)
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> json::Value {
+        json::Value::String(self.to_owned())
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> json::Value {
+        json::Value::String(self.clone())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> json::Value {
+        json::Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> json::Value {
+        match self {
+            Some(v) => v.serialize(),
+            None => json::Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> json::Value {
+        (**self).serialize()
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(value: &json::Value) -> Result<Self, json::SchemaError> {
+        value.as_bool().ok_or_else(|| json::SchemaError::expected("bool", value))
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(value: &json::Value) -> Result<Self, json::SchemaError> {
+        value.as_f64().ok_or_else(|| json::SchemaError::expected("number", value))
+    }
+}
+
+impl Deserialize for u64 {
+    fn deserialize(value: &json::Value) -> Result<Self, json::SchemaError> {
+        value.as_u64().ok_or_else(|| json::SchemaError::expected("unsigned integer", value))
+    }
+}
+
+impl Deserialize for usize {
+    fn deserialize(value: &json::Value) -> Result<Self, json::SchemaError> {
+        u64::deserialize(value).map(|v| v as usize)
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(value: &json::Value) -> Result<Self, json::SchemaError> {
+        value
+            .as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| json::SchemaError::expected("string", value))
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(value: &json::Value) -> Result<Self, json::SchemaError> {
+        value
+            .as_array()
+            .ok_or_else(|| json::SchemaError::expected("array", value))?
+            .iter()
+            .map(T::deserialize)
+            .collect()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(value: &json::Value) -> Result<Self, json::SchemaError> {
+        match value {
+            json::Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}

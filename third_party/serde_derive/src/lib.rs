@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace marks its data types `#[derive(Serialize, Deserialize)]`
+//! for downstream consumers, but nothing in-tree relies on generated
+//! impls — hand-written impls (see `smda-obs`) cover the types that are
+//! actually serialized. These derives therefore accept the attribute and
+//! expand to nothing, keeping the annotations compiling without a full
+//! derive framework (no `syn`/`quote` available offline).
+
+use proc_macro::TokenStream;
+
+/// Accept `#[derive(Serialize)]`; generates no code.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accept `#[derive(Deserialize)]`; generates no code.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
