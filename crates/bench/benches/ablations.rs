@@ -24,23 +24,30 @@ fn bench_pool_capacity(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation-pool-capacity");
     group.sample_size(10);
     for pages in [16usize, 64, 384, 4096] {
-        group.bench_with_input(BenchmarkId::new("extract-all", pages), &pages, |b, &pages| {
-            b.iter(|| {
-                // Rebuild with a custom pool each iteration: extraction of
-                // every consumer through a pool of `pages` frames.
-                let mut heap = HeapFile::open(&path).unwrap();
-                let mut pool = BufferPool::new(pages);
-                let mut sum = 0.0;
-                for key in index.keys() {
-                    for raw in index.get(key) {
-                        let tid = smda_storage::TupleId::unpack(*raw);
-                        let page = pool.get(&mut heap, tid.page).unwrap();
-                        sum += page.get(tid.slot as usize).map(|t| t.len() as f64).unwrap_or(0.0);
+        group.bench_with_input(
+            BenchmarkId::new("extract-all", pages),
+            &pages,
+            |b, &pages| {
+                b.iter(|| {
+                    // Rebuild with a custom pool each iteration: extraction of
+                    // every consumer through a pool of `pages` frames.
+                    let mut heap = HeapFile::open(&path).unwrap();
+                    let mut pool = BufferPool::new(pages);
+                    let mut sum = 0.0;
+                    for key in index.keys() {
+                        for raw in index.get(key) {
+                            let tid = smda_storage::TupleId::unpack(*raw);
+                            let page = pool.get(&mut heap, tid.page).unwrap();
+                            sum += page
+                                .get(tid.slot as usize)
+                                .map(|t| t.len() as f64)
+                                .unwrap_or(0.0);
+                        }
                     }
-                }
-                sum
-            })
-        });
+                    sum
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -48,7 +55,11 @@ fn bench_pool_capacity(c: &mut Criterion) {
 fn bench_locality(c: &mut Criterion) {
     // Virtual-time effect of locality: identical task sets, with and
     // without local placement. (Pure scheduler math — fast and exact.)
-    let topo = ClusterTopology { workers: 8, slots_per_worker: 2, cost: CostModel::default() };
+    let topo = ClusterTopology {
+        workers: 8,
+        slots_per_worker: 2,
+        cost: CostModel::default(),
+    };
     let mb = 64 * 1024 * 1024u64;
     let local_tasks: Vec<SimTask> = (0..64)
         .map(|i| SimTask {
@@ -61,20 +72,35 @@ fn bench_locality(c: &mut Criterion) {
         .collect();
     let remote_tasks: Vec<SimTask> = local_tasks
         .iter()
-        .map(|t| SimTask { locality: vec![usize::MAX], ..t.clone() })
+        .map(|t| SimTask {
+            locality: vec![usize::MAX],
+            ..t.clone()
+        })
         .collect();
     let mut group = c.benchmark_group("ablation-locality");
     group.bench_function("local-placement", |b| {
-        b.iter(|| VirtualScheduler::new(topo).run_phase(&local_tasks, Duration::ZERO).end)
+        b.iter(|| {
+            VirtualScheduler::new(topo)
+                .run_phase(&local_tasks, Duration::ZERO)
+                .end
+        })
     });
     group.bench_function("all-remote", |b| {
-        b.iter(|| VirtualScheduler::new(topo).run_phase(&remote_tasks, Duration::ZERO).end)
+        b.iter(|| {
+            VirtualScheduler::new(topo)
+                .run_phase(&remote_tasks, Duration::ZERO)
+                .end
+        })
     });
     group.finish();
 
     // Print the virtual-time gap once, as documentation.
-    let local = VirtualScheduler::new(topo).run_phase(&local_tasks, Duration::ZERO).end;
-    let remote = VirtualScheduler::new(topo).run_phase(&remote_tasks, Duration::ZERO).end;
+    let local = VirtualScheduler::new(topo)
+        .run_phase(&local_tasks, Duration::ZERO)
+        .end;
+    let remote = VirtualScheduler::new(topo)
+        .run_phase(&remote_tasks, Duration::ZERO)
+        .end;
     eprintln!("ablation-locality: local {local:?} vs all-remote {remote:?}");
 }
 
@@ -85,13 +111,23 @@ fn bench_knot_search(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation-knot-search");
     group.sample_size(10);
     for min_seg in [2usize, 3, 6, 12] {
-        let config = ThreeLineConfig { min_segment_points: min_seg, ..Default::default() };
-        group.bench_with_input(BenchmarkId::new("min-segment", min_seg), &config, |b, cfg| {
-            b.iter(|| fit_three_line_timed(series, temps, cfg))
-        });
+        let config = ThreeLineConfig {
+            min_segment_points: min_seg,
+            ..Default::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("min-segment", min_seg),
+            &config,
+            |b, cfg| b.iter(|| fit_three_line_timed(series, temps, cfg)),
+        );
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_pool_capacity, bench_locality, bench_knot_search);
+criterion_group!(
+    benches,
+    bench_pool_capacity,
+    bench_locality,
+    bench_knot_search
+);
 criterion_main!(benches);

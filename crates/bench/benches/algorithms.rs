@@ -11,11 +11,15 @@ fn bench_algorithms(c: &mut Criterion) {
     let mut group = c.benchmark_group("algorithms");
     group.sample_size(10);
     for task in [Task::Histogram, Task::ThreeLine, Task::Par] {
-        group.bench_with_input(BenchmarkId::new("per-consumer", task.name()), &task, |b, &t| {
-            b.iter(|| run_reference(t, &ds))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("per-consumer", task.name()),
+            &task,
+            |b, &t| b.iter(|| run_reference(t, &ds)),
+        );
     }
-    group.bench_function("similarity-20", |b| b.iter(|| run_reference(Task::Similarity, &ds)));
+    group.bench_function("similarity-20", |b| {
+        b.iter(|| run_reference(Task::Similarity, &ds))
+    });
     group.finish();
 }
 

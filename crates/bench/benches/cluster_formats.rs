@@ -13,7 +13,11 @@ use smda_types::DataFormat;
 const BLOCK: u64 = 256 * 1024;
 
 fn topo(cost: CostModel) -> ClusterTopology {
-    ClusterTopology { workers: 4, slots_per_worker: 4, cost }
+    ClusterTopology {
+        workers: 4,
+        slots_per_worker: 4,
+        cost,
+    }
 }
 
 fn bench_cluster_formats(c: &mut Criterion) {

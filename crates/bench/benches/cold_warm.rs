@@ -10,8 +10,14 @@ use smda_storage::FileLayout;
 
 fn engines(scratch: &Scratch) -> Vec<Box<dyn Platform>> {
     vec![
-        Box::new(NumericEngine::new(scratch.path("m"), FileLayout::Partitioned)),
-        Box::new(RelationalEngine::new(scratch.path("p"), RelationalLayout::ReadingPerRow)),
+        Box::new(NumericEngine::new(
+            scratch.path("m"),
+            FileLayout::Partitioned,
+        )),
+        Box::new(RelationalEngine::new(
+            scratch.path("p"),
+            RelationalLayout::ReadingPerRow,
+        )),
         Box::new(ColumnarEngine::new(scratch.path("c"))),
     ]
 }
@@ -29,14 +35,20 @@ fn bench_cold_warm(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("cold", engine.name()), &(), |b, _| {
             b.iter(|| {
                 engine.make_cold();
-                engine.run(&RunSpec::builder(Task::ThreeLine).build()).unwrap()
+                engine
+                    .run(&RunSpec::builder(Task::ThreeLine).build())
+                    .unwrap()
             })
         });
     }
     for engine in &mut loaded {
         engine.warm().unwrap();
         group.bench_with_input(BenchmarkId::new("warm", engine.name()), &(), |b, _| {
-            b.iter(|| engine.run(&RunSpec::builder(Task::ThreeLine).build()).unwrap())
+            b.iter(|| {
+                engine
+                    .run(&RunSpec::builder(Task::ThreeLine).build())
+                    .unwrap()
+            })
         });
     }
     group.finish();

@@ -12,14 +12,22 @@ fn bench_generator(c: &mut Criterion) {
         b.iter(|| {
             DataGenerator::train(
                 &seed,
-                GeneratorConfig { clusters: 4, noise_sigma: 0.1, seed: 1 },
+                GeneratorConfig {
+                    clusters: 4,
+                    noise_sigma: 0.1,
+                    seed: 1,
+                },
             )
             .unwrap()
         })
     });
     let generator = DataGenerator::train(
         &seed,
-        GeneratorConfig { clusters: 4, noise_sigma: 0.1, seed: 1 },
+        GeneratorConfig {
+            clusters: 4,
+            noise_sigma: 0.1,
+            seed: 1,
+        },
     )
     .unwrap();
     group.bench_function("generate-50-consumers", |b| {

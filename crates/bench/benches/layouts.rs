@@ -23,7 +23,9 @@ fn bench_layouts(c: &mut Criterion) {
             |b, _| {
                 b.iter(|| {
                     engine.make_cold();
-                    engine.run(&RunSpec::builder(Task::ThreeLine).build()).unwrap()
+                    engine
+                        .run(&RunSpec::builder(Task::ThreeLine).build())
+                        .unwrap()
                 })
             },
         );

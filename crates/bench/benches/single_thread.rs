@@ -13,8 +13,14 @@ fn bench_single_thread(c: &mut Criterion) {
     let ds = seed_dataset(10);
     let scratch = Scratch::new("crit-st");
     let mut engines: Vec<Box<dyn Platform>> = vec![
-        Box::new(NumericEngine::new(scratch.path("m"), FileLayout::Partitioned)),
-        Box::new(RelationalEngine::new(scratch.path("p"), RelationalLayout::ReadingPerRow)),
+        Box::new(NumericEngine::new(
+            scratch.path("m"),
+            FileLayout::Partitioned,
+        )),
+        Box::new(RelationalEngine::new(
+            scratch.path("p"),
+            RelationalLayout::ReadingPerRow,
+        )),
         Box::new(ColumnarEngine::new(scratch.path("c"))),
     ];
     for e in &mut engines {
@@ -22,7 +28,12 @@ fn bench_single_thread(c: &mut Criterion) {
     }
     let mut group = c.benchmark_group("fig7-single-thread");
     group.sample_size(10);
-    for task in [Task::Histogram, Task::ThreeLine, Task::Par, Task::Similarity] {
+    for task in [
+        Task::Histogram,
+        Task::ThreeLine,
+        Task::Par,
+        Task::Similarity,
+    ] {
         for engine in &mut engines {
             group.bench_with_input(
                 BenchmarkId::new(task.name(), engine.name()),

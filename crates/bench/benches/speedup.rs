@@ -19,7 +19,9 @@ fn bench_speedup(c: &mut Criterion) {
             |b, &t| {
                 b.iter(|| {
                     engine.make_cold();
-                    engine.run(&RunSpec::builder(Task::Par).threads(t).build()).unwrap()
+                    engine
+                        .run(&RunSpec::builder(Task::Par).threads(t).build())
+                        .unwrap()
                 })
             },
         );

@@ -38,9 +38,8 @@ unsafe impl GlobalAlloc for CountingAlloc {
         let p = unsafe { System.realloc(ptr, layout, new_size) };
         if !p.is_null() {
             if new_size >= layout.size() {
-                let now =
-                    CURRENT.fetch_add(new_size - layout.size(), Ordering::Relaxed) + new_size
-                        - layout.size();
+                let now = CURRENT.fetch_add(new_size - layout.size(), Ordering::Relaxed) + new_size
+                    - layout.size();
                 PEAK.fetch_max(now, Ordering::Relaxed);
             } else {
                 CURRENT.fetch_sub(layout.size() - new_size, Ordering::Relaxed);

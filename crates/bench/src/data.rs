@@ -22,7 +22,11 @@ fn cache() -> &'static Mutex<HashMap<(&'static str, usize), Arc<Dataset>>> {
 
 /// The "real" seed dataset with `consumers` households (cached).
 pub fn seed_dataset(consumers: usize) -> Arc<Dataset> {
-    if let Some(ds) = cache().lock().expect("cache lock").get(&("seed", consumers)) {
+    if let Some(ds) = cache()
+        .lock()
+        .expect("cache lock")
+        .get(&("seed", consumers))
+    {
         return ds.clone();
     }
     let ds = Arc::new(
@@ -33,20 +37,31 @@ pub fn seed_dataset(consumers: usize) -> Arc<Dataset> {
         })
         .expect("seed generation is total for valid configs"),
     );
-    cache().lock().expect("cache lock").insert(("seed", consumers), ds.clone());
+    cache()
+        .lock()
+        .expect("cache lock")
+        .insert(("seed", consumers), ds.clone());
     ds
 }
 
 /// A large synthetic dataset of `consumers` households, produced by the
 /// paper's generator trained on a small seed (cached).
 pub fn synthetic_dataset(consumers: usize) -> Arc<Dataset> {
-    if let Some(ds) = cache().lock().expect("cache lock").get(&("synth", consumers)) {
+    if let Some(ds) = cache()
+        .lock()
+        .expect("cache lock")
+        .get(&("synth", consumers))
+    {
         return ds.clone();
     }
     let seed = seed_dataset(40);
     let generator = DataGenerator::train(
         &seed,
-        GeneratorConfig { clusters: 8, noise_sigma: 0.08, seed: BENCH_SEED },
+        GeneratorConfig {
+            clusters: 8,
+            noise_sigma: 0.08,
+            seed: BENCH_SEED,
+        },
     )
     .expect("training on the seed succeeds");
     let ds = Arc::new(
@@ -54,7 +69,10 @@ pub fn synthetic_dataset(consumers: usize) -> Arc<Dataset> {
             .generate(consumers, seed.temperature(), 100_000)
             .expect("generation is total"),
     );
-    cache().lock().expect("cache lock").insert(("synth", consumers), ds.clone());
+    cache()
+        .lock()
+        .expect("cache lock")
+        .insert(("synth", consumers), ds.clone());
     ds
 }
 

@@ -37,26 +37,42 @@ fn measure_all(scale: Scale, consumers: usize, task: Task) -> Vec<Measured> {
     let scratch = Scratch::new("fig11");
     let mut c = ColumnarEngine::new(scratch.path("systemc"));
     c.load(&ds).expect("column load succeeds");
-    out.push(Measured { platform: "System C", elapsed: cold_run(&mut c, task, 8), servers: 1 });
+    out.push(Measured {
+        platform: "System C",
+        elapsed: cold_run(&mut c, task, 8),
+        servers: 1,
+    });
 
     let mut sp = spark(WORKERS, scale);
-    sp.load(&ds, DataFormat::ConsumerPerLine).expect("spark load succeeds");
+    sp.load(&ds, DataFormat::ConsumerPerLine)
+        .expect("spark load succeeds");
     let r = sp.run_task(task).expect("spark run succeeds");
-    out.push(Measured { platform: "Spark", elapsed: r.virtual_elapsed, servers: WORKERS });
+    out.push(Measured {
+        platform: "Spark",
+        elapsed: r.virtual_elapsed,
+        servers: WORKERS,
+    });
 
     let mut hv = hive(WORKERS, scale);
-    hv.load(&ds, DataFormat::ConsumerPerLine).expect("hive load succeeds");
+    hv.load(&ds, DataFormat::ConsumerPerLine)
+        .expect("hive load succeeds");
     let r = hv.run_task(task).expect("hive run succeeds");
-    out.push(Measured { platform: "Hive", elapsed: r.stats.virtual_elapsed, servers: WORKERS });
+    out.push(Measured {
+        platform: "Hive",
+        elapsed: r.stats.virtual_elapsed,
+        servers: WORKERS,
+    });
     out
 }
 
 /// Regenerate Figures 11 (runtimes) and 12 (throughput per server).
 pub fn run(scale: Scale) -> Vec<Table> {
     let mut fig11 = Vec::new();
-    for (letter, task) in
-        [('a', Task::ThreeLine), ('b', Task::Par), ('c', Task::Histogram)]
-    {
+    for (letter, task) in [
+        ('a', Task::ThreeLine),
+        ('b', Task::Par),
+        ('c', Task::Histogram),
+    ] {
         let mut t = Table::new(
             format!("fig11{letter}"),
             format!("{task}: System C (1 server) vs Spark/Hive ({WORKERS} workers)"),
@@ -78,7 +94,11 @@ pub fn run(scale: Scale) -> Vec<Table> {
     for households in SIM_HOUSEHOLDS {
         let consumers = scale.cluster_consumers_for_households(households);
         for m in measure_all(scale, consumers, Task::Similarity) {
-            t11d.row(vec![households.to_string(), m.platform.into(), secs(m.elapsed)]);
+            t11d.row(vec![
+                households.to_string(),
+                m.platform.into(),
+                secs(m.elapsed),
+            ]);
         }
     }
     fig11.push(t11d);
@@ -93,7 +113,11 @@ pub fn run(scale: Scale) -> Vec<Table> {
     for task in [Task::ThreeLine, Task::Par, Task::Histogram] {
         for m in measure_all(scale, consumers, task) {
             let rate = consumers as f64 / m.elapsed.as_secs_f64().max(1e-9) / m.servers as f64;
-            t12a.row(vec![task.name().into(), m.platform.into(), format!("{rate:.1}")]);
+            t12a.row(vec![
+                task.name().into(),
+                m.platform.into(),
+                format!("{rate:.1}"),
+            ]);
         }
     }
     let mut t12b = Table::new(

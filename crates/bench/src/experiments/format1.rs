@@ -37,13 +37,19 @@ pub(crate) fn format_sweep(
     for (letter, task) in TASKS {
         let mut t = Table::new(
             format!("{fig_times}{letter}"),
-            format!("{task} on {} data, Spark vs Hive, 16 workers", format.label()),
+            format!(
+                "{task} on {} data, Spark vs Hive, 16 workers",
+                format.label()
+            ),
             &["nominal_gb", "platform", "seconds"],
         );
         let mut m = fig_memory.map(|id| {
             Table::new(
                 format!("{id}{letter}"),
-                format!("Memory during {task}, {} data (peak heap, MiB)", format.label()),
+                format!(
+                    "Memory during {task}, {} data (peak heap, MiB)",
+                    format.label()
+                ),
                 &["nominal_gb", "platform", "peak_mib"],
             )
         });
@@ -52,7 +58,11 @@ pub(crate) fn format_sweep(
             let mut sp = spark(16, scale);
             sp.load(&ds, format).expect("spark load succeeds");
             let (r, peak) = measure_peak(|| sp.run_task(task).expect("spark run succeeds"));
-            t.row(vec![format!("{gb}"), "Spark".into(), secs(r.virtual_elapsed)]);
+            t.row(vec![
+                format!("{gb}"),
+                "Spark".into(),
+                secs(r.virtual_elapsed),
+            ]);
             if let Some(m) = m.as_mut() {
                 m.row(vec![format!("{gb}"), "Spark".into(), mib(peak as u64)]);
             }
@@ -60,7 +70,11 @@ pub(crate) fn format_sweep(
             let mut hv = hive(16, scale);
             hv.load(&ds, format).expect("hive load succeeds");
             let (r, peak) = measure_peak(|| hv.run_task(task).expect("hive run succeeds"));
-            t.row(vec![format!("{gb}"), "Hive".into(), secs(r.stats.virtual_elapsed)]);
+            t.row(vec![
+                format!("{gb}"),
+                "Hive".into(),
+                secs(r.stats.virtual_elapsed),
+            ]);
             if let Some(m) = m.as_mut() {
                 m.row(vec![format!("{gb}"), "Hive".into(), mib(peak as u64)]);
             }
@@ -76,7 +90,10 @@ pub(crate) fn format_sweep(
     for (letter, task) in TASKS {
         let mut t = Table::new(
             format!("{fig_speedup}{letter}"),
-            format!("{task} speedup vs workers, {} data (relative to 4 nodes)", format.label()),
+            format!(
+                "{task} speedup vs workers, {} data (relative to 4 nodes)",
+                format.label()
+            ),
             &["workers", "platform", "speedup"],
         );
         let consumers = if task == Task::Similarity {
@@ -108,7 +125,11 @@ pub(crate) fn format_sweep(
             if workers == NODES[0] {
                 base_hive = secs_hv;
             }
-            t.row(vec![workers.to_string(), "Hive".into(), format!("{:.2}", base_hive / secs_hv)]);
+            t.row(vec![
+                workers.to_string(),
+                "Hive".into(),
+                format!("{:.2}", base_hive / secs_hv),
+            ]);
         }
         tables.push(t);
     }
@@ -119,7 +140,13 @@ pub(crate) fn format_sweep(
 
 /// Regenerate Figures 13 (times), 14 (speedup) and 15 (memory).
 pub fn run(scale: Scale) -> Vec<Table> {
-    format_sweep(scale, DataFormat::ReadingPerLine, "fig13", "fig14", Some("fig15"))
+    format_sweep(
+        scale,
+        DataFormat::ReadingPerLine,
+        "fig13",
+        "fig14",
+        Some("fig15"),
+    )
 }
 
 #[cfg(test)]
@@ -167,6 +194,11 @@ mod tests {
                 .map(|r| r[2].parse().unwrap())
                 .expect("row present")
         };
-        assert!(at("Spark") < at("Hive"), "spark {} vs hive {}", at("Spark"), at("Hive"));
+        assert!(
+            at("Spark") < at("Hive"),
+            "spark {} vs hive {}",
+            at("Spark"),
+            at("Hive")
+        );
     }
 }

@@ -22,8 +22,11 @@ pub const FILE_COUNTS: [usize; 4] = [10, 100, 1_000, 10_000];
 pub const NODES: [usize; 4] = [4, 8, 12, 16];
 /// The three per-consumer tasks (similarity is excluded in the paper:
 /// pairwise distances cannot be one UDTF pass).
-pub const TASKS: [(char, Task); 3] =
-    [('a', Task::ThreeLine), ('b', Task::Par), ('c', Task::Histogram)];
+pub const TASKS: [(char, Task); 3] = [
+    ('a', Task::ThreeLine),
+    ('b', Task::Par),
+    ('c', Task::Histogram),
+];
 
 /// Regenerate Figure 18 (times vs file count) and Figure 19 (speedup at
 /// 100 files).
@@ -43,22 +46,40 @@ pub fn run(scale: Scale) -> Vec<Table> {
             let ds = synthetic_dataset(consumers);
 
             let mut hv = hive(16, scale);
-            hv.load(&ds, DataFormat::ManyFiles { files }).expect("hive load succeeds");
+            hv.load(&ds, DataFormat::ManyFiles { files })
+                .expect("hive load succeeds");
             let r = hv.run_task(task).expect("hive UDTF run succeeds");
-            t.row(vec![files.to_string(), "Hive-UDTF".into(), secs(r.stats.virtual_elapsed)]);
+            t.row(vec![
+                files.to_string(),
+                "Hive-UDTF".into(),
+                secs(r.stats.virtual_elapsed),
+            ]);
             hv.force_udaf = true;
             let r = hv.run_task(task).expect("hive UDAF run succeeds");
-            t.row(vec![files.to_string(), "Hive-UDAF".into(), secs(r.stats.virtual_elapsed)]);
+            t.row(vec![
+                files.to_string(),
+                "Hive-UDAF".into(),
+                secs(r.stats.virtual_elapsed),
+            ]);
 
             let mut sp = spark(16, scale);
-            sp.load(&ds, DataFormat::ManyFiles { files }).expect("spark load succeeds");
+            sp.load(&ds, DataFormat::ManyFiles { files })
+                .expect("spark load succeeds");
             match sp.run_task(task) {
                 Ok(r) => {
-                    t.row(vec![files.to_string(), "Spark".into(), secs(r.virtual_elapsed)]);
+                    t.row(vec![
+                        files.to_string(),
+                        "Spark".into(),
+                        secs(r.virtual_elapsed),
+                    ]);
                 }
                 Err(e) => {
                     // "too many open files" — reported, not fatal.
-                    t.row(vec![files.to_string(), "Spark".into(), format!("failed: {e}")]);
+                    t.row(vec![
+                        files.to_string(),
+                        "Spark".into(),
+                        format!("failed: {e}"),
+                    ]);
                 }
             }
         }
@@ -78,22 +99,32 @@ pub fn run(scale: Scale) -> Vec<Table> {
         let mut base_spark = 0.0;
         for workers in NODES {
             let mut hv = hive(workers, scale);
-            hv.load(&ds, DataFormat::ManyFiles { files }).expect("hive load succeeds");
+            hv.load(&ds, DataFormat::ManyFiles { files })
+                .expect("hive load succeeds");
             let r = hv.run_task(task).expect("hive run succeeds");
             let s = r.stats.virtual_elapsed.as_secs_f64().max(1e-9);
             if workers == NODES[0] {
                 base_udtf = s;
             }
-            t.row(vec![workers.to_string(), "Hive-UDTF".into(), format!("{:.2}", base_udtf / s)]);
+            t.row(vec![
+                workers.to_string(),
+                "Hive-UDTF".into(),
+                format!("{:.2}", base_udtf / s),
+            ]);
 
             let mut sp = spark(workers, scale);
-            sp.load(&ds, DataFormat::ManyFiles { files }).expect("spark load succeeds");
+            sp.load(&ds, DataFormat::ManyFiles { files })
+                .expect("spark load succeeds");
             let r = sp.run_task(task).expect("spark run succeeds");
             let s = r.virtual_elapsed.as_secs_f64().max(1e-9);
             if workers == NODES[0] {
                 base_spark = s;
             }
-            t.row(vec![workers.to_string(), "Spark".into(), format!("{:.2}", base_spark / s)]);
+            t.row(vec![
+                workers.to_string(),
+                "Spark".into(),
+                format!("{:.2}", base_spark / s),
+            ]);
         }
         tables.push(t);
     }

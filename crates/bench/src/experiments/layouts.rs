@@ -38,7 +38,11 @@ pub fn run(scale: Scale) -> Vec<Table> {
         let mut engine = RelationalEngine::new(scratch.path("madlib-sim"), layout);
         engine.load(&sim_ds).expect("load succeeds");
         let d = cold_run(&mut engine, Task::Similarity, 1);
-        t.row(vec![Task::Similarity.name().into(), layout.label().into(), secs(d)]);
+        t.row(vec![
+            Task::Similarity.name().into(),
+            layout.label().into(),
+            secs(d),
+        ]);
     }
     vec![t]
 }

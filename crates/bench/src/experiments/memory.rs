@@ -24,7 +24,11 @@ pub fn run(scale: Scale) -> Vec<Table> {
             engine.make_cold();
             let spec = RunSpec::builder(task).build();
             let (_, peak) = measure_peak(|| engine.run(&spec).expect("run succeeds"));
-            t.row(vec![task.name().into(), engine.name().into(), mib(peak as u64)]);
+            t.row(vec![
+                task.name().into(),
+                engine.name().into(),
+                mib(peak as u64),
+            ]);
         }
     }
     vec![t]

@@ -1,5 +1,6 @@
 //! One module per figure/table of the paper's evaluation.
 
+pub mod chaos;
 pub mod cluster_vs_c;
 pub mod coldwarm;
 pub mod format1;
@@ -33,8 +34,14 @@ use crate::scale::Scale;
 /// order (Matlab partitioned, MADLib row layout, System C).
 pub(crate) fn loaded_platforms(scratch: &Scratch, ds: &Dataset) -> Vec<Box<dyn Platform>> {
     let mut engines: Vec<Box<dyn Platform>> = vec![
-        Box::new(NumericEngine::new(scratch.path("matlab"), FileLayout::Partitioned)),
-        Box::new(RelationalEngine::new(scratch.path("madlib"), RelationalLayout::ReadingPerRow)),
+        Box::new(NumericEngine::new(
+            scratch.path("matlab"),
+            FileLayout::Partitioned,
+        )),
+        Box::new(RelationalEngine::new(
+            scratch.path("madlib"),
+            RelationalLayout::ReadingPerRow,
+        )),
         Box::new(ColumnarEngine::new(scratch.path("systemc"))),
     ];
     for e in &mut engines {
@@ -53,7 +60,11 @@ pub(crate) fn cold_run(engine: &mut dyn Platform, task: Task, threads: usize) ->
 /// The modeled cluster with `workers` nodes (12 slots each, as in the
 /// paper's dual-socket 6-core × 2-thread nodes).
 pub(crate) fn topology(workers: usize, cost: CostModel) -> ClusterTopology {
-    ClusterTopology { workers, slots_per_worker: 12, cost }
+    ClusterTopology {
+        workers,
+        slots_per_worker: 12,
+        cost,
+    }
 }
 
 /// A Hive engine on `workers` nodes at `scale`.

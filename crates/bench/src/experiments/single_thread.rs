@@ -97,6 +97,11 @@ mod tests {
                 .map(|r| r[2].parse().unwrap())
                 .expect("row present")
         };
-        assert!(at("10") > at("2") * 0.8, "10GB {} vs 2GB {}", at("10"), at("2"));
+        assert!(
+            at("10") > at("2") * 0.8,
+            "10GB {} vs 2GB {}",
+            at("10"),
+            at("2")
+        );
     }
 }

@@ -22,7 +22,11 @@ pub fn run(scale: Scale) -> Vec<Table> {
         ('c', Task::Histogram),
         ('d', Task::Similarity),
     ] {
-        let data = if task == Task::Similarity { &sim_ds } else { &ds };
+        let data = if task == Task::Similarity {
+            &sim_ds
+        } else {
+            &ds
+        };
         let scratch = Scratch::new("fig10");
         let mut t = Table::new(
             format!("fig10{letter}"),
@@ -35,7 +39,11 @@ pub fn run(scale: Scale) -> Vec<Table> {
             for threads in &THREADS[1..] {
                 let d = cold_run(engine.as_mut(), task, *threads);
                 let speedup = base.as_secs_f64() / d.as_secs_f64().max(1e-9);
-                t.row(vec![threads.to_string(), engine.name().into(), format!("{speedup:.2}")]);
+                t.row(vec![
+                    threads.to_string(),
+                    engine.name().into(),
+                    format!("{speedup:.2}"),
+                ]);
             }
         }
         tables.push(t);

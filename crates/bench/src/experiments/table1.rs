@@ -44,7 +44,10 @@ mod tests {
         let t = &tables[0];
         assert_eq!(t.rows.len(), 4);
         // Histogram row: yes, yes, no, no, yes.
-        assert_eq!(t.rows[0][1..], ["yes", "yes", "no", "no", "yes"].map(String::from));
+        assert_eq!(
+            t.rows[0][1..],
+            ["yes", "yes", "no", "no", "yes"].map(String::from)
+        );
         // Cosine similarity: nobody ships it.
         assert!(t.rows[3][1..].iter().all(|c| c == "no"));
     }

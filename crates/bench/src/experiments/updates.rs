@@ -29,7 +29,11 @@ fn restatements(ds: &Dataset, day: usize) -> Vec<DayRestatement> {
             for (h, v) in kwh.iter_mut().enumerate() {
                 *v = c.readings()[day * HOURS_PER_DAY + h] * 1.1 + 0.05;
             }
-            DayRestatement { consumer: c.id, day, kwh }
+            DayRestatement {
+                consumer: c.id,
+                day,
+                kwh,
+            }
         })
         .collect()
 }

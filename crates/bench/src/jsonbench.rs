@@ -6,6 +6,7 @@
 //! counters are flattened into the continuous-benchmarking entries of
 //! `smda_obs::BenchExport` and written wherever `--json <path>` points.
 
+use smda_cluster::FaultPlan;
 use smda_core::Task;
 use smda_engines::{
     observe_session, ColumnarEngine, NumericEngine, Platform, RelationalEngine, RelationalLayout,
@@ -27,13 +28,29 @@ const CLUSTER_WORKERS: usize = 4;
 
 /// Run the instrumented matrix at `scale` and collect the export.
 pub fn run_json_bench(scale: Scale) -> BenchExport {
+    run_json_bench_with(scale, None)
+}
+
+/// Run the instrumented matrix with an optional fault plan applied to
+/// the cluster engines (the single-server platforms have no cluster to
+/// break, so they run clean either way). With a plan, each cluster
+/// engine gains one extra observed `load` run that carries the
+/// replica-loss counters, and every per-task report carries whatever
+/// `faults.*` counters the scheduler and worker pool emitted.
+pub fn run_json_bench_with(scale: Scale, faults: Option<FaultPlan>) -> BenchExport {
     let ds = seed_dataset(scale.consumers_for_gb(1.0));
     let scratch = Scratch::new("jsonbench");
     let mut runs = Vec::new();
 
     let mut platforms: Vec<Box<dyn Platform>> = vec![
-        Box::new(NumericEngine::new(scratch.path("matlab"), FileLayout::Partitioned)),
-        Box::new(RelationalEngine::new(scratch.path("madlib"), RelationalLayout::ReadingPerRow)),
+        Box::new(NumericEngine::new(
+            scratch.path("matlab"),
+            FileLayout::Partitioned,
+        )),
+        Box::new(RelationalEngine::new(
+            scratch.path("madlib"),
+            RelationalLayout::ReadingPerRow,
+        )),
         Box::new(ColumnarEngine::new(scratch.path("systemc"))),
     ];
     for engine in &mut platforms {
@@ -50,7 +67,10 @@ pub fn run_json_bench(scale: Scale) -> BenchExport {
             // Cold run: caches dropped, only the run phase.
             engine.make_cold();
             let sink = MetricsSink::recording();
-            let spec = RunSpec::builder(task).threads(THREADS).metrics(sink.clone()).build();
+            let spec = RunSpec::builder(task)
+                .threads(THREADS)
+                .metrics(sink.clone())
+                .build();
             {
                 let _run = sink.scope("run");
                 engine.run(&spec).expect("cold run succeeds on loaded data");
@@ -67,13 +87,30 @@ pub fn run_json_bench(scale: Scale) -> BenchExport {
     // spawned) flow in from the scheduler and worker pool; the virtual
     // makespan is recorded as an explicit sub-phase.
     let mut hive = hive(CLUSTER_WORKERS, scale);
-    hive.load(&ds, DataFormat::ReadingPerLine).expect("hive table builds from valid data");
+    if let Some(plan) = &faults {
+        hive.set_fault_plan(plan.clone());
+        let sink = MetricsSink::recording();
+        hive.set_metrics(sink.clone());
+        {
+            let _load = sink.scope("load");
+            hive.load(&ds, DataFormat::ReadingPerLine)
+                .expect("hive load survives the fault plan");
+        }
+        let manifest = RunManifest::new("load", "Hive")
+            .threads(CLUSTER_WORKERS)
+            .consumers(ds.len());
+        runs.push(sink.finish(manifest));
+    } else {
+        hive.load(&ds, DataFormat::ReadingPerLine)
+            .expect("hive table builds from valid data");
+    }
     for task in Task::ALL {
         let sink = MetricsSink::recording();
         hive.set_metrics(sink.clone());
         let result = {
             let _run = sink.scope("run");
-            hive.run_task(task).expect("hive job succeeds on loaded table")
+            hive.run_task(task)
+                .expect("hive job succeeds on loaded table")
         };
         sink.add_phase(&["run", "virtual"], result.stats.virtual_elapsed);
         let manifest = RunManifest::new(task.name(), "Hive")
@@ -83,13 +120,33 @@ pub fn run_json_bench(scale: Scale) -> BenchExport {
     }
 
     let mut spark = spark(CLUSTER_WORKERS, scale);
-    spark.load(&ds, DataFormat::ReadingPerLine).expect("spark input builds from valid data");
+    if let Some(plan) = &faults {
+        spark.set_fault_plan(plan.clone());
+        let sink = MetricsSink::recording();
+        spark.set_metrics(sink.clone());
+        {
+            let _load = sink.scope("load");
+            spark
+                .load(&ds, DataFormat::ReadingPerLine)
+                .expect("spark load survives the fault plan");
+        }
+        let manifest = RunManifest::new("load", "Spark")
+            .threads(CLUSTER_WORKERS)
+            .consumers(ds.len());
+        runs.push(sink.finish(manifest));
+    } else {
+        spark
+            .load(&ds, DataFormat::ReadingPerLine)
+            .expect("spark input builds from valid data");
+    }
     for task in Task::ALL {
         let sink = MetricsSink::recording();
         spark.set_metrics(sink.clone());
         let result = {
             let _run = sink.scope("run");
-            spark.run_task(task).expect("spark job succeeds on loaded input")
+            spark
+                .run_task(task)
+                .expect("spark job succeeds on loaded input")
         };
         sink.add_phase(&["run", "virtual"], result.virtual_elapsed);
         let manifest = RunManifest::new(task.name(), "Spark")
@@ -120,7 +177,11 @@ mod tests {
         }
         // Warm sessions carry the three top-level phases.
         for report in export.runs.iter().filter(|r| !r.manifest.cold) {
-            assert!(report.phase_ns(&["run"]).unwrap_or(0) > 0, "{:?}", report.manifest);
+            assert!(
+                report.phase_ns(&["run"]).unwrap_or(0) > 0,
+                "{:?}",
+                report.manifest
+            );
         }
         // The cluster wiring produced scheduling counters.
         let hive_hist = export
@@ -131,5 +192,59 @@ mod tests {
         assert!(hive_hist.counter(counters::TASKS_SCHEDULED).unwrap_or(0) > 0);
         assert!(hive_hist.counter(counters::BYTES_SHUFFLED).unwrap_or(0) > 0);
         assert!(hive_hist.counter(counters::WORKERS_SPAWNED).unwrap_or(0) > 0);
+    }
+
+    #[test]
+    fn faulty_export_carries_fault_counters() {
+        use smda_cluster::NodeCrash;
+        use std::time::Duration;
+
+        let plan = FaultPlan {
+            task_failure_rate: 0.2,
+            max_attempts: 64,
+            replica_losses: 4,
+            re_replicate: true,
+            crashes: vec![NodeCrash {
+                node: 0,
+                at: Duration::from_nanos(1),
+            }],
+            ..FaultPlan::seeded(7)
+        };
+        let export = run_json_bench_with(Scale::smoke(), Some(plan));
+        // The fault-free matrix plus one observed `load` per cluster engine.
+        assert_eq!(export.runs.len(), 3 * 4 * 2 + 2 * 4 + 2);
+
+        // The load runs carry the replica-loss injection and recovery.
+        for platform in ["Hive", "Spark"] {
+            let load = export
+                .runs
+                .iter()
+                .find(|r| r.manifest.platform == platform && r.manifest.task == "load")
+                .expect("observed load run present");
+            assert!(
+                load.counter(counters::FAULTS_INJECTED_REPLICA_LOSS)
+                    .unwrap_or(0)
+                    > 0
+            );
+            assert!(
+                load.counter(counters::FAULTS_RECOVERED_REPLICA_LOSS)
+                    .unwrap_or(0)
+                    > 0
+            );
+        }
+
+        // The cluster task runs saw the crash and the injected failures,
+        // and recovered from both (every run still succeeded).
+        let cluster: Vec<_> = export
+            .runs
+            .iter()
+            .filter(|r| matches!(r.manifest.platform.as_str(), "Hive" | "Spark"))
+            .collect();
+        let sum = |name: &str| -> u64 { cluster.iter().filter_map(|r| r.counter(name)).sum() };
+        assert!(sum(counters::FAULTS_INJECTED_NODE_CRASH) > 0);
+        assert!(sum(counters::FAULTS_RECOVERED_NODE_CRASH) > 0);
+        assert!(sum(counters::FAULTS_INJECTED_TASK_FAILURE) > 0);
+        assert!(sum(counters::FAULTS_RECOVERED_TASK_FAILURE) > 0);
+        assert!(sum(counters::TASKS_RETRIED) > 0);
     }
 }

@@ -18,7 +18,7 @@ pub mod report;
 pub mod runner;
 pub mod scale;
 
-pub use jsonbench::run_json_bench;
+pub use jsonbench::{run_json_bench, run_json_bench_with};
 pub use report::Table;
 pub use runner::{run_all, run_experiment, EXPERIMENT_IDS};
 pub use scale::Scale;

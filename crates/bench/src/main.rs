@@ -6,16 +6,20 @@
 //! smda-bench --smoke         # fastest scale (CI smoke)
 //! smda-bench --full fig4     # the paper's true sizes (hours!)
 //! smda-bench --json out.json --small   # instrumented matrix -> JSON export
+//! smda-bench --json out.json --faults seed=7,task_fail=0.1,crash=0@0.001
 //! ```
 //!
 //! CSVs land in `results/`; tables are printed as markdown. With
 //! `--json <path>`, the instrumented platform × task matrix runs instead
 //! and its phase timings/counters land at `path` in the
-//! `smda-bench/v1` format (see `smda_obs::BenchExport`).
+//! `smda-bench/v1` format (see `smda_obs::BenchExport`). `--faults SPEC`
+//! injects a deterministic fault plan into the cluster engines of that
+//! matrix (see `smda_cluster::FaultPlan::parse` for the spec grammar).
 
 use std::path::PathBuf;
 
-use smda_bench::{run_all, run_experiment, run_json_bench, Scale, EXPERIMENT_IDS};
+use smda_bench::{run_all, run_experiment, run_json_bench_with, Scale, EXPERIMENT_IDS};
+use smda_cluster::FaultPlan;
 
 #[global_allocator]
 static ALLOC: smda_bench::alloc::CountingAlloc = smda_bench::alloc::CountingAlloc;
@@ -24,6 +28,7 @@ fn main() {
     let mut scale = Scale::default();
     let mut ids: Vec<String> = Vec::new();
     let mut json_out: Option<PathBuf> = None;
+    let mut faults: Option<FaultPlan> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -36,9 +41,23 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--faults" => match args.next() {
+                Some(spec) => match FaultPlan::parse(&spec) {
+                    Ok(plan) => faults = Some(plan),
+                    Err(e) => {
+                        eprintln!("{e}");
+                        std::process::exit(2);
+                    }
+                },
+                None => {
+                    eprintln!("--faults needs a spec, e.g. seed=7,task_fail=0.1,crash=0@0.001");
+                    std::process::exit(2);
+                }
+            },
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: smda-bench [--smoke|--small|--full] [--json PATH] [EXPERIMENT...]\n\
+                    "usage: smda-bench [--smoke|--small|--full] [--json PATH] [--faults SPEC] \
+                     [EXPERIMENT...]\n\
                      experiments: {}",
                     EXPERIMENT_IDS.join(" ")
                 );
@@ -48,9 +67,17 @@ fn main() {
         }
     }
 
+    if faults.is_some() && json_out.is_none() {
+        eprintln!("--faults only applies to the instrumented --json matrix");
+        std::process::exit(2);
+    }
+
     if let Some(path) = json_out {
-        let export = run_json_bench(scale);
-        std::fs::write(&path, export.to_json_pretty()).expect("bench output path is writable");
+        let export = run_json_bench_with(scale, faults);
+        if let Err(e) = std::fs::write(&path, export.to_json_pretty()) {
+            eprintln!("cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
         eprintln!(
             "wrote {} bench entries ({} runs) to {}",
             export.benches.len(),
@@ -69,12 +96,16 @@ fn main() {
             match run_experiment(id, scale) {
                 Some(tables) => {
                     for t in &tables {
-                        t.write_csv(&out_dir).expect("results directory is writable");
+                        t.write_csv(&out_dir)
+                            .expect("results directory is writable");
                     }
                     all.extend(tables);
                 }
                 None => {
-                    eprintln!("unknown experiment `{id}`; known: {}", EXPERIMENT_IDS.join(" "));
+                    eprintln!(
+                        "unknown experiment `{id}`; known: {}",
+                        EXPERIMENT_IDS.join(" ")
+                    );
                     std::process::exit(2);
                 }
             }

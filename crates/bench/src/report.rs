@@ -21,11 +21,7 @@ pub struct Table {
 
 impl Table {
     /// A new empty table.
-    pub fn new(
-        id: impl Into<String>,
-        title: impl Into<String>,
-        columns: &[&str],
-    ) -> Self {
+    pub fn new(id: impl Into<String>, title: impl Into<String>, columns: &[&str]) -> Self {
         Table {
             id: id.into(),
             title: title.into(),
@@ -39,7 +35,11 @@ impl Table {
     /// # Panics
     /// Panics if the cell count does not match the header.
     pub fn row(&mut self, cells: Vec<String>) {
-        assert_eq!(cells.len(), self.columns.len(), "row arity must match header");
+        assert_eq!(
+            cells.len(),
+            self.columns.len(),
+            "row arity must match header"
+        );
         self.rows.push(cells);
     }
 
@@ -48,7 +48,15 @@ impl Table {
         let mut s = String::new();
         let _ = writeln!(s, "### {} — {}\n", self.id, self.title);
         let _ = writeln!(s, "| {} |", self.columns.join(" | "));
-        let _ = writeln!(s, "|{}|", self.columns.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+        let _ = writeln!(
+            s,
+            "|{}|",
+            self.columns
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
+        );
         for row in &self.rows {
             let _ = writeln!(s, "| {} |", row.join(" | "));
         }

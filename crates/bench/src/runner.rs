@@ -7,9 +7,21 @@ use crate::report::Table;
 use crate::scale::Scale;
 
 /// All experiment ids, in the paper's presentation order.
-pub const EXPERIMENT_IDS: [&str; 13] = [
-    "table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig13",
-    "fig16", "fig18", "ext_updates",
+pub const EXPERIMENT_IDS: [&str; 14] = [
+    "table1",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig13",
+    "fig16",
+    "fig18",
+    "ext_updates",
+    "chaos",
 ];
 
 /// Run one experiment by id (composite figures run together: `fig11`
@@ -29,6 +41,7 @@ pub fn run_experiment(id: &str, scale: Scale) -> Option<Vec<Table>> {
         "fig16" | "fig17" => experiments::format2::run(scale),
         "fig18" | "fig19" => experiments::format3::run(scale),
         "ext_updates" => experiments::updates::run(scale),
+        "chaos" => experiments::chaos::run(scale),
         _ => return None,
     };
     Some(tables)

@@ -26,19 +26,31 @@ pub struct Scale {
 
 impl Default for Scale {
     fn default() -> Self {
-        Scale { divisor: 273.0, cluster_divisor: 10_000.0, block_bytes: 1024 * 1024 }
+        Scale {
+            divisor: 273.0,
+            cluster_divisor: 10_000.0,
+            block_bytes: 1024 * 1024,
+        }
     }
 }
 
 impl Scale {
     /// A faster scale for smoke tests and criterion benches.
     pub fn smoke() -> Self {
-        Scale { divisor: 1_000.0, cluster_divisor: 40_000.0, block_bytes: 256 * 1024 }
+        Scale {
+            divisor: 1_000.0,
+            cluster_divisor: 40_000.0,
+            block_bytes: 256 * 1024,
+        }
     }
 
     /// The paper's true sizes (64 MiB blocks, no division).
     pub fn full() -> Self {
-        Scale { divisor: 1.0, cluster_divisor: 1.0, block_bytes: 64 * 1024 * 1024 }
+        Scale {
+            divisor: 1.0,
+            cluster_divisor: 1.0,
+            block_bytes: 64 * 1024 * 1024,
+        }
     }
 
     /// Actual household count for a nominal single-server size in GB.
@@ -90,7 +102,11 @@ mod tests {
 
     #[test]
     fn household_scaling() {
-        let s = Scale { divisor: 100.0, cluster_divisor: 100.0, block_bytes: 1 };
+        let s = Scale {
+            divisor: 100.0,
+            cluster_divisor: 100.0,
+            block_bytes: 1,
+        };
         assert_eq!(s.consumers_for_households(32_000), 320);
         assert_eq!(s.cluster_consumers_for_households(64_000), 640);
     }

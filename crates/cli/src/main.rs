@@ -54,22 +54,28 @@ fn usage() {
            generate --consumers N [--seed S] [--out DIR]   synthesize a seed dataset\n\
            amplify  --seed N --consumers M [--out DIR]     amplify via the paper's generator\n\
            run TASK --data DIR [--format f1|f2]            run histogram|three-line|par|similarity\n\
-           bench [--smoke|--small|--full] [--json PATH] [EXPERIMENT...]\n\
+           bench [--smoke|--small|--full] [--json PATH] [--faults SPEC] [EXPERIMENT...]\n\
                                                            regenerate tables/figures ({})",
         EXPERIMENT_IDS.join(" ")
     );
 }
 
 fn flag(args: &[String], name: &str) -> Option<String> {
-    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
 }
 
 fn parse_usize(args: &[String], name: &str, default: usize) -> usize {
-    flag(args, name).and_then(|v| v.parse().ok()).unwrap_or(default)
+    flag(args, name)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 fn out_dir(args: &[String]) -> PathBuf {
-    flag(args, "--out").map(PathBuf::from).unwrap_or_else(|| PathBuf::from("data"))
+    flag(args, "--out")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("data"))
 }
 
 fn generate(args: &[String]) -> Result<()> {
@@ -112,7 +118,9 @@ fn amplify(args: &[String]) -> Result<()> {
 }
 
 fn load_dataset(args: &[String]) -> Result<Dataset> {
-    let dir = flag(args, "--data").map(PathBuf::from).unwrap_or_else(|| PathBuf::from("data"));
+    let dir = flag(args, "--data")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("data"));
     let format = match flag(args, "--format").as_deref() {
         Some("f2") => DataFormat::ConsumerPerLine,
         _ => DataFormat::ReadingPerLine,
@@ -137,7 +145,11 @@ fn run_task_cmd(args: &[String]) -> Result<()> {
     let start = Instant::now();
     let output = run_reference(task, &ds);
     let elapsed = start.elapsed();
-    println!("{task} over {} consumers in {:.3}s", ds.len(), elapsed.as_secs_f64());
+    println!(
+        "{task} over {} consumers in {:.3}s",
+        ds.len(),
+        elapsed.as_secs_f64()
+    );
     summarize(&output);
     Ok(())
 }
@@ -146,7 +158,11 @@ fn summarize(output: &TaskOutput) {
     match output {
         TaskOutput::Histograms(hs) => {
             for h in hs.iter().take(3) {
-                println!("  {}: mode bucket {} / 10", h.consumer, h.histogram.mode_bucket());
+                println!(
+                    "  {}: mode bucket {} / 10",
+                    h.consumer,
+                    h.histogram.mode_bucket()
+                );
             }
         }
         TaskOutput::ThreeLine(models, phases) => {
@@ -194,6 +210,7 @@ fn bench(args: &[String]) -> Result<()> {
     let mut scale = Scale::default();
     let mut ids = Vec::new();
     let mut json_out: Option<PathBuf> = None;
+    let mut faults = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -205,11 +222,24 @@ fn bench(args: &[String]) -> Result<()> {
                 })?;
                 json_out = Some(PathBuf::from(path));
             }
+            "--faults" => {
+                let spec = it.next().ok_or_else(|| {
+                    smda_types::Error::Invalid(
+                        "--faults needs a spec, e.g. seed=7,task_fail=0.1,crash=0@0.001".into(),
+                    )
+                })?;
+                faults = Some(smda_cluster::FaultPlan::parse(spec)?);
+            }
             id => ids.push(id.to_string()),
         }
     }
+    if faults.is_some() && json_out.is_none() {
+        return Err(smda_types::Error::Invalid(
+            "--faults only applies to the instrumented --json matrix".into(),
+        ));
+    }
     if let Some(path) = json_out {
-        let export = smda_bench::run_json_bench(scale);
+        let export = smda_bench::run_json_bench_with(scale, faults);
         std::fs::write(&path, export.to_json_pretty())
             .map_err(|e| smda_types::Error::io(format!("writing {}", path.display()), e))?;
         println!(

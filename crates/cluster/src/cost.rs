@@ -41,13 +41,19 @@ impl CostModel {
     /// A cost model with Hadoop-era task startup (higher than Spark's
     /// executor reuse).
     pub fn mapreduce() -> Self {
-        CostModel { task_startup: Duration::from_millis(800), ..Default::default() }
+        CostModel {
+            task_startup: Duration::from_millis(800),
+            ..Default::default()
+        }
     }
 
     /// A cost model with Spark-style executor reuse (low per-task cost)
     /// but in-memory pressure handled elsewhere.
     pub fn spark() -> Self {
-        CostModel { task_startup: Duration::from_millis(120), ..Default::default() }
+        CostModel {
+            task_startup: Duration::from_millis(120),
+            ..Default::default()
+        }
     }
 
     /// Virtual time to read `bytes` sequentially from local disk.
@@ -109,7 +115,13 @@ mod tests {
 
     #[test]
     fn compute_scaling() {
-        let m = CostModel { compute_scale: 2.0, ..Default::default() };
-        assert_eq!(m.scale_compute(Duration::from_secs(1)), Duration::from_secs(2));
+        let m = CostModel {
+            compute_scale: 2.0,
+            ..Default::default()
+        };
+        assert_eq!(
+            m.scale_compute(Duration::from_secs(1)),
+            Duration::from_secs(2)
+        );
     }
 }

@@ -4,8 +4,16 @@
 //! each replicated on several nodes — so the scheduler can reason about
 //! locality. Block payloads are not materialized; the engines keep the
 //! actual rows in host memory and only account their sizes here.
+//!
+//! Fault machinery: nodes can die ([`SimDfs::fail_node`]), individual
+//! replicas can be dropped ([`SimDfs::drop_replicas`]), and the namenode
+//! can restore the target replication factor on the survivors
+//! ([`SimDfs::re_replicate`]). A block whose last replica is gone makes
+//! reads fail with a typed [`Error::BlockUnavailable`] instead of a
+//! panic or a fictitious success. All iteration is over [`BTreeMap`] /
+//! [`BTreeSet`], so fault handling is deterministic.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use smda_types::{Error, Result};
 
@@ -24,7 +32,11 @@ pub struct DfsConfig {
 
 impl Default for DfsConfig {
     fn default() -> Self {
-        DfsConfig { block_bytes: 64 * 1024 * 1024, replication: 3, nodes: 16 }
+        DfsConfig {
+            block_bytes: 64 * 1024 * 1024,
+            replication: 3,
+            nodes: 16,
+        }
     }
 }
 
@@ -70,7 +82,9 @@ pub struct InputSplit {
 #[derive(Debug)]
 pub struct SimDfs {
     config: DfsConfig,
-    files: HashMap<String, DfsFile>,
+    files: BTreeMap<String, DfsFile>,
+    /// Nodes that have failed; they receive no new replicas.
+    dead: BTreeSet<usize>,
     /// Deterministic placement cursor.
     cursor: usize,
 }
@@ -85,7 +99,12 @@ impl SimDfs {
         assert!(config.nodes > 0, "DFS needs at least one node");
         assert!(config.block_bytes > 0, "block size must be positive");
         assert!(config.replication > 0, "replication must be positive");
-        SimDfs { config, files: HashMap::new(), cursor: 0 }
+        SimDfs {
+            config,
+            files: BTreeMap::new(),
+            dead: BTreeSet::new(),
+            cursor: 0,
+        }
     }
 
     /// The configuration in force.
@@ -93,32 +112,62 @@ impl SimDfs {
         self.config
     }
 
-    /// Ingest a file of `bytes`, placing blocks round-robin with
-    /// `replication` consecutive replicas. Returns the placement.
-    pub fn ingest(&mut self, name: impl Into<String>, bytes: u64, splittable: bool) -> Result<&DfsFile> {
+    /// Datanodes still alive, in ascending order.
+    pub fn healthy_nodes(&self) -> Vec<usize> {
+        (0..self.config.nodes)
+            .filter(|n| !self.dead.contains(n))
+            .collect()
+    }
+
+    /// Ingest a file of `bytes`, placing blocks round-robin over the
+    /// healthy nodes with `replication` consecutive replicas. Returns
+    /// the placement.
+    pub fn ingest(
+        &mut self,
+        name: impl Into<String>,
+        bytes: u64,
+        splittable: bool,
+    ) -> Result<&DfsFile> {
         let name = name.into();
-        if self.files.contains_key(&name) {
-            return Err(Error::Invalid(format!("DFS file `{name}` already exists")));
-        }
         if bytes == 0 {
             return Err(Error::Invalid(format!("DFS file `{name}` is empty")));
         }
-        let nodes = self.config.nodes;
-        let replication = self.config.replication.min(nodes);
-        let block_count = bytes.div_ceil(self.config.block_bytes);
-        let mut blocks = Vec::with_capacity(block_count as usize);
-        let mut remaining = bytes;
-        for _ in 0..block_count {
-            let size = remaining.min(self.config.block_bytes);
-            remaining -= size;
-            let primary = self.cursor % nodes;
-            self.cursor += 1;
-            let replicas = (0..replication).map(|r| (primary + r) % nodes).collect();
-            blocks.push(DfsBlock { bytes: size, replicas });
+        let healthy = self.healthy_nodes();
+        if healthy.is_empty() {
+            return Err(Error::NoHealthyNodes);
         }
-        let file = DfsFile { name: name.clone(), bytes, splittable, blocks };
-        self.files.insert(name.clone(), file);
-        Ok(self.files.get(&name).expect("just inserted"))
+        match self.files.entry(name) {
+            std::collections::btree_map::Entry::Occupied(e) => Err(Error::Invalid(format!(
+                "DFS file `{}` already exists",
+                e.key()
+            ))),
+            std::collections::btree_map::Entry::Vacant(v) => {
+                let replication = self.config.replication.min(healthy.len());
+                let block_count = bytes.div_ceil(self.config.block_bytes);
+                let mut blocks = Vec::with_capacity(block_count as usize);
+                let mut remaining = bytes;
+                for _ in 0..block_count {
+                    let size = remaining.min(self.config.block_bytes);
+                    remaining -= size;
+                    let primary = self.cursor % healthy.len();
+                    self.cursor += 1;
+                    let replicas = (0..replication)
+                        .map(|r| healthy[(primary + r) % healthy.len()])
+                        .collect();
+                    blocks.push(DfsBlock {
+                        bytes: size,
+                        replicas,
+                    });
+                }
+                let name = v.key().clone();
+                Ok(v.insert(DfsFile {
+                    name,
+                    bytes,
+                    splittable,
+                    blocks,
+                }))
+            }
+        }
     }
 
     /// Look up a file.
@@ -131,10 +180,12 @@ impl SimDfs {
         self.files.remove(name).is_some()
     }
 
-    /// Fail a datanode: every replica it held disappears (failure
-    /// injection). Returns the names of files that lost **all** replicas
-    /// of some block — data loss the caller must surface.
+    /// Fail a datanode: every replica it held disappears and it receives
+    /// no future placements (failure injection). Returns the names of
+    /// files that lost **all** replicas of some block — data loss the
+    /// caller must surface.
     pub fn fail_node(&mut self, node: usize) -> Vec<String> {
+        self.dead.insert(node);
         let mut lost = Vec::new();
         for (name, file) in self.files.iter_mut() {
             for block in &mut file.blocks {
@@ -144,8 +195,70 @@ impl SimDfs {
                 }
             }
         }
-        lost.sort();
         lost
+    }
+
+    /// Drop up to `count` individual block replicas, deterministically:
+    /// files in name order, blocks in file order, always removing the
+    /// *last* replica in a block's list, round-robin until blocks run
+    /// dry. Returns the number of replicas actually dropped. A block may
+    /// lose its final replica — subsequent reads surface
+    /// [`Error::BlockUnavailable`].
+    pub fn drop_replicas(&mut self, count: usize) -> usize {
+        let mut dropped = 0;
+        while dropped < count {
+            let mut progressed = false;
+            for file in self.files.values_mut() {
+                for block in file.blocks.iter_mut() {
+                    if dropped >= count {
+                        return dropped;
+                    }
+                    if block.replicas.pop().is_some() {
+                        dropped += 1;
+                        progressed = true;
+                    }
+                }
+            }
+            if !progressed {
+                break; // every replica of every block is already gone
+            }
+        }
+        dropped
+    }
+
+    /// Restore under-replicated blocks to the target replication factor
+    /// (clamped to the number of healthy nodes), placing new replicas on
+    /// healthy nodes that do not already hold the block. Blocks with no
+    /// surviving replica cannot be recovered and are skipped. Returns the
+    /// number of replicas created.
+    pub fn re_replicate(&mut self) -> usize {
+        let healthy = self.healthy_nodes();
+        if healthy.is_empty() {
+            return 0;
+        }
+        let target = self.config.replication.min(healthy.len());
+        let mut created = 0;
+        for file in self.files.values_mut() {
+            for block in file.blocks.iter_mut() {
+                if block.replicas.is_empty() {
+                    continue; // data gone; nothing to copy from
+                }
+                while block.replicas.len() < target {
+                    let slot = (0..healthy.len())
+                        .map(|o| healthy[(self.cursor + o) % healthy.len()])
+                        .find(|n| !block.replicas.contains(n));
+                    match slot {
+                        Some(node) => {
+                            self.cursor += 1;
+                            block.replicas.push(node);
+                            created += 1;
+                        }
+                        None => break, // every healthy node already holds one
+                    }
+                }
+            }
+        }
+        created
     }
 
     /// Number of files stored.
@@ -156,6 +269,9 @@ impl SimDfs {
     /// The input splits for a set of files, in deterministic order. A
     /// splittable file produces one split per block; a non-splittable
     /// file produces a single split local to its *first* block's hosts.
+    ///
+    /// A block with no surviving replica is unreadable: the job fails
+    /// with [`Error::BlockUnavailable`] naming the file and block.
     pub fn splits(&self, names: &[String]) -> Result<Vec<InputSplit>> {
         let mut out = Vec::new();
         for name in names {
@@ -163,6 +279,14 @@ impl SimDfs {
                 .files
                 .get(name)
                 .ok_or_else(|| Error::Invalid(format!("DFS file `{name}` not found")))?;
+            for (i, b) in file.blocks.iter().enumerate() {
+                if b.replicas.is_empty() {
+                    return Err(Error::BlockUnavailable {
+                        file: name.clone(),
+                        block: i,
+                    });
+                }
+            }
             if file.splittable {
                 for (i, b) in file.blocks.iter().enumerate() {
                     out.push(InputSplit {
@@ -190,7 +314,11 @@ mod tests {
     use super::*;
 
     fn small() -> DfsConfig {
-        DfsConfig { block_bytes: 1024, replication: 3, nodes: 4 }
+        DfsConfig {
+            block_bytes: 1024,
+            replication: 3,
+            nodes: 4,
+        }
     }
 
     #[test]
@@ -215,8 +343,20 @@ mod tests {
     }
 
     #[test]
+    fn ingest_returns_the_placement_directly() {
+        let mut dfs = SimDfs::new(small());
+        let file = dfs.ingest("direct", 2500, true).unwrap();
+        assert_eq!(file.name, "direct");
+        assert_eq!(file.blocks.len(), 3);
+    }
+
+    #[test]
     fn replication_clamped_to_nodes() {
-        let mut dfs = SimDfs::new(DfsConfig { block_bytes: 100, replication: 5, nodes: 2 });
+        let mut dfs = SimDfs::new(DfsConfig {
+            block_bytes: 100,
+            replication: 5,
+            nodes: 2,
+        });
         let file = dfs.ingest("f", 100, true).unwrap();
         assert_eq!(file.blocks[0].replicas.len(), 2);
     }
@@ -254,22 +394,134 @@ mod tests {
         let mut dfs = SimDfs::new(small()); // replication 3 over 4 nodes
         dfs.ingest("data", 4 * 1024, true).unwrap();
         let lost = dfs.fail_node(0);
-        assert!(lost.is_empty(), "3-way replication survives one failure: {lost:?}");
+        assert!(
+            lost.is_empty(),
+            "3-way replication survives one failure: {lost:?}"
+        );
         let splits = dfs.splits(&["data".into()]).unwrap();
         for s in &splits {
             assert!(!s.hosts.contains(&0), "failed node still listed: {s:?}");
             assert!(!s.hosts.is_empty());
         }
+        assert_eq!(dfs.healthy_nodes(), vec![1, 2, 3]);
     }
 
     #[test]
     fn losing_every_replica_reports_data_loss() {
-        let mut dfs = SimDfs::new(DfsConfig { block_bytes: 1024, replication: 1, nodes: 2 });
+        let mut dfs = SimDfs::new(DfsConfig {
+            block_bytes: 1024,
+            replication: 1,
+            nodes: 2,
+        });
         dfs.ingest("fragile", 512, true).unwrap();
         // Single replica: failing its node loses the file.
         let holder = dfs.file("fragile").unwrap().blocks[0].replicas[0];
         let lost = dfs.fail_node(holder);
         assert_eq!(lost, vec!["fragile".to_string()]);
+    }
+
+    #[test]
+    fn unreadable_block_is_a_typed_error() {
+        let mut dfs = SimDfs::new(DfsConfig {
+            block_bytes: 1024,
+            replication: 1,
+            nodes: 2,
+        });
+        dfs.ingest("fragile", 2048, true).unwrap();
+        let holder = dfs.file("fragile").unwrap().blocks[0].replicas[0];
+        dfs.fail_node(holder);
+        match dfs.splits(&["fragile".into()]) {
+            Err(Error::BlockUnavailable { file, block }) => {
+                assert_eq!(file, "fragile");
+                assert_eq!(block, 0);
+            }
+            other => panic!("expected BlockUnavailable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn drop_replicas_is_deterministic_and_bounded() {
+        let mut a = SimDfs::new(small());
+        let mut b = SimDfs::new(small());
+        for dfs in [&mut a, &mut b] {
+            dfs.ingest("d", 4 * 1024, true).unwrap();
+        }
+        assert_eq!(a.drop_replicas(5), 5);
+        assert_eq!(b.drop_replicas(5), 5);
+        assert_eq!(a.file("d").unwrap().blocks, b.file("d").unwrap().blocks);
+        // 4 blocks × 3 replicas = 12 total; can never drop more.
+        let mut c = SimDfs::new(small());
+        c.ingest("d", 4 * 1024, true).unwrap();
+        assert_eq!(c.drop_replicas(100), 12);
+    }
+
+    #[test]
+    fn re_replication_restores_target_factor() {
+        let mut dfs = SimDfs::new(small()); // replication 3 over 4 nodes
+        dfs.ingest("data", 4 * 1024, true).unwrap();
+        let dropped = dfs.drop_replicas(4);
+        assert_eq!(dropped, 4);
+        let created = dfs.re_replicate();
+        assert_eq!(created, 4);
+        for block in &dfs.file("data").unwrap().blocks {
+            assert_eq!(block.replicas.len(), 3);
+            let unique: std::collections::HashSet<usize> = block.replicas.iter().copied().collect();
+            assert_eq!(
+                unique.len(),
+                3,
+                "re-replication duplicated a node: {block:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn re_replication_skips_dead_nodes_and_lost_blocks() {
+        let mut dfs = SimDfs::new(DfsConfig {
+            block_bytes: 1024,
+            replication: 2,
+            nodes: 3,
+        });
+        dfs.ingest("d", 2048, true).unwrap();
+        dfs.fail_node(0);
+        dfs.re_replicate();
+        for block in &dfs.file("d").unwrap().blocks {
+            assert!(!block.replicas.contains(&0));
+            assert_eq!(block.replicas.len(), 2);
+        }
+        // Lose everything: nothing left to copy from.
+        let mut gone = SimDfs::new(DfsConfig {
+            block_bytes: 1024,
+            replication: 1,
+            nodes: 2,
+        });
+        gone.ingest("g", 512, true).unwrap();
+        gone.drop_replicas(1);
+        assert_eq!(gone.re_replicate(), 0);
+    }
+
+    #[test]
+    fn ingest_avoids_dead_nodes() {
+        let mut dfs = SimDfs::new(small());
+        dfs.fail_node(1);
+        dfs.ingest("late", 8 * 1024, true).unwrap();
+        for block in &dfs.file("late").unwrap().blocks {
+            assert!(!block.replicas.contains(&1), "{block:?}");
+            assert_eq!(block.replicas.len(), 3);
+        }
+    }
+
+    #[test]
+    fn all_nodes_dead_refuses_ingest() {
+        let mut dfs = SimDfs::new(DfsConfig {
+            block_bytes: 1024,
+            replication: 1,
+            nodes: 1,
+        });
+        dfs.fail_node(0);
+        assert!(matches!(
+            dfs.ingest("f", 10, true),
+            Err(Error::NoHealthyNodes)
+        ));
     }
 
     #[test]

@@ -3,11 +3,20 @@
 //! Cluster-engine tasks execute here — on a local thread pool — so the
 //! results they produce are exact; the measured per-task compute times
 //! feed the virtual scheduler as [`crate::scheduler::SimTask::compute`].
+//!
+//! Every task runs under panic containment: a panicking closure is
+//! caught per item and surfaced as a typed [`Error::TaskFailed`] naming
+//! the task, instead of poisoning the whole pool scope and aborting the
+//! process. [`WorkerPool::run_retrying`] additionally re-runs panicked
+//! items up to a retry budget, the way a cluster scheduler re-attempts a
+//! failed task, and records retries and recoveries in a [`MetricsSink`].
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use smda_obs::{counters, MetricsSink};
+use smda_types::{Error, Result};
 
 /// A fixed-size worker pool built on scoped threads with an atomic
 /// work-stealing cursor.
@@ -18,7 +27,9 @@ pub struct WorkerPool {
 
 impl Default for WorkerPool {
     fn default() -> Self {
-        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
         WorkerPool { threads }
     }
 }
@@ -40,7 +51,11 @@ impl WorkerPool {
 
     /// Apply `f` to every item, in parallel, returning outputs in input
     /// order together with each item's measured compute time.
-    pub fn run<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<(R, Duration)>
+    ///
+    /// # Errors
+    /// [`Error::TaskFailed`] identifying the lowest-indexed item whose
+    /// closure panicked.
+    pub fn run<T, R, F>(&self, items: Vec<T>, f: F) -> Result<Vec<(R, Duration)>>
     where
         T: Send,
         R: Send,
@@ -52,12 +67,16 @@ impl WorkerPool {
     /// [`WorkerPool::run`], additionally counting the workers that
     /// actually get spawned (at most one per item) into `metrics` under
     /// [`counters::WORKERS_SPAWNED`].
+    ///
+    /// # Errors
+    /// [`Error::TaskFailed`] identifying the lowest-indexed item whose
+    /// closure panicked.
     pub fn run_metered<T, R, F>(
         &self,
         items: Vec<T>,
         f: F,
         metrics: &MetricsSink,
-    ) -> Vec<(R, Duration)>
+    ) -> Result<Vec<(R, Duration)>>
     where
         T: Send,
         R: Send,
@@ -69,10 +88,135 @@ impl WorkerPool {
         }
         measured_run(items, &f, self.threads)
     }
+
+    /// [`WorkerPool::run_metered`] with a retry budget: an item whose
+    /// closure panics is re-run (from a fresh clone of its input) up to
+    /// `max_attempts` times in total. Retries count into
+    /// [`counters::TASKS_RETRIED`]; items that eventually succeed after
+    /// panicking count into [`counters::FAULTS_RECOVERED_TASK_PANIC`].
+    ///
+    /// # Errors
+    /// [`Error::TaskFailed`] identifying the lowest-indexed item still
+    /// failing after the budget is spent.
+    ///
+    /// # Panics
+    /// Panics if `max_attempts == 0`.
+    pub fn run_retrying<T, R, F>(
+        &self,
+        items: Vec<T>,
+        f: F,
+        max_attempts: usize,
+        metrics: &MetricsSink,
+    ) -> Result<Vec<(R, Duration)>>
+    where
+        T: Send + Clone,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        assert!(
+            max_attempts > 0,
+            "retry budget must allow at least one attempt"
+        );
+        let n = items.len();
+        let workers = self.threads.min(n);
+        if workers > 0 {
+            metrics.incr(counters::WORKERS_SPAWNED, workers as u64);
+        }
+        let mut out: Vec<Option<(R, Duration)>> = (0..n).map(|_| None).collect();
+        let mut todo: Vec<usize> = (0..n).collect();
+        let mut panicked = vec![false; n];
+        for attempt in 0..max_attempts {
+            if todo.is_empty() {
+                break;
+            }
+            if attempt > 0 {
+                metrics.incr(counters::TASKS_RETRIED, todo.len() as u64);
+            }
+            let batch: Vec<(usize, T)> = todo.iter().map(|&i| (i, items[i].clone())).collect();
+            let mut next = Vec::new();
+            for (i, result) in run_contained(batch, &f, self.threads) {
+                match result {
+                    Some(timed) => {
+                        if panicked[i] {
+                            metrics.incr(counters::FAULTS_RECOVERED_TASK_PANIC, 1);
+                        }
+                        out[i] = Some(timed);
+                    }
+                    None => {
+                        panicked[i] = true;
+                        next.push(i);
+                    }
+                }
+            }
+            todo = next;
+        }
+        if let Some(&i) = todo.first() {
+            return Err(Error::TaskFailed {
+                task: format!("pool task {i}"),
+                attempts: max_attempts,
+            });
+        }
+        collect_ordered(out, 1)
+    }
 }
 
 /// Free-function core of [`WorkerPool::run`].
-pub fn measured_run<T, R, F>(items: Vec<T>, f: &F, threads: usize) -> Vec<(R, Duration)>
+///
+/// # Errors
+/// [`Error::TaskFailed`] identifying the lowest-indexed item whose
+/// closure panicked.
+pub fn measured_run<T, R, F>(items: Vec<T>, f: &F, threads: usize) -> Result<Vec<(R, Duration)>>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let results = run_contained(items.into_iter().enumerate().collect(), f, threads);
+    let mut out = Vec::with_capacity(results.len());
+    for (i, result) in results {
+        match result {
+            Some(timed) => out.push(Some(timed)),
+            None => {
+                return Err(Error::TaskFailed {
+                    task: format!("pool task {i}"),
+                    attempts: 1,
+                })
+            }
+        }
+    }
+    collect_ordered(out, 1)
+}
+
+/// Turn the per-index option slots into the final vector, reporting the
+/// lowest unprocessed index as a typed failure (unreachable in practice
+/// — every slot is filled or the caller bailed earlier).
+fn collect_ordered<R>(
+    slots: Vec<Option<(R, Duration)>>,
+    attempts: usize,
+) -> Result<Vec<(R, Duration)>> {
+    let mut out = Vec::with_capacity(slots.len());
+    for (i, slot) in slots.into_iter().enumerate() {
+        match slot {
+            Some(timed) => out.push(timed),
+            None => {
+                return Err(Error::TaskFailed {
+                    task: format!("pool task {i}"),
+                    attempts,
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Run every `(id, item)` pair through `f` with per-item panic
+/// containment. Returns, in input order, each id with `Some(output,
+/// elapsed)` on success or `None` if the closure panicked.
+fn run_contained<T, R, F>(
+    items: Vec<(usize, T)>,
+    f: &F,
+    threads: usize,
+) -> Vec<(usize, Option<(R, Duration)>)>
 where
     T: Send,
     R: Send,
@@ -83,41 +227,51 @@ where
         return Vec::new();
     }
     let threads = threads.max(1).min(n);
+    let ids: Vec<usize> = items.iter().map(|(i, _)| *i).collect();
     // Move items into option slots so workers can take them by index.
-    let slots: Vec<parking_lot::Mutex<Option<T>>> =
-        items.into_iter().map(|t| parking_lot::Mutex::new(Some(t))).collect();
+    let slots: Vec<parking_lot::Mutex<Option<T>>> = items
+        .into_iter()
+        .map(|(_, t)| parking_lot::Mutex::new(Some(t)))
+        .collect();
     let results: Vec<parking_lot::Mutex<Option<(R, Duration)>>> =
         (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
     let cursor = AtomicUsize::new(0);
 
-    if threads == 1 {
-        for i in 0..n {
-            let item = slots[i].lock().take().expect("item present");
-            let start = Instant::now();
-            let out = f(item);
+    let work = |i: usize| {
+        let Some(item) = slots[i].lock().take() else {
+            return;
+        };
+        let start = Instant::now();
+        // Containment: a panic fells this task, not the pool. The hook
+        // still prints the payload; tests that expect panics silence it.
+        if let Ok(out) = catch_unwind(AssertUnwindSafe(|| f(item))) {
             *results[i].lock() = Some((out, start.elapsed()));
         }
+    };
+
+    if threads == 1 {
+        for i in 0..n {
+            work(i);
+        }
     } else {
-        crossbeam::thread::scope(|scope| {
+        // Worker closures contain every panic, so the scope join cannot
+        // fail; if it somehow does, the affected slots simply stay empty
+        // and surface as task failures.
+        let _ = crossbeam::thread::scope(|scope| {
             for _ in 0..threads {
                 scope.spawn(|_| loop {
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                     if i >= n {
                         break;
                     }
-                    let item = slots[i].lock().take().expect("item taken once");
-                    let start = Instant::now();
-                    let out = f(item);
-                    *results[i].lock() = Some((out, start.elapsed()));
+                    work(i);
                 });
             }
-        })
-        .expect("worker pool scope panicked");
+        });
     }
 
-    results
-        .into_iter()
-        .map(|m| m.into_inner().expect("every item processed"))
+    ids.into_iter()
+        .zip(results.into_iter().map(|m| m.into_inner()))
         .collect()
 }
 
@@ -125,11 +279,21 @@ where
 mod tests {
     use super::*;
 
+    /// Run `f` with the default panic hook silenced, so intentional task
+    /// panics don't spray backtraces over the test output.
+    fn quiet_panics<R>(f: impl FnOnce() -> R) -> R {
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = f();
+        std::panic::set_hook(hook);
+        out
+    }
+
     #[test]
     fn outputs_preserve_input_order() {
         let pool = WorkerPool::new(4);
         let items: Vec<usize> = (0..100).collect();
-        let out = pool.run(items, |x| x * 2);
+        let out = pool.run(items, |x| x * 2).unwrap();
         for (i, (v, _)) in out.iter().enumerate() {
             assert_eq!(*v, i * 2);
         }
@@ -138,10 +302,12 @@ mod tests {
     #[test]
     fn timings_are_recorded() {
         let pool = WorkerPool::new(2);
-        let out = pool.run(vec![10u64, 20], |ms| {
-            std::thread::sleep(Duration::from_millis(ms));
-            ms
-        });
+        let out = pool
+            .run(vec![10u64, 20], |ms| {
+                std::thread::sleep(Duration::from_millis(ms));
+                ms
+            })
+            .unwrap();
         assert!(out[0].1 >= Duration::from_millis(9));
         assert!(out[1].1 >= Duration::from_millis(19));
     }
@@ -149,15 +315,18 @@ mod tests {
     #[test]
     fn empty_input_is_fine() {
         let pool = WorkerPool::default();
-        let out: Vec<(u32, Duration)> = pool.run(Vec::<u32>::new(), |x| x);
+        let out: Vec<(u32, Duration)> = pool.run(Vec::<u32>::new(), |x| x).unwrap();
         assert!(out.is_empty());
     }
 
     #[test]
     fn single_thread_path_works() {
         let pool = WorkerPool::new(1);
-        let out = pool.run(vec![1, 2, 3], |x| x + 1);
-        assert_eq!(out.iter().map(|(v, _)| *v).collect::<Vec<_>>(), vec![2, 3, 4]);
+        let out = pool.run(vec![1, 2, 3], |x| x + 1).unwrap();
+        assert_eq!(
+            out.iter().map(|(v, _)| *v).collect::<Vec<_>>(),
+            vec![2, 3, 4]
+        );
     }
 
     #[test]
@@ -165,8 +334,103 @@ mod tests {
         // 8 × 30ms of sleep on 8 threads should finish well under 240ms.
         let pool = WorkerPool::new(8);
         let start = Instant::now();
-        pool.run(vec![30u64; 8], |ms| std::thread::sleep(Duration::from_millis(ms)));
-        assert!(start.elapsed() < Duration::from_millis(200), "{:?}", start.elapsed());
+        pool.run(vec![30u64; 8], |ms| {
+            std::thread::sleep(Duration::from_millis(ms))
+        })
+        .unwrap();
+        assert!(
+            start.elapsed() < Duration::from_millis(200),
+            "{:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn panic_is_a_typed_error_not_an_abort() {
+        quiet_panics(|| {
+            let pool = WorkerPool::new(4);
+            let items: Vec<usize> = (0..16).collect();
+            match pool.run(items, |x| {
+                if x == 5 || x == 11 {
+                    panic!("boom {x}")
+                } else {
+                    x
+                }
+            }) {
+                Err(Error::TaskFailed { task, attempts }) => {
+                    assert_eq!(task, "pool task 5", "lowest failing index reported");
+                    assert_eq!(attempts, 1);
+                }
+                other => panic!("expected TaskFailed, got {:?}", other.map(|v| v.len())),
+            }
+        });
+    }
+
+    #[test]
+    fn single_thread_panic_is_contained_too() {
+        quiet_panics(|| {
+            let pool = WorkerPool::new(1);
+            let err = pool
+                .run(vec![0, 1], |x| if x == 1 { panic!("one") } else { x })
+                .unwrap_err();
+            assert!(matches!(err, Error::TaskFailed { .. }), "{err}");
+        });
+    }
+
+    #[test]
+    fn retrying_recovers_a_flaky_task() {
+        quiet_panics(|| {
+            let pool = WorkerPool::new(4);
+            let sink = MetricsSink::recording();
+            let flaky_runs = AtomicUsize::new(0);
+            // Item 3 panics on its first attempt only.
+            let out = pool
+                .run_retrying(
+                    (0..8).collect::<Vec<usize>>(),
+                    |x| {
+                        if x == 3 && flaky_runs.fetch_add(1, Ordering::SeqCst) == 0 {
+                            panic!("transient fault");
+                        }
+                        x * 10
+                    },
+                    3,
+                    &sink,
+                )
+                .unwrap();
+            assert_eq!(
+                out.iter().map(|(v, _)| *v).collect::<Vec<_>>(),
+                vec![0, 10, 20, 30, 40, 50, 60, 70]
+            );
+            let report = sink.finish(smda_obs::RunManifest::new("t", "p"));
+            assert_eq!(report.counter(counters::TASKS_RETRIED), Some(1));
+            assert_eq!(
+                report.counter(counters::FAULTS_RECOVERED_TASK_PANIC),
+                Some(1)
+            );
+        });
+    }
+
+    #[test]
+    fn retry_exhaustion_names_the_task() {
+        quiet_panics(|| {
+            let pool = WorkerPool::new(2);
+            let sink = MetricsSink::disabled();
+            let err = pool
+                .run_retrying(
+                    vec![0usize, 1, 2],
+                    |x| if x == 2 { panic!("always") } else { x },
+                    3,
+                    &sink,
+                )
+                .unwrap_err();
+            match err {
+                Error::TaskFailed { task, attempts } => {
+                    assert_eq!(task, "pool task 2");
+                    assert_eq!(attempts, 3);
+                }
+                other => panic!("expected TaskFailed, got {other:?}"),
+            }
+        });
     }
 
     #[test]

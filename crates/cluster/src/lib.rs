@@ -11,7 +11,10 @@
 //! * I/O, network and startup costs come from an explicit cost model
 //!   ([`cost`]);
 //! * a deterministic list scheduler ([`scheduler`]) combines the three
-//!   into per-phase virtual makespans on the configured topology.
+//!   into per-phase virtual makespans on the configured topology;
+//! * a seeded fault-injection plan ([`faults`]) drives node crashes,
+//!   stragglers, replica losses and task failures through all of the
+//!   above, exercising retry, speculation and re-replication.
 //!
 //! The Hive- and Spark-like engines (`smda-hive`, `smda-spark`) build
 //! their jobs on these primitives.
@@ -19,11 +22,13 @@
 pub mod cost;
 pub mod dfs;
 pub mod exec;
+pub mod faults;
 pub mod scheduler;
 pub mod textdata;
 
 pub use cost::CostModel;
 pub use dfs::{DfsConfig, DfsFile, InputSplit, SimDfs};
 pub use exec::{measured_run, WorkerPool};
+pub use faults::{FaultPlan, NodeCrash, SlowNode};
 pub use scheduler::{ClusterTopology, PhaseResult, SimTask, VirtualScheduler};
 pub use textdata::{parse_consumer, parse_reading, ReadingRow, TextSplit, TextTable};

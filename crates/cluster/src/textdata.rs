@@ -8,7 +8,8 @@
 
 use std::sync::Arc;
 
-use smda_types::{ConsumerId, DataFormat, Dataset, Error, Result};
+use smda_obs::{counters, MetricsSink};
+use smda_types::{ConsumerId, DataFormat, Dataset, DirtyDataPolicy, Error, Result, HOURS_PER_YEAR};
 
 use crate::dfs::SimDfs;
 
@@ -28,11 +29,58 @@ pub struct ReadingRow {
 /// Parse a `consumer,hour,temp,kwh` line (the engines' map-side cost).
 pub fn parse_reading(line: &str) -> Result<ReadingRow> {
     let mut it = line.split(',');
-    let consumer = next_field(&mut it, line)?.parse::<u32>().map_err(bad(line))?;
-    let hour = next_field(&mut it, line)?.parse::<u32>().map_err(bad(line))?;
-    let temperature = next_field(&mut it, line)?.parse::<f64>().map_err(bad(line))?;
-    let kwh = next_field(&mut it, line)?.parse::<f64>().map_err(bad(line))?;
-    Ok(ReadingRow { consumer: ConsumerId(consumer), hour, temperature, kwh })
+    let consumer = next_field(&mut it, line)?
+        .parse::<u32>()
+        .map_err(bad(line))?;
+    let hour = next_field(&mut it, line)?
+        .parse::<u32>()
+        .map_err(bad(line))?;
+    let temperature = next_field(&mut it, line)?
+        .parse::<f64>()
+        .map_err(bad(line))?;
+    let kwh = next_field(&mut it, line)?
+        .parse::<f64>()
+        .map_err(bad(line))?;
+    Ok(ReadingRow {
+        consumer: ConsumerId(consumer),
+        hour,
+        temperature,
+        kwh,
+    })
+}
+
+/// Parse a reading line under a dirty-data policy. `Ok(Some)` for a
+/// clean row; a malformed or out-of-range line either fails the load
+/// (fail-fast, the default) or is dropped as `Ok(None)` with
+/// [`counters::ROWS_SKIPPED_DIRTY`] bumped (skip-and-count). Dirtiness
+/// covers unparsable text, non-finite values, and hours past the year.
+pub fn parse_reading_policed(
+    line: &str,
+    policy: DirtyDataPolicy,
+    metrics: &MetricsSink,
+) -> Result<Option<ReadingRow>> {
+    match parse_reading(line).and_then(validate_row) {
+        Ok(row) => Ok(Some(row)),
+        Err(_) if policy.skips() => {
+            metrics.incr(counters::ROWS_SKIPPED_DIRTY, 1);
+            Ok(None)
+        }
+        Err(e) => Err(e),
+    }
+}
+
+fn validate_row(row: ReadingRow) -> Result<ReadingRow> {
+    if !row.kwh.is_finite() || !row.temperature.is_finite() {
+        return Err(Error::parse("reading line", None, "non-finite value"));
+    }
+    if row.hour as usize >= HOURS_PER_YEAR {
+        return Err(Error::parse(
+            "reading line",
+            None,
+            format!("hour {} beyond the benchmark year", row.hour),
+        ));
+    }
+    Ok(row)
 }
 
 /// Parse a Format-2 `consumer,kwh0,...,kwh8759` line.
@@ -50,13 +98,21 @@ pub fn parse_consumer(line: &str) -> Result<(ConsumerId, Vec<f64>)> {
 
 fn next_field<'a>(it: &mut impl Iterator<Item = &'a str>, line: &str) -> Result<&'a str> {
     it.next().ok_or_else(|| {
-        Error::parse("reading line", None, format!("too few fields in `{}`", truncate_line(line)))
+        Error::parse(
+            "reading line",
+            None,
+            format!("too few fields in `{}`", truncate_line(line)),
+        )
     })
 }
 
 fn bad<E>(line: &str) -> impl FnOnce(E) -> Error + '_ {
     move |_| {
-        Error::parse("text line", None, format!("unparsable number in `{}`", truncate_line(line)))
+        Error::parse(
+            "text line",
+            None,
+            format!("unparsable number in `{}`", truncate_line(line)),
+        )
     }
 }
 
@@ -128,7 +184,9 @@ impl TextTable {
     ) -> Result<Self> {
         let name = name.into();
         if ds.is_empty() {
-            return Err(Error::Invalid("cannot build a text table from an empty dataset".into()));
+            return Err(Error::Invalid(
+                "cannot build a text table from an empty dataset".into(),
+            ));
         }
         let temperature = Arc::new(ds.temperature().values().to_vec());
         let block = dfs.config().block_bytes;
@@ -145,21 +203,22 @@ impl TextTable {
                     }
                 }
                 total_bytes = line_bytes(&lines);
+                // Attach hosts straight from the returned placement.
                 let file = dfs.ingest(&name, total_bytes, true)?;
                 splits = cut_line_splits(lines, file.blocks.len(), block);
-                // Attach hosts from the DFS placement.
-                let file = dfs.file(&name).expect("just ingested");
                 for (s, b) in splits.iter_mut().zip(&file.blocks) {
                     s.hosts = b.replicas.clone();
                 }
             }
             DataFormat::ConsumerPerLine => {
-                let lines: Vec<String> =
-                    ds.consumers().iter().map(|c| consumer_line(c.id.raw(), c.readings())).collect();
+                let lines: Vec<String> = ds
+                    .consumers()
+                    .iter()
+                    .map(|c| consumer_line(c.id.raw(), c.readings()))
+                    .collect();
                 total_bytes = line_bytes(&lines);
                 let file = dfs.ingest(&name, total_bytes, true)?;
                 splits = cut_line_splits(lines, file.blocks.len(), block);
-                let file = dfs.file(&name).expect("just ingested");
                 for (s, b) in splits.iter_mut().zip(&file.blocks) {
                     s.hosts = b.replicas.clone();
                 }
@@ -180,8 +239,7 @@ impl TextTable {
                     let bytes = line_bytes(&lines);
                     total_bytes += bytes;
                     let file_name = format!("{name}/part-{fi:05}");
-                    dfs.ingest(&file_name, bytes, false)?;
-                    let file = dfs.file(&file_name).expect("just ingested");
+                    let file = dfs.ingest(&file_name, bytes, false)?;
                     splits.push(TextSplit {
                         lines: Arc::new(lines),
                         bytes,
@@ -191,12 +249,45 @@ impl TextTable {
             }
         }
 
-        Ok(TextTable { name, format, splits, temperature, total_bytes })
+        Ok(TextTable {
+            name,
+            format,
+            splits,
+            temperature,
+            total_bytes,
+        })
     }
 
     /// Number of map input splits.
     pub fn split_count(&self) -> usize {
         self.splits.len()
+    }
+
+    /// Re-read every split's host list from the DFS — after replica
+    /// losses or node failures, so the scheduler plans against real
+    /// placement instead of stale locality.
+    ///
+    /// # Errors
+    /// [`Error::BlockUnavailable`] when a split's block lost every
+    /// replica: the table is unreadable and the job must fail with a
+    /// diagnostic instead of a fictitious makespan.
+    pub fn refresh_hosts(&mut self, dfs: &SimDfs) -> Result<()> {
+        match self.format {
+            DataFormat::ManyFiles { .. } => {
+                for (fi, split) in self.splits.iter_mut().enumerate() {
+                    let file_name = format!("{}/part-{fi:05}", self.name);
+                    let placed = dfs.splits(std::slice::from_ref(&file_name))?;
+                    split.hosts = placed[0].hosts.clone();
+                }
+            }
+            _ => {
+                let placed = dfs.splits(std::slice::from_ref(&self.name))?;
+                for (split, p) in self.splits.iter_mut().zip(placed) {
+                    split.hosts = p.hosts;
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -220,7 +311,11 @@ fn cut_line_splits(lines: Vec<String>, parts: usize, block: u64) -> Vec<TextSpli
         current_bytes += lb;
     }
     if !current.is_empty() {
-        splits.push(TextSplit { lines: Arc::new(current), bytes: current_bytes, hosts: Vec::new() });
+        splits.push(TextSplit {
+            lines: Arc::new(current),
+            bytes: current_bytes,
+            hosts: Vec::new(),
+        });
     }
     splits
 }
@@ -232,15 +327,16 @@ mod tests {
     use smda_types::{ConsumerId, ConsumerSeries, TemperatureSeries, HOURS_PER_YEAR};
 
     fn tiny(n: u32) -> Dataset {
-        let temp = TemperatureSeries::new(
-            (0..HOURS_PER_YEAR).map(|h| (h % 30) as f64 - 5.0).collect(),
-        )
-        .unwrap();
+        let temp =
+            TemperatureSeries::new((0..HOURS_PER_YEAR).map(|h| (h % 30) as f64 - 5.0).collect())
+                .unwrap();
         let consumers = (0..n)
             .map(|i| {
                 ConsumerSeries::new(
                     ConsumerId(i),
-                    (0..HOURS_PER_YEAR).map(|h| 0.5 + (h % 24) as f64 * 0.02).collect(),
+                    (0..HOURS_PER_YEAR)
+                        .map(|h| 0.5 + (h % 24) as f64 * 0.02)
+                        .collect(),
                 )
                 .unwrap()
             })
@@ -249,7 +345,11 @@ mod tests {
     }
 
     fn dfs() -> SimDfs {
-        SimDfs::new(DfsConfig { block_bytes: 256 * 1024, replication: 3, nodes: 8 })
+        SimDfs::new(DfsConfig {
+            block_bytes: 256 * 1024,
+            replication: 3,
+            nodes: 8,
+        })
     }
 
     #[test]
@@ -259,7 +359,10 @@ mod tests {
         let t = TextTable::build("f1", &ds, DataFormat::ReadingPerLine, &mut d).unwrap();
         let total_lines: usize = t.splits.iter().map(|s| s.lines.len()).sum();
         assert_eq!(total_lines, 2 * HOURS_PER_YEAR);
-        assert!(t.split_count() > 1, "2 consumers of readings exceed one 256 KiB block");
+        assert!(
+            t.split_count() > 1,
+            "2 consumers of readings exceed one 256 KiB block"
+        );
         for s in &t.splits {
             assert!(!s.hosts.is_empty());
         }
@@ -278,13 +381,15 @@ mod tests {
     fn format3_one_split_per_file() {
         let ds = tiny(4);
         let mut d = dfs();
-        let t =
-            TextTable::build("f3", &ds, DataFormat::ManyFiles { files: 2 }, &mut d).unwrap();
+        let t = TextTable::build("f3", &ds, DataFormat::ManyFiles { files: 2 }, &mut d).unwrap();
         assert_eq!(t.split_count(), 2);
         // Households never split across files: each split's consumer set
         // is disjoint.
         let consumers_of = |s: &TextSplit| -> std::collections::HashSet<String> {
-            s.lines.iter().map(|l| l.split(',').next().unwrap().to_string()).collect()
+            s.lines
+                .iter()
+                .map(|l| l.split(',').next().unwrap().to_string())
+                .collect()
         };
         let a = consumers_of(&t.splits[0]);
         let b = consumers_of(&t.splits[1]);

@@ -38,7 +38,11 @@ pub struct GeneratorConfig {
 
 impl Default for GeneratorConfig {
     fn default() -> Self {
-        GeneratorConfig { clusters: 12, noise_sigma: 0.1, seed: 2015 }
+        GeneratorConfig {
+            clusters: 12,
+            noise_sigma: 0.1,
+            seed: 2015,
+        }
     }
 }
 
@@ -99,14 +103,18 @@ impl DataGenerator {
             return Err(Error::Invalid("seed dataset is empty".into()));
         }
         if config.clusters == 0 {
-            return Err(Error::Invalid("generator needs at least one cluster".into()));
+            return Err(Error::Invalid(
+                "generator needs at least one cluster".into(),
+            ));
         }
         let temperature = seed_data.temperature();
         let mut profiles: Vec<Vec<f64>> = Vec::with_capacity(seed_data.len());
         let mut thermals: Vec<ThermalResponse> = Vec::with_capacity(seed_data.len());
         for c in seed_data.consumers() {
             let par = fit_par(c, temperature);
-            let Some(tl) = fit_three_line(c, temperature) else { continue };
+            let Some(tl) = fit_three_line(c, temperature) else {
+                continue;
+            };
             profiles.push(par.profile.to_vec());
             thermals.push(ThermalResponse {
                 heating_gradient: tl.heating_gradient().min(0.0),
@@ -122,7 +130,11 @@ impl DataGenerator {
         }
         let km = KMeans::fit(
             &profiles,
-            KMeansConfig { k: config.clusters, seed: config.seed, ..Default::default() },
+            KMeansConfig {
+                k: config.clusters,
+                seed: config.seed,
+                ..Default::default()
+            },
         )
         .expect("profiles verified non-empty and uniform 24-dimensional");
         let mut clusters: Vec<ProfileCluster> = km
@@ -131,7 +143,10 @@ impl DataGenerator {
             .map(|c| {
                 let mut centroid = [0.0; HOURS_PER_DAY];
                 centroid.copy_from_slice(c);
-                ProfileCluster { centroid, members: Vec::new() }
+                ProfileCluster {
+                    centroid,
+                    members: Vec::new(),
+                }
             })
             .collect();
         for (i, &a) in km.assignments.iter().enumerate() {
@@ -157,9 +172,17 @@ impl DataGenerator {
         first_id: u32,
     ) -> Result<Dataset> {
         let mut picker = Picker::new(self.config.seed.wrapping_mul(0x9E37_79B9));
-        let mut noise = GaussianNoise::new(0.0, self.config.noise_sigma, self.config.seed ^ 0x5bd1e995);
+        let mut noise =
+            GaussianNoise::new(0.0, self.config.noise_sigma, self.config.seed ^ 0x5bd1e995);
         let consumers: Vec<ConsumerSeries> = (0..n)
-            .map(|i| self.generate_series(ConsumerId(first_id + i as u32), temperature, &mut picker, &mut noise))
+            .map(|i| {
+                self.generate_series(
+                    ConsumerId(first_id + i as u32),
+                    temperature,
+                    &mut picker,
+                    &mut noise,
+                )
+            })
             .collect::<Result<_>>()?;
         Dataset::new(consumers, temperature.clone())
     }
@@ -195,7 +218,12 @@ mod tests {
     use super::*;
 
     fn seed_dataset(n: usize) -> Dataset {
-        generate_seed(&SeedConfig { consumers: n, seed: 7, ..Default::default() }).unwrap()
+        generate_seed(&SeedConfig {
+            consumers: n,
+            seed: 7,
+            ..Default::default()
+        })
+        .unwrap()
     }
 
     #[test]
@@ -203,7 +231,11 @@ mod tests {
         let seed = seed_dataset(12);
         let gen = DataGenerator::train(
             &seed,
-            GeneratorConfig { clusters: 3, noise_sigma: 0.05, seed: 1 },
+            GeneratorConfig {
+                clusters: 3,
+                noise_sigma: 0.05,
+                seed: 1,
+            },
         )
         .unwrap();
         assert!(!gen.clusters().is_empty());
@@ -218,9 +250,19 @@ mod tests {
     #[test]
     fn generated_data_is_deterministic_per_seed() {
         let seed = seed_dataset(8);
-        let cfg = GeneratorConfig { clusters: 2, noise_sigma: 0.1, seed: 9 };
-        let a = DataGenerator::train(&seed, cfg).unwrap().generate(5, seed.temperature(), 0).unwrap();
-        let b = DataGenerator::train(&seed, cfg).unwrap().generate(5, seed.temperature(), 0).unwrap();
+        let cfg = GeneratorConfig {
+            clusters: 2,
+            noise_sigma: 0.1,
+            seed: 9,
+        };
+        let a = DataGenerator::train(&seed, cfg)
+            .unwrap()
+            .generate(5, seed.temperature(), 0)
+            .unwrap();
+        let b = DataGenerator::train(&seed, cfg)
+            .unwrap()
+            .generate(5, seed.temperature(), 0)
+            .unwrap();
         for (x, y) in a.consumers().iter().zip(b.consumers()) {
             assert_eq!(x.readings(), y.readings());
         }
@@ -231,7 +273,11 @@ mod tests {
         let seed = seed_dataset(10);
         let gen = DataGenerator::train(
             &seed,
-            GeneratorConfig { clusters: 2, noise_sigma: 0.0, seed: 3 },
+            GeneratorConfig {
+                clusters: 2,
+                noise_sigma: 0.0,
+                seed: 3,
+            },
         )
         .unwrap();
         let out = gen.generate(10, seed.temperature(), 0).unwrap();
@@ -283,7 +329,10 @@ mod tests {
     #[test]
     fn rejects_zero_clusters() {
         let seed = seed_dataset(4);
-        let cfg = GeneratorConfig { clusters: 0, ..Default::default() };
+        let cfg = GeneratorConfig {
+            clusters: 0,
+            ..Default::default()
+        };
         assert!(DataGenerator::train(&seed, cfg).is_err());
     }
 

@@ -109,8 +109,20 @@ pub fn archetypes() -> Vec<Archetype> {
     vec![
         Archetype {
             name: "early-bird family",
-            weekday: shape([(0, 24, 0.25), (5, 8, 1.6), (8, 16, 0.45), (16, 21, 1.3), (21, 24, 0.5)]),
-            weekend: shape([(0, 24, 0.35), (7, 11, 1.4), (11, 17, 0.9), (17, 22, 1.5), (22, 24, 0.5)]),
+            weekday: shape([
+                (0, 24, 0.25),
+                (5, 8, 1.6),
+                (8, 16, 0.45),
+                (16, 21, 1.3),
+                (21, 24, 0.5),
+            ]),
+            weekend: shape([
+                (0, 24, 0.35),
+                (7, 11, 1.4),
+                (11, 17, 0.9),
+                (17, 22, 1.5),
+                (22, 24, 0.5),
+            ]),
             base_load: 0.25,
             heating_per_degree: 0.10,
             cooling_per_degree: 0.14,
@@ -119,8 +131,20 @@ pub fn archetypes() -> Vec<Archetype> {
         },
         Archetype {
             name: "nine-to-five commuter",
-            weekday: shape([(0, 24, 0.2), (6, 9, 1.2), (9, 17, 0.25), (17, 23, 1.6), (23, 24, 0.4)]),
-            weekend: shape([(0, 24, 0.3), (9, 13, 1.2), (13, 18, 0.8), (18, 23, 1.4), (23, 24, 0.4)]),
+            weekday: shape([
+                (0, 24, 0.2),
+                (6, 9, 1.2),
+                (9, 17, 0.25),
+                (17, 23, 1.6),
+                (23, 24, 0.4),
+            ]),
+            weekend: shape([
+                (0, 24, 0.3),
+                (9, 13, 1.2),
+                (13, 18, 0.8),
+                (18, 23, 1.4),
+                (23, 24, 0.4),
+            ]),
             base_load: 0.2,
             heating_per_degree: 0.07,
             cooling_per_degree: 0.10,
@@ -129,8 +153,20 @@ pub fn archetypes() -> Vec<Archetype> {
         },
         Archetype {
             name: "night owl",
-            weekday: shape([(0, 3, 1.3), (3, 11, 0.3), (11, 18, 0.6), (18, 24, 1.1), (0, 1, 1.4)]),
-            weekend: shape([(0, 4, 1.5), (4, 12, 0.3), (12, 19, 0.7), (19, 24, 1.2), (0, 1, 1.5)]),
+            weekday: shape([
+                (0, 3, 1.3),
+                (3, 11, 0.3),
+                (11, 18, 0.6),
+                (18, 24, 1.1),
+                (0, 1, 1.4),
+            ]),
+            weekend: shape([
+                (0, 4, 1.5),
+                (4, 12, 0.3),
+                (12, 19, 0.7),
+                (19, 24, 1.2),
+                (0, 1, 1.5),
+            ]),
             base_load: 0.3,
             heating_per_degree: 0.06,
             cooling_per_degree: 0.12,
@@ -139,8 +175,20 @@ pub fn archetypes() -> Vec<Archetype> {
         },
         Archetype {
             name: "home all day",
-            weekday: shape([(0, 24, 0.4), (7, 22, 1.0), (12, 14, 1.3), (17, 20, 1.4), (22, 24, 0.5)]),
-            weekend: shape([(0, 24, 0.4), (8, 22, 1.0), (12, 14, 1.3), (17, 20, 1.4), (22, 24, 0.5)]),
+            weekday: shape([
+                (0, 24, 0.4),
+                (7, 22, 1.0),
+                (12, 14, 1.3),
+                (17, 20, 1.4),
+                (22, 24, 0.5),
+            ]),
+            weekend: shape([
+                (0, 24, 0.4),
+                (8, 22, 1.0),
+                (12, 14, 1.3),
+                (17, 20, 1.4),
+                (22, 24, 0.5),
+            ]),
             base_load: 0.35,
             heating_per_degree: 0.12,
             cooling_per_degree: 0.16,
@@ -149,8 +197,20 @@ pub fn archetypes() -> Vec<Archetype> {
         },
         Archetype {
             name: "frugal minimalist",
-            weekday: shape([(0, 24, 0.12), (7, 9, 0.5), (18, 22, 0.6), (22, 24, 0.2), (0, 6, 0.1)]),
-            weekend: shape([(0, 24, 0.15), (9, 12, 0.5), (18, 22, 0.55), (22, 24, 0.2), (0, 7, 0.1)]),
+            weekday: shape([
+                (0, 24, 0.12),
+                (7, 9, 0.5),
+                (18, 22, 0.6),
+                (22, 24, 0.2),
+                (0, 6, 0.1),
+            ]),
+            weekend: shape([
+                (0, 24, 0.15),
+                (9, 12, 0.5),
+                (18, 22, 0.55),
+                (22, 24, 0.2),
+                (0, 7, 0.1),
+            ]),
             base_load: 0.1,
             heating_per_degree: 0.03,
             cooling_per_degree: 0.02,
@@ -159,8 +219,20 @@ pub fn archetypes() -> Vec<Archetype> {
         },
         Archetype {
             name: "electric-heat rural",
-            weekday: shape([(0, 24, 0.3), (6, 9, 1.1), (16, 22, 1.3), (22, 24, 0.5), (9, 16, 0.5)]),
-            weekend: shape([(0, 24, 0.35), (8, 12, 1.1), (16, 22, 1.3), (22, 24, 0.5), (12, 16, 0.7)]),
+            weekday: shape([
+                (0, 24, 0.3),
+                (6, 9, 1.1),
+                (16, 22, 1.3),
+                (22, 24, 0.5),
+                (9, 16, 0.5),
+            ]),
+            weekend: shape([
+                (0, 24, 0.35),
+                (8, 12, 1.1),
+                (16, 22, 1.3),
+                (22, 24, 0.5),
+                (12, 16, 0.7),
+            ]),
             base_load: 0.4,
             heating_per_degree: 0.22,
             cooling_per_degree: 0.08,
@@ -185,7 +257,12 @@ pub struct SeedConfig {
 
 impl Default for SeedConfig {
     fn default() -> Self {
-        SeedConfig { consumers: 100, seed: 2014, weather: WeatherConfig::default(), noise_sigma: 0.08 }
+        SeedConfig {
+            consumers: 100,
+            seed: 2014,
+            weather: WeatherConfig::default(),
+            noise_sigma: 0.08,
+        }
     }
 }
 
@@ -235,7 +312,10 @@ mod tests {
         // January is colder than July on average.
         let jan: f64 = t.values()[..31 * 24].iter().sum::<f64>() / (31.0 * 24.0);
         let jul_start = 182 * 24;
-        let jul: f64 = t.values()[jul_start..jul_start + 31 * 24].iter().sum::<f64>() / (31.0 * 24.0);
+        let jul: f64 = t.values()[jul_start..jul_start + 31 * 24]
+            .iter()
+            .sum::<f64>()
+            / (31.0 * 24.0);
         assert!(jul > jan + 15.0, "jul {jul} vs jan {jan}");
         // Range plausible for southern Ontario.
         assert!(t.min() > -40.0 && t.min() < 0.0, "min {}", t.min());
@@ -258,7 +338,11 @@ mod tests {
 
     #[test]
     fn seed_dataset_has_heterogeneous_households() {
-        let ds = generate_seed(&SeedConfig { consumers: 30, ..Default::default() }).unwrap();
+        let ds = generate_seed(&SeedConfig {
+            consumers: 30,
+            ..Default::default()
+        })
+        .unwrap();
         assert_eq!(ds.len(), 30);
         let totals: Vec<f64> = ds.consumers().iter().map(|c| c.annual_total()).collect();
         let lo = totals.iter().cloned().fold(f64::INFINITY, f64::min);
@@ -273,7 +357,11 @@ mod tests {
 
     #[test]
     fn seed_is_deterministic() {
-        let cfg = SeedConfig { consumers: 5, seed: 11, ..Default::default() };
+        let cfg = SeedConfig {
+            consumers: 5,
+            seed: 11,
+            ..Default::default()
+        };
         let a = generate_seed(&cfg).unwrap();
         let b = generate_seed(&cfg).unwrap();
         for (x, y) in a.consumers().iter().zip(b.consumers()) {
@@ -284,7 +372,11 @@ mod tests {
 
     #[test]
     fn winter_consumption_exceeds_spring() {
-        let ds = generate_seed(&SeedConfig { consumers: 20, ..Default::default() }).unwrap();
+        let ds = generate_seed(&SeedConfig {
+            consumers: 20,
+            ..Default::default()
+        })
+        .unwrap();
         let mut winter = 0.0; // January
         let mut spring = 0.0; // May
         for c in ds.consumers() {
@@ -303,7 +395,10 @@ mod tests {
         // the opposite.
         let owl = arch.iter().find(|a| a.name == "night owl").unwrap();
         assert!(owl.weekday[0] > owl.weekday[9]);
-        let commuter = arch.iter().find(|a| a.name == "nine-to-five commuter").unwrap();
+        let commuter = arch
+            .iter()
+            .find(|a| a.name == "nine-to-five commuter")
+            .unwrap();
         assert!(commuter.weekday[7] > commuter.weekday[12]);
     }
 }

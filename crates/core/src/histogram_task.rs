@@ -28,7 +28,10 @@ impl ConsumerHistogram {
     pub fn build(series: &ConsumerSeries) -> Self {
         let histogram = EquiWidthHistogram::build(series.readings(), HISTOGRAM_BUCKETS)
             .expect("a ConsumerSeries always holds 8760 finite readings");
-        ConsumerHistogram { consumer: series.id, histogram }
+        ConsumerHistogram {
+            consumer: series.id,
+            histogram,
+        }
     }
 
     /// The fraction of the year spent in the modal bucket — a simple
@@ -45,7 +48,10 @@ impl ConsumerHistogram {
 /// Run task 1 over a whole dataset (the single-threaded reference
 /// implementation the platforms are validated against).
 pub fn consumer_histograms(ds: &Dataset) -> Vec<ConsumerHistogram> {
-    ds.consumers().iter().map(ConsumerHistogram::build).collect()
+    ds.consumers()
+        .iter()
+        .map(ConsumerHistogram::build)
+        .collect()
 }
 
 #[cfg(test)]
@@ -59,7 +65,9 @@ mod tests {
 
     #[test]
     fn histogram_covers_all_hours() {
-        let values: Vec<f64> = (0..HOURS_PER_YEAR).map(|h| (h % 100) as f64 / 10.0).collect();
+        let values: Vec<f64> = (0..HOURS_PER_YEAR)
+            .map(|h| (h % 100) as f64 / 10.0)
+            .collect();
         let h = ConsumerHistogram::build(&series(values));
         assert_eq!(h.histogram.total(), HOURS_PER_YEAR as u64);
         assert_eq!(h.histogram.counts.len(), HISTOGRAM_BUCKETS);
@@ -79,7 +87,9 @@ mod tests {
             .map(|i| {
                 ConsumerSeries::new(
                     ConsumerId(i),
-                    (0..HOURS_PER_YEAR).map(|h| ((h + i as usize) % 24) as f64 * 0.1).collect(),
+                    (0..HOURS_PER_YEAR)
+                        .map(|h| ((h + i as usize) % 24) as f64 * 0.1)
+                        .collect(),
                 )
                 .unwrap()
             })
@@ -87,14 +97,18 @@ mod tests {
         let ds = Dataset::new(consumers, temp).unwrap();
         let hs = consumer_histograms(&ds);
         assert_eq!(hs.len(), 4);
-        assert!(hs.iter().enumerate().all(|(i, h)| h.consumer == ConsumerId(i as u32)));
+        assert!(hs
+            .iter()
+            .enumerate()
+            .all(|(i, h)| h.consumer == ConsumerId(i as u32)));
     }
 
     #[test]
     fn bimodal_consumption_shows_two_occupied_extremes() {
         // Half the year at ~0.2 kWh, half at ~3.0 kWh.
-        let values: Vec<f64> =
-            (0..HOURS_PER_YEAR).map(|h| if h % 2 == 0 { 0.2 } else { 3.0 }).collect();
+        let values: Vec<f64> = (0..HOURS_PER_YEAR)
+            .map(|h| if h % 2 == 0 { 0.2 } else { 3.0 })
+            .collect();
         let h = ConsumerHistogram::build(&series(values));
         assert!(h.histogram.counts[0] > 0);
         assert!(h.histogram.counts[9] > 0);

@@ -93,8 +93,12 @@ impl ParModel {
 pub fn fit_par(series: &ConsumerSeries, temperature: &TemperatureSeries) -> ParModel {
     let readings = series.readings();
     let temps = temperature.values();
-    let mut hourly = [HourModel { intercept: 0.0, ar: [0.0; PAR_ORDER], temp_coef: 0.0, r2: 0.0 };
-        HOURS_PER_DAY];
+    let mut hourly = [HourModel {
+        intercept: 0.0,
+        ar: [0.0; PAR_ORDER],
+        temp_coef: 0.0,
+        r2: 0.0,
+    }; HOURS_PER_DAY];
     let mut profile = [0.0; HOURS_PER_DAY];
 
     let n_obs = DAYS_PER_YEAR - PAR_ORDER;
@@ -147,13 +151,20 @@ pub fn fit_par(series: &ConsumerSeries, temperature: &TemperatureSeries) -> ParM
             }
         }
     }
-    ParModel { consumer: series.id, hourly, profile }
+    ParModel {
+        consumer: series.id,
+        hourly,
+        profile,
+    }
 }
 
 /// Run task 3 over a whole dataset — the single-threaded reference
 /// implementation.
 pub fn par_profiles(ds: &Dataset) -> Vec<ParModel> {
-    ds.consumers().iter().map(|c| fit_par(c, ds.temperature())).collect()
+    ds.consumers()
+        .iter()
+        .map(|c| fit_par(c, ds.temperature()))
+        .collect()
 }
 
 #[cfg(test)]
@@ -211,7 +222,10 @@ mod tests {
         let max_reading = series.peak();
         for (h, &p) in model.profile.iter().enumerate() {
             assert!(p >= 0.0, "hour {h}: profile {p} negative");
-            assert!(p <= max_reading * 2.0, "hour {h}: profile {p} implausibly large");
+            assert!(
+                p <= max_reading * 2.0,
+                "hour {h}: profile {p} implausibly large"
+            );
         }
     }
 
@@ -252,7 +266,11 @@ mod tests {
         let temp = TemperatureSeries::new(temps).unwrap();
         let model = fit_par(&series, &temp);
         let lo = model.profile.iter().cloned().fold(f64::INFINITY, f64::min);
-        let hi = model.profile.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let hi = model
+            .profile
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
         assert!(hi - lo < 0.5, "profile spread {} should be small", hi - lo);
     }
 
@@ -262,7 +280,9 @@ mod tests {
         // (long-period, looks i.i.d.) so the lag-1 coefficient is
         // identifiable rather than absorbed by a periodic pattern.
         let temps = TemperatureSeries::new(
-            (0..HOURS_PER_YEAR).map(|h| ((h * 13) % 29) as f64 - 14.0).collect(),
+            (0..HOURS_PER_YEAR)
+                .map(|h| ((h * 13) % 29) as f64 - 14.0)
+                .collect(),
         )
         .unwrap();
         let hash_noise = |idx: usize| -> f64 {

@@ -7,8 +7,9 @@
 //! them with either linear interpolation (short gaps) or the
 //! hour-of-day historical mean (long gaps), the standard MDM practice.
 
+use smda_obs::{counters, MetricsSink};
 use smda_types::{
-    ConsumerId, ConsumerSeries, Reading, Result, HOURS_PER_DAY, HOURS_PER_YEAR,
+    ConsumerId, ConsumerSeries, DirtyDataPolicy, Reading, Result, HOURS_PER_DAY, HOURS_PER_YEAR,
 };
 
 /// How a missing reading was filled.
@@ -85,32 +86,34 @@ pub fn repair_year(
                 let length = h - start;
                 let before = start.checked_sub(1).and_then(|i| values[i]);
                 let after = values.get(h).copied().flatten();
-                let method = if length <= MAX_INTERPOLATED_GAP
-                    && before.is_some()
-                    && after.is_some()
-                {
-                    let a = before.expect("checked above");
-                    let b = after.expect("checked above");
-                    for (k, slot) in out[start..start + length].iter_mut().enumerate() {
-                        let t = (k + 1) as f64 / (length + 1) as f64;
-                        *slot = (a + (b - a) * t).max(0.0);
-                    }
-                    FillMethod::Interpolated
-                } else {
-                    for (k, slot) in out[start..start + length].iter_mut().enumerate() {
-                        let hour = start + k;
-                        let mean = hod_mean(hour).ok_or_else(|| {
-                            smda_types::Error::Schema(format!(
-                                "consumer {consumer}: no reading at hour-of-day {} anywhere \
+                let method =
+                    if length <= MAX_INTERPOLATED_GAP && before.is_some() && after.is_some() {
+                        let a = before.expect("checked above");
+                        let b = after.expect("checked above");
+                        for (k, slot) in out[start..start + length].iter_mut().enumerate() {
+                            let t = (k + 1) as f64 / (length + 1) as f64;
+                            *slot = (a + (b - a) * t).max(0.0);
+                        }
+                        FillMethod::Interpolated
+                    } else {
+                        for (k, slot) in out[start..start + length].iter_mut().enumerate() {
+                            let hour = start + k;
+                            let mean = hod_mean(hour).ok_or_else(|| {
+                                smda_types::Error::Schema(format!(
+                                    "consumer {consumer}: no reading at hour-of-day {} anywhere \
                                  in the year; cannot impute",
-                                hour % HOURS_PER_DAY
-                            ))
-                        })?;
-                        *slot = mean;
-                    }
-                    FillMethod::HourOfDayMean
-                };
-                reports.push(GapReport { start, length, method });
+                                    hour % HOURS_PER_DAY
+                                ))
+                            })?;
+                            *slot = mean;
+                        }
+                        FillMethod::HourOfDayMean
+                    };
+                reports.push(GapReport {
+                    start,
+                    length,
+                    method,
+                });
             }
         }
     }
@@ -120,6 +123,45 @@ pub fn repair_year(
 /// Fraction of the year that had to be imputed.
 pub fn imputed_fraction(reports: &[GapReport]) -> f64 {
     reports.iter().map(|g| g.length).sum::<usize>() as f64 / HOURS_PER_YEAR as f64
+}
+
+/// Whether a reading is usable at all: finite values and an hour inside
+/// the benchmark year. ([`repair_year`] handles *missing* hours; this is
+/// the preceding cut for *corrupt* ones.)
+fn is_clean(r: &Reading) -> bool {
+    r.kwh.is_finite() && r.temperature.is_finite() && (r.hour as usize) < HOURS_PER_YEAR
+}
+
+/// Drop corrupt readings under a dirty-data policy, before gap repair.
+///
+/// Fail-fast (the default) returns a typed parse error on the first
+/// corrupt reading; skip-and-count drops it and bumps
+/// [`counters::ROWS_SKIPPED_DIRTY`] on `metrics`. This is the in-memory
+/// twin of the engines' policed line parsers, for pipelines that start
+/// from already-decoded [`Reading`]s.
+pub fn scrub_readings(
+    raw: Vec<Reading>,
+    policy: DirtyDataPolicy,
+    metrics: &MetricsSink,
+) -> Result<Vec<Reading>> {
+    let mut clean = Vec::with_capacity(raw.len());
+    for r in raw {
+        if is_clean(&r) {
+            clean.push(r);
+        } else if policy.skips() {
+            metrics.incr(counters::ROWS_SKIPPED_DIRTY, 1);
+        } else {
+            return Err(smda_types::Error::parse(
+                "reading",
+                None,
+                format!(
+                    "consumer {} hour {}: non-finite value or hour beyond the year",
+                    r.consumer, r.hour
+                ),
+            ));
+        }
+    }
+    Ok(clean)
 }
 
 #[cfg(test)]
@@ -135,6 +177,30 @@ mod tests {
                 kwh: 1.0 + ((h % 24) as f64) * 0.1,
             })
             .collect()
+    }
+
+    #[test]
+    fn scrub_fails_fast_on_corrupt_readings_by_default() {
+        let mut raw = full_year(1);
+        raw[100].kwh = f64::NAN;
+        let err =
+            scrub_readings(raw, DirtyDataPolicy::default(), &MetricsSink::disabled()).unwrap_err();
+        assert!(err.to_string().contains("non-finite"), "{err}");
+    }
+
+    #[test]
+    fn scrub_skips_and_counts_under_policy() {
+        let mut raw = full_year(1);
+        raw[100].kwh = f64::INFINITY;
+        raw[200].temperature = f64::NAN;
+        raw[300].hour = HOURS_PER_YEAR as u32; // one past the year
+        let n = raw.len();
+        let sink = MetricsSink::recording();
+        let clean = scrub_readings(raw, DirtyDataPolicy::SkipAndCount, &sink).unwrap();
+        assert_eq!(clean.len(), n - 3);
+        assert!(clean.iter().all(is_clean));
+        let report = sink.finish(smda_obs::RunManifest::new("scrub", "test"));
+        assert_eq!(report.counter(counters::ROWS_SKIPPED_DIRTY), Some(3));
     }
 
     #[test]
@@ -160,7 +226,10 @@ mod tests {
         let b = series.readings()[103];
         for h in 100..103 {
             let v = series.readings()[h];
-            assert!(v >= a.min(b) - 1e-9 && v <= a.max(b) + 1e-9, "hour {h}: {v}");
+            assert!(
+                v >= a.min(b) - 1e-9 && v <= a.max(b) + 1e-9,
+                "hour {h}: {v}"
+            );
         }
     }
 
@@ -189,19 +258,37 @@ mod tests {
     #[test]
     fn duplicates_and_foreign_rows_are_tolerated() {
         let mut raw = full_year(4);
-        raw.push(Reading { consumer: ConsumerId(4), hour: 0, temperature: 5.0, kwh: 9.0 });
-        raw.push(Reading { consumer: ConsumerId(99), hour: 1, temperature: 5.0, kwh: 7.0 });
+        raw.push(Reading {
+            consumer: ConsumerId(4),
+            hour: 0,
+            temperature: 5.0,
+            kwh: 9.0,
+        });
+        raw.push(Reading {
+            consumer: ConsumerId(99),
+            hour: 1,
+            temperature: 5.0,
+            kwh: 7.0,
+        });
         let (series, reports) = repair_year(ConsumerId(4), &raw).unwrap();
         assert!(reports.is_empty());
         assert_eq!(series.readings()[0], 9.0, "last duplicate wins");
-        assert!((series.readings()[1] - 1.1).abs() < 1e-9, "foreign row ignored");
+        assert!(
+            (series.readings()[1] - 1.1).abs() < 1e-9,
+            "foreign row ignored"
+        );
     }
 
     #[test]
     fn unimputable_year_errors() {
         // Only one reading in the whole year: every other hour-of-day
         // slot is empty.
-        let raw = vec![Reading { consumer: ConsumerId(5), hour: 0, temperature: 0.0, kwh: 1.0 }];
+        let raw = vec![Reading {
+            consumer: ConsumerId(5),
+            hour: 0,
+            temperature: 0.0,
+            kwh: 1.0,
+        }];
         assert!(repair_year(ConsumerId(5), &raw).is_err());
     }
 

@@ -24,7 +24,11 @@ pub struct ConsumerMatches {
 /// implementation (the engines parallelize their own variants).
 pub fn similarity_search(ds: &Dataset, k: usize) -> Vec<ConsumerMatches> {
     let ids: Vec<ConsumerId> = ds.consumers().iter().map(|c| c.id).collect();
-    let series: Vec<Vec<f64>> = ds.consumers().iter().map(|c| c.readings().to_vec()).collect();
+    let series: Vec<Vec<f64>> = ds
+        .consumers()
+        .iter()
+        .map(|c| c.readings().to_vec())
+        .collect();
     let normalized = normalize_all(&series);
     (0..normalized.len())
         .map(|q| {
@@ -84,11 +88,8 @@ mod tests {
 
     #[test]
     fn similar_patterns_match_first() {
-        let ds = dataset_with_patterns(&[
-            (0, day_person),
-            (1, day_person_scaled),
-            (2, night_person),
-        ]);
+        let ds =
+            dataset_with_patterns(&[(0, day_person), (1, day_person_scaled), (2, night_person)]);
         let results = similarity_search(&ds, 2);
         // Consumer 0's best match is the scaled copy of itself (cosine is
         // scale-invariant), not the night owl.

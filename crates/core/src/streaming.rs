@@ -205,7 +205,10 @@ mod tests {
         // around a percent of readings — the residue is genuine seasonal
         // model bias (the 90th-percentile thermal slope vs the mean
         // response), which a production deployment would retrain away.
-        assert!(alerts < HOURS_PER_YEAR / 50, "{alerts} alerts on normal data");
+        assert!(
+            alerts < HOURS_PER_YEAR / 50,
+            "{alerts} alerts on normal data"
+        );
         assert_eq!(det.hours_seen(), HOURS_PER_YEAR);
     }
 
@@ -236,7 +239,11 @@ mod tests {
         let mut low = 0;
         for h in 0..HOURS_PER_YEAR {
             // Simulate a dead meter for day 300 during evening peak.
-            let v = if (7200..7224).contains(&h) { 0.0 } else { series.readings()[h] };
+            let v = if (7200..7224).contains(&h) {
+                0.0
+            } else {
+                series.readings()[h]
+            };
             if let Some(a) = det.observe(h, temps.at(h), v) {
                 if (7200..7224).contains(&a.hour) && a.kind == AlertKind::UnusuallyLow {
                     low += 1;

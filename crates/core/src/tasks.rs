@@ -25,7 +25,12 @@ pub enum Task {
 
 impl Task {
     /// All four tasks in the paper's presentation order.
-    pub const ALL: [Task; 4] = [Task::Histogram, Task::ThreeLine, Task::Par, Task::Similarity];
+    pub const ALL: [Task; 4] = [
+        Task::Histogram,
+        Task::ThreeLine,
+        Task::Par,
+        Task::Similarity,
+    ];
 
     /// The name used in the paper's figures.
     pub fn name(&self) -> &'static str {
@@ -207,7 +212,9 @@ mod tests {
 
     fn tiny() -> Dataset {
         let temp = TemperatureSeries::new(
-            (0..HOURS_PER_YEAR).map(|h| ((h % 40) as f64) - 10.0).collect(),
+            (0..HOURS_PER_YEAR)
+                .map(|h| ((h % 40) as f64) - 10.0)
+                .collect(),
         )
         .unwrap();
         let consumers = (0..3)

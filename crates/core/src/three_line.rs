@@ -101,8 +101,10 @@ impl PiecewiseFit {
 
     /// Largest gap between adjacent segments at their shared knot.
     pub fn max_discontinuity(&self) -> f64 {
-        let d0 = (self.segments[0].eval(self.knots[0]) - self.segments[1].eval(self.knots[0])).abs();
-        let d1 = (self.segments[1].eval(self.knots[1]) - self.segments[2].eval(self.knots[1])).abs();
+        let d0 =
+            (self.segments[0].eval(self.knots[0]) - self.segments[1].eval(self.knots[0])).abs();
+        let d1 =
+            (self.segments[1].eval(self.knots[1]) - self.segments[2].eval(self.knots[1])).abs();
         d0.max(d1)
     }
 }
@@ -141,7 +143,9 @@ impl ThreeLineModel {
             self.low.knots[1],
             self.low.segments[2].hi,
         ];
-        xs.iter().map(|&t| self.low.eval(t)).fold(f64::INFINITY, f64::min)
+        xs.iter()
+            .map(|&t| self.low.eval(t))
+            .fold(f64::INFINITY, f64::min)
     }
 }
 
@@ -201,9 +205,11 @@ pub fn percentile_points(
         }
         values.sort_by(|a, b| a.partial_cmp(b).expect("readings are finite"));
         low.temps.push(t as f64);
-        low.values.push(quantile_sorted(&values, config.low_percentile));
+        low.values
+            .push(quantile_sorted(&values, config.low_percentile));
         high.temps.push(t as f64);
-        high.values.push(quantile_sorted(&values, config.high_percentile));
+        high.values
+            .push(quantile_sorted(&values, config.high_percentile));
     }
     (low, high)
 }
@@ -283,7 +289,12 @@ fn free_fit(points: &PercentilePoints, config: &ThreeLineConfig) -> PiecewiseFit
         let (lo, hi) = (x[0], x[n - 1]);
         let k1 = lo + (hi - lo) / 3.0;
         let k2 = lo + 2.0 * (hi - lo) / 3.0;
-        let seg = |l: f64, h: f64| LineSegment { lo: l, hi: h, intercept: a, slope: b };
+        let seg = |l: f64, h: f64| LineSegment {
+            lo: l,
+            hi: h,
+            intercept: a,
+            slope: b,
+        };
         return PiecewiseFit {
             segments: [seg(lo, k1), seg(k1, k2), seg(k2, hi)],
             knots: [k1, k2],
@@ -312,9 +323,24 @@ fn free_fit(points: &PercentilePoints, config: &ThreeLineConfig) -> PiecewiseFit
     let k2 = (x[j - 1] + x[j]) / 2.0;
     PiecewiseFit {
         segments: [
-            LineSegment { lo: x[0], hi: k1, intercept: a1, slope: b1 },
-            LineSegment { lo: k1, hi: k2, intercept: a2, slope: b2 },
-            LineSegment { lo: k2, hi: x[n - 1], intercept: a3, slope: b3 },
+            LineSegment {
+                lo: x[0],
+                hi: k1,
+                intercept: a1,
+                slope: b1,
+            },
+            LineSegment {
+                lo: k1,
+                hi: k2,
+                intercept: a2,
+                slope: b2,
+            },
+            LineSegment {
+                lo: k2,
+                hi: x[n - 1],
+                intercept: a3,
+                slope: b3,
+            },
         ],
         knots: [k1, k2],
         sse,
@@ -354,7 +380,12 @@ fn adjust_continuity(
         return fit;
     };
     let (a, b, c, d) = (hinge.beta[0], hinge.beta[1], hinge.beta[2], hinge.beta[3]);
-    let seg1 = LineSegment { lo: fit.segments[0].lo, hi: k1, intercept: a, slope: b };
+    let seg1 = LineSegment {
+        lo: fit.segments[0].lo,
+        hi: k1,
+        intercept: a,
+        slope: b,
+    };
     let seg2 = LineSegment {
         lo: k1,
         hi: k2,
@@ -367,7 +398,12 @@ fn adjust_continuity(
         intercept: a - c * k1 - d * k2,
         slope: b + c + d,
     };
-    PiecewiseFit { segments: [seg1, seg2, seg3], knots: [k1, k2], sse: hinge.sse, adjusted: true }
+    PiecewiseFit {
+        segments: [seg1, seg2, seg3],
+        knots: [k1, k2],
+        sse: hinge.sse,
+        adjusted: true,
+    }
 }
 
 /// Fit the 3-line model for one consumer, reporting per-phase wall time.
@@ -398,7 +434,14 @@ pub fn fit_three_line_timed(
     let low = adjust_continuity(low_free, &low_pts, config);
     phases.t3 = t.elapsed();
 
-    Some((ThreeLineModel { consumer: series.id, high, low }, phases))
+    Some((
+        ThreeLineModel {
+            consumer: series.id,
+            high,
+            low,
+        },
+        phases,
+    ))
 }
 
 /// Fit the 3-line model for one consumer with default configuration.
@@ -433,7 +476,9 @@ mod tests {
     /// 10 °C with slope −0.2, flat base 1.0 kWh between 10 and 20 °C,
     /// cooling above 20 °C with slope +0.3.
     fn v_shaped() -> (ConsumerSeries, TemperatureSeries) {
-        let temps: Vec<f64> = (0..HOURS_PER_YEAR).map(|h| ((h % 51) as f64) - 15.0).collect();
+        let temps: Vec<f64> = (0..HOURS_PER_YEAR)
+            .map(|h| ((h % 51) as f64) - 15.0)
+            .collect();
         let kwh: Vec<f64> = temps
             .iter()
             .map(|&t| {
@@ -468,19 +513,34 @@ mod tests {
         );
         // Knots are discretized to midpoints between integer temperatures,
         // so the base estimate carries up to ~½°C × slope of error.
-        assert!((model.base_load() - 1.0).abs() < 0.15, "base {}", model.base_load());
+        assert!(
+            (model.base_load() - 1.0).abs() < 0.15,
+            "base {}",
+            model.base_load()
+        );
         // Knots near the true change points.
-        assert!((model.high.knots[0] - 10.0).abs() < 3.0, "k1 {}", model.high.knots[0]);
-        assert!((model.high.knots[1] - 20.0).abs() < 3.0, "k2 {}", model.high.knots[1]);
+        assert!(
+            (model.high.knots[0] - 10.0).abs() < 3.0,
+            "k1 {}",
+            model.high.knots[0]
+        );
+        assert!(
+            (model.high.knots[1] - 20.0).abs() < 3.0,
+            "k2 {}",
+            model.high.knots[1]
+        );
     }
 
     #[test]
     fn percentiles_split_high_and_low() {
         // Alternate a high-consumption and low-consumption regime at the
         // same temperature: the 90th percentile tracks the high regime.
-        let temps: Vec<f64> = (0..HOURS_PER_YEAR).map(|h| ((h / 200) % 30) as f64).collect();
-        let kwh: Vec<f64> =
-            (0..HOURS_PER_YEAR).map(|h| if h % 10 == 0 { 4.0 } else { 0.5 }).collect();
+        let temps: Vec<f64> = (0..HOURS_PER_YEAR)
+            .map(|h| ((h / 200) % 30) as f64)
+            .collect();
+        let kwh: Vec<f64> = (0..HOURS_PER_YEAR)
+            .map(|h| if h % 10 == 0 { 4.0 } else { 0.5 })
+            .collect();
         let series = ConsumerSeries::new(ConsumerId(1), kwh).unwrap();
         let temp = TemperatureSeries::new(temps).unwrap();
         let (low, high) = percentile_points(series.readings(), &temp, &ThreeLineConfig::default());
@@ -495,10 +555,20 @@ mod tests {
     fn adjusted_fit_is_continuous() {
         // A step function: free segments will disagree at the knots, so
         // T3 must produce a continuous model.
-        let temps: Vec<f64> = (0..HOURS_PER_YEAR).map(|h| ((h % 41) as f64) - 10.0).collect();
+        let temps: Vec<f64> = (0..HOURS_PER_YEAR)
+            .map(|h| ((h % 41) as f64) - 10.0)
+            .collect();
         let kwh: Vec<f64> = temps
             .iter()
-            .map(|&t| if t < 0.0 { 3.0 } else if t < 15.0 { 1.0 } else { 2.5 })
+            .map(|&t| {
+                if t < 0.0 {
+                    3.0
+                } else if t < 15.0 {
+                    1.0
+                } else {
+                    2.5
+                }
+            })
             .collect();
         let series = ConsumerSeries::new(ConsumerId(2), kwh).unwrap();
         let temp = TemperatureSeries::new(temps).unwrap();
@@ -562,9 +632,24 @@ mod tests {
     fn piecewise_eval_uses_correct_segment() {
         let fit = PiecewiseFit {
             segments: [
-                LineSegment { lo: -10.0, hi: 0.0, intercept: 1.0, slope: -1.0 },
-                LineSegment { lo: 0.0, hi: 10.0, intercept: 1.0, slope: 0.0 },
-                LineSegment { lo: 10.0, hi: 20.0, intercept: -1.0, slope: 0.2 },
+                LineSegment {
+                    lo: -10.0,
+                    hi: 0.0,
+                    intercept: 1.0,
+                    slope: -1.0,
+                },
+                LineSegment {
+                    lo: 0.0,
+                    hi: 10.0,
+                    intercept: 1.0,
+                    slope: 0.0,
+                },
+                LineSegment {
+                    lo: 10.0,
+                    hi: 20.0,
+                    intercept: -1.0,
+                    slope: 0.2,
+                },
             ],
             knots: [0.0, 10.0],
             sse: 0.0,

@@ -32,7 +32,9 @@ pub struct ColumnarEngine {
 
 impl std::fmt::Debug for ColumnarEngine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ColumnarEngine").field("dir", &self.dir).finish()
+        f.debug_struct("ColumnarEngine")
+            .field("dir", &self.dir)
+            .finish()
     }
 }
 
@@ -77,7 +79,10 @@ impl ConsumerSource for ColumnSource {
 impl ColumnarEngine {
     /// An engine storing its columns under `dir`.
     pub fn new(dir: impl Into<PathBuf>) -> Self {
-        ColumnarEngine { dir: dir.into(), store: None }
+        ColumnarEngine {
+            dir: dir.into(),
+            store: None,
+        }
     }
 
     /// Residency/fault counters of the shared store.
@@ -133,12 +138,25 @@ impl Platform for ColumnarEngine {
                 Ok(Box::new(ColumnSource::new(store.clone())))
             }
         };
-        let output = execute_task(&make, spec.task, spec.threads, SIMILARITY_TOP_K, &spec.metrics)?;
+        let output = execute_task(
+            &make,
+            spec.task,
+            spec.threads,
+            SIMILARITY_TOP_K,
+            &spec.metrics,
+        )?;
         // Chunk-cache traffic attributable to this run.
         let after = store.lock().stats();
-        spec.metrics.incr(counters::PAGES_FAULTED, after.chunk_faults - before.chunk_faults);
-        spec.metrics.incr(counters::CACHE_HITS, after.chunk_hits - before.chunk_hits);
-        Ok(RunResult { output, elapsed: start.elapsed() })
+        spec.metrics.incr(
+            counters::PAGES_FAULTED,
+            after.chunk_faults - before.chunk_faults,
+        );
+        spec.metrics
+            .incr(counters::CACHE_HITS, after.chunk_hits - before.chunk_hits);
+        Ok(RunResult {
+            output,
+            elapsed: start.elapsed(),
+        })
     }
 
     fn capabilities(&self) -> Capabilities {
@@ -155,7 +173,9 @@ mod tests {
 
     fn tiny(n: u32) -> Dataset {
         let temp = TemperatureSeries::new(
-            (0..HOURS_PER_YEAR).map(|h| ((h % 41) as f64) - 9.0).collect(),
+            (0..HOURS_PER_YEAR)
+                .map(|h| ((h % 41) as f64) - 9.0)
+                .collect(),
         )
         .unwrap();
         let consumers = (0..n)
@@ -184,7 +204,9 @@ mod tests {
         let mut engine = ColumnarEngine::new(tmp("ref"));
         engine.load(&ds).unwrap();
         for task in Task::ALL {
-            let got = engine.run(&RunSpec::builder(task).threads(2).build()).unwrap();
+            let got = engine
+                .run(&RunSpec::builder(task).threads(2).build())
+                .unwrap();
             let want = run_reference(task, &ds);
             assert_eq!(got.output.len(), want.len(), "{task}");
             match (&got.output, &want) {
@@ -215,7 +237,9 @@ mod tests {
     #[test]
     fn run_before_load_errors() {
         let mut engine = ColumnarEngine::new(tmp("noload"));
-        assert!(engine.run(&RunSpec::builder(Task::Histogram).build()).is_err());
+        assert!(engine
+            .run(&RunSpec::builder(Task::Histogram).build())
+            .is_err());
         assert!(engine.warm().is_err());
     }
 
@@ -226,13 +250,19 @@ mod tests {
         engine.load(&ds).unwrap();
         engine.make_cold();
         let sink = smda_obs::MetricsSink::recording();
-        let cold_spec = RunSpec::builder(Task::Par).threads(2).metrics(sink.clone()).build();
+        let cold_spec = RunSpec::builder(Task::Par)
+            .threads(2)
+            .metrics(sink.clone())
+            .build();
         let cold = engine.run(&cold_spec).unwrap();
         let cold_report = sink.finish(smda_obs::RunManifest::new("par", engine.name()).cold(true));
         // A cold run faults chunks in from disk.
         assert!(cold_report.counter(counters::PAGES_FAULTED).unwrap_or(0) > 0);
         engine.warm().unwrap();
-        let warm_spec = RunSpec::builder(Task::Par).threads(2).metrics(sink.clone()).build();
+        let warm_spec = RunSpec::builder(Task::Par)
+            .threads(2)
+            .metrics(sink.clone())
+            .build();
         let warm = engine.run(&warm_spec).unwrap();
         let warm_report = sink.finish(smda_obs::RunManifest::new("par", engine.name()));
         // A warm run is served from the chunk cache.

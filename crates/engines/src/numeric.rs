@@ -32,7 +32,12 @@ pub struct NumericEngine {
 impl NumericEngine {
     /// An engine that keeps its files under `dir` in `layout`.
     pub fn new(dir: impl Into<PathBuf>, layout: FileLayout) -> Self {
-        NumericEngine { dir: dir.into(), layout, loaded: false, workspace: None }
+        NumericEngine {
+            dir: dir.into(),
+            layout,
+            loaded: false,
+            workspace: None,
+        }
     }
 
     /// The file layout in use.
@@ -90,7 +95,11 @@ impl Platform for NumericEngine {
     }
 
     fn run(&mut self, spec: &RunSpec) -> Result<RunResult> {
-        let RunSpec { task, threads, metrics } = spec;
+        let RunSpec {
+            task,
+            threads,
+            metrics,
+        } = spec;
         let start = Instant::now();
         let output = if let Some(ws) = &self.workspace {
             // Warm: compute from the in-memory workspace.
@@ -129,7 +138,10 @@ impl Platform for NumericEngine {
                 }
             }
         };
-        Ok(RunResult { output, elapsed: start.elapsed() })
+        Ok(RunResult {
+            output,
+            elapsed: start.elapsed(),
+        })
     }
 
     fn capabilities(&self) -> Capabilities {
@@ -146,7 +158,9 @@ mod tests {
 
     fn tiny(n: u32) -> Dataset {
         let temp = TemperatureSeries::new(
-            (0..HOURS_PER_YEAR).map(|h| ((h % 45) as f64) - 10.0).collect(),
+            (0..HOURS_PER_YEAR)
+                .map(|h| ((h % 45) as f64) - 10.0)
+                .collect(),
         )
         .unwrap();
         let consumers = (0..n)
@@ -175,7 +189,9 @@ mod tests {
         let mut engine = NumericEngine::new(tmp("cp"), FileLayout::Partitioned);
         engine.load(&ds).unwrap();
         for task in [Task::Histogram, Task::Par] {
-            let got = engine.run(&RunSpec::builder(task).threads(2).build()).unwrap();
+            let got = engine
+                .run(&RunSpec::builder(task).threads(2).build())
+                .unwrap();
             let want = run_reference(task, &ds);
             match (&got.output, &want) {
                 (TaskOutput::Histograms(a), TaskOutput::Histograms(b)) => {
@@ -208,9 +224,13 @@ mod tests {
         let ds = tiny(3);
         let mut engine = NumericEngine::new(tmp("warm"), FileLayout::Unpartitioned);
         engine.load(&ds).unwrap();
-        let cold = engine.run(&RunSpec::builder(Task::Similarity).build()).unwrap();
+        let cold = engine
+            .run(&RunSpec::builder(Task::Similarity).build())
+            .unwrap();
         engine.warm().unwrap();
-        let warm = engine.run(&RunSpec::builder(Task::Similarity).build()).unwrap();
+        let warm = engine
+            .run(&RunSpec::builder(Task::Similarity).build())
+            .unwrap();
         match (&cold.output, &warm.output) {
             (TaskOutput::Similarity(a), TaskOutput::Similarity(b)) => assert_eq!(a, b),
             _ => panic!("unexpected outputs"),
@@ -221,7 +241,9 @@ mod tests {
     #[test]
     fn run_without_load_errors() {
         let mut engine = NumericEngine::new(tmp("noload"), FileLayout::Partitioned);
-        assert!(engine.run(&RunSpec::builder(Task::Histogram).build()).is_err());
+        assert!(engine
+            .run(&RunSpec::builder(Task::Histogram).build())
+            .is_err());
     }
 
     #[test]

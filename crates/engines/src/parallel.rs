@@ -7,8 +7,7 @@ use std::ops::Range;
 
 use smda_core::three_line::{fit_three_line_timed, ThreeLineConfig};
 use smda_core::{
-    fit_par, ConsumerHistogram, ConsumerMatches, Task, TaskOutput, ThreeLineModel,
-    ThreeLinePhases,
+    fit_par, ConsumerHistogram, ConsumerMatches, Task, TaskOutput, ThreeLineModel, ThreeLinePhases,
 };
 use smda_obs::{counters, MetricsSink};
 use smda_stats::{normalize_all, select_top_k, SimilarityMatch};
@@ -112,7 +111,9 @@ pub fn execute_task(
                     })
                     .collect::<Result<Vec<_>>>()
             })?;
-            Ok(TaskOutput::Histograms(parts.into_iter().flatten().collect()))
+            Ok(TaskOutput::Histograms(
+                parts.into_iter().flatten().collect(),
+            ))
         }
         Task::ThreeLine => {
             let _t = metrics.scope("fan_out");
@@ -210,7 +211,9 @@ pub fn top_k_parallel(
             .into_iter()
             .map(|range| {
                 scope.spawn(move |_| {
-                    range.map(|q| top_k_one(normalized, q, k)).collect::<Vec<_>>()
+                    range
+                        .map(|q| top_k_one(normalized, q, k))
+                        .collect::<Vec<_>>()
                 })
             })
             .collect();
@@ -261,7 +264,10 @@ impl ConsumerSource for MemorySource {
             .data
             .consumer(id)
             .ok_or_else(|| Error::Invalid(format!("unknown consumer {id}")))?;
-        Ok((c.readings().to_vec(), self.data.temperature().values().to_vec()))
+        Ok((
+            c.readings().to_vec(),
+            self.data.temperature().values().to_vec(),
+        ))
     }
 }
 
@@ -273,7 +279,9 @@ mod tests {
 
     fn tiny(n: u32) -> Arc<Dataset> {
         let temp = TemperatureSeries::new(
-            (0..HOURS_PER_YEAR).map(|h| ((h % 45) as f64) - 10.0).collect(),
+            (0..HOURS_PER_YEAR)
+                .map(|h| ((h % 45) as f64) - 10.0)
+                .collect(),
         )
         .unwrap();
         let consumers = (0..n)
@@ -310,7 +318,9 @@ mod tests {
         let data = tiny(6);
         let make: Box<dyn Fn() -> Result<Box<dyn ConsumerSource>> + Sync> = {
             let data = data.clone();
-            Box::new(move || Ok(Box::new(MemorySource::new(data.clone())) as Box<dyn ConsumerSource>))
+            Box::new(move || {
+                Ok(Box::new(MemorySource::new(data.clone())) as Box<dyn ConsumerSource>)
+            })
         };
         let sink = MetricsSink::recording();
         for task in Task::ALL {
@@ -328,8 +338,18 @@ mod tests {
         // The recording sink saw the parallel runs: workers were spawned
         // and every consumer-year was scanned at least once per task.
         let report = sink.finish(smda_obs::RunManifest::new("all", "memory"));
-        assert!(report.counter(smda_obs::counters::WORKERS_SPAWNED).unwrap_or(0) >= 4);
-        assert!(report.counter(smda_obs::counters::ROWS_SCANNED).unwrap_or(0) > 0);
+        assert!(
+            report
+                .counter(smda_obs::counters::WORKERS_SPAWNED)
+                .unwrap_or(0)
+                >= 4
+        );
+        assert!(
+            report
+                .counter(smda_obs::counters::ROWS_SCANNED)
+                .unwrap_or(0)
+                > 0
+        );
         assert!(report.phase_ns(&["fan_out", "t1"]).is_some());
     }
 
@@ -338,10 +358,18 @@ mod tests {
         let data = tiny(5);
         let make: Box<dyn Fn() -> Result<Box<dyn ConsumerSource>> + Sync> = {
             let data = data.clone();
-            Box::new(move || Ok(Box::new(MemorySource::new(data.clone())) as Box<dyn ConsumerSource>))
+            Box::new(move || {
+                Ok(Box::new(MemorySource::new(data.clone())) as Box<dyn ConsumerSource>)
+            })
         };
-        let out =
-            execute_task(make.as_ref(), Task::Histogram, 2, 10, &MetricsSink::disabled()).unwrap();
+        let out = execute_task(
+            make.as_ref(),
+            Task::Histogram,
+            2,
+            10,
+            &MetricsSink::disabled(),
+        )
+        .unwrap();
         let reference = smda_core::tasks::run_reference(Task::Histogram, &data);
         match (&out, &reference) {
             (TaskOutput::Histograms(a), TaskOutput::Histograms(b)) => assert_eq!(a, b),

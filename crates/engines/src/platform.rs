@@ -41,7 +41,13 @@ impl RunSpec {
     /// Start building a spec for `task`; one thread and no metrics until
     /// the setters say otherwise.
     pub fn builder(task: Task) -> RunSpecBuilder {
-        RunSpecBuilder { spec: RunSpec { task, threads: 1, metrics: MetricsSink::disabled() } }
+        RunSpecBuilder {
+            spec: RunSpec {
+                task,
+                threads: 1,
+                metrics: MetricsSink::disabled(),
+            },
+        }
     }
 }
 

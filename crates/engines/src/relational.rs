@@ -80,7 +80,12 @@ impl ConsumerSource for TableSource {
 impl RelationalEngine {
     /// An engine storing its table under `dir` in `layout`.
     pub fn new(dir: impl Into<PathBuf>, layout: RelationalLayout) -> Self {
-        RelationalEngine { dir: dir.into(), layout, meta: None, workspace: None }
+        RelationalEngine {
+            dir: dir.into(),
+            layout,
+            meta: None,
+            workspace: None,
+        }
     }
 
     /// The table layout in use.
@@ -103,10 +108,12 @@ impl RelationalEngine {
             (Some(SharedMeta::Index(idx)), RelationalLayout::DayPerRow) => {
                 Ok(Box::new(DayTable::open_with_index(path, idx.clone())?))
             }
-            (Some(SharedMeta::Directory(dir)), RelationalLayout::ArrayPerConsumer) => {
-                Ok(Box::new(ArrayTable::open_with_directory(path, dir.clone())?))
-            }
-            _ => Err(Error::Invalid("relational engine has no table loaded".into())),
+            (Some(SharedMeta::Directory(dir)), RelationalLayout::ArrayPerConsumer) => Ok(Box::new(
+                ArrayTable::open_with_directory(path, dir.clone())?,
+            )),
+            _ => Err(Error::Invalid(
+                "relational engine has no table loaded".into(),
+            )),
         }
     }
 }
@@ -154,14 +161,29 @@ impl Platform for RelationalEngine {
             let make = move || -> Result<Box<dyn ConsumerSource>> {
                 Ok(Box::new(MemorySource::new(ws.clone())))
             };
-            execute_task(&make, spec.task, spec.threads, SIMILARITY_TOP_K, &spec.metrics)?
+            execute_task(
+                &make,
+                spec.task,
+                spec.threads,
+                SIMILARITY_TOP_K,
+                &spec.metrics,
+            )?
         } else {
             let make = || -> Result<Box<dyn ConsumerSource>> {
                 Ok(Box::new(TableSource(self.connect()?)))
             };
-            execute_task(&make, spec.task, spec.threads, SIMILARITY_TOP_K, &spec.metrics)?
+            execute_task(
+                &make,
+                spec.task,
+                spec.threads,
+                SIMILARITY_TOP_K,
+                &spec.metrics,
+            )?
         };
-        Ok(RunResult { output, elapsed: start.elapsed() })
+        Ok(RunResult {
+            output,
+            elapsed: start.elapsed(),
+        })
     }
 
     fn capabilities(&self) -> Capabilities {
@@ -178,7 +200,9 @@ mod tests {
 
     fn tiny(n: u32) -> Dataset {
         let temp = TemperatureSeries::new(
-            (0..HOURS_PER_YEAR).map(|h| ((h % 38) as f64) - 8.0).collect(),
+            (0..HOURS_PER_YEAR)
+                .map(|h| ((h % 38) as f64) - 8.0)
+                .collect(),
         )
         .unwrap();
         let consumers = (0..n)
@@ -211,7 +235,9 @@ mod tests {
         ] {
             let mut engine = RelationalEngine::new(tmp(layout.label()), layout);
             engine.load(&ds).unwrap();
-            let got = engine.run(&RunSpec::builder(Task::Histogram).threads(2).build()).unwrap();
+            let got = engine
+                .run(&RunSpec::builder(Task::Histogram).threads(2).build())
+                .unwrap();
             let want = run_reference(Task::Histogram, &ds);
             match (&got.output, &want) {
                 (TaskOutput::Histograms(a), TaskOutput::Histograms(b)) => {
@@ -228,10 +254,14 @@ mod tests {
         let ds = tiny(3);
         let mut engine = RelationalEngine::new(tmp("warm"), RelationalLayout::ArrayPerConsumer);
         engine.load(&ds).unwrap();
-        let cold = engine.run(&RunSpec::builder(Task::ThreeLine).build()).unwrap();
+        let cold = engine
+            .run(&RunSpec::builder(Task::ThreeLine).build())
+            .unwrap();
         let wtime = engine.warm().unwrap();
         assert!(wtime > Duration::ZERO);
-        let warm = engine.run(&RunSpec::builder(Task::ThreeLine).build()).unwrap();
+        let warm = engine
+            .run(&RunSpec::builder(Task::ThreeLine).build())
+            .unwrap();
         match (&cold.output, &warm.output) {
             (TaskOutput::ThreeLine(a, _), TaskOutput::ThreeLine(b, _)) => assert_eq!(a, b),
             _ => panic!("unexpected outputs"),
@@ -242,7 +272,9 @@ mod tests {
     #[test]
     fn run_before_load_errors() {
         let mut engine = RelationalEngine::new(tmp("noload"), RelationalLayout::ReadingPerRow);
-        assert!(engine.run(&RunSpec::builder(Task::Histogram).build()).is_err());
+        assert!(engine
+            .run(&RunSpec::builder(Task::Histogram).build())
+            .is_err());
     }
 
     #[test]
@@ -250,8 +282,12 @@ mod tests {
         let ds = tiny(5);
         let mut engine = RelationalEngine::new(tmp("par"), RelationalLayout::ReadingPerRow);
         engine.load(&ds).unwrap();
-        let one = engine.run(&RunSpec::builder(Task::Similarity).build()).unwrap();
-        let four = engine.run(&RunSpec::builder(Task::Similarity).threads(4).build()).unwrap();
+        let one = engine
+            .run(&RunSpec::builder(Task::Similarity).build())
+            .unwrap();
+        let four = engine
+            .run(&RunSpec::builder(Task::Similarity).threads(4).build())
+            .unwrap();
         match (&one.output, &four.output) {
             (TaskOutput::Similarity(a), TaskOutput::Similarity(b)) => assert_eq!(a, b),
             _ => panic!("unexpected outputs"),

@@ -3,15 +3,19 @@
 
 use std::sync::Arc;
 
-use smda_cluster::{ClusterTopology, DfsConfig, SimDfs, TextTable, VirtualScheduler, WorkerPool};
-use smda_obs::MetricsSink;
+use smda_cluster::{
+    ClusterTopology, DfsConfig, FaultPlan, SimDfs, TextTable, VirtualScheduler, WorkerPool,
+};
 use smda_core::tasks::{collect_consumer_results, ConsumerResult};
 use smda_core::{ConsumerMatches, Task, TaskOutput, SIMILARITY_TOP_K};
+use smda_obs::{counters, MetricsSink};
 use smda_stats::{normalize_all, select_top_k, SimilarityMatch};
-use smda_types::{ConsumerId, DataFormat, Dataset, Error, Result, HOURS_PER_YEAR};
+use smda_types::{ConsumerId, DataFormat, Dataset, DirtyDataPolicy, Error, Result, HOURS_PER_YEAR};
 
-use crate::mapreduce::{run_map_only, run_map_reduce, run_map_reduce_partitioned, JobInput, JobStats};
-use crate::parse::{parse_consumer, parse_reading};
+use crate::mapreduce::{
+    run_map_only, run_map_reduce, run_map_reduce_partitioned, JobInput, JobStats,
+};
+use crate::parse::{parse_consumer, parse_reading_policed};
 use crate::udf::{GenericUdf, HiveOperator, TaskUdaf, TaskUdf, TaskUdtf, Udaf, Udtf};
 
 /// Result of one Hive job (or job chain).
@@ -33,6 +37,8 @@ pub struct HiveEngine {
     dfs: SimDfs,
     table: Option<TextTable>,
     metrics: MetricsSink,
+    faults: Option<FaultPlan>,
+    dirty_policy: DirtyDataPolicy,
     /// For format 3: run the UDAF (reduce-full) plan instead of the UDTF
     /// (map-only) plan — the Figure 18 comparison.
     pub force_udaf: bool,
@@ -71,6 +77,8 @@ impl HiveEngine {
             dfs,
             table: None,
             metrics: MetricsSink::disabled(),
+            faults: None,
+            dirty_policy: DirtyDataPolicy::default(),
             force_udaf: false,
         }
     }
@@ -81,10 +89,25 @@ impl HiveEngine {
         self.metrics = sink;
     }
 
+    /// Inject faults into subsequent loads and jobs: replica losses are
+    /// applied at [`HiveEngine::load`] time, everything else at run time
+    /// through the scheduler and worker pool.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = Some(plan);
+    }
+
+    /// How map-side parsers treat malformed rows (default: fail fast).
+    pub fn set_dirty_policy(&mut self, policy: DirtyDataPolicy) {
+        self.dirty_policy = policy;
+    }
+
     /// A fresh scheduler on the engine's topology, wired to its sink.
     fn scheduler(&self) -> VirtualScheduler {
         let mut scheduler = VirtualScheduler::new(self.topology);
         scheduler.attach_metrics(self.metrics.clone());
+        if let Some(plan) = &self.faults {
+            scheduler.set_fault_plan(plan.clone());
+        }
         scheduler
     }
 
@@ -105,12 +128,34 @@ impl HiveEngine {
             // Replace: drop old placement for determinism.
             self.dfs = SimDfs::new(self.dfs.config());
         }
-        self.table = Some(TextTable::build("meter_data", ds, format, &mut self.dfs)?);
+        let mut table = TextTable::build("meter_data", ds, format, &mut self.dfs)?;
+        if let Some(plan) = self.faults.clone() {
+            if plan.replica_losses > 0 {
+                let lost = self.dfs.drop_replicas(plan.replica_losses);
+                if lost > 0 {
+                    self.metrics
+                        .incr(counters::FAULTS_INJECTED_REPLICA_LOSS, lost as u64);
+                }
+                if plan.re_replicate {
+                    let restored = self.dfs.re_replicate();
+                    if restored > 0 {
+                        self.metrics
+                            .incr(counters::FAULTS_RECOVERED_REPLICA_LOSS, restored as u64);
+                    }
+                }
+                // Surfaces `BlockUnavailable` here if a block lost every
+                // replica and re-replication could not bring it back.
+                table.refresh_hosts(&self.dfs)?;
+            }
+        }
+        self.table = Some(table);
         Ok(())
     }
 
     fn table(&self) -> Result<&TextTable> {
-        self.table.as_ref().ok_or_else(|| Error::Invalid("no external table loaded".into()))
+        self.table
+            .as_ref()
+            .ok_or_else(|| Error::Invalid("no external table loaded".into()))
     }
 
     fn inputs(&self) -> Result<Vec<JobInput<Arc<Vec<String>>>>> {
@@ -118,7 +163,11 @@ impl HiveEngine {
             .table()?
             .splits
             .iter()
-            .map(|s| JobInput { data: s.lines.clone(), bytes: s.bytes, hosts: s.hosts.clone() })
+            .map(|s| JobInput {
+                data: s.lines.clone(),
+                bytes: s.bytes,
+                hosts: s.hosts.clone(),
+            })
             .collect())
     }
 
@@ -145,14 +194,19 @@ impl HiveEngine {
     fn run_udaf_plan(&mut self, task: Task) -> Result<HiveRunResult> {
         let inputs = self.inputs()?;
         let udaf = TaskUdaf { task };
+        let policy = self.dirty_policy;
+        let metrics = self.metrics.clone();
         let mut scheduler = self.scheduler();
         let error = parking_lot::Mutex::new(None);
         let (results, stats) = run_map_reduce(
             inputs,
             &|lines: Arc<Vec<String>>, emit: &mut Vec<(u32, (u32, f64, f64))>| {
                 for line in lines.iter() {
-                    match parse_reading(line) {
-                        Ok(r) => emit.push((r.consumer.raw(), (r.hour, r.temperature, r.kwh))),
+                    match parse_reading_policed(line, policy, &metrics) {
+                        Ok(Some(r)) => {
+                            emit.push((r.consumer.raw(), (r.hour, r.temperature, r.kwh)));
+                        }
+                        Ok(None) => {}
                         Err(e) => {
                             error.lock().get_or_insert(e);
                         }
@@ -176,7 +230,7 @@ impl HiveEngine {
             self.reduce_tasks,
             &mut scheduler,
             &self.pool,
-        );
+        )?;
         if let Some(e) = error.into_inner() {
             return Err(e);
         }
@@ -190,16 +244,28 @@ impl HiveEngine {
     /// Format 2: map-only with the generic UDF.
     fn run_udf_plan(&mut self, task: Task) -> Result<HiveRunResult> {
         let inputs = self.inputs()?;
-        let udf = TaskUdf { task, temperature: self.table()?.temperature.clone() };
+        let udf = TaskUdf {
+            task,
+            temperature: self.table()?.temperature.clone(),
+        };
+        let policy = self.dirty_policy;
+        let metrics = self.metrics.clone();
         let mut scheduler = self.scheduler();
         let error = parking_lot::Mutex::new(None);
         let (results, stats) = run_map_only(
             inputs,
             &|lines: Arc<Vec<String>>, emit: &mut Vec<ConsumerResult>| {
                 for line in lines.iter() {
-                    let evaluated = parse_consumer(line).and_then(|row| udf.evaluate(row));
-                    match evaluated {
-                        Ok(out) => emit.extend(out),
+                    match parse_consumer(line) {
+                        Ok(row) => match udf.evaluate(row) {
+                            Ok(out) => emit.extend(out),
+                            Err(e) => {
+                                error.lock().get_or_insert(e);
+                            }
+                        },
+                        Err(_) if policy.skips() => {
+                            metrics.incr(counters::ROWS_SKIPPED_DIRTY, 1);
+                        }
                         Err(e) => {
                             error.lock().get_or_insert(e);
                         }
@@ -209,7 +275,7 @@ impl HiveEngine {
             64,
             &mut scheduler,
             &self.pool,
-        );
+        )?;
         if let Some(e) = error.into_inner() {
             return Err(e);
         }
@@ -224,13 +290,22 @@ impl HiveEngine {
     fn run_udtf_plan(&mut self, task: Task) -> Result<HiveRunResult> {
         let inputs = self.inputs()?;
         let udtf = TaskUdtf { task };
+        let policy = self.dirty_policy;
+        let metrics = self.metrics.clone();
         let mut scheduler = self.scheduler();
         let error = parking_lot::Mutex::new(None);
         let (results, stats) = run_map_only(
             inputs,
             &|lines: Arc<Vec<String>>, emit: &mut Vec<ConsumerResult>| {
-                let parsed: Result<Vec<_>> = lines.iter().map(|l| parse_reading(l)).collect();
-                let run = parsed.and_then(|rows| udtf.process(rows, &mut |r| emit.push(r)));
+                let run = (|| -> Result<()> {
+                    let mut rows = Vec::with_capacity(lines.len());
+                    for line in lines.iter() {
+                        if let Some(r) = parse_reading_policed(line, policy, &metrics)? {
+                            rows.push(r);
+                        }
+                    }
+                    udtf.process(rows, &mut |r| emit.push(r))
+                })();
                 if let Err(e) = run {
                     error.lock().get_or_insert(e);
                 }
@@ -238,7 +313,7 @@ impl HiveEngine {
             64,
             &mut scheduler,
             &self.pool,
-        );
+        )?;
         if let Some(e) = error.into_inner() {
             return Err(e);
         }
@@ -273,8 +348,10 @@ impl HiveEngine {
         let chunk = n.div_ceil(reduce_tasks);
         let mut inputs = Vec::new();
         for (ci, idx_chunk) in (0..n).collect::<Vec<_>>().chunks(chunk).enumerate() {
-            let data: Vec<(usize, Arc<Vec<f64>>)> =
-                idx_chunk.iter().map(|&i| (i, normalized[i].clone())).collect();
+            let data: Vec<(usize, Arc<Vec<f64>>)> = idx_chunk
+                .iter()
+                .map(|&i| (i, normalized[i].clone()))
+                .collect();
             let _ = ci;
             inputs.push(JobInput {
                 data,
@@ -333,12 +410,16 @@ impl HiveEngine {
             &|key, parts| (*key as usize) % parts,
             &mut scheduler,
             &self.pool,
-        );
+        )?;
         let _ = normalized_ref;
         matches.sort_by_key(|m| m.consumer);
 
         stats = combine(stats, join_stats);
-        Ok(HiveRunResult { output: TaskOutput::Similarity(matches), stats, operator })
+        Ok(HiveRunResult {
+            output: TaskOutput::Similarity(matches),
+            stats,
+            operator,
+        })
     }
 
     /// Job 1 of similarity: produce `(id, readings)` per household.
@@ -346,6 +427,8 @@ impl HiveEngine {
     fn assemble_series(&mut self) -> Result<(Vec<(ConsumerId, Vec<f64>)>, JobStats, HiveOperator)> {
         let format = self.table()?.format;
         let inputs = self.inputs()?;
+        let policy = self.dirty_policy;
+        let metrics = self.metrics.clone();
         let mut scheduler = self.scheduler();
         let error = parking_lot::Mutex::new(None);
         match format {
@@ -354,8 +437,9 @@ impl HiveEngine {
                     inputs,
                     &|lines: Arc<Vec<String>>, emit: &mut Vec<(u32, (u32, f64))>| {
                         for line in lines.iter() {
-                            match parse_reading(line) {
-                                Ok(r) => emit.push((r.consumer.raw(), (r.hour, r.kwh))),
+                            match parse_reading_policed(line, policy, &metrics) {
+                                Ok(Some(r)) => emit.push((r.consumer.raw(), (r.hour, r.kwh))),
+                                Ok(None) => {}
                                 Err(e) => {
                                     error.lock().get_or_insert(e);
                                 }
@@ -370,7 +454,7 @@ impl HiveEngine {
                     self.reduce_tasks,
                     &mut scheduler,
                     &self.pool,
-                );
+                )?;
                 if let Some(e) = error.into_inner() {
                     return Err(e);
                 }
@@ -384,6 +468,9 @@ impl HiveEngine {
                         for line in lines.iter() {
                             match parse_consumer(line) {
                                 Ok(row) => emit.push(row),
+                                Err(_) if policy.skips() => {
+                                    metrics.incr(counters::ROWS_SKIPPED_DIRTY, 1);
+                                }
                                 Err(e) => {
                                     error.lock().get_or_insert(e);
                                 }
@@ -393,7 +480,7 @@ impl HiveEngine {
                     SERIES_BYTES,
                     &mut scheduler,
                     &self.pool,
-                );
+                )?;
                 if let Some(e) = error.into_inner() {
                     return Err(e);
                 }
@@ -405,8 +492,12 @@ impl HiveEngine {
                     inputs,
                     &|lines: Arc<Vec<String>>, emit: &mut Vec<(ConsumerId, Vec<f64>)>| {
                         let run = (|| -> Result<()> {
-                            let mut rows =
-                                lines.iter().map(|l| parse_reading(l)).collect::<Result<Vec<_>>>()?;
+                            let mut rows = Vec::with_capacity(lines.len());
+                            for line in lines.iter() {
+                                if let Some(r) = parse_reading_policed(line, policy, &metrics)? {
+                                    rows.push(r);
+                                }
+                            }
                             rows.sort_by_key(|r| (r.consumer, r.hour));
                             let mut i = 0;
                             while i < rows.len() {
@@ -427,7 +518,7 @@ impl HiveEngine {
                     SERIES_BYTES,
                     &mut scheduler,
                     &self.pool,
-                );
+                )?;
                 if let Some(e) = error.into_inner() {
                     return Err(e);
                 }
@@ -448,6 +539,8 @@ pub fn combine(a: JobStats, b: JobStats) -> JobStats {
         network_bytes: a.network_bytes + b.network_bytes,
         map_locality: (a.map_locality + b.map_locality) / 2.0,
         map_output_records: a.map_output_records + b.map_output_records,
+        retries: a.retries + b.retries,
+        speculative: a.speculative + b.speculative,
     }
 }
 
@@ -459,7 +552,9 @@ mod tests {
 
     fn tiny(n: u32) -> Dataset {
         let temp = TemperatureSeries::new(
-            (0..HOURS_PER_YEAR).map(|h| ((h % 43) as f64) - 9.0).collect(),
+            (0..HOURS_PER_YEAR)
+                .map(|h| ((h % 43) as f64) - 9.0)
+                .collect(),
         )
         .unwrap();
         let consumers = (0..n)
@@ -600,6 +695,91 @@ mod tests {
     fn run_before_load_errors() {
         let mut hive = engine(2);
         assert!(hive.run_task(Task::Histogram).is_err());
+    }
+
+    #[test]
+    fn losing_every_replica_fails_the_load_with_a_typed_error() {
+        let ds = tiny(3);
+        let mut hive = engine(3);
+        let mut plan = FaultPlan::default();
+        plan.replica_losses = usize::MAX; // drain the DFS completely
+        hive.set_fault_plan(plan);
+        match hive.load(&ds, DataFormat::ReadingPerLine) {
+            Err(Error::BlockUnavailable { .. }) => {}
+            other => panic!("want BlockUnavailable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn re_replication_recovers_lost_replicas_and_results_match() {
+        let ds = tiny(3);
+        let mut hive = engine(3);
+        let sink = MetricsSink::recording();
+        hive.set_metrics(sink.clone());
+        let mut plan = FaultPlan::default();
+        plan.replica_losses = 4;
+        plan.re_replicate = true;
+        hive.set_fault_plan(plan);
+        hive.load(&ds, DataFormat::ReadingPerLine).unwrap();
+        let r = hive.run_task(Task::Histogram).unwrap();
+        assert_matches_reference(&ds, &r.output, Task::Histogram);
+        let report = sink.finish(smda_obs::RunManifest::new("histogram", "hive"));
+        assert_eq!(
+            report.counter(counters::FAULTS_INJECTED_REPLICA_LOSS),
+            Some(4)
+        );
+        assert!(
+            report
+                .counter(counters::FAULTS_RECOVERED_REPLICA_LOSS)
+                .unwrap_or(0)
+                >= 1
+        );
+    }
+
+    #[test]
+    fn dirty_line_fails_fast_by_default_but_skips_under_policy() {
+        let ds = tiny(2);
+        let mut hive = engine(2);
+        let sink = MetricsSink::recording();
+        hive.set_metrics(sink.clone());
+        hive.load(&ds, DataFormat::ReadingPerLine).unwrap();
+        {
+            // Append one malformed line to the first split.
+            let split = &mut hive.table.as_mut().unwrap().splits[0];
+            let mut lines = (*split.lines).clone();
+            lines.push("not,a,valid,row".into());
+            split.lines = Arc::new(lines);
+        }
+        assert!(
+            hive.run_task(Task::Histogram).is_err(),
+            "fail-fast must surface the dirty row"
+        );
+        hive.set_dirty_policy(DirtyDataPolicy::SkipAndCount);
+        let r = hive.run_task(Task::Histogram).unwrap();
+        assert_matches_reference(&ds, &r.output, Task::Histogram);
+        let report = sink.finish(smda_obs::RunManifest::new("histogram", "hive"));
+        assert!(report.counter(counters::ROWS_SKIPPED_DIRTY).unwrap_or(0) >= 1);
+    }
+
+    #[test]
+    fn crashes_and_injected_failures_leave_results_exact() {
+        let ds = tiny(4);
+        let mut hive = engine(4);
+        let mut plan = FaultPlan::seeded(7);
+        plan.task_failure_rate = 0.4;
+        plan.max_attempts = 16;
+        plan.crashes.push(smda_cluster::NodeCrash {
+            node: 2,
+            at: std::time::Duration::ZERO,
+        });
+        hive.set_fault_plan(plan);
+        hive.load(&ds, DataFormat::ReadingPerLine).unwrap();
+        let faulty = hive.run_task(Task::Histogram).unwrap();
+        assert_matches_reference(&ds, &faulty.output, Task::Histogram);
+        assert!(
+            faulty.stats.retries > 0,
+            "a 10% failure rate must trigger retries"
+        );
     }
 
     #[test]

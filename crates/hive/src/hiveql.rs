@@ -52,7 +52,10 @@ pub fn parse(sql: &str) -> Result<Query> {
             Err(Error::parse(
                 "HiveQL",
                 None,
-                format!("expected `{want}`, found `{}`", tokens.get(*pos).cloned().unwrap_or_default()),
+                format!(
+                    "expected `{want}`, found `{}`",
+                    tokens.get(*pos).cloned().unwrap_or_default()
+                ),
             ))
         }
     };
@@ -69,7 +72,11 @@ pub fn parse(sql: &str) -> Result<Query> {
         "par" => Task::Par,
         "top_k_cosine" | "cosine_similarity" => Task::Similarity,
         other => {
-            return Err(Error::parse("HiveQL", None, format!("unknown function `{other}`")));
+            return Err(Error::parse(
+                "HiveQL",
+                None,
+                format!("unknown function `{other}`"),
+            ));
         }
     };
     // Skip function arguments (column names / constants) until FROM.
@@ -120,7 +127,12 @@ pub fn parse(sql: &str) -> Result<Query> {
             "similarity search must be written as a self-join",
         ));
     }
-    Ok(Query { task, table, grouped, joined })
+    Ok(Query {
+        task,
+        table,
+        grouped,
+        joined,
+    })
 }
 
 /// A session holding an engine and accepting SQL.
@@ -163,9 +175,8 @@ mod tests {
         assert_eq!(q.task, Task::ThreeLine);
         let q = parse("select par(kwh, temp, 3) from meter_data group by household").unwrap();
         assert_eq!(q.task, Task::Par);
-        let q =
-            parse("SELECT top_k_cosine(a.kwh, b.kwh, 10) FROM meter_data a JOIN meter_data b")
-                .unwrap();
+        let q = parse("SELECT top_k_cosine(a.kwh, b.kwh, 10) FROM meter_data a JOIN meter_data b")
+            .unwrap();
         assert_eq!(q.task, Task::Similarity);
         assert!(q.joined);
     }
@@ -194,20 +205,30 @@ mod tests {
             .map(|i| {
                 ConsumerSeries::new(
                     ConsumerId(i),
-                    (0..HOURS_PER_YEAR).map(|h| 0.5 + (h % 24) as f64 * 0.01).collect(),
+                    (0..HOURS_PER_YEAR)
+                        .map(|h| 0.5 + (h % 24) as f64 * 0.01)
+                        .collect(),
                 )
                 .unwrap()
             })
             .collect();
         let ds = Dataset::new(consumers, temp).unwrap();
         let mut engine = HiveEngine::new(
-            ClusterTopology { workers: 2, slots_per_worker: 2, cost: CostModel::mapreduce() },
+            ClusterTopology {
+                workers: 2,
+                slots_per_worker: 2,
+                cost: CostModel::mapreduce(),
+            },
             256 * 1024,
         );
         engine.load(&ds, DataFormat::ConsumerPerLine).unwrap();
         let mut session = HiveSession::new(engine);
-        let r = session.sql("SELECT histogram(kwh, 10) FROM meter_data GROUP BY household").unwrap();
+        let r = session
+            .sql("SELECT histogram(kwh, 10) FROM meter_data GROUP BY household")
+            .unwrap();
         assert_eq!(r.output.len(), 3);
-        assert!(session.sql("SELECT histogram(kwh) FROM other_table").is_err());
+        assert!(session
+            .sql("SELECT histogram(kwh) FROM other_table")
+            .is_err());
     }
 }

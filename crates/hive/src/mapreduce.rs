@@ -5,12 +5,20 @@
 //! job's virtual makespan. Map output is spilled to disk (write cost),
 //! shuffled (network cost) and re-read by reducers (read cost), the
 //! Hadoop way.
+//!
+//! Execution is fault-tolerant end to end: pool tasks run under panic
+//! containment with a retry budget (taken from the scheduler's
+//! [`smda_cluster::FaultPlan`] when one is attached), and the virtual
+//! phases go through [`VirtualScheduler::try_run_phase`], so injected
+//! task failures, node crashes and stragglers surface as typed errors or
+//! longer — but finite — makespans instead of panics.
 
 use std::collections::BTreeMap;
 use std::hash::{DefaultHasher, Hash, Hasher};
 use std::time::Duration;
 
 use smda_cluster::{SimTask, VirtualScheduler, WorkerPool};
+use smda_types::Result;
 
 /// One map input: real data plus modeled size and placement.
 #[derive(Debug, Clone)]
@@ -40,12 +48,21 @@ pub struct JobStats {
     pub map_locality: f64,
     /// Map output records (pre-shuffle).
     pub map_output_records: usize,
+    /// Scheduler-level task attempts re-run after a failure or crash.
+    pub retries: u64,
+    /// Speculative backup copies launched for stragglers.
+    pub speculative: u64,
 }
 
 fn partition_of<K: Hash>(key: &K, parts: usize) -> usize {
     let mut h = DefaultHasher::new();
     key.hash(&mut h);
     (h.finish() % parts as u64) as usize
+}
+
+/// Retry budget for real pool execution, from the scheduler's plan.
+fn pool_attempts(scheduler: &VirtualScheduler) -> usize {
+    scheduler.fault_plan().map_or(1, |p| p.max_attempts.max(1))
 }
 
 /// Run a full map/shuffle/reduce job with the default hash partitioner.
@@ -58,6 +75,10 @@ fn partition_of<K: Hash>(key: &K, parts: usize) -> usize {
 ///
 /// Outputs are returned partition-by-partition, keys ascending within
 /// each partition — deterministic for a fixed `reduce_tasks`.
+///
+/// # Errors
+/// Typed failures from the pool (a task panicking past its retry
+/// budget) or the scheduler (retry exhaustion, cluster-wide outage).
 pub fn run_map_reduce<I, K, V, O>(
     inputs: Vec<JobInput<I>>,
     mapper: &(dyn Fn(I, &mut Vec<(K, V)>) + Sync),
@@ -66,11 +87,11 @@ pub fn run_map_reduce<I, K, V, O>(
     reduce_tasks: usize,
     scheduler: &mut VirtualScheduler,
     pool: &WorkerPool,
-) -> (Vec<O>, JobStats)
+) -> Result<(Vec<O>, JobStats)>
 where
-    I: Send,
-    K: Ord + Hash + Send,
-    V: Send,
+    I: Send + Clone,
+    K: Ord + Hash + Send + Clone,
+    V: Send + Clone,
     O: Send,
 {
     run_map_reduce_partitioned(
@@ -87,6 +108,10 @@ where
 
 /// [`run_map_reduce`] with an explicit partitioner (`(key, parts) →
 /// partition`) — the similarity self-join needs round-robin partitions.
+///
+/// # Errors
+/// Typed failures from the pool (a task panicking past its retry
+/// budget) or the scheduler (retry exhaustion, cluster-wide outage).
 #[allow(clippy::too_many_arguments)]
 pub fn run_map_reduce_partitioned<I, K, V, O>(
     inputs: Vec<JobInput<I>>,
@@ -97,15 +122,19 @@ pub fn run_map_reduce_partitioned<I, K, V, O>(
     partitioner: &(dyn Fn(&K, usize) -> usize + Sync),
     scheduler: &mut VirtualScheduler,
     pool: &WorkerPool,
-) -> (Vec<O>, JobStats)
+) -> Result<(Vec<O>, JobStats)>
 where
-    I: Send,
-    K: Ord + Hash + Send,
-    V: Send,
+    I: Send + Clone,
+    K: Ord + Hash + Send + Clone,
+    V: Send + Clone,
     O: Send,
 {
-    assert!(reduce_tasks > 0, "a map/reduce job needs at least one reducer");
+    assert!(
+        reduce_tasks > 0,
+        "a map/reduce job needs at least one reducer"
+    );
     scheduler.reset();
+    let attempts = pool_attempts(scheduler);
     let map_tasks = inputs.len();
 
     // ---- map phase (real execution, measured) --------------------------
@@ -115,15 +144,16 @@ where
         sim_inputs.push((input.bytes, input.hosts));
         payloads.push(input.data);
     }
-    let map_results = pool.run_metered(
+    let map_results = pool.run_retrying(
         payloads,
         |data| {
             let mut pairs = Vec::new();
             mapper(data, &mut pairs);
             pairs
         },
+        attempts,
         scheduler.metrics(),
-    );
+    )?;
 
     let mut map_sim = Vec::with_capacity(map_tasks);
     let mut partitions: Vec<BTreeMap<K, Vec<V>>> =
@@ -148,11 +178,11 @@ where
             shuffle_bytes: 0,
         });
     }
-    let map_phase = scheduler.run_phase(&map_sim, Duration::ZERO);
+    let map_phase = scheduler.try_run_phase(&map_sim, Duration::ZERO)?;
     let shuffle_bytes: u64 = partition_bytes.iter().sum();
 
     // ---- reduce phase --------------------------------------------------
-    let reduce_results = pool.run_metered(
+    let reduce_results = pool.run_retrying(
         partitions,
         |groups| {
             let mut out = Vec::new();
@@ -161,8 +191,9 @@ where
             }
             out
         },
+        attempts,
         scheduler.metrics(),
-    );
+    )?;
     let mut reduce_sim = Vec::with_capacity(reduce_tasks);
     let mut outputs = Vec::new();
     for ((out, compute), bytes) in reduce_results.into_iter().zip(&partition_bytes) {
@@ -177,7 +208,7 @@ where
         });
         outputs.extend(out);
     }
-    let reduce_phase = scheduler.run_phase(&reduce_sim, map_phase.end);
+    let reduce_phase = scheduler.try_run_phase(&reduce_sim, map_phase.end)?;
 
     let stats = JobStats {
         virtual_elapsed: reduce_phase.end,
@@ -187,23 +218,30 @@ where
         network_bytes: map_phase.network_bytes + reduce_phase.network_bytes,
         map_locality: map_phase.locality_fraction,
         map_output_records,
+        retries: map_phase.retries + reduce_phase.retries,
+        speculative: map_phase.speculative + reduce_phase.speculative,
     };
-    (outputs, stats)
+    Ok((outputs, stats))
 }
 
 /// Run a map-only job (formats 2 and 3: no shuffle, no reduce).
+///
+/// # Errors
+/// Typed failures from the pool (a task panicking past its retry
+/// budget) or the scheduler (retry exhaustion, cluster-wide outage).
 pub fn run_map_only<I, O>(
     inputs: Vec<JobInput<I>>,
     mapper: &(dyn Fn(I, &mut Vec<O>) + Sync),
     output_bytes_per_record: u64,
     scheduler: &mut VirtualScheduler,
     pool: &WorkerPool,
-) -> (Vec<O>, JobStats)
+) -> Result<(Vec<O>, JobStats)>
 where
-    I: Send,
+    I: Send + Clone,
     O: Send,
 {
     scheduler.reset();
+    let attempts = pool_attempts(scheduler);
     let map_tasks = inputs.len();
     let mut sim_inputs = Vec::with_capacity(map_tasks);
     let mut payloads = Vec::with_capacity(map_tasks);
@@ -211,15 +249,16 @@ where
         sim_inputs.push((input.bytes, input.hosts));
         payloads.push(input.data);
     }
-    let results = pool.run_metered(
+    let results = pool.run_retrying(
         payloads,
         |data| {
             let mut out = Vec::new();
             mapper(data, &mut out);
             out
         },
+        attempts,
         scheduler.metrics(),
-    );
+    )?;
     let mut sim = Vec::with_capacity(map_tasks);
     let mut outputs = Vec::new();
     let mut map_output_records = 0usize;
@@ -234,7 +273,7 @@ where
         map_output_records += out.len();
         outputs.extend(out);
     }
-    let phase = scheduler.run_phase(&sim, Duration::ZERO);
+    let phase = scheduler.try_run_phase(&sim, Duration::ZERO)?;
     let stats = JobStats {
         virtual_elapsed: phase.end,
         map_tasks,
@@ -243,14 +282,16 @@ where
         network_bytes: phase.network_bytes,
         map_locality: phase.locality_fraction,
         map_output_records,
+        retries: phase.retries,
+        speculative: phase.speculative,
     };
-    (outputs, stats)
+    Ok((outputs, stats))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use smda_cluster::{ClusterTopology, CostModel};
+    use smda_cluster::{ClusterTopology, CostModel, FaultPlan, NodeCrash};
 
     fn sched(workers: usize) -> VirtualScheduler {
         VirtualScheduler::new(ClusterTopology {
@@ -267,15 +308,17 @@ mod tests {
                 bytes: 10,
                 hosts: vec![0],
             },
-            JobInput { data: vec!["b b".into()], bytes: 4, hosts: vec![1] },
+            JobInput {
+                data: vec!["b b".into()],
+                bytes: 4,
+                hosts: vec![1],
+            },
         ]
     }
 
-    #[test]
-    fn word_count_is_correct() {
-        let mut scheduler = sched(2);
+    fn word_count(scheduler: &mut VirtualScheduler) -> (Vec<(String, u64)>, JobStats) {
         let pool = WorkerPool::new(2);
-        let (mut out, stats) = run_map_reduce(
+        run_map_reduce(
             word_count_inputs(),
             &|lines: Vec<String>, emit: &mut Vec<(String, u64)>| {
                 for line in lines {
@@ -287,19 +330,55 @@ mod tests {
             &|k, _| k.len() as u64 + 8,
             &|k, vs| vec![(k.clone(), vs.into_iter().sum::<u64>())],
             2,
-            &mut scheduler,
+            scheduler,
             &pool,
-        );
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn word_count_is_correct() {
+        let mut scheduler = sched(2);
+        let (mut out, stats) = word_count(&mut scheduler);
         out.sort();
         assert_eq!(
             out,
-            vec![("a".to_string(), 2), ("b".to_string(), 3), ("c".to_string(), 1)]
+            vec![
+                ("a".to_string(), 2),
+                ("b".to_string(), 3),
+                ("c".to_string(), 1)
+            ]
         );
         assert_eq!(stats.map_tasks, 2);
         assert_eq!(stats.reduce_tasks, 2);
         assert_eq!(stats.map_output_records, 6);
         assert!(stats.shuffle_bytes > 0);
         assert!(stats.virtual_elapsed > Duration::ZERO);
+        assert_eq!(stats.retries, 0);
+    }
+
+    #[test]
+    fn word_count_survives_a_node_crash() {
+        let mut scheduler = sched(2);
+        let mut plan = FaultPlan::default();
+        plan.crashes.push(NodeCrash {
+            node: 1,
+            at: Duration::ZERO,
+        });
+        scheduler.set_fault_plan(plan);
+        let (mut out, stats) = word_count(&mut scheduler);
+        out.sort();
+        assert_eq!(
+            out,
+            vec![
+                ("a".to_string(), 2),
+                ("b".to_string(), 3),
+                ("c".to_string(), 1)
+            ],
+            "results must be exact even with a dead node"
+        );
+        assert!(stats.virtual_elapsed > Duration::ZERO);
+        assert_eq!(scheduler.dead_nodes(), vec![1]);
     }
 
     #[test]
@@ -307,8 +386,16 @@ mod tests {
         let mut scheduler = sched(2);
         let pool = WorkerPool::new(2);
         let inputs = vec![
-            JobInput { data: vec![1u64, 2, 3], bytes: 24, hosts: vec![0] },
-            JobInput { data: vec![4u64], bytes: 8, hosts: vec![1] },
+            JobInput {
+                data: vec![1u64, 2, 3],
+                bytes: 24,
+                hosts: vec![0],
+            },
+            JobInput {
+                data: vec![4u64],
+                bytes: 8,
+                hosts: vec![1],
+            },
         ];
         let (mut out, stats) = run_map_only(
             inputs,
@@ -316,7 +403,8 @@ mod tests {
             8,
             &mut scheduler,
             &pool,
-        );
+        )
+        .unwrap();
         out.sort();
         assert_eq!(out, vec![10, 20, 30, 40]);
         assert_eq!(stats.shuffle_bytes, 0);
@@ -348,7 +436,8 @@ mod tests {
             4,
             &mut s1,
             &pool,
-        );
+        )
+        .unwrap();
         let mut s2 = sched(4);
         let (_, mo) = run_map_only(
             inputs,
@@ -364,7 +453,8 @@ mod tests {
             16,
             &mut s2,
             &pool,
-        );
+        )
+        .unwrap();
         assert!(
             mo.virtual_elapsed < mr.virtual_elapsed,
             "map-only {:?} should beat map/reduce {:?}",
@@ -375,25 +465,9 @@ mod tests {
 
     #[test]
     fn deterministic_across_runs() {
-        let pool = WorkerPool::new(4);
         let run = || {
             let mut scheduler = sched(2);
-            run_map_reduce(
-                word_count_inputs(),
-                &|lines: Vec<String>, emit: &mut Vec<(String, u64)>| {
-                    for line in lines {
-                        for w in line.split_whitespace() {
-                            emit.push((w.to_string(), 1));
-                        }
-                    }
-                },
-                &|k, _| k.len() as u64 + 8,
-                &|k, vs| vec![(k.clone(), vs.into_iter().sum::<u64>())],
-                3,
-                &mut scheduler,
-                &pool,
-            )
-            .0
+            word_count(&mut scheduler).0
         };
         assert_eq!(run(), run());
     }
@@ -403,7 +477,7 @@ mod tests {
     fn zero_reducers_panics() {
         let mut scheduler = sched(1);
         let pool = WorkerPool::new(1);
-        run_map_reduce::<Vec<String>, String, u64, ()>(
+        let _ = run_map_reduce::<Vec<String>, String, u64, ()>(
             vec![],
             &|_, _| {},
             &|_, _| 0,

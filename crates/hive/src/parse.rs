@@ -4,7 +4,9 @@
 //! and Spark-like engines share one (measured) parsing path; this module
 //! re-exports them under the Hive engine's namespace.
 
-pub use smda_cluster::textdata::{parse_consumer, parse_reading, ReadingRow};
+pub use smda_cluster::textdata::{
+    parse_consumer, parse_reading, parse_reading_policed, ReadingRow,
+};
 
 #[cfg(test)]
 mod tests {

@@ -105,7 +105,9 @@ impl Udaf for TaskUdaf {
         let mut temps = Vec::with_capacity(HOURS_PER_YEAR);
         for (i, (h, t, v)) in partial.into_iter().enumerate() {
             if h as usize != i {
-                return Err(Error::Schema(format!("consumer {key}: duplicate or missing hour {h}")));
+                return Err(Error::Schema(format!(
+                    "consumer {key}: duplicate or missing hour {h}"
+                )));
             }
             temps.push(t);
             kwh.push(v);
@@ -127,7 +129,12 @@ pub struct TaskUdf {
 
 impl GenericUdf<(ConsumerId, Vec<f64>), ConsumerResult> for TaskUdf {
     fn evaluate(&self, (id, kwh): (ConsumerId, Vec<f64>)) -> Result<Vec<ConsumerResult>> {
-        Ok(vec![run_consumer_task(self.task, id, kwh, &self.temperature)?])
+        Ok(vec![run_consumer_task(
+            self.task,
+            id,
+            kwh,
+            &self.temperature,
+        )?])
     }
 }
 
@@ -141,7 +148,11 @@ pub struct TaskUdtf {
 }
 
 impl Udtf<ReadingRow, ConsumerResult> for TaskUdtf {
-    fn process(&self, mut rows: Vec<ReadingRow>, emit: &mut dyn FnMut(ConsumerResult)) -> Result<()> {
+    fn process(
+        &self,
+        mut rows: Vec<ReadingRow>,
+        emit: &mut dyn FnMut(ConsumerResult),
+    ) -> Result<()> {
         rows.sort_by_key(|r| (r.consumer, r.hour));
         let mut i = 0;
         while i < rows.len() {
@@ -189,7 +200,9 @@ mod tests {
 
     #[test]
     fn udaf_assembles_and_runs() {
-        let udaf = TaskUdaf { task: Task::Histogram };
+        let udaf = TaskUdaf {
+            task: Task::Histogram,
+        };
         let mut partial = udaf.init();
         // Feed rows out of order and via a merge to exercise all phases.
         let rows = year_rows(3);
@@ -214,7 +227,9 @@ mod tests {
 
     #[test]
     fn udaf_rejects_incomplete_years() {
-        let udaf = TaskUdaf { task: Task::Histogram };
+        let udaf = TaskUdaf {
+            task: Task::Histogram,
+        };
         let mut partial = udaf.init();
         udaf.iterate(&mut partial, (0, 5.0, 1.0));
         assert!(udaf.terminate(ConsumerId(1), partial).is_err());
@@ -223,8 +238,13 @@ mod tests {
     #[test]
     fn udf_runs_on_consumer_row() {
         let temps = Arc::new(vec![5.0; HOURS_PER_YEAR]);
-        let udf = TaskUdf { task: Task::Par, temperature: temps };
-        let out = udf.evaluate((ConsumerId(9), vec![0.7; HOURS_PER_YEAR])).unwrap();
+        let udf = TaskUdf {
+            task: Task::Par,
+            temperature: temps,
+        };
+        let out = udf
+            .evaluate((ConsumerId(9), vec![0.7; HOURS_PER_YEAR]))
+            .unwrap();
         assert_eq!(out.len(), 1);
         match &out[0] {
             ConsumerResult::Par(p) => assert_eq!(p.consumer, ConsumerId(9)),
@@ -234,7 +254,9 @@ mod tests {
 
     #[test]
     fn udtf_processes_multiple_households() {
-        let udtf = TaskUdtf { task: Task::Histogram };
+        let udtf = TaskUdtf {
+            task: Task::Histogram,
+        };
         let mut rows = year_rows(1);
         rows.extend(year_rows(2));
         let mut out = Vec::new();
@@ -244,7 +266,9 @@ mod tests {
 
     #[test]
     fn udtf_rejects_partial_household() {
-        let udtf = TaskUdtf { task: Task::Histogram };
+        let udtf = TaskUdtf {
+            task: Task::Histogram,
+        };
         let rows: Vec<ReadingRow> = year_rows(1).into_iter().take(100).collect();
         let mut out = Vec::new();
         assert!(udtf.process(rows, &mut |r| out.push(r)).is_err());

@@ -64,6 +64,28 @@ pub mod counters {
     pub const TASKS_SCHEDULED: &str = "tasks_scheduled";
     /// Bytes moved across the simulated cluster network.
     pub const BYTES_SHUFFLED: &str = "bytes_shuffled";
+    /// Task attempts re-run after a failure (injected, panic, or crash).
+    pub const TASKS_RETRIED: &str = "tasks_retried";
+    /// Speculative backup copies launched for straggler tasks.
+    pub const TASKS_SPECULATIVE: &str = "tasks_speculative";
+    /// Malformed input rows dropped under a skip-and-count policy.
+    pub const ROWS_SKIPPED_DIRTY: &str = "rows_skipped_dirty";
+    /// Node crashes injected by a fault plan.
+    pub const FAULTS_INJECTED_NODE_CRASH: &str = "faults.injected.node_crash";
+    /// Task failures injected by a fault plan.
+    pub const FAULTS_INJECTED_TASK_FAILURE: &str = "faults.injected.task_failure";
+    /// Slow-node (straggler) factors injected by a fault plan.
+    pub const FAULTS_INJECTED_SLOW_NODE: &str = "faults.injected.slow_node";
+    /// Block-replica losses injected by a fault plan.
+    pub const FAULTS_INJECTED_REPLICA_LOSS: &str = "faults.injected.replica_loss";
+    /// Tasks rescheduled to completion after their node crashed.
+    pub const FAULTS_RECOVERED_NODE_CRASH: &str = "faults.recovered.node_crash";
+    /// Tasks that succeeded on retry after an injected failure.
+    pub const FAULTS_RECOVERED_TASK_FAILURE: &str = "faults.recovered.task_failure";
+    /// Tasks that succeeded on retry after panicking in the worker pool.
+    pub const FAULTS_RECOVERED_TASK_PANIC: &str = "faults.recovered.task_panic";
+    /// Block replicas restored by re-replication after a loss.
+    pub const FAULTS_RECOVERED_REPLICA_LOSS: &str = "faults.recovered.replica_loss";
 }
 
 #[cfg(test)]
@@ -99,8 +121,11 @@ mod tests {
         let report = sink.finish(RunManifest::new("three_line", "x"));
         assert_eq!(report.phases.len(), 1);
         assert_eq!(report.phases[0].name, "run");
-        let kids: Vec<&str> =
-            report.phases[0].children.iter().map(|c| c.name.as_str()).collect();
+        let kids: Vec<&str> = report.phases[0]
+            .children
+            .iter()
+            .map(|c| c.name.as_str())
+            .collect();
         assert_eq!(kids, ["t1", "t2"]);
         // Parent spans at least its children.
         let child_sum: u64 = report.phases[0].children.iter().map(|c| c.ns).sum();

@@ -146,7 +146,9 @@ impl MetricsReport {
     pub fn bench_entries(&self) -> Vec<BenchEntry> {
         let prefix = format!(
             "{}/{}/{}",
-            self.manifest.platform, self.manifest.task, self.manifest.mode()
+            self.manifest.platform,
+            self.manifest.task,
+            self.manifest.mode()
         );
         let mut entries = Vec::new();
         flatten_phases(&self.phases, &prefix, &mut entries);
@@ -208,7 +210,11 @@ impl BenchExport {
     /// entries.
     pub fn from_runs(runs: Vec<MetricsReport>) -> BenchExport {
         let benches = runs.iter().flat_map(MetricsReport::bench_entries).collect();
-        BenchExport { schema: BenchExport::SCHEMA.to_owned(), benches, runs }
+        BenchExport {
+            schema: BenchExport::SCHEMA.to_owned(),
+            benches,
+            runs,
+        }
     }
 
     /// Pretty-printed JSON document.
@@ -355,7 +361,11 @@ mod tests {
                 .consumers(100)
                 .cold(true),
             phases: vec![
-                PhaseNode { name: "load".into(), ns: 1500, children: vec![] },
+                PhaseNode {
+                    name: "load".into(),
+                    ns: 1500,
+                    children: vec![],
+                },
                 PhaseNode {
                     name: "run".into(),
                     ns: 9000,
@@ -427,7 +437,8 @@ mod tests {
     fn parse_rejects_wrong_shapes() {
         assert!(BenchExport::parse("{}").is_err());
         assert!(BenchExport::parse("not json").is_err());
-        let missing_unit = r#"{"schema":"s","benches":[{"name":"x","value":1,"range":null}],"runs":[]}"#;
+        let missing_unit =
+            r#"{"schema":"s","benches":[{"name":"x","value":1,"range":null}],"runs":[]}"#;
         assert!(BenchExport::parse(missing_unit).is_err());
     }
 }

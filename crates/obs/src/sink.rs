@@ -66,7 +66,9 @@ impl MetricsSink {
 
     /// A live sink accumulating phases and counters.
     pub fn recording() -> MetricsSink {
-        MetricsSink { inner: Some(Arc::new(Mutex::new(Recorder::default()))) }
+        MetricsSink {
+            inner: Some(Arc::new(Mutex::new(Recorder::default()))),
+        }
     }
 
     /// Whether this sink actually records. Lets callers skip expensive
@@ -87,9 +89,15 @@ impl MetricsSink {
     pub fn scope(&self, name: &str) -> PhaseTimer {
         if self.is_recording() {
             self.with_recorder(|rec| rec.stack.push(name.to_owned()));
-            PhaseTimer { sink: self.clone(), start: Some(Instant::now()) }
+            PhaseTimer {
+                sink: self.clone(),
+                start: Some(Instant::now()),
+            }
         } else {
-            PhaseTimer { sink: MetricsSink::disabled(), start: None }
+            PhaseTimer {
+                sink: MetricsSink::disabled(),
+                start: None,
+            }
         }
     }
 
@@ -108,8 +116,11 @@ impl MetricsSink {
     pub fn add_phase_nested(&self, path: &[&str], elapsed: Duration) {
         self.with_recorder(|rec| {
             let stack = rec.stack.clone();
-            let full: Vec<&str> =
-                stack.iter().map(String::as_str).chain(path.iter().copied()).collect();
+            let full: Vec<&str> = stack
+                .iter()
+                .map(String::as_str)
+                .chain(path.iter().copied())
+                .collect();
             rec.root.at_path(&full).elapsed += elapsed;
         });
     }
@@ -133,7 +144,11 @@ impl MetricsSink {
                 (snapshot, counters)
             })
             .unwrap_or_default();
-        MetricsReport { manifest, phases, counters }
+        MetricsReport {
+            manifest,
+            phases,
+            counters,
+        }
     }
 
     fn close_scope(&self, elapsed: Duration) {
@@ -149,7 +164,8 @@ impl MetricsSink {
 /// Snapshot the phase tree without consuming or resetting the sink.
 /// Useful for asserting on partial progress in tests.
 pub fn snapshot_phases(sink: &MetricsSink) -> Vec<PhaseNode> {
-    sink.with_recorder(|rec| rec.root.snapshot()).unwrap_or_default()
+    sink.with_recorder(|rec| rec.root.snapshot())
+        .unwrap_or_default()
 }
 
 /// RAII phase scope: measures from creation to drop and records the

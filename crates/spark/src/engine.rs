@@ -4,14 +4,14 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use smda_cluster::textdata::{parse_consumer, parse_reading};
-use smda_cluster::{ClusterTopology, DfsConfig, SimDfs, TextTable};
+use smda_cluster::textdata::{parse_consumer, parse_reading_policed};
+use smda_cluster::{ClusterTopology, DfsConfig, FaultPlan, SimDfs, TextTable};
 use smda_core::tasks::{collect_consumer_results, run_consumer_task, ConsumerResult};
 use smda_core::{ConsumerMatches, Task, TaskOutput, SIMILARITY_TOP_K};
 use smda_stats::{normalize_all, select_top_k, SimilarityMatch};
-use smda_types::{ConsumerId, DataFormat, Dataset, Error, Result, HOURS_PER_YEAR};
+use smda_types::{ConsumerId, DataFormat, Dataset, DirtyDataPolicy, Error, Result, HOURS_PER_YEAR};
 
-use smda_obs::MetricsSink;
+use smda_obs::{counters, MetricsSink};
 
 use crate::rdd::{SparkContext, SparkStats};
 
@@ -32,13 +32,17 @@ pub struct SparkEngine {
     dfs: SimDfs,
     table: Option<TextTable>,
     metrics: MetricsSink,
+    faults: Option<FaultPlan>,
+    dirty_policy: DirtyDataPolicy,
     /// Shuffle partitions for wide operations (default: 2 × workers).
     pub shuffle_partitions: usize,
 }
 
 impl std::fmt::Debug for SparkEngine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SparkEngine").field("workers", &self.topology.workers).finish()
+        f.debug_struct("SparkEngine")
+            .field("workers", &self.topology.workers)
+            .finish()
     }
 }
 
@@ -55,6 +59,8 @@ impl SparkEngine {
             dfs,
             table: None,
             metrics: MetricsSink::disabled(),
+            faults: None,
+            dirty_policy: DirtyDataPolicy::default(),
             shuffle_partitions: topology.workers * 2,
         }
     }
@@ -63,6 +69,18 @@ impl SparkEngine {
     /// spawned) from subsequent jobs into `sink`.
     pub fn set_metrics(&mut self, sink: MetricsSink) {
         self.metrics = sink;
+    }
+
+    /// Inject faults into subsequent loads and jobs: replica losses are
+    /// applied at [`SparkEngine::load`] time, everything else at run
+    /// time through each job's context.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = Some(plan);
+    }
+
+    /// How parsers treat malformed rows (default: fail fast).
+    pub fn set_dirty_policy(&mut self, policy: DirtyDataPolicy) {
+        self.dirty_policy = policy;
     }
 
     /// The modeled topology.
@@ -75,18 +93,49 @@ impl SparkEngine {
         if self.table.is_some() {
             self.dfs = SimDfs::new(self.dfs.config());
         }
-        self.table = Some(TextTable::build("meter_data", ds, format, &mut self.dfs)?);
+        let mut table = TextTable::build("meter_data", ds, format, &mut self.dfs)?;
+        if let Some(plan) = self.faults.clone() {
+            if plan.replica_losses > 0 {
+                let lost = self.dfs.drop_replicas(plan.replica_losses);
+                if lost > 0 {
+                    self.metrics
+                        .incr(counters::FAULTS_INJECTED_REPLICA_LOSS, lost as u64);
+                }
+                if plan.re_replicate {
+                    let restored = self.dfs.re_replicate();
+                    if restored > 0 {
+                        self.metrics
+                            .incr(counters::FAULTS_RECOVERED_REPLICA_LOSS, restored as u64);
+                    }
+                }
+                // Surfaces `BlockUnavailable` here if a block lost every
+                // replica and re-replication could not bring it back.
+                table.refresh_hosts(&self.dfs)?;
+            }
+        }
+        self.table = Some(table);
         Ok(())
     }
 
     fn table(&self) -> Result<&TextTable> {
-        self.table.as_ref().ok_or_else(|| Error::Invalid("no RDD input loaded".into()))
+        self.table
+            .as_ref()
+            .ok_or_else(|| Error::Invalid("no RDD input loaded".into()))
     }
 
     /// Run one benchmark task, returning output + virtual-time stats.
+    ///
+    /// # Errors
+    /// Typed failures deferred from any stage — retry exhaustion, a
+    /// cluster-wide outage, or a malformed row under the fail-fast
+    /// dirty-data policy.
     pub fn run_task(&mut self, task: Task) -> Result<SparkRunResult> {
         let sc = SparkContext::new(self.topology);
         sc.attach_metrics(self.metrics.clone());
+        if let Some(plan) = &self.faults {
+            sc.set_fault_plan(plan.clone());
+        }
+        let policy = self.dirty_policy;
         let table = self.table()?;
         let lines = sc.text_table(table)?;
         let format = table.format;
@@ -97,10 +146,16 @@ impl SparkEngine {
                 let series = match format {
                     DataFormat::ReadingPerLine => {
                         // Shuffle readings by household, then assemble.
+                        let sc2 = sc.clone();
+                        let m = self.metrics.clone();
                         lines
-                            .map(|l| {
-                                let r = parse_reading(&l).expect("engine-rendered line parses");
-                                (r.consumer.raw(), (r.hour, r.kwh))
+                            .flat_map(move |l| match parse_reading_policed(&l, policy, &m) {
+                                Ok(Some(r)) => vec![(r.consumer.raw(), (r.hour, r.kwh))],
+                                Ok(None) => vec![],
+                                Err(e) => {
+                                    sc2.defer_error(e);
+                                    vec![]
+                                }
                             })
                             .group_by_key(self.shuffle_partitions)
                             .map(|(id, mut rows)| {
@@ -112,30 +167,52 @@ impl SparkEngine {
                             })
                             .collect()
                     }
-                    DataFormat::ConsumerPerLine => lines
-                        .map(|l| parse_consumer(&l).expect("engine-rendered line parses"))
-                        .collect(),
-                    DataFormat::ManyFiles { .. } => lines
-                        .map_partitions(|part| {
-                            let mut rows: Vec<_> = part
-                                .iter()
-                                .map(|l| parse_reading(l).expect("engine-rendered line parses"))
-                                .collect();
-                            rows.sort_by_key(|r| (r.consumer, r.hour));
-                            let mut out = Vec::new();
-                            let mut i = 0;
-                            while i < rows.len() {
-                                let id = rows[i].consumer;
-                                let mut kwh = Vec::with_capacity(HOURS_PER_YEAR);
-                                while i < rows.len() && rows[i].consumer == id {
-                                    kwh.push(rows[i].kwh);
-                                    i += 1;
+                    DataFormat::ConsumerPerLine => {
+                        let sc2 = sc.clone();
+                        let m = self.metrics.clone();
+                        lines
+                            .flat_map(move |l| match parse_consumer(&l) {
+                                Ok(row) => vec![row],
+                                Err(_) if policy.skips() => {
+                                    m.incr(counters::ROWS_SKIPPED_DIRTY, 1);
+                                    vec![]
                                 }
-                                out.push((id, kwh));
-                            }
-                            out
-                        })
-                        .collect(),
+                                Err(e) => {
+                                    sc2.defer_error(e);
+                                    vec![]
+                                }
+                            })
+                            .collect()
+                    }
+                    DataFormat::ManyFiles { .. } => {
+                        let sc2 = sc.clone();
+                        let m = self.metrics.clone();
+                        lines
+                            .map_partitions(move |part| {
+                                let mut rows = Vec::with_capacity(part.len());
+                                for l in &part {
+                                    match parse_reading_policed(l, policy, &m) {
+                                        Ok(Some(r)) => rows.push(r),
+                                        Ok(None) => {}
+                                        Err(e) => sc2.defer_error(e),
+                                    }
+                                }
+                                rows.sort_by_key(|r| (r.consumer, r.hour));
+                                let mut out = Vec::new();
+                                let mut i = 0;
+                                while i < rows.len() {
+                                    let id = rows[i].consumer;
+                                    let mut kwh = Vec::with_capacity(HOURS_PER_YEAR);
+                                    while i < rows.len() && rows[i].consumer == id {
+                                        kwh.push(rows[i].kwh);
+                                        i += 1;
+                                    }
+                                    out.push((id, kwh));
+                                }
+                                out
+                            })
+                            .collect()
+                    }
                 };
                 // Driver-side normalize, broadcast, map-side join: the
                 // plan the paper's Spark implementation used.
@@ -162,8 +239,7 @@ impl SparkEngine {
                             if i == q {
                                 continue;
                             }
-                            let score: f64 =
-                                query.iter().zip(v.iter()).map(|(a, b)| a * b).sum();
+                            let score: f64 = query.iter().zip(v.iter()).map(|(a, b)| a * b).sum();
                             hits.push(SimilarityMatch { index: i, score });
                         }
                         select_top_k(&mut hits, SIMILARITY_TOP_K);
@@ -181,66 +257,97 @@ impl SparkEngine {
             }
             _ => {
                 let results: Vec<ConsumerResult> = match format {
-                    DataFormat::ReadingPerLine => lines
-                        .map(|l| {
-                            let r = parse_reading(&l).expect("engine-rendered line parses");
-                            (r.consumer.raw(), (r.hour, r.temperature, r.kwh))
-                        })
-                        .group_by_key(self.shuffle_partitions)
-                        .map(move |(id, mut rows)| {
-                            rows.sort_by_key(|(h, _, _)| *h);
-                            let mut kwh = Vec::with_capacity(HOURS_PER_YEAR);
-                            let mut temps = Vec::with_capacity(HOURS_PER_YEAR);
-                            for (_, t, v) in rows {
-                                temps.push(t);
-                                kwh.push(v);
-                            }
-                            run_consumer_task(task, ConsumerId(id), kwh, &temps)
-                                .expect("assembled year is valid")
-                        })
-                        .collect(),
-                    DataFormat::ConsumerPerLine => {
-                        let temps = temperature.clone();
+                    DataFormat::ReadingPerLine => {
+                        let sc2 = sc.clone();
+                        let m = self.metrics.clone();
                         lines
-                            .map(move |l| {
-                                let (id, kwh) =
-                                    parse_consumer(&l).expect("engine-rendered line parses");
-                                run_consumer_task(task, id, kwh, &temps)
-                                    .expect("rendered year is valid")
+                            .flat_map(move |l| match parse_reading_policed(&l, policy, &m) {
+                                Ok(Some(r)) => {
+                                    vec![(r.consumer.raw(), (r.hour, r.temperature, r.kwh))]
+                                }
+                                Ok(None) => vec![],
+                                Err(e) => {
+                                    sc2.defer_error(e);
+                                    vec![]
+                                }
+                            })
+                            .group_by_key(self.shuffle_partitions)
+                            .map(move |(id, mut rows)| {
+                                rows.sort_by_key(|(h, _, _)| *h);
+                                let mut kwh = Vec::with_capacity(HOURS_PER_YEAR);
+                                let mut temps = Vec::with_capacity(HOURS_PER_YEAR);
+                                for (_, t, v) in rows {
+                                    temps.push(t);
+                                    kwh.push(v);
+                                }
+                                run_consumer_task(task, ConsumerId(id), kwh, &temps)
+                                    .expect("assembled year is valid")
                             })
                             .collect()
                     }
-                    DataFormat::ManyFiles { .. } => lines
-                        .map_partitions(move |part| {
-                            let mut rows: Vec<_> = part
-                                .iter()
-                                .map(|l| parse_reading(l).expect("engine-rendered line parses"))
-                                .collect();
-                            rows.sort_by_key(|r| (r.consumer, r.hour));
-                            let mut out = Vec::new();
-                            let mut i = 0;
-                            while i < rows.len() {
-                                let id = rows[i].consumer;
-                                let mut kwh = Vec::with_capacity(HOURS_PER_YEAR);
-                                let mut temps = Vec::with_capacity(HOURS_PER_YEAR);
-                                while i < rows.len() && rows[i].consumer == id {
-                                    kwh.push(rows[i].kwh);
-                                    temps.push(rows[i].temperature);
-                                    i += 1;
+                    DataFormat::ConsumerPerLine => {
+                        let temps = temperature.clone();
+                        let sc2 = sc.clone();
+                        let m = self.metrics.clone();
+                        lines
+                            .flat_map(move |l| match parse_consumer(&l) {
+                                Ok((id, kwh)) => {
+                                    vec![run_consumer_task(task, id, kwh, &temps)
+                                        .expect("rendered year is valid")]
                                 }
-                                out.push(
-                                    run_consumer_task(task, id, kwh, &temps)
-                                        .expect("file-local year is valid"),
-                                );
-                            }
-                            out
-                        })
-                        .collect(),
+                                Err(_) if policy.skips() => {
+                                    m.incr(counters::ROWS_SKIPPED_DIRTY, 1);
+                                    vec![]
+                                }
+                                Err(e) => {
+                                    sc2.defer_error(e);
+                                    vec![]
+                                }
+                            })
+                            .collect()
+                    }
+                    DataFormat::ManyFiles { .. } => {
+                        let sc2 = sc.clone();
+                        let m = self.metrics.clone();
+                        lines
+                            .map_partitions(move |part| {
+                                let mut rows = Vec::with_capacity(part.len());
+                                for l in &part {
+                                    match parse_reading_policed(l, policy, &m) {
+                                        Ok(Some(r)) => rows.push(r),
+                                        Ok(None) => {}
+                                        Err(e) => sc2.defer_error(e),
+                                    }
+                                }
+                                rows.sort_by_key(|r| (r.consumer, r.hour));
+                                let mut out = Vec::new();
+                                let mut i = 0;
+                                while i < rows.len() {
+                                    let id = rows[i].consumer;
+                                    let mut kwh = Vec::with_capacity(HOURS_PER_YEAR);
+                                    let mut temps = Vec::with_capacity(HOURS_PER_YEAR);
+                                    while i < rows.len() && rows[i].consumer == id {
+                                        kwh.push(rows[i].kwh);
+                                        temps.push(rows[i].temperature);
+                                        i += 1;
+                                    }
+                                    out.push(
+                                        run_consumer_task(task, id, kwh, &temps)
+                                            .expect("file-local year is valid"),
+                                    );
+                                }
+                                out
+                            })
+                            .collect()
+                    }
                 };
                 collect_consumer_results(task, results)
             }
         };
 
+        if let Some(e) = sc.take_error() {
+            return Err(e);
+        }
         Ok(SparkRunResult {
             output,
             virtual_elapsed: sc.virtual_time(),
@@ -258,7 +365,9 @@ mod tests {
 
     fn tiny(n: u32) -> Dataset {
         let temp = TemperatureSeries::new(
-            (0..HOURS_PER_YEAR).map(|h| ((h % 37) as f64) - 8.0).collect(),
+            (0..HOURS_PER_YEAR)
+                .map(|h| ((h % 37) as f64) - 8.0)
+                .collect(),
         )
         .unwrap();
         let consumers = (0..n)
@@ -277,7 +386,11 @@ mod tests {
 
     fn engine(workers: usize) -> SparkEngine {
         SparkEngine::new(
-            ClusterTopology { workers, slots_per_worker: 2, cost: CostModel::spark() },
+            ClusterTopology {
+                workers,
+                slots_per_worker: 2,
+                cost: CostModel::spark(),
+            },
             256 * 1024,
         )
     }
@@ -358,7 +471,10 @@ mod tests {
         spark.load(&ds, DataFormat::ConsumerPerLine).unwrap();
         let r = spark.run_task(Task::Similarity).unwrap();
         check(&ds, &r.output, Task::Similarity);
-        assert!(r.stats.broadcast_bytes > 0, "similarity broadcasts the series");
+        assert!(
+            r.stats.broadcast_bytes > 0,
+            "similarity broadcasts the series"
+        );
         // Broadcast replaces the reduce-side join: shuffle stays zero
         // under format 2.
         assert_eq!(r.stats.shuffle_bytes, 0);
@@ -377,5 +493,68 @@ mod tests {
     fn run_before_load_errors() {
         let mut spark = engine(2);
         assert!(spark.run_task(Task::Histogram).is_err());
+    }
+
+    #[test]
+    fn crash_and_injected_failures_leave_results_exact() {
+        let ds = tiny(4);
+        let mut spark = engine(4);
+        let mut plan = FaultPlan::seeded(11);
+        plan.task_failure_rate = 0.4;
+        plan.max_attempts = 32;
+        plan.crashes.push(smda_cluster::NodeCrash {
+            node: 1,
+            at: Duration::ZERO,
+        });
+        spark.set_fault_plan(plan);
+        spark.load(&ds, DataFormat::ReadingPerLine).unwrap();
+        let r = spark.run_task(Task::Histogram).unwrap();
+        check(&ds, &r.output, Task::Histogram);
+        assert!(r.stats.retries > 0, "a 40% failure rate must retry");
+    }
+
+    #[test]
+    fn retry_exhaustion_surfaces_from_run_task() {
+        let ds = tiny(3);
+        let mut spark = engine(2);
+        let mut plan = FaultPlan::seeded(2);
+        plan.task_failure_rate = 0.999;
+        plan.max_attempts = 2;
+        spark.set_fault_plan(plan);
+        spark.load(&ds, DataFormat::ConsumerPerLine).unwrap();
+        match spark.run_task(Task::Histogram) {
+            Err(Error::TaskFailed { .. }) => {}
+            other => panic!("want TaskFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn losing_every_replica_fails_the_load_with_a_typed_error() {
+        let ds = tiny(3);
+        let mut spark = engine(3);
+        let mut plan = FaultPlan::default();
+        plan.replica_losses = usize::MAX;
+        spark.set_fault_plan(plan);
+        match spark.load(&ds, DataFormat::ReadingPerLine) {
+            Err(Error::BlockUnavailable { .. }) => {}
+            other => panic!("want BlockUnavailable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dirty_line_fails_fast_by_default_but_skips_under_policy() {
+        let ds = tiny(2);
+        let mut spark = engine(2);
+        spark.load(&ds, DataFormat::ReadingPerLine).unwrap();
+        {
+            let split = &mut spark.table.as_mut().unwrap().splits[0];
+            let mut lines = (*split.lines).clone();
+            lines.push("not,a,valid,row".into());
+            split.lines = Arc::new(lines);
+        }
+        assert!(spark.run_task(Task::Histogram).is_err());
+        spark.set_dirty_policy(DirtyDataPolicy::SkipAndCount);
+        let r = spark.run_task(Task::Histogram).unwrap();
+        check(&ds, &r.output, Task::Histogram);
     }
 }

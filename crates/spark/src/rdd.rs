@@ -9,7 +9,7 @@ use std::time::Duration;
 
 use parking_lot::Mutex;
 
-use smda_cluster::{ClusterTopology, SimTask, TextTable, VirtualScheduler, WorkerPool};
+use smda_cluster::{ClusterTopology, FaultPlan, SimTask, TextTable, VirtualScheduler, WorkerPool};
 use smda_obs::MetricsSink;
 use smda_types::{Error, Result};
 
@@ -34,12 +34,20 @@ pub struct SparkStats {
     pub broadcast_bytes: u64,
     /// Bytes pinned by `cache()`d partitions.
     pub cached_bytes: u64,
+    /// Task attempts re-run after a failure or crash.
+    pub retries: u64,
+    /// Speculative backup copies launched for stragglers.
+    pub speculative: u64,
 }
 
 struct CtxState {
     scheduler: VirtualScheduler,
     virtual_time: Duration,
     stats: SparkStats,
+    /// First failure deferred from a stage; actions keep returning data
+    /// so lazy chains stay infallible, and the engine (or any caller)
+    /// surfaces it via [`SparkContext::take_error`].
+    error: Option<Error>,
 }
 
 struct CtxInner {
@@ -56,7 +64,9 @@ pub struct SparkContext {
 
 impl std::fmt::Debug for SparkContext {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SparkContext").field("workers", &self.inner.topology.workers).finish()
+        f.debug_struct("SparkContext")
+            .field("workers", &self.inner.topology.workers)
+            .finish()
     }
 }
 
@@ -84,6 +94,7 @@ impl SparkContext {
                     scheduler: VirtualScheduler::new(topology),
                     virtual_time: Duration::ZERO,
                     stats: SparkStats::default(),
+                    error: None,
                 }),
             }),
         }
@@ -110,6 +121,34 @@ impl SparkContext {
         self.inner.state.lock().scheduler.attach_metrics(sink);
     }
 
+    /// Inject faults (crashes, stragglers, task failures) into all
+    /// subsequent stages.
+    pub fn set_fault_plan(&self, plan: FaultPlan) {
+        self.inner.state.lock().scheduler.set_fault_plan(plan);
+    }
+
+    /// The first failure deferred by a stage, if any (clears it).
+    ///
+    /// RDD actions stay infallible: a stage that exhausts its retry
+    /// budget (or loses every node) records the typed error here and
+    /// returns empty partitions. Check after every action when running
+    /// under a fault plan.
+    pub fn take_error(&self) -> Option<Error> {
+        self.inner.state.lock().error.take()
+    }
+
+    pub(crate) fn defer_error(&self, e: Error) {
+        self.inner.state.lock().error.get_or_insert(e);
+    }
+
+    fn pool_attempts(&self) -> usize {
+        let state = self.inner.state.lock();
+        state
+            .scheduler
+            .fault_plan()
+            .map_or(1, |p| p.max_attempts.max(1))
+    }
+
     /// Distribute a vector over `parts` partitions.
     pub fn parallelize<T: Clone + Send + Sync + 'static>(
         &self,
@@ -118,8 +157,7 @@ impl SparkContext {
     ) -> Rdd<T> {
         let parts = parts.max(1);
         let chunk = data.len().div_ceil(parts).max(1);
-        let chunks: Vec<Arc<Vec<T>>> =
-            data.chunks(chunk).map(|c| Arc::new(c.to_vec())).collect();
+        let chunks: Vec<Arc<Vec<T>>> = data.chunks(chunk).map(|c| Arc::new(c.to_vec())).collect();
         let n = chunks.len().max(1);
         let chunks = Arc::new(chunks);
         let chunks_for_compute = chunks.clone();
@@ -127,7 +165,10 @@ impl SparkContext {
             ctx: self.clone(),
             inner: Arc::new(RddInner {
                 compute: Box::new(move |i| {
-                    chunks_for_compute.get(i).map(|c| c.as_ref().clone()).unwrap_or_default()
+                    chunks_for_compute
+                        .get(i)
+                        .map(|c| c.as_ref().clone())
+                        .unwrap_or_default()
                 }),
                 partitions: n,
                 input_bytes: vec![0; n],
@@ -181,7 +222,9 @@ impl SparkContext {
         state.stats.network_bytes += bytes;
         // Broadcast distribution happens before the consuming stage.
         state.virtual_time += self.inner.topology.cost.network(bytes);
-        Broadcast { value: Arc::new(value) }
+        Broadcast {
+            value: Arc::new(value),
+        }
     }
 }
 
@@ -207,7 +250,10 @@ pub struct Rdd<T> {
 
 impl<T> Clone for Rdd<T> {
     fn clone(&self) -> Self {
-        Rdd { ctx: self.ctx.clone(), inner: self.inner.clone() }
+        Rdd {
+            ctx: self.ctx.clone(),
+            inner: self.inner.clone(),
+        }
     }
 }
 
@@ -296,11 +342,19 @@ impl<T: Clone + Send + Sync + 'static> Rdd<T> {
         let n = self.inner.partitions;
         let this = self.clone();
         let metrics = self.ctx.inner.state.lock().scheduler.metrics().clone();
-        let results = self.ctx.inner.pool.run_metered(
+        let attempts = self.ctx.pool_attempts();
+        let results = match self.ctx.inner.pool.run_retrying(
             (0..n).collect::<Vec<usize>>(),
             move |i| this.compute_partition(i),
+            attempts,
             &metrics,
-        );
+        ) {
+            Ok(r) => r,
+            Err(e) => {
+                self.ctx.defer_error(e);
+                return vec![Vec::new(); n];
+            }
+        };
         let mut sim = Vec::with_capacity(n);
         for (i, (_, compute)) in results.iter().enumerate() {
             sim.push(SimTask {
@@ -313,11 +367,19 @@ impl<T: Clone + Send + Sync + 'static> Rdd<T> {
         }
         let mut state = self.ctx.inner.state.lock();
         let barrier = state.virtual_time;
-        let phase = state.scheduler.run_phase(&sim, barrier);
+        let phase = match state.scheduler.try_run_phase(&sim, barrier) {
+            Ok(p) => p,
+            Err(e) => {
+                state.error.get_or_insert(e);
+                return vec![Vec::new(); n];
+            }
+        };
         state.virtual_time = phase.end;
         state.stats.stages += 1;
         state.stats.tasks += n as u64;
         state.stats.network_bytes += phase.network_bytes;
+        state.stats.retries += phase.retries;
+        state.stats.speculative += phase.speculative;
         drop(state);
         results.into_iter().map(|(data, _)| data).collect()
     }
@@ -372,27 +434,23 @@ where
 {
     /// Deduplicate elements (wide: shuffles by value).
     pub fn distinct(&self, parts: usize) -> Rdd<T> {
-        self.map(|t| (t, ()))
-            .group_by_key(parts)
-            .map(|(t, _)| t)
+        self.map(|t| (t, ())).group_by_key(parts).map(|(t, _)| t)
     }
 }
 
 impl<T: Clone + Send + Sync + 'static> Rdd<T> {
     /// Globally sort by a key (wide: Spark's `sortBy` shuffles into range
     /// partitions; here the key is hashed per group then merged sorted).
-    pub fn sort_by<K>(
-        &self,
-        parts: usize,
-        key: impl Fn(&T) -> K + Send + Sync + 'static,
-    ) -> Vec<T>
+    pub fn sort_by<K>(&self, parts: usize, key: impl Fn(&T) -> K + Send + Sync + 'static) -> Vec<T>
     where
         T: SizeOf,
         K: Clone + Send + Sync + Ord + Hash + SizeOf + 'static,
     {
         // keyBy → shuffle → per-partition sorted groups → driver merge.
-        let mut keyed: Vec<(K, Vec<T>)> =
-            self.map(move |t| (key(&t), t)).group_by_key(parts).collect();
+        let mut keyed: Vec<(K, Vec<T>)> = self
+            .map(move |t| (key(&t), t))
+            .group_by_key(parts)
+            .collect();
         keyed.sort_by(|a, b| a.0.cmp(&b.0));
         keyed.into_iter().flat_map(|(_, vs)| vs).collect()
     }
@@ -465,11 +523,19 @@ where
         let n = self.inner.partitions;
         let this = self.clone();
         let metrics = self.ctx.inner.state.lock().scheduler.metrics().clone();
-        let results = self.ctx.inner.pool.run_metered(
+        let attempts = self.ctx.pool_attempts();
+        let results = match self.ctx.inner.pool.run_retrying(
             (0..n).collect::<Vec<usize>>(),
             move |i| this.compute_partition(i),
+            attempts,
             &metrics,
-        );
+        ) {
+            Ok(r) => r,
+            Err(e) => {
+                self.ctx.defer_error(e);
+                return vec![Vec::new(); n];
+            }
+        };
         let mut sim = Vec::with_capacity(n);
         let mut data = Vec::with_capacity(n);
         for (i, (part, compute)) in results.into_iter().enumerate() {
@@ -485,11 +551,19 @@ where
         }
         let mut state = self.ctx.inner.state.lock();
         let barrier = state.virtual_time;
-        let phase = state.scheduler.run_phase(&sim, barrier);
+        let phase = match state.scheduler.try_run_phase(&sim, barrier) {
+            Ok(p) => p,
+            Err(e) => {
+                state.error.get_or_insert(e);
+                return vec![Vec::new(); n];
+            }
+        };
         state.virtual_time = phase.end;
         state.stats.stages += 1;
         state.stats.tasks += n as u64;
         state.stats.network_bytes += phase.network_bytes;
+        state.stats.retries += phase.retries;
+        state.stats.speculative += phase.speculative;
         data
     }
 }
@@ -538,7 +612,10 @@ mod tests {
     fn reduce_by_key_sums() {
         let sc = ctx(2);
         let pairs: Vec<(u64, u64)> = vec![(1, 10), (2, 20), (1, 5), (2, 2)];
-        let mut out = sc.parallelize(pairs, 2).reduce_by_key(2, |a, b| a + b).collect();
+        let mut out = sc
+            .parallelize(pairs, 2)
+            .reduce_by_key(2, |a, b| a + b)
+            .collect();
         out.sort();
         assert_eq!(out, vec![(1, 15), (2, 22)]);
     }
@@ -546,7 +623,10 @@ mod tests {
     #[test]
     fn cache_pins_partitions_and_counts_bytes() {
         let sc = ctx(2);
-        let rdd = sc.parallelize((0u64..1000).collect(), 4).map(|x| x + 1).cache();
+        let rdd = sc
+            .parallelize((0u64..1000).collect(), 4)
+            .map(|x| x + 1)
+            .cache();
         let a = rdd.collect();
         let cached_after_first = sc.stats().cached_bytes;
         assert!(cached_after_first > 0);
@@ -588,7 +668,10 @@ mod tests {
     #[test]
     fn flat_map_expands() {
         let sc = ctx(2);
-        let out = sc.parallelize(vec![1u64, 2], 1).flat_map(|x| vec![x; x as usize]).collect();
+        let out = sc
+            .parallelize(vec![1u64, 2], 1)
+            .flat_map(|x| vec![x; x as usize])
+            .collect();
         assert_eq!(out, vec![1, 2, 2]);
     }
 
@@ -606,7 +689,10 @@ mod tests {
     #[test]
     fn distinct_deduplicates() {
         let sc = ctx(2);
-        let mut out = sc.parallelize(vec![3u64, 1, 3, 2, 1, 1], 3).distinct(2).collect();
+        let mut out = sc
+            .parallelize(vec![3u64, 1, 3, 2, 1, 1], 3)
+            .distinct(2)
+            .collect();
         out.sort();
         assert_eq!(out, vec![1, 2, 3]);
     }
@@ -624,5 +710,68 @@ mod tests {
         let sc = ctx(2);
         let out: Vec<u64> = sc.parallelize(Vec::new(), 3).collect();
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn results_stay_exact_under_a_node_crash() {
+        let sc = ctx(3);
+        let mut plan = FaultPlan::default();
+        plan.crashes.push(smda_cluster::NodeCrash {
+            node: 0,
+            at: Duration::ZERO,
+        });
+        sc.set_fault_plan(plan);
+        let out = sc
+            .parallelize((0u64..100).collect(), 6)
+            .map(|x| x * 2)
+            .collect();
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<u64>>());
+        assert!(sc.take_error().is_none());
+    }
+
+    #[test]
+    fn retry_exhaustion_is_deferred_as_a_typed_error() {
+        let sc = ctx(2);
+        let mut plan = FaultPlan::seeded(3);
+        plan.task_failure_rate = 0.999;
+        plan.max_attempts = 2;
+        sc.set_fault_plan(plan);
+        let out = sc.parallelize((0u64..10).collect(), 4).collect();
+        assert!(out.is_empty(), "a failed stage returns no data");
+        match sc.take_error() {
+            Some(Error::TaskFailed { attempts, .. }) => assert_eq!(attempts, 2),
+            other => panic!("want a deferred TaskFailed, got {other:?}"),
+        }
+        assert!(sc.take_error().is_none(), "take_error clears the slot");
+    }
+
+    #[test]
+    fn injected_failures_retry_and_count() {
+        let sc = ctx(2);
+        let mut plan = FaultPlan::seeded(5);
+        plan.task_failure_rate = 0.5;
+        plan.max_attempts = 32;
+        sc.set_fault_plan(plan);
+        let out = sc
+            .parallelize((0u64..40).collect(), 8)
+            .map(|x| x + 1)
+            .collect();
+        assert_eq!(out.len(), 40);
+        assert!(sc.take_error().is_none());
+        assert!(sc.stats().retries > 0, "a 50% failure rate must retry");
+    }
+
+    #[test]
+    fn panicking_task_defers_task_failed() {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let sc = ctx(2);
+        let out = sc
+            .parallelize((0u64..10).collect(), 2)
+            .map(|x| if x == 7 { panic!("boom") } else { x })
+            .collect();
+        std::panic::set_hook(prev);
+        assert!(out.is_empty());
+        assert!(matches!(sc.take_error(), Some(Error::TaskFailed { .. })));
     }
 }

@@ -47,7 +47,10 @@ impl HistogramSpec {
     /// The `[lo, hi)` edges of bucket `i`.
     pub fn edges(&self, i: usize) -> (f64, f64) {
         let width = (self.max - self.min) / self.buckets as f64;
-        (self.min + width * i as f64, self.min + width * (i + 1) as f64)
+        (
+            self.min + width * i as f64,
+            self.min + width * (i + 1) as f64,
+        )
     }
 }
 
@@ -131,14 +134,22 @@ mod tests {
 
     #[test]
     fn fixed_spec_drops_out_of_range() {
-        let spec = HistogramSpec { min: 0.0, max: 1.0, buckets: 4 };
+        let spec = HistogramSpec {
+            min: 0.0,
+            max: 1.0,
+            buckets: 4,
+        };
         let h = EquiWidthHistogram::build_with_spec(&[-1.0, 0.1, 0.6, 2.0], spec);
         assert_eq!(h.total(), 2);
     }
 
     #[test]
     fn edges_partition_range() {
-        let spec = HistogramSpec { min: 0.0, max: 10.0, buckets: 5 };
+        let spec = HistogramSpec {
+            min: 0.0,
+            max: 10.0,
+            buckets: 5,
+        };
         assert_eq!(spec.edges(0), (0.0, 2.0));
         assert_eq!(spec.edges(4), (8.0, 10.0));
     }

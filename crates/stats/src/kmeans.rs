@@ -22,7 +22,12 @@ pub struct KMeansConfig {
 
 impl Default for KMeansConfig {
     fn default() -> Self {
-        KMeansConfig { k: 8, max_iterations: 100, tolerance: 1e-9, seed: 42 }
+        KMeansConfig {
+            k: 8,
+            max_iterations: 100,
+            tolerance: 1e-9,
+            seed: 42,
+        }
     }
 }
 
@@ -109,7 +114,12 @@ impl KMeans {
             assignments[i] = a;
             inertia += dist;
         }
-        Some(KMeans { centroids, assignments, inertia, iterations })
+        Some(KMeans {
+            centroids,
+            assignments,
+            inertia,
+            iterations,
+        })
     }
 
     /// Members of cluster `c` (indices into the input points).
@@ -200,7 +210,14 @@ mod tests {
     fn separates_two_well_spaced_blobs() {
         let mut pts = blob(&[0.0, 0.0], 30, 0.5, 0);
         pts.extend(blob(&[10.0, 10.0], 30, 0.5, 5));
-        let km = KMeans::fit(&pts, KMeansConfig { k: 2, ..Default::default() }).unwrap();
+        let km = KMeans::fit(
+            &pts,
+            KMeansConfig {
+                k: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         // All points in one blob share an assignment.
         let first = km.assignments[0];
         assert!(km.assignments[..30].iter().all(|&a| a == first));
@@ -212,7 +229,11 @@ mod tests {
     #[test]
     fn deterministic_for_fixed_seed() {
         let pts = blob(&[1.0, 2.0, 3.0], 50, 2.0, 0);
-        let cfg = KMeansConfig { k: 4, seed: 7, ..Default::default() };
+        let cfg = KMeansConfig {
+            k: 4,
+            seed: 7,
+            ..Default::default()
+        };
         let a = KMeans::fit(&pts, cfg).unwrap();
         let b = KMeans::fit(&pts, cfg).unwrap();
         assert_eq!(a.assignments, b.assignments);
@@ -222,21 +243,42 @@ mod tests {
     #[test]
     fn k_clamped_to_point_count() {
         let pts = vec![vec![0.0], vec![1.0]];
-        let km = KMeans::fit(&pts, KMeansConfig { k: 10, ..Default::default() }).unwrap();
+        let km = KMeans::fit(
+            &pts,
+            KMeansConfig {
+                k: 10,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_eq!(km.k(), 2);
     }
 
     #[test]
     fn rejects_degenerate_input() {
         assert!(KMeans::fit(&[], KMeansConfig::default()).is_none());
-        assert!(KMeans::fit(&[vec![1.0]], KMeansConfig { k: 0, ..Default::default() }).is_none());
+        assert!(KMeans::fit(
+            &[vec![1.0]],
+            KMeansConfig {
+                k: 0,
+                ..Default::default()
+            }
+        )
+        .is_none());
         assert!(KMeans::fit(&[vec![1.0], vec![1.0, 2.0]], KMeansConfig::default()).is_none());
     }
 
     #[test]
     fn identical_points_converge_instantly() {
         let pts = vec![vec![3.0, 3.0]; 10];
-        let km = KMeans::fit(&pts, KMeansConfig { k: 2, ..Default::default() }).unwrap();
+        let km = KMeans::fit(
+            &pts,
+            KMeansConfig {
+                k: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert!(km.inertia < 1e-18);
     }
 
@@ -244,7 +286,14 @@ mod tests {
     fn members_partition_points() {
         let mut pts = blob(&[0.0], 10, 0.1, 0);
         pts.extend(blob(&[5.0], 10, 0.1, 3));
-        let km = KMeans::fit(&pts, KMeansConfig { k: 2, ..Default::default() }).unwrap();
+        let km = KMeans::fit(
+            &pts,
+            KMeansConfig {
+                k: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let total: usize = (0..km.k()).map(|c| km.members(c).len()).sum();
         assert_eq!(total, pts.len());
     }
@@ -252,8 +301,24 @@ mod tests {
     #[test]
     fn more_clusters_never_increase_inertia() {
         let pts = blob(&[0.0, 1.0], 60, 4.0, 0);
-        let i2 = KMeans::fit(&pts, KMeansConfig { k: 2, ..Default::default() }).unwrap().inertia;
-        let i6 = KMeans::fit(&pts, KMeansConfig { k: 6, ..Default::default() }).unwrap().inertia;
+        let i2 = KMeans::fit(
+            &pts,
+            KMeansConfig {
+                k: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+        .inertia;
+        let i6 = KMeans::fit(
+            &pts,
+            KMeansConfig {
+                k: 6,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+        .inertia;
         assert!(i6 <= i2 + 1e-9, "inertia k=6 {i6} should be <= k=2 {i2}");
     }
 }

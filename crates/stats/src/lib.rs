@@ -34,6 +34,6 @@ pub use regression::{ols_multiple, ols_simple, MultipleFit, SimpleFit};
 pub use rng::{GaussianNoise, Picker};
 pub use sax::{mindist, sax, SaxConfig, SaxWord};
 pub use similarity::{
-    cosine_similarity, dot, normalize_all, select_top_k, top_k_cosine, top_k_normalized, norm2,
+    cosine_similarity, dot, norm2, normalize_all, select_top_k, top_k_cosine, top_k_normalized,
     SimilarityMatch,
 };

@@ -23,7 +23,11 @@ pub struct Matrix {
 impl Matrix {
     /// A `rows × cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Build from a row-major data vector.
@@ -47,7 +51,11 @@ impl Matrix {
             assert_eq!(row.len(), c, "all rows must have the same length");
             data.extend_from_slice(row);
         }
-        Matrix { rows: r, cols: c, data }
+        Matrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// The `n × n` identity matrix.
@@ -232,7 +240,10 @@ pub fn cholesky_solve(a: &Matrix, b: &[f64]) -> Option<Vec<f64>> {
 /// Panics if `y.len() != x.rows()` or `x.rows() < x.cols()`.
 pub fn qr_least_squares(x: &Matrix, y: &[f64]) -> Option<Vec<f64>> {
     assert_eq!(y.len(), x.rows(), "rhs length must equal row count");
-    assert!(x.rows() >= x.cols(), "need at least as many rows as columns");
+    assert!(
+        x.rows() >= x.cols(),
+        "need at least as many rows as columns"
+    );
     let m = x.rows();
     let n = x.cols();
     let mut r = x.clone();

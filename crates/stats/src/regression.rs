@@ -62,7 +62,13 @@ pub fn ols_simple(x: &[f64], y: &[f64]) -> Option<SimpleFit> {
     let intercept = my - slope * mx;
     let sse = (syy - slope * sxy).max(0.0);
     let r2 = if syy > 0.0 { 1.0 - sse / syy } else { f64::NAN };
-    Some(SimpleFit { intercept, slope, sse, r2, n })
+    Some(SimpleFit {
+        intercept,
+        slope,
+        sse,
+        r2,
+        n,
+    })
 }
 
 /// Result of a multiple OLS fit `y ≈ Xβ`.
@@ -84,7 +90,11 @@ impl MultipleFit {
     /// # Panics
     /// Panics if `row.len() != beta.len()`.
     pub fn predict(&self, row: &[f64]) -> f64 {
-        assert_eq!(row.len(), self.beta.len(), "row arity must match coefficients");
+        assert_eq!(
+            row.len(),
+            self.beta.len(),
+            "row arity must match coefficients"
+        );
         row.iter().zip(&self.beta).map(|(a, b)| a * b).sum()
     }
 }
@@ -138,8 +148,11 @@ mod tests {
     fn simple_noisy_line_recovers_trend() {
         let x: Vec<f64> = (0..100).map(|i| i as f64).collect();
         // Deterministic "noise" that averages out.
-        let y: Vec<f64> =
-            x.iter().enumerate().map(|(i, v)| 3.0 * v + if i % 2 == 0 { 0.5 } else { -0.5 }).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .enumerate()
+            .map(|(i, v)| 3.0 * v + if i % 2 == 0 { 0.5 } else { -0.5 })
+            .collect();
         let f = ols_simple(&x, &y).unwrap();
         assert!((f.slope - 3.0).abs() < 0.01, "slope {}", f.slope);
         assert!(f.r2 > 0.999);

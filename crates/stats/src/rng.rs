@@ -22,8 +22,16 @@ impl GaussianNoise {
     /// # Panics
     /// Panics if `stddev` is negative or not finite.
     pub fn new(mean: f64, stddev: f64, seed: u64) -> Self {
-        assert!(stddev >= 0.0 && stddev.is_finite(), "stddev must be finite and non-negative");
-        GaussianNoise { rng: StdRng::seed_from_u64(seed), mean, stddev, spare: None }
+        assert!(
+            stddev >= 0.0 && stddev.is_finite(),
+            "stddev must be finite and non-negative"
+        );
+        GaussianNoise {
+            rng: StdRng::seed_from_u64(seed),
+            mean,
+            stddev,
+            spare: None,
+        }
     }
 
     /// Draw one sample.
@@ -59,7 +67,9 @@ pub struct Picker {
 impl Picker {
     /// A picker seeded with `seed`.
     pub fn new(seed: u64) -> Self {
-        Picker { rng: StdRng::seed_from_u64(seed) }
+        Picker {
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Uniform index in `0..n`.

@@ -34,7 +34,10 @@ pub struct SaxConfig {
 
 impl Default for SaxConfig {
     fn default() -> Self {
-        SaxConfig { word_length: 24, alphabet: 4 }
+        SaxConfig {
+            word_length: 24,
+            alphabet: 4,
+        }
     }
 }
 
@@ -101,7 +104,11 @@ pub fn sax(series: &[f64], config: SaxConfig) -> SaxWord {
         .iter()
         .map(|&v| bps.iter().take_while(|&&b| v >= b).count() as u8)
         .collect();
-    SaxWord { symbols, alphabet: config.alphabet, series_len: series.len() }
+    SaxWord {
+        symbols,
+        alphabet: config.alphabet,
+        series_len: series.len(),
+    }
 }
 
 /// MINDIST: the lower-bounding distance between two SAX words
@@ -170,9 +177,19 @@ mod tests {
     fn sax_word_reflects_shape() {
         // A ramp: symbols must be non-decreasing.
         let series: Vec<f64> = (0..96).map(|i| i as f64).collect();
-        let w = sax(&series, SaxConfig { word_length: 8, alphabet: 4 });
+        let w = sax(
+            &series,
+            SaxConfig {
+                word_length: 8,
+                alphabet: 4,
+            },
+        );
         assert_eq!(w.symbols.len(), 8);
-        assert!(w.symbols.windows(2).all(|p| p[0] <= p[1]), "{:?}", w.symbols);
+        assert!(
+            w.symbols.windows(2).all(|p| p[0] <= p[1]),
+            "{:?}",
+            w.symbols
+        );
         assert_eq!(w.symbols[0], 0);
         assert_eq!(w.symbols[7], 3);
         assert_eq!(w.to_letters().len(), 8);
@@ -194,9 +211,16 @@ mod tests {
         let b: Vec<f64> = (0..96).map(|i| (i as f64 / 5.0).cos() * 2.0).collect();
         let za = z_normalize(&a);
         let zb = z_normalize(&b);
-        let euclid: f64 =
-            za.iter().zip(&zb).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt();
-        let cfg = SaxConfig { word_length: 12, alphabet: 6 };
+        let euclid: f64 = za
+            .iter()
+            .zip(&zb)
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+            .sqrt();
+        let cfg = SaxConfig {
+            word_length: 12,
+            alphabet: 6,
+        };
         let d = mindist(&sax(&a, cfg), &sax(&b, cfg));
         assert!(d <= euclid + 1e-9, "mindist {d} vs euclidean {euclid}");
         assert!(d > 0.0, "distinct shapes should have positive mindist");
@@ -206,7 +230,10 @@ mod tests {
     fn opposite_trends_are_far_apart() {
         let up: Vec<f64> = (0..48).map(|i| i as f64).collect();
         let down: Vec<f64> = (0..48).map(|i| -(i as f64)).collect();
-        let cfg = SaxConfig { word_length: 8, alphabet: 8 };
+        let cfg = SaxConfig {
+            word_length: 8,
+            alphabet: 8,
+        };
         let d = mindist(&sax(&up, cfg), &sax(&down, cfg));
         assert!(d > 1.0, "opposite ramps mindist {d}");
     }
@@ -214,6 +241,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "alphabet size")]
     fn oversized_alphabet_panics() {
-        sax(&[1.0; 32], SaxConfig { word_length: 4, alphabet: 26 });
+        sax(
+            &[1.0; 32],
+            SaxConfig {
+                word_length: 4,
+                alphabet: 26,
+            },
+        );
     }
 }

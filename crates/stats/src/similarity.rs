@@ -59,7 +59,10 @@ pub fn top_k_normalized(normalized: &[Vec<f64>], query: usize, k: usize) -> Vec<
         if i == query {
             continue;
         }
-        hits.push(SimilarityMatch { index: i, score: dot(q, v) });
+        hits.push(SimilarityMatch {
+            index: i,
+            score: dot(q, v),
+        });
     }
     select_top_k(&mut hits, k);
     hits
@@ -70,7 +73,9 @@ pub fn top_k_normalized(normalized: &[Vec<f64>], query: usize, k: usize) -> Vec<
 /// the engines parallelize their own variants.
 pub fn top_k_cosine(series: &[Vec<f64>], k: usize) -> Vec<Vec<SimilarityMatch>> {
     let normalized = normalize_all(series);
-    (0..series.len()).map(|i| top_k_normalized(&normalized, i, k)).collect()
+    (0..series.len())
+        .map(|i| top_k_normalized(&normalized, i, k))
+        .collect()
 }
 
 /// Truncate `hits` to the `k` best, sorted best-first (score desc, index
@@ -129,7 +134,10 @@ mod tests {
         assert_eq!(hits[0].index, 3);
         assert_eq!(hits[1].index, 1);
         assert!(hits[0].score >= hits[1].score);
-        assert!(all.iter().enumerate().all(|(i, hs)| hs.iter().all(|h| h.index != i)));
+        assert!(all
+            .iter()
+            .enumerate()
+            .all(|(i, hs)| hs.iter().all(|h| h.index != i)));
     }
 
     #[test]
@@ -157,7 +165,10 @@ mod tests {
 
     #[test]
     fn select_top_k_handles_small_inputs() {
-        let mut hits = vec![SimilarityMatch { index: 0, score: 0.5 }];
+        let mut hits = vec![SimilarityMatch {
+            index: 0,
+            score: 0.5,
+        }];
         select_top_k(&mut hits, 5);
         assert_eq!(hits.len(), 1);
         let mut hits: Vec<SimilarityMatch> = Vec::new();
@@ -168,10 +179,18 @@ mod tests {
     #[test]
     fn select_top_k_matches_full_sort() {
         let mut hits: Vec<SimilarityMatch> = (0..100)
-            .map(|i| SimilarityMatch { index: i, score: ((i * 37) % 100) as f64 / 100.0 })
+            .map(|i| SimilarityMatch {
+                index: i,
+                score: ((i * 37) % 100) as f64 / 100.0,
+            })
             .collect();
         let mut expected = hits.clone();
-        expected.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap().then(a.index.cmp(&b.index)));
+        expected.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap()
+                .then(a.index.cmp(&b.index))
+        });
         expected.truncate(10);
         select_top_k(&mut hits, 10);
         assert_eq!(hits, expected);

@@ -48,7 +48,11 @@ impl BTreeIndex {
     /// An empty index.
     pub fn new() -> Self {
         BTreeIndex {
-            nodes: vec![Node::Leaf { keys: Vec::new(), postings: Vec::new(), next: None }],
+            nodes: vec![Node::Leaf {
+                keys: Vec::new(),
+                postings: Vec::new(),
+                next: None,
+            }],
             root: 0,
             len: 0,
         }
@@ -84,30 +88,31 @@ impl BTreeIndex {
         self.len += 1;
         if let InsertResult::Split { sep, right } = self.insert_into(self.root, key, value) {
             let old_root = self.root;
-            self.nodes.push(Node::Internal { keys: vec![sep], children: vec![old_root, right] });
+            self.nodes.push(Node::Internal {
+                keys: vec![sep],
+                children: vec![old_root, right],
+            });
             self.root = self.nodes.len() - 1;
         }
     }
 
     fn insert_into(&mut self, node: usize, key: u64, value: u64) -> InsertResult {
         match &mut self.nodes[node] {
-            Node::Leaf { keys, postings, .. } => {
-                match keys.binary_search(&key) {
-                    Ok(i) => {
-                        postings[i].push(value);
+            Node::Leaf { keys, postings, .. } => match keys.binary_search(&key) {
+                Ok(i) => {
+                    postings[i].push(value);
+                    InsertResult::Done
+                }
+                Err(i) => {
+                    keys.insert(i, key);
+                    postings.insert(i, vec![value]);
+                    if keys.len() > ORDER {
+                        self.split_leaf(node)
+                    } else {
                         InsertResult::Done
                     }
-                    Err(i) => {
-                        keys.insert(i, key);
-                        postings.insert(i, vec![value]);
-                        if keys.len() > ORDER {
-                            self.split_leaf(node)
-                        } else {
-                            InsertResult::Done
-                        }
-                    }
                 }
-            }
+            },
             Node::Internal { keys, children } => {
                 let idx = keys.partition_point(|k| *k <= key);
                 let child = children[idx];
@@ -132,7 +137,12 @@ impl BTreeIndex {
 
     fn split_leaf(&mut self, node: usize) -> InsertResult {
         let new_index = self.nodes.len();
-        let Node::Leaf { keys, postings, next } = &mut self.nodes[node] else {
+        let Node::Leaf {
+            keys,
+            postings,
+            next,
+        } = &mut self.nodes[node]
+        else {
             unreachable!("split_leaf called on a leaf")
         };
         let mid = keys.len() / 2;
@@ -141,8 +151,15 @@ impl BTreeIndex {
         let sep = right_keys[0];
         let right_next = *next;
         *next = Some(new_index);
-        self.nodes.push(Node::Leaf { keys: right_keys, postings: right_postings, next: right_next });
-        InsertResult::Split { sep, right: new_index }
+        self.nodes.push(Node::Leaf {
+            keys: right_keys,
+            postings: right_postings,
+            next: right_next,
+        });
+        InsertResult::Split {
+            sep,
+            right: new_index,
+        }
     }
 
     fn split_internal(&mut self, node: usize) -> InsertResult {
@@ -156,8 +173,14 @@ impl BTreeIndex {
         let right_keys = keys.split_off(mid + 1);
         keys.pop();
         let right_children = children.split_off(mid + 1);
-        self.nodes.push(Node::Internal { keys: right_keys, children: right_children });
-        InsertResult::Split { sep, right: new_index }
+        self.nodes.push(Node::Internal {
+            keys: right_keys,
+            children: right_children,
+        });
+        InsertResult::Split {
+            sep,
+            right: new_index,
+        }
     }
 
     fn find_leaf(&self, key: u64) -> usize {
@@ -188,7 +211,12 @@ impl BTreeIndex {
         let mut out = Vec::new();
         let mut node = Some(self.find_leaf(lo));
         while let Some(n) = node {
-            let Node::Leaf { keys, postings, next } = &self.nodes[n] else {
+            let Node::Leaf {
+                keys,
+                postings,
+                next,
+            } = &self.nodes[n]
+            else {
                 unreachable!("leaf chain only contains leaves")
             };
             for (i, k) in keys.iter().enumerate() {
@@ -206,7 +234,10 @@ impl BTreeIndex {
 
     /// All keys in ascending order.
     pub fn keys(&self) -> Vec<u64> {
-        self.range(0, u64::MAX).into_iter().map(|(k, _)| k).collect()
+        self.range(0, u64::MAX)
+            .into_iter()
+            .map(|(k, _)| k)
+            .collect()
     }
 }
 

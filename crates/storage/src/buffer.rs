@@ -73,13 +73,21 @@ impl BufferPool {
         self.stats.misses += 1;
         let page = heap.read_page(page_no)?;
         let slot = if self.frames.len() < self.capacity {
-            self.frames.push(Frame { page_no, page, referenced: true });
+            self.frames.push(Frame {
+                page_no,
+                page,
+                referenced: true,
+            });
             self.frames.len() - 1
         } else {
             let victim = self.pick_victim();
             self.stats.evictions += 1;
             self.map.remove(&self.frames[victim].page_no);
-            self.frames[victim] = Frame { page_no, page, referenced: true };
+            self.frames[victim] = Frame {
+                page_no,
+                page,
+                referenced: true,
+            };
             victim
         };
         self.map.insert(page_no, slot);
@@ -134,8 +142,7 @@ mod tests {
     use super::*;
 
     fn heap_with_pages(tag: &str, pages: usize) -> (HeapFile, std::path::PathBuf) {
-        let path =
-            std::env::temp_dir().join(format!("smda-pool-{tag}-{}.db", std::process::id()));
+        let path = std::env::temp_dir().join(format!("smda-pool-{tag}-{}.db", std::process::id()));
         let mut heap = HeapFile::create(&path).unwrap();
         // Each 4000-byte tuple fills most of a page, so 2 tuples ≈ 1 page.
         for i in 0..(pages * 2) {
@@ -181,13 +188,17 @@ mod tests {
         let mut pool = BufferPool::new(2);
         pool.get(&mut heap, 0).unwrap(); // frame 0
         pool.get(&mut heap, 1).unwrap(); // frame 1
-        // The sweep starts at frame 0 and clears reference bits as it
-        // passes, so with both frames referenced the victim is frame 0:
-        // page 1 gets its second chance, page 0 is evicted.
+                                         // The sweep starts at frame 0 and clears reference bits as it
+                                         // passes, so with both frames referenced the victim is frame 0:
+                                         // page 1 gets its second chance, page 0 is evicted.
         pool.get(&mut heap, 2).unwrap();
         let before = pool.stats().hits;
         pool.get(&mut heap, 1).unwrap();
-        assert_eq!(pool.stats().hits, before + 1, "page 1 should still be resident");
+        assert_eq!(
+            pool.stats().hits,
+            before + 1,
+            "page 1 should still be resident"
+        );
         // And page 0 is gone.
         pool.get(&mut heap, 0).unwrap();
         assert_eq!(pool.stats().evictions, 2);

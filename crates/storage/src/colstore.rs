@@ -67,7 +67,8 @@ fn write_f64_column(path: &Path, values: impl Iterator<Item = f64>) -> Result<()
     let mut buf = [0u8; 8];
     for v in values {
         (&mut buf[..]).put_f64_le(v);
-        w.write_all(&buf).map_err(|e| Error::io("writing column value", e))?;
+        w.write_all(&buf)
+            .map_err(|e| Error::io("writing column value", e))?;
     }
     w.flush().map_err(|e| Error::io("flushing column", e))
 }
@@ -83,7 +84,9 @@ impl ColumnStore {
             .map_err(|e| Error::io(format!("creating {}", dir.display()), e))?;
         write_f64_column(
             &dir.join("kwh.col"),
-            ds.consumers().iter().flat_map(|c| c.readings().iter().copied()),
+            ds.consumers()
+                .iter()
+                .flat_map(|c| c.readings().iter().copied()),
         )?;
         write_f64_column(
             &dir.join("temperature.col"),
@@ -118,7 +121,10 @@ impl ColumnStore {
             .write(true)
             .open(&kwh_path)
             .map_err(|e| Error::io(format!("opening {}", kwh_path.display()), e))?;
-        let len = kwh_file.metadata().map_err(|e| Error::io("stat kwh.col", e))?.len();
+        let len = kwh_file
+            .metadata()
+            .map_err(|e| Error::io("stat kwh.col", e))?
+            .len();
         if len % 8 != 0 {
             return Err(Error::Schema("kwh.col not f64-aligned".into()));
         }
@@ -183,13 +189,19 @@ impl ColumnStore {
             self.stats.resident_bytes += values.len() * 8;
             self.chunks.insert(chunk_no, values);
         }
-        Ok(self.chunks.get(&chunk_no).expect("just inserted").as_slice())
+        Ok(self
+            .chunks
+            .get(&chunk_no)
+            .expect("just inserted")
+            .as_slice())
     }
 
     /// One consumer's year of readings, assembled from resident chunks.
     pub fn readings(&mut self, index: usize) -> Result<Vec<f64>> {
         if index >= self.consumers.len() {
-            return Err(Error::Invalid(format!("consumer index {index} out of range")));
+            return Err(Error::Invalid(format!(
+                "consumer index {index} out of range"
+            )));
         }
         let start = index * HOURS_PER_YEAR;
         let end = start + HOURS_PER_YEAR;
@@ -277,15 +289,16 @@ mod tests {
     use super::*;
 
     fn tiny(n: u32) -> Dataset {
-        let temp = TemperatureSeries::new(
-            (0..HOURS_PER_YEAR).map(|h| (h % 30) as f64 - 5.0).collect(),
-        )
-        .unwrap();
+        let temp =
+            TemperatureSeries::new((0..HOURS_PER_YEAR).map(|h| (h % 30) as f64 - 5.0).collect())
+                .unwrap();
         let consumers = (0..n)
             .map(|i| {
                 ConsumerSeries::new(
                     ConsumerId(i),
-                    (0..HOURS_PER_YEAR).map(|h| (i as f64) + (h % 24) as f64 * 0.01).collect(),
+                    (0..HOURS_PER_YEAR)
+                        .map(|h| (i as f64) + (h % 24) as f64 * 0.01)
+                        .collect(),
                 )
                 .unwrap()
             })

@@ -14,7 +14,7 @@ use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::{Path, PathBuf};
 
 use smda_types::{
-    csv, ConsumerId, ConsumerSeries, Dataset, DataFormat, Error, FormatReader, FormatWriter,
+    csv, ConsumerId, ConsumerSeries, DataFormat, Dataset, Error, FormatReader, FormatWriter,
     Result, TemperatureSeries, HOURS_PER_YEAR,
 };
 
@@ -52,7 +52,8 @@ impl FileStore {
     /// Materialize `ds` under `dir` in the given layout.
     pub fn create(dir: impl Into<PathBuf>, ds: &Dataset, layout: FileLayout) -> Result<Self> {
         let dir = dir.into();
-        fs::create_dir_all(&dir).map_err(|e| Error::io(format!("creating {}", dir.display()), e))?;
+        fs::create_dir_all(&dir)
+            .map_err(|e| Error::io(format!("creating {}", dir.display()), e))?;
         match layout {
             FileLayout::Unpartitioned => {
                 FormatWriter::new(&dir)?.write(ds, DataFormat::ReadingPerLine)?;
@@ -67,7 +68,8 @@ impl FileStore {
                         writeln!(w, "{h},{kwh}")
                             .map_err(|e| Error::io("writing consumer file", e))?;
                     }
-                    w.flush().map_err(|e| Error::io("flushing consumer file", e))?;
+                    w.flush()
+                        .map_err(|e| Error::io("flushing consumer file", e))?;
                 }
                 // Shared temperature sidecar (reuse the format writer's
                 // convention by writing it directly).
@@ -78,7 +80,8 @@ impl FileStore {
                 for t in ds.temperature().values() {
                     writeln!(w, "{t}").map_err(|e| Error::io("writing temperature", e))?;
                 }
-                w.flush().map_err(|e| Error::io("flushing temperature", e))?;
+                w.flush()
+                    .map_err(|e| Error::io("flushing temperature", e))?;
             }
         }
         Ok(FileStore { dir, layout })
@@ -86,7 +89,10 @@ impl FileStore {
 
     /// Open an existing store.
     pub fn open(dir: impl Into<PathBuf>, layout: FileLayout) -> Self {
-        FileStore { dir: dir.into(), layout }
+        FileStore {
+            dir: dir.into(),
+            layout,
+        }
     }
 
     /// The layout in use.
@@ -203,7 +209,9 @@ impl FileStore {
     /// Read the whole store into a dataset.
     pub fn read_all(&self) -> Result<Dataset> {
         match self.layout {
-            FileLayout::Unpartitioned => FormatReader::new(&self.dir).read(DataFormat::ReadingPerLine),
+            FileLayout::Unpartitioned => {
+                FormatReader::new(&self.dir).read(DataFormat::ReadingPerLine)
+            }
             FileLayout::Partitioned => {
                 let temperature = self.read_temperature()?;
                 let ids = self.consumer_ids()?;
@@ -223,7 +231,10 @@ impl FileStore {
             .map_err(|e| Error::io(format!("listing {}", self.dir.display()), e))?;
         for entry in entries {
             let entry = entry.map_err(|e| Error::io("listing store", e))?;
-            total += entry.metadata().map_err(|e| Error::io("stat file", e))?.len();
+            total += entry
+                .metadata()
+                .map_err(|e| Error::io("stat file", e))?
+                .len();
         }
         Ok(total)
     }
@@ -234,15 +245,15 @@ mod tests {
     use super::*;
 
     fn tiny(n: u32) -> Dataset {
-        let temp = TemperatureSeries::new(
-            (0..HOURS_PER_YEAR).map(|h| (h % 20) as f64).collect(),
-        )
-        .unwrap();
+        let temp =
+            TemperatureSeries::new((0..HOURS_PER_YEAR).map(|h| (h % 20) as f64).collect()).unwrap();
         let consumers = (0..n)
             .map(|i| {
                 ConsumerSeries::new(
                     ConsumerId(i),
-                    (0..HOURS_PER_YEAR).map(|h| (h % 24) as f64 * 0.1 + i as f64).collect(),
+                    (0..HOURS_PER_YEAR)
+                        .map(|h| (h % 24) as f64 * 0.1 + i as f64)
+                        .collect(),
                 )
                 .unwrap()
             })

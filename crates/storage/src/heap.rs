@@ -25,7 +25,10 @@ impl TupleId {
 
     /// Unpack from [`TupleId::pack`].
     pub fn unpack(raw: u64) -> Self {
-        TupleId { page: (raw >> 16) as u32, slot: (raw & 0xFFFF) as u16 }
+        TupleId {
+            page: (raw >> 16) as u32,
+            slot: (raw & 0xFFFF) as u16,
+        }
     }
 }
 
@@ -62,7 +65,13 @@ impl HeapFile {
             .truncate(true)
             .open(&path)
             .map_err(|e| Error::io(format!("creating heap file {}", path.display()), e))?;
-        Ok(HeapFile { path, file, pages: 0, tail: Page::new(), tail_dirty: false })
+        Ok(HeapFile {
+            path,
+            file,
+            pages: 0,
+            tail: Page::new(),
+            tail_dirty: false,
+        })
     }
 
     /// Open an existing heap file for reading and appending.
@@ -83,7 +92,13 @@ impl HeapFile {
             )));
         }
         let pages = (len / PAGE_SIZE as u64) as u32;
-        Ok(HeapFile { path, file, pages, tail: Page::new(), tail_dirty: false })
+        Ok(HeapFile {
+            path,
+            file,
+            pages,
+            tail: Page::new(),
+            tail_dirty: false,
+        })
     }
 
     /// Number of full pages on disk (excludes the in-memory tail).
@@ -105,15 +120,24 @@ impl HeapFile {
     pub fn insert(&mut self, tuple: &[u8]) -> Result<TupleId> {
         if let Some(slot) = self.tail.insert(tuple) {
             self.tail_dirty = true;
-            return Ok(TupleId { page: self.pages, slot: slot as u16 });
+            return Ok(TupleId {
+                page: self.pages,
+                slot: slot as u16,
+            });
         }
         // Tail is full: persist it and start a fresh page.
         self.spill_tail()?;
         let slot = self.tail.insert(tuple).ok_or_else(|| {
-            Error::Invalid(format!("tuple of {} bytes exceeds page capacity", tuple.len()))
+            Error::Invalid(format!(
+                "tuple of {} bytes exceeds page capacity",
+                tuple.len()
+            ))
         })?;
         self.tail_dirty = true;
-        Ok(TupleId { page: self.pages, slot: slot as u16 })
+        Ok(TupleId {
+            page: self.pages,
+            slot: slot as u16,
+        })
     }
 
     fn spill_tail(&mut self) -> Result<()> {
@@ -134,7 +158,9 @@ impl HeapFile {
         if self.tail_dirty {
             self.spill_tail()?;
         }
-        self.file.flush().map_err(|e| Error::io("flushing heap file", e))
+        self.file
+            .flush()
+            .map_err(|e| Error::io("flushing heap file", e))
     }
 
     /// Read page `page_no` from disk (or the in-memory tail).
@@ -191,7 +217,13 @@ impl HeapFile {
         for page_no in 0..self.logical_pages() {
             let page = self.read_page(page_no)?;
             for (slot, tuple) in page.tuples() {
-                f(TupleId { page: page_no, slot: slot as u16 }, tuple);
+                f(
+                    TupleId {
+                        page: page_no,
+                        slot: slot as u16,
+                    },
+                    tuple,
+                );
             }
         }
         Ok(())
@@ -208,7 +240,10 @@ mod tests {
 
     #[test]
     fn tuple_id_pack_round_trip() {
-        let tid = TupleId { page: 123_456, slot: 789 };
+        let tid = TupleId {
+            page: 123_456,
+            slot: 789,
+        };
         assert_eq!(TupleId::unpack(tid.pack()), tid);
     }
 

@@ -61,7 +61,10 @@ fn encode_reading(r: &Reading) -> [u8; READING_TUPLE_BYTES] {
 
 fn decode_reading(mut t: &[u8]) -> Result<Reading> {
     if t.len() != READING_TUPLE_BYTES {
-        return Err(Error::Schema(format!("reading tuple has {} bytes", t.len())));
+        return Err(Error::Schema(format!(
+            "reading tuple has {} bytes",
+            t.len()
+        )));
     }
     Ok(Reading {
         consumer: ConsumerId(t.get_u32_le()),
@@ -80,7 +83,9 @@ pub struct ReadingTable {
 
 impl std::fmt::Debug for ReadingTable {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ReadingTable").field("heap", &self.heap).finish()
+        f.debug_struct("ReadingTable")
+            .field("heap", &self.heap)
+            .finish()
     }
 }
 
@@ -98,7 +103,11 @@ impl ReadingTable {
             index.insert(r.consumer.raw() as u64, tid.pack());
         }
         heap.flush()?;
-        Ok(ReadingTable { heap, index: Arc::new(index), pool: BufferPool::new(Self::DEFAULT_POOL_PAGES) })
+        Ok(ReadingTable {
+            heap,
+            index: Arc::new(index),
+            pool: BufferPool::new(Self::DEFAULT_POOL_PAGES),
+        })
     }
 
     /// Open an existing heap file, rebuilding the household index with a
@@ -115,14 +124,22 @@ impl ReadingTable {
         if let Some(e) = bad {
             return Err(e);
         }
-        Ok(ReadingTable { heap, index: Arc::new(index), pool: BufferPool::new(Self::DEFAULT_POOL_PAGES) })
+        Ok(ReadingTable {
+            heap,
+            index: Arc::new(index),
+            pool: BufferPool::new(Self::DEFAULT_POOL_PAGES),
+        })
     }
 
     /// Open another handle ("connection") on the same heap file, sharing
     /// an already-built index instead of rescanning.
     pub fn open_with_index(path: impl Into<PathBuf>, index: Arc<BTreeIndex>) -> Result<Self> {
         let heap = HeapFile::open(path)?;
-        Ok(ReadingTable { heap, index, pool: BufferPool::new(Self::DEFAULT_POOL_PAGES) })
+        Ok(ReadingTable {
+            heap,
+            index,
+            pool: BufferPool::new(Self::DEFAULT_POOL_PAGES),
+        })
     }
 
     /// The shared household index.
@@ -145,7 +162,10 @@ impl ReadingTable {
             .ok_or_else(|| Error::Invalid(format!("no live tuple at {tid:?}")))?
             .to_vec();
         if tuple.len() != READING_TUPLE_BYTES {
-            return Err(Error::Schema(format!("tuple at {tid:?} has {} bytes", tuple.len())));
+            return Err(Error::Schema(format!(
+                "tuple at {tid:?} has {} bytes",
+                tuple.len()
+            )));
         }
         (&mut tuple[16..24]).put_f64_le(kwh);
         if !page.overwrite(tid.slot as usize, &tuple) {
@@ -175,7 +195,12 @@ impl TableLayout for ReadingTable {
     }
 
     fn consumer_ids(&mut self) -> Result<Vec<ConsumerId>> {
-        Ok(self.index.keys().into_iter().map(|k| ConsumerId(k as u32)).collect())
+        Ok(self
+            .index
+            .keys()
+            .into_iter()
+            .map(|k| ConsumerId(k as u32))
+            .collect())
     }
 
     fn consumer_year(&mut self, id: ConsumerId) -> Result<(Vec<f64>, Vec<f64>)> {
@@ -253,13 +278,19 @@ impl ArrayTable {
             for &t in temps {
                 record.put_f64_le(t);
             }
-            file.write_all(&record).map_err(|e| Error::io("writing array record", e))?;
+            file.write_all(&record)
+                .map_err(|e| Error::io("writing array record", e))?;
             directory.push((c.id, offset));
             offset += record.len() as u64;
         }
-        file.flush().map_err(|e| Error::io("flushing array table", e))?;
+        file.flush()
+            .map_err(|e| Error::io("flushing array table", e))?;
         directory.sort_by_key(|(id, _)| *id);
-        Ok(ArrayTable { file, path, directory: Arc::new(directory) })
+        Ok(ArrayTable {
+            file,
+            path,
+            directory: Arc::new(directory),
+        })
     }
 
     /// Open another handle on the same overflow file, sharing the
@@ -274,7 +305,11 @@ impl ArrayTable {
             .write(true)
             .open(&path)
             .map_err(|e| Error::io(format!("opening array table {}", path.display()), e))?;
-        Ok(ArrayTable { file, path, directory })
+        Ok(ArrayTable {
+            file,
+            path,
+            directory,
+        })
     }
 
     /// The shared record directory.
@@ -291,7 +326,10 @@ impl ArrayTable {
             .write(true)
             .open(&path)
             .map_err(|e| Error::io(format!("opening array table {}", path.display()), e))?;
-        let len = file.metadata().map_err(|e| Error::io("stat array table", e))?.len();
+        let len = file
+            .metadata()
+            .map_err(|e| Error::io("stat array table", e))?
+            .len();
         if len % ARRAY_RECORD_BYTES as u64 != 0 {
             return Err(Error::Schema(format!(
                 "array table {} length {len} not record aligned",
@@ -303,12 +341,18 @@ impl ArrayTable {
         let mut id_buf = [0u8; 4];
         for row in 0..rows {
             let offset = row as u64 * ARRAY_RECORD_BYTES as u64;
-            file.seek(SeekFrom::Start(offset)).map_err(|e| Error::io("seeking record", e))?;
-            file.read_exact(&mut id_buf).map_err(|e| Error::io("reading record id", e))?;
+            file.seek(SeekFrom::Start(offset))
+                .map_err(|e| Error::io("seeking record", e))?;
+            file.read_exact(&mut id_buf)
+                .map_err(|e| Error::io("reading record id", e))?;
             directory.push((ConsumerId((&id_buf[..]).get_u32_le()), offset));
         }
         directory.sort_by_key(|(id, _)| *id);
-        Ok(ArrayTable { file, path, directory: Arc::new(directory) })
+        Ok(ArrayTable {
+            file,
+            path,
+            directory: Arc::new(directory),
+        })
     }
 }
 
@@ -354,11 +398,15 @@ impl TableLayout for ArrayTable {
         self.file
             .seek(SeekFrom::Start(offset))
             .map_err(|e| Error::io("seeking array record", e))?;
-        self.file.read_exact(&mut buf).map_err(|e| Error::io("reading array record", e))?;
+        self.file
+            .read_exact(&mut buf)
+            .map_err(|e| Error::io("reading array record", e))?;
         let mut r = &buf[..];
         let stored = ConsumerId(r.get_u32_le());
         if stored != id {
-            return Err(Error::Schema(format!("directory points at {stored}, wanted {id}")));
+            return Err(Error::Schema(format!(
+                "directory points at {stored}, wanted {id}"
+            )));
         }
         let mut kwh = Vec::with_capacity(HOURS_PER_YEAR);
         for _ in 0..HOURS_PER_YEAR {
@@ -389,7 +437,9 @@ pub struct DayTable {
 
 impl std::fmt::Debug for DayTable {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("DayTable").field("heap", &self.heap).finish()
+        f.debug_struct("DayTable")
+            .field("heap", &self.heap)
+            .finish()
     }
 }
 
@@ -417,7 +467,11 @@ impl DayTable {
             }
         }
         heap.flush()?;
-        Ok(DayTable { heap, index: Arc::new(index), pool: BufferPool::new(ReadingTable::DEFAULT_POOL_PAGES) })
+        Ok(DayTable {
+            heap,
+            index: Arc::new(index),
+            pool: BufferPool::new(ReadingTable::DEFAULT_POOL_PAGES),
+        })
     }
 
     /// Open an existing heap file, rebuilding the index with a scan.
@@ -429,13 +483,21 @@ impl DayTable {
             let consumer = t.get_u32_le();
             index.insert(consumer as u64, tid.pack());
         })?;
-        Ok(DayTable { heap, index: Arc::new(index), pool: BufferPool::new(ReadingTable::DEFAULT_POOL_PAGES) })
+        Ok(DayTable {
+            heap,
+            index: Arc::new(index),
+            pool: BufferPool::new(ReadingTable::DEFAULT_POOL_PAGES),
+        })
     }
 
     /// Open another handle on the same heap file, sharing the index.
     pub fn open_with_index(path: impl Into<PathBuf>, index: Arc<BTreeIndex>) -> Result<Self> {
         let heap = HeapFile::open(path)?;
-        Ok(DayTable { heap, index, pool: BufferPool::new(ReadingTable::DEFAULT_POOL_PAGES) })
+        Ok(DayTable {
+            heap,
+            index,
+            pool: BufferPool::new(ReadingTable::DEFAULT_POOL_PAGES),
+        })
     }
 
     /// The shared household index.
@@ -459,7 +521,9 @@ impl DayTable {
         }
         let postings = self.index.get(id.raw() as u64);
         if postings.len() != DAYS_PER_YEAR {
-            return Err(Error::Invalid(format!("unknown or incomplete consumer {id}")));
+            return Err(Error::Invalid(format!(
+                "unknown or incomplete consumer {id}"
+            )));
         }
         let tid = TupleId::unpack(postings[day]);
         let mut page = self.heap.read_page(tid.page)?;
@@ -468,7 +532,10 @@ impl DayTable {
             .ok_or_else(|| Error::Invalid(format!("no live tuple at {tid:?}")))?
             .to_vec();
         if tuple.len() != DAY_TUPLE_BYTES {
-            return Err(Error::Schema(format!("day tuple has {} bytes", tuple.len())));
+            return Err(Error::Schema(format!(
+                "day tuple has {} bytes",
+                tuple.len()
+            )));
         }
         // Header is consumer (4) + day (4); kWh block follows.
         let mut w = &mut tuple[8..8 + HOURS_PER_DAY * 8];
@@ -490,7 +557,12 @@ impl TableLayout for DayTable {
     }
 
     fn consumer_ids(&mut self) -> Result<Vec<ConsumerId>> {
-        Ok(self.index.keys().into_iter().map(|k| ConsumerId(k as u32)).collect())
+        Ok(self
+            .index
+            .keys()
+            .into_iter()
+            .map(|k| ConsumerId(k as u32))
+            .collect())
     }
 
     fn consumer_year(&mut self, id: ConsumerId) -> Result<(Vec<f64>, Vec<f64>)> {
@@ -559,7 +631,9 @@ mod tests {
 
     fn tiny(n: u32) -> Dataset {
         let temp = TemperatureSeries::new(
-            (0..HOURS_PER_YEAR).map(|h| ((h % 50) as f64) - 12.0).collect(),
+            (0..HOURS_PER_YEAR)
+                .map(|h| ((h % 50) as f64) - 12.0)
+                .collect(),
         )
         .unwrap();
         let consumers = (0..n)

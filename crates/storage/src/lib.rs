@@ -27,7 +27,7 @@ pub mod update;
 pub use btree::BTreeIndex;
 pub use buffer::{BufferPool, PoolStats};
 pub use colstore::{ColumnStore, ColumnStoreStats};
-pub use files::{FileStore, FileLayout};
+pub use files::{FileLayout, FileStore};
 pub use heap::{HeapFile, TupleId};
 pub use layout::{ArrayTable, DayTable, ReadingTable, TableLayout};
 pub use page::{Page, PAGE_SIZE};

@@ -56,7 +56,11 @@ impl Page {
     /// # Panics
     /// Panics if `bytes.len() != PAGE_SIZE`.
     pub fn from_bytes(bytes: &[u8]) -> Self {
-        assert_eq!(bytes.len(), PAGE_SIZE, "a page is exactly {PAGE_SIZE} bytes");
+        assert_eq!(
+            bytes.len(),
+            PAGE_SIZE,
+            "a page is exactly {PAGE_SIZE} bytes"
+        );
         let mut data = Box::new([0u8; PAGE_SIZE]);
         data.copy_from_slice(bytes);
         Page { data }
@@ -80,7 +84,9 @@ impl Page {
     /// its slot directory entry).
     pub fn free_space(&self) -> usize {
         let used_front = HEADER_BYTES + self.slot_count() * SLOT_BYTES;
-        self.free_end().saturating_sub(used_front).saturating_sub(SLOT_BYTES)
+        self.free_end()
+            .saturating_sub(used_front)
+            .saturating_sub(SLOT_BYTES)
     }
 
     /// Append a tuple; returns its slot number, or `None` when the page
@@ -181,7 +187,9 @@ mod tests {
         let mut p = Page::new();
         assert!(p.insert(&vec![0u8; PAGE_SIZE]).is_none());
         // But a page-filling tuple (minus header + one slot) fits.
-        assert!(p.insert(&vec![1u8; PAGE_SIZE - HEADER_BYTES - 2 * SLOT_BYTES]).is_some());
+        assert!(p
+            .insert(&vec![1u8; PAGE_SIZE - HEADER_BYTES - 2 * SLOT_BYTES])
+            .is_some());
     }
 
     #[test]

@@ -42,7 +42,9 @@ impl DayRestatement {
             return Err(Error::Invalid(format!("day {} out of range", self.day)));
         }
         if self.kwh.iter().any(|v| !v.is_finite() || *v < 0.0) {
-            return Err(Error::Invalid("corrected readings must be finite and non-negative".into()));
+            return Err(Error::Invalid(
+                "corrected readings must be finite and non-negative".into(),
+            ));
         }
         Ok(())
     }
@@ -56,10 +58,14 @@ pub fn restate_reading_table(table: &mut ReadingTable, updates: &[DayRestatement
         // The index posting list is ordered by insertion = hour order.
         let postings: Vec<u64> = table.index().get(u.consumer.raw() as u64).to_vec();
         if postings.len() != HOURS_PER_YEAR {
-            return Err(Error::Invalid(format!("unknown or incomplete consumer {}", u.consumer)));
+            return Err(Error::Invalid(format!(
+                "unknown or incomplete consumer {}",
+                u.consumer
+            )));
         }
-        for (offset, &raw) in
-            postings[u.day * HOURS_PER_DAY..(u.day + 1) * HOURS_PER_DAY].iter().enumerate()
+        for (offset, &raw) in postings[u.day * HOURS_PER_DAY..(u.day + 1) * HOURS_PER_DAY]
+            .iter()
+            .enumerate()
         {
             let tid = TupleId::unpack(raw);
             table.overwrite_kwh(tid, u.kwh[offset])?;
@@ -120,8 +126,10 @@ pub(crate) fn day_bytes(kwh: &[f64; HOURS_PER_DAY]) -> [u8; HOURS_PER_DAY * 8] {
 
 /// Shared low-level write-at-offset with context-rich errors.
 pub(crate) fn write_at(file: &mut std::fs::File, offset: u64, bytes: &[u8]) -> Result<()> {
-    file.seek(SeekFrom::Start(offset)).map_err(|e| Error::io("seeking for restatement", e))?;
-    file.write_all(bytes).map_err(|e| Error::io("writing restatement", e))?;
+    file.seek(SeekFrom::Start(offset))
+        .map_err(|e| Error::io("seeking for restatement", e))?;
+    file.write_all(bytes)
+        .map_err(|e| Error::io("writing restatement", e))?;
     Ok(())
 }
 
@@ -132,15 +140,16 @@ mod tests {
     use smda_types::{ConsumerSeries, Dataset, TemperatureSeries};
 
     fn tiny(n: u32) -> Dataset {
-        let temp = TemperatureSeries::new(
-            (0..HOURS_PER_YEAR).map(|h| (h % 30) as f64 - 5.0).collect(),
-        )
-        .unwrap();
+        let temp =
+            TemperatureSeries::new((0..HOURS_PER_YEAR).map(|h| (h % 30) as f64 - 5.0).collect())
+                .unwrap();
         let consumers = (0..n)
             .map(|i| {
                 ConsumerSeries::new(
                     ConsumerId(i),
-                    (0..HOURS_PER_YEAR).map(|h| 0.5 + (h % 24) as f64 * 0.01).collect(),
+                    (0..HOURS_PER_YEAR)
+                        .map(|h| 0.5 + (h % 24) as f64 * 0.01)
+                        .collect(),
                 )
                 .unwrap()
             })
@@ -153,7 +162,11 @@ mod tests {
         for (h, v) in kwh.iter_mut().enumerate() {
             *v = 9.0 + h as f64 * 0.01;
         }
-        DayRestatement { consumer: ConsumerId(consumer), day, kwh }
+        DayRestatement {
+            consumer: ConsumerId(consumer),
+            day,
+            kwh,
+        }
     }
 
     fn tmp(tag: &str) -> std::path::PathBuf {

@@ -57,7 +57,9 @@ pub struct Calendar {
 impl Default for Calendar {
     fn default() -> Self {
         // January 1st 2014 was a Wednesday.
-        Calendar { start_weekday: Weekday::Wednesday }
+        Calendar {
+            start_weekday: Weekday::Wednesday,
+        }
     }
 }
 
@@ -72,7 +74,10 @@ impl Calendar {
     /// # Panics
     /// Panics if `hour_of_year >= 8760`.
     pub fn day_of_year(&self, hour_of_year: usize) -> usize {
-        assert!(hour_of_year < HOURS_PER_YEAR, "hour {hour_of_year} out of range");
+        assert!(
+            hour_of_year < HOURS_PER_YEAR,
+            "hour {hour_of_year} out of range"
+        );
         hour_of_year / HOURS_PER_DAY
     }
 
@@ -81,7 +86,10 @@ impl Calendar {
     /// # Panics
     /// Panics if `hour_of_year >= 8760`.
     pub fn hour_of_day(&self, hour_of_year: usize) -> usize {
-        assert!(hour_of_year < HOURS_PER_YEAR, "hour {hour_of_year} out of range");
+        assert!(
+            hour_of_year < HOURS_PER_YEAR,
+            "hour {hour_of_year} out of range"
+        );
         hour_of_year % HOURS_PER_DAY
     }
 

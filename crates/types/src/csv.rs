@@ -18,8 +18,15 @@ use crate::series::ConsumerId;
 /// parses back bit-identical — platforms that load from disk must agree
 /// exactly with the in-memory reference, bucket boundaries included.
 pub fn write_reading_line<W: Write>(w: &mut W, r: &Reading) -> Result<()> {
-    writeln!(w, "{},{},{},{}", r.consumer.raw(), r.hour, r.temperature, r.kwh)
-        .map_err(|e| Error::io("writing reading line", e))
+    writeln!(
+        w,
+        "{},{},{},{}",
+        r.consumer.raw(),
+        r.hour,
+        r.temperature,
+        r.kwh
+    )
+    .map_err(|e| Error::io("writing reading line", e))
 }
 
 /// Parse one Format-1 CSV line. `context`/`line_no` feed error messages.
@@ -37,7 +44,12 @@ pub fn parse_reading_line(line: &str, context: &str, line_no: usize) -> Result<R
     if fields.next().is_some() {
         return Err(Error::parse(context, Some(line_no), "trailing fields"));
     }
-    Ok(Reading { consumer: ConsumerId(consumer), hour, temperature, kwh })
+    Ok(Reading {
+        consumer: ConsumerId(consumer),
+        hour,
+        temperature,
+        kwh,
+    })
 }
 
 fn parse_field<T: std::str::FromStr>(
@@ -47,7 +59,11 @@ fn parse_field<T: std::str::FromStr>(
     line_no: usize,
 ) -> Result<T> {
     raw.trim().parse::<T>().map_err(|_| {
-        Error::parse(context, Some(line_no), format!("invalid `{name}` value `{raw}`"))
+        Error::parse(
+            context,
+            Some(line_no),
+            format!("invalid `{name}` value `{raw}`"),
+        )
     })
 }
 
@@ -75,7 +91,8 @@ pub fn write_f64_csv_line<W: Write>(w: &mut W, values: &[f64]) -> Result<()> {
         buf.push_str(&format!("{v}"));
     }
     buf.push('\n');
-    w.write_all(buf.as_bytes()).map_err(|e| Error::io("writing csv line", e))
+    w.write_all(buf.as_bytes())
+        .map_err(|e| Error::io("writing csv line", e))
 }
 
 /// Parse a comma-separated list of `f64`s.
@@ -93,7 +110,12 @@ mod tests {
     #[test]
     fn reading_round_trip() {
         // An awkward float (0.1 + 0.2) must survive the trip bit-exactly.
-        let r = Reading { consumer: ConsumerId(12), hour: 8759, temperature: -10.5, kwh: 0.1 + 0.2 };
+        let r = Reading {
+            consumer: ConsumerId(12),
+            hour: 8759,
+            temperature: -10.5,
+            kwh: 0.1 + 0.2,
+        };
         let mut buf = Vec::new();
         write_reading_line(&mut buf, &r).unwrap();
         let line = String::from_utf8(buf).unwrap();

@@ -22,9 +22,15 @@ impl Dataset {
         let mut ids: Vec<u32> = consumers.iter().map(|c| c.id.raw()).collect();
         ids.sort_unstable();
         if let Some(w) = ids.windows(2).find(|w| w[0] == w[1]) {
-            return Err(Error::Schema(format!("duplicate consumer id {}", ConsumerId(w[0]))));
+            return Err(Error::Schema(format!(
+                "duplicate consumer id {}",
+                ConsumerId(w[0])
+            )));
         }
-        Ok(Dataset { consumers, temperature })
+        Ok(Dataset {
+            consumers,
+            temperature,
+        })
     }
 
     /// Number of consumers, `n`.
@@ -67,12 +73,15 @@ impl Dataset {
     pub fn readings(&self) -> impl Iterator<Item = Reading> + '_ {
         self.consumers.iter().flat_map(move |c| {
             let temp = self.temperature.values();
-            c.readings().iter().enumerate().map(move |(h, kwh)| Reading {
-                consumer: c.id,
-                hour: h as u32,
-                temperature: temp[h],
-                kwh: *kwh,
-            })
+            c.readings()
+                .iter()
+                .enumerate()
+                .map(move |(h, kwh)| Reading {
+                    consumer: c.id,
+                    hour: h as u32,
+                    temperature: temp[h],
+                    kwh: *kwh,
+                })
         })
     }
 
@@ -132,7 +141,8 @@ mod tests {
         let temp = TemperatureSeries::new(vec![5.0; HOURS_PER_YEAR]).unwrap();
         let consumers = (0..n)
             .map(|i| {
-                ConsumerSeries::new(ConsumerId(i), vec![0.5 + i as f64 * 0.1; HOURS_PER_YEAR]).unwrap()
+                ConsumerSeries::new(ConsumerId(i), vec![0.5 + i as f64 * 0.1; HOURS_PER_YEAR])
+                    .unwrap()
             })
             .collect();
         Dataset::new(consumers, temp).unwrap()

@@ -33,17 +33,49 @@ pub enum Error {
     /// A task that is not embarrassingly parallel over consumers was
     /// handed to a per-consumer execution path. Carries the task name.
     NotPerConsumer(String),
+    /// A task exhausted its retry budget (worker panic or injected
+    /// failure). Carries an identifier of the failing task and the number
+    /// of attempts made.
+    TaskFailed {
+        /// Which task failed (e.g. `phase 0 task 3`).
+        task: String,
+        /// Attempts made before giving up.
+        attempts: usize,
+    },
+    /// Every replica of a DFS block is gone: the data cannot be read and
+    /// the job must fail with a diagnostic instead of a fictitious
+    /// makespan.
+    BlockUnavailable {
+        /// File owning the block.
+        file: String,
+        /// Block index within the file.
+        block: usize,
+    },
+    /// Every node of the modeled cluster is dead; nothing can be
+    /// scheduled.
+    NoHealthyNodes,
 }
 
 impl Error {
     /// Wrap an I/O error with context about the failed operation.
     pub fn io(context: impl Into<String>, source: std::io::Error) -> Self {
-        Error::Io { context: context.into(), source }
+        Error::Io {
+            context: context.into(),
+            source,
+        }
     }
 
     /// Build a parse error for `context` at an optional line number.
-    pub fn parse(context: impl Into<String>, line: Option<usize>, message: impl Into<String>) -> Self {
-        Error::Parse { context: context.into(), line, message: message.into() }
+    pub fn parse(
+        context: impl Into<String>,
+        line: Option<usize>,
+        message: impl Into<String>,
+    ) -> Self {
+        Error::Parse {
+            context: context.into(),
+            line,
+            message: message.into(),
+        }
     }
 }
 
@@ -51,17 +83,41 @@ impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Error::Io { context, source } => write!(f, "I/O error while {context}: {source}"),
-            Error::Parse { context, line: Some(line), message } => {
+            Error::Parse {
+                context,
+                line: Some(line),
+                message,
+            } => {
                 write!(f, "parse error in {context} at line {line}: {message}")
             }
-            Error::Parse { context, line: None, message } => {
+            Error::Parse {
+                context,
+                line: None,
+                message,
+            } => {
                 write!(f, "parse error in {context}: {message}")
             }
             Error::Schema(msg) => write!(f, "schema violation: {msg}"),
             Error::Invalid(msg) => write!(f, "invalid request: {msg}"),
             Error::NotPerConsumer(task) => {
-                write!(f, "task {task} is not per-consumer and cannot run on a per-consumer path")
+                write!(
+                    f,
+                    "task {task} is not per-consumer and cannot run on a per-consumer path"
+                )
             }
+            Error::TaskFailed { task, attempts } => {
+                write!(
+                    f,
+                    "{task} failed after {attempts} attempt(s); retry budget exhausted"
+                )
+            }
+            Error::BlockUnavailable { file, block } => {
+                write!(
+                    f,
+                    "block {block} of DFS file `{file}` has no surviving replica"
+                )
+            }
+            Error::NoHealthyNodes => write!(f, "no healthy node left in the cluster"),
         }
     }
 }
@@ -81,7 +137,10 @@ mod tests {
 
     #[test]
     fn io_error_displays_context() {
-        let e = Error::io("reading seed file", std::io::Error::new(std::io::ErrorKind::NotFound, "gone"));
+        let e = Error::io(
+            "reading seed file",
+            std::io::Error::new(std::io::ErrorKind::NotFound, "gone"),
+        );
         let s = e.to_string();
         assert!(s.contains("reading seed file"), "{s}");
         assert!(s.contains("gone"), "{s}");
@@ -90,7 +149,10 @@ mod tests {
     #[test]
     fn parse_error_displays_line() {
         let e = Error::parse("readings.csv", Some(42), "expected 4 fields");
-        assert_eq!(e.to_string(), "parse error in readings.csv at line 42: expected 4 fields");
+        assert_eq!(
+            e.to_string(),
+            "parse error in readings.csv at line 42: expected 4 fields"
+        );
     }
 
     #[test]
@@ -105,6 +167,25 @@ mod tests {
         let e = Error::io("x", std::io::Error::new(std::io::ErrorKind::Other, "y"));
         assert!(e.source().is_some());
         assert!(Error::Schema("s".into()).source().is_none());
+    }
+
+    #[test]
+    fn fault_variants_identify_the_failure() {
+        let e = Error::TaskFailed {
+            task: "phase 1 task 7".into(),
+            attempts: 4,
+        };
+        assert!(e.to_string().contains("phase 1 task 7"), "{e}");
+        assert!(e.to_string().contains('4'), "{e}");
+        let e = Error::BlockUnavailable {
+            file: "meter_data".into(),
+            block: 2,
+        };
+        assert!(e.to_string().contains("meter_data"), "{e}");
+        assert!(e.to_string().contains("block 2"), "{e}");
+        assert!(Error::NoHealthyNodes
+            .to_string()
+            .contains("no healthy node"));
     }
 
     #[test]

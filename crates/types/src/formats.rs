@@ -69,7 +69,8 @@ impl FormatWriter {
     /// A writer rooted at `dir` (created if missing).
     pub fn new(dir: impl Into<PathBuf>) -> Result<Self> {
         let dir = dir.into();
-        fs::create_dir_all(&dir).map_err(|e| Error::io(format!("creating {}", dir.display()), e))?;
+        fs::create_dir_all(&dir)
+            .map_err(|e| Error::io(format!("creating {}", dir.display()), e))?;
         Ok(FormatWriter { dir })
     }
 
@@ -103,7 +104,8 @@ impl FormatWriter {
         for r in ds.readings() {
             csv::write_reading_line(&mut w, &r)?;
         }
-        w.flush().map_err(|e| Error::io("flushing readings.csv", e))?;
+        w.flush()
+            .map_err(|e| Error::io("flushing readings.csv", e))?;
         self.write_temperature(ds)?;
         Ok(vec![self.dir.join("readings.csv")])
     }
@@ -114,7 +116,8 @@ impl FormatWriter {
             write!(w, "{},", c.id.raw()).map_err(|e| Error::io("writing consumers.csv", e))?;
             csv::write_f64_csv_line(&mut w, c.readings())?;
         }
-        w.flush().map_err(|e| Error::io("flushing consumers.csv", e))?;
+        w.flush()
+            .map_err(|e| Error::io("flushing consumers.csv", e))?;
         self.write_temperature(ds)?;
         Ok(vec![self.dir.join("consumers.csv")])
     }
@@ -141,7 +144,8 @@ impl FormatWriter {
                     csv::write_reading_line(&mut w, &r)?;
                 }
             }
-            w.flush().map_err(|e| Error::io(format!("flushing {name}"), e))?;
+            w.flush()
+                .map_err(|e| Error::io(format!("flushing {name}"), e))?;
             paths.push(self.dir.join(name));
         }
         self.write_temperature(ds)?;
@@ -197,7 +201,11 @@ impl FormatReader {
                 continue;
             }
             let v: f64 = line.trim().parse().map_err(|_| {
-                Error::parse(TEMPERATURE_FILE, Some(i + 1), format!("invalid value `{line}`"))
+                Error::parse(
+                    TEMPERATURE_FILE,
+                    Some(i + 1),
+                    format!("invalid value `{line}`"),
+                )
             })?;
             values.push(v);
         }
@@ -242,10 +250,18 @@ impl FormatReader {
 /// Parse a Format-2 line (`consumer,kwh0,...`) into a series.
 pub fn parse_consumer_line(line: &str, line_no: usize) -> Result<ConsumerSeries> {
     let (id_str, rest) = line.split_once(',').ok_or_else(|| {
-        Error::parse("consumers.csv", Some(line_no), "expected `consumer,` prefix")
+        Error::parse(
+            "consumers.csv",
+            Some(line_no),
+            "expected `consumer,` prefix",
+        )
     })?;
     let id: u32 = id_str.trim().parse().map_err(|_| {
-        Error::parse("consumers.csv", Some(line_no), format!("invalid consumer id `{id_str}`"))
+        Error::parse(
+            "consumers.csv",
+            Some(line_no),
+            format!("invalid consumer id `{id_str}`"),
+        )
     })?;
     let readings = csv::parse_f64_csv(rest, "consumers.csv", line_no)?;
     ConsumerSeries::new(ConsumerId(id), readings)
@@ -290,13 +306,17 @@ mod tests {
     use super::*;
 
     fn tiny(n: u32) -> Dataset {
-        let temp =
-            TemperatureSeries::new((0..HOURS_PER_YEAR).map(|h| (h % 40) as f64 - 10.0).collect())
-                .unwrap();
+        let temp = TemperatureSeries::new(
+            (0..HOURS_PER_YEAR)
+                .map(|h| (h % 40) as f64 - 10.0)
+                .collect(),
+        )
+        .unwrap();
         let consumers = (0..n)
             .map(|i| {
-                let readings =
-                    (0..HOURS_PER_YEAR).map(|h| 0.1 * ((h % 24) as f64) + i as f64 * 0.01).collect();
+                let readings = (0..HOURS_PER_YEAR)
+                    .map(|h| 0.1 * ((h % 24) as f64) + i as f64 * 0.01)
+                    .collect();
                 ConsumerSeries::new(ConsumerId(i), readings).unwrap()
             })
             .collect();
@@ -304,7 +324,11 @@ mod tests {
     }
 
     fn round_trip(format: DataFormat) {
-        let dir = std::env::temp_dir().join(format!("smda-fmt-{}-{}", format.label(), std::process::id()));
+        let dir = std::env::temp_dir().join(format!(
+            "smda-fmt-{}-{}",
+            format.label(),
+            std::process::id()
+        ));
         let _ = fs::remove_dir_all(&dir);
         let ds = tiny(5);
         let writer = FormatWriter::new(&dir).unwrap();
@@ -337,10 +361,14 @@ mod tests {
         let _ = fs::remove_dir_all(&dir);
         let ds = tiny(7);
         let writer = FormatWriter::new(&dir).unwrap();
-        let files = writer.write(&ds, DataFormat::ManyFiles { files: 3 }).unwrap();
+        let files = writer
+            .write(&ds, DataFormat::ManyFiles { files: 3 })
+            .unwrap();
         assert_eq!(files.len(), 3);
         let reader = FormatReader::new(&dir);
-        let listed = reader.data_files(DataFormat::ManyFiles { files: 3 }).unwrap();
+        let listed = reader
+            .data_files(DataFormat::ManyFiles { files: 3 })
+            .unwrap();
         assert_eq!(listed, files);
         round_trip(DataFormat::ManyFiles { files: 3 });
         let _ = fs::remove_dir_all(&dir);
@@ -350,7 +378,9 @@ mod tests {
     fn format3_rejects_zero_files() {
         let dir = std::env::temp_dir().join(format!("smda-f3-zero-{}", std::process::id()));
         let writer = FormatWriter::new(&dir).unwrap();
-        assert!(writer.write(&tiny(1), DataFormat::ManyFiles { files: 0 }).is_err());
+        assert!(writer
+            .write(&tiny(1), DataFormat::ManyFiles { files: 0 })
+            .is_err());
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -21,6 +21,7 @@ pub mod csv;
 pub mod dataset;
 pub mod error;
 pub mod formats;
+pub mod policy;
 pub mod reading;
 pub mod series;
 
@@ -28,5 +29,6 @@ pub use calendar::{Calendar, Weekday, DAYS_PER_YEAR, HOURS_PER_DAY, HOURS_PER_YE
 pub use dataset::{Dataset, DatasetStats};
 pub use error::{Error, Result};
 pub use formats::{DataFormat, FormatReader, FormatWriter};
+pub use policy::DirtyDataPolicy;
 pub use reading::Reading;
 pub use series::{ConsumerId, ConsumerSeries, TemperatureSeries};

@@ -1,0 +1,38 @@
+//! Policies for handling dirty input data.
+//!
+//! Real AMI feeds contain malformed lines, non-finite values and
+//! out-of-range hours. The paper's pipelines implicitly assume clean
+//! input; a production loader must choose between aborting on the first
+//! bad record and skipping it while keeping count. [`DirtyDataPolicy`]
+//! names that choice so ingestion paths (text parsing in the cluster
+//! engines, year assembly in `smda-core::quality`) can share it.
+
+/// What an ingestion path does when it meets a malformed reading.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum DirtyDataPolicy {
+    /// Abort the load with a typed parse/schema error (the benchmark
+    /// default: datasets are engine-rendered and must be clean).
+    #[default]
+    FailFast,
+    /// Drop the malformed record, bump the dirty-row counter, continue.
+    SkipAndCount,
+}
+
+impl DirtyDataPolicy {
+    /// True when malformed records should be dropped rather than fatal.
+    pub fn skips(self) -> bool {
+        matches!(self, DirtyDataPolicy::SkipAndCount)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_fail_fast() {
+        assert_eq!(DirtyDataPolicy::default(), DirtyDataPolicy::FailFast);
+        assert!(!DirtyDataPolicy::FailFast.skips());
+        assert!(DirtyDataPolicy::SkipAndCount.skips());
+    }
+}

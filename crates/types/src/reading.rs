@@ -38,6 +38,9 @@ mod tests {
         // 27,300 consumers * 8760 readings * 42 B ≈ 10 GB.
         let bytes = 27_300usize * 8760 * Reading::NOMINAL_BYTES;
         let gb = bytes as f64 / 1e9;
-        assert!((9.0..11.0).contains(&gb), "nominal size {gb} GB should be ~10 GB");
+        assert!(
+            (9.0..11.0).contains(&gb),
+            "nominal size {gb} GB should be ~10 GB"
+        );
     }
 }

@@ -70,7 +70,10 @@ impl ConsumerSeries {
 
     /// Peak (maximum) hourly consumption in kWh.
     pub fn peak(&self) -> f64 {
-        self.readings.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.readings
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Mean hourly consumption in kWh.
@@ -126,7 +129,10 @@ impl TemperatureSeries {
 
     /// Maximum temperature over the year.
     pub fn max(&self) -> f64 {
-        self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.values
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 }
 

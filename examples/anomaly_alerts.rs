@@ -21,7 +21,10 @@ fn main() {
             Some(AnomalyDetector::new(&fit_par(c, temps), &tl))
         })
         .collect();
-    println!("armed {} detectors (4σ threshold, 1-week warm-up)\n", detectors.len());
+    println!(
+        "armed {} detectors (4σ threshold, 1-week warm-up)\n",
+        detectors.len()
+    );
 
     // Replay the year as a stream, injecting incidents:
     //  - household 0: a stuck-at-zero meter for 12 hours on day 200;

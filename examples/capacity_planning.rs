@@ -15,21 +15,34 @@ fn main() {
     let seed = demo_dataset(25);
     let generator = DataGenerator::train(
         &seed,
-        GeneratorConfig { clusters: 6, noise_sigma: 0.08, seed: 99 },
+        GeneratorConfig {
+            clusters: 6,
+            noise_sigma: 0.08,
+            seed: 99,
+        },
     )
     .expect("training succeeds on the demo seed");
-    println!("trained generator with {} activity clusters", generator.clusters().len());
+    println!(
+        "trained generator with {} activity clusters",
+        generator.clusters().len()
+    );
 
     // 2. Synthesize a service territory under two weather scenarios.
     let normal = seed.temperature().clone();
     let heat_wave = generate_temperature(
-        &WeatherConfig { annual_mean: 11.0, seasonal_amplitude: 16.0, ..Default::default() },
+        &WeatherConfig {
+            annual_mean: 11.0,
+            seasonal_amplitude: 16.0,
+            ..Default::default()
+        },
         7,
     );
 
     let n = 400;
     for (name, weather) in [("normal year", &normal), ("heat-wave year", &heat_wave)] {
-        let territory = generator.generate(n, weather, 0).expect("generation succeeds");
+        let territory = generator
+            .generate(n, weather, 0)
+            .expect("generation succeeds");
 
         // 3. Aggregate hourly system load and locate the peak.
         let mut system = vec![0.0f64; weather.values().len()];
@@ -53,6 +66,9 @@ fn main() {
             weather.values()[peak_hour]
         );
         // Reserve margin rule-of-thumb: 15% above observed peak.
-        println!("  recommended procurement with 15% reserve: {:.3} MW", peak_mw * 1.15);
+        println!(
+            "  recommended procurement with 15% reserve: {:.3} MW",
+            peak_mw * 1.15
+        );
     }
 }

@@ -18,9 +18,15 @@ fn main() {
         .iter()
         .filter_map(|c| fit_three_line(c, temps).map(|m| (c, m)))
         .collect();
-    let mean_cooling = models.iter().map(|(_, m)| m.cooling_gradient()).sum::<f64>()
+    let mean_cooling = models
+        .iter()
+        .map(|(_, m)| m.cooling_gradient())
+        .sum::<f64>()
         / models.len().max(1) as f64;
-    let mean_heating = models.iter().map(|(_, m)| m.heating_gradient()).sum::<f64>()
+    let mean_heating = models
+        .iter()
+        .map(|(_, m)| m.heating_gradient())
+        .sum::<f64>()
         / models.len().max(1) as f64;
     let mean_base =
         models.iter().map(|(_, m)| m.base_load()).sum::<f64>() / models.len().max(1) as f64;

@@ -46,7 +46,10 @@ fn main() {
             TaskOutput::Similarity(matches) => {
                 let m = &matches[0];
                 let (best, score) = m.matches[0];
-                println!("  e.g. {} is most similar to {best} (cosine {score:.4})", m.consumer);
+                println!(
+                    "  e.g. {} is most similar to {best} (cosine {score:.4})",
+                    m.consumer
+                );
             }
         }
     }

@@ -18,9 +18,21 @@ fn main() {
 
     // 2. Segment into k clusters.
     let k = 4;
-    let km = KMeans::fit(&profiles, KMeansConfig { k, seed: 7, ..Default::default() })
-        .expect("profiles are uniform 24-vectors");
-    println!("segmented {} households into {} clusters (inertia {:.2})\n", ds.len(), km.k(), km.inertia);
+    let km = KMeans::fit(
+        &profiles,
+        KMeansConfig {
+            k,
+            seed: 7,
+            ..Default::default()
+        },
+    )
+    .expect("profiles are uniform 24-vectors");
+    println!(
+        "segmented {} households into {} clusters (inertia {:.2})\n",
+        ds.len(),
+        km.k(),
+        km.inertia
+    );
 
     // 3. Describe each segment and pick an exemplar via similarity.
     let similar = similarity_search(&ds, 5);

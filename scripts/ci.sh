@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Tier-1 verification: format, lint, build, and test the whole repo.
+#
+#   scripts/ci.sh           # everything
+#   scripts/ci.sh --fast    # skip the release build
+#
+# The integration crate in tests/ is a separate workspace member set —
+# `cargo test` from the root does not reach it — so it gets its own pass.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fast=0
+[ "${1:-}" = "--fast" ] && fast=1
+
+echo "== fmt =="
+cargo fmt --all --check
+
+echo "== clippy =="
+cargo clippy --workspace --all-targets
+
+echo "== test (workspace) =="
+cargo test --workspace -q
+
+echo "== test (integration) =="
+(cd tests && cargo test -q)
+
+if [ "$fast" -eq 0 ]; then
+    echo "== release build =="
+    cargo build --release --workspace
+fi
+
+echo "ci: all green"

@@ -33,8 +33,11 @@ pub fn fixture_dataset(n: u32) -> Dataset {
             ConsumerSeries::new(ConsumerId(i * 3), readings).expect("fixture readings are valid")
         })
         .collect();
-    Dataset::new(consumers, TemperatureSeries::new(temps).expect("fixture temps are valid"))
-        .expect("fixture ids are unique")
+    Dataset::new(
+        consumers,
+        TemperatureSeries::new(temps).expect("fixture temps are valid"),
+    )
+    .expect("fixture ids are unique")
 }
 
 /// A scratch directory cleaned on drop.

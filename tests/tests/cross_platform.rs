@@ -39,14 +39,20 @@ fn assert_equivalent(ds: &Dataset, got: &TaskOutput, task: Task, platform: &str)
                     (x.cooling_gradient() - y.cooling_gradient()).abs() < 5e-3,
                     "{platform}/{task}: cooling"
                 );
-                assert!((x.base_load() - y.base_load()).abs() < 5e-2, "{platform}/{task}: base");
+                assert!(
+                    (x.base_load() - y.base_load()).abs() < 5e-2,
+                    "{platform}/{task}: base"
+                );
             }
         }
         (TaskOutput::Par(a), TaskOutput::Par(b)) => {
             for (x, y) in a.iter().zip(b) {
                 assert_eq!(x.consumer, y.consumer, "{platform}/{task}");
                 for (p, q) in x.profile.iter().zip(&y.profile) {
-                    assert!((p - q).abs() < 5e-3, "{platform}/{task}: profile {p} vs {q}");
+                    assert!(
+                        (p - q).abs() < 5e-3,
+                        "{platform}/{task}: profile {p} vs {q}"
+                    );
                 }
             }
         }
@@ -67,17 +73,34 @@ fn single_server_platforms_agree_with_reference() {
     let ds = fixture_dataset(5);
     let dir = TempDir::new("xplat-single");
     let mut engines: Vec<Box<dyn Platform>> = vec![
-        Box::new(NumericEngine::new(dir.path("matlab"), FileLayout::Partitioned)),
-        Box::new(NumericEngine::new(dir.path("matlab-u"), FileLayout::Unpartitioned)),
-        Box::new(RelationalEngine::new(dir.path("m-row"), RelationalLayout::ReadingPerRow)),
-        Box::new(RelationalEngine::new(dir.path("m-arr"), RelationalLayout::ArrayPerConsumer)),
-        Box::new(RelationalEngine::new(dir.path("m-day"), RelationalLayout::DayPerRow)),
+        Box::new(NumericEngine::new(
+            dir.path("matlab"),
+            FileLayout::Partitioned,
+        )),
+        Box::new(NumericEngine::new(
+            dir.path("matlab-u"),
+            FileLayout::Unpartitioned,
+        )),
+        Box::new(RelationalEngine::new(
+            dir.path("m-row"),
+            RelationalLayout::ReadingPerRow,
+        )),
+        Box::new(RelationalEngine::new(
+            dir.path("m-arr"),
+            RelationalLayout::ArrayPerConsumer,
+        )),
+        Box::new(RelationalEngine::new(
+            dir.path("m-day"),
+            RelationalLayout::DayPerRow,
+        )),
         Box::new(ColumnarEngine::new(dir.path("systemc"))),
     ];
     for engine in &mut engines {
         engine.load(&ds).expect("load succeeds");
         for task in Task::ALL {
-            let r = engine.run(&RunSpec::builder(task).threads(2).build()).expect("run succeeds");
+            let r = engine
+                .run(&RunSpec::builder(task).threads(2).build())
+                .expect("run succeeds");
             if engine.name() == "Matlab" {
                 // Matlab's CSV round-trip quantizes readings: similarity
                 // rankings can swap near-ties, so only the per-consumer
@@ -95,8 +118,16 @@ fn single_server_platforms_agree_with_reference() {
 #[test]
 fn cluster_platforms_agree_with_reference_under_all_formats() {
     let ds = fixture_dataset(4);
-    let topo_mr = ClusterTopology { workers: 3, slots_per_worker: 2, cost: CostModel::mapreduce() };
-    let topo_sp = ClusterTopology { workers: 3, slots_per_worker: 2, cost: CostModel::spark() };
+    let topo_mr = ClusterTopology {
+        workers: 3,
+        slots_per_worker: 2,
+        cost: CostModel::mapreduce(),
+    };
+    let topo_sp = ClusterTopology {
+        workers: 3,
+        slots_per_worker: 2,
+        cost: CostModel::spark(),
+    };
     for format in [
         DataFormat::ReadingPerLine,
         DataFormat::ConsumerPerLine,
@@ -121,15 +152,22 @@ fn warm_and_cold_runs_agree_everywhere() {
     let dir = TempDir::new("xplat-warm");
     let mut engines: Vec<Box<dyn Platform>> = vec![
         Box::new(NumericEngine::new(dir.path("m"), FileLayout::Partitioned)),
-        Box::new(RelationalEngine::new(dir.path("p"), RelationalLayout::ReadingPerRow)),
+        Box::new(RelationalEngine::new(
+            dir.path("p"),
+            RelationalLayout::ReadingPerRow,
+        )),
         Box::new(ColumnarEngine::new(dir.path("c"))),
     ];
     for engine in &mut engines {
         engine.load(&ds).expect("load succeeds");
         engine.make_cold();
-        let cold = engine.run(&RunSpec::builder(Task::Par).build()).expect("cold run succeeds");
+        let cold = engine
+            .run(&RunSpec::builder(Task::Par).build())
+            .expect("cold run succeeds");
         engine.warm().expect("warm succeeds");
-        let warm = engine.run(&RunSpec::builder(Task::Par).build()).expect("warm run succeeds");
+        let warm = engine
+            .run(&RunSpec::builder(Task::Par).build())
+            .expect("warm run succeeds");
         match (&cold.output, &warm.output) {
             (TaskOutput::Par(a), TaskOutput::Par(b)) => {
                 for (x, y) in a.iter().zip(b) {

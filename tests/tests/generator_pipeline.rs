@@ -8,14 +8,24 @@ use smda_core::{fit_three_line, DataGenerator, GeneratorConfig, Task, TaskOutput
 
 #[test]
 fn generated_data_supports_all_benchmark_tasks() {
-    let seed = generate_seed(&SeedConfig { consumers: 15, seed: 5, ..Default::default() })
-        .expect("seed generation succeeds");
+    let seed = generate_seed(&SeedConfig {
+        consumers: 15,
+        seed: 5,
+        ..Default::default()
+    })
+    .expect("seed generation succeeds");
     let generator = DataGenerator::train(
         &seed,
-        GeneratorConfig { clusters: 4, noise_sigma: 0.05, seed: 5 },
+        GeneratorConfig {
+            clusters: 4,
+            noise_sigma: 0.05,
+            seed: 5,
+        },
     )
     .expect("training succeeds");
-    let synthetic = generator.generate(25, seed.temperature(), 1_000).expect("generation");
+    let synthetic = generator
+        .generate(25, seed.temperature(), 1_000)
+        .expect("generation");
     for task in Task::ALL {
         let out = run_reference(task, &synthetic);
         assert_eq!(out.len(), 25, "{task} on synthetic data");
@@ -24,14 +34,24 @@ fn generated_data_supports_all_benchmark_tasks() {
 
 #[test]
 fn synthetic_consumers_preserve_thermal_structure() {
-    let seed = generate_seed(&SeedConfig { consumers: 20, seed: 9, ..Default::default() })
-        .expect("seed generation succeeds");
+    let seed = generate_seed(&SeedConfig {
+        consumers: 20,
+        seed: 9,
+        ..Default::default()
+    })
+    .expect("seed generation succeeds");
     let generator = DataGenerator::train(
         &seed,
-        GeneratorConfig { clusters: 4, noise_sigma: 0.02, seed: 9 },
+        GeneratorConfig {
+            clusters: 4,
+            noise_sigma: 0.02,
+            seed: 9,
+        },
     )
     .expect("training succeeds");
-    let synthetic = generator.generate(20, seed.temperature(), 0).expect("generation");
+    let synthetic = generator
+        .generate(20, seed.temperature(), 0)
+        .expect("generation");
 
     // Seed households heat: 3-line on synthetic data should recover
     // negative heating gradients on average, like the seed.
@@ -56,18 +76,30 @@ fn synthetic_consumers_preserve_thermal_structure() {
 
 #[test]
 fn synthetic_daily_profiles_resemble_cluster_centroids() {
-    let seed = generate_seed(&SeedConfig { consumers: 12, seed: 3, ..Default::default() })
-        .expect("seed generation succeeds");
+    let seed = generate_seed(&SeedConfig {
+        consumers: 12,
+        seed: 3,
+        ..Default::default()
+    })
+    .expect("seed generation succeeds");
     let generator = DataGenerator::train(
         &seed,
-        GeneratorConfig { clusters: 3, noise_sigma: 0.0, seed: 3 },
+        GeneratorConfig {
+            clusters: 3,
+            noise_sigma: 0.0,
+            seed: 3,
+        },
     )
     .expect("training succeeds");
-    let synthetic = generator.generate(10, seed.temperature(), 0).expect("generation");
+    let synthetic = generator
+        .generate(10, seed.temperature(), 0)
+        .expect("generation");
     // With zero noise, each synthetic consumer's PAR profile must be
     // close (cosine) to SOME trained centroid.
     let out = run_reference(Task::Par, &synthetic);
-    let TaskOutput::Par(models) = out else { panic!("expected PAR output") };
+    let TaskOutput::Par(models) = out else {
+        panic!("expected PAR output")
+    };
     for m in &models {
         let best: f64 = generator
             .clusters()
@@ -80,16 +112,31 @@ fn synthetic_daily_profiles_resemble_cluster_centroids() {
 
 #[test]
 fn amplification_is_unbounded_and_ids_are_disjoint() {
-    let seed = generate_seed(&SeedConfig { consumers: 6, seed: 1, ..Default::default() })
-        .expect("seed generation succeeds");
-    let generator =
-        DataGenerator::train(&seed, GeneratorConfig { clusters: 2, noise_sigma: 0.1, seed: 1 })
-            .expect("training succeeds");
+    let seed = generate_seed(&SeedConfig {
+        consumers: 6,
+        seed: 1,
+        ..Default::default()
+    })
+    .expect("seed generation succeeds");
+    let generator = DataGenerator::train(
+        &seed,
+        GeneratorConfig {
+            clusters: 2,
+            noise_sigma: 0.1,
+            seed: 1,
+        },
+    )
+    .expect("training succeeds");
     // Amplify 6 consumers to 60 — a 10× stress-test set, as the paper
     // scales 27k to millions.
-    let big = generator.generate(60, seed.temperature(), 500).expect("generation");
+    let big = generator
+        .generate(60, seed.temperature(), 500)
+        .expect("generation");
     assert_eq!(big.len(), 60);
     let seed_ids: std::collections::HashSet<u32> =
         seed.consumers().iter().map(|c| c.id.raw()).collect();
-    assert!(big.consumers().iter().all(|c| !seed_ids.contains(&c.id.raw())));
+    assert!(big
+        .consumers()
+        .iter()
+        .all(|c| !seed_ids.contains(&c.id.raw())));
 }

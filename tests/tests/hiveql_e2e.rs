@@ -9,7 +9,11 @@ use smda_types::DataFormat;
 fn session(format: DataFormat) -> HiveSession {
     let ds = fixture_dataset(4);
     let mut engine = HiveEngine::new(
-        ClusterTopology { workers: 2, slots_per_worker: 2, cost: CostModel::mapreduce() },
+        ClusterTopology {
+            workers: 2,
+            slots_per_worker: 2,
+            cost: CostModel::mapreduce(),
+        },
         128 * 1024,
     );
     engine.load(&ds, format).expect("load succeeds");
@@ -47,7 +51,9 @@ fn planner_chooses_operator_by_format() {
 fn sql_histogram_matches_reference() {
     let ds = fixture_dataset(4);
     let mut s = session(DataFormat::ConsumerPerLine);
-    let r = s.sql("SELECT histogram(kwh, 10) FROM meter_data GROUP BY household").unwrap();
+    let r = s
+        .sql("SELECT histogram(kwh, 10) FROM meter_data GROUP BY household")
+        .unwrap();
     let want = smda_core::tasks::run_reference(smda_core::Task::Histogram, &ds);
     match (&r.output, &want) {
         (TaskOutput::Histograms(a), TaskOutput::Histograms(b)) => {

@@ -12,8 +12,14 @@ use smda_storage::FileLayout;
 
 fn platforms(dir: &TempDir) -> Vec<Box<dyn Platform>> {
     vec![
-        Box::new(NumericEngine::new(dir.path("matlab"), FileLayout::Partitioned)),
-        Box::new(RelationalEngine::new(dir.path("madlib"), RelationalLayout::ReadingPerRow)),
+        Box::new(NumericEngine::new(
+            dir.path("matlab"),
+            FileLayout::Partitioned,
+        )),
+        Box::new(RelationalEngine::new(
+            dir.path("madlib"),
+            RelationalLayout::ReadingPerRow,
+        )),
         Box::new(ColumnarEngine::new(dir.path("systemc"))),
     ]
 }
@@ -73,14 +79,21 @@ fn reports_round_trip_and_match_the_documented_schema() {
     for field in ["task", "platform", "threads", "consumers", "cold"] {
         assert!(manifest.get(field).is_some(), "manifest.{field} missing");
     }
-    let phases = doc.get("phases").and_then(|p| p.as_array()).expect("phases array");
+    let phases = doc
+        .get("phases")
+        .and_then(|p| p.as_array())
+        .expect("phases array");
     assert!(!phases.is_empty());
     for phase in phases {
         assert!(phase.get("name").and_then(|v| v.as_str()).is_some());
         assert!(phase.get("ns").and_then(|v| v.as_u64()).is_some());
         assert!(phase.get("children").and_then(|v| v.as_array()).is_some());
     }
-    for counter in doc.get("counters").and_then(|c| c.as_array()).expect("counters array") {
+    for counter in doc
+        .get("counters")
+        .and_then(|c| c.as_array())
+        .expect("counters array")
+    {
         assert!(counter.get("name").and_then(|v| v.as_str()).is_some());
         assert!(counter.get("value").and_then(|v| v.as_u64()).is_some());
     }
@@ -91,7 +104,9 @@ fn bench_export_flattens_runs_into_named_entries() {
     let ds = fixture_dataset(2);
     let dir = TempDir::new("metrics-export");
     let mut engine = NumericEngine::new(dir.path("matlab"), FileLayout::Partitioned);
-    let spec = RunSpec::builder(Task::Par).metrics(MetricsSink::recording()).build();
+    let spec = RunSpec::builder(Task::Par)
+        .metrics(MetricsSink::recording())
+        .build();
     let (_, report) = observe_session(&mut engine, &ds, &spec).expect("session succeeds");
 
     let export = BenchExport::from_runs(vec![report]);
@@ -99,10 +114,17 @@ fn bench_export_flattens_runs_into_named_entries() {
     let names: Vec<&str> = export.benches.iter().map(|e| e.name.as_str()).collect();
     for suffix in ["load", "warm", "run"] {
         let want = format!("Matlab/PAR/warm/{suffix}");
-        assert!(names.contains(&want.as_str()), "missing {want} in {names:?}");
+        assert!(
+            names.contains(&want.as_str()),
+            "missing {want} in {names:?}"
+        );
     }
     for entry in &export.benches {
-        assert!(entry.unit == "ns" || entry.unit == "count", "odd unit {}", entry.unit);
+        assert!(
+            entry.unit == "ns" || entry.unit == "count",
+            "odd unit {}",
+            entry.unit
+        );
     }
 
     // The whole document survives a disk round trip.

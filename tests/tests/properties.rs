@@ -21,15 +21,15 @@ fn dataset_strategy(max_consumers: usize) -> impl Strategy<Value = Dataset> {
         let temps: Vec<f64> = (0..HOURS_PER_YEAR).map(|_| next() * 8.0 - 20.0).collect();
         let consumers = (0..n as u32)
             .map(|i| {
-                ConsumerSeries::new(
-                    ConsumerId(i),
-                    (0..HOURS_PER_YEAR).map(|_| next()).collect(),
-                )
-                .expect("bounded readings are valid")
+                ConsumerSeries::new(ConsumerId(i), (0..HOURS_PER_YEAR).map(|_| next()).collect())
+                    .expect("bounded readings are valid")
             })
             .collect();
-        Dataset::new(consumers, TemperatureSeries::new(temps).expect("bounded temps"))
-            .expect("unique ids")
+        Dataset::new(
+            consumers,
+            TemperatureSeries::new(temps).expect("bounded temps"),
+        )
+        .expect("unique ids")
     })
 }
 

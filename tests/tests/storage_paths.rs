@@ -31,7 +31,12 @@ fn every_storage_representation_preserves_analytics() {
         &mut l3 as &mut dyn smda_storage::TableLayout,
     ] {
         let back = dataset_from_layout(layout).unwrap();
-        assert_eq!(histogram_counts(&back), reference, "{}", layout.layout_name());
+        assert_eq!(
+            histogram_counts(&back),
+            reference,
+            "{}",
+            layout.layout_name()
+        );
     }
 
     // Column store.

@@ -36,7 +36,10 @@ impl Criterion {
 
     /// Start a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { criterion: self, name: name.to_owned() }
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_owned(),
+        }
     }
 
     /// Run a single benchmark outside any group.
@@ -66,7 +69,11 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Run `f` as the benchmark named `id` within this group.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl fmt::Display, f: F) -> &mut Self {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        f: F,
+    ) -> &mut Self {
         let label = format!("{}/{}", self.name, id);
         run_one(self.criterion.enabled, &label, f);
         self
@@ -95,12 +102,18 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// Identifier for `function` at `parameter`.
     pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> BenchmarkId {
-        BenchmarkId { function: function.to_string(), parameter: parameter.to_string() }
+        BenchmarkId {
+            function: function.to_string(),
+            parameter: parameter.to_string(),
+        }
     }
 
     /// Identifier with only a parameter component.
     pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
-        BenchmarkId { function: String::new(), parameter: parameter.to_string() }
+        BenchmarkId {
+            function: String::new(),
+            parameter: parameter.to_string(),
+        }
     }
 }
 
@@ -131,7 +144,11 @@ impl Bencher {
         let start = Instant::now();
         black_box(routine());
         let first = start.elapsed();
-        let extra = if first > Duration::from_millis(1) { 0 } else { 4 };
+        let extra = if first > Duration::from_millis(1) {
+            0
+        } else {
+            4
+        };
         for _ in 0..extra {
             black_box(routine());
         }
@@ -141,11 +158,18 @@ impl Bencher {
 }
 
 fn run_one<F: FnMut(&mut Bencher)>(enabled: bool, label: &str, mut f: F) {
-    let mut b = Bencher { enabled, elapsed: Duration::ZERO, iterations: 0 };
+    let mut b = Bencher {
+        enabled,
+        elapsed: Duration::ZERO,
+        iterations: 0,
+    };
     f(&mut b);
     if enabled && b.iterations > 0 {
         let per_iter = b.elapsed / b.iterations;
-        println!("bench: {label:<48} {per_iter:>12.2?}/iter ({} iters)", b.iterations);
+        println!(
+            "bench: {label:<48} {per_iter:>12.2?}/iter ({} iters)",
+            b.iterations
+        );
     }
 }
 

@@ -48,7 +48,10 @@ pub mod thread {
             let inner = self.inner;
             ScopedJoinHandle {
                 inner: inner.spawn(move || {
-                    f(&Scope { inner, _env: PhantomData })
+                    f(&Scope {
+                        inner,
+                        _env: PhantomData,
+                    })
                 }),
             }
         }
@@ -64,7 +67,12 @@ pub mod thread {
         F: for<'scope> FnOnce(&Scope<'env, 'scope>) -> R,
     {
         std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            std::thread::scope(|s| f(&Scope { inner: s, _env: PhantomData }))
+            std::thread::scope(|s| {
+                f(&Scope {
+                    inner: s,
+                    _env: PhantomData,
+                })
+            })
         }))
     }
 }
@@ -77,11 +85,11 @@ mod tests {
     fn scope_joins_and_collects() {
         let data = vec![1, 2, 3, 4];
         let out = thread::scope(|s| {
-            let handles: Vec<_> = data
-                .iter()
-                .map(|&x| s.spawn(move |_| x * 10))
-                .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).collect::<Vec<_>>()
+            let handles: Vec<_> = data.iter().map(|&x| s.spawn(move |_| x * 10)).collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect::<Vec<_>>()
         })
         .unwrap();
         assert_eq!(out, vec![10, 20, 30, 40]);

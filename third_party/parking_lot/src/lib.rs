@@ -19,12 +19,16 @@ pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
 impl<T> Mutex<T> {
     /// A new mutex holding `value`.
     pub fn new(value: T) -> Self {
-        Mutex { inner: sync::Mutex::new(value) }
+        Mutex {
+            inner: sync::Mutex::new(value),
+        }
     }
 
     /// Consume the mutex, returning the value.
     pub fn into_inner(self) -> T {
-        self.inner.into_inner().unwrap_or_else(PoisonError::into_inner)
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 }
 
@@ -63,12 +67,16 @@ pub type RwLockWriteGuard<'a, T> = sync::RwLockWriteGuard<'a, T>;
 impl<T> RwLock<T> {
     /// A new lock holding `value`.
     pub fn new(value: T) -> Self {
-        RwLock { inner: sync::RwLock::new(value) }
+        RwLock {
+            inner: sync::RwLock::new(value),
+        }
     }
 
     /// Consume the lock, returning the value.
     pub fn into_inner(self) -> T {
-        self.inner.into_inner().unwrap_or_else(PoisonError::into_inner)
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 }
 

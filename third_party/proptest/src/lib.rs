@@ -15,7 +15,9 @@ pub mod test_runner;
 pub mod prelude {
     pub use crate::strategy::{Arbitrary, Strategy};
     pub use crate::test_runner::ProptestConfig;
-    pub use crate::{any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest,
+    };
 }
 
 /// Namespace mirror of `proptest::prop` (`prop::collection::vec` etc.).

@@ -83,12 +83,7 @@ macro_rules! tuple_strategy {
     )*};
 }
 
-tuple_strategy!(
-    (A.0),
-    (A.0, B.1),
-    (A.0, B.1, C.2),
-    (A.0, B.1, C.2, D.3)
-);
+tuple_strategy!((A.0), (A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3));
 
 /// Types with a canonical whole-domain strategy, via [`crate::any`].
 pub trait Arbitrary: Sized {

@@ -51,9 +51,7 @@ impl Value {
     /// Member lookup on an object node; `None` for other node kinds.
     pub fn get(&self, key: &str) -> Option<&Value> {
         match self {
-            Value::Object(members) => {
-                members.iter().find(|(k, _)| k == key).map(|(_, v)| v)
-            }
+            Value::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
         }
     }
@@ -240,7 +238,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "JSON parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "JSON parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -256,12 +258,16 @@ pub struct SchemaError {
 impl SchemaError {
     /// A mismatch error naming the expected shape and the actual node.
     pub fn expected(what: &str, found: &Value) -> SchemaError {
-        SchemaError { message: format!("expected {what}, found {}", found.kind()) }
+        SchemaError {
+            message: format!("expected {what}, found {}", found.kind()),
+        }
     }
 
     /// A missing-member error for object field `name`.
     pub fn missing(name: &str) -> SchemaError {
-        SchemaError { message: format!("missing field `{name}`") }
+        SchemaError {
+            message: format!("missing field `{name}`"),
+        }
     }
 }
 
@@ -299,7 +305,10 @@ pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Box<dyn std::error::Err
 
 /// Parse JSON text into a [`Value`] tree.
 pub fn parse(text: &str) -> Result<Value, ParseError> {
-    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
     p.skip_ws();
     let value = p.value()?;
     p.skip_ws();
@@ -316,7 +325,10 @@ struct Parser<'a> {
 
 impl Parser<'_> {
     fn err(&self, message: &str) -> ParseError {
-        ParseError { message: message.to_owned(), offset: self.pos }
+        ParseError {
+            message: message.to_owned(),
+            offset: self.pos,
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -464,7 +476,10 @@ impl Parser<'_> {
         if self.peek() == Some(b'-') {
             self.pos += 1;
         }
-        while matches!(self.peek(), Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')) {
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
             self.pos += 1;
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
@@ -484,13 +499,19 @@ mod tests {
         v.insert("name", Value::String("load".into()));
         v.insert("value", Value::Number(1234.0));
         v.insert("unit", Value::String("ns".into()));
-        assert_eq!(v.to_compact_string(), r#"{"name":"load","value":1234,"unit":"ns"}"#);
+        assert_eq!(
+            v.to_compact_string(),
+            r#"{"name":"load","value":1234,"unit":"ns"}"#
+        );
     }
 
     #[test]
     fn round_trips_through_parse() {
         let mut v = Value::object();
-        v.insert("benches", Value::Array(vec![Value::Number(1.5), Value::Null]));
+        v.insert(
+            "benches",
+            Value::Array(vec![Value::Number(1.5), Value::Null]),
+        );
         v.insert("ok", Value::Bool(true));
         v.insert("label", Value::String("a\"b\\c\nd".into()));
         let text = v.to_pretty_string();
@@ -502,7 +523,10 @@ mod tests {
         let doc = r#" {"a": [1, 2.5, -3e2], "b": {"c": null, "d": "x"}} "#;
         let v = parse(doc).unwrap();
         assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 3);
-        assert_eq!(v.get("a").unwrap().as_array().unwrap()[2].as_f64(), Some(-300.0));
+        assert_eq!(
+            v.get("a").unwrap().as_array().unwrap()[2].as_f64(),
+            Some(-300.0)
+        );
         assert_eq!(v.get("b").unwrap().get("d").unwrap().as_str(), Some("x"));
     }
 

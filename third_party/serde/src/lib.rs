@@ -101,19 +101,25 @@ impl<T: Serialize + ?Sized> Serialize for &T {
 
 impl Deserialize for bool {
     fn deserialize(value: &json::Value) -> Result<Self, json::SchemaError> {
-        value.as_bool().ok_or_else(|| json::SchemaError::expected("bool", value))
+        value
+            .as_bool()
+            .ok_or_else(|| json::SchemaError::expected("bool", value))
     }
 }
 
 impl Deserialize for f64 {
     fn deserialize(value: &json::Value) -> Result<Self, json::SchemaError> {
-        value.as_f64().ok_or_else(|| json::SchemaError::expected("number", value))
+        value
+            .as_f64()
+            .ok_or_else(|| json::SchemaError::expected("number", value))
     }
 }
 
 impl Deserialize for u64 {
     fn deserialize(value: &json::Value) -> Result<Self, json::SchemaError> {
-        value.as_u64().ok_or_else(|| json::SchemaError::expected("unsigned integer", value))
+        value
+            .as_u64()
+            .ok_or_else(|| json::SchemaError::expected("unsigned integer", value))
     }
 }
 
