@@ -1,0 +1,142 @@
+//! PR 3 extension: the similarity kernel sweep.
+//!
+//! Compares three implementations of the all-pairs top-k task on the
+//! same data: the naive per-query scan (`top_k_cosine`), the cache-tiled
+//! symmetric kernel on a contiguous [`SeriesMatrix`] (`top_k_tiled`),
+//! and the tiled kernel fanned out over the persistent worker pool
+//! (`top_k_matrix`). All three are bit-identical by construction — the
+//! sweep asserts it on every size — so the columns isolate pure
+//! execution cost: wall time, pairs scored (the symmetric kernel does
+//! half the naive count), and effective MFLOP/s.
+
+use std::time::{Duration, Instant};
+
+use smda_core::SIMILARITY_TOP_K;
+use smda_engines::parallel::top_k_matrix;
+use smda_engines::WorkerPool;
+use smda_obs::MetricsSink;
+use smda_stats::{top_k_cosine, top_k_tiled, SeriesMatrix, TileConfig};
+
+use crate::data::seed_dataset;
+use crate::report::Table;
+use crate::scale::Scale;
+
+/// Nominal household counts swept (scaled down by `Scale::divisor`).
+pub const HOUSEHOLDS: [usize; 3] = [1_600, 3_200, 6_400];
+
+/// Variants measured per size.
+pub const VARIANTS: usize = 3;
+
+fn push(
+    t: &mut Table,
+    nominal: usize,
+    variant: &str,
+    elapsed: Duration,
+    pairs: u64,
+    stride: usize,
+) {
+    let flops = pairs as f64 * 2.0 * stride as f64;
+    let mflops = flops / elapsed.as_secs_f64().max(1e-9) / 1e6;
+    t.row(vec![
+        nominal.to_string(),
+        variant.into(),
+        format!("{:.3}", elapsed.as_secs_f64() * 1e3),
+        pairs.to_string(),
+        format!("{mflops:.0}"),
+    ]);
+}
+
+/// Sweep the three kernel variants over seed datasets of growing size.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let mut t = Table::new(
+        "kernels_sweep",
+        "Similarity kernel: naive scan vs tiled symmetric kernel (serial and pooled)",
+        &["households", "variant", "time_ms", "pairs_scored", "mflops"],
+    );
+    let threads = WorkerPool::global().size().clamp(2, 8);
+    for nominal in HOUSEHOLDS {
+        let ds = seed_dataset(scale.consumers_for_households(nominal));
+        let series: Vec<Vec<f64>> = ds
+            .consumers()
+            .iter()
+            .map(|c| c.readings().to_vec())
+            .collect();
+        let n = series.len();
+        let stride = series.first().map(Vec::len).unwrap_or(0);
+
+        // Naive: normalize, then every query scans every other row.
+        let start = Instant::now();
+        let naive = top_k_cosine(&series, SIMILARITY_TOP_K);
+        let naive_t = start.elapsed();
+        push(
+            &mut t,
+            nominal,
+            "naive",
+            naive_t,
+            (n * n.saturating_sub(1)) as u64,
+            stride,
+        );
+
+        // Tiled: contiguous matrix, symmetric halving, one thread.
+        // Matrix construction is timed — it replaces normalize_all.
+        let start = Instant::now();
+        let matrix = SeriesMatrix::from_rows_normalized(&series);
+        let (tiled, stats) = top_k_tiled(&matrix, SIMILARITY_TOP_K, &TileConfig::default());
+        let tiled_t = start.elapsed();
+        assert_eq!(naive, tiled, "tiled kernel diverged from naive at n={n}");
+        push(
+            &mut t,
+            nominal,
+            "tiled",
+            tiled_t,
+            stats.pairs_scored,
+            stride,
+        );
+
+        // Tiled + pool: same kernel, tile rows claimed dynamically by
+        // the persistent worker pool.
+        let sink = MetricsSink::disabled();
+        let start = Instant::now();
+        let matrix = SeriesMatrix::from_rows_normalized(&series);
+        let (pooled, pstats) = top_k_matrix(&matrix, SIMILARITY_TOP_K, threads, &sink);
+        let pooled_t = start.elapsed();
+        assert_eq!(naive, pooled, "pooled kernel diverged from naive at n={n}");
+        push(
+            &mut t,
+            nominal,
+            &format!("tiled+pool x{threads}"),
+            pooled_t,
+            pstats.pairs_scored,
+            stride,
+        );
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_covers_every_size_and_variant() {
+        let tables = run(Scale::smoke());
+        assert_eq!(tables.len(), 1);
+        let t = &tables[0];
+        assert_eq!(t.rows.len(), HOUSEHOLDS.len() * VARIANTS);
+        for row in &t.rows {
+            let ms: f64 = row[2].parse().unwrap();
+            assert!(ms >= 0.0);
+            let pairs: u64 = row[3].parse().unwrap();
+            assert!(pairs > 0);
+        }
+        // Symmetric halving: at each size the tiled variants score half
+        // the pairs the naive scan does.
+        for rows in t.rows.chunks(VARIANTS) {
+            let naive: u64 = rows[0][3].parse().unwrap();
+            let tiled: u64 = rows[1][3].parse().unwrap();
+            let pooled: u64 = rows[2][3].parse().unwrap();
+            assert_eq!(naive, 2 * tiled);
+            assert_eq!(tiled, pooled);
+        }
+    }
+}

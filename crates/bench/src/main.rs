@@ -18,7 +18,9 @@
 
 use std::path::PathBuf;
 
-use smda_bench::{run_all, run_experiment, run_json_bench_with, Scale, EXPERIMENT_IDS};
+use smda_bench::{
+    check_kernels, run_all, run_experiment, run_json_bench_with, Scale, EXPERIMENT_IDS,
+};
 use smda_cluster::FaultPlan;
 
 #[global_allocator]
@@ -29,11 +31,13 @@ fn main() {
     let mut ids: Vec<String> = Vec::new();
     let mut json_out: Option<PathBuf> = None;
     let mut faults: Option<FaultPlan> = None;
+    let mut kernels_check = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" | "--small" => scale = Scale::smoke(),
             "--full" => scale = Scale::full(),
+            "--check-kernels" => kernels_check = true,
             "--json" => match args.next() {
                 Some(path) => json_out = Some(PathBuf::from(path)),
                 None => {
@@ -57,7 +61,7 @@ fn main() {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: smda-bench [--smoke|--small|--full] [--json PATH] [--faults SPEC] \
-                     [EXPERIMENT...]\n\
+                     [--check-kernels] [EXPERIMENT...]\n\
                      experiments: {}",
                     EXPERIMENT_IDS.join(" ")
                 );
@@ -70,6 +74,19 @@ fn main() {
     if faults.is_some() && json_out.is_none() {
         eprintln!("--faults only applies to the instrumented --json matrix");
         std::process::exit(2);
+    }
+
+    if kernels_check {
+        match check_kernels(scale) {
+            Ok(msg) => {
+                eprintln!("{msg}");
+                return;
+            }
+            Err(msg) => {
+                eprintln!("kernel check FAILED: {msg}");
+                std::process::exit(1);
+            }
+        }
     }
 
     if let Some(path) = json_out {

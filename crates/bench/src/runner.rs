@@ -7,7 +7,7 @@ use crate::report::Table;
 use crate::scale::Scale;
 
 /// All experiment ids, in the paper's presentation order.
-pub const EXPERIMENT_IDS: [&str; 14] = [
+pub const EXPERIMENT_IDS: [&str; 15] = [
     "table1",
     "fig4",
     "fig5",
@@ -22,6 +22,7 @@ pub const EXPERIMENT_IDS: [&str; 14] = [
     "fig18",
     "ext_updates",
     "chaos",
+    "kernels",
 ];
 
 /// Run one experiment by id (composite figures run together: `fig11`
@@ -42,9 +43,47 @@ pub fn run_experiment(id: &str, scale: Scale) -> Option<Vec<Table>> {
         "fig18" | "fig19" => experiments::format3::run(scale),
         "ext_updates" => experiments::updates::run(scale),
         "chaos" => experiments::chaos::run(scale),
+        "kernels" => experiments::kernels::run(scale),
         _ => return None,
     };
     Some(tables)
+}
+
+/// Kernel-equivalence smoke check (`smda-bench --check-kernels`): run
+/// the naive per-query scan and the tiled symmetric kernel — serial and
+/// pooled at several widths — over one seeded dataset and require exact
+/// equality of every match list.
+pub fn check_kernels(scale: Scale) -> std::result::Result<String, String> {
+    use smda_core::SIMILARITY_TOP_K;
+    use smda_stats::{top_k_cosine, top_k_tiled, SeriesMatrix, TileConfig};
+
+    let ds = crate::data::seed_dataset(scale.consumers_for_households(6_400));
+    let series: Vec<Vec<f64>> = ds
+        .consumers()
+        .iter()
+        .map(|c| c.readings().to_vec())
+        .collect();
+    let n = series.len();
+    let naive = top_k_cosine(&series, SIMILARITY_TOP_K);
+    let matrix = SeriesMatrix::from_rows_normalized(&series);
+    let (tiled, stats) = top_k_tiled(&matrix, SIMILARITY_TOP_K, &TileConfig::default());
+    if naive != tiled {
+        return Err(format!("tiled kernel diverged from naive at n={n}"));
+    }
+    let sink = smda_obs::MetricsSink::disabled();
+    for threads in [1usize, 2, 4, 8] {
+        let (pooled, _) =
+            smda_engines::parallel::top_k_matrix(&matrix, SIMILARITY_TOP_K, threads, &sink);
+        if pooled != naive {
+            return Err(format!(
+                "pooled kernel diverged from naive at n={n}, threads={threads}"
+            ));
+        }
+    }
+    Ok(format!(
+        "kernel equivalence OK: n={n}, {} pairs scored, threads 1/2/4/8 identical",
+        stats.pairs_scored
+    ))
 }
 
 /// Run the whole suite, writing one CSV per table under `out_dir` and

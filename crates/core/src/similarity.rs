@@ -5,8 +5,8 @@
 //! series. Quadratic in the number of consumers — the task the paper uses
 //! to stress cross-series computation.
 
-use smda_stats::{normalize_all, select_top_k, SimilarityMatch};
-use smda_types::{ConsumerId, Dataset};
+use smda_stats::{top_k_tiled, SeriesMatrixBuilder, TileConfig};
+use smda_types::{ConsumerId, Dataset, HOURS_PER_YEAR};
 
 /// The benchmark fixes `k = 10`.
 pub const SIMILARITY_TOP_K: usize = 10;
@@ -22,30 +22,25 @@ pub struct ConsumerMatches {
 
 /// Run task 4 over a whole dataset — the single-threaded reference
 /// implementation (the engines parallelize their own variants).
+///
+/// Runs on the tiled symmetric kernel (`smda_stats::kernels`), which is
+/// bit-identical to a naive per-query scan built on the same canonical
+/// [`smda_stats::dot`]: every engine path can therefore be compared to
+/// this reference with exact equality.
 pub fn similarity_search(ds: &Dataset, k: usize) -> Vec<ConsumerMatches> {
     let ids: Vec<ConsumerId> = ds.consumers().iter().map(|c| c.id).collect();
-    let series: Vec<Vec<f64>> = ds
-        .consumers()
-        .iter()
-        .map(|c| c.readings().to_vec())
-        .collect();
-    let normalized = normalize_all(&series);
-    (0..normalized.len())
-        .map(|q| {
-            let mut hits: Vec<SimilarityMatch> = Vec::with_capacity(normalized.len() - 1);
-            let query = &normalized[q];
-            for (i, v) in normalized.iter().enumerate() {
-                if i == q {
-                    continue;
-                }
-                let score: f64 = query.iter().zip(v).map(|(a, b)| a * b).sum();
-                hits.push(SimilarityMatch { index: i, score });
-            }
-            select_top_k(&mut hits, k);
-            ConsumerMatches {
-                consumer: ids[q],
-                matches: hits.into_iter().map(|h| (ids[h.index], h.score)).collect(),
-            }
+    let builder = SeriesMatrixBuilder::new(ids.len(), HOURS_PER_YEAR);
+    for (row, c) in ds.consumers().iter().enumerate() {
+        builder.set_row_normalized(row, c.readings());
+    }
+    let matrix = builder.finish();
+    let (matches, _stats) = top_k_tiled(&matrix, k, &TileConfig::default());
+    matches
+        .into_iter()
+        .enumerate()
+        .map(|(q, hits)| ConsumerMatches {
+            consumer: ids[q],
+            matches: hits.into_iter().map(|h| (ids[h.index], h.score)).collect(),
         })
         .collect()
 }

@@ -42,6 +42,10 @@ struct ColumnSource {
     store: Arc<Mutex<ColumnStore>>,
     /// id → storage position, built once per source.
     positions: HashMap<ConsumerId, usize>,
+    /// Per-worker decode buffer, lent out by `consumer_kwh`.
+    scratch: Vec<f64>,
+    /// Temperature column, materialized at most once per source.
+    temps: Option<Vec<f64>>,
 }
 
 impl ColumnSource {
@@ -53,7 +57,12 @@ impl ColumnSource {
             .enumerate()
             .map(|(i, id)| (*id, i))
             .collect();
-        ColumnSource { store, positions }
+        ColumnSource {
+            store,
+            positions,
+            scratch: Vec::new(),
+            temps: None,
+        }
     }
 }
 
@@ -64,15 +73,20 @@ impl ConsumerSource for ColumnSource {
         Ok(ids)
     }
 
-    fn consumer_year(&mut self, id: ConsumerId) -> Result<(Vec<f64>, Vec<f64>)> {
+    fn consumer_kwh(&mut self, id: ConsumerId) -> Result<&[f64]> {
         let index = *self
             .positions
             .get(&id)
             .ok_or_else(|| Error::Invalid(format!("unknown consumer {id}")))?;
-        let mut store = self.store.lock();
-        let kwh = store.readings(index)?;
-        let temps = store.temperature()?.to_vec();
-        Ok((kwh, temps))
+        self.scratch = self.store.lock().readings(index)?;
+        Ok(&self.scratch)
+    }
+
+    fn temperature_year(&mut self) -> Result<&[f64]> {
+        if self.temps.is_none() {
+            self.temps = Some(self.store.lock().temperature()?.to_vec());
+        }
+        Ok(self.temps.as_deref().expect("temperature just cached"))
     }
 }
 

@@ -21,10 +21,12 @@ pub mod columnar;
 pub mod numeric;
 pub mod parallel;
 pub mod platform;
+pub mod pool;
 pub mod relational;
 
 pub use capabilities::{Capabilities, Support};
 pub use columnar::ColumnarEngine;
 pub use numeric::NumericEngine;
 pub use platform::{observe_session, Platform, RunResult, RunSpec, RunSpecBuilder};
+pub use pool::WorkerPool;
 pub use relational::{RelationalEngine, RelationalLayout};

@@ -53,10 +53,14 @@ impl NumericEngine {
     }
 }
 
-/// Per-worker source streaming one consumer file at a time.
+/// Per-worker source streaming one consumer file at a time. The
+/// temperature year is parsed once per run and shared (`Arc`) across all
+/// workers; consumer reads land in a per-worker scratch buffer that is
+/// lent out instead of handed over.
 struct PartitionedSource {
     store: FileStore,
-    temps: Vec<f64>,
+    temps: Arc<Vec<f64>>,
+    scratch: Vec<f64>,
 }
 
 impl ConsumerSource for PartitionedSource {
@@ -64,8 +68,13 @@ impl ConsumerSource for PartitionedSource {
         self.store.consumer_ids()
     }
 
-    fn consumer_year(&mut self, id: ConsumerId) -> Result<(Vec<f64>, Vec<f64>)> {
-        Ok((self.store.read_consumer(id)?, self.temps.clone()))
+    fn consumer_kwh(&mut self, id: ConsumerId) -> Result<&[f64]> {
+        self.scratch = self.store.read_consumer(id)?;
+        Ok(&self.scratch)
+    }
+
+    fn temperature_year(&mut self) -> Result<&[f64]> {
+        Ok(&self.temps)
     }
 }
 
@@ -113,11 +122,12 @@ impl Platform for NumericEngine {
                 FileLayout::Partitioned => {
                     // Cold, partitioned: stream per-consumer files.
                     let dir = self.dir.clone();
-                    let temps = self.store()?.read_temperature()?.values().to_vec();
+                    let temps = Arc::new(self.store()?.read_temperature()?.values().to_vec());
                     let make = move || -> Result<Box<dyn ConsumerSource>> {
                         Ok(Box::new(PartitionedSource {
                             store: FileStore::open(&dir, FileLayout::Partitioned),
                             temps: temps.clone(),
+                            scratch: Vec::new(),
                         }))
                     };
                     execute_task(&make, *task, *threads, SIMILARITY_TOP_K, metrics)?

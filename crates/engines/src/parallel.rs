@@ -2,25 +2,54 @@
 //! threads, each with its own storage handle (the paper parallelizes
 //! Matlab with independent instances and MADLib with multiple database
 //! connections — shared-nothing workers are the common shape).
+//!
+//! Work is distributed by **dynamic chunk claiming**: consumer ids are
+//! cut into more chunks than workers and every participant of the
+//! persistent [`WorkerPool`] pulls the next chunk off an atomic counter,
+//! so a slow chunk cannot strand the rest of a static partition. Results
+//! are gathered by chunk index, which keeps output identical across
+//! thread counts and schedules.
+//!
+//! The Similarity task runs on the kernel layer (`smda_stats::kernels`):
+//! extraction streams each consumer's year straight into a contiguous
+//! [`SeriesMatrix`] (normalized in place, no intermediate `Vec`s), and
+//! scoring is the cache-tiled, symmetry-halved all-pairs kernel whose
+//! output is bit-identical to the naive reference.
 
 use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
 
 use smda_core::three_line::{fit_three_line_timed, ThreeLineConfig};
 use smda_core::{
     fit_par, ConsumerHistogram, ConsumerMatches, Task, TaskOutput, ThreeLineModel, ThreeLinePhases,
 };
 use smda_obs::{counters, MetricsSink};
-use smda_stats::{normalize_all, select_top_k, SimilarityMatch};
-use smda_types::{ConsumerId, ConsumerSeries, Error, Result, TemperatureSeries};
+use smda_stats::{
+    merge_partials, top_k_tiled, top_k_tiled_partial, KernelStats, SeriesMatrixBuilder,
+    SimilarityMatch, TileConfig,
+};
+use smda_types::{ConsumerId, ConsumerSeries, Error, Result, TemperatureSeries, HOURS_PER_YEAR};
+
+use crate::pool::WorkerPool;
 
 /// A per-worker handle that can enumerate households and fetch one
-/// household's year of data. Implemented by every engine's storage.
+/// household's data. Implemented by every engine's storage.
+///
+/// The accessors return **borrowed** slices so hot loops never clone a
+/// year of readings: in-memory sources hand out views of their resident
+/// data, paged sources decode into a reusable scratch buffer.
 pub trait ConsumerSource: Send {
     /// Household ids, ascending.
     fn consumer_ids(&mut self) -> Result<Vec<ConsumerId>>;
 
-    /// One household's `(kwh, temperature)` year.
-    fn consumer_year(&mut self, id: ConsumerId) -> Result<(Vec<f64>, Vec<f64>)>;
+    /// One household's kWh year (8760 hourly readings).
+    fn consumer_kwh(&mut self, id: ConsumerId) -> Result<&[f64]>;
+
+    /// The (dataset-wide) temperature year. Fetched **once per run** and
+    /// shared across workers — never per consumer.
+    fn temperature_year(&mut self) -> Result<&[f64]>;
 }
 
 /// Split `0..n` into at most `parts` contiguous, near-equal ranges.
@@ -44,11 +73,18 @@ pub fn split_ranges(n: usize, parts: usize) -> Vec<Range<usize>> {
 /// A factory producing one storage handle ("connection") per worker.
 pub type SourceFactory<'a> = dyn Fn() -> Result<Box<dyn ConsumerSource>> + Sync + 'a;
 
-/// A per-worker unit of work over a slice of household ids.
-type Work<'a, T> = dyn Fn(&mut dyn ConsumerSource, &[ConsumerId]) -> Result<T> + Sync + 'a;
+/// A per-worker unit of work over a chunk of household ids; the `usize`
+/// is the chunk's offset into the full id list (for writers that place
+/// results positionally, e.g. series-matrix rows).
+type Work<'a, T> = dyn Fn(&mut dyn ConsumerSource, usize, &[ConsumerId]) -> Result<T> + Sync + 'a;
 
-/// Run worker closures over id ranges, one source per worker, gathering
-/// per-range outputs in range order.
+/// Chunks per requested worker: more chunks than workers is what makes
+/// dynamic claiming balance load.
+const CHUNKS_PER_WORKER: usize = 4;
+
+/// Run worker closures over dynamically claimed id chunks, one lazily
+/// opened source per participating worker, gathering per-chunk outputs
+/// in chunk (= id) order.
 fn fan_out<T: Send>(
     ids: &[ConsumerId],
     threads: usize,
@@ -56,38 +92,59 @@ fn fan_out<T: Send>(
     metrics: &MetricsSink,
     work: &Work<T>,
 ) -> Result<Vec<T>> {
-    let ranges = split_ranges(ids.len(), threads);
-    if ranges.len() <= 1 {
+    let chunks = split_ranges(ids.len(), threads.saturating_mul(CHUNKS_PER_WORKER));
+    if threads <= 1 || chunks.len() <= 1 {
         let mut source = make_source()?;
-        return Ok(vec![work(source.as_mut(), ids)?]);
+        return Ok(vec![work(source.as_mut(), 0, ids)?]);
     }
-    metrics.incr(counters::WORKERS_SPAWNED, ranges.len() as u64);
-    let results = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = ranges
-            .iter()
-            .map(|range| {
-                let slice = &ids[range.clone()];
-                scope.spawn(move |_| -> Result<T> {
-                    let mut source = make_source()?;
-                    work(source.as_mut(), slice)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker thread panicked"))
-            .collect::<Result<Vec<T>>>()
-    })
-    .expect("thread scope panicked")?;
-    Ok(results)
+    let parallelism = threads.min(chunks.len());
+    metrics.incr(counters::WORKERS_SPAWNED, parallelism as u64);
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<Result<T>>>> =
+        Mutex::new((0..chunks.len()).map(|_| None).collect());
+    WorkerPool::global().broadcast(parallelism, &|_slot| {
+        let mut source: Option<Box<dyn ConsumerSource>> = None;
+        loop {
+            let c = next.fetch_add(1, Ordering::Relaxed);
+            let Some(range) = chunks.get(c) else {
+                break;
+            };
+            let result = (|| {
+                if source.is_none() {
+                    source = Some(make_source()?);
+                }
+                let src = source.as_mut().expect("source just opened");
+                work(src.as_mut(), range.start, &ids[range.clone()])
+            })();
+            let failed = result.is_err();
+            slots.lock().expect("fan_out slots poisoned")[c] = Some(result);
+            if failed {
+                // Stop claiming; other workers drain what remains.
+                break;
+            }
+        }
+    });
+    let gathered = slots.into_inner().expect("fan_out slots poisoned");
+    let mut out = Vec::with_capacity(gathered.len());
+    for slot in gathered {
+        match slot {
+            Some(Ok(t)) => out.push(t),
+            Some(Err(e)) => return Err(e),
+            // Claims are monotonic, so an unclaimed chunk implies every
+            // participant bailed on an error stored at a lower index.
+            None => return Err(Error::Invalid("fan_out chunk never executed".into())),
+        }
+    }
+    Ok(out)
 }
 
 /// Execute one benchmark task with `threads` shared-nothing workers.
 ///
 /// `make_source` is invoked once per worker to open an independent
 /// storage handle ("connection"). `k` is the similarity top-k. Phase
-/// timings and counters (rows scanned, workers spawned) are recorded
-/// into `metrics`, nesting under whatever scope the caller has open.
+/// timings and counters (rows scanned, workers spawned, pairs scored)
+/// are recorded into `metrics`, nesting under whatever scope the caller
+/// has open.
 pub fn execute_task(
     make_source: &SourceFactory,
     task: Task,
@@ -95,19 +152,32 @@ pub fn execute_task(
     k: usize,
     metrics: &MetricsSink,
 ) -> Result<TaskOutput> {
-    let ids = {
+    let needs_temps = matches!(task, Task::ThreeLine | Task::Par);
+    let (ids, temps) = {
         let _plan = metrics.scope("plan");
-        make_source()?.consumer_ids()?
+        let mut source = make_source()?;
+        let ids = source.consumer_ids()?;
+        // The temperature year is dataset-wide: fetch and validate it
+        // once here, then share it with every worker by reference.
+        let temps = if needs_temps && !ids.is_empty() {
+            Some(TemperatureSeries::new(source.temperature_year()?.to_vec())?)
+        } else {
+            None
+        };
+        (ids, temps)
     };
     match task {
         Task::Histogram => {
             let _t = metrics.scope("fan_out");
-            let parts = fan_out(&ids, threads, make_source, metrics, &|src, ids| {
+            let parts = fan_out(&ids, threads, make_source, metrics, &|src, _offset, ids| {
                 ids.iter()
                     .map(|&id| {
-                        let (kwh, _) = src.consumer_year(id)?;
+                        let kwh = src.consumer_kwh(id)?;
                         metrics.incr(counters::ROWS_SCANNED, kwh.len() as u64);
-                        Ok(ConsumerHistogram::build(&ConsumerSeries::new(id, kwh)?))
+                        Ok(ConsumerHistogram::build(&ConsumerSeries::new(
+                            id,
+                            kwh.to_vec(),
+                        )?))
                     })
                     .collect::<Result<Vec<_>>>()
             })?;
@@ -118,15 +188,16 @@ pub fn execute_task(
         Task::ThreeLine => {
             let _t = metrics.scope("fan_out");
             let config = ThreeLineConfig::default();
-            let parts = fan_out(&ids, threads, make_source, metrics, &|src, ids| {
+            let temps = temps.as_ref();
+            let parts = fan_out(&ids, threads, make_source, metrics, &|src, _offset, ids| {
+                let temps = temps.expect("temperature loaded during plan");
                 let mut models = Vec::with_capacity(ids.len());
                 let mut phases = ThreeLinePhases::default();
                 for &id in ids {
-                    let (kwh, temps) = src.consumer_year(id)?;
+                    let kwh = src.consumer_kwh(id)?;
                     metrics.incr(counters::ROWS_SCANNED, kwh.len() as u64);
-                    let series = ConsumerSeries::new(id, kwh)?;
-                    let temps = TemperatureSeries::new(temps)?;
-                    if let Some((m, p)) = fit_three_line_timed(&series, &temps, &config) {
+                    let series = ConsumerSeries::new(id, kwh.to_vec())?;
+                    if let Some((m, p)) = fit_three_line_timed(&series, temps, &config) {
                         models.push(m);
                         phases.add(p);
                     }
@@ -148,38 +219,41 @@ pub fn execute_task(
         }
         Task::Par => {
             let _t = metrics.scope("fan_out");
-            let parts = fan_out(&ids, threads, make_source, metrics, &|src, ids| {
+            let temps = temps.as_ref();
+            let parts = fan_out(&ids, threads, make_source, metrics, &|src, _offset, ids| {
+                let temps = temps.expect("temperature loaded during plan");
                 ids.iter()
                     .map(|&id| {
-                        let (kwh, temps) = src.consumer_year(id)?;
+                        let kwh = src.consumer_kwh(id)?;
                         metrics.incr(counters::ROWS_SCANNED, kwh.len() as u64);
-                        let series = ConsumerSeries::new(id, kwh)?;
-                        let temps = TemperatureSeries::new(temps)?;
-                        Ok(fit_par(&series, &temps))
+                        let series = ConsumerSeries::new(id, kwh.to_vec())?;
+                        Ok(fit_par(&series, temps))
                     })
                     .collect::<Result<Vec<_>>>()
             })?;
             Ok(TaskOutput::Par(parts.into_iter().flatten().collect()))
         }
         Task::Similarity => {
-            // Phase 1: extract every series (parallel over consumers).
-            let parts = {
+            // Phase 1: stream every consumer's year straight into the
+            // contiguous matrix, normalized in place (parallel over id
+            // chunks; each row is written exactly once at its id's
+            // position, so the matrix is identical for any schedule).
+            let builder = SeriesMatrixBuilder::new(ids.len(), HOURS_PER_YEAR);
+            {
                 let _t = metrics.scope("extract");
-                fan_out(&ids, threads, make_source, metrics, &|src, ids| {
-                    ids.iter()
-                        .map(|&id| {
-                            let (kwh, _) = src.consumer_year(id)?;
-                            metrics.incr(counters::ROWS_SCANNED, kwh.len() as u64);
-                            Ok(kwh)
-                        })
-                        .collect::<Result<Vec<Vec<f64>>>>()
-                })?
-            };
-            let series: Vec<Vec<f64>> = parts.into_iter().flatten().collect();
+                fan_out(&ids, threads, make_source, metrics, &|src, offset, ids| {
+                    for (j, &id) in ids.iter().enumerate() {
+                        let kwh = src.consumer_kwh(id)?;
+                        metrics.incr(counters::ROWS_SCANNED, kwh.len() as u64);
+                        builder.set_row_normalized(offset + j, kwh);
+                    }
+                    Ok(())
+                })?;
+            }
+            let matrix = builder.finish();
+            // Phase 2: tiled symmetric all-pairs scoring.
             let _t = metrics.scope("score");
-            let normalized = normalize_all(&series);
-            // Phase 2: all-pairs scoring, parallel over query ranges.
-            let matches = top_k_parallel(&normalized, k, threads);
+            let (matches, _stats) = top_k_matrix(&matrix, k, threads, metrics);
             Ok(TaskOutput::Similarity(
                 matches
                     .into_iter()
@@ -194,61 +268,94 @@ pub fn execute_task(
     }
 }
 
-/// Parallel all-pairs top-k over unit vectors: each worker owns a range
-/// of query indices and scores them against every series.
-pub fn top_k_parallel(
-    normalized: &[Vec<f64>],
+/// All-pairs top-k over a normalized [`SeriesMatrix`](smda_stats::SeriesMatrix):
+/// tile rows are claimed dynamically by up to `threads` pool workers and
+/// per-worker partials merged — bit-identical to the sequential tiled
+/// kernel (and to the naive scan) at every thread count. Records the
+/// `tile`/`merge` phases plus `pairs_scored` and effective MFLOP/s.
+pub fn top_k_matrix(
+    matrix: &smda_stats::SeriesMatrix,
     k: usize,
     threads: usize,
-) -> Vec<Vec<SimilarityMatch>> {
-    let n = normalized.len();
-    let ranges = split_ranges(n, threads);
-    if ranges.len() <= 1 {
-        return (0..n).map(|q| top_k_one(normalized, q, k)).collect();
-    }
-    crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = ranges
-            .into_iter()
-            .map(|range| {
-                scope.spawn(move |_| {
-                    range
-                        .map(|q| top_k_one(normalized, q, k))
-                        .collect::<Vec<_>>()
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("similarity worker panicked"))
-            .collect()
-    })
-    .expect("thread scope panicked")
+    metrics: &MetricsSink,
+) -> (Vec<Vec<SimilarityMatch>>, KernelStats) {
+    let cfg = TileConfig::default();
+    let tiles = cfg.tile_rows(matrix.rows());
+    let parallelism = threads.min(tiles).max(1);
+    let tile_start = Instant::now();
+    let (matches, stats) = if parallelism <= 1 {
+        let _t = metrics.scope("tile");
+        top_k_tiled(matrix, k, &cfg)
+    } else {
+        let partials = {
+            let _t = metrics.scope("tile");
+            metrics.incr(counters::WORKERS_SPAWNED, parallelism as u64);
+            let next = AtomicUsize::new(0);
+            let claim = || {
+                let t = next.fetch_add(1, Ordering::Relaxed);
+                (t < tiles).then_some(t)
+            };
+            let collected: Mutex<Vec<(Vec<Vec<SimilarityMatch>>, KernelStats)>> =
+                Mutex::new(Vec::new());
+            WorkerPool::global().broadcast(parallelism, &|_slot| {
+                let part = top_k_tiled_partial(matrix, k, &cfg, &claim);
+                collected
+                    .lock()
+                    .expect("kernel partials poisoned")
+                    .push(part);
+            });
+            collected.into_inner().expect("kernel partials poisoned")
+        };
+        let tile_elapsed = tile_start.elapsed();
+        let _t = metrics.scope("merge");
+        let mut stats = KernelStats::default();
+        let mut parts = Vec::with_capacity(partials.len());
+        for (p, s) in partials {
+            stats.pairs_scored += s.pairs_scored;
+            parts.push(p);
+        }
+        let merged = merge_partials(matrix.rows(), parts, k);
+        record_kernel_counters(metrics, &stats, matrix.stride(), tile_elapsed);
+        return (merged, stats);
+    };
+    record_kernel_counters(metrics, &stats, matrix.stride(), tile_start.elapsed());
+    (matches, stats)
 }
 
-fn top_k_one(normalized: &[Vec<f64>], q: usize, k: usize) -> Vec<SimilarityMatch> {
-    let query = &normalized[q];
-    let mut hits: Vec<SimilarityMatch> = Vec::with_capacity(normalized.len().saturating_sub(1));
-    for (i, v) in normalized.iter().enumerate() {
-        if i == q {
-            continue;
-        }
-        let score: f64 = query.iter().zip(v).map(|(a, b)| a * b).sum();
-        hits.push(SimilarityMatch { index: i, score });
-    }
-    select_top_k(&mut hits, k);
-    hits
+fn record_kernel_counters(
+    metrics: &MetricsSink,
+    stats: &KernelStats,
+    stride: usize,
+    tile_elapsed: std::time::Duration,
+) {
+    metrics.incr(counters::PAIRS_SCORED, stats.pairs_scored);
+    let ns = (tile_elapsed.as_nanos() as u64).max(1);
+    metrics.incr(
+        counters::SIMILARITY_MFLOPS,
+        stats.flops(stride).saturating_mul(1000) / ns,
+    );
 }
 
 /// A [`ConsumerSource`] over an in-memory dataset — the "warm" workspace
-/// every engine can fall back to once data is resident.
+/// every engine can fall back to once data is resident. Hands out
+/// borrowed views of the shared dataset; nothing is copied per call.
 pub struct MemorySource {
     data: std::sync::Arc<smda_types::Dataset>,
+    /// id → position in `data.consumers()`, so lookups are O(1) instead
+    /// of the dataset's linear scan.
+    index: std::collections::HashMap<ConsumerId, usize>,
 }
 
 impl MemorySource {
     /// Wrap a shared dataset.
     pub fn new(data: std::sync::Arc<smda_types::Dataset>) -> Self {
-        MemorySource { data }
+        let index = data
+            .consumers()
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.id, i))
+            .collect();
+        MemorySource { data, index }
     }
 }
 
@@ -259,15 +366,16 @@ impl ConsumerSource for MemorySource {
         Ok(ids)
     }
 
-    fn consumer_year(&mut self, id: ConsumerId) -> Result<(Vec<f64>, Vec<f64>)> {
-        let c = self
-            .data
-            .consumer(id)
+    fn consumer_kwh(&mut self, id: ConsumerId) -> Result<&[f64]> {
+        let &pos = self
+            .index
+            .get(&id)
             .ok_or_else(|| Error::Invalid(format!("unknown consumer {id}")))?;
-        Ok((
-            c.readings().to_vec(),
-            self.data.temperature().values().to_vec(),
-        ))
+        Ok(self.data.consumers()[pos].readings())
+    }
+
+    fn temperature_year(&mut self) -> Result<&[f64]> {
+        Ok(self.data.temperature().values())
     }
 }
 
@@ -298,6 +406,13 @@ mod tests {
         Arc::new(Dataset::new(consumers, temp).unwrap())
     }
 
+    fn memory_factory(
+        data: &Arc<Dataset>,
+    ) -> Box<dyn Fn() -> Result<Box<dyn ConsumerSource>> + Sync> {
+        let data = data.clone();
+        Box::new(move || Ok(Box::new(MemorySource::new(data.clone())) as Box<dyn ConsumerSource>))
+    }
+
     #[test]
     fn split_ranges_covers_everything() {
         for (n, parts) in [(10, 3), (1, 4), (0, 2), (100, 7), (8, 8), (5, 1)] {
@@ -316,12 +431,7 @@ mod tests {
     #[test]
     fn parallel_results_match_single_threaded() {
         let data = tiny(6);
-        let make: Box<dyn Fn() -> Result<Box<dyn ConsumerSource>> + Sync> = {
-            let data = data.clone();
-            Box::new(move || {
-                Ok(Box::new(MemorySource::new(data.clone())) as Box<dyn ConsumerSource>)
-            })
-        };
+        let make = memory_factory(&data);
         let sink = MetricsSink::recording();
         for task in Task::ALL {
             let single = execute_task(make.as_ref(), task, 1, 3, &MetricsSink::disabled()).unwrap();
@@ -351,17 +461,68 @@ mod tests {
                 > 0
         );
         assert!(report.phase_ns(&["fan_out", "t1"]).is_some());
+        // The similarity kernel reported its work: 6 consumers = 15
+        // unordered pairs, and a throughput figure.
+        assert_eq!(
+            report.counter(smda_obs::counters::PAIRS_SCORED),
+            Some(6 * 5 / 2)
+        );
+        assert!(report
+            .counter(smda_obs::counters::SIMILARITY_MFLOPS)
+            .is_some());
+    }
+
+    #[test]
+    fn similarity_bit_identical_across_thread_counts() {
+        let data = tiny(9);
+        let make = memory_factory(&data);
+        let baseline = execute_task(
+            make.as_ref(),
+            Task::Similarity,
+            1,
+            4,
+            &MetricsSink::disabled(),
+        )
+        .unwrap();
+        let TaskOutput::Similarity(base) = &baseline else {
+            panic!("wrong output variant");
+        };
+        // And against the core reference implementation at the same k.
+        let ref_matches = smda_core::similarity_search(&data, 4);
+        for (a, b) in base.iter().zip(&ref_matches) {
+            assert_eq!(a.consumer, b.consumer);
+            assert_eq!(a.matches.len(), b.matches.len());
+            for ((ia, sa), (ib, sb)) in a.matches.iter().zip(&b.matches) {
+                assert_eq!(ia, ib);
+                assert_eq!(sa.to_bits(), sb.to_bits(), "score bits differ vs reference");
+            }
+        }
+        for threads in [2usize, 4, 8] {
+            let out = execute_task(
+                make.as_ref(),
+                Task::Similarity,
+                threads,
+                4,
+                &MetricsSink::disabled(),
+            )
+            .unwrap();
+            let TaskOutput::Similarity(got) = &out else {
+                panic!("wrong output variant");
+            };
+            for (a, b) in base.iter().zip(got) {
+                assert_eq!(a.consumer, b.consumer);
+                for ((ia, sa), (ib, sb)) in a.matches.iter().zip(&b.matches) {
+                    assert_eq!(ia, ib, "{threads} threads");
+                    assert_eq!(sa.to_bits(), sb.to_bits(), "{threads} threads");
+                }
+            }
+        }
     }
 
     #[test]
     fn matches_reference_implementation() {
         let data = tiny(5);
-        let make: Box<dyn Fn() -> Result<Box<dyn ConsumerSource>> + Sync> = {
-            let data = data.clone();
-            Box::new(move || {
-                Ok(Box::new(MemorySource::new(data.clone())) as Box<dyn ConsumerSource>)
-            })
-        };
+        let make = memory_factory(&data);
         let out = execute_task(
             make.as_ref(),
             Task::Histogram,
@@ -380,7 +541,30 @@ mod tests {
     #[test]
     fn memory_source_rejects_unknown_id() {
         let mut src = MemorySource::new(tiny(2));
-        assert!(src.consumer_year(ConsumerId(99)).is_err());
+        assert!(src.consumer_kwh(ConsumerId(99)).is_err());
         assert_eq!(src.consumer_ids().unwrap().len(), 2);
+        assert_eq!(src.temperature_year().unwrap().len(), HOURS_PER_YEAR);
+    }
+
+    #[test]
+    fn fan_out_surfaces_source_errors() {
+        let data = tiny(4);
+        let make = memory_factory(&data);
+        // Ask for an id that does not exist: the error must surface
+        // through the parallel path, not panic or hang.
+        let ids = vec![ConsumerId(0), ConsumerId(99), ConsumerId(2)];
+        let r = fan_out(
+            &ids,
+            4,
+            make.as_ref(),
+            &MetricsSink::disabled(),
+            &|src, _offset, ids| {
+                for &id in ids {
+                    src.consumer_kwh(id)?;
+                }
+                Ok(())
+            },
+        );
+        assert!(r.is_err());
     }
 }

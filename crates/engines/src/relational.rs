@@ -65,15 +65,51 @@ impl std::fmt::Debug for RelationalEngine {
     }
 }
 
-struct TableSource(Box<dyn TableLayout>);
+struct TableSource {
+    table: Box<dyn TableLayout>,
+    /// Per-connection decode buffer, lent out by `consumer_kwh`.
+    kwh: Vec<f64>,
+    /// Temperature year, kept from the first extraction instead of
+    /// re-decoded per consumer.
+    temps: Option<Vec<f64>>,
+}
+
+impl TableSource {
+    fn new(table: Box<dyn TableLayout>) -> Self {
+        TableSource {
+            table,
+            kwh: Vec::new(),
+            temps: None,
+        }
+    }
+}
 
 impl ConsumerSource for TableSource {
     fn consumer_ids(&mut self) -> Result<Vec<ConsumerId>> {
-        self.0.consumer_ids()
+        self.table.consumer_ids()
     }
 
-    fn consumer_year(&mut self, id: ConsumerId) -> Result<(Vec<f64>, Vec<f64>)> {
-        self.0.consumer_year(id)
+    fn consumer_kwh(&mut self, id: ConsumerId) -> Result<&[f64]> {
+        let (kwh, temps) = self.table.consumer_year(id)?;
+        self.kwh = kwh;
+        if self.temps.is_none() {
+            self.temps = Some(temps);
+        }
+        Ok(&self.kwh)
+    }
+
+    fn temperature_year(&mut self) -> Result<&[f64]> {
+        if self.temps.is_none() {
+            let id = self
+                .table
+                .consumer_ids()?
+                .first()
+                .copied()
+                .ok_or_else(|| Error::Invalid("table has no consumers".into()))?;
+            let (_, temps) = self.table.consumer_year(id)?;
+            self.temps = Some(temps);
+        }
+        Ok(self.temps.as_deref().expect("temperature just cached"))
     }
 }
 
@@ -170,7 +206,7 @@ impl Platform for RelationalEngine {
             )?
         } else {
             let make = || -> Result<Box<dyn ConsumerSource>> {
-                Ok(Box::new(TableSource(self.connect()?)))
+                Ok(Box::new(TableSource::new(self.connect()?)))
             };
             execute_task(
                 &make,

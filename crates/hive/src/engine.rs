@@ -9,7 +9,7 @@ use smda_cluster::{
 use smda_core::tasks::{collect_consumer_results, ConsumerResult};
 use smda_core::{ConsumerMatches, Task, TaskOutput, SIMILARITY_TOP_K};
 use smda_obs::{counters, MetricsSink};
-use smda_stats::{normalize_all, select_top_k, SimilarityMatch};
+use smda_stats::{dot, normalize_all, select_top_k, SimilarityMatch};
 use smda_types::{ConsumerId, DataFormat, Dataset, DirtyDataPolicy, Error, Result, HOURS_PER_YEAR};
 
 use crate::mapreduce::{
@@ -337,9 +337,16 @@ impl HiveEngine {
                 operator,
             });
         }
-        // Normalize once (id order), then self-join.
+        // Normalize once (id order), then self-join. Dirty-row drops can
+        // leave ragged years, so pad with zeros first: every pair then
+        // goes through the canonical fixed-order `dot` (the zeros add
+        // nothing to a norm or a score).
         let ids: Vec<ConsumerId> = series.iter().map(|(id, _)| *id).collect();
-        let vectors: Vec<Vec<f64>> = series.into_iter().map(|(_, v)| v).collect();
+        let mut vectors: Vec<Vec<f64>> = series.into_iter().map(|(_, v)| v).collect();
+        let stride = vectors.iter().map(Vec::len).max().unwrap_or(0);
+        for v in &mut vectors {
+            v.resize(stride, 0.0);
+        }
         let normalized: Vec<Arc<Vec<f64>>> =
             normalize_all(&vectors).into_iter().map(Arc::new).collect();
         let reduce_tasks = self.reduce_tasks.min(n).max(1);
@@ -392,7 +399,7 @@ impl HiveEngine {
                             continue;
                         }
                         let v = v.as_ref().expect("all series replicated");
-                        let score: f64 = query.iter().zip(v.iter()).map(|(a, b)| a * b).sum();
+                        let score = dot(query, v);
                         hits.push(SimilarityMatch { index: i, score });
                     }
                     select_top_k(&mut hits, SIMILARITY_TOP_K);
@@ -413,6 +420,10 @@ impl HiveEngine {
         )?;
         let _ = normalized_ref;
         matches.sort_by_key(|m| m.consumer);
+        // The reduce-side join scores every ordered pair — no symmetric
+        // halving; that cost is exactly what this plan models.
+        self.metrics
+            .incr(counters::PAIRS_SCORED, (n * (n - 1)) as u64);
 
         stats = combine(stats, join_stats);
         Ok(HiveRunResult {

@@ -60,6 +60,12 @@ pub mod counters {
     pub const CACHE_HITS: &str = "cache_hits";
     /// OS threads spawned to execute the run.
     pub const WORKERS_SPAWNED: &str = "workers_spawned";
+    /// Unordered series pairs scored by the similarity kernel (the
+    /// symmetric kernel scores `n(n-1)/2`, the naive scan `n(n-1)`).
+    pub const PAIRS_SCORED: &str = "pairs_scored";
+    /// Effective similarity-kernel throughput in MFLOP/s (2 flops per
+    /// element per pair over the tile phase's wall time).
+    pub const SIMILARITY_MFLOPS: &str = "similarity.effective_mflops";
     /// Logical tasks placed by a cluster scheduler.
     pub const TASKS_SCHEDULED: &str = "tasks_scheduled";
     /// Bytes moved across the simulated cluster network.

@@ -8,7 +8,7 @@ use smda_cluster::textdata::{parse_consumer, parse_reading_policed};
 use smda_cluster::{ClusterTopology, DfsConfig, FaultPlan, SimDfs, TextTable};
 use smda_core::tasks::{collect_consumer_results, run_consumer_task, ConsumerResult};
 use smda_core::{ConsumerMatches, Task, TaskOutput, SIMILARITY_TOP_K};
-use smda_stats::{normalize_all, select_top_k, SimilarityMatch};
+use smda_stats::{top_k_query, SeriesMatrix};
 use smda_types::{ConsumerId, DataFormat, Dataset, DirtyDataPolicy, Error, Result, HOURS_PER_YEAR};
 
 use smda_obs::{counters, MetricsSink};
@@ -214,14 +214,19 @@ impl SparkEngine {
                             .collect()
                     }
                 };
-                // Driver-side normalize, broadcast, map-side join: the
-                // plan the paper's Spark implementation used.
+                // Driver-side normalize into one contiguous matrix,
+                // broadcast, map-side join: the plan the paper's Spark
+                // implementation used, on the shared similarity kernel.
+                // Ragged years (dirty-row drops) are zero-padded by the
+                // matrix builder, which changes no norm or score.
                 let mut series = series;
                 series.sort_by_key(|(id, _)| *id);
                 let ids: Vec<ConsumerId> = series.iter().map(|(id, _)| *id).collect();
                 let vectors: Vec<Vec<f64>> = series.into_iter().map(|(_, v)| v).collect();
-                let normalized = normalize_all(&vectors);
-                let broadcast = sc.broadcast(normalized.clone());
+                let n = vectors.len();
+                let matrix = SeriesMatrix::from_ragged_rows_normalized(&vectors);
+                drop(vectors);
+                let broadcast = sc.broadcast(matrix);
                 let ids_arc = Arc::new(ids);
                 let ids_for_map = ids_arc.clone();
                 let queries = sc.parallelize(
@@ -231,18 +236,7 @@ impl SparkEngine {
                 let bval = broadcast.clone();
                 let mut matches: Vec<ConsumerMatches> = queries
                     .map(move |q| {
-                        let all = bval.value();
-                        let query = &all[q];
-                        let mut hits: Vec<SimilarityMatch> =
-                            Vec::with_capacity(all.len().saturating_sub(1));
-                        for (i, v) in all.iter().enumerate() {
-                            if i == q {
-                                continue;
-                            }
-                            let score: f64 = query.iter().zip(v.iter()).map(|(a, b)| a * b).sum();
-                            hits.push(SimilarityMatch { index: i, score });
-                        }
-                        select_top_k(&mut hits, SIMILARITY_TOP_K);
+                        let hits = top_k_query(bval.value(), q, SIMILARITY_TOP_K);
                         ConsumerMatches {
                             consumer: ids_for_map[q],
                             matches: hits
@@ -253,6 +247,10 @@ impl SparkEngine {
                     })
                     .collect();
                 matches.sort_by_key(|m| m.consumer);
+                // Map-side join: each of the n queries scans the other
+                // n - 1 broadcast rows.
+                self.metrics
+                    .incr(counters::PAIRS_SCORED, (n * n.saturating_sub(1)) as u64);
                 TaskOutput::Similarity(matches)
             }
             _ => {

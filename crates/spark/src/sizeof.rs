@@ -73,6 +73,13 @@ impl<A: SizeOf, B: SizeOf, C: SizeOf> SizeOf for (A, B, C) {
     }
 }
 
+impl SizeOf for smda_stats::SeriesMatrix {
+    fn size_of(&self) -> u64 {
+        // Header (rows, stride) plus the contiguous f64 buffer.
+        16 + (self.rows() * self.stride()) as u64 * 8
+    }
+}
+
 impl SizeOf for smda_types::ConsumerId {
     fn size_of(&self) -> u64 {
         4

@@ -1,0 +1,611 @@
+//! Cache-aware similarity kernels over a contiguous series matrix.
+//!
+//! The Section 3.4 similarity task is the benchmark's deliberately
+//! quadratic stressor: `n × n` cosine over 8760-point series. This module
+//! is the memory-layout- and cache-aware substrate for it:
+//!
+//! * [`SeriesMatrix`] — one contiguous row-major `n × stride` `f64`
+//!   buffer, built once per run and shared (wrap it in an `Arc`). Rows
+//!   are unit-normalized at fill time so all-pairs cosine reduces to
+//!   plain dot products.
+//! * [`SeriesMatrixBuilder`] — fills the matrix **in parallel**: workers
+//!   write disjoint rows through a shared reference, with a per-row
+//!   atomic write-once flag making double writes a panic instead of a
+//!   data race.
+//! * [`top_k_tiled`] — the exact, cache-tiled, symmetry-halved all-pairs
+//!   kernel. Each `(i, j)` dot product is computed **once** and credited
+//!   to both query `i` and query `j`'s top-k buffers; tiles keep a block
+//!   of query rows hot in cache while candidate rows stream through; the
+//!   inner loop is the canonical 4-wide [`dot`]. Scores and top-k output
+//!   are **bit-identical** to the naive per-query scan
+//!   ([`crate::top_k_cosine`]) because both use the same `dot` and the
+//!   same total order (score desc, index asc) via [`select_top_k`].
+//! * [`top_k_tiled_partial`] / [`merge_partials`] — the same kernel split
+//!   for work-stealing executors: each worker claims tile rows off a
+//!   caller-supplied counter and returns per-query partial top-k buffers;
+//!   merging the partials reproduces the sequential result exactly,
+//!   because the global k best of a query appear in every subset that
+//!   contains them.
+//!
+//! The exactness argument, layout, and tiling scheme are documented in
+//! DESIGN.md §9.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use crate::similarity::{dot, norm2, select_top_k, SimilarityMatch};
+
+/// One contiguous row-major `rows × stride` matrix of `f64` series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesMatrix {
+    data: Vec<f64>,
+    rows: usize,
+    stride: usize,
+}
+
+impl SeriesMatrix {
+    /// An all-zero matrix (useful as a base for sequential fills).
+    pub fn zeroed(rows: usize, stride: usize) -> SeriesMatrix {
+        SeriesMatrix {
+            data: vec![0.0; rows * stride],
+            rows,
+            stride,
+        }
+    }
+
+    /// Build from row vectors, unit-normalizing each row (zero rows stay
+    /// zero) — the sequential convenience path. All rows must share one
+    /// length.
+    ///
+    /// # Panics
+    /// Panics if row lengths differ.
+    pub fn from_rows_normalized(rows: &[Vec<f64>]) -> SeriesMatrix {
+        let stride = rows.first().map_or(0, Vec::len);
+        let builder = SeriesMatrixBuilder::new(rows.len(), stride);
+        for (i, r) in rows.iter().enumerate() {
+            builder.set_row_normalized(i, r);
+        }
+        builder.finish()
+    }
+
+    /// Build from row vectors of possibly unequal length (dirty-data
+    /// drops can leave ragged years): rows are zero-padded to the
+    /// longest length, then unit-normalized. The padding zeros change
+    /// neither a row's norm nor any dot product's value.
+    pub fn from_ragged_rows_normalized(rows: &[Vec<f64>]) -> SeriesMatrix {
+        let stride = rows.iter().map(Vec::len).max().unwrap_or(0);
+        let builder = SeriesMatrixBuilder::new(rows.len(), stride);
+        let mut padded = vec![0.0; stride];
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() == stride {
+                builder.set_row_normalized(i, r);
+            } else {
+                padded[..r.len()].copy_from_slice(r);
+                padded[r.len()..].fill(0.0);
+                builder.set_row_normalized(i, &padded);
+            }
+        }
+        builder.finish()
+    }
+
+    /// Number of series (rows).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Row length (the paper's 8760 hours).
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// One series as a slice.
+    ///
+    /// # Panics
+    /// Panics if `i >= rows`.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.stride..(i + 1) * self.stride]
+    }
+}
+
+/// `f64` cell writable through a shared reference; rows of a
+/// [`SeriesMatrixBuilder`] are written through these.
+#[repr(transparent)]
+struct SyncCell(UnsafeCell<f64>);
+
+// SAFETY: all mutation goes through `SeriesMatrixBuilder::set_row*`,
+// which takes a per-row atomic write-once flag before touching the
+// cells, so no two threads ever write the same row.
+unsafe impl Sync for SyncCell {}
+
+/// Parallel row-wise filler for a [`SeriesMatrix`].
+///
+/// Workers share `&SeriesMatrixBuilder` and call
+/// [`SeriesMatrixBuilder::set_row_normalized`] for disjoint rows; a
+/// per-row atomic flag turns any double write into a panic, so the
+/// unsafe interior never races.
+pub struct SeriesMatrixBuilder {
+    cells: Box<[SyncCell]>,
+    written: Vec<AtomicBool>,
+    rows: usize,
+    stride: usize,
+}
+
+impl SeriesMatrixBuilder {
+    /// A builder for a `rows × stride` matrix; every row must be set
+    /// exactly once before [`SeriesMatrixBuilder::finish`].
+    pub fn new(rows: usize, stride: usize) -> SeriesMatrixBuilder {
+        let cells: Box<[SyncCell]> = (0..rows * stride)
+            .map(|_| SyncCell(UnsafeCell::new(0.0)))
+            .collect();
+        SeriesMatrixBuilder {
+            cells,
+            written: (0..rows).map(|_| AtomicBool::new(false)).collect(),
+            rows,
+            stride,
+        }
+    }
+
+    /// Number of rows the finished matrix will have.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Row length of the finished matrix.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    fn claim_row(&self, row: usize, len: usize) {
+        assert!(row < self.rows, "row {row} out of bounds ({})", self.rows);
+        assert_eq!(len, self.stride, "row {row}: length {len} != stride");
+        assert!(
+            !self.written[row].swap(true, Ordering::AcqRel),
+            "row {row} written twice"
+        );
+    }
+
+    /// Copy `values` into row `row` verbatim.
+    ///
+    /// # Panics
+    /// Panics on an out-of-bounds row, a length mismatch, or a second
+    /// write to the same row.
+    pub fn set_row(&self, row: usize, values: &[f64]) {
+        self.claim_row(row, values.len());
+        let base = self.cells[row * self.stride].0.get();
+        // SAFETY: `claim_row` guarantees exclusive, first-time access to
+        // this row; the row's `stride` cells are contiguous in `cells`.
+        unsafe { std::ptr::copy_nonoverlapping(values.as_ptr(), base, self.stride) }
+    }
+
+    /// Copy `values` into row `row` scaled to unit L2 norm (bit-identical
+    /// to [`crate::normalize_all`]: zero rows are copied verbatim, others
+    /// divide each element by the same [`norm2`]).
+    ///
+    /// # Panics
+    /// Same conditions as [`SeriesMatrixBuilder::set_row`].
+    pub fn set_row_normalized(&self, row: usize, values: &[f64]) {
+        self.claim_row(row, values.len());
+        let n = norm2(values);
+        let base = self.cells[row * self.stride].0.get();
+        // SAFETY: as in `set_row` — exclusive first-time row access.
+        unsafe {
+            if n == 0.0 {
+                std::ptr::copy_nonoverlapping(values.as_ptr(), base, self.stride);
+            } else {
+                for (j, v) in values.iter().enumerate() {
+                    *base.add(j) = v / n;
+                }
+            }
+        }
+    }
+
+    /// Finish into an immutable [`SeriesMatrix`].
+    ///
+    /// # Panics
+    /// Panics if any row was never written (a bug in the filling code —
+    /// error paths should drop the builder instead).
+    pub fn finish(self) -> SeriesMatrix {
+        if let Some(row) = self.written.iter().position(|w| !w.load(Ordering::Acquire)) {
+            panic!("row {row} never written");
+        }
+        let len = self.cells.len();
+        // SAFETY: `SyncCell` is repr(transparent) over `UnsafeCell<f64>`,
+        // itself repr(transparent) over `f64`; no thread holds a pointer
+        // into the cells once the builder is consumed by value.
+        let data = unsafe {
+            let raw = Box::into_raw(self.cells);
+            Vec::from(Box::from_raw(raw as *mut [f64]))
+        };
+        debug_assert_eq!(data.len(), len);
+        SeriesMatrix {
+            data,
+            rows: self.rows,
+            stride: self.stride,
+        }
+    }
+}
+
+/// Tile geometry for the all-pairs kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileConfig {
+    /// Query rows per tile: this many rows (× stride × 8 bytes) are kept
+    /// hot in cache while candidate rows stream through, so every
+    /// candidate load is amortized over `query_block` dot products.
+    pub query_block: usize,
+    /// Candidate rows per tile — bounds the scheduling granularity of
+    /// the inner sweep.
+    pub candidate_block: usize,
+}
+
+impl Default for TileConfig {
+    /// 8 query rows × 8760 f64 ≈ 560 KB resident per tile — sized for a
+    /// typical per-core L2 while leaving room for the streaming
+    /// candidate row.
+    fn default() -> TileConfig {
+        TileConfig {
+            query_block: 8,
+            candidate_block: 64,
+        }
+    }
+}
+
+impl TileConfig {
+    /// How many tile rows (query blocks) an `n`-row matrix splits into —
+    /// the unit of work a parallel executor claims.
+    pub fn tile_rows(&self, n: usize) -> usize {
+        n.div_ceil(self.query_block.max(1))
+    }
+}
+
+/// What the kernel did, for observability.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Unordered pairs scored (each credited to both endpoints); the
+    /// naive scan scores `n(n-1)` ordered pairs, this kernel `n(n-1)/2`.
+    pub pairs_scored: u64,
+}
+
+impl KernelStats {
+    /// Floating-point operations behind `pairs_scored` (one multiply and
+    /// one add per element per pair).
+    pub fn flops(&self, stride: usize) -> u64 {
+        self.pairs_scored * 2 * stride as u64
+    }
+}
+
+/// Bounded per-query candidate buffer: holds at most the `k` best hits
+/// seen so far under the canonical order (score desc, index asc), using
+/// [`select_top_k`] itself for pruning so the kept set is exactly what a
+/// full sort would keep.
+#[derive(Debug)]
+struct TopKBuffer {
+    hits: Vec<SimilarityMatch>,
+    k: usize,
+    cap: usize,
+}
+
+impl TopKBuffer {
+    fn new(k: usize) -> TopKBuffer {
+        TopKBuffer {
+            hits: Vec::new(),
+            k,
+            // Prune every ~2k pushes: amortized O(1) per push.
+            cap: (2 * k).max(16),
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, m: SimilarityMatch) {
+        if self.k == 0 {
+            return;
+        }
+        self.hits.push(m);
+        if self.hits.len() >= self.cap {
+            select_top_k(&mut self.hits, self.k);
+        }
+    }
+
+    /// The k best hits seen, best first.
+    fn finish(mut self) -> Vec<SimilarityMatch> {
+        select_top_k(&mut self.hits, self.k);
+        self.hits
+    }
+}
+
+/// Process one tile row (query block `qb`) of the symmetric kernel:
+/// score every pair `(i, j)` with `i` in the block, `j > i`, crediting
+/// both endpoints' buffers.
+fn process_tile_row(
+    m: &SeriesMatrix,
+    cfg: &TileConfig,
+    qb: usize,
+    bufs: &mut [TopKBuffer],
+    stats: &mut KernelStats,
+) {
+    let n = m.rows();
+    let q0 = qb * cfg.query_block;
+    let q1 = (q0 + cfg.query_block).min(n);
+    // Diagonal triangle: pairs inside the query block.
+    for i in q0..q1 {
+        for j in (i + 1)..q1 {
+            let score = dot(m.row(i), m.row(j));
+            stats.pairs_scored += 1;
+            bufs[i].push(SimilarityMatch { index: j, score });
+            bufs[j].push(SimilarityMatch { index: i, score });
+        }
+    }
+    // Off-diagonal tiles: candidates stream, query rows stay hot.
+    let mut c0 = q1;
+    while c0 < n {
+        let c1 = (c0 + cfg.candidate_block).min(n);
+        for j in c0..c1 {
+            let row_j = m.row(j);
+            for i in q0..q1 {
+                let score = dot(m.row(i), row_j);
+                stats.pairs_scored += 1;
+                bufs[i].push(SimilarityMatch { index: j, score });
+                bufs[j].push(SimilarityMatch { index: i, score });
+            }
+        }
+        c0 = c1;
+    }
+}
+
+/// One worker's share of the tiled kernel: repeatedly claim a tile row
+/// from `claim` (e.g. an atomic counter shared across workers) and score
+/// it, returning per-query partial top-k lists (each the exact k best of
+/// the pairs this worker scored) plus scoring stats.
+///
+/// Feed the partials of all workers to [`merge_partials`] to obtain the
+/// final answer; the claimed tile rows must partition `0..cfg.tile_rows(n)`
+/// across workers or pairs will be double-counted.
+pub fn top_k_tiled_partial(
+    m: &SeriesMatrix,
+    k: usize,
+    cfg: &TileConfig,
+    claim: &dyn Fn() -> Option<usize>,
+) -> (Vec<Vec<SimilarityMatch>>, KernelStats) {
+    let n = m.rows();
+    let mut stats = KernelStats::default();
+    let mut bufs: Vec<TopKBuffer> = (0..n).map(|_| TopKBuffer::new(k)).collect();
+    let mut touched = false;
+    while let Some(qb) = claim() {
+        touched = true;
+        process_tile_row(m, cfg, qb, &mut bufs, &mut stats);
+    }
+    if !touched {
+        // Claimed nothing: empty partial, so merges stay cheap.
+        return (vec![Vec::new(); n], stats);
+    }
+    (bufs.into_iter().map(TopKBuffer::finish).collect(), stats)
+}
+
+/// Merge per-worker partial top-k lists (from [`top_k_tiled_partial`])
+/// into the final per-query top-k, best first. Exact: every global top-k
+/// hit of a query is in some worker's partial (it is among the k best of
+/// any subset containing it), and the canonical order is a total order,
+/// so re-selecting over the union reproduces the sequential result bit
+/// for bit.
+pub fn merge_partials(
+    n: usize,
+    partials: Vec<Vec<Vec<SimilarityMatch>>>,
+    k: usize,
+) -> Vec<Vec<SimilarityMatch>> {
+    let mut out: Vec<Vec<SimilarityMatch>> = (0..n).map(|_| Vec::new()).collect();
+    for partial in partials {
+        assert_eq!(partial.len(), n, "partial has wrong row count");
+        for (q, hits) in partial.into_iter().enumerate() {
+            out[q].extend(hits);
+        }
+    }
+    for hits in &mut out {
+        select_top_k(hits, k);
+    }
+    out
+}
+
+/// The sequential tiled symmetric kernel: for every row of `m` (unit
+/// vectors), the `k` most cosine-similar other rows, best first.
+/// Bit-identical to [`crate::top_k_cosine`] over the same normalized
+/// input.
+pub fn top_k_tiled(
+    m: &SeriesMatrix,
+    k: usize,
+    cfg: &TileConfig,
+) -> (Vec<Vec<SimilarityMatch>>, KernelStats) {
+    let n = m.rows();
+    let tiles = cfg.tile_rows(n);
+    let mut stats = KernelStats::default();
+    let mut bufs: Vec<TopKBuffer> = (0..n).map(|_| TopKBuffer::new(k)).collect();
+    for qb in 0..tiles {
+        process_tile_row(m, cfg, qb, &mut bufs, &mut stats);
+    }
+    (bufs.into_iter().map(TopKBuffer::finish).collect(), stats)
+}
+
+/// Score query row `q` against every other row of `m` — the one-query
+/// kernel map-side joins use (no symmetry to exploit across partitions).
+/// Bit-identical to [`crate::top_k_normalized`] on the same data.
+pub fn top_k_query(m: &SeriesMatrix, q: usize, k: usize) -> Vec<SimilarityMatch> {
+    let mut hits: Vec<SimilarityMatch> = Vec::with_capacity(m.rows().saturating_sub(1));
+    let query = m.row(q);
+    for i in 0..m.rows() {
+        if i == q {
+            continue;
+        }
+        hits.push(SimilarityMatch {
+            index: i,
+            score: dot(query, m.row(i)),
+        });
+    }
+    select_top_k(&mut hits, k);
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::similarity::top_k_cosine;
+
+    fn pseudo_series(n: usize, len: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 1000) as f64 / 250.0
+        };
+        (0..n).map(|_| (0..len).map(|_| next()).collect()).collect()
+    }
+
+    fn assert_bit_identical(a: &[Vec<SimilarityMatch>], b: &[Vec<SimilarityMatch>]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.len(), y.len());
+            for (h, g) in x.iter().zip(y) {
+                assert_eq!(h.index, g.index);
+                assert_eq!(h.score.to_bits(), g.score.to_bits(), "score bits differ");
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_round_trips_rows() {
+        let rows = pseudo_series(5, 7, 42);
+        let m = SeriesMatrix::from_rows_normalized(&rows);
+        assert_eq!(m.rows(), 5);
+        assert_eq!(m.stride(), 7);
+        for (i, r) in rows.iter().enumerate() {
+            let n = norm2(r);
+            for (a, b) in m.row(i).iter().zip(r) {
+                assert_eq!(a.to_bits(), (b / n).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn builder_rejects_double_write() {
+        let b = SeriesMatrixBuilder::new(2, 3);
+        b.set_row(0, &[1.0, 2.0, 3.0]);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            b.set_row(0, &[4.0, 5.0, 6.0]);
+        }));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "never written")]
+    fn builder_finish_requires_every_row() {
+        let b = SeriesMatrixBuilder::new(2, 3);
+        b.set_row(1, &[1.0, 2.0, 3.0]);
+        let _ = b.finish();
+    }
+
+    #[test]
+    fn ragged_rows_are_zero_padded() {
+        let m = SeriesMatrix::from_ragged_rows_normalized(&[vec![3.0, 4.0], vec![5.0], Vec::new()]);
+        assert_eq!(m.stride(), 2);
+        assert_eq!(m.row(1), &[1.0, 0.0]);
+        assert_eq!(m.row(2), &[0.0, 0.0]);
+        // Equal-length input matches the strict constructor bitwise.
+        let rows = pseudo_series(4, 9, 5);
+        let a = SeriesMatrix::from_ragged_rows_normalized(&rows);
+        let b = SeriesMatrix::from_rows_normalized(&rows);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_rows_stay_zero() {
+        let m = SeriesMatrix::from_rows_normalized(&[vec![0.0, 0.0], vec![3.0, 4.0]]);
+        assert_eq!(m.row(0), &[0.0, 0.0]);
+        assert!((norm2(m.row(1)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tiled_matches_naive_bitwise_across_sizes() {
+        // Sizes straddle tile boundaries: empty, single, sub-tile, exact
+        // multiples, and odd remainders.
+        for n in [0usize, 1, 2, 3, 7, 8, 9, 16, 17, 33] {
+            let rows = pseudo_series(n, 31, 7 + n as u64);
+            let naive = top_k_cosine(&rows, 5);
+            let m = SeriesMatrix::from_rows_normalized(&rows);
+            let (tiled, stats) = top_k_tiled(&m, 5, &TileConfig::default());
+            assert_bit_identical(&naive, &tiled);
+            let expect_pairs = (n * n.saturating_sub(1) / 2) as u64;
+            assert_eq!(stats.pairs_scored, expect_pairs, "n={n}");
+        }
+    }
+
+    #[test]
+    fn tiny_tiles_still_exact() {
+        let rows = pseudo_series(13, 19, 99);
+        let naive = top_k_cosine(&rows, 4);
+        let m = SeriesMatrix::from_rows_normalized(&rows);
+        let cfg = TileConfig {
+            query_block: 3,
+            candidate_block: 2,
+        };
+        let (tiled, _) = top_k_tiled(&m, 4, &cfg);
+        assert_bit_identical(&naive, &tiled);
+    }
+
+    #[test]
+    fn partial_merge_reproduces_sequential() {
+        use std::sync::atomic::AtomicUsize;
+        let rows = pseudo_series(21, 23, 3);
+        let m = SeriesMatrix::from_rows_normalized(&rows);
+        let cfg = TileConfig {
+            query_block: 4,
+            candidate_block: 8,
+        };
+        let (seq, seq_stats) = top_k_tiled(&m, 3, &cfg);
+        // Emulate 3 workers claiming tile rows off one atomic counter.
+        let tiles = cfg.tile_rows(m.rows());
+        let counter = AtomicUsize::new(0);
+        let claim = || {
+            let t = counter.fetch_add(1, Ordering::Relaxed);
+            (t < tiles).then_some(t)
+        };
+        let mut partials = Vec::new();
+        let mut pairs = 0;
+        for _ in 0..3 {
+            let (p, s) = top_k_tiled_partial(&m, 3, &cfg, &claim);
+            pairs += s.pairs_scored;
+            partials.push(p);
+        }
+        let merged = merge_partials(m.rows(), partials, 3);
+        assert_bit_identical(&seq, &merged);
+        assert_eq!(pairs, seq_stats.pairs_scored);
+    }
+
+    #[test]
+    fn equal_scores_break_ties_by_index_everywhere() {
+        // Identical rows: every pair scores exactly 1.0, so ordering is
+        // decided purely by the index tie-break.
+        let rows: Vec<Vec<f64>> = (0..9).map(|_| vec![1.0, 2.0, 3.0]).collect();
+        let naive = top_k_cosine(&rows, 4);
+        let m = SeriesMatrix::from_rows_normalized(&rows);
+        let (tiled, _) = top_k_tiled(&m, 4, &TileConfig::default());
+        assert_bit_identical(&naive, &tiled);
+        // Query 5's best matches are 0,1,2,3 in ascending index order.
+        let idx: Vec<usize> = tiled[5].iter().map(|h| h.index).collect();
+        assert_eq!(idx, [0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn top_k_query_matches_tiled() {
+        let rows = pseudo_series(12, 17, 11);
+        let m = SeriesMatrix::from_rows_normalized(&rows);
+        let (tiled, _) = top_k_tiled(&m, 5, &TileConfig::default());
+        for q in 0..m.rows() {
+            let one = top_k_query(&m, q, 5);
+            assert_bit_identical(std::slice::from_ref(&tiled[q]), std::slice::from_ref(&one));
+        }
+    }
+
+    #[test]
+    fn kernel_stats_flops() {
+        let s = KernelStats { pairs_scored: 10 };
+        assert_eq!(s.flops(100), 2000);
+    }
+}

@@ -15,6 +15,7 @@
 
 pub mod descriptive;
 pub mod histogram;
+pub mod kernels;
 pub mod kmeans;
 pub mod linalg;
 pub mod online;
@@ -26,6 +27,10 @@ pub mod similarity;
 
 pub use descriptive::{covariance, mean, pearson, population_variance, sample_variance, stddev};
 pub use histogram::{EquiWidthHistogram, HistogramSpec};
+pub use kernels::{
+    merge_partials, top_k_query, top_k_tiled, top_k_tiled_partial, KernelStats, SeriesMatrix,
+    SeriesMatrixBuilder, TileConfig,
+};
 pub use kmeans::{KMeans, KMeansConfig};
 pub use linalg::Matrix;
 pub use online::OnlineStats;

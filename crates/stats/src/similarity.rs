@@ -7,11 +7,33 @@ pub fn norm2(v: &[f64]) -> f64 {
 
 /// Dot product of equal-length slices.
 ///
+/// This is the **canonical** dot product of the whole workspace: a 4-wide
+/// multi-accumulator loop that rustc autovectorizes (the serial
+/// `zip().sum()` form forms one long dependency chain the compiler may
+/// not reorder, since float addition is not associative). Every
+/// similarity path — naive, tiled, parallel, Hive, Spark — must call this
+/// function so their scores agree **bit for bit**: the summation order is
+/// fixed here, and `dot(a, b) == dot(b, a)` exactly because per-element
+/// products commute bitwise.
+///
 /// # Panics
 /// Panics if lengths differ.
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "dot product requires equal lengths");
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
+    let mut acc = [0.0f64; 4];
+    let mut chunks = a.chunks_exact(4).zip(b.chunks_exact(4));
+    for (ca, cb) in &mut chunks {
+        acc[0] += ca[0] * cb[0];
+        acc[1] += ca[1] * cb[1];
+        acc[2] += ca[2] * cb[2];
+        acc[3] += ca[3] * cb[3];
+    }
+    let mut tail = 0.0;
+    let rem = a.len() / 4 * 4;
+    for (x, y) in a[rem..].iter().zip(&b[rem..]) {
+        tail += x * y;
+    }
+    ((acc[0] + acc[1]) + (acc[2] + acc[3])) + tail
 }
 
 /// Cosine similarity `a·b / (‖a‖‖b‖)`; zero when either vector is zero.
@@ -154,6 +176,18 @@ mod tests {
         assert_eq!(hits[0][0].index, 1);
         assert_eq!(hits[0][1].index, 2);
         assert_eq!(hits[2][0].index, 0);
+    }
+
+    #[test]
+    fn dot_is_bitwise_symmetric_across_lengths() {
+        // The kernel credits one dot product to both (i, j) and (j, i);
+        // that is only sound if dot(a, b) == dot(b, a) bit for bit,
+        // including the non-multiple-of-4 tail path.
+        for len in [0usize, 1, 2, 3, 4, 5, 7, 8, 9, 31] {
+            let a: Vec<f64> = (0..len).map(|i| (i as f64 * 0.7).sin() + 1.5).collect();
+            let b: Vec<f64> = (0..len).map(|i| (i as f64 * 1.3).cos() + 2.5).collect();
+            assert_eq!(dot(&a, &b).to_bits(), dot(&b, &a).to_bits(), "len={len}");
+        }
     }
 
     #[test]

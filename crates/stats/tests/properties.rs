@@ -3,8 +3,8 @@
 use proptest::prelude::*;
 use smda_stats::linalg::Matrix;
 use smda_stats::{
-    cosine_similarity, mean, ols_simple, quantile_sorted, sample_variance, EquiWidthHistogram,
-    KMeans, KMeansConfig, OnlineStats,
+    cosine_similarity, mean, ols_simple, quantile_sorted, sample_variance, top_k_cosine,
+    top_k_tiled, EquiWidthHistogram, KMeans, KMeansConfig, OnlineStats, SeriesMatrix, TileConfig,
 };
 
 fn finite_vec(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
@@ -119,6 +119,34 @@ proptest! {
                 prop_assert!((x1 - x2).abs() < 1e-4 * (1.0 + x1.abs()), "{a:?} vs {b:?}");
             }
         }
+    }
+
+    #[test]
+    fn tiled_kernel_matches_naive_bit_exactly(
+        // n spans empty, singleton, and odd tile remainders relative to
+        // the query/candidate block sizes drawn below.
+        series in prop::collection::vec(
+            prop::collection::vec(0.0f64..1e4, 24),
+            0..20
+        ),
+        k in 0usize..6,
+        query_block in 1usize..5,
+        candidate_block in 1usize..7
+    ) {
+        let naive = top_k_cosine(&series, k);
+        let m = SeriesMatrix::from_rows_normalized(&series);
+        let cfg = TileConfig { query_block, candidate_block };
+        let (tiled, stats) = top_k_tiled(&m, k, &cfg);
+        prop_assert_eq!(naive.len(), tiled.len());
+        for (q, (a, b)) in naive.iter().zip(&tiled).enumerate() {
+            prop_assert_eq!(a.len(), b.len(), "query {}", q);
+            for (x, y) in a.iter().zip(b) {
+                prop_assert_eq!(x.index, y.index, "query {}", q);
+                prop_assert_eq!(x.score.to_bits(), y.score.to_bits(), "query {}", q);
+            }
+        }
+        let n = series.len() as u64;
+        prop_assert_eq!(stats.pairs_scored, n * n.saturating_sub(1) / 2);
     }
 
     #[test]

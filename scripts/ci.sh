@@ -27,6 +27,9 @@ echo "== test (integration) =="
 if [ "$fast" -eq 0 ]; then
     echo "== release build =="
     cargo build --release --workspace
+
+    echo "== kernel equivalence =="
+    cargo run --release -q -p smda-bench -- --smoke --check-kernels
 fi
 
 echo "ci: all green"
