@@ -6,6 +6,7 @@ pub mod coldwarm;
 pub mod format1;
 pub mod format2;
 pub mod format3;
+pub mod ingest;
 pub mod kernels;
 pub mod layouts;
 pub mod loading;

@@ -7,7 +7,7 @@ use crate::report::Table;
 use crate::scale::Scale;
 
 /// All experiment ids, in the paper's presentation order.
-pub const EXPERIMENT_IDS: [&str; 15] = [
+pub const EXPERIMENT_IDS: [&str; 16] = [
     "table1",
     "fig4",
     "fig5",
@@ -23,6 +23,7 @@ pub const EXPERIMENT_IDS: [&str; 15] = [
     "ext_updates",
     "chaos",
     "kernels",
+    "ingest",
 ];
 
 /// Run one experiment by id (composite figures run together: `fig11`
@@ -44,6 +45,7 @@ pub fn run_experiment(id: &str, scale: Scale) -> Option<Vec<Table>> {
         "ext_updates" => experiments::updates::run(scale),
         "chaos" => experiments::chaos::run(scale),
         "kernels" => experiments::kernels::run(scale),
+        "ingest" => experiments::ingest::run(scale),
         _ => return None,
     };
     Some(tables)

@@ -26,6 +26,7 @@ fn main() -> ExitCode {
         "generate" => generate(&args[1..]),
         "amplify" => amplify(&args[1..]),
         "run" => run_task_cmd(&args[1..]),
+        "ingest" => ingest(&args[1..]),
         "bench" => bench(&args[1..]),
         "--help" | "-h" | "help" => {
             usage();
@@ -54,6 +55,10 @@ fn usage() {
            generate --consumers N [--seed S] [--out DIR]   synthesize a seed dataset\n\
            amplify  --seed N --consumers M [--out DIR]     amplify via the paper's generator\n\
            run TASK --data DIR [--format f1|f2]            run histogram|three-line|par|similarity\n\
+           ingest [--consumers N] [--shards N] [--lateness H] [--jitter H] [--seed S]\n\
+                  [--speedup X] [--wal DIR] [--faults SPEC] [--skip-dirty]\n\
+                                                           replay a generated year through the\n\
+                                                           streaming pipeline, then run all tasks\n\
            bench [--smoke|--small|--full] [--json PATH] [--faults SPEC] [EXPERIMENT...]\n\
                                                            regenerate tables/figures ({})",
         EXPERIMENT_IDS.join(" ")
@@ -204,6 +209,111 @@ fn summarize(output: &TaskOutput) {
         }
     }
     println!("  ... {} results total", output.len());
+}
+
+fn ingest(args: &[String]) -> Result<()> {
+    let consumers = parse_usize(args, "--consumers", 100);
+    let seed = parse_usize(args, "--seed", 2014) as u64;
+    let shards = parse_usize(args, "--shards", smda_ingest::config::DEFAULT_SHARDS);
+    let lateness = parse_usize(
+        args,
+        "--lateness",
+        smda_ingest::config::DEFAULT_ALLOWED_LATENESS as usize,
+    ) as u32;
+    let jitter = parse_usize(args, "--jitter", 12) as u32;
+    let speedup: f64 = flag(args, "--speedup")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.0);
+
+    let ds = smda_core::generator::generate_seed(&SeedConfig {
+        consumers,
+        seed,
+        ..Default::default()
+    })?;
+    let mut cfg = smda_ingest::IngestConfig::new()
+        .with_shards(shards)
+        .with_allowed_lateness(lateness)
+        .with_detectors(std::sync::Arc::new(smda_ingest::fit_detectors(&ds)));
+    if args.iter().any(|a| a == "--skip-dirty") {
+        cfg = cfg.with_policy(smda_types::DirtyDataPolicy::SkipAndCount);
+    }
+    if let Some(dir) = flag(args, "--wal") {
+        cfg = cfg.with_wal_dir(dir);
+    }
+    if let Some(spec) = flag(args, "--faults") {
+        cfg = cfg.with_faults(smda_cluster::FaultPlan::parse(&spec)?);
+    }
+
+    let events = smda_ingest::replay_events(
+        &ds,
+        &smda_ingest::ReplayConfig {
+            jitter_hours: jitter,
+            seed,
+        },
+    );
+    println!(
+        "replaying {} readings from {} consumers across {shards} shards \
+         (jitter {jitter} h, lateness {lateness} h{})",
+        events.len(),
+        ds.len(),
+        if speedup > 0.0 {
+            format!(", {speedup}x speedup")
+        } else {
+            ", unthrottled".into()
+        }
+    );
+    let start = Instant::now();
+    let out = smda_ingest::run_pipeline(smda_ingest::throttle(events, speedup), &cfg)?;
+    let elapsed = start.elapsed();
+    let r = &out.report;
+    println!(
+        "ingested {} readings in {:.3}s ({:.0} readings/sec)",
+        r.readings_in,
+        elapsed.as_secs_f64(),
+        r.readings_in as f64 / elapsed.as_secs_f64().max(1e-9)
+    );
+    println!(
+        "  late {} | duplicate {} | dirty {} | missing {} | dead-lettered {}",
+        r.readings_late,
+        r.readings_duplicate,
+        r.readings_dirty,
+        r.readings_missing,
+        out.dead_letters.len()
+    );
+    println!(
+        "  watermark lag {} h | backpressure stalls {} | alerts {}",
+        r.watermark_lag_hours,
+        r.backpressure_stalls,
+        out.alerts.len()
+    );
+    if r.crashes_injected > 0 || r.failures_injected > 0 {
+        println!(
+            "  faults: {} crashes injected, {} recovered ({} WAL records replayed), \
+             {} task failures",
+            r.crashes_injected, r.crashes_recovered, r.wal_records_replayed, r.failures_injected
+        );
+    }
+    for alert in out.alerts.iter().take(3) {
+        println!(
+            "  alert: {} hour {} {:?} ({:.2} kWh vs {:.2} expected, {:.1} sigma)",
+            alert.consumer, alert.hour, alert.kind, alert.actual, alert.expected, alert.sigmas
+        );
+    }
+
+    // The bridge: the sealed snapshot feeds the unchanged batch engines.
+    let sink = smda_obs::MetricsSink::disabled();
+    for task in Task::ALL {
+        let start = Instant::now();
+        let output = out
+            .snapshot
+            .run_task(task, 4, smda_core::SIMILARITY_TOP_K, &sink)?;
+        println!(
+            "sealed snapshot -> {task}: {} results in {:.3}s",
+            output.len(),
+            start.elapsed().as_secs_f64()
+        );
+    }
+    Ok(())
 }
 
 fn bench(args: &[String]) -> Result<()> {

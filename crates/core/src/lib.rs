@@ -20,7 +20,7 @@
 //!   utility data set.
 //!
 //! Two extensions from the paper's related/future work are included:
-//! [`quality`] (missing-data repair, after Jeng et al. [18]) and
+//! [`quality`] (missing-data repair, after Jeng et al. \[18\]) and
 //! [`streaming`] (real-time anomaly alerts, the Section 6 future-work
 //! direction).
 //!

@@ -1,6 +1,6 @@
 //! Benchmark task 3 (Section 3.3): periodic auto-regression (PAR).
 //!
-//! Following Espinoza et al. [13] and Ardakanian et al. [8], consumption
+//! Following Espinoza et al. \[13\] and Ardakanian et al. \[8\], consumption
 //! at hour *h* of day *d* is modeled as a linear combination of the
 //! consumption at the same hour over the previous `p = 3` days, the
 //! outdoor temperature at that hour, and an intercept:

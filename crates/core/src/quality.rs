@@ -1,6 +1,6 @@
 //! Smart meter data quality: gap detection and imputation.
 //!
-//! The paper points to missing-data handling (Jeng et al. [18]) as an
+//! The paper points to missing-data handling (Jeng et al. \[18\]) as an
 //! orthogonal-but-important concern for meter data management. Real
 //! AMI feeds drop readings; the benchmark's algorithms require complete
 //! 8760-point years. This module detects gaps in raw readings and fills

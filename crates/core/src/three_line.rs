@@ -1,6 +1,6 @@
 //! Benchmark task 2 (Section 3.2): the 3-line thermal sensitivity model.
 //!
-//! Following Birt et al. [10], each consumer's consumption–temperature
+//! Following Birt et al. \[10\], each consumer's consumption–temperature
 //! scatter plot is summarized by two piecewise-linear curves of three
 //! segments each: one fitted to the 90th percentile of consumption per
 //! temperature value, one to the 10th percentile. The left segment's slope

@@ -12,7 +12,7 @@
 //!
 //! The Similarity task runs on the kernel layer (`smda_stats::kernels`):
 //! extraction streams each consumer's year straight into a contiguous
-//! [`SeriesMatrix`] (normalized in place, no intermediate `Vec`s), and
+//! [`SeriesMatrix`](smda_stats::SeriesMatrix) (normalized in place, no intermediate `Vec`s), and
 //! scoring is the cache-tiled, symmetry-halved all-pairs kernel whose
 //! output is bit-identical to the naive reference.
 

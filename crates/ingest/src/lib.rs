@@ -1,0 +1,75 @@
+//! Streaming ingest: the live half of the lambda architecture.
+//!
+//! The paper's Section 6 future work calls for "real-time applications
+//! ... using data stream processing technologies", and Liu & Nielsen's
+//! hybrid ICT architecture (PAPERS.md) gives it a shape: a streaming
+//! path accepts live meter readings and feeds the *same* analytics as
+//! the batch path. Every other crate in this workspace consumes a
+//! finished 8760-hour year; this crate is the path by which a reading
+//! *arrives*.
+//!
+//! # Pipeline
+//!
+//! [`run_pipeline`] accepts out-of-order hourly [`Reading`](smda_types::Reading)s and:
+//!
+//! 1. **routes** each one by consumer-id hash to one of N shards over a
+//!    bounded queue — a full queue blocks the router (backpressure,
+//!    counted as `ingest.backpressure_stalls`);
+//! 2. **advances** a per-shard event-time watermark (`max event hour −
+//!    allowed lateness`); readings behind the watermark are counted and
+//!    routed to a dead-letter sink per
+//!    [`DirtyDataPolicy`](smda_types::DirtyDataPolicy);
+//! 3. **maintains incremental per-consumer task state** behind the
+//!    watermark: running equi-width histogram counts
+//!    ([`RunningHistogram`]), [`OnlineStats`](smda_stats::OnlineStats)
+//!    residual tracking driving
+//!    [`AnomalyDetector`](smda_core::AnomalyDetector) alerts, and an
+//!    in-order incremental L2 norm so a
+//!    [`SeriesMatrix`](smda_stats::SeriesMatrix) row is finalized the
+//!    moment a consumer's year closes;
+//! 4. **seals** each completed year into a [`Snapshot`] whose
+//!    [`Snapshot::run_task`] bridge hands the data to the existing batch
+//!    engines ([`smda_engines::parallel::execute_task`]) — the four
+//!    paper tasks run unchanged and are bit-identical to the offline
+//!    load path.
+//!
+//! Shard execution reuses [`smda_engines::WorkerPool`]; shard crashes
+//! and stragglers are injected from a
+//! [`FaultPlan`](smda_cluster::FaultPlan) and recovered by replaying the
+//! shard's append-only [`WriteAheadLog`](smda_storage::WriteAheadLog).
+//! Counters and per-phase timers flow through
+//! [`MetricsSink`](smda_obs::MetricsSink) into the `smda-bench/v1`
+//! export.
+//!
+//! # Bit identity
+//!
+//! The canonical [`norm2`](smda_stats::norm2) is a *sequential,
+//! index-order* sum of squares. Sealed hours are finalized strictly in
+//! hour order, so the incremental sum of squares is the same chain of
+//! additions — the finalized row equals
+//! [`SeriesMatrixBuilder::set_row_normalized`](smda_stats::SeriesMatrixBuilder)
+//! bit for bit, at any shard count and any arrival order within the
+//! allowed lateness.
+
+pub mod config;
+pub mod pipeline;
+pub mod replay;
+pub mod shard;
+pub mod snapshot;
+pub mod state;
+
+pub use config::IngestConfig;
+pub use pipeline::{run_pipeline, shard_of, IngestOutcome, IngestReport};
+pub use replay::{replay_events, throttle, ReplayConfig};
+pub use snapshot::Snapshot;
+pub use state::{fit_detectors, ConsumerAccumulator, RunningHistogram, SealedConsumer};
+
+/// SplitMix64 finalizer — the workspace's standard stateless mixer, used
+/// here for shard routing and replay jitter.
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}

@@ -1,0 +1,565 @@
+//! The sharded pipeline: router, bounded queues, shard workers, seal.
+//!
+//! One router (the calling thread) validates and hash-routes readings
+//! into per-shard bounded queues; shard workers drawn from the process
+//! [`WorkerPool`] drain those queues in FIFO
+//! batches and drive their [`ShardState`]. A full queue blocks the
+//! router — backpressure, counted per stalled push — and a closed, empty
+//! queue retires its shard.
+//!
+//! # Why results don't depend on scheduling
+//!
+//! Each queue is FIFO and a shard's state is only mutated under its
+//! state lock by whichever worker holds the *lease* (a `try_lock` on the
+//! state mutex), so every shard applies its readings in exactly the
+//! order the router sent them — which is itself a pure function of the
+//! input stream. Shard state is never shared across shards, and sealed
+//! consumers are merged in consumer-id order. The scheduler decides only
+//! *when* work happens, never *what* the result is.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use smda_core::Alert;
+use smda_engines::WorkerPool;
+use smda_obs::counters;
+use smda_types::{Error, Reading, Result, TemperatureSeries, HOURS_PER_YEAR};
+
+use crate::config::IngestConfig;
+use crate::shard::ShardState;
+use crate::snapshot::Snapshot;
+use crate::splitmix64;
+
+/// Readings a worker drains from a queue per state-lock acquisition.
+const DRAIN_BATCH: usize = 256;
+
+/// How long blocked threads nap between re-checks of shared flags.
+const NAP: Duration = Duration::from_millis(1);
+
+/// Which shard a consumer's readings are routed to: a stateless hash of
+/// the consumer id, so routing needs no directory and any number of
+/// routers would agree.
+pub fn shard_of(consumer: smda_types::ConsumerId, shards: usize) -> usize {
+    (splitmix64(consumer.raw() as u64) % shards as u64) as usize
+}
+
+/// What one pipeline run did, as plain numbers (the same values are
+/// pushed through the metrics sink as `ingest.*` counters).
+#[derive(Debug, Clone, Default)]
+pub struct IngestReport {
+    /// Shard workers the pipeline ran with.
+    pub shards: u64,
+    /// Readings that reached a shard (including late/duplicate ones).
+    pub readings_in: u64,
+    /// Readings that arrived behind their shard's watermark.
+    pub readings_late: u64,
+    /// Readings whose `(consumer, hour)` slot was already filled.
+    pub readings_duplicate: u64,
+    /// Hours zero-filled at seal under `SkipAndCount`.
+    pub readings_missing: u64,
+    /// Readings rejected by the router (bad hour, non-finite values).
+    pub readings_dirty: u64,
+    /// Router pushes that blocked on a full shard queue.
+    pub backpressure_stalls: u64,
+    /// Worst observed router-to-watermark lag, in event hours.
+    pub watermark_lag_hours: u64,
+    /// Consumers whose year was sealed.
+    pub consumers_sealed: u64,
+    /// WAL records replayed across all crash recoveries.
+    pub wal_records_replayed: u64,
+    /// Shard crashes injected by the fault plan.
+    pub crashes_injected: u64,
+    /// Shard crashes fully recovered by WAL replay.
+    pub crashes_recovered: u64,
+    /// Failed task attempts injected by the fault plan.
+    pub failures_injected: u64,
+}
+
+/// Everything a finished pipeline run produced.
+pub struct IngestOutcome {
+    /// The sealed world, ready for the batch engines.
+    pub snapshot: Snapshot,
+    /// Counters describing the run.
+    pub report: IngestReport,
+    /// Anomaly alerts raised behind the watermark, in (consumer, hour)
+    /// order.
+    pub alerts: Vec<Alert>,
+    /// Late/duplicate/dirty readings routed to the dead-letter sink
+    /// (empty under `FailFast`, which errors instead).
+    pub dead_letters: Vec<Reading>,
+}
+
+struct Queue {
+    buf: VecDeque<Reading>,
+    closed: bool,
+}
+
+struct ShardCell {
+    queue: Mutex<Queue>,
+    /// Router waits here for queue space.
+    space: Condvar,
+    state: Mutex<ShardState>,
+    done: AtomicBool,
+}
+
+struct Control {
+    aborted: AtomicBool,
+    /// Newest event hour the router has emitted (watermark-lag gauge).
+    routed_hour: AtomicU32,
+    /// Workers nap here when every queue they can lease is empty.
+    idle: Mutex<()>,
+    wake: Condvar,
+    errors: Mutex<Vec<(usize, Error)>>,
+}
+
+/// Shrug off mutex poisoning: a panicking worker is surfaced through the
+/// pool's own panic propagation, and all pipeline state stays consistent
+/// at every await point.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Push one reading into a shard queue, blocking while the queue is at
+/// `capacity`. Returns `false` when the pipeline aborted mid-wait.
+/// Counts at most one backpressure stall per push.
+fn push_reading(
+    cell: &ShardCell,
+    control: &Control,
+    r: Reading,
+    capacity: usize,
+    stalls: &mut u64,
+) -> bool {
+    let mut q = lock(&cell.queue);
+    let mut stalled = false;
+    while q.buf.len() >= capacity {
+        if control.aborted.load(Ordering::Acquire) {
+            return false;
+        }
+        if !stalled {
+            stalled = true;
+            *stalls += 1;
+        }
+        let (guard, _) = cell
+            .space
+            .wait_timeout(q, NAP)
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        q = guard;
+    }
+    let was_empty = q.buf.is_empty();
+    q.buf.push_back(r);
+    drop(q);
+    if was_empty {
+        control.wake.notify_all();
+    }
+    true
+}
+
+/// One worker slot: sweep all shards, leasing any state lock that is
+/// free, draining that shard's queue in FIFO batches. Returns when every
+/// shard is done or the pipeline aborted.
+fn consume_loop(cells: &[ShardCell], control: &Control) {
+    loop {
+        if control.aborted.load(Ordering::Acquire) {
+            return;
+        }
+        let mut progress = false;
+        let mut all_done = true;
+        for (shard, cell) in cells.iter().enumerate() {
+            if cell.done.load(Ordering::Acquire) {
+                continue;
+            }
+            all_done = false;
+            // The lease: only the state-lock holder pops this queue, so
+            // batches apply in router order.
+            let Ok(mut state) = cell.state.try_lock() else {
+                continue;
+            };
+            loop {
+                let batch: Vec<Reading> = {
+                    let mut q = lock(&cell.queue);
+                    if q.buf.is_empty() {
+                        if q.closed {
+                            cell.done.store(true, Ordering::Release);
+                        }
+                        break;
+                    }
+                    let n = q.buf.len().min(DRAIN_BATCH);
+                    q.buf.drain(..n).collect()
+                };
+                cell.space.notify_all();
+                let routed = control.routed_hour.load(Ordering::Acquire);
+                if let Err(e) = state.process_batch(&batch, routed) {
+                    lock(&control.errors).push((shard, e));
+                    control.aborted.store(true, Ordering::Release);
+                    control.wake.notify_all();
+                    return;
+                }
+                progress = true;
+                if control.aborted.load(Ordering::Acquire) {
+                    return;
+                }
+            }
+        }
+        if all_done {
+            return;
+        }
+        if !progress {
+            let guard = lock(&control.idle);
+            drop(
+                control
+                    .wake
+                    .wait_timeout(guard, NAP)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner),
+            );
+        }
+    }
+}
+
+/// Run the full pipeline over `events` and seal the result.
+///
+/// The calling thread is the router; shard workers come from
+/// [`WorkerPool::global`]. Under
+/// [`DirtyDataPolicy::FailFast`](smda_types::DirtyDataPolicy) the first
+/// late, duplicate, dirty or missing reading is an error; under
+/// `SkipAndCount` such readings are counted and dead-lettered and
+/// missing hours are zero-filled at seal.
+pub fn run_pipeline<I>(events: I, cfg: &IngestConfig) -> Result<IngestOutcome>
+where
+    I: IntoIterator<Item = Reading>,
+{
+    cfg.validate()?;
+    let run_started = Instant::now();
+    let cells: Vec<ShardCell> = (0..cfg.shards)
+        .map(|shard| {
+            Ok(ShardCell {
+                queue: Mutex::new(Queue {
+                    buf: VecDeque::with_capacity(cfg.queue_capacity),
+                    closed: false,
+                }),
+                space: Condvar::new(),
+                state: Mutex::new(ShardState::new(
+                    shard,
+                    cfg.allowed_lateness,
+                    cfg.policy,
+                    cfg.faults.clone(),
+                    cfg.detectors.clone(),
+                    cfg.wal_dir.as_deref(),
+                )?),
+                done: AtomicBool::new(false),
+            })
+        })
+        .collect::<Result<_>>()?;
+    let control = Control {
+        aborted: AtomicBool::new(false),
+        routed_hour: AtomicU32::new(0),
+        idle: Mutex::new(()),
+        wake: Condvar::new(),
+        errors: Mutex::new(Vec::new()),
+    };
+
+    let mut temps = vec![0.0f64; HOURS_PER_YEAR];
+    let mut temp_seen = vec![false; HOURS_PER_YEAR];
+    let mut stalls = 0u64;
+    let mut dirty = 0u64;
+    let mut router_dead: Vec<Reading> = Vec::new();
+    let mut router_error: Option<Error> = None;
+    let mut route_time = Duration::ZERO;
+
+    std::thread::scope(|scope| {
+        let workers = scope.spawn(|| {
+            WorkerPool::global().broadcast(cfg.shards, &|_slot| consume_loop(&cells, &control));
+        });
+
+        let route_started = Instant::now();
+        for r in events {
+            let bad = !ShardState::valid_hour(r.hour)
+                || !r.kwh.is_finite()
+                || r.kwh < 0.0
+                || !r.temperature.is_finite();
+            if bad {
+                dirty += 1;
+                if cfg.policy.skips() {
+                    router_dead.push(r);
+                    continue;
+                }
+                router_error = Some(Error::Schema(format!(
+                    "consumer {}: dirty reading (hour {}, kwh {}, temperature {})",
+                    r.consumer, r.hour, r.kwh, r.temperature
+                )));
+                control.aborted.store(true, Ordering::Release);
+                break;
+            }
+            let h = r.hour as usize;
+            if !temp_seen[h] {
+                temp_seen[h] = true;
+                temps[h] = r.temperature;
+            }
+            control.routed_hour.fetch_max(r.hour, Ordering::Release);
+            let cell = &cells[shard_of(r.consumer, cfg.shards)];
+            if !push_reading(cell, &control, r, cfg.queue_capacity, &mut stalls) {
+                break;
+            }
+        }
+        route_time = route_started.elapsed();
+        for cell in &cells {
+            lock(&cell.queue).closed = true;
+        }
+        control.wake.notify_all();
+        // Join explicitly so a worker panic surfaces as this scope's
+        // panic rather than an opaque scope abort.
+        if let Err(panic) = workers.join() {
+            std::panic::resume_unwind(panic);
+        }
+    });
+
+    let mut shard_errors = std::mem::take(&mut *lock(&control.errors));
+    shard_errors.sort_by_key(|(shard, _)| *shard);
+    if let Some(e) = router_error {
+        return Err(e);
+    }
+    if let Some((_, e)) = shard_errors.into_iter().next() {
+        return Err(e);
+    }
+
+    // Seal: drain every shard in index order, then merge by consumer id.
+    let seal_started = Instant::now();
+    let mut report = IngestReport {
+        shards: cfg.shards as u64,
+        readings_dirty: dirty,
+        backpressure_stalls: stalls,
+        ..IngestReport::default()
+    };
+    let mut sealed = Vec::new();
+    let mut alerts: Vec<Alert> = Vec::new();
+    let mut dead_letters = router_dead;
+    let mut shard_busy = Duration::ZERO;
+    for cell in &cells {
+        let mut state = lock(&cell.state);
+        sealed.extend(state.seal(&mut report.readings_missing)?);
+        alerts.extend(state.take_alerts());
+        dead_letters.extend(state.take_dead_letters());
+        report.readings_in += state.readings_in();
+        report.readings_late += state.readings_late();
+        report.readings_duplicate += state.readings_duplicate();
+        report.watermark_lag_hours = report.watermark_lag_hours.max(state.max_lag_hours() as u64);
+        report.wal_records_replayed += state.wal_records_replayed();
+        report.crashes_injected += state.crashes_injected();
+        report.crashes_recovered += state.crashes_recovered();
+        report.failures_injected += state.failures_injected();
+        shard_busy += state.busy_time();
+    }
+    sealed.sort_by_key(|s| s.series.id);
+    alerts.sort_by_key(|a| (a.consumer, a.hour));
+    report.consumers_sealed = sealed.len() as u64;
+
+    if report.readings_in > 0 {
+        if let Some(h) = temp_seen.iter().position(|&seen| !seen) {
+            if !cfg.policy.skips() {
+                return Err(Error::Schema(format!(
+                    "no reading ever reported a temperature for hour {h}"
+                )));
+            }
+            // SkipAndCount: hours nobody reported keep the 0.0 fill.
+        }
+    }
+    let snapshot = Snapshot::from_sealed(sealed, TemperatureSeries::new(temps)?)?;
+    let seal_time = seal_started.elapsed();
+
+    let m = &cfg.metrics;
+    m.incr(counters::INGEST_READINGS_IN, report.readings_in);
+    m.incr(counters::INGEST_READINGS_LATE, report.readings_late);
+    m.incr(
+        counters::INGEST_READINGS_DUPLICATE,
+        report.readings_duplicate,
+    );
+    m.incr(counters::INGEST_READINGS_MISSING, report.readings_missing);
+    m.incr(counters::INGEST_READINGS_DIRTY, report.readings_dirty);
+    m.incr(
+        counters::INGEST_BACKPRESSURE_STALLS,
+        report.backpressure_stalls,
+    );
+    m.incr(
+        counters::INGEST_WATERMARK_LAG_HOURS,
+        report.watermark_lag_hours,
+    );
+    m.incr(counters::INGEST_CONSUMERS_SEALED, report.consumers_sealed);
+    m.incr(counters::INGEST_ALERTS, alerts.len() as u64);
+    m.incr(
+        counters::INGEST_WAL_RECORDS_REPLAYED,
+        report.wal_records_replayed,
+    );
+    m.incr(
+        counters::FAULTS_INJECTED_NODE_CRASH,
+        report.crashes_injected,
+    );
+    m.incr(
+        counters::FAULTS_RECOVERED_NODE_CRASH,
+        report.crashes_recovered,
+    );
+    m.incr(
+        counters::FAULTS_INJECTED_TASK_FAILURE,
+        report.failures_injected,
+    );
+    m.add_phase(&["ingest"], run_started.elapsed());
+    m.add_phase(&["ingest", "route"], route_time);
+    m.add_phase(&["ingest", "shard"], shard_busy);
+    m.add_phase(&["ingest", "seal"], seal_time);
+
+    Ok(IngestOutcome {
+        snapshot,
+        report,
+        alerts,
+        dead_letters,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replay::{replay_events, ReplayConfig};
+    use smda_types::{ConsumerId, ConsumerSeries, Dataset, DirtyDataPolicy};
+
+    fn tiny_dataset(n: u32) -> Dataset {
+        let consumers = (0..n)
+            .map(|i| {
+                ConsumerSeries::new(
+                    ConsumerId(i * 5 + 1),
+                    (0..HOURS_PER_YEAR)
+                        .map(|h| 0.1 + ((h as u32 + i * 31) % 50) as f64 * 0.07)
+                        .collect(),
+                )
+                .unwrap()
+            })
+            .collect();
+        let temps =
+            TemperatureSeries::new((0..HOURS_PER_YEAR).map(|h| (h % 30) as f64).collect()).unwrap();
+        Dataset::new(consumers, temps).unwrap()
+    }
+
+    #[test]
+    fn shard_of_is_stable_and_in_range() {
+        for shards in [1usize, 2, 4, 8] {
+            for id in 0..100u32 {
+                let s = shard_of(ConsumerId(id), shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_of(ConsumerId(id), shards));
+            }
+        }
+    }
+
+    #[test]
+    fn pipeline_rebuilds_the_dataset_exactly() {
+        let ds = tiny_dataset(6);
+        let events = replay_events(&ds, &ReplayConfig::default());
+        for shards in [1usize, 3] {
+            let cfg = IngestConfig::new().with_shards(shards);
+            let out = run_pipeline(events.clone(), &cfg).unwrap();
+            assert_eq!(out.report.readings_in, 6 * HOURS_PER_YEAR as u64);
+            assert_eq!(out.report.readings_late, 0);
+            assert_eq!(out.report.consumers_sealed, 6);
+            assert!(out.dead_letters.is_empty());
+            let sealed = out.snapshot.dataset();
+            assert_eq!(sealed.consumers(), ds.consumers());
+            assert_eq!(sealed.temperature().values(), ds.temperature().values());
+        }
+    }
+
+    #[test]
+    fn dirty_readings_follow_the_policy() {
+        let ds = tiny_dataset(2);
+        let mut events = replay_events(
+            &ds,
+            &ReplayConfig {
+                jitter_hours: 0,
+                seed: 1,
+            },
+        );
+        events.insert(
+            100,
+            Reading {
+                consumer: ConsumerId(1),
+                hour: 0,
+                temperature: 5.0,
+                kwh: f64::NAN,
+            },
+        );
+        let cfg = IngestConfig::new().with_shards(2);
+        assert!(run_pipeline(events.clone(), &cfg).is_err());
+
+        let cfg = cfg.with_policy(DirtyDataPolicy::SkipAndCount);
+        let out = run_pipeline(events, &cfg).unwrap();
+        assert_eq!(out.report.readings_dirty, 1);
+        assert_eq!(out.dead_letters.len(), 1);
+        assert_eq!(out.report.consumers_sealed, 2);
+    }
+
+    #[test]
+    fn full_queue_counts_a_stall_then_delivers() {
+        let cell = ShardCell {
+            queue: Mutex::new(Queue {
+                buf: VecDeque::from(vec![Reading {
+                    consumer: ConsumerId(1),
+                    hour: 0,
+                    temperature: 0.0,
+                    kwh: 0.0,
+                }]),
+                closed: false,
+            }),
+            space: Condvar::new(),
+            state: Mutex::new(
+                ShardState::new(
+                    0,
+                    24,
+                    DirtyDataPolicy::FailFast,
+                    smda_cluster::FaultPlan::default(),
+                    None,
+                    None,
+                )
+                .unwrap(),
+            ),
+            done: AtomicBool::new(false),
+        };
+        let control = Control {
+            aborted: AtomicBool::new(false),
+            routed_hour: AtomicU32::new(0),
+            idle: Mutex::new(()),
+            wake: Condvar::new(),
+            errors: Mutex::new(Vec::new()),
+        };
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                std::thread::sleep(Duration::from_millis(10));
+                lock(&cell.queue).buf.pop_front();
+                cell.space.notify_all();
+            });
+            let mut stalls = 0;
+            // Capacity 1 and one queued reading: the push must stall
+            // exactly once, then succeed after the drain.
+            let delivered = push_reading(
+                &cell,
+                &control,
+                Reading {
+                    consumer: ConsumerId(2),
+                    hour: 1,
+                    temperature: 0.0,
+                    kwh: 0.0,
+                },
+                1,
+                &mut stalls,
+            );
+            assert!(delivered);
+            assert_eq!(stalls, 1);
+        });
+        assert_eq!(lock(&cell.queue).buf.len(), 1);
+    }
+
+    #[test]
+    fn empty_stream_seals_an_empty_snapshot() {
+        let out = run_pipeline(Vec::new(), &IngestConfig::new()).unwrap();
+        assert_eq!(out.report.readings_in, 0);
+        assert_eq!(out.report.consumers_sealed, 0);
+        assert!(out.snapshot.dataset().consumers().is_empty());
+    }
+}

@@ -1,0 +1,159 @@
+//! The sealed world: the bridge from streaming state to batch engines.
+//!
+//! When every consumer's year has closed, the pipeline folds the sealed
+//! rows into a [`Snapshot`]: a validated [`Dataset`], the pre-normalized
+//! [`SeriesMatrix`] for similarity search, the incrementally built
+//! histograms and the per-consumer [`OnlineStats`]. The snapshot then
+//! serves the existing batch engines through
+//! [`MemorySource`] — [`Snapshot::run_task`] is the lambda
+//! architecture's hand-off point, and the integration tests pin its
+//! output bit-identical to the offline load path.
+
+use std::sync::Arc;
+
+use smda_core::{ConsumerHistogram, Task, TaskOutput};
+use smda_engines::parallel::{execute_task, ConsumerSource, MemorySource};
+use smda_obs::MetricsSink;
+use smda_stats::{OnlineStats, SeriesMatrix, SeriesMatrixBuilder};
+use smda_types::{ConsumerId, Dataset, Result, TemperatureSeries, HOURS_PER_YEAR};
+
+use crate::state::SealedConsumer;
+
+/// Everything the batch layer needs, finalized by the streaming layer.
+pub struct Snapshot {
+    dataset: Arc<Dataset>,
+    matrix: SeriesMatrix,
+    histograms: Vec<ConsumerHistogram>,
+    stats: Vec<(ConsumerId, OnlineStats)>,
+}
+
+impl Snapshot {
+    /// Assemble a snapshot from sealed consumers (already sorted by id)
+    /// and the year's temperature series.
+    pub fn from_sealed(
+        sealed: Vec<SealedConsumer>,
+        temperature: TemperatureSeries,
+    ) -> Result<Snapshot> {
+        let builder = SeriesMatrixBuilder::new(sealed.len(), HOURS_PER_YEAR);
+        for (i, s) in sealed.iter().enumerate() {
+            builder.set_row(i, &s.normalized);
+        }
+        let matrix = builder.finish();
+        let mut consumers = Vec::with_capacity(sealed.len());
+        let mut histograms = Vec::with_capacity(sealed.len());
+        let mut stats = Vec::with_capacity(sealed.len());
+        for s in sealed {
+            stats.push((s.series.id, s.stats));
+            histograms.push(s.histogram);
+            consumers.push(s.series);
+        }
+        Ok(Snapshot {
+            dataset: Arc::new(Dataset::new(consumers, temperature)?),
+            matrix,
+            histograms,
+            stats,
+        })
+    }
+
+    /// The sealed dataset, identical to an offline-loaded one.
+    pub fn dataset(&self) -> &Arc<Dataset> {
+        &self.dataset
+    }
+
+    /// Unit-normalized similarity rows, finalized incrementally.
+    pub fn matrix(&self) -> &SeriesMatrix {
+        &self.matrix
+    }
+
+    /// Incrementally built ten-bucket histograms, in consumer-id order.
+    pub fn histograms(&self) -> &[ConsumerHistogram] {
+        &self.histograms
+    }
+
+    /// Per-consumer count/mean/variance/min/max, in consumer-id order.
+    pub fn stats(&self) -> &[(ConsumerId, OnlineStats)] {
+        &self.stats
+    }
+
+    /// Open a fresh storage handle over the sealed data — the
+    /// `Snapshot → ConsumerSource` bridge.
+    pub fn source(&self) -> MemorySource {
+        MemorySource::new(self.dataset.clone())
+    }
+
+    /// Run one benchmark task against the sealed data with the existing
+    /// batch engine, unchanged: each worker opens its own
+    /// [`MemorySource`] exactly as the offline path does.
+    pub fn run_task(
+        &self,
+        task: Task,
+        threads: usize,
+        k: usize,
+        metrics: &MetricsSink,
+    ) -> Result<TaskOutput> {
+        let ds = self.dataset.clone();
+        execute_task(
+            &move || Ok(Box::new(MemorySource::new(ds.clone())) as Box<dyn ConsumerSource>),
+            task,
+            threads,
+            k,
+            metrics,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smda_types::{DirtyDataPolicy, Reading};
+
+    fn sealed_consumer(id: u32, scale: f64) -> SealedConsumer {
+        let mut acc = crate::state::ConsumerAccumulator::new(ConsumerId(id), None);
+        for h in 0..HOURS_PER_YEAR as u32 {
+            acc.admit(&Reading {
+                consumer: ConsumerId(id),
+                hour: h,
+                temperature: 10.0,
+                kwh: scale * (1.0 + (h % 24) as f64),
+            });
+        }
+        let mut missing = 0;
+        acc.seal(DirtyDataPolicy::FailFast, &mut missing, &mut Vec::new())
+            .unwrap()
+    }
+
+    #[test]
+    fn snapshot_matches_offline_batch_path() {
+        let sealed = vec![sealed_consumer(1, 0.5), sealed_consumer(2, 2.0)];
+        let temps = TemperatureSeries::new(vec![10.0; HOURS_PER_YEAR]).unwrap();
+        let snap = Snapshot::from_sealed(sealed, temps).unwrap();
+
+        // The matrix equals the canonical batch normalization, bitwise.
+        let rows: Vec<Vec<f64>> = snap
+            .dataset
+            .consumers()
+            .iter()
+            .map(|c| c.readings().to_vec())
+            .collect();
+        let batch = SeriesMatrix::from_rows_normalized(&rows);
+        for i in 0..2 {
+            for (a, b) in snap.matrix().row(i).iter().zip(batch.row(i)) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+
+        // Histograms equal the batch task output.
+        for (h, c) in snap.histograms().iter().zip(snap.dataset.consumers()) {
+            assert_eq!(*h, ConsumerHistogram::build(c));
+        }
+
+        // The bridge runs a real task.
+        let out = snap
+            .run_task(Task::Histogram, 2, 5, &MetricsSink::disabled())
+            .unwrap();
+        match out {
+            TaskOutput::Histograms(hs) => assert_eq!(hs.len(), 2),
+            other => panic!("unexpected output: {other:?}"),
+        }
+    }
+}

@@ -92,6 +92,29 @@ pub mod counters {
     pub const FAULTS_RECOVERED_TASK_PANIC: &str = "faults.recovered.task_panic";
     /// Block replicas restored by re-replication after a loss.
     pub const FAULTS_RECOVERED_REPLICA_LOSS: &str = "faults.recovered.replica_loss";
+    /// Readings accepted by the ingest router and handed to a shard.
+    pub const INGEST_READINGS_IN: &str = "ingest.readings_in";
+    /// Readings that arrived behind their shard's event-time watermark
+    /// and were routed to the dead-letter sink.
+    pub const INGEST_READINGS_LATE: &str = "ingest.readings_late";
+    /// Readings whose (consumer, hour) slot was already filled.
+    pub const INGEST_READINGS_DUPLICATE: &str = "ingest.readings_duplicate";
+    /// Hours still empty when a consumer's year was sealed (zero-filled
+    /// under a skip-and-count policy).
+    pub const INGEST_READINGS_MISSING: &str = "ingest.readings_missing";
+    /// Malformed readings dropped by the ingest router.
+    pub const INGEST_READINGS_DIRTY: &str = "ingest.readings_dirty";
+    /// Times the ingest router blocked on a full shard queue.
+    pub const INGEST_BACKPRESSURE_STALLS: &str = "ingest.backpressure_stalls";
+    /// Worst observed event-time gap (hours) between the router's
+    /// progress and a shard's watermark.
+    pub const INGEST_WATERMARK_LAG_HOURS: &str = "ingest.watermark_lag_hours";
+    /// Consumer years sealed into the snapshot.
+    pub const INGEST_CONSUMERS_SEALED: &str = "ingest.consumers_sealed";
+    /// Anomaly alerts raised by the per-consumer detectors.
+    pub const INGEST_ALERTS: &str = "ingest.alerts";
+    /// WAL records re-applied while recovering a crashed shard.
+    pub const INGEST_WAL_RECORDS_REPLAYED: &str = "ingest.wal_records_replayed";
 }
 
 #[cfg(test)]

@@ -1,6 +1,6 @@
 //! Symbolic Aggregate approXimation (SAX) of time series.
 //!
-//! The paper's related work (Wijaya et al. [27]) applies symbolic
+//! The paper's related work (Wijaya et al. \[27\]) applies symbolic
 //! representation to smart meter series; this module provides the
 //! classic SAX pipeline — z-normalization, piecewise aggregate
 //! approximation (PAA), and alphabet discretization under Gaussian

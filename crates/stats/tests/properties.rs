@@ -87,6 +87,46 @@ proptest! {
     }
 
     #[test]
+    fn online_stats_merge_empty_is_identity(v in finite_vec(200)) {
+        let s: OnlineStats = v.iter().copied().collect();
+        let mut left = s;
+        left.merge(&OnlineStats::new());
+        prop_assert_eq!(left, s);
+        let mut right = OnlineStats::new();
+        right.merge(&s);
+        prop_assert_eq!(right, s);
+    }
+
+    #[test]
+    fn online_stats_sharded_merge_matches_sequential(
+        tagged in prop::collection::vec((-1e6f64..1e6, 0usize..8), 1..200)
+    ) {
+        // Any partition of the stream across shards, merged in shard
+        // order, must agree with a single sequential fold.
+        let sequential: OnlineStats = tagged.iter().map(|(x, _)| *x).collect();
+        let mut partials = vec![OnlineStats::new(); 8];
+        for (x, shard) in &tagged {
+            partials[*shard].push(*x);
+        }
+        let mut merged = OnlineStats::new();
+        for p in &partials {
+            merged.merge(p);
+        }
+        prop_assert_eq!(merged.count(), sequential.count());
+        prop_assert_eq!(merged.min(), sequential.min());
+        prop_assert_eq!(merged.max(), sequential.max());
+        let m = sequential.mean();
+        prop_assert!((merged.mean() - m).abs() <= 1e-9 * (1.0 + m.abs()));
+        if tagged.len() >= 2 {
+            let sv = sequential.sample_variance();
+            prop_assert!(
+                (merged.sample_variance() - sv).abs() <= 1e-9 * (1.0 + sv.abs() + m * m),
+                "merged {} vs sequential {}", merged.sample_variance(), sv
+            );
+        }
+    }
+
+    #[test]
     fn ols_residuals_orthogonal_to_x(
         pairs in prop::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 3..100)
     ) {

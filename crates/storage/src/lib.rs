@@ -14,6 +14,8 @@
 //!   and cached (standing in for memory-mapped I/O; see DESIGN.md).
 //! * [`files`] — the Matlab-like file store: CSV read directly per query,
 //!   either partitioned (one file per consumer) or as one large file.
+//! * [`wal`] — the append-only per-shard write-ahead log backing the
+//!   streaming ingest pipeline's crash recovery (`smda-ingest`).
 
 pub mod btree;
 pub mod buffer;
@@ -23,6 +25,7 @@ pub mod heap;
 pub mod layout;
 pub mod page;
 pub mod update;
+pub mod wal;
 
 pub use btree::BTreeIndex;
 pub use buffer::{BufferPool, PoolStats};
@@ -35,3 +38,4 @@ pub use update::{
     restate_array_table, restate_column_store, restate_day_table, restate_reading_table,
     DayRestatement,
 };
+pub use wal::{WriteAheadLog, WAL_MAGIC, WAL_RECORD_BYTES};

@@ -1,0 +1,231 @@
+//! Append-only write-ahead log for the streaming ingest shards.
+//!
+//! Each ingest shard appends every reading it is handed — *before* any
+//! lateness/duplicate decision is made — so replaying the log through a
+//! fresh shard state reproduces the exact same decisions, counters and
+//! sealed rows. Records are fixed-width little-endian (24 bytes: consumer
+//! id, hour, temperature bits, kWh bits) behind an 8-byte magic header; a
+//! torn final record (crash mid-append) is tolerated and truncated on
+//! replay.
+
+use std::fs::File;
+use std::io::{BufWriter, Read as _, Write as _};
+use std::path::{Path, PathBuf};
+
+use smda_types::{ConsumerId, Error, Reading, Result};
+
+/// File magic identifying a shard WAL (versioned: bump on format change).
+pub const WAL_MAGIC: [u8; 8] = *b"SMWAL01\n";
+
+/// Fixed on-disk size of one record: u32 consumer + u32 hour + f64
+/// temperature + f64 kWh, all little-endian.
+pub const WAL_RECORD_BYTES: usize = 24;
+
+fn encode(r: &Reading) -> [u8; WAL_RECORD_BYTES] {
+    let mut buf = [0u8; WAL_RECORD_BYTES];
+    buf[0..4].copy_from_slice(&r.consumer.0.to_le_bytes());
+    buf[4..8].copy_from_slice(&r.hour.to_le_bytes());
+    buf[8..16].copy_from_slice(&r.temperature.to_bits().to_le_bytes());
+    buf[16..24].copy_from_slice(&r.kwh.to_bits().to_le_bytes());
+    buf
+}
+
+fn decode(buf: &[u8; WAL_RECORD_BYTES]) -> Reading {
+    let le_u32 = |b: &[u8]| u32::from_le_bytes(b.try_into().expect("4-byte slice"));
+    let le_f64 = |b: &[u8]| f64::from_bits(u64::from_le_bytes(b.try_into().expect("8-byte slice")));
+    Reading {
+        consumer: ConsumerId(le_u32(&buf[0..4])),
+        hour: le_u32(&buf[4..8]),
+        temperature: le_f64(&buf[8..16]),
+        kwh: le_f64(&buf[16..24]),
+    }
+}
+
+/// An open, appendable shard log.
+pub struct WriteAheadLog {
+    path: PathBuf,
+    file: BufWriter<File>,
+    records: u64,
+}
+
+impl WriteAheadLog {
+    /// Create (or truncate) the log at `path` and write the header.
+    pub fn create(path: impl Into<PathBuf>) -> Result<WriteAheadLog> {
+        let path = path.into();
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent).map_err(|e| {
+                Error::io(format!("creating WAL directory {}", parent.display()), e)
+            })?;
+        }
+        let file = File::create(&path)
+            .map_err(|e| Error::io(format!("creating WAL {}", path.display()), e))?;
+        let mut file = BufWriter::new(file);
+        file.write_all(&WAL_MAGIC)
+            .map_err(|e| Error::io(format!("writing WAL header {}", path.display()), e))?;
+        Ok(WriteAheadLog {
+            path,
+            file,
+            records: 0,
+        })
+    }
+
+    /// Append one reading.
+    pub fn append(&mut self, r: &Reading) -> Result<()> {
+        self.file
+            .write_all(&encode(r))
+            .map_err(|e| Error::io(format!("appending to WAL {}", self.path.display()), e))?;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Flush buffered records to the operating system, making them
+    /// visible to [`replay`] on the same path.
+    pub fn flush(&mut self) -> Result<()> {
+        self.file
+            .flush()
+            .map_err(|e| Error::io(format!("flushing WAL {}", self.path.display()), e))
+    }
+
+    /// Records appended so far.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// The log's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Read every complete record from the log at `path`, in append order.
+///
+/// A partial record at the tail (torn write from a crash mid-append) is
+/// silently dropped; a missing or malformed header is an error.
+pub fn replay(path: &Path) -> Result<Vec<Reading>> {
+    let mut file =
+        File::open(path).map_err(|e| Error::io(format!("opening WAL {}", path.display()), e))?;
+    let mut bytes = Vec::new();
+    file.read_to_end(&mut bytes)
+        .map_err(|e| Error::io(format!("reading WAL {}", path.display()), e))?;
+    if bytes.len() < WAL_MAGIC.len() || bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
+        return Err(Error::parse(
+            path.display().to_string(),
+            None,
+            "missing or unrecognized WAL magic",
+        ));
+    }
+    let body = &bytes[WAL_MAGIC.len()..];
+    let complete = body.len() / WAL_RECORD_BYTES;
+    let mut out = Vec::with_capacity(complete);
+    for i in 0..complete {
+        let chunk: &[u8; WAL_RECORD_BYTES] = body[i * WAL_RECORD_BYTES..(i + 1) * WAL_RECORD_BYTES]
+            .try_into()
+            .expect("exact chunk");
+        out.push(decode(chunk));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+
+    fn scratch(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "smda-wal-{name}-{}-{:x}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_nanos())
+                .unwrap_or(0)
+        ))
+    }
+
+    fn sample(n: u32) -> Vec<Reading> {
+        (0..n)
+            .map(|i| Reading {
+                consumer: ConsumerId(i % 7),
+                hour: i,
+                temperature: -5.0 + i as f64 * 0.25,
+                kwh: 0.125 * i as f64,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn round_trips_records_bit_exactly() {
+        let path = scratch("roundtrip");
+        let readings = sample(100);
+        let mut wal = WriteAheadLog::create(&path).unwrap();
+        for r in &readings {
+            wal.append(r).unwrap();
+        }
+        assert_eq!(wal.records(), 100);
+        wal.flush().unwrap();
+        let back = replay(&path).unwrap();
+        assert_eq!(back.len(), readings.len());
+        for (a, b) in back.iter().zip(&readings) {
+            assert_eq!(a.consumer, b.consumer);
+            assert_eq!(a.hour, b.hour);
+            assert_eq!(a.temperature.to_bits(), b.temperature.to_bits());
+            assert_eq!(a.kwh.to_bits(), b.kwh.to_bits());
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated() {
+        let path = scratch("torn");
+        let readings = sample(5);
+        let mut wal = WriteAheadLog::create(&path).unwrap();
+        for r in &readings {
+            wal.append(r).unwrap();
+        }
+        wal.flush().unwrap();
+        drop(wal);
+        // Simulate a crash mid-append: half a record at the tail.
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        f.write_all(&[0xAB; WAL_RECORD_BYTES / 2]).unwrap();
+        drop(f);
+        let back = replay(&path).unwrap();
+        assert_eq!(back.len(), 5, "torn record must be dropped");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let path = scratch("magic");
+        std::fs::write(&path, b"not a wal").unwrap();
+        assert!(replay(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_log_replays_empty() {
+        let path = scratch("empty");
+        let mut wal = WriteAheadLog::create(&path).unwrap();
+        wal.flush().unwrap();
+        assert_eq!(replay(&path).unwrap().len(), 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn create_truncates_previous_log() {
+        let path = scratch("truncate");
+        let mut wal = WriteAheadLog::create(&path).unwrap();
+        for r in sample(10) {
+            wal.append(&r).unwrap();
+        }
+        wal.flush().unwrap();
+        drop(wal);
+        let mut wal = WriteAheadLog::create(&path).unwrap();
+        wal.append(&sample(1)[0]).unwrap();
+        wal.flush().unwrap();
+        assert_eq!(replay(&path).unwrap().len(), 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -18,6 +18,9 @@ cargo fmt --all --check
 echo "== clippy =="
 cargo clippy --workspace --all-targets
 
+echo "== doc =="
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
+
 echo "== test (workspace) =="
 cargo test --workspace -q
 

@@ -1,0 +1,242 @@
+//! End-to-end streaming ingest: the lambda architecture's core claims.
+//!
+//! A full year replayed out-of-order through `smda-ingest` must yield
+//! output *bit-identical* to the offline `MemorySource` path for all
+//! four benchmark tasks at every shard count; an injected shard crash
+//! must recover from the WAL with no lost or duplicated readings; late
+//! and dirty readings must follow the configured policy.
+
+use std::sync::Arc;
+
+use smda_core::{AlertKind, Task, TaskOutput};
+use smda_engines::parallel::{execute_task, ConsumerSource, MemorySource};
+use smda_ingest::{
+    fit_detectors, replay_events, run_pipeline, IngestConfig, IngestOutcome, ReplayConfig,
+};
+use smda_integration::{fixture_dataset, TempDir};
+use smda_obs::{counters, BenchExport, MetricsSink, RunManifest};
+use smda_stats::SeriesMatrix;
+use smda_types::{
+    ConsumerSeries, Dataset, DirtyDataPolicy, Error, TemperatureSeries, HOURS_PER_YEAR,
+};
+
+fn offline(ds: &Arc<Dataset>, task: Task) -> TaskOutput {
+    let data = ds.clone();
+    execute_task(
+        &move || Ok(Box::new(MemorySource::new(data.clone())) as Box<dyn ConsumerSource>),
+        task,
+        4,
+        smda_core::SIMILARITY_TOP_K,
+        &MetricsSink::disabled(),
+    )
+    .expect("offline task runs")
+}
+
+/// Strict equality, down to the bits of every floating-point value.
+fn assert_bit_identical(streamed: &TaskOutput, batch: &TaskOutput, context: &str) {
+    match (streamed, batch) {
+        (TaskOutput::Histograms(a), TaskOutput::Histograms(b)) => assert_eq!(a, b, "{context}"),
+        (TaskOutput::ThreeLine(a, _), TaskOutput::ThreeLine(b, _)) => {
+            assert_eq!(a, b, "{context}")
+        }
+        (TaskOutput::Par(a), TaskOutput::Par(b)) => assert_eq!(a, b, "{context}"),
+        (TaskOutput::Similarity(a), TaskOutput::Similarity(b)) => {
+            assert_eq!(a.len(), b.len(), "{context}");
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x.consumer, y.consumer, "{context}");
+                assert_eq!(x.matches.len(), y.matches.len(), "{context}");
+                for ((xi, xs), (yi, ys)) in x.matches.iter().zip(&y.matches) {
+                    assert_eq!(xi, yi, "{context}: ranking");
+                    assert_eq!(xs.to_bits(), ys.to_bits(), "{context}: score bits for {xi}");
+                }
+            }
+        }
+        _ => panic!("{context}: mismatched output variants"),
+    }
+}
+
+#[test]
+fn replayed_year_is_bit_identical_to_offline_path_at_every_shard_count() {
+    let ds = Arc::new(fixture_dataset(12));
+    // Out-of-order within the allowed lateness: nothing may be dropped.
+    let events = replay_events(
+        &ds,
+        &ReplayConfig {
+            jitter_hours: 12,
+            seed: 77,
+        },
+    );
+    let batch: Vec<(Task, TaskOutput)> = Task::ALL
+        .iter()
+        .map(|&task| (task, offline(&ds, task)))
+        .collect();
+    let rows: Vec<Vec<f64>> = ds
+        .consumers()
+        .iter()
+        .map(|c| c.readings().to_vec())
+        .collect();
+    let batch_matrix = SeriesMatrix::from_rows_normalized(&rows);
+
+    for shards in [1usize, 2, 4, 8] {
+        let cfg = IngestConfig::new()
+            .with_shards(shards)
+            .with_allowed_lateness(24);
+        let out = run_pipeline(events.iter().copied(), &cfg).expect("pipeline completes");
+        assert_eq!(
+            out.report.readings_in,
+            12 * HOURS_PER_YEAR as u64,
+            "{shards} shards: every reading arrives"
+        );
+        assert_eq!(out.report.readings_late, 0, "{shards} shards: none late");
+        assert_eq!(out.report.consumers_sealed, 12);
+
+        // The sealed dataset is the original, exactly.
+        assert_eq!(out.snapshot.dataset().consumers(), ds.consumers());
+
+        // The incrementally built similarity rows equal the batch
+        // normalization bit for bit.
+        for i in 0..12 {
+            for (a, b) in out.snapshot.matrix().row(i).iter().zip(batch_matrix.row(i)) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{shards} shards: matrix row {i}");
+            }
+        }
+
+        // All four tasks, streamed vs offline, bit for bit.
+        for (task, want) in &batch {
+            let got = out
+                .snapshot
+                .run_task(
+                    *task,
+                    4,
+                    smda_core::SIMILARITY_TOP_K,
+                    &MetricsSink::disabled(),
+                )
+                .expect("bridged task runs");
+            assert_bit_identical(&got, want, &format!("{shards} shards / {task}"));
+        }
+    }
+}
+
+#[test]
+fn injected_shard_crash_recovers_from_the_wal_with_nothing_lost() {
+    let ds = Arc::new(fixture_dataset(8));
+    let events = replay_events(&ds, &ReplayConfig::default());
+    let dir = TempDir::new("ingest-wal");
+    // Virtual time runs at 1 ms per reading: shard 0 crashes after its
+    // 1000th reading, deterministically.
+    let faults = smda_cluster::FaultPlan::parse("crash=0@1").expect("spec parses");
+    let sink = MetricsSink::recording();
+    let cfg = IngestConfig::new()
+        .with_shards(4)
+        .with_wal_dir(dir.path("wal"))
+        .with_faults(faults)
+        .with_metrics(sink.clone());
+    let out = run_pipeline(events, &cfg).expect("pipeline recovers and completes");
+
+    // No lost or duplicated readings, verified through the ingest.*
+    // counters in the smda-bench/v1 JSON export.
+    let report = sink.finish(
+        RunManifest::new("ingest", "streaming")
+            .threads(4)
+            .consumers(8),
+    );
+    let export = BenchExport::from_runs(vec![report]);
+    let parsed = BenchExport::parse(&export.to_json_pretty()).expect("export round-trips");
+    let entry = |name: &str| -> u64 {
+        parsed
+            .benches
+            .iter()
+            .find(|b| b.name == format!("streaming/ingest/warm/{name}"))
+            .unwrap_or_else(|| panic!("export lacks {name}"))
+            .value
+    };
+    assert_eq!(
+        entry(counters::INGEST_READINGS_IN),
+        8 * HOURS_PER_YEAR as u64
+    );
+    assert_eq!(entry(counters::INGEST_READINGS_DUPLICATE), 0);
+    assert_eq!(entry(counters::INGEST_READINGS_LATE), 0);
+    assert_eq!(entry(counters::INGEST_CONSUMERS_SEALED), 8);
+    assert_eq!(entry(counters::FAULTS_INJECTED_NODE_CRASH), 1);
+    assert_eq!(entry(counters::FAULTS_RECOVERED_NODE_CRASH), 1);
+    assert!(
+        entry(counters::INGEST_WAL_RECORDS_REPLAYED) >= 1000,
+        "the crash fired after 1000 readings, all of which must replay"
+    );
+
+    // And the recovered data is still exactly the input.
+    assert_eq!(out.snapshot.dataset().consumers(), ds.consumers());
+}
+
+#[test]
+fn late_readings_follow_the_dirty_data_policy() {
+    let ds = Arc::new(fixture_dataset(4));
+    // Jitter far beyond the allowed lateness forces genuine late
+    // arrivals.
+    let events = replay_events(
+        &ds,
+        &ReplayConfig {
+            jitter_hours: 48,
+            seed: 5,
+        },
+    );
+    let strict = IngestConfig::new().with_shards(2).with_allowed_lateness(2);
+    let err = match run_pipeline(events.iter().copied(), &strict) {
+        Err(e) => e,
+        Ok(_) => panic!("late reading must be fatal under FailFast"),
+    };
+    assert!(matches!(err, Error::Schema(_)), "got {err:?}");
+
+    let lenient = strict.with_policy(DirtyDataPolicy::SkipAndCount);
+    let out = run_pipeline(events.iter().copied(), &lenient).expect("late readings are skipped");
+    assert!(
+        out.report.readings_late > 0,
+        "jitter 48 > lateness 2 must drop"
+    );
+    assert_eq!(out.dead_letters.len() as u64, out.report.readings_late);
+    // Each dropped reading leaves exactly its own hour unfilled.
+    assert_eq!(out.report.readings_missing, out.report.readings_late);
+    assert_eq!(out.report.consumers_sealed, 4);
+}
+
+fn with_spike(ds: &Dataset, victim: usize, hour: usize, extra_kwh: f64) -> Dataset {
+    let consumers: Vec<ConsumerSeries> = ds
+        .consumers()
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            let mut kwh = c.readings().to_vec();
+            if i == victim {
+                kwh[hour] += extra_kwh;
+            }
+            ConsumerSeries::new(c.id, kwh).expect("spiked readings stay valid")
+        })
+        .collect();
+    Dataset::new(
+        consumers,
+        TemperatureSeries::new(ds.temperature().values().to_vec()).expect("temps unchanged"),
+    )
+    .expect("ids unchanged")
+}
+
+#[test]
+fn detectors_raise_alerts_behind_the_watermark() {
+    let clean = fixture_dataset(4);
+    // Fit the model registry on clean history, then stream a year with
+    // a large injected spike.
+    let detectors = Arc::new(fit_detectors(&clean));
+    let victim = 2;
+    let spike_hour = 5000;
+    let spiked = with_spike(&clean, victim, spike_hour, 15.0);
+    let victim_id = spiked.consumers()[victim].id;
+    let events = replay_events(&spiked, &ReplayConfig::default());
+    let cfg = IngestConfig::new().with_shards(4).with_detectors(detectors);
+    let IngestOutcome { alerts, .. } = run_pipeline(events, &cfg).expect("pipeline completes");
+    assert!(
+        alerts.iter().any(|a| a.consumer == victim_id
+            && a.hour == spike_hour
+            && a.kind == AlertKind::UnusuallyHigh),
+        "the +15 kWh spike at hour {spike_hour} must alert; got {} alerts",
+        alerts.len()
+    );
+}

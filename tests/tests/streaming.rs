@@ -1,0 +1,98 @@
+//! `core::streaming::AnomalyDetector` against generator-produced data:
+//! injected spikes and outages must alert, clean synthetic years must
+//! stay quiet.
+
+use smda_core::generator::generate_seed;
+use smda_core::{fit_par, fit_three_line, AlertKind, AnomalyDetector, SeedConfig};
+use smda_types::{Dataset, HOURS_PER_YEAR};
+
+fn seed_dataset(consumers: usize, seed: u64) -> Dataset {
+    generate_seed(&SeedConfig {
+        consumers,
+        seed,
+        ..Default::default()
+    })
+    .expect("seed generation succeeds")
+}
+
+fn detector_for(ds: &Dataset, idx: usize) -> AnomalyDetector {
+    let c = &ds.consumers()[idx];
+    let par = fit_par(c, ds.temperature());
+    let tl = fit_three_line(c, ds.temperature()).expect("generator data fits a 3-line model");
+    AnomalyDetector::new(&par, &tl)
+}
+
+#[test]
+fn clean_generated_years_stay_quiet() {
+    let ds = seed_dataset(3, 424242);
+    for idx in 0..ds.len() {
+        let mut det = detector_for(&ds, idx);
+        let series = &ds.consumers()[idx];
+        let mut alerts = 0usize;
+        for h in 0..HOURS_PER_YEAR {
+            if det
+                .observe(h, ds.temperature().at(h), series.readings()[h])
+                .is_some()
+            {
+                alerts += 1;
+            }
+        }
+        // A 4σ threshold on data the models were fitted to: false
+        // alarms stay in the low percents (the residue is seasonal
+        // model bias, as documented in `core::streaming`).
+        assert!(
+            alerts < HOURS_PER_YEAR / 50,
+            "consumer {idx}: {alerts} alerts on clean generated data"
+        );
+    }
+}
+
+#[test]
+fn generator_injected_spike_alerts_high() {
+    let ds = seed_dataset(2, 7);
+    let mut det = detector_for(&ds, 0);
+    let series = &ds.consumers()[0];
+    let spike_hour = 6000;
+    let mut spike_alert = None;
+    for h in 0..HOURS_PER_YEAR {
+        let mut v = series.readings()[h];
+        if h == spike_hour {
+            v += 14.0; // a stuck heater / meter fault
+        }
+        if let Some(a) = det.observe(h, ds.temperature().at(h), v) {
+            if a.hour == spike_hour {
+                spike_alert = Some(a);
+            }
+        }
+    }
+    let a = spike_alert.expect("injected spike must alert");
+    assert_eq!(a.kind, AlertKind::UnusuallyHigh);
+    assert!(a.sigmas >= 4.0, "spike at {:.1} sigmas", a.sigmas);
+    assert!(a.actual > a.expected, "actual above expectation");
+}
+
+#[test]
+fn generator_injected_outage_alerts_low() {
+    let ds = seed_dataset(2, 11);
+    let mut det = detector_for(&ds, 1);
+    let series = &ds.consumers()[1];
+    // A dead meter for all of day 100. (Late-year outages are a known
+    // blind spot: the winsorized residual spread keeps absorbing
+    // seasonal model bias, so by Q4 a zero reading sits within 4σ —
+    // a production deployment would retrain the models periodically.)
+    let outage = 100 * 24..101 * 24;
+    let mut low = 0usize;
+    for h in 0..HOURS_PER_YEAR {
+        let v = if outage.contains(&h) {
+            0.0
+        } else {
+            series.readings()[h]
+        };
+        if let Some(a) = det.observe(h, ds.temperature().at(h), v) {
+            if outage.contains(&a.hour) && a.kind == AlertKind::UnusuallyLow {
+                low += 1;
+            }
+        }
+    }
+    assert!(low >= 4, "only {low} outage hours flagged");
+}

@@ -31,7 +31,7 @@ pub mod collection {
     use crate::test_runner::TestRng;
     use std::ops::{Range, RangeInclusive};
 
-    /// Anything usable as the size argument of [`vec`].
+    /// Anything usable as the size argument of [`vec()`].
     pub trait IntoSizeRange {
         /// Inclusive lower bound and exclusive upper bound on the length.
         fn bounds(&self) -> (usize, usize);
@@ -63,7 +63,7 @@ pub mod collection {
         VecStrategy { element, lo, hi }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         lo: usize,
