@@ -14,6 +14,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 static CURRENT: AtomicUsize = AtomicUsize::new(0);
 static PEAK: AtomicUsize = AtomicUsize::new(0);
+static TOTAL: AtomicUsize = AtomicUsize::new(0);
 
 /// A [`System`]-backed allocator that counts live and peak bytes.
 pub struct CountingAlloc;
@@ -23,6 +24,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         let p = unsafe { System.alloc(layout) };
         if !p.is_null() {
+            TOTAL.fetch_add(layout.size(), Ordering::Relaxed);
             let now = CURRENT.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
             PEAK.fetch_max(now, Ordering::Relaxed);
         }
@@ -37,6 +39,8 @@ unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         let p = unsafe { System.realloc(ptr, layout, new_size) };
         if !p.is_null() {
+            // A grow costs new bytes; a shrink allocates nothing new.
+            TOTAL.fetch_add(new_size.saturating_sub(layout.size()), Ordering::Relaxed);
             if new_size >= layout.size() {
                 let now = CURRENT.fetch_add(new_size - layout.size(), Ordering::Relaxed) + new_size
                     - layout.size();
@@ -59,6 +63,12 @@ pub fn peak_bytes() -> usize {
     PEAK.load(Ordering::Relaxed)
 }
 
+/// Cumulative heap bytes ever allocated (monotonic; never decreases on
+/// free). Subtract two readings to get the churn of a region.
+pub fn total_bytes() -> usize {
+    TOTAL.load(Ordering::Relaxed)
+}
+
 /// Reset the peak to the current level (call before a measured region).
 pub fn reset_peak() {
     PEAK.store(CURRENT.load(Ordering::Relaxed), Ordering::Relaxed);
@@ -75,6 +85,22 @@ pub fn measure_peak<T>(f: impl FnOnce() -> T) -> (T, usize) {
     let out = f();
     let peak = peak_bytes();
     (out, peak.saturating_sub(before))
+}
+
+/// Measure cumulative allocation and peak heap growth while running `f`.
+///
+/// Returns `(result, bytes_allocated, peak_delta_bytes)`. Both deltas are
+/// zero when [`CountingAlloc`] is not installed.
+pub fn measure_alloc<T>(f: impl FnOnce() -> T) -> (T, usize, usize) {
+    let total_before = total_bytes();
+    let before = current_bytes();
+    reset_peak();
+    let out = f();
+    (
+        out,
+        total_bytes().saturating_sub(total_before),
+        peak_bytes().saturating_sub(before),
+    )
 }
 
 #[cfg(test)]

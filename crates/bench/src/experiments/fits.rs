@@ -1,0 +1,219 @@
+//! PR 5 extension: the model-fitting allocation sweep.
+//!
+//! Runs the 3-line and PAR fitters over every consumer of growing seed
+//! datasets, twice each: once through the retained allocating baselines
+//! (`fit_*_baseline`) and once through a single warm [`FitScratch`]
+//! arena. Outputs are asserted bit-identical on every size, so the
+//! columns isolate pure execution and allocator cost: warm wall time,
+//! cumulative heap bytes allocated, and peak heap growth. The heap
+//! columns are exact when the `smda-bench` binary's counting allocator
+//! is installed and zero otherwise (e.g. under `cargo test`).
+
+use std::time::Instant;
+
+use smda_core::{
+    fit_par_baseline, fit_par_scratch, fit_three_line_baseline, fit_three_line_scratch, ParModel,
+    ThreeLineConfig, ThreeLineModel,
+};
+use smda_stats::FitScratch;
+
+use crate::alloc;
+use crate::data::seed_dataset;
+use crate::report::Table;
+use crate::scale::Scale;
+
+/// Nominal consumer counts swept. The nominal household counts are
+/// chosen so the default scale divisor lands exactly on these consumer
+/// counts; `--smoke` scales them down like every other experiment.
+pub const CONSUMERS: [usize; 3] = [50, 200, 1000];
+
+/// Variants measured per (size, task).
+pub const VARIANTS: usize = 2;
+
+/// Bitwise (`f64::to_bits`) equality of two 3-line models — the
+/// comparison `--check-fits` and this sweep pin the arena with.
+pub(crate) fn three_line_bits_eq(a: &ThreeLineModel, b: &ThreeLineModel) -> bool {
+    let piece = |x: &smda_core::PiecewiseFit, y: &smda_core::PiecewiseFit| {
+        x.segments.iter().zip(&y.segments).all(|(s, t)| {
+            s.lo.to_bits() == t.lo.to_bits()
+                && s.hi.to_bits() == t.hi.to_bits()
+                && s.intercept.to_bits() == t.intercept.to_bits()
+                && s.slope.to_bits() == t.slope.to_bits()
+        }) && x.knots[0].to_bits() == y.knots[0].to_bits()
+            && x.knots[1].to_bits() == y.knots[1].to_bits()
+            && x.sse.to_bits() == y.sse.to_bits()
+            && x.adjusted == y.adjusted
+    };
+    a.consumer == b.consumer && piece(&a.high, &b.high) && piece(&a.low, &b.low)
+}
+
+/// Bitwise (`f64::to_bits`) equality of two PAR models.
+pub(crate) fn par_bits_eq(a: &ParModel, b: &ParModel) -> bool {
+    a.consumer == b.consumer
+        && a.hourly.iter().zip(&b.hourly).all(|(x, y)| {
+            x.intercept.to_bits() == y.intercept.to_bits()
+                && x.ar
+                    .iter()
+                    .zip(&y.ar)
+                    .all(|(p, q)| p.to_bits() == q.to_bits())
+                && x.temp_coef.to_bits() == y.temp_coef.to_bits()
+                && x.r2.to_bits() == y.r2.to_bits()
+        })
+        && a.profile
+            .iter()
+            .zip(&b.profile)
+            .all(|(p, q)| p.to_bits() == q.to_bits())
+}
+
+fn push(
+    t: &mut Table,
+    consumers: usize,
+    task: &str,
+    variant: &str,
+    ms: f64,
+    bytes: usize,
+    peak: usize,
+) {
+    t.row(vec![
+        consumers.to_string(),
+        task.into(),
+        variant.into(),
+        format!("{ms:.3}"),
+        bytes.to_string(),
+        peak.to_string(),
+    ]);
+}
+
+/// Sweep baseline vs arena fitting over seed datasets of growing size.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let mut t = Table::new(
+        "fits_sweep",
+        "Model fitting: allocating baseline vs warm scratch arena",
+        &[
+            "consumers",
+            "task",
+            "variant",
+            "time_ms",
+            "bytes_allocated",
+            "peak_bytes",
+        ],
+    );
+    let config = ThreeLineConfig::default();
+    // One arena, warm across every size — the deployment steady state.
+    let mut scratch = FitScratch::new();
+    for nominal in CONSUMERS {
+        let ds = seed_dataset(scale.consumers_for_households(nominal * 273));
+        let temps = ds.temperature();
+        let n = ds.len();
+
+        let start = Instant::now();
+        let (base_tl, bytes, peak) = alloc::measure_alloc(|| {
+            ds.consumers()
+                .iter()
+                .map(|c| fit_three_line_baseline(c, temps, &config))
+                .collect::<Vec<_>>()
+        });
+        push(
+            &mut t,
+            n,
+            "3-line",
+            "baseline",
+            start.elapsed().as_secs_f64() * 1e3,
+            bytes,
+            peak,
+        );
+
+        let start = Instant::now();
+        let (arena_tl, bytes, peak) = alloc::measure_alloc(|| {
+            ds.consumers()
+                .iter()
+                .map(|c| {
+                    fit_three_line_scratch(
+                        c.id,
+                        c.readings(),
+                        temps.values(),
+                        &config,
+                        &mut scratch,
+                    )
+                })
+                .collect::<Vec<_>>()
+        });
+        push(
+            &mut t,
+            n,
+            "3-line",
+            "arena",
+            start.elapsed().as_secs_f64() * 1e3,
+            bytes,
+            peak,
+        );
+        for (b, a) in base_tl.iter().zip(&arena_tl) {
+            match (b, a) {
+                (None, None) => {}
+                (Some((b, _)), Some((a, _))) => {
+                    assert!(three_line_bits_eq(b, a), "3-line diverged at n={n}")
+                }
+                _ => panic!("3-line fit presence diverged at n={n}"),
+            }
+        }
+
+        let start = Instant::now();
+        let (base_par, bytes, peak) = alloc::measure_alloc(|| {
+            ds.consumers()
+                .iter()
+                .map(|c| fit_par_baseline(c, temps))
+                .collect::<Vec<_>>()
+        });
+        push(
+            &mut t,
+            n,
+            "PAR",
+            "baseline",
+            start.elapsed().as_secs_f64() * 1e3,
+            bytes,
+            peak,
+        );
+
+        let start = Instant::now();
+        let (arena_par, bytes, peak) = alloc::measure_alloc(|| {
+            ds.consumers()
+                .iter()
+                .map(|c| fit_par_scratch(c.id, c.readings(), temps.values(), &mut scratch))
+                .collect::<Vec<_>>()
+        });
+        push(
+            &mut t,
+            n,
+            "PAR",
+            "arena",
+            start.elapsed().as_secs_f64() * 1e3,
+            bytes,
+            peak,
+        );
+        for (b, a) in base_par.iter().zip(&arena_par) {
+            assert!(par_bits_eq(b, a), "PAR diverged at n={n}");
+        }
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_covers_every_size_task_and_variant() {
+        let tables = run(Scale::smoke());
+        assert_eq!(tables.len(), 1);
+        let t = &tables[0];
+        assert_eq!(t.rows.len(), CONSUMERS.len() * 2 * VARIANTS);
+        for row in &t.rows {
+            let ms: f64 = row[3].parse().unwrap();
+            assert!(ms >= 0.0);
+            // Heap columns are zero here (no counting allocator under
+            // `cargo test`) but must always parse.
+            let _: usize = row[4].parse().unwrap();
+            let _: usize = row[5].parse().unwrap();
+        }
+    }
+}

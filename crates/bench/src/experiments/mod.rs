@@ -3,6 +3,7 @@
 pub mod chaos;
 pub mod cluster_vs_c;
 pub mod coldwarm;
+pub mod fits;
 pub mod format1;
 pub mod format2;
 pub mod format3;

@@ -9,16 +9,56 @@
 use smda_cluster::FaultPlan;
 use smda_core::Task;
 use smda_engines::{
-    observe_session, ColumnarEngine, NumericEngine, Platform, RelationalEngine, RelationalLayout,
-    RunSpec,
+    ColumnarEngine, NumericEngine, Platform, RelationalEngine, RelationalLayout, RunSpec,
 };
-use smda_obs::{BenchExport, MetricsSink, RunManifest};
+use smda_obs::{counters, BenchExport, MetricsReport, MetricsSink, RunManifest};
 use smda_storage::FileLayout;
-use smda_types::DataFormat;
+use smda_types::{DataFormat, Dataset};
 
+use crate::alloc;
 use crate::data::{seed_dataset, Scratch};
 use crate::experiments::{hive, spark};
 use crate::scale::Scale;
+
+/// Record one phase's heap counters (`heap.bytes_allocated.<phase>` /
+/// `heap.peak_bytes.<phase>`). Zeros when the counting allocator is not
+/// installed (any binary but `smda-bench`).
+fn record_heap(sink: &MetricsSink, phase: &str, allocated: usize, peak: usize) {
+    sink.incr(
+        &format!("{}.{phase}", counters::HEAP_BYTES_ALLOCATED),
+        allocated as u64,
+    );
+    sink.incr(
+        &format!("{}.{phase}", counters::HEAP_PEAK_BYTES),
+        peak as u64,
+    );
+}
+
+/// `smda_engines::observe_session` with the counting allocator sampled
+/// around each of the three top-level phases, so every warm report
+/// carries per-phase allocation churn and peak heap growth.
+fn observe_heap_session(
+    engine: &mut dyn Platform,
+    ds: &Dataset,
+    spec: &RunSpec,
+) -> smda_types::Result<MetricsReport> {
+    let (load, allocated, peak) = alloc::measure_alloc(|| engine.load(ds));
+    spec.metrics.add_phase(&["load"], load?);
+    record_heap(&spec.metrics, "load", allocated, peak);
+    let (warm, allocated, peak) = alloc::measure_alloc(|| engine.warm());
+    spec.metrics.add_phase(&["warm"], warm?);
+    record_heap(&spec.metrics, "warm", allocated, peak);
+    let (result, allocated, peak) = alloc::measure_alloc(|| {
+        let _run = spec.metrics.scope("run");
+        engine.run(spec)
+    });
+    result?;
+    record_heap(&spec.metrics, "run", allocated, peak);
+    let manifest = RunManifest::new(spec.task.name(), engine.name())
+        .threads(spec.threads)
+        .consumers(ds.len());
+    Ok(spec.metrics.finish(manifest))
+}
 
 /// Parallelism used by every instrumented run.
 const THREADS: usize = 2;
@@ -60,7 +100,7 @@ pub fn run_json_bench_with(scale: Scale, faults: Option<FaultPlan>) -> BenchExpo
                 .threads(THREADS)
                 .metrics(MetricsSink::recording())
                 .build();
-            let (_, report) = observe_session(engine.as_mut(), &ds, &spec)
+            let report = observe_heap_session(engine.as_mut(), &ds, &spec)
                 .expect("instrumented session succeeds on valid data");
             runs.push(report);
 
@@ -71,10 +111,12 @@ pub fn run_json_bench_with(scale: Scale, faults: Option<FaultPlan>) -> BenchExpo
                 .threads(THREADS)
                 .metrics(sink.clone())
                 .build();
-            {
+            let (cold, allocated, peak) = alloc::measure_alloc(|| {
                 let _run = sink.scope("run");
-                engine.run(&spec).expect("cold run succeeds on loaded data");
-            }
+                engine.run(&spec)
+            });
+            cold.expect("cold run succeeds on loaded data");
+            record_heap(&sink, "run", allocated, peak);
             let manifest = RunManifest::new(task.name(), engine.name())
                 .threads(THREADS)
                 .consumers(ds.len())
@@ -107,11 +149,12 @@ pub fn run_json_bench_with(scale: Scale, faults: Option<FaultPlan>) -> BenchExpo
     for task in Task::ALL {
         let sink = MetricsSink::recording();
         hive.set_metrics(sink.clone());
-        let result = {
+        let (result, allocated, peak) = alloc::measure_alloc(|| {
             let _run = sink.scope("run");
             hive.run_task(task)
                 .expect("hive job succeeds on loaded table")
-        };
+        });
+        record_heap(&sink, "run", allocated, peak);
         sink.add_phase(&["run", "virtual"], result.stats.virtual_elapsed);
         let manifest = RunManifest::new(task.name(), "Hive")
             .threads(CLUSTER_WORKERS)
@@ -142,12 +185,13 @@ pub fn run_json_bench_with(scale: Scale, faults: Option<FaultPlan>) -> BenchExpo
     for task in Task::ALL {
         let sink = MetricsSink::recording();
         spark.set_metrics(sink.clone());
-        let result = {
+        let (result, allocated, peak) = alloc::measure_alloc(|| {
             let _run = sink.scope("run");
             spark
                 .run_task(task)
                 .expect("spark job succeeds on loaded input")
-        };
+        });
+        record_heap(&sink, "run", allocated, peak);
         sink.add_phase(&["run", "virtual"], result.virtual_elapsed);
         let manifest = RunManifest::new(task.name(), "Spark")
             .threads(CLUSTER_WORKERS)
@@ -182,6 +226,16 @@ mod tests {
                 "{:?}",
                 report.manifest
             );
+        }
+        // Every run-carrying report samples the allocator around `run`
+        // (zero under `cargo test`, where the allocator is not installed).
+        for report in &export.runs {
+            assert!(
+                report.counter("heap.bytes_allocated.run").is_some(),
+                "missing heap counters: {:?}",
+                report.manifest
+            );
+            assert!(report.counter("heap.peak_bytes.run").is_some());
         }
         // The cluster wiring produced scheduling counters.
         let hive_hist = export

@@ -19,7 +19,7 @@
 use std::path::PathBuf;
 
 use smda_bench::{
-    check_kernels, run_all, run_experiment, run_json_bench_with, Scale, EXPERIMENT_IDS,
+    check_fits, check_kernels, run_all, run_experiment, run_json_bench_with, Scale, EXPERIMENT_IDS,
 };
 use smda_cluster::FaultPlan;
 
@@ -32,12 +32,14 @@ fn main() {
     let mut json_out: Option<PathBuf> = None;
     let mut faults: Option<FaultPlan> = None;
     let mut kernels_check = false;
+    let mut fits_check = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" | "--small" => scale = Scale::smoke(),
             "--full" => scale = Scale::full(),
             "--check-kernels" => kernels_check = true,
+            "--check-fits" => fits_check = true,
             "--json" => match args.next() {
                 Some(path) => json_out = Some(PathBuf::from(path)),
                 None => {
@@ -61,7 +63,7 @@ fn main() {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: smda-bench [--smoke|--small|--full] [--json PATH] [--faults SPEC] \
-                     [--check-kernels] [EXPERIMENT...]\n\
+                     [--check-kernels] [--check-fits] [EXPERIMENT...]\n\
                      experiments: {}",
                     EXPERIMENT_IDS.join(" ")
                 );
@@ -84,6 +86,19 @@ fn main() {
             }
             Err(msg) => {
                 eprintln!("kernel check FAILED: {msg}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if fits_check {
+        match check_fits(scale) {
+            Ok(msg) => {
+                eprintln!("{msg}");
+                return;
+            }
+            Err(msg) => {
+                eprintln!("fit check FAILED: {msg}");
                 std::process::exit(1);
             }
         }

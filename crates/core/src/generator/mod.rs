@@ -18,8 +18,9 @@ pub mod seed;
 
 pub use seed::{generate_seed, generate_temperature, SeedConfig, WeatherConfig};
 
-use crate::par::fit_par;
-use crate::three_line::fit_three_line;
+use crate::par::fit_par_scratch;
+use crate::three_line::{fit_three_line_scratch, ThreeLineConfig};
+use smda_stats::with_fit_scratch;
 use smda_stats::{GaussianNoise, KMeans, KMeansConfig, Picker};
 use smda_types::{
     ConsumerId, ConsumerSeries, Dataset, Error, Result, TemperatureSeries, HOURS_PER_DAY,
@@ -110,19 +111,29 @@ impl DataGenerator {
         let temperature = seed_data.temperature();
         let mut profiles: Vec<Vec<f64>> = Vec::with_capacity(seed_data.len());
         let mut thermals: Vec<ThermalResponse> = Vec::with_capacity(seed_data.len());
-        for c in seed_data.consumers() {
-            let par = fit_par(c, temperature);
-            let Some(tl) = fit_three_line(c, temperature) else {
-                continue;
-            };
-            profiles.push(par.profile.to_vec());
-            thermals.push(ThermalResponse {
-                heating_gradient: tl.heating_gradient().min(0.0),
-                cooling_gradient: tl.cooling_gradient().max(0.0),
-                heating_knot: tl.high.knots[0],
-                cooling_knot: tl.high.knots[1],
-            });
-        }
+        // One arena serves every seed fit, both model families.
+        let tl_config = ThreeLineConfig::default();
+        with_fit_scratch(|scratch| {
+            for c in seed_data.consumers() {
+                let par = fit_par_scratch(c.id, c.readings(), temperature.values(), scratch);
+                let Some((tl, _)) = fit_three_line_scratch(
+                    c.id,
+                    c.readings(),
+                    temperature.values(),
+                    &tl_config,
+                    scratch,
+                ) else {
+                    continue;
+                };
+                profiles.push(par.profile.to_vec());
+                thermals.push(ThermalResponse {
+                    heating_gradient: tl.heating_gradient().min(0.0),
+                    cooling_gradient: tl.cooling_gradient().max(0.0),
+                    heating_knot: tl.high.knots[0],
+                    cooling_knot: tl.high.knots[1],
+                });
+            }
+        });
         if profiles.is_empty() {
             return Err(Error::Invalid(
                 "no seed consumer produced both a PAR profile and a 3-line model".into(),

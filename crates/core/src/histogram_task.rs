@@ -26,10 +26,17 @@ impl ConsumerHistogram {
     /// Every valid series yields a histogram (8760 readings is never
     /// empty), so this is total over the crate's data model.
     pub fn build(series: &ConsumerSeries) -> Self {
-        let histogram = EquiWidthHistogram::build(series.readings(), HISTOGRAM_BUCKETS)
+        ConsumerHistogram::from_readings(series.id, series.readings())
+    }
+
+    /// Build from a lent readings slice that has already passed
+    /// [`ConsumerSeries::validate`] — avoids collecting the year into an
+    /// owned series on the hot path.
+    pub fn from_readings(consumer: ConsumerId, readings: &[f64]) -> Self {
+        let histogram = EquiWidthHistogram::build(readings, HISTOGRAM_BUCKETS)
             .expect("a ConsumerSeries always holds 8760 finite readings");
         ConsumerHistogram {
-            consumer: series.id,
+            consumer,
             histogram,
         }
     }

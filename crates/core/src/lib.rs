@@ -40,11 +40,14 @@ pub mod three_line;
 
 pub use generator::{DataGenerator, GeneratorConfig, SeedConfig, WeatherConfig};
 pub use histogram_task::{consumer_histograms, ConsumerHistogram, HISTOGRAM_BUCKETS};
-pub use par::{fit_par, par_profiles, HourModel, ParModel, PAR_ORDER};
+pub use par::{
+    fit_par, fit_par_baseline, fit_par_scratch, par_profiles, HourModel, ParModel, PAR_ORDER,
+};
 pub use quality::{imputed_fraction, repair_year, scrub_readings, FillMethod, GapReport};
 pub use similarity::{similarity_search, ConsumerMatches, SIMILARITY_TOP_K};
 pub use streaming::{Alert, AlertKind, AnomalyDetector};
 pub use tasks::{Task, TaskOutput};
 pub use three_line::{
-    fit_three_line, three_line_models, LineSegment, PiecewiseFit, ThreeLineModel, ThreeLinePhases,
+    fit_three_line, fit_three_line_baseline, fit_three_line_scratch, three_line_models,
+    LineSegment, PiecewiseFit, ThreeLineConfig, ThreeLineModel, ThreeLinePhases,
 };

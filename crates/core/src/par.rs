@@ -16,7 +16,8 @@
 //! roots (fallback: mean of `y − β_T·T`).
 
 use smda_stats::linalg::Matrix;
-use smda_stats::ols_multiple;
+use smda_stats::scratch::FitScratch;
+use smda_stats::{ols_multiple, with_fit_scratch};
 use smda_types::{
     ConsumerId, ConsumerSeries, Dataset, TemperatureSeries, DAYS_PER_YEAR, HOURS_PER_DAY,
 };
@@ -85,12 +86,91 @@ impl ParModel {
     }
 }
 
-/// Fit the PAR model for one consumer.
-///
-/// Total: rank-deficient hours (e.g. constant readings, where the AR
-/// columns are collinear with the intercept) fall back to the trivial
-/// intercept-only model, whose profile is the hour's mean consumption.
-pub fn fit_par(series: &ConsumerSeries, temperature: &TemperatureSeries) -> ParModel {
+/// Fit the PAR model for one consumer through a caller-provided
+/// [`FitScratch`]: the 24 hourly systems are solved in place on the
+/// arena's fixed `(PAR_ORDER + 2)²` normal-equation arrays, with design
+/// rows regenerated from the series instead of materialized — the
+/// allocation-free production path. Bit-identical to
+/// [`fit_par_baseline`], dirty arena or fresh.
+pub fn fit_par_scratch(
+    consumer: ConsumerId,
+    readings: &[f64],
+    temps: &[f64],
+    scratch: &mut FitScratch,
+) -> ParModel {
+    scratch.note_fit();
+    let mut hourly = [HourModel {
+        intercept: 0.0,
+        ar: [0.0; PAR_ORDER],
+        temp_coef: 0.0,
+        r2: 0.0,
+    }; HOURS_PER_DAY];
+    let mut profile = [0.0; HOURS_PER_DAY];
+
+    let n_obs = DAYS_PER_YEAR - PAR_ORDER;
+    let FitScratch { solver, y, .. } = scratch;
+
+    for hour in 0..HOURS_PER_DAY {
+        y.clear();
+        for day in PAR_ORDER..DAYS_PER_YEAR {
+            y.push(readings[day * HOURS_PER_DAY + hour]);
+        }
+        // Fallback profile value: mean residual after removing the
+        // temperature effect — always well-defined.
+        let mean_y = y.iter().sum::<f64>() / y.len() as f64;
+        let fit = solver.solve(
+            n_obs,
+            PAR_ORDER + 2,
+            &mut |r, row| {
+                let day = PAR_ORDER + r;
+                row[0] = 1.0;
+                for lag in 1..=PAR_ORDER {
+                    row[lag] = readings[(day - lag) * HOURS_PER_DAY + hour];
+                }
+                row[PAR_ORDER + 1] = temps[day * HOURS_PER_DAY + hour];
+            },
+            y,
+        );
+        match fit {
+            Some(fit) => {
+                let m = HourModel {
+                    intercept: fit.beta[0],
+                    ar: [fit.beta[1], fit.beta[2], fit.beta[3]],
+                    temp_coef: fit.beta[4],
+                    r2: if fit.r2.is_nan() { 0.0 } else { fit.r2 },
+                };
+                let mean_t = (PAR_ORDER..DAYS_PER_YEAR)
+                    .map(|d| temps[d * HOURS_PER_DAY + hour])
+                    .sum::<f64>()
+                    / n_obs as f64;
+                let fallback = mean_y - m.temp_coef * mean_t;
+                hourly[hour] = m;
+                profile[hour] = m.steady_state(fallback);
+            }
+            None => {
+                // Rank-deficient hour (constant readings): the profile is
+                // that constant and the model is the trivial intercept.
+                hourly[hour] = HourModel {
+                    intercept: mean_y,
+                    ar: [0.0; PAR_ORDER],
+                    temp_coef: 0.0,
+                    r2: 0.0,
+                };
+                profile[hour] = mean_y.max(0.0);
+            }
+        }
+    }
+    ParModel {
+        consumer,
+        hourly,
+        profile,
+    }
+}
+
+/// Fit the PAR model with the pre-arena allocating implementation — kept
+/// as the reference that `--check-fits`, the proptests, and
+/// `tests/tests/fits.rs` pin the scratch path against.
+pub fn fit_par_baseline(series: &ConsumerSeries, temperature: &TemperatureSeries) -> ParModel {
     let readings = series.readings();
     let temps = temperature.values();
     let mut hourly = [HourModel {
@@ -118,11 +198,15 @@ pub fn fit_par(series: &ConsumerSeries, temperature: &TemperatureSeries) -> ParM
             design.push(temps[idx]);
             y.push(readings[idx]);
         }
-        let x = Matrix::from_vec(n_obs, PAR_ORDER + 2, design.clone());
+        // Hand the buffer to the matrix and reclaim it after the solve —
+        // the solve only reads it, so no copy is warranted.
+        let x = Matrix::from_vec(n_obs, PAR_ORDER + 2, std::mem::take(&mut design));
         // Fallback profile value: mean residual after removing the
         // temperature effect — always well-defined.
         let mean_y = y.iter().sum::<f64>() / y.len() as f64;
-        match ols_multiple(&x, &y) {
+        let fit = ols_multiple(&x, &y);
+        design = x.into_vec();
+        match fit {
             Some(fit) => {
                 let m = HourModel {
                     intercept: fit.beta[0],
@@ -156,6 +240,19 @@ pub fn fit_par(series: &ConsumerSeries, temperature: &TemperatureSeries) -> ParM
         hourly,
         profile,
     }
+}
+
+/// Fit the PAR model for one consumer.
+///
+/// Runs through the calling thread's [`FitScratch`] arena; output is
+/// bit-identical to [`fit_par_baseline`]. Rank-deficient hours (e.g.
+/// constant readings, where the AR columns are collinear with the
+/// intercept) fall back to the trivial intercept-only model, whose
+/// profile is the hour's mean consumption.
+pub fn fit_par(series: &ConsumerSeries, temperature: &TemperatureSeries) -> ParModel {
+    with_fit_scratch(|scratch| {
+        fit_par_scratch(series.id, series.readings(), temperature.values(), scratch)
+    })
 }
 
 /// Run task 3 over a whole dataset — the single-threaded reference
@@ -316,6 +413,34 @@ mod tests {
         // Steady state: 1 / (1 - 0.5) = 2.
         for &p in &model.profile {
             assert!((p - 2.0).abs() < 0.25, "profile {p}");
+        }
+    }
+
+    #[test]
+    fn scratch_fit_is_bit_identical_to_baseline_even_when_dirty() {
+        let (series, temps) = patterned();
+        let constant = ConsumerSeries::new(ConsumerId(11), vec![0.4; HOURS_PER_YEAR]).unwrap();
+        let mut scratch = smda_stats::FitScratch::new();
+        // The constant series exercises the rank-deficient hour path and
+        // dirties the arena before the patterned series runs through it.
+        for s in [&constant, &series] {
+            let base = fit_par_baseline(s, &temps);
+            let arena = fit_par_scratch(s.id, s.readings(), temps.values(), &mut scratch);
+            assert_eq!(arena.consumer, base.consumer);
+            for h in 0..HOURS_PER_DAY {
+                let (a, b) = (&arena.hourly[h], &base.hourly[h]);
+                assert_eq!(a.intercept.to_bits(), b.intercept.to_bits(), "hour {h}");
+                for lag in 0..PAR_ORDER {
+                    assert_eq!(a.ar[lag].to_bits(), b.ar[lag].to_bits(), "hour {h}");
+                }
+                assert_eq!(a.temp_coef.to_bits(), b.temp_coef.to_bits(), "hour {h}");
+                assert_eq!(a.r2.to_bits(), b.r2.to_bits(), "hour {h}");
+                assert_eq!(
+                    arena.profile[h].to_bits(),
+                    base.profile[h].to_bits(),
+                    "hour {h}"
+                );
+            }
         }
     }
 

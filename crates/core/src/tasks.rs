@@ -130,24 +130,46 @@ pub fn run_consumer_task(
     kwh: Vec<f64>,
     temps: &[f64],
 ) -> smda_types::Result<ConsumerResult> {
-    use crate::three_line::{fit_three_line_timed, ThreeLineConfig};
+    run_consumer_task_on(task, id, &kwh, temps)
+}
+
+/// [`run_consumer_task`] on lent slices: validates without collecting and
+/// fits through the calling thread's [`FitScratch`](smda_stats::FitScratch)
+/// arena, so a source can hand out the same buffer for every consumer.
+///
+/// # Errors
+/// Returns [`smda_types::Error::NotPerConsumer`] when called with
+/// [`Task::Similarity`], which is all-pairs rather than per-consumer.
+pub fn run_consumer_task_on(
+    task: Task,
+    id: smda_types::ConsumerId,
+    kwh: &[f64],
+    temps: &[f64],
+) -> smda_types::Result<ConsumerResult> {
+    use crate::three_line::{fit_three_line_scratch, ThreeLineConfig};
+    use smda_stats::with_fit_scratch;
     use smda_types::{ConsumerSeries, TemperatureSeries};
     if !task.per_consumer() {
         return Err(smda_types::Error::NotPerConsumer(task.name().to_owned()));
     }
-    let series = ConsumerSeries::new(id, kwh)?;
+    ConsumerSeries::validate(id, kwh)?;
     Ok(match task {
-        Task::Histogram => ConsumerResult::Histogram(ConsumerHistogram::build(&series)),
+        Task::Histogram => ConsumerResult::Histogram(ConsumerHistogram::from_readings(id, kwh)),
         Task::ThreeLine => {
-            let temps = TemperatureSeries::new(temps.to_vec())?;
-            match fit_three_line_timed(&series, &temps, &ThreeLineConfig::default()) {
+            TemperatureSeries::validate(temps)?;
+            let fitted = with_fit_scratch(|scratch| {
+                fit_three_line_scratch(id, kwh, temps, &ThreeLineConfig::default(), scratch)
+            });
+            match fitted {
                 Some((m, p)) => ConsumerResult::ThreeLine(Some(m), p),
                 None => ConsumerResult::ThreeLine(None, ThreeLinePhases::default()),
             }
         }
         Task::Par => {
-            let temps = TemperatureSeries::new(temps.to_vec())?;
-            ConsumerResult::Par(Box::new(crate::par::fit_par(&series, &temps)))
+            TemperatureSeries::validate(temps)?;
+            ConsumerResult::Par(Box::new(with_fit_scratch(|scratch| {
+                crate::par::fit_par_scratch(id, kwh, temps, scratch)
+            })))
         }
         Task::Similarity => unreachable!("rejected by the per_consumer guard above"),
     })

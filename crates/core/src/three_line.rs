@@ -23,7 +23,8 @@
 use std::time::{Duration, Instant};
 
 use smda_stats::linalg::Matrix;
-use smda_stats::{ols_multiple, quantile_sorted};
+use smda_stats::scratch::{FitScratch, NormalEq, SegmentSums};
+use smda_stats::{ols_multiple, quantile_sorted, with_fit_scratch};
 use smda_types::{ConsumerId, ConsumerSeries, Dataset, TemperatureSeries};
 
 /// Tuning knobs; the defaults reproduce the paper's setup.
@@ -185,6 +186,11 @@ pub struct PercentilePoints {
 
 /// Phase T1: group by rounded temperature and extract the two percentile
 /// point sets. Exposed so the platform engines can reuse it.
+///
+/// This is the allocating *baseline* implementation; the production path
+/// runs the same extraction through [`FitScratch`]'s dense grouper (see
+/// [`fit_three_line_scratch`]), and `smda-bench --check-fits` pins the
+/// two bit-identical.
 pub fn percentile_points(
     readings: &[f64],
     temperature: &TemperatureSeries,
@@ -406,11 +412,219 @@ fn adjust_continuity(
     }
 }
 
-/// Fit the 3-line model for one consumer, reporting per-phase wall time.
+/// Phase T2 on borrowed point slices, prefix sums living in the arena.
+/// Same search, same arithmetic as [`free_fit`] — only the buffer
+/// ownership differs.
+fn free_fit_scratch(
+    x: &[f64],
+    y: &[f64],
+    config: &ThreeLineConfig,
+    sums: &mut SegmentSums,
+) -> PiecewiseFit {
+    let n = x.len();
+    let m = config.min_segment_points.max(n / 8);
+    sums.build(x, y);
+
+    if n < 3 * m {
+        let (a, b, sse) = sums.fit(0, n);
+        let (lo, hi) = (x[0], x[n - 1]);
+        let k1 = lo + (hi - lo) / 3.0;
+        let k2 = lo + 2.0 * (hi - lo) / 3.0;
+        let seg = |l: f64, h: f64| LineSegment {
+            lo: l,
+            hi: h,
+            intercept: a,
+            slope: b,
+        };
+        return PiecewiseFit {
+            segments: [seg(lo, k1), seg(k1, k2), seg(k2, hi)],
+            knots: [k1, k2],
+            sse,
+            adjusted: false,
+        };
+    }
+
+    let mut best = (f64::INFINITY, m, 2 * m);
+    for i in m..=(n - 2 * m) {
+        let (_, _, sse1) = sums.fit(0, i);
+        for j in (i + m)..=(n - m) {
+            let (_, _, sse2) = sums.fit(i, j);
+            let (_, _, sse3) = sums.fit(j, n);
+            let total = sse1 + sse2 + sse3;
+            if total < best.0 {
+                best = (total, i, j);
+            }
+        }
+    }
+    let (sse, i, j) = best;
+    let (a1, b1, _) = sums.fit(0, i);
+    let (a2, b2, _) = sums.fit(i, j);
+    let (a3, b3, _) = sums.fit(j, n);
+    let k1 = (x[i - 1] + x[i]) / 2.0;
+    let k2 = (x[j - 1] + x[j]) / 2.0;
+    PiecewiseFit {
+        segments: [
+            LineSegment {
+                lo: x[0],
+                hi: k1,
+                intercept: a1,
+                slope: b1,
+            },
+            LineSegment {
+                lo: k1,
+                hi: k2,
+                intercept: a2,
+                slope: b2,
+            },
+            LineSegment {
+                lo: k2,
+                hi: x[n - 1],
+                intercept: a3,
+                slope: b3,
+            },
+        ],
+        knots: [k1, k2],
+        sse,
+        adjusted: false,
+    }
+}
+
+/// Phase T3 on borrowed point slices, hinge rows regenerated into the
+/// arena's in-place solver instead of a materialized [`Matrix`]. The
+/// solver reproduces [`ols_multiple`] bit-for-bit, so the adjusted
+/// segments match [`adjust_continuity`] exactly.
+fn adjust_continuity_scratch(
+    fit: PiecewiseFit,
+    x: &[f64],
+    y: &[f64],
+    config: &ThreeLineConfig,
+    solver: &mut NormalEq,
+) -> PiecewiseFit {
+    let range = y.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        - y.iter().cloned().fold(f64::INFINITY, f64::min);
+    let tol = config.continuity_tolerance * range.max(1e-9);
+    if fit.max_discontinuity() <= tol {
+        return fit;
+    }
+    let [k1, k2] = fit.knots;
+    // Continuous piecewise-linear: y = a + b t + c (t−k1)⁺ + d (t−k2)⁺.
+    let Some(hinge) = solver.solve(
+        x.len(),
+        4,
+        &mut |r, row| {
+            let t = x[r];
+            row[0] = 1.0;
+            row[1] = t;
+            row[2] = (t - k1).max(0.0);
+            row[3] = (t - k2).max(0.0);
+        },
+        y,
+    ) else {
+        // Rank-deficient hinge design (e.g. no points beyond a knot):
+        // keep the free fit rather than inventing coefficients.
+        return fit;
+    };
+    let (a, b, c, d) = (hinge.beta[0], hinge.beta[1], hinge.beta[2], hinge.beta[3]);
+    let seg1 = LineSegment {
+        lo: fit.segments[0].lo,
+        hi: k1,
+        intercept: a,
+        slope: b,
+    };
+    let seg2 = LineSegment {
+        lo: k1,
+        hi: k2,
+        intercept: a - c * k1,
+        slope: b + c,
+    };
+    let seg3 = LineSegment {
+        lo: k2,
+        hi: fit.segments[2].hi,
+        intercept: a - c * k1 - d * k2,
+        slope: b + c + d,
+    };
+    PiecewiseFit {
+        segments: [seg1, seg2, seg3],
+        knots: [k1, k2],
+        sse: hinge.sse,
+        adjusted: true,
+    }
+}
+
+/// Fit the 3-line model through a caller-provided [`FitScratch`] — the
+/// allocation-free production path. Bit-identical to
+/// [`fit_three_line_baseline`] on the same inputs, dirty arena or fresh.
 ///
 /// Returns `None` when the series yields fewer than two percentile points
 /// (e.g. a constant temperature year), which cannot support any line.
-pub fn fit_three_line_timed(
+pub fn fit_three_line_scratch(
+    consumer: ConsumerId,
+    readings: &[f64],
+    temps: &[f64],
+    config: &ThreeLineConfig,
+    scratch: &mut FitScratch,
+) -> Option<(ThreeLineModel, ThreeLinePhases)> {
+    scratch.note_fit();
+    let mut phases = ThreeLinePhases::default();
+
+    let t = Instant::now();
+    {
+        let FitScratch { groups, curves, .. } = scratch;
+        let [low, high] = curves;
+        low.clear();
+        high.clear();
+        let n = readings.len().min(temps.len());
+        groups.for_each_group(
+            n,
+            |i| temps[i].round() as i32,
+            |i| readings[i],
+            |key, values| {
+                if values.len() < config.min_points_per_temp {
+                    return;
+                }
+                values.sort_by(|a, b| a.partial_cmp(b).expect("readings are finite"));
+                low.push(key as f64, quantile_sorted(values, config.low_percentile));
+                high.push(key as f64, quantile_sorted(values, config.high_percentile));
+            },
+        );
+    }
+    phases.t1 = t.elapsed();
+    if scratch.curves[0].len() < 2 {
+        return None;
+    }
+
+    let FitScratch {
+        curves,
+        segments,
+        solver,
+        ..
+    } = scratch;
+    let [low_pts, high_pts] = curves;
+
+    let t = Instant::now();
+    let high_free = free_fit_scratch(&high_pts.x, &high_pts.y, config, segments);
+    let low_free = free_fit_scratch(&low_pts.x, &low_pts.y, config, segments);
+    phases.t2 = t.elapsed();
+
+    let t = Instant::now();
+    let high = adjust_continuity_scratch(high_free, &high_pts.x, &high_pts.y, config, solver);
+    let low = adjust_continuity_scratch(low_free, &low_pts.x, &low_pts.y, config, solver);
+    phases.t3 = t.elapsed();
+
+    Some((
+        ThreeLineModel {
+            consumer,
+            high,
+            low,
+        },
+        phases,
+    ))
+}
+
+/// Fit the 3-line model with the pre-arena allocating implementation —
+/// kept verbatim as the reference that `--check-fits`, the proptests, and
+/// `tests/tests/fits.rs` pin the scratch path against.
+pub fn fit_three_line_baseline(
     series: &ConsumerSeries,
     temperature: &TemperatureSeries,
     config: &ThreeLineConfig,
@@ -442,6 +656,29 @@ pub fn fit_three_line_timed(
         },
         phases,
     ))
+}
+
+/// Fit the 3-line model for one consumer, reporting per-phase wall time.
+///
+/// Runs through the calling thread's [`FitScratch`] arena; output is
+/// bit-identical to [`fit_three_line_baseline`].
+///
+/// Returns `None` when the series yields fewer than two percentile points
+/// (e.g. a constant temperature year), which cannot support any line.
+pub fn fit_three_line_timed(
+    series: &ConsumerSeries,
+    temperature: &TemperatureSeries,
+    config: &ThreeLineConfig,
+) -> Option<(ThreeLineModel, ThreeLinePhases)> {
+    with_fit_scratch(|scratch| {
+        fit_three_line_scratch(
+            series.id,
+            series.readings(),
+            temperature.values(),
+            config,
+            scratch,
+        )
+    })
 }
 
 /// Fit the 3-line model for one consumer with default configuration.
@@ -626,6 +863,53 @@ mod tests {
         let (models, phases) = three_line_models(&ds);
         assert_eq!(models.len(), 1);
         assert!(phases.total() > Duration::ZERO);
+    }
+
+    #[test]
+    fn scratch_fit_is_bit_identical_to_baseline_even_when_dirty() {
+        let config = ThreeLineConfig::default();
+        let (v_series, v_temps) = v_shaped();
+        // A second, discontinuous series so the T3 hinge solver runs too.
+        let step_temps: Vec<f64> = (0..HOURS_PER_YEAR)
+            .map(|h| ((h % 41) as f64) - 10.0)
+            .collect();
+        let step_kwh: Vec<f64> = step_temps
+            .iter()
+            .map(|&t| if t < 0.0 { 3.0 } else { 1.0 })
+            .collect();
+        let step_series = ConsumerSeries::new(ConsumerId(9), step_kwh).unwrap();
+        let step_temp = TemperatureSeries::new(step_temps).unwrap();
+
+        let mut scratch = smda_stats::FitScratch::new();
+        for (series, temps) in [(&v_series, &v_temps), (&step_series, &step_temp)] {
+            let (base, _) = fit_three_line_baseline(series, temps, &config).unwrap();
+            // The scratch is dirty from the previous iteration on purpose.
+            let (arena, _) = fit_three_line_scratch(
+                series.id,
+                series.readings(),
+                temps.values(),
+                &config,
+                &mut scratch,
+            )
+            .unwrap();
+            assert_eq!(arena.consumer, base.consumer);
+            for (a, b) in [(&arena.high, &base.high), (&arena.low, &base.low)] {
+                assert_eq!(a.adjusted, b.adjusted);
+                assert_eq!(a.sse.to_bits(), b.sse.to_bits());
+                for k in 0..2 {
+                    assert_eq!(a.knots[k].to_bits(), b.knots[k].to_bits());
+                }
+                for s in 0..3 {
+                    assert_eq!(a.segments[s].lo.to_bits(), b.segments[s].lo.to_bits());
+                    assert_eq!(a.segments[s].hi.to_bits(), b.segments[s].hi.to_bits());
+                    assert_eq!(
+                        a.segments[s].intercept.to_bits(),
+                        b.segments[s].intercept.to_bits()
+                    );
+                    assert_eq!(a.segments[s].slope.to_bits(), b.segments[s].slope.to_bits());
+                }
+            }
+        }
     }
 
     #[test]

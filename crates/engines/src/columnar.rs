@@ -78,7 +78,7 @@ impl ConsumerSource for ColumnSource {
             .positions
             .get(&id)
             .ok_or_else(|| Error::Invalid(format!("unknown consumer {id}")))?;
-        self.scratch = self.store.lock().readings(index)?;
+        self.store.lock().readings_into(index, &mut self.scratch)?;
         Ok(&self.scratch)
     }
 

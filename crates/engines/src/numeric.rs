@@ -69,7 +69,7 @@ impl ConsumerSource for PartitionedSource {
     }
 
     fn consumer_kwh(&mut self, id: ConsumerId) -> Result<&[f64]> {
-        self.scratch = self.store.read_consumer(id)?;
+        self.store.read_consumer_into(id, &mut self.scratch)?;
         Ok(&self.scratch)
     }
 

@@ -21,14 +21,15 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-use smda_core::three_line::{fit_three_line_timed, ThreeLineConfig};
+use smda_core::three_line::{fit_three_line_scratch, ThreeLineConfig};
 use smda_core::{
-    fit_par, ConsumerHistogram, ConsumerMatches, Task, TaskOutput, ThreeLineModel, ThreeLinePhases,
+    fit_par_scratch, ConsumerHistogram, ConsumerMatches, Task, TaskOutput, ThreeLineModel,
+    ThreeLinePhases,
 };
 use smda_obs::{counters, MetricsSink};
 use smda_stats::{
-    merge_partials, top_k_tiled, top_k_tiled_partial, KernelStats, SeriesMatrixBuilder,
-    SimilarityMatch, TileConfig,
+    merge_partials, top_k_tiled, top_k_tiled_partial, with_fit_scratch, KernelStats,
+    SeriesMatrixBuilder, SimilarityMatch, TileConfig,
 };
 use smda_types::{ConsumerId, ConsumerSeries, Error, Result, TemperatureSeries, HOURS_PER_YEAR};
 
@@ -174,10 +175,8 @@ pub fn execute_task(
                     .map(|&id| {
                         let kwh = src.consumer_kwh(id)?;
                         metrics.incr(counters::ROWS_SCANNED, kwh.len() as u64);
-                        Ok(ConsumerHistogram::build(&ConsumerSeries::new(
-                            id,
-                            kwh.to_vec(),
-                        )?))
+                        ConsumerSeries::validate(id, kwh)?;
+                        Ok(ConsumerHistogram::from_readings(id, kwh))
                     })
                     .collect::<Result<Vec<_>>>()
             })?;
@@ -191,18 +190,24 @@ pub fn execute_task(
             let temps = temps.as_ref();
             let parts = fan_out(&ids, threads, make_source, metrics, &|src, _offset, ids| {
                 let temps = temps.expect("temperature loaded during plan");
-                let mut models = Vec::with_capacity(ids.len());
-                let mut phases = ThreeLinePhases::default();
-                for &id in ids {
-                    let kwh = src.consumer_kwh(id)?;
-                    metrics.incr(counters::ROWS_SCANNED, kwh.len() as u64);
-                    let series = ConsumerSeries::new(id, kwh.to_vec())?;
-                    if let Some((m, p)) = fit_three_line_timed(&series, temps, &config) {
-                        models.push(m);
-                        phases.add(p);
+                // One arena per pool worker, warm across chunks and runs.
+                with_fit_scratch(|scratch| {
+                    let mut models = Vec::with_capacity(ids.len());
+                    let mut phases = ThreeLinePhases::default();
+                    for &id in ids {
+                        let kwh = src.consumer_kwh(id)?;
+                        metrics.incr(counters::ROWS_SCANNED, kwh.len() as u64);
+                        ConsumerSeries::validate(id, kwh)?;
+                        if let Some((m, p)) =
+                            fit_three_line_scratch(id, kwh, temps.values(), &config, scratch)
+                        {
+                            models.push(m);
+                            phases.add(p);
+                        }
                     }
-                }
-                Ok((models, phases))
+                    metrics.incr(counters::FITS_SCRATCH_REUSES, scratch.take_reuses());
+                    Ok((models, phases))
+                })
             })?;
             let mut models: Vec<ThreeLineModel> = Vec::with_capacity(ids.len());
             let mut phases = ThreeLinePhases::default();
@@ -222,14 +227,17 @@ pub fn execute_task(
             let temps = temps.as_ref();
             let parts = fan_out(&ids, threads, make_source, metrics, &|src, _offset, ids| {
                 let temps = temps.expect("temperature loaded during plan");
-                ids.iter()
-                    .map(|&id| {
+                with_fit_scratch(|scratch| {
+                    let mut models = Vec::with_capacity(ids.len());
+                    for &id in ids {
                         let kwh = src.consumer_kwh(id)?;
                         metrics.incr(counters::ROWS_SCANNED, kwh.len() as u64);
-                        let series = ConsumerSeries::new(id, kwh.to_vec())?;
-                        Ok(fit_par(&series, temps))
-                    })
-                    .collect::<Result<Vec<_>>>()
+                        ConsumerSeries::validate(id, kwh)?;
+                        models.push(fit_par_scratch(id, kwh, temps.values(), scratch));
+                    }
+                    metrics.incr(counters::FITS_SCRATCH_REUSES, scratch.take_reuses());
+                    Ok(models)
+                })
             })?;
             Ok(TaskOutput::Par(parts.into_iter().flatten().collect()))
         }

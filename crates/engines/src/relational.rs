@@ -69,6 +69,8 @@ struct TableSource {
     table: Box<dyn TableLayout>,
     /// Per-connection decode buffer, lent out by `consumer_kwh`.
     kwh: Vec<f64>,
+    /// Temperature decode buffer, reused once `temps` is cached.
+    temp_scratch: Vec<f64>,
     /// Temperature year, kept from the first extraction instead of
     /// re-decoded per consumer.
     temps: Option<Vec<f64>>,
@@ -79,6 +81,7 @@ impl TableSource {
         TableSource {
             table,
             kwh: Vec::new(),
+            temp_scratch: Vec::new(),
             temps: None,
         }
     }
@@ -90,10 +93,10 @@ impl ConsumerSource for TableSource {
     }
 
     fn consumer_kwh(&mut self, id: ConsumerId) -> Result<&[f64]> {
-        let (kwh, temps) = self.table.consumer_year(id)?;
-        self.kwh = kwh;
+        self.table
+            .consumer_year_into(id, &mut self.kwh, &mut self.temp_scratch)?;
         if self.temps.is_none() {
-            self.temps = Some(temps);
+            self.temps = Some(std::mem::take(&mut self.temp_scratch));
         }
         Ok(&self.kwh)
     }
@@ -106,8 +109,9 @@ impl ConsumerSource for TableSource {
                 .first()
                 .copied()
                 .ok_or_else(|| Error::Invalid("table has no consumers".into()))?;
-            let (_, temps) = self.table.consumer_year(id)?;
-            self.temps = Some(temps);
+            self.table
+                .consumer_year_into(id, &mut self.kwh, &mut self.temp_scratch)?;
+            self.temps = Some(std::mem::take(&mut self.temp_scratch));
         }
         Ok(self.temps.as_deref().expect("temperature just cached"))
     }

@@ -19,7 +19,9 @@
 
 use std::collections::HashMap;
 
-use smda_core::{fit_par, fit_three_line, Alert, AnomalyDetector, ConsumerHistogram};
+use smda_core::{
+    fit_par_scratch, fit_three_line_scratch, Alert, AnomalyDetector, ConsumerHistogram,
+};
 use smda_stats::{EquiWidthHistogram, HistogramSpec, OnlineStats};
 use smda_types::{
     ConsumerId, ConsumerSeries, Dataset, DirtyDataPolicy, Error, Reading, Result, HOURS_PER_YEAR,
@@ -263,14 +265,19 @@ impl ConsumerAccumulator {
 /// [`IngestConfig::with_detectors`](crate::IngestConfig::with_detectors).
 /// Consumers whose 3-line fit fails are skipped.
 pub fn fit_detectors(ds: &Dataset) -> HashMap<ConsumerId, AnomalyDetector> {
-    ds.consumers()
-        .iter()
-        .filter_map(|c| {
-            let par = fit_par(c, ds.temperature());
-            let tl = fit_three_line(c, ds.temperature())?;
-            Some((c.id, AnomalyDetector::new(&par, &tl)))
-        })
-        .collect()
+    let temps = ds.temperature().values();
+    let config = smda_core::ThreeLineConfig::default();
+    // One arena warms over the whole registry instead of per consumer.
+    smda_stats::with_fit_scratch(|scratch| {
+        ds.consumers()
+            .iter()
+            .filter_map(|c| {
+                let par = fit_par_scratch(c.id, c.readings(), temps, scratch);
+                let (tl, _) = fit_three_line_scratch(c.id, c.readings(), temps, &config, scratch)?;
+                Some((c.id, AnomalyDetector::new(&par, &tl)))
+            })
+            .collect()
+    })
 }
 
 #[cfg(test)]

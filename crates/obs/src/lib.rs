@@ -115,6 +115,17 @@ pub mod counters {
     pub const INGEST_ALERTS: &str = "ingest.alerts";
     /// WAL records re-applied while recovering a crashed shard.
     pub const INGEST_WAL_RECORDS_REPLAYED: &str = "ingest.wal_records_replayed";
+    /// Cumulative heap bytes allocated (global-allocator total delta)
+    /// over a phase or run. Only populated by binaries that install the
+    /// counting allocator (the bench runner); zero elsewhere.
+    pub const HEAP_BYTES_ALLOCATED: &str = "heap.bytes_allocated";
+    /// High-water heap growth (peak live bytes above the phase's
+    /// starting point). Same allocator caveat as
+    /// [`HEAP_BYTES_ALLOCATED`].
+    pub const HEAP_PEAK_BYTES: &str = "heap.peak_bytes";
+    /// Model fits served by an already-warm `FitScratch` arena (every
+    /// fit on a worker's arena after its first).
+    pub const FITS_SCRATCH_REUSES: &str = "fits.scratch_reuses";
 }
 
 #[cfg(test)]

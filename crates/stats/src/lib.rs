@@ -23,6 +23,7 @@ pub mod quantile;
 pub mod regression;
 pub mod rng;
 pub mod sax;
+pub mod scratch;
 pub mod similarity;
 
 pub use descriptive::{covariance, mean, pearson, population_variance, sample_variance, stddev};
@@ -38,6 +39,10 @@ pub use quantile::{quantile, quantile_sorted, quantiles_sorted};
 pub use regression::{ols_multiple, ols_simple, MultipleFit, SimpleFit};
 pub use rng::{GaussianNoise, Picker};
 pub use sax::{mindist, sax, SaxConfig, SaxWord};
+pub use scratch::{
+    with_fit_scratch, CurveBuffer, DenseGroups, FitScratch, NormalEq, ScratchFit, SegmentSums,
+    SCRATCH_MAX_COLS,
+};
 pub use similarity::{
     cosine_similarity, dot, norm2, normalize_all, select_top_k, top_k_cosine, top_k_normalized,
     SimilarityMatch,

@@ -96,6 +96,13 @@ impl Matrix {
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
+    /// Consume the matrix, reclaiming its row-major data vector — lets a
+    /// caller that built the matrix from an owned buffer take the
+    /// allocation back for reuse.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
     /// The transpose.
     pub fn transpose(&self) -> Matrix {
         let mut t = Matrix::zeros(self.cols, self.rows);

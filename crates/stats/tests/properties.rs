@@ -3,8 +3,9 @@
 use proptest::prelude::*;
 use smda_stats::linalg::Matrix;
 use smda_stats::{
-    cosine_similarity, mean, ols_simple, quantile_sorted, sample_variance, top_k_cosine,
-    top_k_tiled, EquiWidthHistogram, KMeans, KMeansConfig, OnlineStats, SeriesMatrix, TileConfig,
+    cosine_similarity, mean, ols_multiple, ols_simple, quantile_sorted, sample_variance,
+    top_k_cosine, top_k_tiled, EquiWidthHistogram, FitScratch, KMeans, KMeansConfig, OnlineStats,
+    SeriesMatrix, TileConfig,
 };
 
 fn finite_vec(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
@@ -187,6 +188,105 @@ proptest! {
         }
         let n = series.len() as u64;
         prop_assert_eq!(stats.pairs_scored, n * n.saturating_sub(1) / 2);
+    }
+
+    #[test]
+    fn dense_grouping_matches_btreemap_even_when_dirty(
+        raw in prop::collection::vec((0u32..80, -1e3f64..1e3), 1..300)
+    ) {
+        use std::collections::BTreeMap;
+        // Keys span negative and positive °C (the shim has no signed
+        // integer ranges, so shift an unsigned draw).
+        let pairs: Vec<(i32, f64)> = raw.iter().map(|(k, v)| (*k as i32 - 40, *v)).collect();
+        // The allocating reference: push order within each key, keys
+        // visited ascending — exactly what the 3-line T1 phase did
+        // before the arena.
+        let mut map: BTreeMap<i32, Vec<f64>> = BTreeMap::new();
+        for (k, v) in &pairs {
+            map.entry(*k).or_default().push(*v);
+        }
+        let expected: Vec<(i32, Vec<f64>)> = map.into_iter().collect();
+        let mut scratch = FitScratch::new();
+        // Two passes through the same arena: the second runs dirty.
+        for pass in 0..2 {
+            let mut seen: Vec<(i32, Vec<f64>)> = Vec::new();
+            scratch.groups.for_each_group(
+                pairs.len(),
+                |i| pairs[i].0,
+                |i| pairs[i].1,
+                |key, vals| seen.push((key, vals.to_vec())),
+            );
+            prop_assert_eq!(seen.len(), expected.len(), "pass {}", pass);
+            for ((ka, va), (kb, vb)) in seen.iter().zip(&expected) {
+                prop_assert_eq!(ka, kb, "pass {}", pass);
+                prop_assert_eq!(va.len(), vb.len(), "pass {}", pass);
+                for (x, y) in va.iter().zip(vb) {
+                    prop_assert_eq!(x.to_bits(), y.to_bits(), "pass {}", pass);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn normal_eq_matches_ols_multiple_even_when_dirty(
+        rows in prop::collection::vec((-10.0f64..10.0, -10.0f64..10.0, -10.0f64..10.0), 1..60),
+        cols in 1usize..6
+    ) {
+        let n = rows.len();
+        let design: Vec<Vec<f64>> = rows
+            .iter()
+            .map(|(a, b, _)| {
+                (0..cols)
+                    .map(|j| match j {
+                        0 => 1.0,
+                        1 => *a,
+                        2 => *b,
+                        3 => a * b,
+                        _ => a - b,
+                    })
+                    .collect()
+            })
+            .collect();
+        let y: Vec<f64> = rows.iter().map(|(_, _, y)| *y).collect();
+        let refs: Vec<&[f64]> = design.iter().map(|r| r.as_slice()).collect();
+        let m = Matrix::from_rows(&refs);
+        let baseline = ols_multiple(&m, &y);
+
+        let mut dirty = FitScratch::new();
+        // Poison the solver state with an unrelated solve first.
+        let junk_y = [0.0, 1.0, 2.0, 3.0];
+        let _ = dirty.solver.solve(
+            4,
+            2,
+            &mut |r, row| {
+                row[0] = 1.0;
+                row[1] = r as f64 * 3.5;
+            },
+            &junk_y,
+        );
+        let mut fresh = FitScratch::new();
+        for (scratch, label) in [(&mut dirty, "dirty"), (&mut fresh, "fresh")] {
+            let fit = scratch.solver.solve(
+                n,
+                cols,
+                &mut |r, row| row[..cols].copy_from_slice(&design[r]),
+                &y,
+            );
+            match (&baseline, &fit) {
+                (None, None) => {}
+                (Some(b), Some(f)) => {
+                    prop_assert_eq!(f.n, n, "{}", label);
+                    for j in 0..cols {
+                        prop_assert_eq!(
+                            b.beta[j].to_bits(), f.beta[j].to_bits(), "beta[{}] {}", j, label
+                        );
+                    }
+                    prop_assert_eq!(b.sse.to_bits(), f.sse.to_bits(), "sse {}", label);
+                    prop_assert_eq!(b.r2.to_bits(), f.r2.to_bits(), "r2 {}", label);
+                }
+                _ => prop_assert!(false, "fit presence diverged ({})", label),
+            }
+        }
     }
 
     #[test]

@@ -198,6 +198,14 @@ impl ColumnStore {
 
     /// One consumer's year of readings, assembled from resident chunks.
     pub fn readings(&mut self, index: usize) -> Result<Vec<f64>> {
+        let mut out = Vec::with_capacity(HOURS_PER_YEAR);
+        self.readings_into(index, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`ColumnStore::readings`] into a caller-provided buffer, reusing
+    /// its capacity across consumers.
+    pub fn readings_into(&mut self, index: usize, out: &mut Vec<f64>) -> Result<()> {
         if index >= self.consumers.len() {
             return Err(Error::Invalid(format!(
                 "consumer index {index} out of range"
@@ -205,7 +213,7 @@ impl ColumnStore {
         }
         let start = index * HOURS_PER_YEAR;
         let end = start + HOURS_PER_YEAR;
-        let mut out = Vec::with_capacity(HOURS_PER_YEAR);
+        out.clear();
         let mut pos = start;
         while pos < end {
             let chunk_no = pos / CHUNK_VALUES;
@@ -215,7 +223,7 @@ impl ColumnStore {
             out.extend_from_slice(&chunk[offset..offset + take]);
             pos += take;
         }
-        Ok(out)
+        Ok(())
     }
 
     /// The shared temperature column (loaded once, kept resident).

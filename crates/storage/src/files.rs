@@ -145,12 +145,22 @@ impl FileStore {
     /// the whole big file and extracts the consumer — the pathology
     /// Figure 5 demonstrates.
     pub fn read_consumer(&self, id: ConsumerId) -> Result<Vec<f64>> {
+        let mut values = Vec::new();
+        self.read_consumer_into(id, &mut values)?;
+        Ok(values)
+    }
+
+    /// [`FileStore::read_consumer`] into a caller-provided buffer, reusing
+    /// its capacity — lets a worker decode every consumer of a run into
+    /// the same allocation.
+    pub fn read_consumer_into(&self, id: ConsumerId, values: &mut Vec<f64>) -> Result<()> {
+        values.clear();
+        values.resize(HOURS_PER_YEAR, 0.0);
         match self.layout {
             FileLayout::Partitioned => {
                 let path = self.dir.join(consumer_file_name(id));
                 let f = File::open(&path)
                     .map_err(|e| Error::io(format!("opening {}", path.display()), e))?;
-                let mut values = vec![0.0; HOURS_PER_YEAR];
                 let mut seen = 0usize;
                 for (i, line) in BufReader::new(f).lines().enumerate() {
                     let line = line.map_err(|e| Error::io("reading consumer file", e))?;
@@ -177,13 +187,12 @@ impl FileStore {
                         "consumer {id}: {seen} readings, expected {HOURS_PER_YEAR}"
                     )));
                 }
-                Ok(values)
+                Ok(())
             }
             FileLayout::Unpartitioned => {
                 let path = self.dir.join("readings.csv");
                 let f = File::open(&path)
                     .map_err(|e| Error::io(format!("opening {}", path.display()), e))?;
-                let mut values = vec![0.0; HOURS_PER_YEAR];
                 let mut seen = 0usize;
                 for (i, line) in BufReader::new(f).lines().enumerate() {
                     let line = line.map_err(|e| Error::io("reading readings.csv", e))?;
@@ -201,7 +210,7 @@ impl FileStore {
                         "consumer {id}: {seen} readings in big file, expected {HOURS_PER_YEAR}"
                     )));
                 }
-                Ok(values)
+                Ok(())
             }
         }
     }

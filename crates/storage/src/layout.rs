@@ -37,7 +37,22 @@ pub trait TableLayout: Send {
 
     /// Fetch one household's full year: `(kwh, temperature)` aligned by
     /// hour of year.
-    fn consumer_year(&mut self, id: ConsumerId) -> Result<(Vec<f64>, Vec<f64>)>;
+    fn consumer_year(&mut self, id: ConsumerId) -> Result<(Vec<f64>, Vec<f64>)> {
+        let mut kwh = Vec::new();
+        let mut temps = Vec::new();
+        self.consumer_year_into(id, &mut kwh, &mut temps)?;
+        Ok((kwh, temps))
+    }
+
+    /// [`TableLayout::consumer_year`] into caller-owned buffers, which
+    /// are cleared and refilled — sources iterate a whole table through
+    /// two reusable allocations.
+    fn consumer_year_into(
+        &mut self,
+        id: ConsumerId,
+        kwh: &mut Vec<f64>,
+        temps: &mut Vec<f64>,
+    ) -> Result<()>;
 
     /// Drop all caches so the next access is cold.
     fn make_cold(&mut self);
@@ -203,13 +218,20 @@ impl TableLayout for ReadingTable {
             .collect())
     }
 
-    fn consumer_year(&mut self, id: ConsumerId) -> Result<(Vec<f64>, Vec<f64>)> {
+    fn consumer_year_into(
+        &mut self,
+        id: ConsumerId,
+        kwh: &mut Vec<f64>,
+        temps: &mut Vec<f64>,
+    ) -> Result<()> {
         let postings: Vec<u64> = self.index.get(id.raw() as u64).to_vec();
         if postings.is_empty() {
             return Err(Error::Invalid(format!("unknown consumer {id}")));
         }
-        let mut kwh = vec![0.0; HOURS_PER_YEAR];
-        let mut temps = vec![0.0; HOURS_PER_YEAR];
+        kwh.clear();
+        kwh.resize(HOURS_PER_YEAR, 0.0);
+        temps.clear();
+        temps.resize(HOURS_PER_YEAR, 0.0);
         for raw in postings {
             let tid = TupleId::unpack(raw);
             let page = self.pool.get(&mut self.heap, tid.page)?;
@@ -224,7 +246,7 @@ impl TableLayout for ReadingTable {
             kwh[h] = r.kwh;
             temps[h] = r.temperature;
         }
-        Ok((kwh, temps))
+        Ok(())
     }
 
     fn make_cold(&mut self) {
@@ -241,6 +263,8 @@ pub struct ArrayTable {
     path: PathBuf,
     /// (consumer, byte offset of the record), ascending by consumer.
     directory: Arc<Vec<(ConsumerId, u64)>>,
+    /// Reusable record read buffer.
+    record_buf: Vec<u8>,
 }
 
 impl std::fmt::Debug for ArrayTable {
@@ -290,6 +314,7 @@ impl ArrayTable {
             file,
             path,
             directory: Arc::new(directory),
+            record_buf: Vec::new(),
         })
     }
 
@@ -309,6 +334,7 @@ impl ArrayTable {
             file,
             path,
             directory,
+            record_buf: Vec::new(),
         })
     }
 
@@ -352,6 +378,7 @@ impl ArrayTable {
             file,
             path,
             directory: Arc::new(directory),
+            record_buf: Vec::new(),
         })
     }
 }
@@ -388,35 +415,41 @@ impl TableLayout for ArrayTable {
         Ok(self.directory.iter().map(|(id, _)| *id).collect())
     }
 
-    fn consumer_year(&mut self, id: ConsumerId) -> Result<(Vec<f64>, Vec<f64>)> {
+    fn consumer_year_into(
+        &mut self,
+        id: ConsumerId,
+        kwh: &mut Vec<f64>,
+        temps: &mut Vec<f64>,
+    ) -> Result<()> {
         let pos = self
             .directory
             .binary_search_by_key(&id, |(i, _)| *i)
             .map_err(|_| Error::Invalid(format!("unknown consumer {id}")))?;
         let offset = self.directory[pos].1;
-        let mut buf = vec![0u8; ARRAY_RECORD_BYTES];
+        self.record_buf.clear();
+        self.record_buf.resize(ARRAY_RECORD_BYTES, 0);
         self.file
             .seek(SeekFrom::Start(offset))
             .map_err(|e| Error::io("seeking array record", e))?;
         self.file
-            .read_exact(&mut buf)
+            .read_exact(&mut self.record_buf)
             .map_err(|e| Error::io("reading array record", e))?;
-        let mut r = &buf[..];
+        let mut r = &self.record_buf[..];
         let stored = ConsumerId(r.get_u32_le());
         if stored != id {
             return Err(Error::Schema(format!(
                 "directory points at {stored}, wanted {id}"
             )));
         }
-        let mut kwh = Vec::with_capacity(HOURS_PER_YEAR);
+        kwh.clear();
         for _ in 0..HOURS_PER_YEAR {
             kwh.push(r.get_f64_le());
         }
-        let mut temps = Vec::with_capacity(HOURS_PER_YEAR);
+        temps.clear();
         for _ in 0..HOURS_PER_YEAR {
             temps.push(r.get_f64_le());
         }
-        Ok((kwh, temps))
+        Ok(())
     }
 
     fn make_cold(&mut self) {
@@ -565,13 +598,20 @@ impl TableLayout for DayTable {
             .collect())
     }
 
-    fn consumer_year(&mut self, id: ConsumerId) -> Result<(Vec<f64>, Vec<f64>)> {
+    fn consumer_year_into(
+        &mut self,
+        id: ConsumerId,
+        kwh: &mut Vec<f64>,
+        temps: &mut Vec<f64>,
+    ) -> Result<()> {
         let postings: Vec<u64> = self.index.get(id.raw() as u64).to_vec();
         if postings.is_empty() {
             return Err(Error::Invalid(format!("unknown consumer {id}")));
         }
-        let mut kwh = vec![0.0; HOURS_PER_YEAR];
-        let mut temps = vec![0.0; HOURS_PER_YEAR];
+        kwh.clear();
+        kwh.resize(HOURS_PER_YEAR, 0.0);
+        temps.clear();
+        temps.resize(HOURS_PER_YEAR, 0.0);
         for raw in postings {
             let tid = TupleId::unpack(raw);
             let page = self.pool.get(&mut self.heap, tid.page)?;
@@ -594,7 +634,7 @@ impl TableLayout for DayTable {
                 temps[start + h] = t.get_f64_le();
             }
         }
-        Ok((kwh, temps))
+        Ok(())
     }
 
     fn make_cold(&mut self) {

@@ -35,9 +35,10 @@ pub struct ConsumerSeries {
 }
 
 impl ConsumerSeries {
-    /// Build a series, validating that it holds exactly one year of
-    /// hourly readings and that no reading is NaN or negative.
-    pub fn new(id: ConsumerId, readings: Vec<f64>) -> Result<Self> {
+    /// Check that a borrowed slice would make a valid series — same rules
+    /// and error messages as [`ConsumerSeries::new`], without taking
+    /// ownership. Lets task runners fit directly off a lent buffer.
+    pub fn validate(id: ConsumerId, readings: &[f64]) -> Result<()> {
         if readings.len() != HOURS_PER_YEAR {
             return Err(Error::Schema(format!(
                 "consumer {id}: expected {HOURS_PER_YEAR} hourly readings, got {}",
@@ -50,6 +51,13 @@ impl ConsumerSeries {
                 readings[pos]
             )));
         }
+        Ok(())
+    }
+
+    /// Build a series, validating that it holds exactly one year of
+    /// hourly readings and that no reading is NaN or negative.
+    pub fn new(id: ConsumerId, readings: Vec<f64>) -> Result<Self> {
+        ConsumerSeries::validate(id, &readings)?;
         Ok(ConsumerSeries { id, readings })
     }
 
@@ -93,8 +101,10 @@ pub struct TemperatureSeries {
 }
 
 impl TemperatureSeries {
-    /// Build a temperature series, validating length and finiteness.
-    pub fn new(values: Vec<f64>) -> Result<Self> {
+    /// Check that a borrowed slice would make a valid temperature year —
+    /// same rules and error messages as [`TemperatureSeries::new`],
+    /// without taking ownership.
+    pub fn validate(values: &[f64]) -> Result<()> {
         if values.len() != HOURS_PER_YEAR {
             return Err(Error::Schema(format!(
                 "temperature series: expected {HOURS_PER_YEAR} hourly values, got {}",
@@ -106,6 +116,12 @@ impl TemperatureSeries {
                 "temperature at hour {pos} is not finite"
             )));
         }
+        Ok(())
+    }
+
+    /// Build a temperature series, validating length and finiteness.
+    pub fn new(values: Vec<f64>) -> Result<Self> {
+        TemperatureSeries::validate(&values)?;
         Ok(TemperatureSeries { values })
     }
 

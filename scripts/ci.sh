@@ -33,6 +33,9 @@ if [ "$fast" -eq 0 ]; then
 
     echo "== kernel equivalence =="
     cargo run --release -q -p smda-bench -- --smoke --check-kernels
+
+    echo "== fit equivalence + allocation gate =="
+    cargo run --release -q -p smda-bench -- --smoke --check-fits
 fi
 
 echo "ci: all green"
