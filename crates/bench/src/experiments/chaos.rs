@@ -18,6 +18,7 @@ use std::time::Duration;
 
 use smda_cluster::{FaultPlan, NodeCrash, SlowNode};
 use smda_core::Task;
+use smda_engines::RunSpec;
 use smda_obs::{counters, MetricsReport, MetricsSink, RunManifest};
 use smda_types::DataFormat;
 
@@ -51,6 +52,10 @@ fn faulty_run(
 ) -> (Duration, MetricsReport) {
     let ds = seed_dataset(consumers);
     let sink = MetricsSink::recording();
+    let spec = RunSpec::builder(task)
+        .metrics(sink.clone())
+        .fault_plan(plan.clone())
+        .build();
     let (elapsed, name) = match platform {
         "Hive" => {
             let mut engine = hive(WORKERS, scale);
@@ -60,25 +65,21 @@ fn faulty_run(
             // tasks as stragglers (with a 50/50 split the median itself
             // is slowed and nothing looks slow by comparison).
             engine.set_reduce_tasks(36);
-            engine.set_metrics(sink.clone());
-            engine.set_fault_plan(plan.clone());
             engine
-                .load(&ds, DataFormat::ReadingPerLine)
+                .load_observed(&ds, DataFormat::ReadingPerLine, &spec)
                 .expect("chaos load survives the plan");
             let result = engine
-                .run_task(task)
+                .run_with(&spec)
                 .expect("retry budget covers the chaos plan");
             (result.stats.virtual_elapsed, "Hive")
         }
         _ => {
             let mut engine = spark(WORKERS, scale);
-            engine.set_metrics(sink.clone());
-            engine.set_fault_plan(plan.clone());
             engine
-                .load(&ds, DataFormat::ReadingPerLine)
+                .load_observed(&ds, DataFormat::ReadingPerLine, &spec)
                 .expect("chaos load survives the plan");
             let result = engine
-                .run_task(task)
+                .run_with(&spec)
                 .expect("retry budget covers the chaos plan");
             (result.virtual_elapsed, "Spark")
         }

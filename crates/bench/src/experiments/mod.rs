@@ -13,6 +13,7 @@ pub mod layouts;
 pub mod loading;
 pub mod memory;
 pub mod partitioning;
+pub mod serve;
 pub mod single_thread;
 pub mod speedup;
 pub mod table1;

@@ -130,12 +130,14 @@ pub fn run_json_bench_with(scale: Scale, faults: Option<FaultPlan>) -> BenchExpo
     // makespan is recorded as an explicit sub-phase.
     let mut hive = hive(CLUSTER_WORKERS, scale);
     if let Some(plan) = &faults {
-        hive.set_fault_plan(plan.clone());
         let sink = MetricsSink::recording();
-        hive.set_metrics(sink.clone());
+        let spec = RunSpec::builder(Task::Histogram)
+            .metrics(sink.clone())
+            .fault_plan(plan.clone())
+            .build();
         {
             let _load = sink.scope("load");
-            hive.load(&ds, DataFormat::ReadingPerLine)
+            hive.load_observed(&ds, DataFormat::ReadingPerLine, &spec)
                 .expect("hive load survives the fault plan");
         }
         let manifest = RunManifest::new("load", "Hive")
@@ -148,10 +150,14 @@ pub fn run_json_bench_with(scale: Scale, faults: Option<FaultPlan>) -> BenchExpo
     }
     for task in Task::ALL {
         let sink = MetricsSink::recording();
-        hive.set_metrics(sink.clone());
+        let mut spec = RunSpec::builder(task).metrics(sink.clone());
+        if let Some(plan) = &faults {
+            spec = spec.fault_plan(plan.clone());
+        }
+        let spec = spec.build();
         let (result, allocated, peak) = alloc::measure_alloc(|| {
             let _run = sink.scope("run");
-            hive.run_task(task)
+            hive.run_with(&spec)
                 .expect("hive job succeeds on loaded table")
         });
         record_heap(&sink, "run", allocated, peak);
@@ -164,13 +170,15 @@ pub fn run_json_bench_with(scale: Scale, faults: Option<FaultPlan>) -> BenchExpo
 
     let mut spark = spark(CLUSTER_WORKERS, scale);
     if let Some(plan) = &faults {
-        spark.set_fault_plan(plan.clone());
         let sink = MetricsSink::recording();
-        spark.set_metrics(sink.clone());
+        let spec = RunSpec::builder(Task::Histogram)
+            .metrics(sink.clone())
+            .fault_plan(plan.clone())
+            .build();
         {
             let _load = sink.scope("load");
             spark
-                .load(&ds, DataFormat::ReadingPerLine)
+                .load_observed(&ds, DataFormat::ReadingPerLine, &spec)
                 .expect("spark load survives the fault plan");
         }
         let manifest = RunManifest::new("load", "Spark")
@@ -184,11 +192,15 @@ pub fn run_json_bench_with(scale: Scale, faults: Option<FaultPlan>) -> BenchExpo
     }
     for task in Task::ALL {
         let sink = MetricsSink::recording();
-        spark.set_metrics(sink.clone());
+        let mut spec = RunSpec::builder(task).metrics(sink.clone());
+        if let Some(plan) = &faults {
+            spec = spec.fault_plan(plan.clone());
+        }
+        let spec = spec.build();
         let (result, allocated, peak) = alloc::measure_alloc(|| {
             let _run = sink.scope("run");
             spark
-                .run_task(task)
+                .run_with(&spec)
                 .expect("spark job succeeds on loaded input")
         });
         record_heap(&sink, "run", allocated, peak);

@@ -19,7 +19,8 @@
 use std::path::PathBuf;
 
 use smda_bench::{
-    check_fits, check_kernels, run_all, run_experiment, run_json_bench_with, Scale, EXPERIMENT_IDS,
+    check_fits, check_kernels, check_serve, run_all, run_experiment, run_json_bench_with, Scale,
+    EXPERIMENT_IDS,
 };
 use smda_cluster::FaultPlan;
 
@@ -33,6 +34,7 @@ fn main() {
     let mut faults: Option<FaultPlan> = None;
     let mut kernels_check = false;
     let mut fits_check = false;
+    let mut serve_check = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -40,6 +42,7 @@ fn main() {
             "--full" => scale = Scale::full(),
             "--check-kernels" => kernels_check = true,
             "--check-fits" => fits_check = true,
+            "--check-serve" => serve_check = true,
             "--json" => match args.next() {
                 Some(path) => json_out = Some(PathBuf::from(path)),
                 None => {
@@ -63,7 +66,7 @@ fn main() {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: smda-bench [--smoke|--small|--full] [--json PATH] [--faults SPEC] \
-                     [--check-kernels] [--check-fits] [EXPERIMENT...]\n\
+                     [--check-kernels] [--check-fits] [--check-serve] [EXPERIMENT...]\n\
                      experiments: {}",
                     EXPERIMENT_IDS.join(" ")
                 );
@@ -99,6 +102,19 @@ fn main() {
             }
             Err(msg) => {
                 eprintln!("fit check FAILED: {msg}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if serve_check {
+        match check_serve(scale) {
+            Ok(msg) => {
+                eprintln!("{msg}");
+                return;
+            }
+            Err(msg) => {
+                eprintln!("serve check FAILED: {msg}");
                 std::process::exit(1);
             }
         }

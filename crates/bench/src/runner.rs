@@ -7,7 +7,7 @@ use crate::report::Table;
 use crate::scale::Scale;
 
 /// All experiment ids, in the paper's presentation order.
-pub const EXPERIMENT_IDS: [&str; 17] = [
+pub const EXPERIMENT_IDS: [&str; 18] = [
     "table1",
     "fig4",
     "fig5",
@@ -25,6 +25,7 @@ pub const EXPERIMENT_IDS: [&str; 17] = [
     "kernels",
     "fits",
     "ingest",
+    "serve",
 ];
 
 /// Run one experiment by id (composite figures run together: `fig11`
@@ -48,6 +49,7 @@ pub fn run_experiment(id: &str, scale: Scale) -> Option<Vec<Table>> {
         "kernels" => experiments::kernels::run(scale),
         "fits" => experiments::fits::run(scale),
         "ingest" => experiments::ingest::run(scale),
+        "serve" => experiments::serve::run(scale),
         _ => return None,
     };
     Some(tables)
@@ -219,6 +221,88 @@ pub fn check_fits(scale: Scale) -> std::result::Result<String, String> {
         "fit equivalence OK: n={n}, 3-line + PAR bit-identical through a dirty arena, \
          generator deterministic; bytes baseline={baseline_bytes} arena={arena_bytes} \
          ({ratio:.1}x), arena peak={arena_peak}"
+    ))
+}
+
+/// Serving bit-identity gate (`smda-bench --check-serve`).
+///
+/// Seals one seeded year, publishes it, and serves every query kind for
+/// every household. Each served answer must be bit-identical
+/// (`f64::to_bits`) to the offline batch answer for the same data —
+/// `run_reference` for the four analytics, the alert-log conversion for
+/// anomaly status — and admission control must reject with a typed
+/// error at queue depth zero.
+pub fn check_serve(scale: Scale) -> std::result::Result<String, String> {
+    use smda_core::queries::{anomaly_result, lookup};
+    use smda_core::tasks::run_reference;
+    use smda_core::Task;
+    use smda_serve::{ServeConfig, ServeError, Server};
+    use smda_types::QueryKind;
+
+    let ds = crate::data::seed_dataset(scale.consumers_for_households(6_400));
+    let (server, handle) = experiments::serve::start_server(&ds, ServeConfig::default());
+    let live = handle.pin().ok_or("sealing published nothing")?;
+
+    let sim = run_reference(Task::Similarity, &ds);
+    let hist = run_reference(Task::Histogram, &ds);
+    let three = run_reference(Task::ThreeLine, &ds);
+    let par = run_reference(Task::Par, &ds);
+
+    let mut answered = 0usize;
+    let mut degenerate = 0usize;
+    for c in ds.consumers() {
+        for kind in QueryKind::ALL {
+            let query = experiments::serve::query_of(kind, c.id);
+            let batch = match kind {
+                QueryKind::TopKSimilar => lookup(&sim, &query),
+                QueryKind::Histogram => lookup(&hist, &query),
+                QueryKind::ThreeLineFeatures => lookup(&three, &query),
+                QueryKind::ParCoefficients => lookup(&par, &query),
+                QueryKind::AnomalyStatus => Some(anomaly_result(c.id, live.alerts())),
+            };
+            match (server.query(query), batch) {
+                (Ok(served), Some(batch)) => {
+                    if !served.bits_eq(&batch) {
+                        return Err(format!(
+                            "served `{query}` diverged from the batch answer:\n\
+                             served: {served}\nbatch:  {batch}"
+                        ));
+                    }
+                    answered += 1;
+                }
+                // A series too degenerate for a 3-line fit is absent
+                // from the batch output and typed-rejected online.
+                (Err(ServeError::NoModel(_)), None) => degenerate += 1,
+                (served, batch) => {
+                    return Err(format!(
+                        "`{query}`: served {:?} but batch had {:?}",
+                        served.map(|r| r.to_string()),
+                        batch.map(|r| r.to_string())
+                    ));
+                }
+            }
+        }
+    }
+
+    // Load shedding is typed, never silent.
+    let shedding = Server::start(
+        handle,
+        ServeConfig {
+            queue_depth: 0,
+            ..ServeConfig::default()
+        },
+    );
+    let probe = experiments::serve::query_of(QueryKind::Histogram, ds.consumers()[0].id);
+    match shedding.submit(probe) {
+        Err(ServeError::Overloaded { depth: 0 }) => {}
+        _ => return Err("a zero-depth queue must reject with a typed Overloaded".into()),
+    }
+
+    Ok(format!(
+        "serve bit-identity OK: n={}, {answered} served answers across 5 query kinds \
+         match batch bitwise ({degenerate} degenerate series typed-rejected), \
+         overload rejection typed",
+        ds.len()
     ))
 }
 

@@ -11,10 +11,17 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
+use std::sync::Arc;
+
 use smda_bench::{run_experiment, Scale, EXPERIMENT_IDS};
+use smda_core::queries::task_output_results;
 use smda_core::tasks::run_reference;
 use smda_core::{DataGenerator, GeneratorConfig, SeedConfig, Task, TaskOutput};
-use smda_types::{DataFormat, Dataset, FormatReader, FormatWriter, Result};
+use smda_ingest::SnapshotHandle;
+use smda_serve::{ServeConfig, Server};
+use smda_types::{
+    ConsumerId, DataFormat, Dataset, FormatReader, FormatWriter, Query, QueryKind, Result,
+};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -27,6 +34,7 @@ fn main() -> ExitCode {
         "amplify" => amplify(&args[1..]),
         "run" => run_task_cmd(&args[1..]),
         "ingest" => ingest(&args[1..]),
+        "serve" => serve(&args[1..]),
         "bench" => bench(&args[1..]),
         "--help" | "-h" | "help" => {
             usage();
@@ -56,9 +64,15 @@ fn usage() {
            amplify  --seed N --consumers M [--out DIR]     amplify via the paper's generator\n\
            run TASK --data DIR [--format f1|f2]            run histogram|three-line|par|similarity\n\
            ingest [--consumers N] [--shards N] [--lateness H] [--jitter H] [--seed S]\n\
-                  [--speedup X] [--wal DIR] [--faults SPEC] [--skip-dirty]\n\
+                  [--speedup X] [--wal DIR] [--faults SPEC] [--skip-dirty] [--serve]\n\
                                                            replay a generated year through the\n\
                                                            streaming pipeline, then run all tasks\n\
+                                                           (--serve answers live queries from the\n\
+                                                           published snapshot afterwards)\n\
+           serve [--consumers N] [--seed S | --data DIR [--format f1|f2]] [--json]\n\
+                 [--query KIND:CONSUMER[:K]]...            seal a year, publish it, and answer\n\
+                                                           typed queries (top_k_similar|histogram|\n\
+                                                           three_line|par|anomaly)\n\
            bench [--smoke|--small|--full] [--json PATH] [--faults SPEC] [EXPERIMENT...]\n\
                                                            regenerate tables/figures ({})",
         EXPERIMENT_IDS.join(" ")
@@ -159,56 +173,125 @@ fn run_task_cmd(args: &[String]) -> Result<()> {
     Ok(())
 }
 
+/// Render a batch output through the same typed [`smda_types::QueryResult`]
+/// vocabulary the serving layer speaks — one stable line per consumer.
 fn summarize(output: &TaskOutput) {
-    match output {
-        TaskOutput::Histograms(hs) => {
-            for h in hs.iter().take(3) {
-                println!(
-                    "  {}: mode bucket {} / 10",
-                    h.consumer,
-                    h.histogram.mode_bucket()
-                );
-            }
-        }
-        TaskOutput::ThreeLine(models, phases) => {
-            for m in models.iter().take(3) {
-                println!(
-                    "  {}: heating {:.3}, cooling {:.3}, base {:.3} kWh",
-                    m.consumer,
-                    m.heating_gradient(),
-                    m.cooling_gradient(),
-                    m.base_load()
-                );
-            }
-            println!(
-                "  phases: T1 {:.3}s T2 {:.3}s T3 {:.3}s",
-                phases.t1.as_secs_f64(),
-                phases.t2.as_secs_f64(),
-                phases.t3.as_secs_f64()
-            );
-        }
-        TaskOutput::Par(models) => {
-            for m in models.iter().take(3) {
-                println!(
-                    "  {}: peak hour {}, daily activity {:.2} kWh",
-                    m.consumer,
-                    m.peak_hour(),
-                    m.daily_total()
-                );
-            }
-        }
-        TaskOutput::Similarity(matches) => {
-            for m in matches.iter().take(3) {
-                let best = m
-                    .matches
-                    .first()
-                    .map(|(id, s)| format!("{id} ({s:.4})"))
-                    .unwrap_or_else(|| "-".into());
-                println!("  {}: best match {best}", m.consumer);
-            }
-        }
+    for result in task_output_results(output).iter().take(3) {
+        println!("  {result}");
+    }
+    if let TaskOutput::ThreeLine(_, phases) = output {
+        println!(
+            "  phases: T1 {:.3}s T2 {:.3}s T3 {:.3}s",
+            phases.t1.as_secs_f64(),
+            phases.t2.as_secs_f64(),
+            phases.t3.as_secs_f64()
+        );
     }
     println!("  ... {} results total", output.len());
+}
+
+/// Build the concrete [`Query`] for one kind against one household.
+fn query_of(kind: QueryKind, consumer: ConsumerId, k: usize) -> Query {
+    match kind {
+        QueryKind::TopKSimilar => Query::TopKSimilar { consumer, k },
+        QueryKind::Histogram => Query::Histogram { consumer },
+        QueryKind::ThreeLineFeatures => Query::ThreeLineFeatures { consumer },
+        QueryKind::ParCoefficients => Query::ParCoefficients { consumer },
+        QueryKind::AnomalyStatus => Query::AnomalyStatus { consumer },
+    }
+}
+
+/// Parse a `KIND:CONSUMER[:K]` query spec from the command line.
+fn parse_query(spec: &str) -> Result<Query> {
+    let mut parts = spec.split(':');
+    let kind = parts
+        .next()
+        .and_then(QueryKind::parse)
+        .ok_or_else(|| smda_types::Error::Invalid(format!("unknown query kind in `{spec}`")))?;
+    let consumer = parts
+        .next()
+        .and_then(|v| v.parse().ok())
+        .map(ConsumerId)
+        .ok_or_else(|| {
+            smda_types::Error::Invalid(format!("`{spec}` needs a numeric consumer id"))
+        })?;
+    let k = match parts.next() {
+        None => smda_core::SIMILARITY_TOP_K,
+        Some(v) => v
+            .parse()
+            .map_err(|_| smda_types::Error::Invalid(format!("`{spec}` has a non-numeric k")))?,
+    };
+    Ok(query_of(kind, consumer, k))
+}
+
+/// Answer `queries` against a running server, one line per answer.
+fn answer_queries(server: &Server, queries: &[Query], json: bool) {
+    for &query in queries {
+        match server.query(query) {
+            Ok(result) if json => println!("{}", result.to_json()),
+            Ok(result) => println!("  {result}"),
+            Err(e) => println!("  {query}: declined ({e})"),
+        }
+    }
+}
+
+fn serve(args: &[String]) -> Result<()> {
+    let seed = parse_usize(args, "--seed", 2014) as u64;
+    let ds = if args.iter().any(|a| a == "--data") {
+        load_dataset(args)?
+    } else {
+        let consumers = parse_usize(args, "--consumers", 100);
+        smda_core::generator::generate_seed(&SeedConfig {
+            consumers,
+            seed,
+            ..Default::default()
+        })?
+    };
+    let handle = Arc::new(SnapshotHandle::new());
+    let cfg = smda_ingest::IngestConfig::new()
+        .with_detectors(Arc::new(smda_ingest::fit_detectors(&ds)))
+        .with_publish(handle.clone());
+    let events = smda_ingest::replay_events(
+        &ds,
+        &smda_ingest::ReplayConfig {
+            jitter_hours: 0,
+            seed,
+        },
+    );
+    let start = Instant::now();
+    let out = smda_ingest::run_pipeline(events, &cfg)?;
+    let epoch = out
+        .published_epoch
+        .expect("publishing is configured, so the sealed year has an epoch");
+    println!(
+        "sealed {} consumers and published epoch {epoch} in {:.3}s",
+        ds.len(),
+        start.elapsed().as_secs_f64()
+    );
+
+    let server = Server::start(handle, ServeConfig::default());
+    let json = args.iter().any(|a| a == "--json");
+    let mut queries = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--query" {
+            let spec = it.next().ok_or_else(|| {
+                smda_types::Error::Invalid("--query needs KIND:CONSUMER[:K]".into())
+            })?;
+            queries.push(parse_query(spec)?);
+        }
+    }
+    if queries.is_empty() {
+        // No explicit queries: demonstrate every query kind against the
+        // first household.
+        let first = ds.consumers()[0].id;
+        queries = QueryKind::ALL
+            .iter()
+            .map(|&kind| query_of(kind, first, smda_core::SIMILARITY_TOP_K))
+            .collect();
+    }
+    answer_queries(&server, &queries, json);
+    Ok(())
 }
 
 fn ingest(args: &[String]) -> Result<()> {
@@ -243,6 +326,13 @@ fn ingest(args: &[String]) -> Result<()> {
     if let Some(spec) = flag(args, "--faults") {
         cfg = cfg.with_faults(smda_cluster::FaultPlan::parse(&spec)?);
     }
+    let handle = if args.iter().any(|a| a == "--serve") {
+        let handle = Arc::new(SnapshotHandle::new());
+        cfg = cfg.with_publish(handle.clone());
+        Some(handle)
+    } else {
+        None
+    };
 
     let events = smda_ingest::replay_events(
         &ds,
@@ -312,6 +402,21 @@ fn ingest(args: &[String]) -> Result<()> {
             output.len(),
             start.elapsed().as_secs_f64()
         );
+    }
+
+    // The online bridge: the same sealed snapshot, served live.
+    if let Some(handle) = handle {
+        let epoch = out
+            .published_epoch
+            .expect("--serve configures publishing, so the sealed year has an epoch");
+        println!("published epoch {epoch}; serving live queries:");
+        let server = Server::start(handle, ServeConfig::default());
+        let first = ds.consumers()[0].id;
+        let queries: Vec<Query> = smda_types::QueryKind::ALL
+            .iter()
+            .map(|&kind| query_of(kind, first, smda_core::SIMILARITY_TOP_K))
+            .collect();
+        answer_queries(&server, &queries, false);
     }
     Ok(())
 }

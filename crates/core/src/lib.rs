@@ -33,6 +33,7 @@ pub mod generator;
 pub mod histogram_task;
 pub mod par;
 pub mod quality;
+pub mod queries;
 pub mod similarity;
 pub mod streaming;
 pub mod tasks;
@@ -44,6 +45,7 @@ pub use par::{
     fit_par, fit_par_baseline, fit_par_scratch, par_profiles, HourModel, ParModel, PAR_ORDER,
 };
 pub use quality::{imputed_fraction, repair_year, scrub_readings, FillMethod, GapReport};
+pub use queries::task_output_results;
 pub use similarity::{similarity_search, ConsumerMatches, SIMILARITY_TOP_K};
 pub use streaming::{Alert, AlertKind, AnomalyDetector};
 pub use tasks::{Task, TaskOutput};

@@ -108,6 +108,7 @@ impl Platform for NumericEngine {
             task,
             threads,
             metrics,
+            ..
         } = spec;
         let start = Instant::now();
         let output = if let Some(ws) = &self.workspace {

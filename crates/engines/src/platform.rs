@@ -3,14 +3,21 @@
 
 use std::time::Duration;
 
+use smda_cluster::FaultPlan;
 use smda_core::{Task, TaskOutput};
 use smda_obs::{MetricsReport, MetricsSink, RunManifest};
-use smda_types::{Dataset, Result};
+use smda_types::{Dataset, DirtyDataPolicy, Result};
 
 use crate::capabilities::Capabilities;
 
 /// Everything a platform needs to execute one benchmark run: the task,
-/// the degree of parallelism, and where to record metrics.
+/// the degree of parallelism, where to record metrics, which faults to
+/// inject, and how to treat dirty rows.
+///
+/// The spec is the *only* run-scoped configuration channel — every
+/// platform (the three single-server engines, Hive and Spark) is driven
+/// through [`Platform::run`] with one of these; there are no per-engine
+/// side-channel setters.
 ///
 /// Construct with the builder:
 ///
@@ -24,6 +31,7 @@ use crate::capabilities::Capabilities;
 ///     .metrics(MetricsSink::recording())
 ///     .build();
 /// assert_eq!(spec.threads, 4);
+/// assert!(spec.fault_plan.is_none());
 /// ```
 #[derive(Debug, Clone)]
 pub struct RunSpec {
@@ -35,17 +43,26 @@ pub struct RunSpec {
     /// [`MetricsSink::disabled`] sink (the builder default) makes all
     /// instrumentation no-ops.
     pub metrics: MetricsSink,
+    /// Faults to inject into the run (and into observed loads): replica
+    /// losses at load time, crashes/stragglers/task failures at run
+    /// time. `None` (the default) runs fault-free.
+    pub fault_plan: Option<FaultPlan>,
+    /// How parsers treat malformed rows (default: fail fast).
+    pub dirty_policy: DirtyDataPolicy,
 }
 
 impl RunSpec {
-    /// Start building a spec for `task`; one thread and no metrics until
-    /// the setters say otherwise.
+    /// Start building a spec for `task`; one thread, no metrics, no
+    /// faults and fail-fast dirty handling until the setters say
+    /// otherwise.
     pub fn builder(task: Task) -> RunSpecBuilder {
         RunSpecBuilder {
             spec: RunSpec {
                 task,
                 threads: 1,
                 metrics: MetricsSink::disabled(),
+                fault_plan: None,
+                dirty_policy: DirtyDataPolicy::default(),
             },
         }
     }
@@ -67,6 +84,18 @@ impl RunSpecBuilder {
     /// Attach a metrics sink.
     pub fn metrics(mut self, metrics: MetricsSink) -> RunSpecBuilder {
         self.spec.metrics = metrics;
+        self
+    }
+
+    /// Inject faults into the run (and into observed loads).
+    pub fn fault_plan(mut self, plan: FaultPlan) -> RunSpecBuilder {
+        self.spec.fault_plan = Some(plan);
+        self
+    }
+
+    /// Set the dirty-row policy.
+    pub fn dirty_policy(mut self, policy: DirtyDataPolicy) -> RunSpecBuilder {
+        self.spec.dirty_policy = policy;
         self
     }
 

@@ -3,14 +3,13 @@
 
 use std::sync::Arc;
 
-use smda_cluster::{
-    ClusterTopology, DfsConfig, FaultPlan, SimDfs, TextTable, VirtualScheduler, WorkerPool,
-};
+use smda_cluster::{ClusterTopology, DfsConfig, SimDfs, TextTable, VirtualScheduler, WorkerPool};
 use smda_core::tasks::{collect_consumer_results, ConsumerResult};
 use smda_core::{ConsumerMatches, Task, TaskOutput, SIMILARITY_TOP_K};
-use smda_obs::{counters, MetricsSink};
+use smda_engines::{Capabilities, Platform, RunResult, RunSpec};
+use smda_obs::counters;
 use smda_stats::{dot, normalize_all, select_top_k, SimilarityMatch};
-use smda_types::{ConsumerId, DataFormat, Dataset, DirtyDataPolicy, Error, Result, HOURS_PER_YEAR};
+use smda_types::{ConsumerId, DataFormat, Dataset, Error, Result, HOURS_PER_YEAR};
 
 use crate::mapreduce::{
     run_map_only, run_map_reduce, run_map_reduce_partitioned, JobInput, JobStats,
@@ -30,15 +29,19 @@ pub struct HiveRunResult {
 }
 
 /// The Hive-like engine.
+///
+/// All run-scoped configuration — metrics sink, fault plan, dirty-row
+/// policy — arrives through the [`RunSpec`]: pass it to
+/// [`HiveEngine::run_with`] (or [`Platform::run`]) and, for load-time
+/// replica-loss faults, to [`HiveEngine::load_observed`].
 pub struct HiveEngine {
     topology: ClusterTopology,
     pool: WorkerPool,
     reduce_tasks: usize,
     dfs: SimDfs,
     table: Option<TextTable>,
-    metrics: MetricsSink,
-    faults: Option<FaultPlan>,
-    dirty_policy: DirtyDataPolicy,
+    /// Text format [`Platform::load`] renders the dataset in.
+    pub format: DataFormat,
     /// For format 3: run the UDAF (reduce-full) plan instead of the UDTF
     /// (map-only) plan — the Figure 18 comparison.
     pub force_udaf: bool,
@@ -76,36 +79,17 @@ impl HiveEngine {
             reduce_tasks,
             dfs,
             table: None,
-            metrics: MetricsSink::disabled(),
-            faults: None,
-            dirty_policy: DirtyDataPolicy::default(),
+            format: DataFormat::ReadingPerLine,
             force_udaf: false,
         }
     }
 
-    /// Route cluster counters (tasks scheduled, bytes shuffled, workers
-    /// spawned) from subsequent jobs into `sink`.
-    pub fn set_metrics(&mut self, sink: MetricsSink) {
-        self.metrics = sink;
-    }
-
-    /// Inject faults into subsequent loads and jobs: replica losses are
-    /// applied at [`HiveEngine::load`] time, everything else at run time
-    /// through the scheduler and worker pool.
-    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
-        self.faults = Some(plan);
-    }
-
-    /// How map-side parsers treat malformed rows (default: fail fast).
-    pub fn set_dirty_policy(&mut self, policy: DirtyDataPolicy) {
-        self.dirty_policy = policy;
-    }
-
-    /// A fresh scheduler on the engine's topology, wired to its sink.
-    fn scheduler(&self) -> VirtualScheduler {
+    /// A fresh scheduler on the engine's topology, wired to the spec's
+    /// sink and fault plan.
+    fn scheduler(&self, spec: &RunSpec) -> VirtualScheduler {
         let mut scheduler = VirtualScheduler::new(self.topology);
-        scheduler.attach_metrics(self.metrics.clone());
-        if let Some(plan) = &self.faults {
+        scheduler.attach_metrics(spec.metrics.clone());
+        if let Some(plan) = &spec.fault_plan {
             scheduler.set_fault_plan(plan.clone());
         }
         scheduler
@@ -122,24 +106,36 @@ impl HiveEngine {
     }
 
     /// Create the external table: render `ds` in `format` and register
-    /// it in the DFS.
+    /// it in the DFS, fault-free and unobserved.
     pub fn load(&mut self, ds: &Dataset, format: DataFormat) -> Result<()> {
+        self.load_observed(ds, format, &RunSpec::builder(Task::Histogram).build())
+    }
+
+    /// [`HiveEngine::load`] under a [`RunSpec`]: the spec's replica-loss
+    /// faults are applied to the fresh DFS placement and its counters
+    /// flow into the spec's sink. (The spec's task is irrelevant here.)
+    pub fn load_observed(
+        &mut self,
+        ds: &Dataset,
+        format: DataFormat,
+        spec: &RunSpec,
+    ) -> Result<()> {
         if self.table.is_some() {
             // Replace: drop old placement for determinism.
             self.dfs = SimDfs::new(self.dfs.config());
         }
         let mut table = TextTable::build("meter_data", ds, format, &mut self.dfs)?;
-        if let Some(plan) = self.faults.clone() {
+        if let Some(plan) = spec.fault_plan.clone() {
             if plan.replica_losses > 0 {
                 let lost = self.dfs.drop_replicas(plan.replica_losses);
                 if lost > 0 {
-                    self.metrics
+                    spec.metrics
                         .incr(counters::FAULTS_INJECTED_REPLICA_LOSS, lost as u64);
                 }
                 if plan.re_replicate {
                     let restored = self.dfs.re_replicate();
                     if restored > 0 {
-                        self.metrics
+                        spec.metrics
                             .incr(counters::FAULTS_RECOVERED_REPLICA_LOSS, restored as u64);
                     }
                 }
@@ -148,6 +144,7 @@ impl HiveEngine {
                 table.refresh_hosts(&self.dfs)?;
             }
         }
+        self.format = format;
         self.table = Some(table);
         Ok(())
     }
@@ -171,19 +168,27 @@ impl HiveEngine {
             .collect())
     }
 
-    /// Run one benchmark task, returning output + virtual-time stats.
+    /// Run one benchmark task with default run-scoped configuration
+    /// (no metrics, no faults, fail-fast dirty handling).
     pub fn run_task(&mut self, task: Task) -> Result<HiveRunResult> {
+        let spec = RunSpec::builder(task).build();
+        self.run_with(&spec)
+    }
+
+    /// Run `spec.task`, returning output + virtual-time stats. Metrics,
+    /// faults and the dirty-row policy all come from the spec.
+    pub fn run_with(&mut self, spec: &RunSpec) -> Result<HiveRunResult> {
         let format = self.table()?.format;
-        match task {
-            Task::Similarity => self.run_similarity(),
-            _ => match format {
-                DataFormat::ReadingPerLine => self.run_udaf_plan(task),
-                DataFormat::ConsumerPerLine => self.run_udf_plan(task),
+        match spec.task {
+            Task::Similarity => self.run_similarity(spec),
+            task => match format {
+                DataFormat::ReadingPerLine => self.run_udaf_plan(task, spec),
+                DataFormat::ConsumerPerLine => self.run_udf_plan(task, spec),
                 DataFormat::ManyFiles { .. } => {
                     if self.force_udaf {
-                        self.run_udaf_plan(task)
+                        self.run_udaf_plan(task, spec)
                     } else {
-                        self.run_udtf_plan(task)
+                        self.run_udtf_plan(task, spec)
                     }
                 }
             },
@@ -191,12 +196,12 @@ impl HiveEngine {
     }
 
     /// Format 1 (or forced): full map/shuffle/reduce with the task UDAF.
-    fn run_udaf_plan(&mut self, task: Task) -> Result<HiveRunResult> {
+    fn run_udaf_plan(&mut self, task: Task, spec: &RunSpec) -> Result<HiveRunResult> {
         let inputs = self.inputs()?;
         let udaf = TaskUdaf { task };
-        let policy = self.dirty_policy;
-        let metrics = self.metrics.clone();
-        let mut scheduler = self.scheduler();
+        let policy = spec.dirty_policy;
+        let metrics = spec.metrics.clone();
+        let mut scheduler = self.scheduler(spec);
         let error = parking_lot::Mutex::new(None);
         let (results, stats) = run_map_reduce(
             inputs,
@@ -242,15 +247,15 @@ impl HiveEngine {
     }
 
     /// Format 2: map-only with the generic UDF.
-    fn run_udf_plan(&mut self, task: Task) -> Result<HiveRunResult> {
+    fn run_udf_plan(&mut self, task: Task, spec: &RunSpec) -> Result<HiveRunResult> {
         let inputs = self.inputs()?;
         let udf = TaskUdf {
             task,
             temperature: self.table()?.temperature.clone(),
         };
-        let policy = self.dirty_policy;
-        let metrics = self.metrics.clone();
-        let mut scheduler = self.scheduler();
+        let policy = spec.dirty_policy;
+        let metrics = spec.metrics.clone();
+        let mut scheduler = self.scheduler(spec);
         let error = parking_lot::Mutex::new(None);
         let (results, stats) = run_map_only(
             inputs,
@@ -287,12 +292,12 @@ impl HiveEngine {
     }
 
     /// Format 3: map-only with the UDTF over non-split files.
-    fn run_udtf_plan(&mut self, task: Task) -> Result<HiveRunResult> {
+    fn run_udtf_plan(&mut self, task: Task, spec: &RunSpec) -> Result<HiveRunResult> {
         let inputs = self.inputs()?;
         let udtf = TaskUdtf { task };
-        let policy = self.dirty_policy;
-        let metrics = self.metrics.clone();
-        let mut scheduler = self.scheduler();
+        let policy = spec.dirty_policy;
+        let metrics = spec.metrics.clone();
+        let mut scheduler = self.scheduler(spec);
         let error = parking_lot::Mutex::new(None);
         let (results, stats) = run_map_only(
             inputs,
@@ -327,8 +332,8 @@ impl HiveEngine {
     /// Similarity as a self-join: assemble series (job 1, format-
     /// dependent), then shuffle **every** series to **every** reducer
     /// (job 2) — the plan Hive produces without map-side joins.
-    fn run_similarity(&mut self) -> Result<HiveRunResult> {
-        let (series, mut stats, operator) = self.assemble_series()?;
+    fn run_similarity(&mut self, spec: &RunSpec) -> Result<HiveRunResult> {
+        let (series, mut stats, operator) = self.assemble_series(spec)?;
         let n = series.len();
         if n == 0 {
             return Ok(HiveRunResult {
@@ -369,7 +374,7 @@ impl HiveEngine {
 
         let ids_ref = &ids;
         let normalized_ref = &normalized;
-        let mut scheduler = self.scheduler();
+        let mut scheduler = self.scheduler(spec);
         let (mut matches, join_stats) = run_map_reduce_partitioned(
             inputs,
             // Map: replicate every series to every reduce partition (the
@@ -422,7 +427,7 @@ impl HiveEngine {
         matches.sort_by_key(|m| m.consumer);
         // The reduce-side join scores every ordered pair — no symmetric
         // halving; that cost is exactly what this plan models.
-        self.metrics
+        spec.metrics
             .incr(counters::PAIRS_SCORED, (n * (n - 1)) as u64);
 
         stats = combine(stats, join_stats);
@@ -435,12 +440,15 @@ impl HiveEngine {
 
     /// Job 1 of similarity: produce `(id, readings)` per household.
     #[allow(clippy::type_complexity)]
-    fn assemble_series(&mut self) -> Result<(Vec<(ConsumerId, Vec<f64>)>, JobStats, HiveOperator)> {
+    fn assemble_series(
+        &mut self,
+        spec: &RunSpec,
+    ) -> Result<(Vec<(ConsumerId, Vec<f64>)>, JobStats, HiveOperator)> {
         let format = self.table()?.format;
         let inputs = self.inputs()?;
-        let policy = self.dirty_policy;
-        let metrics = self.metrics.clone();
-        let mut scheduler = self.scheduler();
+        let policy = spec.dirty_policy;
+        let metrics = spec.metrics.clone();
+        let mut scheduler = self.scheduler(spec);
         let error = parking_lot::Mutex::new(None);
         match format {
             DataFormat::ReadingPerLine => {
@@ -540,6 +548,44 @@ impl HiveEngine {
     }
 }
 
+impl Platform for HiveEngine {
+    fn name(&self) -> &'static str {
+        "hive"
+    }
+
+    /// Render the dataset in the engine's current [`HiveEngine::format`]
+    /// and register it in the DFS; returns the wall time spent.
+    fn load(&mut self, ds: &Dataset) -> Result<std::time::Duration> {
+        let start = std::time::Instant::now();
+        let format = self.format;
+        self.load(ds, format)?;
+        Ok(start.elapsed())
+    }
+
+    /// The DFS text table is re-read by every job; there is no cache to
+    /// drop.
+    fn make_cold(&mut self) {}
+
+    /// No warm-up phase: jobs always scan the table.
+    fn warm(&mut self) -> Result<std::time::Duration> {
+        Ok(std::time::Duration::ZERO)
+    }
+
+    /// [`HiveEngine::run_with`], reporting the modeled cluster's
+    /// virtual wall-clock as the elapsed time.
+    fn run(&mut self, spec: &RunSpec) -> Result<RunResult> {
+        let r = self.run_with(spec)?;
+        Ok(RunResult {
+            output: r.output,
+            elapsed: r.stats.virtual_elapsed,
+        })
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities::hive()
+    }
+}
+
 /// Sum two job-chain accountings (virtual times are sequential).
 pub fn combine(a: JobStats, b: JobStats) -> JobStats {
     JobStats {
@@ -558,8 +604,10 @@ pub fn combine(a: JobStats, b: JobStats) -> JobStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use smda_cluster::FaultPlan;
     use smda_core::tasks::run_reference;
-    use smda_types::{ConsumerSeries, TemperatureSeries};
+    use smda_obs::MetricsSink;
+    use smda_types::{ConsumerSeries, DirtyDataPolicy, TemperatureSeries};
 
     fn tiny(n: u32) -> Dataset {
         let temp = TemperatureSeries::new(
@@ -714,8 +762,8 @@ mod tests {
         let mut hive = engine(3);
         let mut plan = FaultPlan::default();
         plan.replica_losses = usize::MAX; // drain the DFS completely
-        hive.set_fault_plan(plan);
-        match hive.load(&ds, DataFormat::ReadingPerLine) {
+        let spec = RunSpec::builder(Task::Histogram).fault_plan(plan).build();
+        match hive.load_observed(&ds, DataFormat::ReadingPerLine, &spec) {
             Err(Error::BlockUnavailable { .. }) => {}
             other => panic!("want BlockUnavailable, got {other:?}"),
         }
@@ -726,13 +774,16 @@ mod tests {
         let ds = tiny(3);
         let mut hive = engine(3);
         let sink = MetricsSink::recording();
-        hive.set_metrics(sink.clone());
         let mut plan = FaultPlan::default();
         plan.replica_losses = 4;
         plan.re_replicate = true;
-        hive.set_fault_plan(plan);
-        hive.load(&ds, DataFormat::ReadingPerLine).unwrap();
-        let r = hive.run_task(Task::Histogram).unwrap();
+        let spec = RunSpec::builder(Task::Histogram)
+            .metrics(sink.clone())
+            .fault_plan(plan)
+            .build();
+        hive.load_observed(&ds, DataFormat::ReadingPerLine, &spec)
+            .unwrap();
+        let r = hive.run_with(&spec).unwrap();
         assert_matches_reference(&ds, &r.output, Task::Histogram);
         let report = sink.finish(smda_obs::RunManifest::new("histogram", "hive"));
         assert_eq!(
@@ -752,7 +803,6 @@ mod tests {
         let ds = tiny(2);
         let mut hive = engine(2);
         let sink = MetricsSink::recording();
-        hive.set_metrics(sink.clone());
         hive.load(&ds, DataFormat::ReadingPerLine).unwrap();
         {
             // Append one malformed line to the first split.
@@ -765,8 +815,11 @@ mod tests {
             hive.run_task(Task::Histogram).is_err(),
             "fail-fast must surface the dirty row"
         );
-        hive.set_dirty_policy(DirtyDataPolicy::SkipAndCount);
-        let r = hive.run_task(Task::Histogram).unwrap();
+        let spec = RunSpec::builder(Task::Histogram)
+            .metrics(sink.clone())
+            .dirty_policy(DirtyDataPolicy::SkipAndCount)
+            .build();
+        let r = hive.run_with(&spec).unwrap();
         assert_matches_reference(&ds, &r.output, Task::Histogram);
         let report = sink.finish(smda_obs::RunManifest::new("histogram", "hive"));
         assert!(report.counter(counters::ROWS_SKIPPED_DIRTY).unwrap_or(0) >= 1);
@@ -783,9 +836,9 @@ mod tests {
             node: 2,
             at: std::time::Duration::ZERO,
         });
-        hive.set_fault_plan(plan);
         hive.load(&ds, DataFormat::ReadingPerLine).unwrap();
-        let faulty = hive.run_task(Task::Histogram).unwrap();
+        let spec = RunSpec::builder(Task::Histogram).fault_plan(plan).build();
+        let faulty = hive.run_with(&spec).unwrap();
         assert_matches_reference(&ds, &faulty.output, Task::Histogram);
         assert!(
             faulty.stats.retries > 0,

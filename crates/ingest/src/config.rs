@@ -9,6 +9,8 @@ use smda_core::AnomalyDetector;
 use smda_obs::MetricsSink;
 use smda_types::{ConsumerId, DirtyDataPolicy, Error, Result};
 
+use crate::handle::SnapshotHandle;
+
 /// Default shard (worker) count.
 pub const DEFAULT_SHARDS: usize = 4;
 
@@ -51,6 +53,9 @@ pub struct IngestConfig {
     /// Per-consumer anomaly detectors fed behind the watermark; see
     /// [`fit_detectors`](crate::fit_detectors).
     pub detectors: Option<Arc<HashMap<ConsumerId, AnomalyDetector>>>,
+    /// Where to publish the sealed snapshot for online serving; the
+    /// pipeline swaps it in as a new epoch at seal time.
+    pub publish: Option<Arc<SnapshotHandle>>,
 }
 
 impl Default for IngestConfig {
@@ -64,6 +69,7 @@ impl Default for IngestConfig {
             faults: FaultPlan::default(),
             metrics: MetricsSink::disabled(),
             detectors: None,
+            publish: None,
         }
     }
 }
@@ -123,6 +129,12 @@ impl IngestConfig {
         detectors: Arc<HashMap<ConsumerId, AnomalyDetector>>,
     ) -> IngestConfig {
         self.detectors = Some(detectors);
+        self
+    }
+
+    /// Publish the sealed snapshot into `handle` for online serving.
+    pub fn with_publish(mut self, handle: Arc<SnapshotHandle>) -> IngestConfig {
+        self.publish = Some(handle);
         self
     }
 

@@ -1,0 +1,200 @@
+//! The epoch-swap bridge between the sealer and the serving layer.
+//!
+//! A [`SnapshotHandle`] holds at most one *live* snapshot. Publishing
+//! replaces the whole `Arc<LiveSnapshot>` under a short write lock and
+//! bumps the epoch; readers [`pin`](SnapshotHandle::pin) by cloning the
+//! `Arc` under a short read lock. Because the epoch, the watermark and
+//! the data travel together inside one immutable `LiveSnapshot`, a
+//! reader can never observe a *torn* state (epoch N paired with epoch
+//! N+1's data) — it either pins the old world or the new one, and holds
+//! whichever it pinned alive for the duration of its query regardless of
+//! how many publishes happen meanwhile. The sealer never waits for
+//! readers: swapping the `Arc` is all it does.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+use smda_core::Alert;
+
+use crate::snapshot::Snapshot;
+
+/// One published world: a sealed snapshot plus the stream position it
+/// represents, immutable once constructed.
+pub struct LiveSnapshot {
+    epoch: u64,
+    watermark: u32,
+    snapshot: Arc<Snapshot>,
+    alerts: Arc<Vec<Alert>>,
+}
+
+impl LiveSnapshot {
+    /// Publication number, starting at 1 and strictly increasing.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Newest event hour the pipeline had routed when this snapshot was
+    /// sealed.
+    pub fn watermark(&self) -> u32 {
+        self.watermark
+    }
+
+    /// The sealed world.
+    pub fn snapshot(&self) -> &Arc<Snapshot> {
+        &self.snapshot
+    }
+
+    /// Anomaly alerts raised up to this snapshot's watermark, in
+    /// `(consumer, hour)` order.
+    pub fn alerts(&self) -> &Arc<Vec<Alert>> {
+        &self.alerts
+    }
+}
+
+/// Shared mailbox the sealer publishes into and queries pin from.
+///
+/// Create one, hand a clone of the `Arc` to
+/// [`IngestConfig::with_publish`](crate::IngestConfig::with_publish)
+/// (or call [`publish`](SnapshotHandle::publish) directly), and give the
+/// same `Arc` to the serving layer.
+#[derive(Default)]
+pub struct SnapshotHandle {
+    live: RwLock<Option<Arc<LiveSnapshot>>>,
+    epoch: AtomicU64,
+    /// Publishers serialize here; waiters park on the condvar.
+    gate: Mutex<()>,
+    advanced: Condvar,
+}
+
+impl SnapshotHandle {
+    /// An empty handle — [`pin`](SnapshotHandle::pin) returns `None`
+    /// until the first publish.
+    pub fn new() -> SnapshotHandle {
+        SnapshotHandle::default()
+    }
+
+    /// Publish a sealed snapshot as the new live world; returns its
+    /// epoch. Readers pinned to earlier epochs are unaffected.
+    pub fn publish(&self, snapshot: Arc<Snapshot>, watermark: u32, alerts: Arc<Vec<Alert>>) -> u64 {
+        let gate = lock(&self.gate);
+        let epoch = self.epoch.load(Ordering::Acquire) + 1;
+        let live = Arc::new(LiveSnapshot {
+            epoch,
+            watermark,
+            snapshot,
+            alerts,
+        });
+        *self
+            .live
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(live);
+        self.epoch.store(epoch, Ordering::Release);
+        drop(gate);
+        self.advanced.notify_all();
+        epoch
+    }
+
+    /// Pin the current live snapshot: clone the `Arc` under a short
+    /// read lock. `None` before the first publish.
+    pub fn pin(&self) -> Option<Arc<LiveSnapshot>> {
+        self.live
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Epoch of the current live snapshot; 0 before the first publish.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Block until the live epoch reaches `min_epoch` (then pin it), or
+    /// give up after `timeout`.
+    pub fn wait_for_epoch(&self, min_epoch: u64, timeout: Duration) -> Option<Arc<LiveSnapshot>> {
+        let deadline = Instant::now() + timeout;
+        let mut gate = lock(&self.gate);
+        while self.epoch.load(Ordering::Acquire) < min_epoch {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return None;
+            }
+            let (guard, _) = self
+                .advanced
+                .wait_timeout(gate, left)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            gate = guard;
+        }
+        drop(gate);
+        self.pin()
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smda_types::{ConsumerId, DirtyDataPolicy, Reading, TemperatureSeries, HOURS_PER_YEAR};
+
+    fn tiny_snapshot(id: u32) -> Arc<Snapshot> {
+        let mut acc = crate::state::ConsumerAccumulator::new(ConsumerId(id), None);
+        for h in 0..HOURS_PER_YEAR as u32 {
+            acc.admit(&Reading {
+                consumer: ConsumerId(id),
+                hour: h,
+                temperature: 10.0,
+                kwh: 1.0,
+            });
+        }
+        let mut missing = 0;
+        let sealed = acc
+            .seal(DirtyDataPolicy::FailFast, &mut missing, &mut Vec::new())
+            .unwrap();
+        let temps = TemperatureSeries::new(vec![10.0; HOURS_PER_YEAR]).unwrap();
+        Arc::new(Snapshot::from_sealed(vec![sealed], temps).unwrap())
+    }
+
+    #[test]
+    fn empty_handle_pins_nothing() {
+        let h = SnapshotHandle::new();
+        assert!(h.pin().is_none());
+        assert_eq!(h.epoch(), 0);
+        assert!(h.wait_for_epoch(1, Duration::from_millis(10)).is_none());
+    }
+
+    #[test]
+    fn publish_bumps_epoch_and_readers_keep_their_pin() {
+        let h = SnapshotHandle::new();
+        let e1 = h.publish(tiny_snapshot(1), 100, Arc::new(Vec::new()));
+        assert_eq!(e1, 1);
+        let pinned = h.pin().unwrap();
+        assert_eq!(pinned.epoch(), 1);
+        assert_eq!(pinned.watermark(), 100);
+
+        let e2 = h.publish(tiny_snapshot(2), 200, Arc::new(Vec::new()));
+        assert_eq!(e2, 2);
+        // The old pin still sees the old world, whole and consistent.
+        assert_eq!(pinned.epoch(), 1);
+        assert_eq!(pinned.snapshot().dataset().consumers()[0].id, ConsumerId(1));
+        // A fresh pin sees the new world.
+        let fresh = h.pin().unwrap();
+        assert_eq!(fresh.epoch(), 2);
+        assert_eq!(fresh.snapshot().dataset().consumers()[0].id, ConsumerId(2));
+    }
+
+    #[test]
+    fn wait_for_epoch_wakes_on_publish() {
+        let h = Arc::new(SnapshotHandle::new());
+        let waiter = {
+            let h = h.clone();
+            std::thread::spawn(move || h.wait_for_epoch(1, Duration::from_secs(5)))
+        };
+        std::thread::sleep(Duration::from_millis(5));
+        h.publish(tiny_snapshot(1), 10, Arc::new(Vec::new()));
+        let live = waiter.join().unwrap().expect("publish must wake waiter");
+        assert_eq!(live.epoch(), 1);
+    }
+}

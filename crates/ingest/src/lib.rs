@@ -52,6 +52,7 @@
 //! allowed lateness.
 
 pub mod config;
+pub mod handle;
 pub mod pipeline;
 pub mod replay;
 pub mod shard;
@@ -59,6 +60,7 @@ pub mod snapshot;
 pub mod state;
 
 pub use config::IngestConfig;
+pub use handle::{LiveSnapshot, SnapshotHandle};
 pub use pipeline::{run_pipeline, shard_of, IngestOutcome, IngestReport};
 pub use replay::{replay_events, throttle, ReplayConfig};
 pub use snapshot::Snapshot;

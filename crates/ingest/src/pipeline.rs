@@ -19,7 +19,7 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
-use std::sync::{Condvar, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use smda_core::Alert;
@@ -79,8 +79,12 @@ pub struct IngestReport {
 
 /// Everything a finished pipeline run produced.
 pub struct IngestOutcome {
-    /// The sealed world, ready for the batch engines.
-    pub snapshot: Snapshot,
+    /// The sealed world, ready for the batch engines (and, when the
+    /// config carries a publish handle, already live for serving).
+    pub snapshot: Arc<Snapshot>,
+    /// Epoch the snapshot was published at, when the config carries a
+    /// [`SnapshotHandle`](crate::SnapshotHandle).
+    pub published_epoch: Option<u64>,
     /// Counters describing the run.
     pub report: IngestReport,
     /// Anomaly alerts raised behind the watermark, in (consumer, hour)
@@ -364,7 +368,19 @@ where
             // SkipAndCount: hours nobody reported keep the 0.0 fill.
         }
     }
-    let snapshot = Snapshot::from_sealed(sealed, TemperatureSeries::new(temps)?)?;
+    let snapshot = Arc::new(Snapshot::from_sealed(
+        sealed,
+        TemperatureSeries::new(temps)?,
+    )?);
+    // Epoch swap: the sealed world goes live for online queries before
+    // the batch hand-off, so `smda serve` can attach to a replay.
+    let published_epoch = cfg.publish.as_ref().map(|handle| {
+        handle.publish(
+            snapshot.clone(),
+            control.routed_hour.load(Ordering::Acquire),
+            Arc::new(alerts.clone()),
+        )
+    });
     let seal_time = seal_started.elapsed();
 
     let m = &cfg.metrics;
@@ -409,6 +425,7 @@ where
 
     Ok(IngestOutcome {
         snapshot,
+        published_epoch,
         report,
         alerts,
         dead_letters,

@@ -126,6 +126,24 @@ pub mod counters {
     /// Model fits served by an already-warm `FitScratch` arena (every
     /// fit on a worker's arena after its first).
     pub const FITS_SCRATCH_REUSES: &str = "fits.scratch_reuses";
+    /// Queries admitted into the serving layer's in-flight queue.
+    pub const SERVE_ADMITTED: &str = "serve.admitted";
+    /// Queries rejected at admission because the queue was full.
+    pub const SERVE_REJECTED_OVERLOAD: &str = "serve.rejected.overload";
+    /// Queries answered from the per-epoch result cache.
+    pub const SERVE_CACHE_HITS: &str = "serve.cache_hits";
+    /// Queries that missed their deadline (expired in the queue or
+    /// finished past the deadline).
+    pub const SERVE_DEADLINE_MISSES: &str = "serve.deadline_misses";
+    /// Per-epoch cache generations discarded on a snapshot swap.
+    pub const SERVE_CACHE_INVALIDATIONS: &str = "serve.cache_invalidations";
+    /// Cumulative serving latency in nanoseconds, per query type
+    /// (suffixed `serve.latency_ns.<kind>`); divide by the matching
+    /// `serve.answered.<kind>` counter for the mean.
+    pub const SERVE_LATENCY_NS: &str = "serve.latency_ns";
+    /// Queries answered successfully, per query type (suffixed
+    /// `serve.answered.<kind>`).
+    pub const SERVE_ANSWERED: &str = "serve.answered";
 }
 
 #[cfg(test)]

@@ -1,0 +1,51 @@
+//! Online query serving: the read side of the lambda architecture.
+//!
+//! The ingest pipeline seals each completed year into a
+//! [`Snapshot`](smda_ingest::Snapshot) and publishes it through an
+//! epoch-swapped [`SnapshotHandle`](smda_ingest::SnapshotHandle); this
+//! crate answers live, concurrent, typed [`Query`](smda_types::Query)s
+//! against whatever world is currently published. The two layers are
+//! fully decoupled: the sealer swaps an `Arc` and moves on, and every
+//! query pins the epoch it started on — a reader never blocks a
+//! publish and never observes a torn (half-swapped) snapshot.
+//!
+//! # Architecture
+//!
+//! [`Server::start`] spawns one dispatcher thread that drains a bounded
+//! in-flight queue in batches and fans each batch over the process-wide
+//! [`WorkerPool`](smda_engines::WorkerPool) — the same pool the batch
+//! engines use, so serving and batch work share cores without
+//! oversubscribing. The request path is:
+//!
+//! 1. **admission** — [`Server::submit`] either enqueues the query or
+//!    rejects it with a typed [`ServeError::Overloaded`] when the
+//!    bounded queue is full (load shedding, counted as
+//!    `serve.rejected.overload`);
+//! 2. **deadline** — every query carries a deadline; one that expires in
+//!    the queue (or finishes too late) resolves to
+//!    [`ServeError::DeadlineExceeded`] and counts into
+//!    `serve.deadline_misses`;
+//! 3. **pin** — the executing worker pins the current
+//!    [`LiveSnapshot`](smda_ingest::LiveSnapshot) (epoch, watermark and
+//!    data travel together in one immutable `Arc`);
+//! 4. **cache** — answers are memoized per `(epoch, query)` in an
+//!    [`EpochCache`]; the first lookup on a fresh epoch discards the
+//!    previous generation wholesale, so an entry computed at epoch `N`
+//!    is never served at `N + 1`;
+//! 5. **execute** — misses run against the pinned snapshot through the
+//!    same kernels and per-consumer fits as the offline batch path, so
+//!    every served float is `to_bits`-identical to the batch answer.
+//!
+//! All `serve.*` counters flow through the configured
+//! [`MetricsSink`](smda_obs::MetricsSink) into the `smda-bench/v1`
+//! export.
+
+pub mod cache;
+pub mod exec;
+pub mod load;
+pub mod server;
+
+pub use cache::{CacheLookup, EpochCache};
+pub use exec::execute;
+pub use load::{run_load_sweep, LoadConfig, SweepPoint};
+pub use server::{ServeConfig, ServeError, Server, Ticket};

@@ -1,0 +1,379 @@
+//! The request loop: admission, deadlines, dispatch, completion.
+//!
+//! One dispatcher thread drains the bounded in-flight queue in FIFO
+//! batches and fans each batch over the process-wide
+//! [`WorkerPool`] with an atomic claim
+//! cursor, so queries in one batch execute concurrently while arrival
+//! order stays the admission order. Callers block on a [`Ticket`]
+//! rather than a channel: the ticket's slot is filled exactly once,
+//! success or typed failure.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use smda_engines::WorkerPool;
+use smda_ingest::SnapshotHandle;
+use smda_obs::{counters, MetricsSink};
+use smda_types::{ConsumerId, Query, QueryResult};
+
+use crate::cache::{CacheLookup, EpochCache};
+use crate::exec;
+
+/// Why the serving layer declined (or failed) a query. Every variant is
+/// a *typed* outcome — the server never panics a caller and never
+/// silently drops a request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// Admission control: the bounded in-flight queue was full.
+    Overloaded {
+        /// The queue depth the request bounced off.
+        depth: usize,
+    },
+    /// The query's deadline passed before an answer could be returned.
+    DeadlineExceeded {
+        /// The query that missed its deadline.
+        query: Query,
+    },
+    /// Nothing has been published yet — the ingest pipeline has not
+    /// sealed a snapshot into the handle.
+    NoSnapshot,
+    /// The household is not in the live snapshot.
+    UnknownConsumer(ConsumerId),
+    /// The household's series is degenerate and has no three-line fit.
+    NoModel(ConsumerId),
+    /// The server is shutting down and no longer admits queries.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Overloaded { depth } => {
+                write!(f, "overloaded: in-flight queue full at depth {depth}")
+            }
+            ServeError::DeadlineExceeded { query } => {
+                write!(f, "deadline exceeded for query `{query}`")
+            }
+            ServeError::NoSnapshot => write!(f, "no snapshot published yet"),
+            ServeError::UnknownConsumer(id) => write!(f, "unknown consumer {id}"),
+            ServeError::NoModel(id) => write!(f, "no three-line model for {id}"),
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Tuning knobs for a [`Server`].
+#[derive(Clone)]
+pub struct ServeConfig {
+    /// Bound on queries admitted but not yet answered; submissions
+    /// beyond it are rejected with [`ServeError::Overloaded`].
+    pub queue_depth: usize,
+    /// Concurrent executors per batch (participants in the worker-pool
+    /// broadcast).
+    pub workers: usize,
+    /// Deadline applied by [`Server::submit`] / [`Server::query`].
+    pub default_deadline: Duration,
+    /// Answers memoized per epoch.
+    pub cache_capacity: usize,
+    /// Destination for the `serve.*` counters.
+    pub metrics: MetricsSink,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            queue_depth: 256,
+            workers: 4,
+            default_deadline: Duration::from_secs(5),
+            cache_capacity: 4096,
+            metrics: MetricsSink::disabled(),
+        }
+    }
+}
+
+/// Shrug off lock poisoning: queue and ticket state are updated in
+/// small, panic-free critical sections.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// The write-once completion slot a caller waits on.
+struct TicketState {
+    slot: Mutex<Option<Result<Arc<QueryResult>, ServeError>>>,
+    ready: Condvar,
+}
+
+impl TicketState {
+    fn complete(&self, outcome: Result<Arc<QueryResult>, ServeError>) {
+        let mut slot = lock(&self.slot);
+        if slot.is_none() {
+            *slot = Some(outcome);
+            self.ready.notify_all();
+        }
+    }
+}
+
+/// A pending query's handle. [`Ticket::wait`] blocks until the server
+/// resolves it — with an answer or a typed [`ServeError`].
+pub struct Ticket {
+    state: Arc<TicketState>,
+}
+
+impl Ticket {
+    /// Block until the query resolves.
+    pub fn wait(self) -> Result<Arc<QueryResult>, ServeError> {
+        let mut slot = lock(&self.state.slot);
+        loop {
+            if let Some(outcome) = slot.take() {
+                return outcome;
+            }
+            slot = self
+                .state
+                .ready
+                .wait(slot)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Non-blocking probe: the resolution, if the server has produced
+    /// one yet.
+    pub fn try_take(&self) -> Option<Result<Arc<QueryResult>, ServeError>> {
+        lock(&self.state.slot).take()
+    }
+}
+
+/// One admitted request.
+struct Request {
+    query: Query,
+    submitted: Instant,
+    deadline: Instant,
+    ticket: Arc<TicketState>,
+}
+
+struct Queue {
+    buf: VecDeque<Request>,
+    shutdown: bool,
+}
+
+/// State shared between submitters and the dispatcher.
+struct Shared {
+    queue: Mutex<Queue>,
+    work: Condvar,
+    handle: Arc<SnapshotHandle>,
+    cache: EpochCache,
+    config: ServeConfig,
+}
+
+/// The serving layer; see the crate docs for the request path.
+///
+/// Dropping the server stops admitting, drains every already-admitted
+/// query, and joins the dispatcher.
+pub struct Server {
+    shared: Arc<Shared>,
+    dispatcher: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Start a server answering queries from whatever `handle` has
+    /// live. The dispatcher thread starts immediately; queries submitted
+    /// before the first publish resolve to [`ServeError::NoSnapshot`].
+    pub fn start(handle: Arc<SnapshotHandle>, config: ServeConfig) -> Server {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Queue {
+                buf: VecDeque::new(),
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            handle,
+            cache: EpochCache::new(config.cache_capacity),
+            config,
+        });
+        let dispatcher = {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("smda-serve".into())
+                .spawn(move || dispatch_loop(&shared))
+                .expect("spawn serve dispatcher")
+        };
+        Server {
+            shared,
+            dispatcher: Some(dispatcher),
+        }
+    }
+
+    /// The epoch currently live in the underlying handle.
+    pub fn epoch(&self) -> u64 {
+        self.shared.handle.epoch()
+    }
+
+    /// Submit with the configured default deadline.
+    ///
+    /// # Errors
+    /// [`ServeError::Overloaded`] when the in-flight queue is full,
+    /// [`ServeError::ShuttingDown`] after shutdown began.
+    pub fn submit(&self, query: Query) -> Result<Ticket, ServeError> {
+        self.submit_with_deadline(query, self.shared.config.default_deadline)
+    }
+
+    /// Submit with an explicit deadline, measured from now.
+    ///
+    /// # Errors
+    /// [`ServeError::Overloaded`] when the in-flight queue is full,
+    /// [`ServeError::ShuttingDown`] after shutdown began.
+    pub fn submit_with_deadline(
+        &self,
+        query: Query,
+        deadline: Duration,
+    ) -> Result<Ticket, ServeError> {
+        let metrics = &self.shared.config.metrics;
+        let now = Instant::now();
+        let ticket = Arc::new(TicketState {
+            slot: Mutex::new(None),
+            ready: Condvar::new(),
+        });
+        {
+            let mut q = lock(&self.shared.queue);
+            if q.shutdown {
+                return Err(ServeError::ShuttingDown);
+            }
+            if q.buf.len() >= self.shared.config.queue_depth {
+                metrics.incr(counters::SERVE_REJECTED_OVERLOAD, 1);
+                return Err(ServeError::Overloaded {
+                    depth: self.shared.config.queue_depth,
+                });
+            }
+            metrics.incr(counters::SERVE_ADMITTED, 1);
+            q.buf.push_back(Request {
+                query,
+                submitted: now,
+                deadline: now + deadline,
+                ticket: ticket.clone(),
+            });
+        }
+        self.shared.work.notify_one();
+        Ok(Ticket { state: ticket })
+    }
+
+    /// Submit and block for the answer (the default deadline applies).
+    ///
+    /// # Errors
+    /// Any [`ServeError`]: admission, deadline, or execution failures.
+    pub fn query(&self, query: Query) -> Result<Arc<QueryResult>, ServeError> {
+        self.submit(query)?.wait()
+    }
+
+    /// Queries admitted but not yet picked up by the dispatcher.
+    pub fn queued(&self) -> usize {
+        lock(&self.shared.queue).buf.len()
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        {
+            let mut q = lock(&self.shared.queue);
+            q.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        if let Some(handle) = self.dispatcher.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Drain the queue in batches until shutdown; every admitted request is
+/// resolved before the dispatcher exits.
+fn dispatch_loop(shared: &Arc<Shared>) {
+    loop {
+        let batch: Vec<Request> = {
+            let mut q = lock(&shared.queue);
+            loop {
+                if !q.buf.is_empty() {
+                    break q.buf.drain(..).collect();
+                }
+                if q.shutdown {
+                    return;
+                }
+                q = shared
+                    .work
+                    .wait(q)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        };
+        let n = batch.len();
+        let cursor = AtomicUsize::new(0);
+        let parallelism = shared.config.workers.min(n).max(1);
+        WorkerPool::global().broadcast(parallelism, &|_slot| loop {
+            let i = cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= n {
+                break;
+            }
+            serve_one(shared, &batch[i]);
+        });
+    }
+}
+
+/// Answer one request end to end: deadline check, epoch pin, cache
+/// probe, execution, completion.
+fn serve_one(shared: &Shared, req: &Request) {
+    let metrics = &shared.config.metrics;
+    if Instant::now() >= req.deadline {
+        // Expired while queued: reject without spending compute.
+        metrics.incr(counters::SERVE_DEADLINE_MISSES, 1);
+        req.ticket
+            .complete(Err(ServeError::DeadlineExceeded { query: req.query }));
+        return;
+    }
+    // Pin the world this query runs against. Publishes that land after
+    // this line are invisible to this query, by design.
+    let Some(live) = shared.handle.pin() else {
+        req.ticket.complete(Err(ServeError::NoSnapshot));
+        return;
+    };
+    let epoch = live.epoch();
+    match shared.cache.lookup(epoch, &req.query) {
+        CacheLookup::Hit(answer) => {
+            metrics.incr(counters::SERVE_CACHE_HITS, 1);
+            finish(shared, req, answer);
+            return;
+        }
+        CacheLookup::MissInvalidated => {
+            metrics.incr(counters::SERVE_CACHE_INVALIDATIONS, 1);
+        }
+        CacheLookup::Miss => {}
+    }
+    match exec::execute(&live, &req.query) {
+        Ok(result) => {
+            let answer = Arc::new(result);
+            shared.cache.insert(epoch, req.query, answer.clone());
+            finish(shared, req, answer);
+        }
+        Err(e) => req.ticket.complete(Err(e)),
+    }
+}
+
+/// Resolve a computed (or cached) answer, honoring the deadline and
+/// recording per-type latency.
+fn finish(shared: &Shared, req: &Request, answer: Arc<QueryResult>) {
+    let metrics = &shared.config.metrics;
+    let now = Instant::now();
+    if now > req.deadline {
+        // The answer exists (and is cached for the next caller), but
+        // this caller asked for it by a time that has passed.
+        metrics.incr(counters::SERVE_DEADLINE_MISSES, 1);
+        req.ticket
+            .complete(Err(ServeError::DeadlineExceeded { query: req.query }));
+        return;
+    }
+    let kind = req.query.kind().name();
+    metrics.incr(&format!("{}.{kind}", counters::SERVE_ANSWERED), 1);
+    metrics.incr(
+        &format!("{}.{kind}", counters::SERVE_LATENCY_NS),
+        (now - req.submitted).as_nanos() as u64,
+    );
+    req.ticket.complete(Ok(answer));
+}

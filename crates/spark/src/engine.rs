@@ -5,13 +5,14 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use smda_cluster::textdata::{parse_consumer, parse_reading_policed};
-use smda_cluster::{ClusterTopology, DfsConfig, FaultPlan, SimDfs, TextTable};
+use smda_cluster::{ClusterTopology, DfsConfig, SimDfs, TextTable};
 use smda_core::tasks::{collect_consumer_results, run_consumer_task, ConsumerResult};
 use smda_core::{ConsumerMatches, Task, TaskOutput, SIMILARITY_TOP_K};
+use smda_engines::{Capabilities, Platform, RunResult, RunSpec};
 use smda_stats::{top_k_query, SeriesMatrix};
-use smda_types::{ConsumerId, DataFormat, Dataset, DirtyDataPolicy, Error, Result, HOURS_PER_YEAR};
+use smda_types::{ConsumerId, DataFormat, Dataset, Error, Result, HOURS_PER_YEAR};
 
-use smda_obs::{counters, MetricsSink};
+use smda_obs::counters;
 
 use crate::rdd::{SparkContext, SparkStats};
 
@@ -27,13 +28,17 @@ pub struct SparkRunResult {
 }
 
 /// The Spark-like engine.
+///
+/// All run-scoped configuration — metrics sink, fault plan, dirty-row
+/// policy — arrives through the [`RunSpec`]: pass it to
+/// [`SparkEngine::run_with`] (or [`Platform::run`]) and, for load-time
+/// replica-loss faults, to [`SparkEngine::load_observed`].
 pub struct SparkEngine {
     topology: ClusterTopology,
     dfs: SimDfs,
     table: Option<TextTable>,
-    metrics: MetricsSink,
-    faults: Option<FaultPlan>,
-    dirty_policy: DirtyDataPolicy,
+    /// Text format [`Platform::load`] renders the dataset in.
+    pub format: DataFormat,
     /// Shuffle partitions for wide operations (default: 2 × workers).
     pub shuffle_partitions: usize,
 }
@@ -58,29 +63,9 @@ impl SparkEngine {
             topology,
             dfs,
             table: None,
-            metrics: MetricsSink::disabled(),
-            faults: None,
-            dirty_policy: DirtyDataPolicy::default(),
+            format: DataFormat::ReadingPerLine,
             shuffle_partitions: topology.workers * 2,
         }
-    }
-
-    /// Route cluster counters (tasks scheduled, bytes shuffled, workers
-    /// spawned) from subsequent jobs into `sink`.
-    pub fn set_metrics(&mut self, sink: MetricsSink) {
-        self.metrics = sink;
-    }
-
-    /// Inject faults into subsequent loads and jobs: replica losses are
-    /// applied at [`SparkEngine::load`] time, everything else at run
-    /// time through each job's context.
-    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
-        self.faults = Some(plan);
-    }
-
-    /// How parsers treat malformed rows (default: fail fast).
-    pub fn set_dirty_policy(&mut self, policy: DirtyDataPolicy) {
-        self.dirty_policy = policy;
     }
 
     /// The modeled topology.
@@ -88,23 +73,37 @@ impl SparkEngine {
         self.topology
     }
 
-    /// Render `ds` in `format` and register it in the DFS.
+    /// Render `ds` in `format` and register it in the DFS, fault-free
+    /// and unobserved.
     pub fn load(&mut self, ds: &Dataset, format: DataFormat) -> Result<()> {
+        self.load_observed(ds, format, &RunSpec::builder(Task::Histogram).build())
+    }
+
+    /// [`SparkEngine::load`] under a [`RunSpec`]: the spec's
+    /// replica-loss faults are applied to the fresh DFS placement and
+    /// its counters flow into the spec's sink. (The spec's task is
+    /// irrelevant here.)
+    pub fn load_observed(
+        &mut self,
+        ds: &Dataset,
+        format: DataFormat,
+        spec: &RunSpec,
+    ) -> Result<()> {
         if self.table.is_some() {
             self.dfs = SimDfs::new(self.dfs.config());
         }
         let mut table = TextTable::build("meter_data", ds, format, &mut self.dfs)?;
-        if let Some(plan) = self.faults.clone() {
+        if let Some(plan) = spec.fault_plan.clone() {
             if plan.replica_losses > 0 {
                 let lost = self.dfs.drop_replicas(plan.replica_losses);
                 if lost > 0 {
-                    self.metrics
+                    spec.metrics
                         .incr(counters::FAULTS_INJECTED_REPLICA_LOSS, lost as u64);
                 }
                 if plan.re_replicate {
                     let restored = self.dfs.re_replicate();
                     if restored > 0 {
-                        self.metrics
+                        spec.metrics
                             .incr(counters::FAULTS_RECOVERED_REPLICA_LOSS, restored as u64);
                     }
                 }
@@ -113,6 +112,7 @@ impl SparkEngine {
                 table.refresh_hosts(&self.dfs)?;
             }
         }
+        self.format = format;
         self.table = Some(table);
         Ok(())
     }
@@ -123,19 +123,28 @@ impl SparkEngine {
             .ok_or_else(|| Error::Invalid("no RDD input loaded".into()))
     }
 
-    /// Run one benchmark task, returning output + virtual-time stats.
+    /// Run one benchmark task with default run-scoped configuration
+    /// (no metrics, no faults, fail-fast dirty handling).
+    pub fn run_task(&mut self, task: Task) -> Result<SparkRunResult> {
+        let spec = RunSpec::builder(task).build();
+        self.run_with(&spec)
+    }
+
+    /// Run `spec.task`, returning output + virtual-time stats. Metrics,
+    /// faults and the dirty-row policy all come from the spec.
     ///
     /// # Errors
     /// Typed failures deferred from any stage — retry exhaustion, a
     /// cluster-wide outage, or a malformed row under the fail-fast
     /// dirty-data policy.
-    pub fn run_task(&mut self, task: Task) -> Result<SparkRunResult> {
+    pub fn run_with(&mut self, spec: &RunSpec) -> Result<SparkRunResult> {
+        let task = spec.task;
         let sc = SparkContext::new(self.topology);
-        sc.attach_metrics(self.metrics.clone());
-        if let Some(plan) = &self.faults {
+        sc.attach_metrics(spec.metrics.clone());
+        if let Some(plan) = &spec.fault_plan {
             sc.set_fault_plan(plan.clone());
         }
-        let policy = self.dirty_policy;
+        let policy = spec.dirty_policy;
         let table = self.table()?;
         let lines = sc.text_table(table)?;
         let format = table.format;
@@ -147,7 +156,7 @@ impl SparkEngine {
                     DataFormat::ReadingPerLine => {
                         // Shuffle readings by household, then assemble.
                         let sc2 = sc.clone();
-                        let m = self.metrics.clone();
+                        let m = spec.metrics.clone();
                         lines
                             .flat_map(move |l| match parse_reading_policed(&l, policy, &m) {
                                 Ok(Some(r)) => vec![(r.consumer.raw(), (r.hour, r.kwh))],
@@ -169,7 +178,7 @@ impl SparkEngine {
                     }
                     DataFormat::ConsumerPerLine => {
                         let sc2 = sc.clone();
-                        let m = self.metrics.clone();
+                        let m = spec.metrics.clone();
                         lines
                             .flat_map(move |l| match parse_consumer(&l) {
                                 Ok(row) => vec![row],
@@ -186,7 +195,7 @@ impl SparkEngine {
                     }
                     DataFormat::ManyFiles { .. } => {
                         let sc2 = sc.clone();
-                        let m = self.metrics.clone();
+                        let m = spec.metrics.clone();
                         lines
                             .map_partitions(move |part| {
                                 let mut rows = Vec::with_capacity(part.len());
@@ -249,7 +258,7 @@ impl SparkEngine {
                 matches.sort_by_key(|m| m.consumer);
                 // Map-side join: each of the n queries scans the other
                 // n - 1 broadcast rows.
-                self.metrics
+                spec.metrics
                     .incr(counters::PAIRS_SCORED, (n * n.saturating_sub(1)) as u64);
                 TaskOutput::Similarity(matches)
             }
@@ -257,7 +266,7 @@ impl SparkEngine {
                 let results: Vec<ConsumerResult> = match format {
                     DataFormat::ReadingPerLine => {
                         let sc2 = sc.clone();
-                        let m = self.metrics.clone();
+                        let m = spec.metrics.clone();
                         lines
                             .flat_map(move |l| match parse_reading_policed(&l, policy, &m) {
                                 Ok(Some(r)) => {
@@ -286,7 +295,7 @@ impl SparkEngine {
                     DataFormat::ConsumerPerLine => {
                         let temps = temperature.clone();
                         let sc2 = sc.clone();
-                        let m = self.metrics.clone();
+                        let m = spec.metrics.clone();
                         lines
                             .flat_map(move |l| match parse_consumer(&l) {
                                 Ok((id, kwh)) => {
@@ -306,7 +315,7 @@ impl SparkEngine {
                     }
                     DataFormat::ManyFiles { .. } => {
                         let sc2 = sc.clone();
-                        let m = self.metrics.clone();
+                        let m = spec.metrics.clone();
                         lines
                             .map_partitions(move |part| {
                                 let mut rows = Vec::with_capacity(part.len());
@@ -354,12 +363,43 @@ impl SparkEngine {
     }
 }
 
+impl Platform for SparkEngine {
+    fn name(&self) -> &'static str {
+        "spark"
+    }
+
+    fn load(&mut self, ds: &Dataset) -> Result<Duration> {
+        let start = std::time::Instant::now();
+        let format = self.format;
+        SparkEngine::load(self, ds, format)?;
+        Ok(start.elapsed())
+    }
+
+    fn make_cold(&mut self) {}
+
+    fn warm(&mut self) -> Result<Duration> {
+        Ok(Duration::ZERO)
+    }
+
+    fn run(&mut self, spec: &RunSpec) -> Result<RunResult> {
+        let r = self.run_with(spec)?;
+        Ok(RunResult {
+            output: r.output,
+            elapsed: r.virtual_elapsed,
+        })
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities::spark()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use smda_cluster::CostModel;
+    use smda_cluster::{CostModel, FaultPlan};
     use smda_core::tasks::run_reference;
-    use smda_types::{ConsumerSeries, TemperatureSeries};
+    use smda_types::{ConsumerSeries, DirtyDataPolicy, TemperatureSeries};
 
     fn tiny(n: u32) -> Dataset {
         let temp = TemperatureSeries::new(
@@ -504,9 +544,9 @@ mod tests {
             node: 1,
             at: Duration::ZERO,
         });
-        spark.set_fault_plan(plan);
         spark.load(&ds, DataFormat::ReadingPerLine).unwrap();
-        let r = spark.run_task(Task::Histogram).unwrap();
+        let spec = RunSpec::builder(Task::Histogram).fault_plan(plan).build();
+        let r = spark.run_with(&spec).unwrap();
         check(&ds, &r.output, Task::Histogram);
         assert!(r.stats.retries > 0, "a 40% failure rate must retry");
     }
@@ -518,9 +558,9 @@ mod tests {
         let mut plan = FaultPlan::seeded(2);
         plan.task_failure_rate = 0.999;
         plan.max_attempts = 2;
-        spark.set_fault_plan(plan);
         spark.load(&ds, DataFormat::ConsumerPerLine).unwrap();
-        match spark.run_task(Task::Histogram) {
+        let spec = RunSpec::builder(Task::Histogram).fault_plan(plan).build();
+        match spark.run_with(&spec) {
             Err(Error::TaskFailed { .. }) => {}
             other => panic!("want TaskFailed, got {other:?}"),
         }
@@ -532,8 +572,8 @@ mod tests {
         let mut spark = engine(3);
         let mut plan = FaultPlan::default();
         plan.replica_losses = usize::MAX;
-        spark.set_fault_plan(plan);
-        match spark.load(&ds, DataFormat::ReadingPerLine) {
+        let spec = RunSpec::builder(Task::Histogram).fault_plan(plan).build();
+        match spark.load_observed(&ds, DataFormat::ReadingPerLine, &spec) {
             Err(Error::BlockUnavailable { .. }) => {}
             other => panic!("want BlockUnavailable, got {other:?}"),
         }
@@ -551,8 +591,10 @@ mod tests {
             split.lines = Arc::new(lines);
         }
         assert!(spark.run_task(Task::Histogram).is_err());
-        spark.set_dirty_policy(DirtyDataPolicy::SkipAndCount);
-        let r = spark.run_task(Task::Histogram).unwrap();
+        let spec = RunSpec::builder(Task::Histogram)
+            .dirty_policy(DirtyDataPolicy::SkipAndCount)
+            .build();
+        let r = spark.run_with(&spec).unwrap();
         check(&ds, &r.output, Task::Histogram);
     }
 }

@@ -22,6 +22,7 @@ pub mod dataset;
 pub mod error;
 pub mod formats;
 pub mod policy;
+pub mod query;
 pub mod reading;
 pub mod series;
 
@@ -30,5 +31,6 @@ pub use dataset::{Dataset, DatasetStats};
 pub use error::{Error, Result};
 pub use formats::{DataFormat, FormatReader, FormatWriter};
 pub use policy::DirtyDataPolicy;
+pub use query::{Query, QueryKind, QueryResult};
 pub use reading::Reading;
 pub use series::{ConsumerId, ConsumerSeries, TemperatureSeries};

@@ -36,6 +36,9 @@ if [ "$fast" -eq 0 ]; then
 
     echo "== fit equivalence + allocation gate =="
     cargo run --release -q -p smda-bench -- --smoke --check-fits
+
+    echo "== serve bit-identity =="
+    cargo run --release -q -p smda-bench -- --smoke --check-serve
 fi
 
 echo "ci: all green"

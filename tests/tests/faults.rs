@@ -7,6 +7,7 @@ use std::time::Duration;
 
 use smda_cluster::{ClusterTopology, CostModel, FaultPlan, NodeCrash, WorkerPool};
 use smda_core::Task;
+use smda_engines::RunSpec;
 use smda_hive::HiveEngine;
 use smda_integration::fixture_dataset;
 use smda_obs::{counters, BenchExport, MetricsSink, RunManifest};
@@ -35,17 +36,19 @@ fn node_crash_recovery_is_exact_and_lands_in_the_json_export() {
     let reference = clean.run_task(Task::Histogram).unwrap();
 
     let mut faulty = HiveEngine::new(topo(4), BLOCK);
-    faulty.set_fault_plan(FaultPlan {
-        crashes: vec![NodeCrash {
-            node: 0,
-            at: Duration::from_nanos(1),
-        }],
-        ..FaultPlan::seeded(1)
-    });
     let sink = MetricsSink::recording();
-    faulty.set_metrics(sink.clone());
+    let spec = RunSpec::builder(Task::Histogram)
+        .metrics(sink.clone())
+        .fault_plan(FaultPlan {
+            crashes: vec![NodeCrash {
+                node: 0,
+                at: Duration::from_nanos(1),
+            }],
+            ..FaultPlan::seeded(1)
+        })
+        .build();
     faulty.load(&ds, DataFormat::ReadingPerLine).unwrap();
-    let survived = faulty.run_task(Task::Histogram).unwrap();
+    let survived = faulty.run_with(&spec).unwrap();
 
     assert_eq!(
         format!("{:?}", survived.output),
@@ -85,16 +88,16 @@ fn all_replica_loss_is_a_typed_error_on_both_engines() {
         ..FaultPlan::seeded(0)
     };
 
+    let spec = RunSpec::builder(Task::Histogram).fault_plan(doom).build();
+
     let mut hive = HiveEngine::new(topo(3), BLOCK);
-    hive.set_fault_plan(doom.clone());
-    match hive.load(&ds, DataFormat::ReadingPerLine) {
+    match hive.load_observed(&ds, DataFormat::ReadingPerLine, &spec) {
         Err(Error::BlockUnavailable { .. }) => {}
         other => panic!("hive: want BlockUnavailable, got {other:?}"),
     }
 
     let mut spark = SparkEngine::new(topo(3), BLOCK);
-    spark.set_fault_plan(doom);
-    match spark.load(&ds, DataFormat::ReadingPerLine) {
+    match spark.load_observed(&ds, DataFormat::ReadingPerLine, &spec) {
         Err(Error::BlockUnavailable { .. }) => {}
         other => panic!("spark: want BlockUnavailable, got {other:?}"),
     }
@@ -175,11 +178,14 @@ fn same_fault_plan_same_seed_is_deterministic_end_to_end() {
 
     let observe = |task: Task| {
         let mut hive = HiveEngine::new(topo(4), BLOCK);
-        hive.set_fault_plan(plan.clone());
         let sink = MetricsSink::recording();
-        hive.set_metrics(sink.clone());
-        hive.load(&ds, DataFormat::ReadingPerLine).unwrap();
-        let result = hive.run_task(task).unwrap();
+        let spec = RunSpec::builder(task)
+            .metrics(sink.clone())
+            .fault_plan(plan.clone())
+            .build();
+        hive.load_observed(&ds, DataFormat::ReadingPerLine, &spec)
+            .unwrap();
+        let result = hive.run_with(&spec).unwrap();
         let report = sink.finish(RunManifest::new(task.name(), "Hive").consumers(ds.len()));
         (result.output, report)
     };
@@ -232,13 +238,15 @@ fn same_fault_plan_same_seed_is_deterministic_end_to_end() {
 fn retry_exhaustion_names_the_failing_task() {
     let ds = fixture_dataset(6);
     let mut hive = HiveEngine::new(topo(4), BLOCK);
-    hive.set_fault_plan(FaultPlan {
-        task_failure_rate: 0.999,
-        max_attempts: 2,
-        ..FaultPlan::seeded(3)
-    });
+    let spec = RunSpec::builder(Task::Histogram)
+        .fault_plan(FaultPlan {
+            task_failure_rate: 0.999,
+            max_attempts: 2,
+            ..FaultPlan::seeded(3)
+        })
+        .build();
     hive.load(&ds, DataFormat::ReadingPerLine).unwrap();
-    match hive.run_task(Task::Histogram) {
+    match hive.run_with(&spec) {
         Err(Error::TaskFailed { task, attempts }) => {
             assert!(task.contains("task"), "error should name the task: {task}");
             assert_eq!(attempts, 2);
