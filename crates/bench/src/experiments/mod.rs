@@ -1,6 +1,7 @@
 //! One module per figure/table of the paper's evaluation.
 
 pub mod chaos;
+pub mod cluster_real;
 pub mod cluster_vs_c;
 pub mod coldwarm;
 pub mod fits;

@@ -20,5 +20,7 @@ pub mod scale;
 
 pub use jsonbench::{run_json_bench, run_json_bench_with};
 pub use report::Table;
-pub use runner::{check_fits, check_kernels, check_serve, run_all, run_experiment, EXPERIMENT_IDS};
+pub use runner::{
+    check_fits, check_kernels, check_real, check_serve, run_all, run_experiment, EXPERIMENT_IDS,
+};
 pub use scale::Scale;

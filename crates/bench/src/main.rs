@@ -19,8 +19,8 @@
 use std::path::PathBuf;
 
 use smda_bench::{
-    check_fits, check_kernels, check_serve, run_all, run_experiment, run_json_bench_with, Scale,
-    EXPERIMENT_IDS,
+    check_fits, check_kernels, check_real, check_serve, run_all, run_experiment,
+    run_json_bench_with, Scale, EXPERIMENT_IDS,
 };
 use smda_cluster::FaultPlan;
 
@@ -35,6 +35,7 @@ fn main() {
     let mut kernels_check = false;
     let mut fits_check = false;
     let mut serve_check = false;
+    let mut real_check = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -43,6 +44,7 @@ fn main() {
             "--check-kernels" => kernels_check = true,
             "--check-fits" => fits_check = true,
             "--check-serve" => serve_check = true,
+            "--check-real" => real_check = true,
             "--json" => match args.next() {
                 Some(path) => json_out = Some(PathBuf::from(path)),
                 None => {
@@ -66,7 +68,8 @@ fn main() {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: smda-bench [--smoke|--small|--full] [--json PATH] [--faults SPEC] \
-                     [--check-kernels] [--check-fits] [--check-serve] [EXPERIMENT...]\n\
+                     [--check-kernels] [--check-fits] [--check-serve] [--check-real] \
+                     [EXPERIMENT...]\n\
                      experiments: {}",
                     EXPERIMENT_IDS.join(" ")
                 );
@@ -115,6 +118,19 @@ fn main() {
             }
             Err(msg) => {
                 eprintln!("serve check FAILED: {msg}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if real_check {
+        match check_real(scale) {
+            Ok(msg) => {
+                eprintln!("{msg}");
+                return;
+            }
+            Err(msg) => {
+                eprintln!("real-transport check FAILED: {msg}");
                 std::process::exit(1);
             }
         }

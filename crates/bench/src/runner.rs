@@ -7,7 +7,7 @@ use crate::report::Table;
 use crate::scale::Scale;
 
 /// All experiment ids, in the paper's presentation order.
-pub const EXPERIMENT_IDS: [&str; 18] = [
+pub const EXPERIMENT_IDS: [&str; 19] = [
     "table1",
     "fig4",
     "fig5",
@@ -26,6 +26,7 @@ pub const EXPERIMENT_IDS: [&str; 18] = [
     "fits",
     "ingest",
     "serve",
+    "cluster_real",
 ];
 
 /// Run one experiment by id (composite figures run together: `fig11`
@@ -50,6 +51,7 @@ pub fn run_experiment(id: &str, scale: Scale) -> Option<Vec<Table>> {
         "fits" => experiments::fits::run(scale),
         "ingest" => experiments::ingest::run(scale),
         "serve" => experiments::serve::run(scale),
+        "cluster_real" => experiments::cluster_real::run(scale),
         _ => return None,
     };
     Some(tables)
@@ -303,6 +305,126 @@ pub fn check_serve(scale: Scale) -> std::result::Result<String, String> {
          match batch bitwise ({degenerate} degenerate series typed-rejected), \
          overload rejection typed",
         ds.len()
+    ))
+}
+
+/// Real-transport gate (`smda-bench --check-real`).
+///
+/// Forks a 2-worker real cluster (live `smda worker` processes, socket
+/// shuffle through the checksummed frame codec) and runs every task,
+/// requiring each output to be bit-identical to the deterministic
+/// virtual twin. Then replays a seeded one-SIGKILL chaos plan on a
+/// 3-worker cluster: the kill must be detected by heartbeat loss, the
+/// corpse's tasks rescheduled, and every WAL-spilled shuffle partition
+/// replayed exactly once — zero lost, zero duplicated — with the
+/// recovery visible in the fault and transport counters.
+pub fn check_real(scale: Scale) -> std::result::Result<String, String> {
+    use std::time::Duration;
+
+    use smda_cluster::{
+        run_real, run_virtual_twin, task_output_bits_eq, FaultPlan, NodeCrash, RealClusterConfig,
+    };
+    use smda_core::Task;
+    use smda_obs::{counters, MetricsSink, RunManifest};
+
+    // Deep enough for the chaos kill to land mid-queue, small enough
+    // that forking real processes stays a smoke check.
+    let consumers = scale.cluster_consumers_for_households(6_400).clamp(24, 96);
+    let ds = crate::data::seed_dataset(consumers);
+
+    let config = RealClusterConfig {
+        workers: 2,
+        map_chunk: 3,
+        reduce_tasks: 4,
+        ..RealClusterConfig::default()
+    };
+    let mut checked = 0usize;
+    for task in Task::ALL {
+        let name = task.name();
+        let real = run_real(task, &ds, &config, &MetricsSink::disabled())
+            .map_err(|e| format!("real {name} run failed: {e}"))?;
+        let twin = run_virtual_twin(task, &ds, &config, &MetricsSink::disabled())
+            .map_err(|e| format!("virtual twin for {name} failed: {e}"))?;
+        if !task_output_bits_eq(&real.output, &twin) {
+            return Err(format!(
+                "{name}: real output diverged from the virtual twin"
+            ));
+        }
+        if real.live_workers != 2 {
+            return Err(format!("{name}: a worker died without a fault plan"));
+        }
+        if real.partitions_spilled != real.partitions_replayed {
+            return Err(format!(
+                "{name}: {} partitions spilled but {} replayed",
+                real.partitions_spilled, real.partitions_replayed
+            ));
+        }
+        checked += 1;
+    }
+
+    // Seeded one-kill chaos: SIGKILL worker 1 mid-shuffle and require
+    // bit-identical recovery on the survivors.
+    let base = RealClusterConfig {
+        workers: 3,
+        map_chunk: 1,
+        reduce_tasks: 4,
+        ..RealClusterConfig::default()
+    };
+    let clean = run_real(Task::Par, &ds, &base, &MetricsSink::disabled())
+        .map_err(|e| format!("chaos baseline run failed: {e}"))?;
+    let sink = MetricsSink::recording();
+    let faulty = RealClusterConfig {
+        fault_plan: Some(FaultPlan {
+            crashes: vec![NodeCrash {
+                node: 1,
+                at: Duration::from_millis(1),
+            }],
+            ..FaultPlan::seeded(2015)
+        }),
+        ..base
+    };
+    let survived = run_real(Task::Par, &ds, &faulty, &sink)
+        .map_err(|e| format!("SIGKILL not survived: {e}"))?;
+    if !task_output_bits_eq(&survived.output, &clean.output) {
+        return Err("SIGKILL recovery changed output bits".into());
+    }
+    if survived.live_workers != 2 {
+        return Err(format!(
+            "exactly the victim must be dead, {} workers live",
+            survived.live_workers
+        ));
+    }
+    if survived.partitions_spilled != survived.partitions_replayed {
+        return Err(format!(
+            "chaos run spilled {} partitions but replayed {}: lost or duplicated data",
+            survived.partitions_spilled, survived.partitions_replayed
+        ));
+    }
+    let report = sink.finish(
+        RunManifest::new(Task::Par.name(), "real")
+            .threads(3)
+            .consumers(consumers),
+    );
+    if report.counter(counters::FAULTS_INJECTED_NODE_CRASH) != Some(1) {
+        return Err("the plan schedules exactly one SIGKILL but the counter disagrees".into());
+    }
+    let recovered = report
+        .counter(counters::FAULTS_RECOVERED_NODE_CRASH)
+        .unwrap_or(0);
+    if recovered == 0 {
+        return Err("no task was recovered off the killed worker".into());
+    }
+    let retries = report.counter(counters::TRANSPORT_RETRIES).unwrap_or(0);
+    if retries == 0 {
+        return Err("talking to a SIGKILLed worker must burn at least one retry".into());
+    }
+
+    Ok(format!(
+        "real transport OK: n={}, {checked} tasks bit-identical to the virtual twin over \
+         2 live workers; seeded SIGKILL recovered {recovered} tasks with {retries} transport \
+         retries and {} shuffle partitions replayed, zero lost/duplicated",
+        ds.len(),
+        survived.partitions_replayed
     ))
 }
 

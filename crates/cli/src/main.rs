@@ -35,6 +35,7 @@ fn main() -> ExitCode {
         "run" => run_task_cmd(&args[1..]),
         "ingest" => ingest(&args[1..]),
         "serve" => serve(&args[1..]),
+        "worker" => worker(&args[1..]),
         "bench" => bench(&args[1..]),
         "--help" | "-h" | "help" => {
             usage();
@@ -73,6 +74,9 @@ fn usage() {
                  [--query KIND:CONSUMER[:K]]...            seal a year, publish it, and answer\n\
                                                            typed queries (top_k_similar|histogram|\n\
                                                            three_line|par|anomaly)\n\
+           worker --bind ADDR                              serve map/shuffle/reduce RPCs for a\n\
+                                                           real-transport coordinator (prints the\n\
+                                                           bound address, runs until Shutdown)\n\
            bench [--smoke|--small|--full] [--json PATH] [--faults SPEC] [EXPERIMENT...]\n\
                                                            regenerate tables/figures ({})",
         EXPERIMENT_IDS.join(" ")
@@ -419,6 +423,13 @@ fn ingest(args: &[String]) -> Result<()> {
         answer_queries(&server, &queries, false);
     }
     Ok(())
+}
+
+/// Worker mode: the other end of the real-transport wire. Forked by
+/// [`smda_cluster::real::RealCluster`]; never run interactively.
+fn worker(args: &[String]) -> Result<()> {
+    let bind = flag(args, "--bind").unwrap_or_else(|| "127.0.0.1:0".to_string());
+    smda_cluster::worker::serve(&bind)
 }
 
 fn bench(args: &[String]) -> Result<()> {

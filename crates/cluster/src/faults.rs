@@ -147,52 +147,63 @@ impl FaultPlan {
     /// - `speculate=T` — speculative-execution threshold (> 1)
     ///
     /// Example: `seed=7,task_fail=0.1,crash=2@0.5,slow=1x4,lose=3,rereplicate`
+    ///
+    /// A malformed term is rejected with [`Error::FaultSpec`], which
+    /// carries the term verbatim, its byte offset within the spec, and
+    /// the reason — so `--faults` diagnostics can point at the exact
+    /// position instead of echoing a generic message.
     pub fn parse(spec: &str) -> Result<FaultPlan> {
         let mut plan = FaultPlan::default();
-        let bad =
-            |term: &str, why: &str| Error::Invalid(format!("bad fault spec term `{term}`: {why}"));
-        for term in spec.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+        let mut cursor = 0usize;
+        for raw in spec.split(',') {
+            let term = raw.trim();
+            let offset = cursor + (raw.len() - raw.trim_start().len());
+            cursor += raw.len() + 1; // +1 for the consumed comma
+            if term.is_empty() {
+                continue;
+            }
+            let bad = |why: &str| Error::FaultSpec {
+                term: term.to_string(),
+                offset,
+                reason: why.to_string(),
+            };
             if term == "rereplicate" {
                 plan.re_replicate = true;
                 continue;
             }
             let (key, value) = term
                 .split_once('=')
-                .ok_or_else(|| bad(term, "expected key=value"))?;
+                .ok_or_else(|| bad("expected key=value"))?;
             match key {
                 "seed" => {
-                    plan.seed = value.parse().map_err(|_| bad(term, "seed must be a u64"))?;
+                    plan.seed = value.parse().map_err(|_| bad("seed must be a u64"))?;
                 }
                 "task_fail" => {
                     let p: f64 = value
                         .parse()
-                        .map_err(|_| bad(term, "probability must be a float"))?;
+                        .map_err(|_| bad("probability must be a float"))?;
                     if !(0.0..1.0).contains(&p) {
-                        return Err(bad(term, "probability must be in [0, 1)"));
+                        return Err(bad("probability must be in [0, 1)"));
                     }
                     plan.task_failure_rate = p;
                 }
                 "retries" => {
                     let n: usize = value
                         .parse()
-                        .map_err(|_| bad(term, "retries must be an integer"))?;
+                        .map_err(|_| bad("retries must be an integer"))?;
                     if n == 0 {
-                        return Err(bad(term, "retry budget must be at least 1"));
+                        return Err(bad("retry budget must be at least 1"));
                     }
                     plan.max_attempts = n;
                 }
                 "crash" => {
                     let (node, at) = value
                         .split_once('@')
-                        .ok_or_else(|| bad(term, "expected NODE@SECS"))?;
-                    let node = node
-                        .parse()
-                        .map_err(|_| bad(term, "node must be an integer"))?;
-                    let secs: f64 = at
-                        .parse()
-                        .map_err(|_| bad(term, "crash time must be a float"))?;
+                        .ok_or_else(|| bad("expected NODE@SECS"))?;
+                    let node = node.parse().map_err(|_| bad("node must be an integer"))?;
+                    let secs: f64 = at.parse().map_err(|_| bad("crash time must be a float"))?;
                     if !secs.is_finite() || secs < 0.0 {
-                        return Err(bad(term, "crash time must be non-negative"));
+                        return Err(bad("crash time must be non-negative"));
                     }
                     plan.crashes.push(NodeCrash {
                         node,
@@ -202,33 +213,28 @@ impl FaultPlan {
                 "slow" => {
                     let (node, factor) = value
                         .split_once('x')
-                        .ok_or_else(|| bad(term, "expected NODExFACTOR"))?;
-                    let node = node
-                        .parse()
-                        .map_err(|_| bad(term, "node must be an integer"))?;
-                    let factor: f64 = factor
-                        .parse()
-                        .map_err(|_| bad(term, "factor must be a float"))?;
+                        .ok_or_else(|| bad("expected NODExFACTOR"))?;
+                    let node = node.parse().map_err(|_| bad("node must be an integer"))?;
+                    let factor: f64 = factor.parse().map_err(|_| bad("factor must be a float"))?;
                     if !factor.is_finite() || factor < 1.0 {
-                        return Err(bad(term, "factor must be at least 1"));
+                        return Err(bad("factor must be at least 1"));
                     }
                     plan.slow_nodes.push(SlowNode { node, factor });
                 }
                 "lose" => {
-                    plan.replica_losses = value
-                        .parse()
-                        .map_err(|_| bad(term, "lose must be an integer"))?;
+                    plan.replica_losses =
+                        value.parse().map_err(|_| bad("lose must be an integer"))?;
                 }
                 "speculate" => {
                     let t: f64 = value
                         .parse()
-                        .map_err(|_| bad(term, "threshold must be a float"))?;
+                        .map_err(|_| bad("threshold must be a float"))?;
                     if !t.is_finite() || t <= 1.0 {
-                        return Err(bad(term, "threshold must be greater than 1"));
+                        return Err(bad("threshold must be greater than 1"));
                     }
                     plan.speculation_threshold = t;
                 }
-                _ => return Err(bad(term, "unknown key")),
+                _ => return Err(bad("unknown key")),
             }
         }
         Ok(plan)
@@ -343,6 +349,33 @@ mod tests {
             "unknown=1",
         ] {
             assert!(FaultPlan::parse(bad).is_err(), "`{bad}` should be rejected");
+        }
+    }
+
+    #[test]
+    fn parse_errors_carry_term_and_offset() {
+        // `crash=2` starts at byte 7 of the spec below.
+        let err = FaultPlan::parse("seed=7,crash=2,lose=1").unwrap_err();
+        match err {
+            Error::FaultSpec {
+                term,
+                offset,
+                reason,
+            } => {
+                assert_eq!(term, "crash=2");
+                assert_eq!(offset, 7);
+                assert!(reason.contains("NODE@SECS"), "{reason}");
+            }
+            other => panic!("expected Error::FaultSpec, got {other:?}"),
+        }
+        // Offsets point at the term, not its leading whitespace.
+        let err = FaultPlan::parse("seed=7,  retries=0").unwrap_err();
+        match err {
+            Error::FaultSpec { term, offset, .. } => {
+                assert_eq!(term, "retries=0");
+                assert_eq!(offset, 9);
+            }
+            other => panic!("expected Error::FaultSpec, got {other:?}"),
         }
     }
 

@@ -18,17 +18,37 @@
 //!
 //! The Hive- and Spark-like engines (`smda-hive`, `smda-spark`) build
 //! their jobs on these primitives.
+//!
+//! # Real execution
+//!
+//! The simulator also has a live twin: [`real`] forks actual `smda`
+//! worker processes, ships shuffle partitions over local TCP using the
+//! checksummed frame codec in [`transport`], spills every partition
+//! through a write-ahead log, and survives real SIGKILLs — a
+//! [`FaultPlan`] crash schedule is delivered as actual signals, with
+//! heartbeat detection, task rescheduling and WAL replay guaranteeing
+//! zero lost and zero duplicated partitions. The [`worker`] module is
+//! the other side of the wire: the RPC vocabulary and the serve loop
+//! the `smda worker` subcommand runs. Both sides execute the same pure
+//! functions, so real and virtual runs agree bit for bit.
 
 pub mod cost;
 pub mod dfs;
 pub mod exec;
 pub mod faults;
+pub mod real;
 pub mod scheduler;
 pub mod textdata;
+pub mod transport;
+pub mod worker;
 
 pub use cost::CostModel;
 pub use dfs::{DfsConfig, DfsFile, InputSplit, SimDfs};
 pub use exec::{measured_run, WorkerPool};
 pub use faults::{FaultPlan, NodeCrash, SlowNode};
+pub use real::{
+    run_real, run_virtual_twin, task_output_bits_eq, RealCluster, RealClusterConfig, RealRunReport,
+};
 pub use scheduler::{ClusterTopology, PhaseResult, SimTask, VirtualScheduler};
 pub use textdata::{parse_consumer, parse_reading, ReadingRow, TextSplit, TextTable};
+pub use transport::{Endpoint, TransportConfig};

@@ -8,7 +8,7 @@
 //!
 //! # Fault tolerance
 //!
-//! With a [`FaultPlan`] attached (see [`VirtualScheduler::set_fault_plan`])
+//! With a [`FaultPlan`] attached (see [`VirtualScheduler::with_fault_plan`])
 //! the scheduler becomes a fault-tolerant one, in the MapReduce mold:
 //!
 //! - **Task retry.** An attempt that the plan fails is re-queued (after
@@ -203,8 +203,13 @@ impl VirtualScheduler {
     /// single source of truth for all of them: every placed task counts
     /// once, and every byte that crosses the modeled network (remote
     /// reads and shuffle pulls) counts once.
-    pub fn attach_metrics(&mut self, sink: MetricsSink) {
+    ///
+    /// Construction-time configuration: chain off [`VirtualScheduler::new`]
+    /// so a scheduler is fully configured before it runs a phase.
+    #[must_use]
+    pub fn with_metrics(mut self, sink: MetricsSink) -> Self {
         self.metrics = sink;
+        self
     }
 
     /// The sink scheduling counters go to (disabled by default).
@@ -212,9 +217,13 @@ impl VirtualScheduler {
         &self.metrics
     }
 
-    /// Inject faults from `plan` into every subsequent phase. Crash and
-    /// dead-node state persists across phases of the same job.
-    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+    /// Inject faults from `plan` into every phase. Crash and dead-node
+    /// state persists across phases of the same job.
+    ///
+    /// Construction-time configuration: chain off [`VirtualScheduler::new`]
+    /// so a scheduler is fully configured before it runs a phase.
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         let pending_crashes = plan.crashes.clone();
         self.faults = Some(FaultState {
             plan,
@@ -222,6 +231,7 @@ impl VirtualScheduler {
             dead: BTreeSet::new(),
             pending_crashes,
         });
+        self
     }
 
     /// The attached fault plan, if any.
@@ -644,8 +654,9 @@ impl VirtualScheduler {
     }
 
     /// Reset all slots to free-at-zero (a fresh job). Fault state — dead
-    /// nodes, pending crashes, the phase counter — is *not* reset; use
-    /// [`VirtualScheduler::set_fault_plan`] again for a fresh plan.
+    /// nodes, pending crashes, the phase counter — is *not* reset; build
+    /// a new scheduler via [`VirtualScheduler::with_fault_plan`] for a
+    /// fresh plan.
     pub fn reset(&mut self) {
         self.slot_free.iter_mut().for_each(|s| *s = Duration::ZERO);
     }
@@ -829,13 +840,12 @@ mod tests {
         let mut healthy = VirtualScheduler::new(topo(4, 1));
         let baseline = healthy.run_phase(&tasks, Duration::ZERO);
 
-        let mut sched = VirtualScheduler::new(topo(4, 1));
         let mut plan = FaultPlan::default();
         plan.crashes.push(NodeCrash {
             node: 1,
             at: Duration::from_millis(1500),
         });
-        sched.set_fault_plan(plan);
+        let mut sched = VirtualScheduler::new(topo(4, 1)).with_fault_plan(plan);
         let result = sched.try_run_phase(&tasks, Duration::ZERO).unwrap();
 
         assert!(result.retries >= 1, "the crash must kill a running attempt");
@@ -854,13 +864,12 @@ mod tests {
 
     #[test]
     fn crash_persists_into_later_phases() {
-        let mut sched = VirtualScheduler::new(topo(2, 1));
         let mut plan = FaultPlan::default();
         plan.crashes.push(NodeCrash {
             node: 0,
             at: Duration::from_millis(100),
         });
-        sched.set_fault_plan(plan);
+        let mut sched = VirtualScheduler::new(topo(2, 1)).with_fault_plan(plan);
         let p1 = sched.try_run_phase(&long_phase(), Duration::ZERO).unwrap();
         let p2 = sched.try_run_phase(&long_phase(), p1.end).unwrap();
         assert_eq!(
@@ -873,13 +882,12 @@ mod tests {
 
     #[test]
     fn all_nodes_dead_is_a_typed_error() {
-        let mut sched = VirtualScheduler::new(topo(1, 2));
         let mut plan = FaultPlan::default();
         plan.crashes.push(NodeCrash {
             node: 0,
             at: Duration::from_millis(10),
         });
-        sched.set_fault_plan(plan);
+        let mut sched = VirtualScheduler::new(topo(1, 2)).with_fault_plan(plan);
         match sched.try_run_phase(&long_phase(), Duration::ZERO) {
             Err(Error::NoHealthyNodes) => {}
             other => panic!("expected NoHealthyNodes, got {other:?}"),
@@ -888,8 +896,7 @@ mod tests {
 
     #[test]
     fn injected_failures_are_retried() {
-        let mut sched = VirtualScheduler::new(topo(4, 2));
-        sched.set_fault_plan(FaultPlan {
+        let mut sched = VirtualScheduler::new(topo(4, 2)).with_fault_plan(FaultPlan {
             task_failure_rate: 0.3,
             max_attempts: 10,
             ..FaultPlan::seeded(11)
@@ -904,9 +911,8 @@ mod tests {
 
     #[test]
     fn retry_exhaustion_names_the_task() {
-        let mut sched = VirtualScheduler::new(topo(2, 1));
         // Certain failure (rate just under 1) with a budget of 2.
-        sched.set_fault_plan(FaultPlan {
+        let mut sched = VirtualScheduler::new(topo(2, 1)).with_fault_plan(FaultPlan {
             task_failure_rate: 0.999_999,
             max_attempts: 2,
             ..FaultPlan::seeded(3)
@@ -928,15 +934,13 @@ mod tests {
             factor: 8.0,
         };
 
-        let mut dragged = VirtualScheduler::new(topo(4, 1));
-        dragged.set_fault_plan(FaultPlan {
+        let mut dragged = VirtualScheduler::new(topo(4, 1)).with_fault_plan(FaultPlan {
             slow_nodes: vec![slow],
             ..FaultPlan::default()
         });
         let without = dragged.try_run_phase(&tasks, Duration::ZERO).unwrap();
 
-        let mut speculating = VirtualScheduler::new(topo(4, 1));
-        speculating.set_fault_plan(FaultPlan {
+        let mut speculating = VirtualScheduler::new(topo(4, 1)).with_fault_plan(FaultPlan {
             slow_nodes: vec![slow],
             speculation_threshold: 1.5,
             ..FaultPlan::default()
@@ -971,8 +975,7 @@ mod tests {
             ..FaultPlan::seeded(77)
         };
         let run = |p: FaultPlan| {
-            let mut sched = VirtualScheduler::new(topo(4, 2));
-            sched.set_fault_plan(p);
+            let mut sched = VirtualScheduler::new(topo(4, 2)).with_fault_plan(p);
             let a = sched.try_run_phase(&long_phase(), Duration::ZERO).unwrap();
             let b = sched.try_run_phase(&long_phase(), a.end).unwrap();
             (a, b)

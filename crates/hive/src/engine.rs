@@ -40,6 +40,9 @@ pub struct HiveEngine {
     reduce_tasks: usize,
     dfs: SimDfs,
     table: Option<TextTable>,
+    /// The dataset as loaded — real-transport runs ship series to live
+    /// worker processes rather than re-parsing the text rendition.
+    dataset: Option<Dataset>,
     /// Text format [`Platform::load`] renders the dataset in.
     pub format: DataFormat,
     /// For format 3: run the UDAF (reduce-full) plan instead of the UDTF
@@ -79,6 +82,7 @@ impl HiveEngine {
             reduce_tasks,
             dfs,
             table: None,
+            dataset: None,
             format: DataFormat::ReadingPerLine,
             force_udaf: false,
         }
@@ -87,10 +91,9 @@ impl HiveEngine {
     /// A fresh scheduler on the engine's topology, wired to the spec's
     /// sink and fault plan.
     fn scheduler(&self, spec: &RunSpec) -> VirtualScheduler {
-        let mut scheduler = VirtualScheduler::new(self.topology);
-        scheduler.attach_metrics(spec.metrics.clone());
+        let mut scheduler = VirtualScheduler::new(self.topology).with_metrics(spec.metrics.clone());
         if let Some(plan) = &spec.fault_plan {
-            scheduler.set_fault_plan(plan.clone());
+            scheduler = scheduler.with_fault_plan(plan.clone());
         }
         scheduler
     }
@@ -146,6 +149,7 @@ impl HiveEngine {
         }
         self.format = format;
         self.table = Some(table);
+        self.dataset = Some(ds.clone());
         Ok(())
     }
 
@@ -178,6 +182,9 @@ impl HiveEngine {
     /// Run `spec.task`, returning output + virtual-time stats. Metrics,
     /// faults and the dirty-row policy all come from the spec.
     pub fn run_with(&mut self, spec: &RunSpec) -> Result<HiveRunResult> {
+        if let Some(config) = &spec.real_transport {
+            return self.run_real_transport(config, spec);
+        }
         let format = self.table()?.format;
         match spec.task {
             Task::Similarity => self.run_similarity(spec),
@@ -193,6 +200,35 @@ impl HiveEngine {
                 }
             },
         }
+    }
+
+    /// Real-transport backend: the same map/shuffle/reduce decomposition
+    /// executed by forked worker processes over local TCP, with WAL-backed
+    /// shuffle recovery. The spec's fault plan becomes real SIGKILLs.
+    fn run_real_transport(
+        &mut self,
+        config: &smda_cluster::RealClusterConfig,
+        spec: &RunSpec,
+    ) -> Result<HiveRunResult> {
+        let ds = self
+            .dataset
+            .as_ref()
+            .ok_or_else(|| Error::Invalid("no external table loaded".into()))?;
+        let mut config = config.clone();
+        if config.fault_plan.is_none() {
+            config.fault_plan = spec.fault_plan.clone();
+        }
+        let report = smda_cluster::run_real(spec.task, ds, &config, &spec.metrics)?;
+        Ok(HiveRunResult {
+            output: report.output,
+            stats: JobStats {
+                virtual_elapsed: report.elapsed,
+                map_tasks: report.map_tasks,
+                reduce_tasks: report.reduce_tasks,
+                ..JobStats::default()
+            },
+            operator: HiveOperator::Udaf,
+        })
     }
 
     /// Format 1 (or forced): full map/shuffle/reduce with the task UDAF.

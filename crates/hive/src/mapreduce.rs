@@ -32,7 +32,7 @@ pub struct JobInput<I> {
 }
 
 /// Accounting for one job.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct JobStats {
     /// Virtual wall-clock of the whole job.
     pub virtual_elapsed: Duration,
@@ -359,13 +359,12 @@ mod tests {
 
     #[test]
     fn word_count_survives_a_node_crash() {
-        let mut scheduler = sched(2);
         let mut plan = FaultPlan::default();
         plan.crashes.push(NodeCrash {
             node: 1,
             at: Duration::ZERO,
         });
-        scheduler.set_fault_plan(plan);
+        let mut scheduler = sched(2).with_fault_plan(plan);
         let (mut out, stats) = word_count(&mut scheduler);
         out.sort();
         assert_eq!(

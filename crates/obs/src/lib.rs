@@ -144,6 +144,29 @@ pub mod counters {
     /// Queries answered successfully, per query type (suffixed
     /// `serve.answered.<kind>`).
     pub const SERVE_ANSWERED: &str = "serve.answered";
+    /// Frames written to a transport socket (requests + heartbeats).
+    pub const TRANSPORT_FRAMES_SENT: &str = "transport.frames_sent";
+    /// Frames read back from a transport socket.
+    pub const TRANSPORT_FRAMES_RECEIVED: &str = "transport.frames_received";
+    /// Payload bytes written to transport sockets.
+    pub const TRANSPORT_BYTES_SENT: &str = "transport.bytes_sent";
+    /// Payload bytes read from transport sockets.
+    pub const TRANSPORT_BYTES_RECEIVED: &str = "transport.bytes_received";
+    /// RPC attempts re-sent after a connect/read failure (bounded
+    /// exponential backoff).
+    pub const TRANSPORT_RETRIES: &str = "transport.retries";
+    /// Connect or read attempts that hit their deadline.
+    pub const TRANSPORT_TIMEOUTS: &str = "transport.timeouts";
+    /// Workers declared dead after missing their heartbeat budget.
+    pub const TRANSPORT_HEARTBEAT_LOSSES: &str = "transport.heartbeat_losses";
+    /// Shuffle partitions spilled to the write-ahead log by the real
+    /// scheduler (exactly one record per completed map task).
+    pub const REAL_PARTITIONS_SPILLED: &str = "real.partitions_spilled";
+    /// Shuffle partitions replayed from the write-ahead log into the
+    /// reduce phase.
+    pub const REAL_PARTITIONS_REPLAYED: &str = "real.partitions_replayed";
+    /// Worker processes forked by the real scheduler.
+    pub const REAL_WORKERS_SPAWNED: &str = "real.workers_spawned";
 }
 
 #[cfg(test)]

@@ -37,6 +37,9 @@ pub struct SparkEngine {
     topology: ClusterTopology,
     dfs: SimDfs,
     table: Option<TextTable>,
+    /// The dataset as loaded — real-transport runs ship series to live
+    /// worker processes rather than re-parsing the text rendition.
+    dataset: Option<Dataset>,
     /// Text format [`Platform::load`] renders the dataset in.
     pub format: DataFormat,
     /// Shuffle partitions for wide operations (default: 2 × workers).
@@ -63,6 +66,7 @@ impl SparkEngine {
             topology,
             dfs,
             table: None,
+            dataset: None,
             format: DataFormat::ReadingPerLine,
             shuffle_partitions: topology.workers * 2,
         }
@@ -114,7 +118,35 @@ impl SparkEngine {
         }
         self.format = format;
         self.table = Some(table);
+        self.dataset = Some(ds.clone());
         Ok(())
+    }
+
+    /// Real-transport backend: forked worker processes, socket shuffle,
+    /// WAL-backed recovery. The spec's fault plan becomes real SIGKILLs.
+    fn run_real_transport(
+        &mut self,
+        config: &smda_cluster::RealClusterConfig,
+        spec: &RunSpec,
+    ) -> Result<SparkRunResult> {
+        let ds = self
+            .dataset
+            .as_ref()
+            .ok_or_else(|| Error::Invalid("no RDD input loaded".into()))?;
+        let mut config = config.clone();
+        if config.fault_plan.is_none() {
+            config.fault_plan = spec.fault_plan.clone();
+        }
+        let report = smda_cluster::run_real(spec.task, ds, &config, &spec.metrics)?;
+        Ok(SparkRunResult {
+            output: report.output,
+            virtual_elapsed: report.elapsed,
+            stats: SparkStats {
+                stages: if report.map_tasks > 0 { 2 } else { 1 },
+                tasks: (report.map_tasks + report.reduce_tasks) as u64,
+                ..SparkStats::default()
+            },
+        })
     }
 
     fn table(&self) -> Result<&TextTable> {
@@ -138,12 +170,12 @@ impl SparkEngine {
     /// cluster-wide outage, or a malformed row under the fail-fast
     /// dirty-data policy.
     pub fn run_with(&mut self, spec: &RunSpec) -> Result<SparkRunResult> {
-        let task = spec.task;
-        let sc = SparkContext::new(self.topology);
-        sc.attach_metrics(spec.metrics.clone());
-        if let Some(plan) = &spec.fault_plan {
-            sc.set_fault_plan(plan.clone());
+        if let Some(config) = &spec.real_transport {
+            return self.run_real_transport(config, spec);
         }
+        let task = spec.task;
+        let sc =
+            SparkContext::configured(self.topology, spec.metrics.clone(), spec.fault_plan.clone());
         let policy = spec.dirty_policy;
         let table = self.table()?;
         let lines = sc.text_table(table)?;

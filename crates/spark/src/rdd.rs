@@ -84,14 +84,32 @@ impl<T> Broadcast<T> {
 }
 
 impl SparkContext {
-    /// A context on `topology`.
+    /// A context on `topology` with disabled metrics and no faults.
     pub fn new(topology: ClusterTopology) -> Self {
+        SparkContext::configured(topology, MetricsSink::disabled(), None)
+    }
+
+    /// A fully configured context: cluster counters (tasks scheduled,
+    /// bytes shuffled, the `faults.*` family) route into `sink`, and
+    /// `fault_plan` (if any) injects crashes, stragglers and task
+    /// failures into every stage. All run-scoped configuration happens
+    /// here, at construction — a context never changes sinks or plans
+    /// mid-job.
+    pub fn configured(
+        topology: ClusterTopology,
+        sink: MetricsSink,
+        fault_plan: Option<FaultPlan>,
+    ) -> Self {
+        let mut scheduler = VirtualScheduler::new(topology).with_metrics(sink);
+        if let Some(plan) = fault_plan {
+            scheduler = scheduler.with_fault_plan(plan);
+        }
         SparkContext {
             inner: Arc::new(CtxInner {
                 topology,
                 pool: WorkerPool::default(),
                 state: Mutex::new(CtxState {
-                    scheduler: VirtualScheduler::new(topology),
+                    scheduler,
                     virtual_time: Duration::ZERO,
                     stats: SparkStats::default(),
                     error: None,
@@ -113,18 +131,6 @@ impl SparkContext {
     /// Accounting so far.
     pub fn stats(&self) -> SparkStats {
         self.inner.state.lock().stats
-    }
-
-    /// Route cluster counters (tasks scheduled, bytes shuffled, workers
-    /// spawned) from subsequent stages into `sink`.
-    pub fn attach_metrics(&self, sink: MetricsSink) {
-        self.inner.state.lock().scheduler.attach_metrics(sink);
-    }
-
-    /// Inject faults (crashes, stragglers, task failures) into all
-    /// subsequent stages.
-    pub fn set_fault_plan(&self, plan: FaultPlan) {
-        self.inner.state.lock().scheduler.set_fault_plan(plan);
     }
 
     /// The first failure deferred by a stage, if any (clears it).
@@ -574,11 +580,19 @@ mod tests {
     use smda_cluster::CostModel;
 
     fn ctx(workers: usize) -> SparkContext {
-        SparkContext::new(ClusterTopology {
+        SparkContext::new(topo(workers))
+    }
+
+    fn topo(workers: usize) -> ClusterTopology {
+        ClusterTopology {
             workers,
             slots_per_worker: 2,
             cost: CostModel::spark(),
-        })
+        }
+    }
+
+    fn faulty_ctx(workers: usize, plan: FaultPlan) -> SparkContext {
+        SparkContext::configured(topo(workers), MetricsSink::disabled(), Some(plan))
     }
 
     #[test]
@@ -714,13 +728,12 @@ mod tests {
 
     #[test]
     fn results_stay_exact_under_a_node_crash() {
-        let sc = ctx(3);
         let mut plan = FaultPlan::default();
         plan.crashes.push(smda_cluster::NodeCrash {
             node: 0,
             at: Duration::ZERO,
         });
-        sc.set_fault_plan(plan);
+        let sc = faulty_ctx(3, plan);
         let out = sc
             .parallelize((0u64..100).collect(), 6)
             .map(|x| x * 2)
@@ -731,11 +744,10 @@ mod tests {
 
     #[test]
     fn retry_exhaustion_is_deferred_as_a_typed_error() {
-        let sc = ctx(2);
         let mut plan = FaultPlan::seeded(3);
         plan.task_failure_rate = 0.999;
         plan.max_attempts = 2;
-        sc.set_fault_plan(plan);
+        let sc = faulty_ctx(2, plan);
         let out = sc.parallelize((0u64..10).collect(), 4).collect();
         assert!(out.is_empty(), "a failed stage returns no data");
         match sc.take_error() {
@@ -747,11 +759,10 @@ mod tests {
 
     #[test]
     fn injected_failures_retry_and_count() {
-        let sc = ctx(2);
         let mut plan = FaultPlan::seeded(5);
         plan.task_failure_rate = 0.5;
         plan.max_attempts = 32;
-        sc.set_fault_plan(plan);
+        let sc = faulty_ctx(2, plan);
         let out = sc
             .parallelize((0u64..40).collect(), 8)
             .map(|x| x + 1)

@@ -38,4 +38,4 @@ pub use update::{
     restate_array_table, restate_column_store, restate_day_table, restate_reading_table,
     DayRestatement,
 };
-pub use wal::{WriteAheadLog, WAL_MAGIC, WAL_RECORD_BYTES};
+pub use wal::{FrameLog, WriteAheadLog, FRAME_LOG_MAGIC, WAL_MAGIC, WAL_RECORD_BYTES};

@@ -5,6 +5,43 @@ use std::fmt;
 /// Convenience alias used throughout the workspace.
 pub type Result<T> = std::result::Result<T, Error>;
 
+/// What exactly was wrong with a transport frame. Carried by
+/// [`Error::BadFrame`] so callers can distinguish corruption (checksum,
+/// magic) from framing problems (truncation, oversized length prefix).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameDefect {
+    /// The 4-byte frame magic did not match: the peer is not speaking
+    /// the frame protocol, or the stream lost sync.
+    BadMagic,
+    /// The stream ended before the announced payload arrived.
+    Truncated,
+    /// The length prefix exceeds the configured maximum frame size.
+    Oversized {
+        /// Announced payload length.
+        len: u64,
+        /// Maximum the receiver accepts.
+        max: u64,
+    },
+    /// The payload arrived but its checksum does not match the header.
+    ChecksumMismatch,
+}
+
+impl fmt::Display for FrameDefect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameDefect::BadMagic => write!(f, "bad frame magic"),
+            FrameDefect::Truncated => write!(f, "truncated frame"),
+            FrameDefect::Oversized { len, max } => {
+                write!(
+                    f,
+                    "oversized frame: length prefix {len} exceeds maximum {max}"
+                )
+            }
+            FrameDefect::ChecksumMismatch => write!(f, "frame checksum mismatch"),
+        }
+    }
+}
+
 /// Errors produced while loading, validating or processing benchmark data.
 #[derive(Debug)]
 pub enum Error {
@@ -54,6 +91,25 @@ pub enum Error {
     /// Every node of the modeled cluster is dead; nothing can be
     /// scheduled.
     NoHealthyNodes,
+    /// A transport frame could not be decoded. Carries the defect and
+    /// the operation during which it was detected.
+    BadFrame {
+        /// What the receiver was doing (e.g. `reading worker response`).
+        context: String,
+        /// What exactly was wrong with the frame.
+        defect: FrameDefect,
+    },
+    /// A malformed term in a `--faults` spec. Carries the offending
+    /// term, its byte offset within the spec, and the reason it was
+    /// rejected, so the CLI can point at the exact position.
+    FaultSpec {
+        /// The term that failed to parse, verbatim.
+        term: String,
+        /// Byte offset of the term within the full spec string.
+        offset: usize,
+        /// Why the term was rejected.
+        reason: String,
+    },
 }
 
 impl Error {
@@ -118,6 +174,19 @@ impl fmt::Display for Error {
                 )
             }
             Error::NoHealthyNodes => write!(f, "no healthy node left in the cluster"),
+            Error::BadFrame { context, defect } => {
+                write!(f, "bad frame while {context}: {defect}")
+            }
+            Error::FaultSpec {
+                term,
+                offset,
+                reason,
+            } => {
+                write!(
+                    f,
+                    "bad fault spec term `{term}` at offset {offset}: {reason}"
+                )
+            }
         }
     }
 }
@@ -186,6 +255,36 @@ mod tests {
         assert!(Error::NoHealthyNodes
             .to_string()
             .contains("no healthy node"));
+    }
+
+    #[test]
+    fn bad_frame_names_the_defect() {
+        let e = Error::BadFrame {
+            context: "reading worker response".into(),
+            defect: FrameDefect::Oversized { len: 99, max: 10 },
+        };
+        let s = e.to_string();
+        assert!(s.contains("reading worker response"), "{s}");
+        assert!(s.contains("99"), "{s}");
+        assert!(s.contains("10"), "{s}");
+        let e = Error::BadFrame {
+            context: "x".into(),
+            defect: FrameDefect::ChecksumMismatch,
+        };
+        assert!(e.to_string().contains("checksum"), "{e}");
+    }
+
+    #[test]
+    fn fault_spec_error_carries_position() {
+        let e = Error::FaultSpec {
+            term: "crash=2".into(),
+            offset: 7,
+            reason: "expected NODE@SECS".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("`crash=2`"), "{s}");
+        assert!(s.contains("offset 7"), "{s}");
+        assert!(s.contains("expected NODE@SECS"), "{s}");
     }
 
     #[test]

@@ -39,6 +39,9 @@ if [ "$fast" -eq 0 ]; then
 
     echo "== serve bit-identity =="
     cargo run --release -q -p smda-bench -- --smoke --check-serve
+
+    echo "== real transport bit-identity + one-kill chaos =="
+    cargo run --release -q -p smda-bench -- --smoke --check-real
 fi
 
 echo "ci: all green"
