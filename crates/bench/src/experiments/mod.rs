@@ -15,6 +15,7 @@ pub mod loading;
 pub mod memory;
 pub mod partitioning;
 pub mod serve;
+pub mod simd;
 pub mod single_thread;
 pub mod speedup;
 pub mod table1;

@@ -1,0 +1,582 @@
+//! Continuous benchmark history and the perf-regression gate.
+//!
+//! Every `smda-bench --json` run appends one normalized entry — commit,
+//! date, per-experiment milliseconds plus the similarity kernel's
+//! effective MFLOP/s — to a tracked `results/bench_history.json`. The
+//! file follows the dkls23 `docs/data.js` continuous-benchmarking shape
+//! (one document with `lastUpdate`, `repoUrl`, and per-suite entry
+//! arrays), so the perf trajectory of the repo is machine-readable and
+//! external chart tooling can consume it unchanged:
+//!
+//! ```json
+//! {
+//!   "lastUpdate": 1754640000000,
+//!   "repoUrl": "https://example.invalid/smda",
+//!   "entries": {
+//!     "smda-bench": [
+//!       {
+//!         "commit": {"id": "abc123", "message": "…", "timestamp": "…"},
+//!         "date": 1754640000000,
+//!         "tool": "smda-bench",
+//!         "benches": [
+//!           {"name": "Matlab/Similarity/warm/run", "value": 12.3, "unit": "ms"},
+//!           {"name": "Matlab/Similarity/warm/similarity.effective_mflops",
+//!            "value": 1234.0, "unit": "MFLOP/s"}
+//!         ]
+//!       }
+//!     ]
+//!   }
+//! }
+//! ```
+//!
+//! [`check_history`] is the gate `scripts/benchgate.sh` runs from CI: the
+//! newest entry is compared per bench name against the **median** of all
+//! prior entries that track the same name; a warm time more than
+//! [`REGRESSION_THRESHOLD`] above the median (or a throughput more than
+//! the threshold below it) fails the build. The gate reads only the
+//! tracked file — no fresh measurement — so it is deterministic in CI.
+//!
+//! Wall times are only comparable between runs of the same hardware, so
+//! every entry is stamped with a [`machine_fingerprint`] (core count ×
+//! CPU model) and the gate compares the newest entry **only against
+//! prior entries from the same machine**. Entries whose origin machine
+//! is unknown (backfills from pre-gate exports) stay in the trajectory
+//! for charting but never gate a different host; the first entry from a
+//! new machine passes with a logged explanation, never silently.
+
+use std::path::Path;
+
+use serde::json::{self, Value};
+use smda_obs::BenchExport;
+
+/// Tracked history file, relative to the repo root.
+pub const DEFAULT_HISTORY_PATH: &str = "results/bench_history.json";
+
+/// Relative regression that fails the gate (0.15 = 15%).
+pub const REGRESSION_THRESHOLD: f64 = 0.15;
+
+/// The suite key all entries live under in the document.
+const SUITE: &str = "smda-bench";
+
+/// Commit identity stamped on a history entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommitInfo {
+    /// Full commit hash, or a synthetic id for backfilled entries.
+    pub id: String,
+    /// Subject line of the commit (or the backfill source file).
+    pub message: String,
+    /// Commit timestamp in RFC 3339, or `"unknown"`.
+    pub timestamp: String,
+}
+
+impl CommitInfo {
+    /// Read the current HEAD via `git`; every field degrades to
+    /// `"unknown"` when git or the repo is unavailable (the history
+    /// stays appendable outside a checkout).
+    pub fn from_git() -> CommitInfo {
+        let read = |args: &[&str]| -> Option<String> {
+            let out = std::process::Command::new("git").args(args).output().ok()?;
+            if !out.status.success() {
+                return None;
+            }
+            let text = String::from_utf8(out.stdout).ok()?;
+            let trimmed = text.trim();
+            (!trimmed.is_empty()).then(|| trimmed.to_string())
+        };
+        CommitInfo {
+            id: read(&["rev-parse", "HEAD"]).unwrap_or_else(|| "unknown".into()),
+            message: read(&["log", "-1", "--format=%s"]).unwrap_or_else(|| "unknown".into()),
+            timestamp: read(&["log", "-1", "--format=%cI"]).unwrap_or_else(|| "unknown".into()),
+        }
+    }
+}
+
+/// Fingerprint machines whose wall times are mutually comparable: the
+/// logical core count plus the CPU model line from `/proc/cpuinfo`.
+/// Degrades to `"unknown"` where either is unreadable — and `"unknown"`
+/// entries never gate anything (the origin hardware is unknowable).
+pub fn machine_fingerprint() -> String {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(0);
+    let model = std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .and_then(|text| {
+            text.lines()
+                .find(|l| l.starts_with("model name"))
+                .and_then(|l| l.split(':').nth(1))
+                .map(|m| m.trim().to_string())
+        });
+    match (cores, model) {
+        (0, _) | (_, None) => "unknown".into(),
+        (n, Some(m)) => format!("{n}x {m}"),
+    }
+}
+
+/// One normalized measurement inside a history entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistoryBench {
+    /// Dotted path, e.g. `Matlab/Similarity/warm/run`.
+    pub name: String,
+    /// Milliseconds for `ms` benches, MFLOP/s for throughput benches.
+    pub value: f64,
+    /// `"ms"` (lower is better) or `"MFLOP/s"` (higher is better).
+    pub unit: String,
+}
+
+/// One appended run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistoryEntry {
+    /// The commit the run measured.
+    pub commit: CommitInfo,
+    /// Unix epoch milliseconds of the run.
+    pub date_ms: u64,
+    /// Always `"smda-bench"`.
+    pub tool: String,
+    /// [`machine_fingerprint`] of the recording host; `"unknown"` for
+    /// backfilled entries whose origin hardware was not recorded.
+    pub machine: String,
+    /// Normalized measurements.
+    pub benches: Vec<HistoryBench>,
+}
+
+/// Normalize a raw [`BenchExport`] into gate-worthy measurements: every
+/// top-level `run` phase (`{platform}/{task}/{mode}/run`, nanoseconds)
+/// becomes milliseconds, and every `similarity.effective_mflops` counter
+/// becomes an explicit `MFLOP/s` bench. Sub-phases and bookkeeping
+/// counters are deliberately dropped — the gate should track what users
+/// feel, not scheduler internals.
+pub fn normalize_export(export: &BenchExport) -> Vec<HistoryBench> {
+    let mut out = Vec::new();
+    for b in &export.benches {
+        let segments: Vec<&str> = b.name.split('/').collect();
+        if b.unit == "ns" && segments.len() == 4 && segments[3] == "run" {
+            out.push(HistoryBench {
+                name: b.name.clone(),
+                value: b.value as f64 / 1e6,
+                unit: "ms".into(),
+            });
+        } else if b.name.ends_with("/similarity.effective_mflops") {
+            out.push(HistoryBench {
+                name: b.name.clone(),
+                value: b.value as f64,
+                unit: "MFLOP/s".into(),
+            });
+        }
+    }
+    out
+}
+
+/// Build a history entry from a raw export.
+pub fn entry_from_export(export: &BenchExport, commit: CommitInfo, date_ms: u64) -> HistoryEntry {
+    HistoryEntry {
+        commit,
+        date_ms,
+        tool: SUITE.into(),
+        machine: machine_fingerprint(),
+        benches: normalize_export(export),
+    }
+}
+
+fn entry_to_value(e: &HistoryEntry) -> Value {
+    let mut commit = Value::object();
+    commit.insert("id", Value::String(e.commit.id.clone()));
+    commit.insert("message", Value::String(e.commit.message.clone()));
+    commit.insert("timestamp", Value::String(e.commit.timestamp.clone()));
+    let benches = e
+        .benches
+        .iter()
+        .map(|b| {
+            let mut v = Value::object();
+            v.insert("name", Value::String(b.name.clone()));
+            v.insert("value", Value::Number(b.value));
+            v.insert("unit", Value::String(b.unit.clone()));
+            v
+        })
+        .collect();
+    let mut v = Value::object();
+    v.insert("commit", commit);
+    v.insert("date", Value::Number(e.date_ms as f64));
+    v.insert("tool", Value::String(e.tool.clone()));
+    v.insert("machine", Value::String(e.machine.clone()));
+    v.insert("benches", Value::Array(benches));
+    v
+}
+
+fn entry_from_value(v: &Value) -> Result<HistoryEntry, String> {
+    let commit = v.get("commit").ok_or("entry missing `commit`")?;
+    let text = |node: &Value, key: &str| -> Result<String, String> {
+        node.get(key)
+            .and_then(Value::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("entry missing string `{key}`"))
+    };
+    let benches = v
+        .get("benches")
+        .and_then(Value::as_array)
+        .ok_or("entry missing `benches` array")?
+        .iter()
+        .map(|b| {
+            Ok(HistoryBench {
+                name: text(b, "name")?,
+                value: b
+                    .get("value")
+                    .and_then(Value::as_f64)
+                    .ok_or("bench missing numeric `value`")?,
+                unit: text(b, "unit")?,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(HistoryEntry {
+        commit: CommitInfo {
+            id: text(commit, "id")?,
+            message: text(commit, "message")?,
+            timestamp: text(commit, "timestamp")?,
+        },
+        date_ms: v.get("date").and_then(Value::as_u64).unwrap_or(0),
+        tool: text(v, "tool")?,
+        machine: v
+            .get("machine")
+            .and_then(Value::as_str)
+            .unwrap_or("unknown")
+            .to_string(),
+        benches,
+    })
+}
+
+/// Load every entry of the tracked history (empty when the file does not
+/// exist yet).
+pub fn load_history(path: &Path) -> Result<Vec<HistoryEntry>, String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(format!("cannot read {}: {e}", path.display())),
+    };
+    let doc = json::parse(&text).map_err(|e| format!("{} is not JSON: {e}", path.display()))?;
+    doc.get("entries")
+        .and_then(|e| e.get(SUITE))
+        .and_then(Value::as_array)
+        .map(|entries| entries.iter().map(entry_from_value).collect())
+        .unwrap_or_else(|| Ok(Vec::new()))
+}
+
+/// Serialize entries to the dkls23-shaped document.
+pub fn history_document(entries: &[HistoryEntry]) -> Value {
+    let last = entries.iter().map(|e| e.date_ms).max().unwrap_or(0);
+    let mut suites = Value::object();
+    suites.insert(
+        SUITE,
+        Value::Array(entries.iter().map(entry_to_value).collect()),
+    );
+    let mut doc = Value::object();
+    doc.insert("lastUpdate", Value::Number(last as f64));
+    doc.insert(
+        "repoUrl",
+        Value::String("https://example.invalid/smda".into()),
+    );
+    doc.insert("entries", suites);
+    doc
+}
+
+/// Append one entry to the tracked history file (creating it, and its
+/// parent directory, if needed). Returns the total entry count.
+pub fn append_history(path: &Path, entry: HistoryEntry) -> Result<usize, String> {
+    let mut entries = load_history(path)?;
+    entries.push(entry);
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+        }
+    }
+    std::fs::write(path, history_document(&entries).to_pretty_string() + "\n")
+        .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    Ok(entries.len())
+}
+
+fn median(mut values: Vec<f64>) -> f64 {
+    values.sort_by(|a, b| a.partial_cmp(b).expect("history values are finite"));
+    let n = values.len();
+    if n % 2 == 1 {
+        values[n / 2]
+    } else {
+        (values[n / 2 - 1] + values[n / 2]) / 2.0
+    }
+}
+
+/// The pure gate over already-loaded entries: compare the newest entry,
+/// bench by bench, against the median of every **prior same-machine**
+/// entry tracking the same name. `ms` benches regress upward, `MFLOP/s`
+/// benches regress downward; either direction past `threshold` fails.
+/// Benches with no prior history are reported as untracked, and entries
+/// from other machines (or from `"unknown"` hardware) are reported as
+/// excluded — never silently passed.
+pub fn check_history_entries(entries: &[HistoryEntry], threshold: f64) -> Result<String, String> {
+    let Some((latest, prior)) = entries.split_last() else {
+        return Ok("bench history gate: no entries tracked yet, nothing to compare".into());
+    };
+    if prior.is_empty() {
+        return Ok(format!(
+            "bench history gate: single entry ({}), no prior median to compare against",
+            latest.commit.id
+        ));
+    }
+    // Wall times from different hardware are not comparable; an unknown
+    // origin machine is by definition not known to match this one.
+    let comparable: Vec<&HistoryEntry> = prior
+        .iter()
+        .filter(|e| e.machine != "unknown" && e.machine == latest.machine)
+        .collect();
+    if comparable.is_empty() {
+        return Ok(format!(
+            "bench history gate: entry {} is the first recorded on `{}` — {} prior \
+             entr(y/ies) are from other or unknown machines and cannot gate wall times",
+            latest.commit.id,
+            latest.machine,
+            prior.len()
+        ));
+    }
+    let mut compared = 0usize;
+    let mut untracked = 0usize;
+    let mut failures = Vec::new();
+    for b in &latest.benches {
+        let history: Vec<f64> = comparable
+            .iter()
+            .flat_map(|e| &e.benches)
+            .filter(|p| p.name == b.name && p.unit == b.unit)
+            .map(|p| p.value)
+            .collect();
+        if history.is_empty() {
+            untracked += 1;
+            continue;
+        }
+        let med = median(history);
+        if med <= 0.0 {
+            untracked += 1;
+            continue;
+        }
+        compared += 1;
+        let (regressed, direction) = match b.unit.as_str() {
+            "MFLOP/s" => (b.value < med * (1.0 - threshold), "below"),
+            _ => (b.value > med * (1.0 + threshold), "above"),
+        };
+        if regressed {
+            failures.push(format!(
+                "{}: {:.3} {} is {:.1}% {} the tracked median {:.3}",
+                b.name,
+                b.value,
+                b.unit,
+                ((b.value - med) / med * 100.0).abs(),
+                direction,
+                med
+            ));
+        }
+    }
+    if !failures.is_empty() {
+        return Err(format!(
+            "bench history gate: {} regression(s) past {:.0}%:\n  {}",
+            failures.len(),
+            threshold * 100.0,
+            failures.join("\n  ")
+        ));
+    }
+    Ok(format!(
+        "bench history gate OK: entry {} within {:.0}% of the tracked same-machine \
+         median on {compared} benches ({untracked} without prior history, {} prior \
+         entr(y/ies) from other machines excluded)",
+        latest.commit.id,
+        threshold * 100.0,
+        prior.len() - comparable.len()
+    ))
+}
+
+/// The gate as run by `scripts/benchgate.sh`: load the tracked file and
+/// check its newest entry (see [`check_history_entries`]).
+pub fn check_history(path: &Path, threshold: f64) -> Result<String, String> {
+    let entries = load_history(path)?;
+    check_history_entries(&entries, threshold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry_on(id: &str, machine: &str, sim_ms: f64, mflops: f64) -> HistoryEntry {
+        HistoryEntry {
+            commit: CommitInfo {
+                id: id.into(),
+                message: format!("commit {id}"),
+                timestamp: "2026-08-08T00:00:00Z".into(),
+            },
+            date_ms: 1_754_000_000_000,
+            tool: SUITE.into(),
+            machine: machine.into(),
+            benches: vec![
+                HistoryBench {
+                    name: "Matlab/Similarity/warm/run".into(),
+                    value: sim_ms,
+                    unit: "ms".into(),
+                },
+                HistoryBench {
+                    name: "Matlab/Similarity/warm/similarity.effective_mflops".into(),
+                    value: mflops,
+                    unit: "MFLOP/s".into(),
+                },
+            ],
+        }
+    }
+
+    fn entry(id: &str, sim_ms: f64, mflops: f64) -> HistoryEntry {
+        entry_on(id, "8x test cpu", sim_ms, mflops)
+    }
+
+    #[test]
+    fn gate_passes_within_threshold() {
+        let entries = vec![
+            entry("a", 100.0, 1000.0),
+            entry("b", 104.0, 980.0),
+            entry("c", 110.0, 950.0),
+        ];
+        let msg = check_history_entries(&entries, REGRESSION_THRESHOLD).expect("within 15%");
+        assert!(msg.contains("2 benches"), "{msg}");
+    }
+
+    #[test]
+    fn gate_fails_on_injected_slowdown() {
+        // The negative test of the acceptance criteria: a synthetic >15%
+        // wall-time slowdown in the newest entry must fail the gate.
+        let entries = vec![
+            entry("a", 100.0, 1000.0),
+            entry("b", 102.0, 1000.0),
+            entry("slow", 120.0, 1000.0), // median 101 ms → +18.8%
+        ];
+        let err = check_history_entries(&entries, REGRESSION_THRESHOLD)
+            .expect_err("18% slowdown must fail");
+        assert!(err.contains("Matlab/Similarity/warm/run"), "{err}");
+    }
+
+    #[test]
+    fn gate_fails_on_throughput_drop() {
+        let entries = vec![
+            entry("a", 100.0, 1000.0),
+            entry("b", 100.0, 1040.0),
+            entry("slow", 100.0, 800.0), // median 1020 → −21.6%
+        ];
+        let err = check_history_entries(&entries, REGRESSION_THRESHOLD)
+            .expect_err("22% throughput drop must fail");
+        assert!(err.contains("effective_mflops"), "{err}");
+    }
+
+    #[test]
+    fn gate_never_compares_across_machines() {
+        // A 3x "slowdown" against entries from a faster machine (or from
+        // backfills with unknown hardware) is not a regression — the gate
+        // must pass with a logged explanation, not fail or stay silent.
+        let entries = vec![
+            entry_on("a", "unknown", 30.0, 3000.0),
+            entry_on("b", "16x fast cpu", 35.0, 2900.0),
+            entry_on("fresh", "1x slow cpu", 100.0, 1000.0),
+        ];
+        let msg = check_history_entries(&entries, REGRESSION_THRESHOLD)
+            .expect("cross-machine history cannot gate");
+        assert!(msg.contains("first recorded on `1x slow cpu`"), "{msg}");
+
+        // Once a same-machine baseline exists, the gate bites again —
+        // and still ignores the foreign entries in the median.
+        let entries = vec![
+            entry_on("a", "unknown", 30.0, 3000.0),
+            entry_on("base", "1x slow cpu", 100.0, 1000.0),
+            entry_on("slow", "1x slow cpu", 130.0, 1000.0),
+        ];
+        let err = check_history_entries(&entries, REGRESSION_THRESHOLD)
+            .expect_err("same-machine 30% slowdown must fail");
+        assert!(err.contains("130.000 ms"), "{err}");
+    }
+
+    #[test]
+    fn gate_is_trivially_ok_without_history() {
+        assert!(check_history_entries(&[], 0.15).is_ok());
+        let one = vec![entry("only", 100.0, 1000.0)];
+        let msg = check_history_entries(&one, 0.15).expect("single entry passes");
+        assert!(msg.contains("no prior median"), "{msg}");
+    }
+
+    #[test]
+    fn history_round_trips_through_the_document() {
+        let entries = vec![entry("a", 12.5, 1500.0), entry("b", 13.0, 1480.0)];
+        let doc = history_document(&entries);
+        let text = doc.to_pretty_string();
+        let parsed = json::parse(&text).expect("document parses");
+        let back: Vec<HistoryEntry> = parsed
+            .get("entries")
+            .and_then(|e| e.get(SUITE))
+            .and_then(Value::as_array)
+            .expect("suite array")
+            .iter()
+            .map(|v| entry_from_value(v).expect("entry parses"))
+            .collect();
+        assert_eq!(back, entries);
+        assert_eq!(
+            parsed.get("lastUpdate").and_then(Value::as_u64),
+            Some(1_754_000_000_000)
+        );
+    }
+
+    #[test]
+    fn append_and_check_against_a_real_file() {
+        let dir = std::env::temp_dir().join(format!("smda_hist_{}", std::process::id()));
+        let path = dir.join("bench_history.json");
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(append_history(&path, entry("a", 100.0, 1000.0)).unwrap(), 1);
+        assert_eq!(append_history(&path, entry("b", 101.0, 990.0)).unwrap(), 2);
+        assert!(check_history(&path, REGRESSION_THRESHOLD).is_ok());
+        assert_eq!(
+            append_history(&path, entry("slow", 130.0, 990.0)).unwrap(),
+            3
+        );
+        assert!(check_history(&path, REGRESSION_THRESHOLD).is_err());
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn normalize_keeps_run_phases_and_mflops_only() {
+        let export = BenchExport {
+            schema: BenchExport::SCHEMA.into(),
+            benches: vec![
+                smda_obs::BenchEntry {
+                    name: "Matlab/Similarity/warm/run".into(),
+                    value: 2_000_000,
+                    range: None,
+                    unit: "ns".into(),
+                },
+                smda_obs::BenchEntry {
+                    name: "Matlab/Similarity/warm/run/tile".into(),
+                    value: 1_500_000,
+                    range: None,
+                    unit: "ns".into(),
+                },
+                smda_obs::BenchEntry {
+                    name: "Matlab/Similarity/warm/similarity.effective_mflops".into(),
+                    value: 1234,
+                    range: None,
+                    unit: "count".into(),
+                },
+                smda_obs::BenchEntry {
+                    name: "Matlab/Similarity/warm/rows_scanned".into(),
+                    value: 26280,
+                    range: None,
+                    unit: "count".into(),
+                },
+            ],
+            runs: Vec::new(),
+        };
+        let normalized = normalize_export(&export);
+        assert_eq!(normalized.len(), 2);
+        assert_eq!(normalized[0].name, "Matlab/Similarity/warm/run");
+        assert_eq!(normalized[0].unit, "ms");
+        assert!((normalized[0].value - 2.0).abs() < 1e-9);
+        assert_eq!(normalized[1].unit, "MFLOP/s");
+        assert_eq!(normalized[1].value, 1234.0);
+    }
+}

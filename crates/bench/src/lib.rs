@@ -13,14 +13,25 @@
 pub mod alloc;
 pub mod data;
 pub mod experiments;
+pub mod history;
 pub mod jsonbench;
 pub mod report;
 pub mod runner;
 pub mod scale;
+pub mod tilecache;
 
+pub use history::{
+    append_history, check_history, check_history_entries, entry_from_export, load_history,
+    machine_fingerprint, CommitInfo, HistoryBench, HistoryEntry, DEFAULT_HISTORY_PATH,
+    REGRESSION_THRESHOLD,
+};
 pub use jsonbench::{run_json_bench, run_json_bench_with};
 pub use report::Table;
 pub use runner::{
-    check_fits, check_kernels, check_real, check_serve, run_all, run_experiment, EXPERIMENT_IDS,
+    check_fits, check_kernels, check_real, check_serve, check_simd, run_all, run_experiment,
+    EXPERIMENT_IDS,
 };
 pub use scale::Scale;
+pub use tilecache::{
+    apply_tile_cache, load_tile_cache, run_autotune, save_tile_cache, DEFAULT_TILE_CACHE_PATH,
+};

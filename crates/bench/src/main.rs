@@ -16,16 +16,54 @@
 //! injects a deterministic fault plan into the cluster engines of that
 //! matrix (see `smda_cluster::FaultPlan::parse` for the spec grammar).
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 use smda_bench::{
-    check_fits, check_kernels, check_real, check_serve, run_all, run_experiment,
-    run_json_bench_with, Scale, EXPERIMENT_IDS,
+    check_fits, check_kernels, check_real, check_serve, check_simd, run_all, run_experiment,
+    run_json_bench_with, Scale, DEFAULT_HISTORY_PATH, DEFAULT_TILE_CACHE_PATH, EXPERIMENT_IDS,
+    REGRESSION_THRESHOLD,
 };
 use smda_cluster::FaultPlan;
 
 #[global_allocator]
 static ALLOC: smda_bench::alloc::CountingAlloc = smda_bench::alloc::CountingAlloc;
+
+fn epoch_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+/// Seed the history with an already-recorded `BENCH_*.json` export: the
+/// entry is labeled by file stem and stamped with the file's mtime so
+/// the backfilled trajectory keeps its original order.
+fn backfill_history(file: &Path) -> Result<usize, String> {
+    let text = std::fs::read_to_string(file)
+        .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
+    let export = smda_obs::BenchExport::parse(&text)
+        .map_err(|e| format!("{} is not a bench export: {e}", file.display()))?;
+    let stem = file
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "backfill".into());
+    let mtime_ms = std::fs::metadata(file)
+        .and_then(|m| m.modified())
+        .ok()
+        .and_then(|t| t.duration_since(std::time::UNIX_EPOCH).ok())
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0);
+    let commit = smda_bench::CommitInfo {
+        id: format!("backfill:{stem}"),
+        message: format!("backfilled from {stem}.json"),
+        timestamp: "unknown".into(),
+    };
+    let mut entry = smda_bench::entry_from_export(&export, commit, mtime_ms);
+    // The export predates the history and does not say what hardware
+    // recorded it, so it must never gate a fresh run's wall times.
+    entry.machine = "unknown".into();
+    smda_bench::append_history(Path::new(DEFAULT_HISTORY_PATH), entry)
+}
 
 fn main() {
     let mut scale = Scale::default();
@@ -36,6 +74,10 @@ fn main() {
     let mut fits_check = false;
     let mut serve_check = false;
     let mut real_check = false;
+    let mut simd_check = false;
+    let mut autotune = false;
+    let mut history_check: Option<PathBuf> = None;
+    let mut backfills: Vec<PathBuf> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -45,6 +87,19 @@ fn main() {
             "--check-fits" => fits_check = true,
             "--check-serve" => serve_check = true,
             "--check-real" => real_check = true,
+            "--check-simd" => simd_check = true,
+            "--autotune" => autotune = true,
+            "--check-history" => match args.next() {
+                Some(path) => history_check = Some(PathBuf::from(path)),
+                None => history_check = Some(PathBuf::from(DEFAULT_HISTORY_PATH)),
+            },
+            "--backfill-history" => match args.next() {
+                Some(path) => backfills.push(PathBuf::from(path)),
+                None => {
+                    eprintln!("--backfill-history needs a BENCH_*.json path");
+                    std::process::exit(2);
+                }
+            },
             "--json" => match args.next() {
                 Some(path) => json_out = Some(PathBuf::from(path)),
                 None => {
@@ -69,7 +124,8 @@ fn main() {
                 eprintln!(
                     "usage: smda-bench [--smoke|--small|--full] [--json PATH] [--faults SPEC] \
                      [--check-kernels] [--check-fits] [--check-serve] [--check-real] \
-                     [EXPERIMENT...]\n\
+                     [--check-simd] [--check-history PATH] [--backfill-history FILE] \
+                     [--autotune] [EXPERIMENT...]\n\
                      experiments: {}",
                     EXPERIMENT_IDS.join(" ")
                 );
@@ -82,6 +138,59 @@ fn main() {
     if faults.is_some() && json_out.is_none() {
         eprintln!("--faults only applies to the instrumented --json matrix");
         std::process::exit(2);
+    }
+
+    // A cached autotune winner applies to every tiled sweep below;
+    // --autotune refreshes the cache first.
+    if autotune {
+        match smda_bench::run_autotune(Path::new(DEFAULT_TILE_CACHE_PATH)) {
+            Ok(msg) => eprintln!("{msg}"),
+            Err(e) => {
+                eprintln!("autotune failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else if let Some(cfg) = smda_bench::apply_tile_cache(Path::new(DEFAULT_TILE_CACHE_PATH)) {
+        eprintln!(
+            "tile cache: using autotuned {}x{} from {}",
+            cfg.query_block, cfg.candidate_block, DEFAULT_TILE_CACHE_PATH
+        );
+    }
+
+    for file in &backfills {
+        match backfill_history(file) {
+            Ok(total) => eprintln!(
+                "backfilled {} into {} ({total} entries)",
+                file.display(),
+                DEFAULT_HISTORY_PATH
+            ),
+            Err(e) => {
+                eprintln!("backfill of {} failed: {e}", file.display());
+                std::process::exit(1);
+            }
+        }
+    }
+    let checks_requested = kernels_check || fits_check || serve_check || real_check || simd_check;
+    if (!backfills.is_empty() || autotune)
+        && json_out.is_none()
+        && ids.is_empty()
+        && !checks_requested
+        && history_check.is_none()
+    {
+        return;
+    }
+
+    if let Some(path) = history_check {
+        match smda_bench::check_history(&path, REGRESSION_THRESHOLD) {
+            Ok(msg) => {
+                eprintln!("{msg}");
+                return;
+            }
+            Err(msg) => {
+                eprintln!("bench history gate FAILED: {msg}");
+                std::process::exit(1);
+            }
+        }
     }
 
     if kernels_check {
@@ -136,6 +245,19 @@ fn main() {
         }
     }
 
+    if simd_check {
+        match check_simd(scale) {
+            Ok(msg) => {
+                eprintln!("{msg}");
+                return;
+            }
+            Err(msg) => {
+                eprintln!("simd check FAILED: {msg}");
+                std::process::exit(1);
+            }
+        }
+    }
+
     if let Some(path) = json_out {
         let export = run_json_bench_with(scale, faults);
         if let Err(e) = std::fs::write(&path, export.to_json_pretty()) {
@@ -148,6 +270,21 @@ fn main() {
             export.runs.len(),
             path.display()
         );
+        // Continuous tracking: every instrumented run lands one
+        // normalized entry in the history the regression gate reads.
+        let entry =
+            smda_bench::entry_from_export(&export, smda_bench::CommitInfo::from_git(), epoch_ms());
+        let history = Path::new(DEFAULT_HISTORY_PATH);
+        match smda_bench::append_history(history, entry) {
+            Ok(total) => eprintln!(
+                "appended entry to {} ({total} entries tracked)",
+                history.display()
+            ),
+            Err(e) => {
+                eprintln!("history append failed: {e}");
+                std::process::exit(1);
+            }
+        }
         return;
     }
 

@@ -7,7 +7,7 @@ use crate::report::Table;
 use crate::scale::Scale;
 
 /// All experiment ids, in the paper's presentation order.
-pub const EXPERIMENT_IDS: [&str; 19] = [
+pub const EXPERIMENT_IDS: [&str; 20] = [
     "table1",
     "fig4",
     "fig5",
@@ -24,6 +24,7 @@ pub const EXPERIMENT_IDS: [&str; 19] = [
     "chaos",
     "kernels",
     "fits",
+    "simd",
     "ingest",
     "serve",
     "cluster_real",
@@ -49,6 +50,7 @@ pub fn run_experiment(id: &str, scale: Scale) -> Option<Vec<Table>> {
         "chaos" => experiments::chaos::run(scale),
         "kernels" => experiments::kernels::run(scale),
         "fits" => experiments::fits::run(scale),
+        "simd" => experiments::simd::run(scale),
         "ingest" => experiments::ingest::run(scale),
         "serve" => experiments::serve::run(scale),
         "cluster_real" => experiments::cluster_real::run(scale),
@@ -91,6 +93,112 @@ pub fn check_kernels(scale: Scale) -> std::result::Result<String, String> {
     Ok(format!(
         "kernel equivalence OK: n={n}, {} pairs scored, threads 1/2/4/8 identical",
         stats.pairs_scored
+    ))
+}
+
+/// SIMD equivalence gate (`smda-bench --check-simd`).
+///
+/// Two tiers (DESIGN.md §14):
+///
+/// 1. **Lane-preserving, bit-exact.** The AVX2 `dot` and `axpy` kernels
+///    must be `to_bits`-identical to the scalar references across ragged
+///    lengths 0..=67 and a full 8760-hour year. Skipped with a logged
+///    note on hardware without AVX2 (the dispatch then provably runs the
+///    scalar reference, which is identity by definition).
+/// 2. **Fused, tolerance-gated.** With the fused tier opted in, the raw
+///    matrix + `dot_scaled` kernel over one seeded dataset must pick the
+///    same top-k indices as the exact pre-normalized kernel with every
+///    score within `FUSED_REL_TOL` (relative error ≤ 1e-12), serial and
+///    through the pooled engine path.
+pub fn check_simd(scale: Scale) -> std::result::Result<String, String> {
+    use smda_core::SIMILARITY_TOP_K;
+    use smda_stats::{top_k_tiled, top_k_tiled_scaled, SeriesMatrix, TileConfig, FUSED_REL_TOL};
+
+    // Tier 1: lane-preserving kernels are bit-exact.
+    let mut lane_note = "AVX2 lane kernels bit-identical to scalar";
+    if smda_stats::avx2_supported() {
+        let mut state = 0xdead_beefu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 4000) as f64 / 1000.0 - 2.0
+        };
+        let lens: Vec<usize> = (0..=67).chain([8760]).collect();
+        for len in lens {
+            let a: Vec<f64> = (0..len).map(|_| next()).collect();
+            let b: Vec<f64> = (0..len).map(|_| next()).collect();
+            let scalar = smda_stats::dot_scalar(&a, &b);
+            let simd = smda_stats::dot_avx2(&a, &b).expect("AVX2 detected above");
+            if simd.to_bits() != scalar.to_bits() {
+                return Err(format!(
+                    "lane-preserving dot diverged from scalar at len={len}: \
+                     {simd:e} vs {scalar:e}"
+                ));
+            }
+            let mut acc_scalar: Vec<f64> = (0..len).map(|_| next()).collect();
+            let mut acc_simd = acc_scalar.clone();
+            smda_stats::simd::axpy_scalar(&mut acc_scalar, 1.3125, &a);
+            smda_stats::axpy(&mut acc_simd, 1.3125, &a);
+            if acc_scalar
+                .iter()
+                .zip(&acc_simd)
+                .any(|(x, y)| x.to_bits() != y.to_bits())
+            {
+                return Err(format!("axpy diverged from scalar at len={len}"));
+            }
+        }
+    } else {
+        lane_note = "no AVX2 on this machine: scalar dispatch is the identity";
+    }
+
+    // Tier 2: the fused normalize+score path stays within tolerance.
+    let ds = crate::data::seed_dataset(scale.consumers_for_households(6_400));
+    let series: Vec<Vec<f64>> = ds
+        .consumers()
+        .iter()
+        .map(|c| c.readings().to_vec())
+        .collect();
+    let n = series.len();
+    let exact_m = SeriesMatrix::from_rows_normalized(&series);
+    let cfg = TileConfig::current();
+    let (exact, _) = top_k_tiled(&exact_m, SIMILARITY_TOP_K, &cfg);
+    let raw = SeriesMatrix::from_rows_raw(&series);
+    let inv = raw.inverse_norms();
+    let was_fused = smda_stats::set_fused(true);
+    let serial = top_k_tiled_scaled(&raw, &inv, SIMILARITY_TOP_K, &cfg);
+    let sink = smda_obs::MetricsSink::disabled();
+    let pooled =
+        smda_engines::parallel::top_k_matrix_with(&raw, Some(&inv), SIMILARITY_TOP_K, 4, &sink);
+    smda_stats::set_fused(was_fused);
+    let mut max_rel = 0.0f64;
+    for (label, (fused, _)) in [("serial", serial), ("pooled", pooled)] {
+        for (q, (e_hits, f_hits)) in exact.iter().zip(&fused).enumerate() {
+            if e_hits.len() != f_hits.len()
+                || e_hits.iter().zip(f_hits).any(|(e, f)| e.index != f.index)
+            {
+                return Err(format!(
+                    "fused {label} kernel picked different top-k indices for query {q} (n={n})"
+                ));
+            }
+            for (e, f) in e_hits.iter().zip(f_hits) {
+                let rel = (e.score - f.score).abs() / e.score.abs().max(1.0);
+                max_rel = max_rel.max(rel);
+                if rel > FUSED_REL_TOL {
+                    return Err(format!(
+                        "fused {label} score for query {q} off by rel {rel:e} \
+                         (> {FUSED_REL_TOL:e}): {} vs {}",
+                        f.score, e.score
+                    ));
+                }
+            }
+        }
+    }
+
+    Ok(format!(
+        "simd equivalence OK: {lane_note}; fused normalize+score within \
+         {FUSED_REL_TOL:e} of exact over n={n} (max rel err {max_rel:.2e}), \
+         serial and pooled, identical top-k indices"
     ))
 }
 

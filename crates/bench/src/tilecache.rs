@@ -1,0 +1,144 @@
+//! On-disk cache for the autotuned tile geometry.
+//!
+//! `smda bench --autotune` (or `smda-bench --autotune`) sweeps the
+//! candidate tile shapes with [`TileConfig::autotune`] and records the
+//! winner plus every sample here (`results/tile_autotune.json`):
+//!
+//! ```json
+//! {
+//!   "best": {"query_block": 8, "candidate_block": 64},
+//!   "samples": [
+//!     {"query_block": 4, "candidate_block": 32,
+//!      "elapsed_ms": 12.5, "mflops": 1530.0}
+//!   ]
+//! }
+//! ```
+//!
+//! At startup the bench binary calls [`apply_tile_cache`]; a cached
+//! winner is installed process-wide via [`TileConfig::make_current`], so
+//! every engine's tiled sweep picks it up without replumbing. Tile shape
+//! changes performance only — outputs are bit-identical for any shape —
+//! so a stale or foreign cache can never change results.
+
+use std::path::Path;
+
+use serde::json::{self, Value};
+use smda_stats::{AutotuneOutcome, TileConfig};
+
+/// Tracked cache file, relative to the repo root.
+pub const DEFAULT_TILE_CACHE_PATH: &str = "results/tile_autotune.json";
+
+fn tile_value(cfg: &TileConfig) -> Value {
+    let mut v = Value::object();
+    v.insert("query_block", Value::Number(cfg.query_block as f64));
+    v.insert("candidate_block", Value::Number(cfg.candidate_block as f64));
+    v
+}
+
+fn tile_from_value(v: &Value) -> Option<TileConfig> {
+    let q = v.get("query_block")?.as_u64()? as usize;
+    let c = v.get("candidate_block")?.as_u64()? as usize;
+    (q > 0 && c > 0).then_some(TileConfig {
+        query_block: q,
+        candidate_block: c,
+    })
+}
+
+/// Persist an autotune outcome (winner plus all samples).
+pub fn save_tile_cache(path: &Path, outcome: &AutotuneOutcome) -> Result<(), String> {
+    let mut doc = Value::object();
+    doc.insert("best", tile_value(&outcome.best));
+    let samples = outcome
+        .samples
+        .iter()
+        .map(|s| {
+            let mut v = tile_value(&s.config);
+            v.insert("elapsed_ms", Value::Number(s.elapsed_ms));
+            v.insert("mflops", Value::Number(s.mflops));
+            v
+        })
+        .collect();
+    doc.insert("samples", Value::Array(samples));
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+        }
+    }
+    std::fs::write(path, doc.to_pretty_string() + "\n")
+        .map_err(|e| format!("cannot write {}: {e}", path.display()))
+}
+
+/// Read the cached winner, if a valid cache exists.
+pub fn load_tile_cache(path: &Path) -> Option<TileConfig> {
+    let text = std::fs::read_to_string(path).ok()?;
+    tile_from_value(json::parse(&text).ok()?.get("best")?)
+}
+
+/// Install the cached winner (if any) as the process-wide tile geometry,
+/// returning what was installed.
+pub fn apply_tile_cache(path: &Path) -> Option<TileConfig> {
+    let cfg = load_tile_cache(path)?;
+    cfg.make_current();
+    Some(cfg)
+}
+
+/// Sweep the candidate tile shapes on the synthetic probe, install the
+/// winner process-wide, persist the cache at `path`, and return a
+/// one-line summary for the caller to print.
+pub fn run_autotune(path: &Path) -> Result<String, String> {
+    let outcome = TileConfig::autotune(192, 2_048, 10);
+    outcome.best.make_current();
+    save_tile_cache(path, &outcome)?;
+    let probe_ms = outcome
+        .samples
+        .iter()
+        .find(|s| s.config == outcome.best)
+        .map_or(0.0, |s| s.elapsed_ms);
+    Ok(format!(
+        "autotune: best tile {}x{} ({probe_ms:.1} ms on the probe), cached at {}",
+        outcome.best.query_block,
+        outcome.best.candidate_block,
+        path.display()
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smda_stats::AutotuneSample;
+
+    #[test]
+    fn cache_round_trips() {
+        let dir = std::env::temp_dir().join(format!("smda_tile_{}", std::process::id()));
+        let path = dir.join("tile_autotune.json");
+        let best = TileConfig {
+            query_block: 16,
+            candidate_block: 128,
+        };
+        let outcome = AutotuneOutcome {
+            best,
+            samples: vec![AutotuneSample {
+                config: best,
+                elapsed_ms: 4.2,
+                mflops: 999.0,
+            }],
+        };
+        save_tile_cache(&path, &outcome).expect("cache writes");
+        assert_eq!(load_tile_cache(&path), Some(best));
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn missing_or_garbage_cache_loads_nothing() {
+        assert_eq!(load_tile_cache(Path::new("/nonexistent/tile.json")), None);
+        let dir = std::env::temp_dir().join(format!("smda_tile_bad_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tile_autotune.json");
+        std::fs::write(&path, "not json").unwrap();
+        assert_eq!(load_tile_cache(&path), None);
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir(&dir);
+    }
+}

@@ -28,8 +28,9 @@ use smda_core::{
 };
 use smda_obs::{counters, MetricsSink};
 use smda_stats::{
-    merge_partials, top_k_tiled, top_k_tiled_partial, with_fit_scratch, KernelStats,
-    SeriesMatrixBuilder, SimilarityMatch, TileConfig,
+    merge_partials, top_k_tiled, top_k_tiled_partial, top_k_tiled_scaled,
+    top_k_tiled_scaled_partial, with_fit_scratch, KernelStats, SeriesMatrixBuilder,
+    SimilarityMatch, TileConfig,
 };
 use smda_types::{ConsumerId, ConsumerSeries, Error, Result, TemperatureSeries, HOURS_PER_YEAR};
 
@@ -243,9 +244,12 @@ pub fn execute_task(
         }
         Task::Similarity => {
             // Phase 1: stream every consumer's year straight into the
-            // contiguous matrix, normalized in place (parallel over id
-            // chunks; each row is written exactly once at its id's
-            // position, so the matrix is identical for any schedule).
+            // contiguous matrix (parallel over id chunks; each row is
+            // written exactly once at its id's position, so the matrix
+            // is identical for any schedule). The exact path normalizes
+            // rows in place; the opt-in fused path keeps rows raw and
+            // folds inverse norms into the scoring kernel instead.
+            let fused = smda_stats::fused_enabled();
             let builder = SeriesMatrixBuilder::new(ids.len(), HOURS_PER_YEAR);
             {
                 let _t = metrics.scope("extract");
@@ -253,7 +257,11 @@ pub fn execute_task(
                     for (j, &id) in ids.iter().enumerate() {
                         let kwh = src.consumer_kwh(id)?;
                         metrics.incr(counters::ROWS_SCANNED, kwh.len() as u64);
-                        builder.set_row_normalized(offset + j, kwh);
+                        if fused {
+                            builder.set_row(offset + j, kwh);
+                        } else {
+                            builder.set_row_normalized(offset + j, kwh);
+                        }
                     }
                     Ok(())
                 })?;
@@ -261,7 +269,9 @@ pub fn execute_task(
             let matrix = builder.finish();
             // Phase 2: tiled symmetric all-pairs scoring.
             let _t = metrics.scope("score");
-            let (matches, _stats) = top_k_matrix(&matrix, k, threads, metrics);
+            let scaling = fused.then(|| matrix.inverse_norms());
+            let (matches, _stats) =
+                top_k_matrix_with(&matrix, scaling.as_deref(), k, threads, metrics);
             Ok(TaskOutput::Similarity(
                 matches
                     .into_iter()
@@ -287,13 +297,32 @@ pub fn top_k_matrix(
     threads: usize,
     metrics: &MetricsSink,
 ) -> (Vec<Vec<SimilarityMatch>>, KernelStats) {
-    let cfg = TileConfig::default();
+    top_k_matrix_with(matrix, None, k, threads, metrics)
+}
+
+/// [`top_k_matrix`] with an optional fused-tier scaling vector: when
+/// `scaling` is `Some`, `matrix` rows are **raw** and each pair's cosine
+/// is `dot * scaling[i] * scaling[j]` (tolerance tier, opt-in via
+/// `smda_stats::set_fused`); when `None`, rows are pre-normalized and
+/// scoring is the exact kernel. Tile geometry comes from
+/// [`TileConfig::current`] so an autotuned shape applies everywhere.
+pub fn top_k_matrix_with(
+    matrix: &smda_stats::SeriesMatrix,
+    scaling: Option<&[f64]>,
+    k: usize,
+    threads: usize,
+    metrics: &MetricsSink,
+) -> (Vec<Vec<SimilarityMatch>>, KernelStats) {
+    let cfg = TileConfig::current();
     let tiles = cfg.tile_rows(matrix.rows());
     let parallelism = threads.min(tiles).max(1);
     let tile_start = Instant::now();
     let (matches, stats) = if parallelism <= 1 {
         let _t = metrics.scope("tile");
-        top_k_tiled(matrix, k, &cfg)
+        match scaling {
+            Some(inv) => top_k_tiled_scaled(matrix, inv, k, &cfg),
+            None => top_k_tiled(matrix, k, &cfg),
+        }
     } else {
         let partials = {
             let _t = metrics.scope("tile");
@@ -306,7 +335,10 @@ pub fn top_k_matrix(
             let collected: Mutex<Vec<(Vec<Vec<SimilarityMatch>>, KernelStats)>> =
                 Mutex::new(Vec::new());
             WorkerPool::global().broadcast(parallelism, &|_slot| {
-                let part = top_k_tiled_partial(matrix, k, &cfg, &claim);
+                let part = match scaling {
+                    Some(inv) => top_k_tiled_scaled_partial(matrix, inv, k, &cfg, &claim),
+                    None => top_k_tiled_partial(matrix, k, &cfg, &claim),
+                };
                 collected
                     .lock()
                     .expect("kernel partials poisoned")
@@ -324,9 +356,11 @@ pub fn top_k_matrix(
         }
         let merged = merge_partials(matrix.rows(), parts, k);
         record_kernel_counters(metrics, &stats, matrix.stride(), tile_elapsed);
+        record_dispatch_counters(metrics, scaling.is_some());
         return (merged, stats);
     };
     record_kernel_counters(metrics, &stats, matrix.stride(), tile_start.elapsed());
+    record_dispatch_counters(metrics, scaling.is_some());
     (matches, stats)
 }
 
@@ -342,6 +376,16 @@ fn record_kernel_counters(
         counters::SIMILARITY_MFLOPS,
         stats.flops(stride).saturating_mul(1000) / ns,
     );
+}
+
+/// Record which kernel implementation actually scored the run.
+fn record_dispatch_counters(metrics: &MetricsSink, fused: bool) {
+    if smda_stats::simd::active_tier() == smda_stats::SimdTier::Avx2 {
+        metrics.incr(counters::SIMD_AVX2_ACTIVE, 1);
+    }
+    if fused {
+        metrics.incr(counters::SIMD_FUSED_ACTIVE, 1);
+    }
 }
 
 /// A [`ConsumerSource`] over an in-memory dataset — the "warm" workspace

@@ -66,6 +66,12 @@ pub mod counters {
     /// Effective similarity-kernel throughput in MFLOP/s (2 flops per
     /// element per pair over the tile phase's wall time).
     pub const SIMILARITY_MFLOPS: &str = "similarity.effective_mflops";
+    /// 1 when the lane-preserving AVX2 kernels were dispatched for the
+    /// run's similarity scoring, 0 when the scalar reference ran.
+    pub const SIMD_AVX2_ACTIVE: &str = "simd.avx2_active";
+    /// 1 when the tolerance-tier fused normalize+score kernel scored
+    /// the run (opt-in; see `--check-simd`).
+    pub const SIMD_FUSED_ACTIVE: &str = "simd.fused_active";
     /// Logical tasks placed by a cluster scheduler.
     pub const TASKS_SCHEDULED: &str = "tasks_scheduled";
     /// Bytes moved across the simulated cluster network.

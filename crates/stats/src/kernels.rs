@@ -31,7 +31,7 @@
 //! DESIGN.md §9.
 
 use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use crate::similarity::{dot, norm2, select_top_k, SimilarityMatch};
 
@@ -96,6 +96,38 @@ impl SeriesMatrix {
     /// Row length (the paper's 8760 hours).
     pub fn stride(&self) -> usize {
         self.stride
+    }
+
+    /// Build from row vectors **without** normalizing — the raw layout
+    /// the fused (tolerance-tier) scoring path uses together with
+    /// [`SeriesMatrix::inverse_norms`]. All rows must share one length.
+    ///
+    /// # Panics
+    /// Panics if row lengths differ.
+    pub fn from_rows_raw(rows: &[Vec<f64>]) -> SeriesMatrix {
+        let stride = rows.first().map_or(0, Vec::len);
+        let builder = SeriesMatrixBuilder::new(rows.len(), stride);
+        for (i, r) in rows.iter().enumerate() {
+            builder.set_row(i, r);
+        }
+        builder.finish()
+    }
+
+    /// Per-row `1/‖row‖`, with `0.0` for all-zero rows so a fused score
+    /// `dot(a, b) * inv[i] * inv[j]` is zero wherever the exact
+    /// pre-normalized path scores zero. Norms come from the wide
+    /// [`crate::simd::sumsq4`] — this accessor belongs to the fused tier.
+    pub fn inverse_norms(&self) -> Vec<f64> {
+        (0..self.rows)
+            .map(|i| {
+                let n = crate::simd::sumsq4(self.row(i)).sqrt();
+                if n == 0.0 {
+                    0.0
+                } else {
+                    1.0 / n
+                }
+            })
+            .collect()
     }
 
     /// One series as a slice.
@@ -249,12 +281,140 @@ impl Default for TileConfig {
     }
 }
 
+/// Process-wide tile override set by [`TileConfig::make_current`]:
+/// `(query_block << 32) | candidate_block`, `0` meaning "unset, use the
+/// default". Autotuning writes it once at startup; every engine reads it
+/// through [`TileConfig::current`].
+static CURRENT_TILE: AtomicU64 = AtomicU64::new(0);
+
 impl TileConfig {
     /// How many tile rows (query blocks) an `n`-row matrix splits into —
     /// the unit of work a parallel executor claims.
     pub fn tile_rows(&self, n: usize) -> usize {
         n.div_ceil(self.query_block.max(1))
     }
+
+    /// The process-wide tile geometry: whatever the last
+    /// [`TileConfig::make_current`] installed (e.g. from the autotune
+    /// cache), or the default. Tile shape affects only performance —
+    /// every shape yields bit-identical output — so this global is safe
+    /// to flip at any time.
+    pub fn current() -> TileConfig {
+        let packed = CURRENT_TILE.load(Ordering::Relaxed);
+        if packed == 0 {
+            return TileConfig::default();
+        }
+        TileConfig {
+            query_block: (packed >> 32) as usize,
+            candidate_block: (packed & 0xffff_ffff) as usize,
+        }
+    }
+
+    /// Install this geometry as the process-wide [`TileConfig::current`].
+    ///
+    /// # Panics
+    /// Panics if either block is zero or ≥ 2³².
+    pub fn make_current(self) {
+        assert!(
+            self.query_block > 0 && self.candidate_block > 0,
+            "tile blocks must be nonzero"
+        );
+        assert!(
+            self.query_block < (1 << 32) && self.candidate_block < (1 << 32),
+            "tile blocks must fit in 32 bits"
+        );
+        let packed = ((self.query_block as u64) << 32) | self.candidate_block as u64;
+        CURRENT_TILE.store(packed, Ordering::Relaxed);
+    }
+
+    /// The tile shapes [`TileConfig::autotune`] sweeps.
+    pub fn autotune_candidates() -> Vec<TileConfig> {
+        let mut out = Vec::new();
+        for q in [4usize, 8, 16, 32] {
+            for c in [32usize, 64, 128] {
+                out.push(TileConfig {
+                    query_block: q,
+                    candidate_block: c,
+                });
+            }
+        }
+        out
+    }
+
+    /// Sweep candidate tile shapes over a synthetic `rows × stride`
+    /// matrix (deterministic xorshift fill, normalized) and return the
+    /// fastest, best-of-two timings per shape. Tile geometry only moves
+    /// data through caches differently — all shapes are bit-identical —
+    /// so the winner can be installed with [`TileConfig::make_current`]
+    /// and cached across runs (`results/tile_autotune.json`).
+    pub fn autotune(rows: usize, stride: usize, k: usize) -> AutotuneOutcome {
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        let series: Vec<Vec<f64>> = (0..rows)
+            .map(|_| {
+                (0..stride)
+                    .map(|_| {
+                        state ^= state << 13;
+                        state ^= state >> 7;
+                        state ^= state << 17;
+                        (state % 4000) as f64 / 1000.0
+                    })
+                    .collect()
+            })
+            .collect();
+        let m = SeriesMatrix::from_rows_normalized(&series);
+        let mut samples = Vec::new();
+        for cfg in TileConfig::autotune_candidates() {
+            let mut best_ns = u64::MAX;
+            let mut pairs = 0u64;
+            for _ in 0..2 {
+                let start = std::time::Instant::now();
+                let (out, stats) = top_k_tiled(&m, k, &cfg);
+                let ns = start.elapsed().as_nanos() as u64;
+                std::hint::black_box(&out);
+                best_ns = best_ns.min(ns.max(1));
+                pairs = stats.pairs_scored;
+            }
+            let flops = KernelStats {
+                pairs_scored: pairs,
+            }
+            .flops(stride);
+            samples.push(AutotuneSample {
+                config: cfg,
+                elapsed_ms: best_ns as f64 / 1e6,
+                mflops: flops as f64 * 1e3 / best_ns as f64,
+            });
+        }
+        let best = samples
+            .iter()
+            .min_by(|a, b| {
+                a.elapsed_ms
+                    .partial_cmp(&b.elapsed_ms)
+                    .expect("timings are finite")
+            })
+            .map(|s| s.config)
+            .unwrap_or_default();
+        AutotuneOutcome { best, samples }
+    }
+}
+
+/// One timed shape from [`TileConfig::autotune`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AutotuneSample {
+    /// The tile geometry measured.
+    pub config: TileConfig,
+    /// Best-of-two wall time for the sweep, milliseconds.
+    pub elapsed_ms: f64,
+    /// Effective throughput at that time (2 flops per element per pair).
+    pub mflops: f64,
+}
+
+/// Result of a [`TileConfig::autotune`] sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AutotuneOutcome {
+    /// The fastest shape (install with [`TileConfig::make_current`]).
+    pub best: TileConfig,
+    /// Every shape measured, in sweep order.
+    pub samples: Vec<AutotuneSample>,
 }
 
 /// What the kernel did, for observability.
@@ -314,21 +474,24 @@ impl TopKBuffer {
 
 /// Process one tile row (query block `qb`) of the symmetric kernel:
 /// score every pair `(i, j)` with `i` in the block, `j > i`, crediting
-/// both endpoints' buffers.
-fn process_tile_row(
-    m: &SeriesMatrix,
+/// both endpoints' buffers. Generic over the pair scorer so the exact
+/// path (`dot` on pre-normalized rows) and the fused path
+/// (`dot_scaled` on raw rows) monomorphize to separate loops with no
+/// indirect call in the inner sweep.
+fn process_tile_row<F: FnMut(usize, usize) -> f64>(
+    n: usize,
     cfg: &TileConfig,
     qb: usize,
     bufs: &mut [TopKBuffer],
     stats: &mut KernelStats,
+    score: &mut F,
 ) {
-    let n = m.rows();
     let q0 = qb * cfg.query_block;
     let q1 = (q0 + cfg.query_block).min(n);
     // Diagonal triangle: pairs inside the query block.
     for i in q0..q1 {
         for j in (i + 1)..q1 {
-            let score = dot(m.row(i), m.row(j));
+            let score = score(i, j);
             stats.pairs_scored += 1;
             bufs[i].push(SimilarityMatch { index: j, score });
             bufs[j].push(SimilarityMatch { index: i, score });
@@ -339,9 +502,8 @@ fn process_tile_row(
     while c0 < n {
         let c1 = (c0 + cfg.candidate_block).min(n);
         for j in c0..c1 {
-            let row_j = m.row(j);
             for i in q0..q1 {
-                let score = dot(m.row(i), row_j);
+                let score = score(i, j);
                 stats.pairs_scored += 1;
                 bufs[i].push(SimilarityMatch { index: j, score });
                 bufs[j].push(SimilarityMatch { index: i, score });
@@ -349,6 +511,44 @@ fn process_tile_row(
         }
         c0 = c1;
     }
+}
+
+/// Shared driver for the partial (work-claiming) kernels.
+fn top_k_partial_with<F: FnMut(usize, usize) -> f64>(
+    n: usize,
+    k: usize,
+    cfg: &TileConfig,
+    claim: &dyn Fn() -> Option<usize>,
+    mut score: F,
+) -> (Vec<Vec<SimilarityMatch>>, KernelStats) {
+    let mut stats = KernelStats::default();
+    let mut bufs: Vec<TopKBuffer> = (0..n).map(|_| TopKBuffer::new(k)).collect();
+    let mut touched = false;
+    while let Some(qb) = claim() {
+        touched = true;
+        process_tile_row(n, cfg, qb, &mut bufs, &mut stats, &mut score);
+    }
+    if !touched {
+        // Claimed nothing: empty partial, so merges stay cheap.
+        return (vec![Vec::new(); n], stats);
+    }
+    (bufs.into_iter().map(TopKBuffer::finish).collect(), stats)
+}
+
+/// Shared driver for the sequential tiled kernels.
+fn top_k_tiled_with<F: FnMut(usize, usize) -> f64>(
+    n: usize,
+    k: usize,
+    cfg: &TileConfig,
+    mut score: F,
+) -> (Vec<Vec<SimilarityMatch>>, KernelStats) {
+    let tiles = cfg.tile_rows(n);
+    let mut stats = KernelStats::default();
+    let mut bufs: Vec<TopKBuffer> = (0..n).map(|_| TopKBuffer::new(k)).collect();
+    for qb in 0..tiles {
+        process_tile_row(n, cfg, qb, &mut bufs, &mut stats, &mut score);
+    }
+    (bufs.into_iter().map(TopKBuffer::finish).collect(), stats)
 }
 
 /// One worker's share of the tiled kernel: repeatedly claim a tile row
@@ -365,19 +565,28 @@ pub fn top_k_tiled_partial(
     cfg: &TileConfig,
     claim: &dyn Fn() -> Option<usize>,
 ) -> (Vec<Vec<SimilarityMatch>>, KernelStats) {
-    let n = m.rows();
-    let mut stats = KernelStats::default();
-    let mut bufs: Vec<TopKBuffer> = (0..n).map(|_| TopKBuffer::new(k)).collect();
-    let mut touched = false;
-    while let Some(qb) = claim() {
-        touched = true;
-        process_tile_row(m, cfg, qb, &mut bufs, &mut stats);
-    }
-    if !touched {
-        // Claimed nothing: empty partial, so merges stay cheap.
-        return (vec![Vec::new(); n], stats);
-    }
-    (bufs.into_iter().map(TopKBuffer::finish).collect(), stats)
+    top_k_partial_with(m.rows(), k, cfg, claim, |i, j| dot(m.row(i), m.row(j)))
+}
+
+/// Fused (tolerance-tier) twin of [`top_k_tiled_partial`]: rows of `m`
+/// are **raw** (see [`SeriesMatrix::from_rows_raw`]) and each pair's
+/// cosine is `dot(a, b) * inv_norms[i] * inv_norms[j]` via
+/// [`crate::simd::dot_scaled`]. Within [`crate::simd::FUSED_REL_TOL`]
+/// of the exact pre-normalized kernel; gated by `--check-simd`.
+///
+/// # Panics
+/// Panics if `inv_norms.len() != m.rows()`.
+pub fn top_k_tiled_scaled_partial(
+    m: &SeriesMatrix,
+    inv_norms: &[f64],
+    k: usize,
+    cfg: &TileConfig,
+    claim: &dyn Fn() -> Option<usize>,
+) -> (Vec<Vec<SimilarityMatch>>, KernelStats) {
+    assert_eq!(inv_norms.len(), m.rows(), "one inverse norm per row");
+    top_k_partial_with(m.rows(), k, cfg, claim, |i, j| {
+        crate::simd::dot_scaled(m.row(i), m.row(j), inv_norms[i] * inv_norms[j])
+    })
 }
 
 /// Merge per-worker partial top-k lists (from [`top_k_tiled_partial`])
@@ -413,14 +622,24 @@ pub fn top_k_tiled(
     k: usize,
     cfg: &TileConfig,
 ) -> (Vec<Vec<SimilarityMatch>>, KernelStats) {
-    let n = m.rows();
-    let tiles = cfg.tile_rows(n);
-    let mut stats = KernelStats::default();
-    let mut bufs: Vec<TopKBuffer> = (0..n).map(|_| TopKBuffer::new(k)).collect();
-    for qb in 0..tiles {
-        process_tile_row(m, cfg, qb, &mut bufs, &mut stats);
-    }
-    (bufs.into_iter().map(TopKBuffer::finish).collect(), stats)
+    top_k_tiled_with(m.rows(), k, cfg, |i, j| dot(m.row(i), m.row(j)))
+}
+
+/// Fused (tolerance-tier) twin of [`top_k_tiled`] over raw rows plus
+/// [`SeriesMatrix::inverse_norms`]; see [`top_k_tiled_scaled_partial`].
+///
+/// # Panics
+/// Panics if `inv_norms.len() != m.rows()`.
+pub fn top_k_tiled_scaled(
+    m: &SeriesMatrix,
+    inv_norms: &[f64],
+    k: usize,
+    cfg: &TileConfig,
+) -> (Vec<Vec<SimilarityMatch>>, KernelStats) {
+    assert_eq!(inv_norms.len(), m.rows(), "one inverse norm per row");
+    top_k_tiled_with(m.rows(), k, cfg, |i, j| {
+        crate::simd::dot_scaled(m.row(i), m.row(j), inv_norms[i] * inv_norms[j])
+    })
 }
 
 /// Score query row `q` against every other row of `m` — the one-query
@@ -607,5 +826,62 @@ mod tests {
     fn kernel_stats_flops() {
         let s = KernelStats { pairs_scored: 10 };
         assert_eq!(s.flops(100), 2000);
+    }
+
+    #[test]
+    fn scaled_kernel_tracks_exact_within_tolerance() {
+        let rows = pseudo_series(17, 29, 77);
+        let exact_m = SeriesMatrix::from_rows_normalized(&rows);
+        let cfg = TileConfig::default();
+        let (exact, exact_stats) = top_k_tiled(&exact_m, 5, &cfg);
+        let raw = SeriesMatrix::from_rows_raw(&rows);
+        let inv = raw.inverse_norms();
+        let (fused, fused_stats) = top_k_tiled_scaled(&raw, &inv, 5, &cfg);
+        assert_eq!(exact_stats.pairs_scored, fused_stats.pairs_scored);
+        assert_eq!(exact.len(), fused.len());
+        for (a, b) in exact.iter().zip(&fused) {
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x.index, y.index);
+                let tol = crate::simd::FUSED_REL_TOL * x.score.abs().max(1.0);
+                assert!((x.score - y.score).abs() <= tol);
+            }
+        }
+    }
+
+    #[test]
+    fn scaled_kernel_zero_rows_score_zero() {
+        let rows = vec![vec![0.0; 8], vec![1.0; 8], vec![2.0; 8]];
+        let raw = SeriesMatrix::from_rows_raw(&rows);
+        let inv = raw.inverse_norms();
+        assert_eq!(inv[0], 0.0);
+        let (fused, _) = top_k_tiled_scaled(&raw, &inv, 2, &TileConfig::default());
+        assert!(fused[1].iter().all(|h| h.index != 0 || h.score == 0.0));
+        assert!(fused[0].iter().all(|h| h.score == 0.0));
+    }
+
+    #[test]
+    fn current_tile_round_trips_and_defaults() {
+        // Runs in one test to avoid ordering races on the global.
+        assert_eq!(TileConfig::current(), TileConfig::default());
+        let cfg = TileConfig {
+            query_block: 16,
+            candidate_block: 96,
+        };
+        cfg.make_current();
+        assert_eq!(TileConfig::current(), cfg);
+        TileConfig::default().make_current();
+        assert_eq!(TileConfig::current(), TileConfig::default());
+    }
+
+    #[test]
+    fn autotune_returns_a_candidate_shape() {
+        let outcome = TileConfig::autotune(24, 32, 3);
+        assert_eq!(
+            outcome.samples.len(),
+            TileConfig::autotune_candidates().len()
+        );
+        assert!(TileConfig::autotune_candidates().contains(&outcome.best));
+        assert!(outcome.samples.iter().all(|s| s.elapsed_ms > 0.0));
     }
 }

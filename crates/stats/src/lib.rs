@@ -24,12 +24,14 @@ pub mod regression;
 pub mod rng;
 pub mod sax;
 pub mod scratch;
+pub mod simd;
 pub mod similarity;
 
 pub use descriptive::{covariance, mean, pearson, population_variance, sample_variance, stddev};
 pub use histogram::{EquiWidthHistogram, HistogramSpec};
 pub use kernels::{
-    merge_partials, top_k_query, top_k_tiled, top_k_tiled_partial, KernelStats, SeriesMatrix,
+    merge_partials, top_k_query, top_k_tiled, top_k_tiled_partial, top_k_tiled_scaled,
+    top_k_tiled_scaled_partial, AutotuneOutcome, AutotuneSample, KernelStats, SeriesMatrix,
     SeriesMatrixBuilder, TileConfig,
 };
 pub use kmeans::{KMeans, KMeansConfig};
@@ -43,7 +45,11 @@ pub use scratch::{
     with_fit_scratch, CurveBuffer, DenseGroups, FitScratch, NormalEq, ScratchFit, SegmentSums,
     SCRATCH_MAX_COLS,
 };
+pub use simd::{
+    avx2_supported, axpy, dot_avx2, dot_scaled, force_tier, fused_enabled, set_fused, sumsq4,
+    KernelDispatch, SimdTier, FUSED_REL_TOL,
+};
 pub use similarity::{
-    cosine_similarity, dot, norm2, normalize_all, select_top_k, top_k_cosine, top_k_normalized,
-    SimilarityMatch,
+    cosine_similarity, dot, dot_scalar, norm2, normalize_all, select_top_k, sumsq, top_k_cosine,
+    top_k_normalized, SimilarityMatch,
 };

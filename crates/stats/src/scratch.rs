@@ -359,20 +359,21 @@ impl NormalEq {
         // (`Matrix::t_vec` order) in one pass over regenerated rows.
         self.gram[..cols * cols].fill(0.0);
         self.xty[..cols].fill(0.0);
-        for r in 0..rows {
-            fill_row(r, &mut self.row[..cols]);
-            for i in 0..cols {
-                let a = self.row[i];
-                if a == 0.0 {
-                    continue;
+        {
+            // Each gram/xty entry is an independent accumulator updated by
+            // one `+= a * x` per row, so the dispatched `axpy` (scalar or
+            // AVX2 lanes) is bit-identical to the original scalar loop.
+            let NormalEq { gram, xty, row, .. } = self;
+            for r in 0..rows {
+                fill_row(r, &mut row[..cols]);
+                for i in 0..cols {
+                    let a = row[i];
+                    if a == 0.0 {
+                        continue;
+                    }
+                    crate::simd::axpy(&mut gram[i * cols + i..i * cols + cols], a, &row[i..cols]);
                 }
-                for j in i..cols {
-                    self.gram[i * cols + j] += a * self.row[j];
-                }
-            }
-            let w = y[r];
-            for j in 0..cols {
-                self.xty[j] += w * self.row[j];
+                crate::simd::axpy(&mut xty[..cols], y[r], &row[..cols]);
             }
         }
         // Mirror to the lower triangle — the Cholesky loop reads it.

@@ -1,24 +1,47 @@
 //! Cosine similarity and top-k search (the Section 3.4 benchmark task).
 
-/// Euclidean (L2) norm.
-pub fn norm2(v: &[f64]) -> f64 {
-    v.iter().map(|x| x * x).sum::<f64>().sqrt()
+/// Canonical sum of squares: one serial dependency chain, the norm
+/// reference every platform shares. All norms in the workspace — this
+/// module's [`norm2`], the matrix builder's row normalization, the
+/// Hive/Spark sides — must flow through this single entry point so the
+/// question "what is ‖v‖²?" has exactly one bit pattern as its answer.
+/// (The SIMD layer's wide [`sumsq4`](crate::simd::sumsq4) reassociates
+/// this chain and is tolerance-tier only.)
+pub fn sumsq(v: &[f64]) -> f64 {
+    v.iter().map(|x| x * x).sum::<f64>()
 }
 
-/// Dot product of equal-length slices.
-///
-/// This is the **canonical** dot product of the whole workspace: a 4-wide
-/// multi-accumulator loop that rustc autovectorizes (the serial
-/// `zip().sum()` form forms one long dependency chain the compiler may
-/// not reorder, since float addition is not associative). Every
-/// similarity path — naive, tiled, parallel, Hive, Spark — must call this
-/// function so their scores agree **bit for bit**: the summation order is
-/// fixed here, and `dot(a, b) == dot(b, a)` exactly because per-element
-/// products commute bitwise.
+/// Euclidean (L2) norm, `sumsq(v).sqrt()`.
+pub fn norm2(v: &[f64]) -> f64 {
+    sumsq(v).sqrt()
+}
+
+/// Dot product of equal-length slices — the **canonical** dot product of
+/// the whole workspace. Every similarity path — naive, tiled, parallel,
+/// Hive, Spark — must call this function so their scores agree **bit for
+/// bit**. Dispatches to the lane-preserving AVX2 kernel when the CPU has
+/// it; that kernel maps [`dot_scalar`]'s 4 accumulators onto 4 vector
+/// lanes with the same reduction tree, so the dispatch is invisible at
+/// the bit level (pinned by `--check-kernels` and proptests).
+/// `dot(a, b) == dot(b, a)` exactly because per-element products commute
+/// bitwise.
 ///
 /// # Panics
 /// Panics if lengths differ.
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot product requires equal lengths");
+    crate::simd::dot_dispatch(a, b)
+}
+
+/// The fixed-order scalar dot product — the bit-exact reference the SIMD
+/// kernels are held to. A 4-wide multi-accumulator loop that rustc
+/// autovectorizes (the serial `zip().sum()` form is one long dependency
+/// chain the compiler may not reorder, since float addition is not
+/// associative); the final reduction is `((a0+a1)+(a2+a3)) + tail`.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn dot_scalar(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "dot product requires equal lengths");
     let mut acc = [0.0f64; 4];
     let mut chunks = a.chunks_exact(4).zip(b.chunks_exact(4));
@@ -37,10 +60,15 @@ pub fn dot(a: &[f64], b: &[f64]) -> f64 {
 }
 
 /// Cosine similarity `a·b / (‖a‖‖b‖)`; zero when either vector is zero.
+/// Short-circuits after the first all-zero norm — the second norm and
+/// the dot product are never computed for zero inputs.
 pub fn cosine_similarity(a: &[f64], b: &[f64]) -> f64 {
     let na = norm2(a);
+    if na == 0.0 {
+        return 0.0;
+    }
     let nb = norm2(b);
-    if na == 0.0 || nb == 0.0 {
+    if nb == 0.0 {
         return 0.0;
     }
     dot(a, b) / (na * nb)

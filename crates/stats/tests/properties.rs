@@ -290,6 +290,76 @@ proptest! {
     }
 
     #[test]
+    fn simd_dot_is_bit_identical_to_scalar(
+        // Lengths 0..64 cover every ragged tail (len % 4 ∈ {0,1,2,3})
+        // and the empty product.
+        len in 0usize..64,
+        seed in prop::collection::vec((-1e6f64..1e6, -1e6f64..1e6), 64)
+    ) {
+        let a: Vec<f64> = seed[..len].iter().map(|p| p.0).collect();
+        let b: Vec<f64> = seed[..len].iter().map(|p| p.1).collect();
+        let scalar = smda_stats::dot_scalar(&a, &b);
+        // The canonical entry must dispatch to something bit-identical.
+        prop_assert_eq!(smda_stats::dot(&a, &b).to_bits(), scalar.to_bits());
+        // And the AVX2 kernel itself, where the hardware has it.
+        if let Some(simd) = smda_stats::dot_avx2(&a, &b) {
+            prop_assert_eq!(simd.to_bits(), scalar.to_bits(), "len {}", len);
+        }
+    }
+
+    #[test]
+    fn simd_axpy_is_bit_identical_to_scalar(
+        x in prop::collection::vec(-1e6f64..1e6, 0..40),
+        acc0 in prop::collection::vec(-1e6f64..1e6, 0..40),
+        a in -1e3f64..1e3
+    ) {
+        let n = x.len().min(acc0.len());
+        let mut scalar = acc0[..n].to_vec();
+        let mut dispatched = scalar.clone();
+        smda_stats::simd::axpy_scalar(&mut scalar, a, &x[..n]);
+        smda_stats::axpy(&mut dispatched, a, &x[..n]);
+        for (s, d) in scalar.iter().zip(&dispatched) {
+            prop_assert_eq!(s.to_bits(), d.to_bits());
+        }
+    }
+
+    #[test]
+    fn normal_eq_gram_is_tier_independent(
+        rows in prop::collection::vec((-10.0f64..10.0, -10.0f64..10.0), 4..40),
+        cols in 1usize..6
+    ) {
+        // The dispatched axpy feeding NormalEq's gram/Xᵀy must give the
+        // same bits whether the scalar or the detected (possibly AVX2)
+        // tier runs. Safe even under parallel tests: both tiers are
+        // bit-identical by construction, so a concurrent force elsewhere
+        // cannot change any dispatched result.
+        let y: Vec<f64> = rows.iter().map(|(_, b)| *b).collect();
+        let mut fill = |r: usize, row: &mut [f64]| {
+            for (j, slot) in row.iter_mut().enumerate() {
+                let x = rows[r].0;
+                *slot = match j { 0 => 1.0, 1 => x, _ => x.powi(j as i32) };
+            }
+        };
+        let mut solver_a = smda_stats::NormalEq::default();
+        let mut solver_b = smda_stats::NormalEq::default();
+        let prev = smda_stats::force_tier(smda_stats::SimdTier::Scalar);
+        let scalar_fit = solver_a.solve(rows.len(), cols, &mut fill, &y);
+        smda_stats::force_tier(smda_stats::SimdTier::Avx2); // clamps if absent
+        let simd_fit = solver_b.solve(rows.len(), cols, &mut fill, &y);
+        smda_stats::force_tier(prev);
+        match (scalar_fit, simd_fit) {
+            (None, None) => {}
+            (Some(s), Some(v)) => {
+                for j in 0..cols {
+                    prop_assert_eq!(s.beta[j].to_bits(), v.beta[j].to_bits(), "beta[{}]", j);
+                }
+                prop_assert_eq!(s.sse.to_bits(), v.sse.to_bits());
+            }
+            _ => prop_assert!(false, "fit presence diverged across tiers"),
+        }
+    }
+
+    #[test]
     fn kmeans_assignments_in_range(
         pts in prop::collection::vec(prop::collection::vec(-50.0f64..50.0, 3), 2..60),
         k in 1usize..6

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Continuous benchmark-regression gate.
+#
+# Checks the newest tracked entry in results/bench_history.json against
+# the median of all prior entries per bench name and fails on a >15%
+# regression (slower ms, or lower MFLOP/s). The gate is deterministic:
+# it only reads the tracked history — it never measures — so CI results
+# do not depend on the machine running it.
+#
+# The gate SKIPS (exit 0, with a logged reason — never silently) when:
+#   - the host has no AVX2: tracked entries were recorded with the SIMD
+#     tier active, so scalar-only timings are not comparable;
+#   - no history file exists yet (fresh clone before the first --json run).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+history="${1:-results/bench_history.json}"
+
+if ! grep -qw avx2 /proc/cpuinfo 2>/dev/null; then
+    echo "benchgate: SKIP — no AVX2 on this machine; tracked history was" \
+         "recorded with SIMD dispatch active and is not comparable" >&2
+    exit 0
+fi
+
+if [ ! -f "$history" ]; then
+    echo "benchgate: SKIP — no bench history at $history (run" \
+         "\`smda-bench --json BENCH.json\` to record the first entry)" >&2
+    exit 0
+fi
+
+cargo run --release -q -p smda-bench -- --check-history "$history"

@@ -42,6 +42,12 @@ if [ "$fast" -eq 0 ]; then
 
     echo "== real transport bit-identity + one-kill chaos =="
     cargo run --release -q -p smda-bench -- --smoke --check-real
+
+    echo "== simd equivalence (lane bit-exact + fused tolerance) =="
+    cargo run --release -q -p smda-bench -- --smoke --check-simd
+
+    echo "== bench history regression gate =="
+    scripts/benchgate.sh
 fi
 
 echo "ci: all green"
