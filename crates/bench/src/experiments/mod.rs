@@ -5,6 +5,7 @@ pub mod cluster_real;
 pub mod cluster_vs_c;
 pub mod coldwarm;
 pub mod fits;
+pub mod format;
 pub mod format1;
 pub mod format2;
 pub mod format3;

@@ -125,6 +125,35 @@ pub fn run_json_bench_with(scale: Scale, faults: Option<FaultPlan>) -> BenchExpo
         }
     }
 
+    // The binary-backed numeric twin: the same dataset sealed to one
+    // `SMC1` file, cold runs served off the memory mapping. Tracked
+    // under its own platform label (`Matlab-smc/{task}/cold/run`) so
+    // the history gate guards binary cold-start latency separately
+    // from the CSV path.
+    let mut binary = NumericEngine::binary(scratch.path("matlab.smc"));
+    binary
+        .load(&ds)
+        .expect("binary store materializes from valid data");
+    for task in Task::ALL {
+        binary.make_cold();
+        let sink = MetricsSink::recording();
+        let spec = RunSpec::builder(task)
+            .threads(THREADS)
+            .metrics(sink.clone())
+            .build();
+        let (cold, allocated, peak) = alloc::measure_alloc(|| {
+            let _run = sink.scope("run");
+            binary.run(&spec)
+        });
+        cold.expect("binary cold run succeeds on the sealed file");
+        record_heap(&sink, "run", allocated, peak);
+        let manifest = RunManifest::new(task.name(), "Matlab-smc")
+            .threads(THREADS)
+            .consumers(ds.len())
+            .cold(true);
+        runs.push(sink.finish(manifest));
+    }
+
     // Cluster engines: counters (tasks scheduled, bytes shuffled, workers
     // spawned) flow in from the scheduler and worker pool; the virtual
     // makespan is recorded as an explicit sub-phase.
@@ -222,15 +251,29 @@ mod tests {
     #[test]
     fn export_covers_every_platform_and_task() {
         let export = run_json_bench(Scale::smoke());
-        // 3 single-server platforms × 4 tasks × {warm, cold} + 2 cluster
-        // engines × 4 tasks.
-        assert_eq!(export.runs.len(), 3 * 4 * 2 + 2 * 4);
-        for name in ["Matlab", "MADLib", "System C", "Hive", "Spark"] {
+        // 3 single-server platforms × 4 tasks × {warm, cold} + the
+        // binary-backed twin × 4 cold tasks + 2 cluster engines × 4 tasks.
+        assert_eq!(export.runs.len(), 3 * 4 * 2 + 4 + 2 * 4);
+        for name in [
+            "Matlab",
+            "MADLib",
+            "System C",
+            "Matlab-smc",
+            "Hive",
+            "Spark",
+        ] {
             assert!(
                 export.runs.iter().any(|r| r.manifest.platform == name),
                 "missing platform {name}"
             );
         }
+        // The binary twin is cold-only: every run is served off the
+        // sealed file, there is no warm session to observe.
+        assert!(export
+            .runs
+            .iter()
+            .filter(|r| r.manifest.platform == "Matlab-smc")
+            .all(|r| r.manifest.cold));
         // Warm sessions carry the three top-level phases.
         for report in export.runs.iter().filter(|r| !r.manifest.cold) {
             assert!(
@@ -278,7 +321,7 @@ mod tests {
         };
         let export = run_json_bench_with(Scale::smoke(), Some(plan));
         // The fault-free matrix plus one observed `load` per cluster engine.
-        assert_eq!(export.runs.len(), 3 * 4 * 2 + 2 * 4 + 2);
+        assert_eq!(export.runs.len(), 3 * 4 * 2 + 4 + 2 * 4 + 2);
 
         // The load runs carry the replica-loss injection and recovery.
         for platform in ["Hive", "Spark"] {

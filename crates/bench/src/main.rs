@@ -19,9 +19,9 @@
 use std::path::{Path, PathBuf};
 
 use smda_bench::{
-    check_fits, check_kernels, check_real, check_serve, check_simd, run_all, run_experiment,
-    run_json_bench_with, Scale, DEFAULT_HISTORY_PATH, DEFAULT_TILE_CACHE_PATH, EXPERIMENT_IDS,
-    REGRESSION_THRESHOLD,
+    check_fits, check_format, check_kernels, check_real, check_serve, check_simd, run_all,
+    run_experiment, run_json_bench_with, Scale, DEFAULT_HISTORY_PATH, DEFAULT_TILE_CACHE_PATH,
+    EXPERIMENT_IDS, REGRESSION_THRESHOLD,
 };
 use smda_cluster::FaultPlan;
 
@@ -75,6 +75,7 @@ fn main() {
     let mut serve_check = false;
     let mut real_check = false;
     let mut simd_check = false;
+    let mut format_check = false;
     let mut autotune = false;
     let mut history_check: Option<PathBuf> = None;
     let mut backfills: Vec<PathBuf> = Vec::new();
@@ -88,6 +89,7 @@ fn main() {
             "--check-serve" => serve_check = true,
             "--check-real" => real_check = true,
             "--check-simd" => simd_check = true,
+            "--check-format" => format_check = true,
             "--autotune" => autotune = true,
             "--check-history" => match args.next() {
                 Some(path) => history_check = Some(PathBuf::from(path)),
@@ -124,7 +126,8 @@ fn main() {
                 eprintln!(
                     "usage: smda-bench [--smoke|--small|--full] [--json PATH] [--faults SPEC] \
                      [--check-kernels] [--check-fits] [--check-serve] [--check-real] \
-                     [--check-simd] [--check-history PATH] [--backfill-history FILE] \
+                     [--check-simd] [--check-format] [--check-history PATH] \
+                     [--backfill-history FILE] \
                      [--autotune] [EXPERIMENT...]\n\
                      experiments: {}",
                     EXPERIMENT_IDS.join(" ")
@@ -170,7 +173,8 @@ fn main() {
             }
         }
     }
-    let checks_requested = kernels_check || fits_check || serve_check || real_check || simd_check;
+    let checks_requested =
+        kernels_check || fits_check || serve_check || real_check || simd_check || format_check;
     if (!backfills.is_empty() || autotune)
         && json_out.is_none()
         && ids.is_empty()
@@ -253,6 +257,19 @@ fn main() {
             }
             Err(msg) => {
                 eprintln!("simd check FAILED: {msg}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if format_check {
+        match check_format(scale) {
+            Ok(msg) => {
+                eprintln!("{msg}");
+                return;
+            }
+            Err(msg) => {
+                eprintln!("format check FAILED: {msg}");
                 std::process::exit(1);
             }
         }

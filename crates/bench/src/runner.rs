@@ -7,7 +7,7 @@ use crate::report::Table;
 use crate::scale::Scale;
 
 /// All experiment ids, in the paper's presentation order.
-pub const EXPERIMENT_IDS: [&str; 20] = [
+pub const EXPERIMENT_IDS: [&str; 21] = [
     "table1",
     "fig4",
     "fig5",
@@ -28,6 +28,7 @@ pub const EXPERIMENT_IDS: [&str; 20] = [
     "ingest",
     "serve",
     "cluster_real",
+    "format",
 ];
 
 /// Run one experiment by id (composite figures run together: `fig11`
@@ -54,6 +55,7 @@ pub fn run_experiment(id: &str, scale: Scale) -> Option<Vec<Table>> {
         "ingest" => experiments::ingest::run(scale),
         "serve" => experiments::serve::run(scale),
         "cluster_real" => experiments::cluster_real::run(scale),
+        "format" => experiments::format::run(scale),
         _ => return None,
     };
     Some(tables)
@@ -533,6 +535,132 @@ pub fn check_real(scale: Scale) -> std::result::Result<String, String> {
          retries and {} shuffle partitions replayed, zero lost/duplicated",
         ds.len(),
         survived.partitions_replayed
+    ))
+}
+
+/// Binary-format equivalence gate (`smda-bench --check-format`).
+///
+/// Over one seeded dataset, for both block encodings: write an `SMC1`
+/// file, memory-map it back, and require (1) the full dataset read-back
+/// to be bit-identical (`f64::to_bits`) to the in-memory original,
+/// including the temperature year; (2) the raw file's zero-copy matrix
+/// view to carry the same bits straight out of the mapping; (3) all
+/// four tasks executed through [`BinarySource`] to be bit-identical to
+/// `run_reference` on the original; and (4) a 4-way `cut` + `merge`
+/// round trip to reproduce the source file byte for byte.
+///
+/// [`BinarySource`]: smda_engines::BinarySource
+pub fn check_format(scale: Scale) -> std::result::Result<String, String> {
+    use std::sync::Arc;
+
+    use smda_cluster::task_output_bits_eq;
+    use smda_core::tasks::run_reference;
+    use smda_core::{Task, SIMILARITY_TOP_K};
+    use smda_engines::parallel::{execute_task, ConsumerSource};
+    use smda_engines::BinarySource;
+    use smda_storage::{BinaryEncoding, BinaryStore};
+
+    // At least 8 households so the 4-way reshard has real shards.
+    let n = scale.consumers_for_households(6_400).max(8);
+    let ds = crate::data::seed_dataset(n);
+    let scratch = crate::data::Scratch::new("check-format");
+    let bits_eq = |a: &[f64], b: &[f64]| {
+        a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+    };
+
+    let mut tasks_checked = 0usize;
+    let mut zero_copy = "owned fallback backing (no mmap)";
+    for encoding in [BinaryEncoding::Raw, BinaryEncoding::Packed] {
+        let tag = format!("{encoding:?}").to_lowercase();
+        let path = scratch.path(&format!("{tag}.smc"));
+        let store = BinaryStore::create(&path, ds.as_ref(), encoding)
+            .map_err(|e| format!("{tag}: write+open failed: {e}"))?;
+        store
+            .verify()
+            .map_err(|e| format!("{tag}: verify failed: {e}"))?;
+
+        // (1) Whole-dataset read-back is bit-identical.
+        let back = store
+            .read_all()
+            .map_err(|e| format!("{tag}: read-back failed: {e}"))?;
+        if !bits_eq(back.temperature().values(), ds.temperature().values()) {
+            return Err(format!("{tag}: temperature diverged from the original"));
+        }
+        for (a, b) in back.consumers().iter().zip(ds.consumers()) {
+            if a.id != b.id || !bits_eq(a.readings(), b.readings()) {
+                return Err(format!("{tag}: consumer {} diverged bitwise", b.id));
+            }
+        }
+
+        // (2) The raw mapping serves the same bits with zero copies.
+        if encoding == BinaryEncoding::Raw {
+            if let Some(matrix) = store.matrix_view() {
+                let flat: Vec<f64> = ds
+                    .consumers()
+                    .iter()
+                    .flat_map(|c| c.readings().iter().copied())
+                    .collect();
+                if !bits_eq(matrix, &flat) {
+                    return Err("raw: mapped matrix view diverged bitwise".into());
+                }
+                zero_copy = "zero-copy mmap matrix bit-identical";
+            }
+        }
+
+        // (3) Every task through the binary source matches the reference.
+        let shared = Arc::new(store);
+        for task in Task::ALL {
+            let store = shared.clone();
+            let make = move || -> smda_types::Result<Box<dyn ConsumerSource>> {
+                Ok(Box::new(BinarySource::new(store.clone())))
+            };
+            let got = execute_task(
+                &make,
+                task,
+                2,
+                SIMILARITY_TOP_K,
+                &smda_obs::MetricsSink::disabled(),
+            )
+            .map_err(|e| format!("{tag}: {} failed off the file: {e}", task.name()))?;
+            if !task_output_bits_eq(&got, &run_reference(task, &ds)) {
+                return Err(format!(
+                    "{tag}: {} diverged bitwise from the reference",
+                    task.name()
+                ));
+            }
+            tasks_checked += 1;
+        }
+
+        // (4) Reshard round trip: 4 strided cuts merged back must
+        // reproduce the source file byte for byte.
+        let ids = shared
+            .consumer_ids()
+            .map_err(|e| format!("{tag}: ids unreadable: {e}"))?;
+        let shards: Vec<_> = (0..4)
+            .map(|s| {
+                let shard = scratch.path(&format!("{tag}-shard-{s}.smc"));
+                let keep: Vec<_> = ids.iter().copied().skip(s).step_by(4).collect();
+                smda_format::ops::cut(&path, &shard, &keep)
+                    .map_err(|e| format!("{tag}: cut shard {s} failed: {e}"))?;
+                Ok(shard)
+            })
+            .collect::<std::result::Result<_, String>>()?;
+        let merged = scratch.path(&format!("{tag}-merged.smc"));
+        smda_format::ops::merge(&shards, &merged)
+            .map_err(|e| format!("{tag}: merge failed: {e}"))?;
+        let original = std::fs::read(&path).map_err(|e| format!("{tag}: reread failed: {e}"))?;
+        let rejoined = std::fs::read(&merged).map_err(|e| format!("{tag}: reread failed: {e}"))?;
+        if original != rejoined {
+            return Err(format!(
+                "{tag}: 4-way cut+merge did not reproduce the file byte for byte"
+            ));
+        }
+    }
+
+    Ok(format!(
+        "format equivalence OK: n={n}, raw+packed read-back bit-identical, {zero_copy}, \
+         {tasks_checked} task runs off the file bitwise equal to the reference, \
+         4-way cut+merge byte-identical for both encodings"
     ))
 }
 

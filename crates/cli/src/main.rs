@@ -4,6 +4,7 @@
 //! smda generate --consumers 200 --out data/           # seed dataset (Format 1)
 //! smda amplify  --seed 50 --consumers 5000 --out big/ # paper's generator
 //! smda run histogram --data data/                     # run one task
+//! smda convert --in data/ --out data.smc --verify     # CSV <-> SMC1 binary
 //! smda bench fig7                                     # run an experiment
 //! ```
 
@@ -33,6 +34,9 @@ fn main() -> ExitCode {
         "generate" => generate(&args[1..]),
         "amplify" => amplify(&args[1..]),
         "run" => run_task_cmd(&args[1..]),
+        "convert" => convert(&args[1..]),
+        "cut" => cut(&args[1..]),
+        "merge" => merge(&args[1..]),
         "ingest" => ingest(&args[1..]),
         "serve" => serve(&args[1..]),
         "worker" => worker(&args[1..]),
@@ -64,8 +68,18 @@ fn usage() {
            generate --consumers N [--seed S] [--out DIR]   synthesize a seed dataset\n\
            amplify  --seed N --consumers M [--out DIR]     amplify via the paper's generator\n\
            run TASK --data DIR [--format f1|f2]            run histogram|three-line|par|similarity\n\
+                                                           (--data also accepts an .smc file)\n\
+           convert --in SRC --out DST [--encoding raw|packed] [--format f1|f2] [--verify]\n\
+                                                           CSV dir -> .smc file or .smc -> CSV dir\n\
+                                                           (--verify re-reads and bit-compares)\n\
+           cut --in FILE.smc (--shards N | --consumers IDS) [--out PREFIX]\n\
+                                                           re-shard: round-robin into N files, or\n\
+                                                           extract the comma-separated ids\n\
+           merge --out FILE.smc SHARD.smc...               join disjoint shards into one file\n\
            ingest [--consumers N] [--shards N] [--lateness H] [--jitter H] [--seed S]\n\
                   [--speedup X] [--wal DIR] [--faults SPEC] [--skip-dirty] [--serve]\n\
+                  [--smc PATH]                             (--smc seals the snapshot to an SMC1\n\
+                                                           binary file after the replay)\n\
                                                            replay a generated year through the\n\
                                                            streaming pipeline, then run all tasks\n\
                                                            (--serve answers live queries from the\n\
@@ -142,15 +156,190 @@ fn amplify(args: &[String]) -> Result<()> {
     Ok(())
 }
 
+/// True when `path` names an `SMC1` binary file rather than a CSV dir.
+fn is_smc(path: &std::path::Path) -> bool {
+    path.extension()
+        .is_some_and(|e| e.eq_ignore_ascii_case(smda_format::SMC_EXTENSION))
+}
+
 fn load_dataset(args: &[String]) -> Result<Dataset> {
     let dir = flag(args, "--data")
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("data"));
+    if is_smc(&dir) {
+        // Binary path: every platform runs off the same .smc file.
+        return smda_storage::BinaryStore::open(dir)?.read_all();
+    }
     let format = match flag(args, "--format").as_deref() {
         Some("f2") => DataFormat::ConsumerPerLine,
         _ => DataFormat::ReadingPerLine,
     };
     FormatReader::new(dir).read(format)
+}
+
+fn parse_encoding(args: &[String]) -> Result<smda_storage::BinaryEncoding> {
+    match flag(args, "--encoding").as_deref() {
+        Some("raw") => Ok(smda_storage::BinaryEncoding::Raw),
+        Some("packed") | None => Ok(smda_storage::BinaryEncoding::Packed),
+        Some(other) => Err(smda_types::Error::Invalid(format!(
+            "unknown encoding `{other}`; expected raw|packed"
+        ))),
+    }
+}
+
+/// Bitwise dataset comparison — conversions must be lossless on f64
+/// bits in both directions (CSV uses shortest-round-trip formatting).
+fn datasets_bits_eq(a: &Dataset, b: &Dataset) -> bool {
+    a.len() == b.len()
+        && a.consumers().iter().zip(b.consumers()).all(|(x, y)| {
+            x.id == y.id
+                && x.readings()
+                    .iter()
+                    .zip(y.readings())
+                    .all(|(p, q)| p.to_bits() == q.to_bits())
+        })
+        && a.temperature()
+            .values()
+            .iter()
+            .zip(b.temperature().values())
+            .all(|(p, q)| p.to_bits() == q.to_bits())
+}
+
+fn read_any(path: &std::path::Path, format: DataFormat) -> Result<Dataset> {
+    if is_smc(path) {
+        smda_storage::BinaryStore::open(path)?.read_all()
+    } else {
+        FormatReader::new(path).read(format)
+    }
+}
+
+fn convert(args: &[String]) -> Result<()> {
+    let src = flag(args, "--in")
+        .map(PathBuf::from)
+        .ok_or_else(|| smda_types::Error::Invalid("convert needs --in SRC".into()))?;
+    let dst = flag(args, "--out")
+        .map(PathBuf::from)
+        .ok_or_else(|| smda_types::Error::Invalid("convert needs --out DST".into()))?;
+    let format = match flag(args, "--format").as_deref() {
+        Some("f2") => DataFormat::ConsumerPerLine,
+        _ => DataFormat::ReadingPerLine,
+    };
+    let ds = read_any(&src, format)?;
+    let start = Instant::now();
+    if is_smc(&dst) {
+        let encoding = parse_encoding(args)?;
+        let store = smda_storage::BinaryStore::create(&dst, &ds, encoding)?;
+        let summary = store.verify()?;
+        println!(
+            "wrote {} consumers to {} ({} bytes, {} raw / {} packed blocks) in {:.3}s",
+            summary.consumers,
+            dst.display(),
+            summary.file_bytes,
+            summary.raw_blocks,
+            summary.packed_blocks,
+            start.elapsed().as_secs_f64()
+        );
+    } else {
+        FormatWriter::new(&dst)?.write(&ds, format)?;
+        println!(
+            "wrote {} consumers to {} in {:.3}s",
+            ds.len(),
+            dst.display(),
+            start.elapsed().as_secs_f64()
+        );
+    }
+    if args.iter().any(|a| a == "--verify") {
+        let back = read_any(&dst, format)?;
+        if !datasets_bits_eq(&ds, &back) {
+            return Err(smda_types::Error::Invalid(format!(
+                "verify failed: {} does not reproduce the input bit-for-bit",
+                dst.display()
+            )));
+        }
+        println!("verify: {} reproduces the input bit-for-bit", dst.display());
+    }
+    Ok(())
+}
+
+fn cut(args: &[String]) -> Result<()> {
+    let src = flag(args, "--in")
+        .map(PathBuf::from)
+        .ok_or_else(|| smda_types::Error::Invalid("cut needs --in FILE.smc".into()))?;
+    if let Some(shards) = flag(args, "--shards") {
+        let shards: usize = shards
+            .parse()
+            .map_err(|_| smda_types::Error::Invalid("--shards needs a number".into()))?;
+        if shards == 0 {
+            return Err(smda_types::Error::Invalid("--shards must be > 0".into()));
+        }
+        let prefix = flag(args, "--out")
+            .unwrap_or_else(|| src.with_extension("").to_string_lossy().into_owned());
+        let ids = smda_storage::BinaryStore::open(&src)?.consumer_ids()?;
+        for s in 0..shards {
+            let keep: Vec<ConsumerId> = ids.iter().copied().skip(s).step_by(shards).collect();
+            let out = PathBuf::from(format!("{prefix}-{s}.smc"));
+            let summary = smda_format::ops::cut(&src, &out, &keep)?;
+            println!(
+                "shard {s}: {} consumers, {} bytes -> {}",
+                summary.consumers,
+                summary.file_bytes,
+                out.display()
+            );
+        }
+    } else {
+        let spec = flag(args, "--consumers").ok_or_else(|| {
+            smda_types::Error::Invalid("cut needs --shards N or --consumers ID,ID,...".into())
+        })?;
+        let keep: Vec<ConsumerId> = spec
+            .split(',')
+            .map(|v| {
+                v.trim()
+                    .parse()
+                    .map(ConsumerId)
+                    .map_err(|_| smda_types::Error::Invalid(format!("bad consumer id `{v}`")))
+            })
+            .collect::<Result<_>>()?;
+        let out = flag(args, "--out")
+            .map(PathBuf::from)
+            .ok_or_else(|| smda_types::Error::Invalid("cut --consumers needs --out".into()))?;
+        let summary = smda_format::ops::cut(&src, &out, &keep)?;
+        println!(
+            "cut {} consumers ({} bytes) -> {}",
+            summary.consumers,
+            summary.file_bytes,
+            out.display()
+        );
+    }
+    Ok(())
+}
+
+fn merge(args: &[String]) -> Result<()> {
+    let out = flag(args, "--out")
+        .map(PathBuf::from)
+        .ok_or_else(|| smda_types::Error::Invalid("merge needs --out FILE.smc".into()))?;
+    let mut inputs = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--out" {
+            it.next();
+        } else if !a.starts_with("--") {
+            inputs.push(PathBuf::from(a));
+        }
+    }
+    if inputs.is_empty() {
+        return Err(smda_types::Error::Invalid(
+            "merge needs at least one input shard".into(),
+        ));
+    }
+    let summary = smda_format::ops::merge(&inputs, &out)?;
+    println!(
+        "merged {} shards into {} ({} consumers, {} bytes)",
+        inputs.len(),
+        out.display(),
+        summary.consumers,
+        summary.file_bytes
+    );
+    Ok(())
 }
 
 fn run_task_cmd(args: &[String]) -> Result<()> {
@@ -393,6 +582,17 @@ fn ingest(args: &[String]) -> Result<()> {
         println!(
             "  alert: {} hour {} {:?} ({:.2} kWh vs {:.2} expected, {:.1} sigma)",
             alert.consumer, alert.hour, alert.kind, alert.actual, alert.expected, alert.sigmas
+        );
+    }
+
+    // Seal straight to the binary format: the on-disk lambda hand-off.
+    if let Some(path) = flag(args, "--smc") {
+        let path = PathBuf::from(path);
+        let encoding = parse_encoding(args)?;
+        let bytes = out.snapshot.write_smc(&path, encoding)?;
+        println!(
+            "sealed snapshot -> {} ({bytes} bytes, {encoding:?} blocks)",
+            path.display()
         );
     }
 

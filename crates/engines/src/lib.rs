@@ -6,7 +6,9 @@
 //!
 //! * [`numeric::NumericEngine`] — the Matlab analogue: reads CSV files
 //!   directly at query time (partitioned or one big file), computes with
-//!   dense in-memory kernels, caches its "workspace" between runs.
+//!   dense in-memory kernels, caches its "workspace" between runs. It can
+//!   also be backed by one `SMC1` binary file ([`NumericEngine::binary`]),
+//!   where cold runs are served zero-copy from a memory mapping.
 //! * [`relational::RelationalEngine`] — the PostgreSQL/MADLib analogue:
 //!   slotted heap pages behind a buffer pool, B+tree household index,
 //!   three table layouts (Figure 9), per-tuple decode costs.
@@ -16,6 +18,7 @@
 //! All three implement [`Platform`], which the benchmark harness drives
 //! for the loading, cold/warm, single-threaded and speedup experiments.
 
+pub mod binary;
 pub mod capabilities;
 pub mod columnar;
 pub mod numeric;
@@ -24,6 +27,7 @@ pub mod platform;
 pub mod pool;
 pub mod relational;
 
+pub use binary::BinarySource;
 pub use capabilities::{Capabilities, Support};
 pub use columnar::ColumnarEngine;
 pub use numeric::NumericEngine;

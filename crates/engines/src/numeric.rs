@@ -13,18 +13,29 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use smda_core::SIMILARITY_TOP_K;
-use smda_storage::{FileLayout, FileStore};
+use smda_storage::{BinaryEncoding, BinaryStore, FileLayout, FileStore};
 use smda_types::{ConsumerId, Dataset, Error, Result};
 
+use crate::binary::BinarySource;
 use crate::capabilities::Capabilities;
 use crate::parallel::{execute_task, ConsumerSource, MemorySource};
 use crate::platform::{Platform, RunResult, RunSpec};
+
+/// What the engine reads at query time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Backing {
+    /// CSV files in one of the two Figure 4/5 layouts.
+    Csv(FileLayout),
+    /// One raw-contiguous `SMC1` file at `dir`, memory-mapped on each
+    /// cold run — page faults instead of parsing.
+    Binary,
+}
 
 /// The Matlab analogue.
 #[derive(Debug)]
 pub struct NumericEngine {
     dir: PathBuf,
-    layout: FileLayout,
+    backing: Backing,
     loaded: bool,
     workspace: Option<Arc<Dataset>>,
 }
@@ -34,22 +45,52 @@ impl NumericEngine {
     pub fn new(dir: impl Into<PathBuf>, layout: FileLayout) -> Self {
         NumericEngine {
             dir: dir.into(),
-            layout,
+            backing: Backing::Csv(layout),
             loaded: false,
             workspace: None,
         }
     }
 
-    /// The file layout in use.
-    pub fn layout(&self) -> FileLayout {
-        self.layout
+    /// An engine backed by one `SMC1` file at `path` instead of CSV —
+    /// the same compute paths, cold starts served by the memory
+    /// mapping. `load` writes the file raw-contiguous so cold runs are
+    /// zero-copy.
+    pub fn binary(path: impl Into<PathBuf>) -> Self {
+        NumericEngine {
+            dir: path.into(),
+            backing: Backing::Binary,
+            loaded: false,
+            workspace: None,
+        }
     }
 
-    fn store(&self) -> Result<FileStore> {
+    /// The CSV file layout in use, if this engine is CSV-backed.
+    pub fn layout(&self) -> Option<FileLayout> {
+        match self.backing {
+            Backing::Csv(layout) => Some(layout),
+            Backing::Binary => None,
+        }
+    }
+
+    fn csv_store(&self, layout: FileLayout) -> Result<FileStore> {
         if !self.loaded {
             return Err(Error::Invalid("numeric engine has no data loaded".into()));
         }
-        Ok(FileStore::open(&self.dir, self.layout))
+        Ok(FileStore::open(&self.dir, layout))
+    }
+
+    fn binary_store(&self) -> Result<BinaryStore> {
+        if !self.loaded {
+            return Err(Error::Invalid("numeric engine has no data loaded".into()));
+        }
+        BinaryStore::open(&self.dir)
+    }
+
+    fn read_all(&self) -> Result<Dataset> {
+        match self.backing {
+            Backing::Csv(layout) => self.csv_store(layout)?.read_all(),
+            Backing::Binary => self.binary_store()?.read_all(),
+        }
     }
 }
 
@@ -87,7 +128,14 @@ impl Platform for NumericEngine {
         // Matlab performs no load; the reported cost is writing/splitting
         // the files themselves (the single Figure 4 bar).
         let start = Instant::now();
-        FileStore::create(&self.dir, ds, self.layout)?;
+        match self.backing {
+            Backing::Csv(layout) => {
+                FileStore::create(&self.dir, ds, layout)?;
+            }
+            Backing::Binary => {
+                BinaryStore::create(&self.dir, ds, BinaryEncoding::Raw)?;
+            }
+        }
         self.loaded = true;
         self.workspace = None;
         Ok(start.elapsed())
@@ -99,7 +147,7 @@ impl Platform for NumericEngine {
 
     fn warm(&mut self) -> Result<Duration> {
         let start = Instant::now();
-        self.workspace = Some(Arc::new(self.store()?.read_all()?));
+        self.workspace = Some(Arc::new(self.read_all()?));
         Ok(start.elapsed())
     }
 
@@ -119,11 +167,16 @@ impl Platform for NumericEngine {
             };
             execute_task(&make, *task, *threads, SIMILARITY_TOP_K, metrics)?
         } else {
-            match self.layout {
-                FileLayout::Partitioned => {
+            match self.backing {
+                Backing::Csv(FileLayout::Partitioned) => {
                     // Cold, partitioned: stream per-consumer files.
                     let dir = self.dir.clone();
-                    let temps = Arc::new(self.store()?.read_temperature()?.values().to_vec());
+                    let temps = Arc::new(
+                        self.csv_store(FileLayout::Partitioned)?
+                            .read_temperature()?
+                            .values()
+                            .to_vec(),
+                    );
                     let make = move || -> Result<Box<dyn ConsumerSource>> {
                         Ok(Box::new(PartitionedSource {
                             store: FileStore::open(&dir, FileLayout::Partitioned),
@@ -133,17 +186,30 @@ impl Platform for NumericEngine {
                     };
                     execute_task(&make, *task, *threads, SIMILARITY_TOP_K, metrics)?
                 }
-                FileLayout::Unpartitioned => {
+                Backing::Csv(FileLayout::Unpartitioned) => {
                     // Cold, one big file: parse and group everything first
                     // (Matlab's whole-file index), then compute in memory.
                     // The workspace is NOT retained — the next cold run
                     // pays the parse again.
                     let data = {
                         let _parse = metrics.scope("parse");
-                        Arc::new(self.store()?.read_all()?)
+                        Arc::new(self.csv_store(FileLayout::Unpartitioned)?.read_all()?)
                     };
                     let make = move || -> Result<Box<dyn ConsumerSource>> {
                         Ok(Box::new(MemorySource::new(data.clone())))
+                    };
+                    execute_task(&make, *task, *threads, SIMILARITY_TOP_K, metrics)?
+                }
+                Backing::Binary => {
+                    // Cold, binary: map the file and read rows in place —
+                    // no parse phase at all. The mapping is dropped with
+                    // the run, so the next cold run faults pages again.
+                    let store = {
+                        let _open = metrics.scope("map");
+                        Arc::new(self.binary_store()?)
+                    };
+                    let make = move || -> Result<Box<dyn ConsumerSource>> {
+                        Ok(Box::new(BinarySource::new(store.clone())))
                     };
                     execute_task(&make, *task, *threads, SIMILARITY_TOP_K, metrics)?
                 }
@@ -247,6 +313,41 @@ mod tests {
             _ => panic!("unexpected outputs"),
         }
         std::fs::remove_dir_all(&engine.dir).unwrap();
+    }
+
+    #[test]
+    fn binary_backing_matches_reference_bit_for_bit() {
+        let ds = tiny(4);
+        let path =
+            std::env::temp_dir().join(format!("smda-numeric-bin-{}.smc", std::process::id()));
+        let mut engine = NumericEngine::binary(&path);
+        assert_eq!(engine.layout(), None);
+        engine.load(&ds).unwrap();
+        for task in [
+            Task::Par,
+            Task::Histogram,
+            Task::ThreeLine,
+            Task::Similarity,
+        ] {
+            // Cold (mapped, zero-copy) run.
+            let cold = engine
+                .run(&RunSpec::builder(task).threads(2).build())
+                .unwrap();
+            let want = run_reference(task, &ds);
+            assert!(
+                smda_cluster::real::task_output_bits_eq(&cold.output, &want),
+                "cold {task:?} diverged from reference"
+            );
+            // Warm run computes from the workspace; same bits.
+            engine.warm().unwrap();
+            let warm = engine.run(&RunSpec::builder(task).build()).unwrap();
+            assert!(
+                smda_cluster::real::task_output_bits_eq(&warm.output, &want),
+                "warm {task:?} diverged from reference"
+            );
+            engine.make_cold();
+        }
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

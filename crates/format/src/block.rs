@@ -1,0 +1,303 @@
+//! Reading-block codecs: raw `f64` and lossless xor-delta bit-packing.
+//!
+//! The packed encoding exploits the shape of hourly meter readings:
+//! consecutive hours are close in magnitude, so the xor of adjacent
+//! IEEE-754 bit patterns has long runs of leading zeros. The stream is
+//!
+//! ```text
+//! first_bits  u64 LE                      bits of values[0]
+//! miniblock*                              per ≤64 consecutive deltas
+//!   width     u8   (0..=64)               significant bits per stored
+//!                                         delta; 0 ⇒ all deltas 0
+//!   shift     u8   (0..=63)               shared trailing-zero count;
+//!                                         delta = stored << shift
+//!   packed    ceil(count × width / 8)     stored deltas LSB-first
+//! ```
+//!
+//! where `delta[i] = bits[i] ⊻ bits[i−1]`. The shared shift matters
+//! because readings that are exact binary fractions xor to patterns
+//! with long trailing-zero runs; stripping both ends is what the
+//! Gorilla paper's value compression does per value — here it is
+//! amortized per miniblock. Packing is exact on the bit
+//! patterns — decode returns `to_bits`-identical values, the invariant
+//! every load path in this workspace is held to. The writer compares
+//! the packed size against the raw size per block and keeps whichever
+//! is smaller, so an incompressible block costs at most its raw bytes.
+
+use smda_types::{Error, FormatDefect};
+
+use crate::layout::bad;
+
+/// Deltas per miniblock (one `width` byte amortized over up to 64).
+pub const MINIBLOCK: usize = 64;
+
+/// Append `values` as raw little-endian `f64` bytes.
+pub fn encode_raw(values: &[f64], out: &mut Vec<u8>) {
+    out.reserve(values.len() * 8);
+    for v in values {
+        out.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+}
+
+/// Decode a raw block of exactly `count` values into `out`.
+pub fn decode_raw(bytes: &[u8], count: usize, out: &mut Vec<f64>) -> Result<(), Error> {
+    if bytes.len() != count * 8 {
+        return Err(bad(
+            "decoding raw block",
+            FormatDefect::Truncated {
+                expected: (count * 8) as u64,
+                actual: bytes.len() as u64,
+            },
+        ));
+    }
+    out.reserve(count);
+    for chunk in bytes.chunks_exact(8) {
+        out.push(f64::from_bits(u64::from_le_bytes(
+            chunk.try_into().expect("8 bytes"),
+        )));
+    }
+    Ok(())
+}
+
+/// Append `values` xor-delta bit-packed. `values` must be non-empty.
+pub fn encode_packed(values: &[f64], out: &mut Vec<u8>) {
+    let first = values[0].to_bits();
+    out.extend_from_slice(&first.to_le_bytes());
+    let mut prev = first;
+    let mut deltas = [0u64; MINIBLOCK];
+    let mut filled = 0usize;
+    for v in &values[1..] {
+        let bits = v.to_bits();
+        deltas[filled] = bits ^ prev;
+        prev = bits;
+        filled += 1;
+        if filled == MINIBLOCK {
+            pack_miniblock(&deltas[..filled], out);
+            filled = 0;
+        }
+    }
+    if filled > 0 {
+        pack_miniblock(&deltas[..filled], out);
+    }
+}
+
+fn pack_miniblock(deltas: &[u64], out: &mut Vec<u8>) {
+    let or_all = deltas.iter().fold(0u64, |a, &d| a | d);
+    if or_all == 0 {
+        out.extend_from_slice(&[0, 0]);
+        return;
+    }
+    let shift = or_all.trailing_zeros();
+    let width = 64 - (or_all >> shift).leading_zeros();
+    out.push(width as u8);
+    out.push(shift as u8);
+    // LSB-first bitstream; the accumulator never exceeds 7 carried bits
+    // plus one 64-bit delta, so u128 always has room.
+    let mut acc: u128 = 0;
+    let mut nbits: u32 = 0;
+    for &d in deltas {
+        acc |= u128::from(d >> shift) << nbits;
+        nbits += width;
+        while nbits >= 8 {
+            out.push((acc & 0xff) as u8);
+            acc >>= 8;
+            nbits -= 8;
+        }
+    }
+    if nbits > 0 {
+        out.push((acc & 0xff) as u8);
+    }
+}
+
+/// Decode a packed block of exactly `count` values into `out`.
+///
+/// Structural damage (bad width byte, short stream, trailing bytes) is
+/// reported as a typed error, never a panic — the block checksum
+/// normally catches corruption first, but decode must hold on any
+/// input.
+pub fn decode_packed(bytes: &[u8], count: usize, out: &mut Vec<f64>) -> Result<(), Error> {
+    let corrupt = |what: &str| {
+        bad(
+            "decoding packed block",
+            FormatDefect::CorruptIndex(what.into()),
+        )
+    };
+    if count == 0 {
+        return if bytes.is_empty() {
+            Ok(())
+        } else {
+            Err(corrupt("trailing bytes after packed stream"))
+        };
+    }
+    if bytes.len() < 8 {
+        return Err(bad(
+            "decoding packed block",
+            FormatDefect::Truncated {
+                expected: 8,
+                actual: bytes.len() as u64,
+            },
+        ));
+    }
+    let mut prev = u64::from_le_bytes(bytes[..8].try_into().expect("8 bytes"));
+    out.reserve(count);
+    out.push(f64::from_bits(prev));
+    let mut pos = 8usize;
+    let mut remaining = count - 1;
+    while remaining > 0 {
+        let in_block = remaining.min(MINIBLOCK);
+        let width = u32::from(
+            *bytes
+                .get(pos)
+                .ok_or_else(|| corrupt("missing width byte"))?,
+        );
+        let shift = u32::from(
+            *bytes
+                .get(pos + 1)
+                .ok_or_else(|| corrupt("missing shift byte"))?,
+        );
+        pos += 2;
+        if width > 64 || shift > 63 || width + shift > 64 {
+            return Err(corrupt("miniblock width/shift exceed 64 bits"));
+        }
+        if width == 0 {
+            // All deltas zero: the value repeats.
+            let v = f64::from_bits(prev);
+            out.resize(out.len() + in_block, v);
+            remaining -= in_block;
+            continue;
+        }
+        let nbytes = (in_block * width as usize).div_ceil(8);
+        let packed = bytes
+            .get(pos..pos + nbytes)
+            .ok_or_else(|| corrupt("packed miniblock shorter than its width declares"))?;
+        pos += nbytes;
+        let mask = if width == 64 {
+            u128::from(u64::MAX)
+        } else {
+            (1u128 << width) - 1
+        };
+        let mut acc: u128 = 0;
+        let mut nbits: u32 = 0;
+        let mut cursor = 0usize;
+        for _ in 0..in_block {
+            while nbits < width {
+                acc |= u128::from(packed[cursor]) << nbits;
+                cursor += 1;
+                nbits += 8;
+            }
+            let delta = ((acc & mask) as u64) << shift;
+            acc >>= width;
+            nbits -= width;
+            prev ^= delta;
+            out.push(f64::from_bits(prev));
+        }
+        remaining -= in_block;
+    }
+    if pos != bytes.len() {
+        return Err(corrupt("trailing bytes after packed stream"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(values: &[f64]) {
+        let mut packed = Vec::new();
+        encode_packed(values, &mut packed);
+        let mut back = Vec::new();
+        decode_packed(&packed, values.len(), &mut back).unwrap();
+        let want: Vec<u64> = values.iter().map(|v| v.to_bits()).collect();
+        let got: Vec<u64> = back.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(want, got);
+
+        let mut raw = Vec::new();
+        encode_raw(values, &mut raw);
+        let mut back = Vec::new();
+        decode_raw(&raw, values.len(), &mut back).unwrap();
+        let got: Vec<u64> = back.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(want, got);
+    }
+
+    #[test]
+    fn single_value_round_trips() {
+        round_trip(&[42.5]);
+    }
+
+    #[test]
+    fn constant_series_packs_to_zero_width() {
+        let values = vec![1.25; 500];
+        let mut packed = Vec::new();
+        encode_packed(&values, &mut packed);
+        // 8 bytes first + a two-byte header per miniblock of 64.
+        assert_eq!(packed.len(), 8 + 2 * 499usize.div_ceil(MINIBLOCK));
+        round_trip(&values);
+    }
+
+    #[test]
+    fn smooth_series_beats_raw() {
+        let values: Vec<f64> = (0..8760).map(|h| 1.0 + 0.25 * ((h % 24) as f64)).collect();
+        let mut packed = Vec::new();
+        encode_packed(&values, &mut packed);
+        assert!(
+            packed.len() < values.len() * 8 / 2,
+            "packed {} vs raw {}",
+            packed.len(),
+            values.len() * 8
+        );
+        round_trip(&values);
+    }
+
+    #[test]
+    fn adversarial_bits_round_trip() {
+        // Alternating extremes force 64-bit widths — worst case must
+        // still be exact.
+        let values: Vec<f64> = (0..200)
+            .map(|i| {
+                if i % 2 == 0 {
+                    f64::from_bits(u64::MAX >> 1) // NaN pattern avoided: keep finite max
+                } else {
+                    f64::MIN_POSITIVE
+                }
+            })
+            .collect();
+        round_trip(&values);
+        round_trip(&[0.0, -0.0, f64::MAX, f64::MIN, 1e-300, -1e300]);
+    }
+
+    #[test]
+    fn boundary_lengths_round_trip() {
+        for len in [1, 2, 63, 64, 65, 128, 129, 8760] {
+            let values: Vec<f64> = (0..len).map(|i| (i as f64).sqrt()).collect();
+            round_trip(&values);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_structural_damage() {
+        let values: Vec<f64> = (0..100).map(|i| i as f64 * 0.3).collect();
+        let mut packed = Vec::new();
+        encode_packed(&values, &mut packed);
+
+        // Too short for even the first value.
+        let mut out = Vec::new();
+        assert!(decode_packed(&packed[..4], 100, &mut out).is_err());
+        // Truncated mid-stream.
+        let mut out = Vec::new();
+        assert!(decode_packed(&packed[..packed.len() - 1], 100, &mut out).is_err());
+        // Trailing garbage.
+        let mut extended = packed.clone();
+        extended.push(0);
+        let mut out = Vec::new();
+        assert!(decode_packed(&extended, 100, &mut out).is_err());
+        // Absurd width byte.
+        let mut broken = packed.clone();
+        broken[8] = 200;
+        let mut out = Vec::new();
+        assert!(decode_packed(&broken, 100, &mut out).is_err());
+        // Raw block with wrong length.
+        let mut out = Vec::new();
+        assert!(decode_raw(&[0u8; 12], 2, &mut out).is_err());
+    }
+}

@@ -1,0 +1,317 @@
+//! `SMC1` reader: memory-mapped, validated on open, zero-copy where
+//! the layout allows it.
+//!
+//! [`SmcFile::open`] maps the file and validates everything cheap —
+//! magics, version, footer geometry, the index and temperature
+//! checksums, and every structural invariant of the index (ascending
+//! ids, known encodings, in-bounds 8-aligned blocks). It does **not**
+//! touch the consumer blocks, so opening an n=1M file costs a handful
+//! of page faults. Block checksums are verified on first decode of
+//! each block; [`SmcFile::verify`] additionally recomputes the
+//! whole-file digest.
+//!
+//! When the file was written raw ([`FLAG_RAW_CONTIGUOUS`]), the data
+//! region *is* an `n × hours` matrix of little-endian `f64` and
+//! [`SmcFile::rows`] reinterprets it in place: a cold-start load is
+//! page faults only, zero parse, zero copy.
+
+use std::fs::File;
+use std::path::{Path, PathBuf};
+
+use mmap::Mmap;
+use smda_types::{
+    ConsumerId, ConsumerSeries, Dataset, Error, FormatDefect, Result, TemperatureSeries,
+};
+
+use crate::block;
+use crate::layout::{
+    bad, fnv1a64, Footer, Header, IndexEntry, ENC_PACKED, ENC_RAW, FLAG_RAW_CONTIGUOUS,
+    FOOTER_BYTES, HEADER_BYTES, INDEX_ENTRY_BYTES,
+};
+use crate::writer::SmcSummary;
+
+/// An open, validated `SMC1` file.
+#[derive(Debug)]
+pub struct SmcFile {
+    map: Mmap,
+    path: PathBuf,
+    header: Header,
+    footer: Footer,
+    entries: Vec<IndexEntry>,
+    temperature: Vec<f64>,
+    contiguous_raw: bool,
+}
+
+impl SmcFile {
+    /// Map and validate `path`.
+    pub fn open(path: impl AsRef<Path>) -> Result<SmcFile> {
+        let path = path.as_ref().to_path_buf();
+        let context = format!("opening {}", path.display());
+        let file = File::open(&path).map_err(|e| Error::io(format!("open {path:?}"), e))?;
+        let map = Mmap::map(&file).map_err(|e| Error::io(format!("map {path:?}"), e))?;
+        let len = map.len() as u64;
+        let min = (HEADER_BYTES + FOOTER_BYTES) as u64;
+        if len < min {
+            return Err(bad(
+                &context,
+                FormatDefect::Truncated {
+                    expected: min,
+                    actual: len,
+                },
+            ));
+        }
+        let header = Header::decode(&map, &context)?;
+        let footer = Footer::decode(&map[map.len() - FOOTER_BYTES..], &context)?;
+
+        let n = header.n as u64;
+        let hours = header.hours as u64;
+        let geometry = |what: &str| bad(&context, FormatDefect::CorruptIndex(what.into()));
+        if hours == 0 {
+            return Err(geometry("hours field is zero"));
+        }
+        let expected_index_len = n
+            .checked_mul(INDEX_ENTRY_BYTES as u64)
+            .ok_or_else(|| geometry("index length overflows"))?;
+        if footer.index_len != expected_index_len {
+            return Err(geometry("index length disagrees with the header count"));
+        }
+        let footer_off = len - FOOTER_BYTES as u64;
+        if footer.index_off < HEADER_BYTES as u64
+            || !footer.index_off.is_multiple_of(8)
+            || footer.index_off.checked_add(footer.index_len) != Some(footer_off)
+        {
+            return Err(geometry("index region does not abut the footer"));
+        }
+        let temp_len = hours
+            .checked_mul(8)
+            .ok_or_else(|| geometry("temperature length overflows"))?;
+        if footer.temp_off < HEADER_BYTES as u64
+            || !footer.temp_off.is_multiple_of(8)
+            || footer
+                .temp_off
+                .checked_add(temp_len)
+                .is_none_or(|end| end > footer.index_off)
+        {
+            return Err(geometry("temperature block out of bounds"));
+        }
+
+        let index_bytes =
+            &map[footer.index_off as usize..(footer.index_off + footer.index_len) as usize];
+        if fnv1a64(index_bytes) != footer.index_check {
+            return Err(bad(&context, FormatDefect::IndexChecksumMismatch));
+        }
+        let temp_bytes = &map[footer.temp_off as usize..(footer.temp_off + temp_len) as usize];
+        if fnv1a64(temp_bytes) != footer.temp_check {
+            return Err(bad(&context, FormatDefect::TemperatureChecksumMismatch));
+        }
+
+        let mut entries = Vec::with_capacity(header.n as usize);
+        let mut contiguous_raw = true;
+        for (i, chunk) in index_bytes.chunks_exact(INDEX_ENTRY_BYTES).enumerate() {
+            let entry = IndexEntry::decode(chunk);
+            if let Some(prev) = entries.last() {
+                let prev: &IndexEntry = prev;
+                if entry.id <= prev.id {
+                    return Err(geometry("consumer ids not strictly ascending"));
+                }
+            }
+            if entry.encoding != ENC_RAW && entry.encoding != ENC_PACKED {
+                return Err(geometry("unknown block encoding"));
+            }
+            if entry.encoding == ENC_RAW && entry.length != temp_len {
+                return Err(geometry("raw block length disagrees with hours"));
+            }
+            if entry.offset < HEADER_BYTES as u64
+                || !entry.offset.is_multiple_of(8)
+                || entry
+                    .offset
+                    .checked_add(entry.length)
+                    .is_none_or(|end| end > footer.temp_off)
+            {
+                return Err(geometry("block out of bounds"));
+            }
+            if entry.encoding != ENC_RAW
+                || entry.offset != HEADER_BYTES as u64 + i as u64 * temp_len
+            {
+                contiguous_raw = false;
+            }
+            entries.push(entry);
+        }
+        contiguous_raw &= header.flags & FLAG_RAW_CONTIGUOUS != 0;
+
+        // The temperature block is shared, tiny, and read by every
+        // task; decode it once so lookups are infallible after open.
+        let mut temperature = Vec::new();
+        block::decode_raw(temp_bytes, header.hours as usize, &mut temperature)?;
+
+        Ok(SmcFile {
+            map,
+            path,
+            header,
+            footer,
+            entries,
+            temperature,
+            contiguous_raw,
+        })
+    }
+
+    /// Path this file was opened from.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Consumer count.
+    pub fn n(&self) -> usize {
+        self.header.n as usize
+    }
+
+    /// Readings per consumer.
+    pub fn hours(&self) -> usize {
+        self.header.hours as usize
+    }
+
+    /// Total file size in bytes.
+    pub fn file_bytes(&self) -> u64 {
+        self.map.len() as u64
+    }
+
+    /// True when the bytes are served by a live kernel mapping rather
+    /// than an owned buffer.
+    pub fn is_mapped(&self) -> bool {
+        self.map.is_mapped()
+    }
+
+    /// Consumer ids, ascending.
+    pub fn consumer_ids(&self) -> Vec<ConsumerId> {
+        self.entries.iter().map(|e| ConsumerId(e.id)).collect()
+    }
+
+    /// Position of `id` in the file's consumer order.
+    pub fn position(&self, id: ConsumerId) -> Option<usize> {
+        self.entries.binary_search_by_key(&id.raw(), |e| e.id).ok()
+    }
+
+    /// Id of the consumer at `idx`.
+    pub fn id_at(&self, idx: usize) -> Option<ConsumerId> {
+        self.entries.get(idx).map(|e| ConsumerId(e.id))
+    }
+
+    /// The shared temperature series (decoded once at open).
+    pub fn temperature(&self) -> &[f64] {
+        &self.temperature
+    }
+
+    fn entry(&self, idx: usize) -> Result<&IndexEntry> {
+        self.entries.get(idx).ok_or_else(|| {
+            Error::Invalid(format!(
+                "consumer index {idx} out of range (file has {})",
+                self.entries.len()
+            ))
+        })
+    }
+
+    pub(crate) fn block_bytes(&self, entry: &IndexEntry) -> &[u8] {
+        // Bounds were validated at open.
+        &self.map[entry.offset as usize..(entry.offset + entry.length) as usize]
+    }
+
+    fn checked_block(&self, entry: &IndexEntry) -> Result<&[u8]> {
+        let bytes = self.block_bytes(entry);
+        if fnv1a64(bytes) != entry.checksum {
+            return Err(bad(
+                format!("reading {}", self.path.display()),
+                FormatDefect::BlockChecksumMismatch { consumer: entry.id },
+            ));
+        }
+        Ok(bytes)
+    }
+
+    /// Decode the readings of the consumer at `idx` into `out`
+    /// (cleared first). Verifies the block checksum.
+    pub fn read_consumer_into(&self, idx: usize, out: &mut Vec<f64>) -> Result<ConsumerId> {
+        let entry = *self.entry(idx)?;
+        let bytes = self.checked_block(&entry)?;
+        out.clear();
+        match entry.encoding {
+            ENC_RAW => block::decode_raw(bytes, self.hours(), out)?,
+            _ => block::decode_packed(bytes, self.hours(), out)?,
+        }
+        Ok(ConsumerId(entry.id))
+    }
+
+    /// Zero-copy view of one consumer's readings, available when the
+    /// block is raw and the backing bytes are 8-aligned in memory
+    /// (always true for a real mapping; an owned fallback buffer may
+    /// land unaligned, in which case callers decode instead). Does
+    /// **not** checksum — the caller opted into the raw page view.
+    pub fn row(&self, idx: usize) -> Option<&[f64]> {
+        let entry = self.entries.get(idx)?;
+        if entry.encoding != ENC_RAW {
+            return None;
+        }
+        let bytes = self.block_bytes(entry);
+        // SAFETY: any bit pattern is a valid f64; align_to only yields
+        // the aligned middle.
+        let (prefix, vals, _) = unsafe { bytes.align_to::<f64>() };
+        (prefix.is_empty() && vals.len() == self.hours()).then_some(vals)
+    }
+
+    /// Zero-copy view of the whole data region as one row-major
+    /// `n × hours` matrix — the mmap cold-start path. Available only
+    /// for [`FLAG_RAW_CONTIGUOUS`] files whose bytes are 8-aligned in
+    /// memory. Does **not** checksum.
+    pub fn rows(&self) -> Option<&[f64]> {
+        if !self.contiguous_raw {
+            return None;
+        }
+        let count = self.n() * self.hours();
+        let bytes = &self.map[HEADER_BYTES..HEADER_BYTES + count * 8];
+        // SAFETY: as in `row` — validated region, any bits are an f64.
+        let (prefix, vals, _) = unsafe { bytes.align_to::<f64>() };
+        (prefix.is_empty() && vals.len() == count).then_some(vals)
+    }
+
+    /// Decode the whole file into a validated [`Dataset`]. Requires
+    /// `hours == 8760` (a [`ConsumerSeries`] is one year by contract).
+    pub fn read_dataset(&self) -> Result<Dataset> {
+        let mut consumers = Vec::with_capacity(self.n());
+        let mut buf = Vec::with_capacity(self.hours());
+        for idx in 0..self.n() {
+            let id = self.read_consumer_into(idx, &mut buf)?;
+            consumers.push(ConsumerSeries::new(id, buf.clone())?);
+        }
+        let temperature = TemperatureSeries::new(self.temperature.clone())?;
+        Dataset::new(consumers, temperature)
+    }
+
+    /// Recompute every checksum the open-time validation skipped: the
+    /// whole-file digest and each block's digest. Returns the same
+    /// summary shape the writer reports.
+    pub fn verify(&self) -> Result<SmcSummary> {
+        let check_until = self.map.len() - 12;
+        if fnv1a64(&self.map[..check_until]) != self.footer.file_check {
+            return Err(bad(
+                format!("verifying {}", self.path.display()),
+                FormatDefect::FileChecksumMismatch,
+            ));
+        }
+        let mut raw_blocks = 0;
+        for entry in &self.entries {
+            self.checked_block(entry)?;
+            if entry.encoding == ENC_RAW {
+                raw_blocks += 1;
+            }
+        }
+        Ok(SmcSummary {
+            consumers: self.n(),
+            hours: self.hours(),
+            file_bytes: self.file_bytes(),
+            raw_blocks,
+            packed_blocks: self.n() - raw_blocks,
+        })
+    }
+
+    pub(crate) fn entries(&self) -> &[IndexEntry] {
+        &self.entries
+    }
+}

@@ -9,12 +9,14 @@
 //! architecture's hand-off point, and the integration tests pin its
 //! output bit-identical to the offline load path.
 
+use std::path::Path;
 use std::sync::Arc;
 
 use smda_core::{ConsumerHistogram, Task, TaskOutput};
 use smda_engines::parallel::{execute_task, ConsumerSource, MemorySource};
 use smda_obs::MetricsSink;
 use smda_stats::{OnlineStats, SeriesMatrix, SeriesMatrixBuilder};
+use smda_storage::{BinaryEncoding, BinaryStore};
 use smda_types::{ConsumerId, Dataset, Result, TemperatureSeries, HOURS_PER_YEAR};
 
 use crate::state::SealedConsumer;
@@ -73,6 +75,16 @@ impl Snapshot {
     /// Per-consumer count/mean/variance/min/max, in consumer-id order.
     pub fn stats(&self) -> &[(ConsumerId, OnlineStats)] {
         &self.stats
+    }
+
+    /// Seal the snapshot to one `SMC1` binary file at `path` — the
+    /// lambda hand-off to disk. Any engine (or another machine) can
+    /// later cold-start off the file with zero re-parsing, and every
+    /// reading survives `to_bits`-identical. Returns the file size in
+    /// bytes.
+    pub fn write_smc(&self, path: impl AsRef<Path>, encoding: BinaryEncoding) -> Result<u64> {
+        let store = BinaryStore::create(path.as_ref(), &self.dataset, encoding)?;
+        store.total_bytes()
     }
 
     /// Open a fresh storage handle over the sealed data — the
@@ -154,6 +166,31 @@ mod tests {
         match out {
             TaskOutput::Histograms(hs) => assert_eq!(hs.len(), 2),
             other => panic!("unexpected output: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sealed_snapshot_writes_bit_identical_smc() {
+        let sealed = vec![sealed_consumer(3, 1.0), sealed_consumer(9, 0.25)];
+        let temps = TemperatureSeries::new(vec![4.0; HOURS_PER_YEAR]).unwrap();
+        let snap = Snapshot::from_sealed(sealed, temps).unwrap();
+        for encoding in [BinaryEncoding::Raw, BinaryEncoding::Packed] {
+            let path = std::env::temp_dir().join(format!(
+                "smda-snapshot-{encoding:?}-{}.smc",
+                std::process::id()
+            ));
+            let bytes = snap.write_smc(&path, encoding).unwrap();
+            assert!(bytes > 0);
+            let back = BinaryStore::open(&path).unwrap().read_all().unwrap();
+            for (a, b) in back.consumers().iter().zip(snap.dataset().consumers()) {
+                assert_eq!(a.id, b.id);
+                assert!(a
+                    .readings()
+                    .iter()
+                    .zip(b.readings())
+                    .all(|(x, y)| x.to_bits() == y.to_bits()));
+            }
+            std::fs::remove_file(&path).unwrap();
         }
     }
 }

@@ -1,0 +1,215 @@
+//! The binary file store: one `SMC1` file served through `smda-format`.
+//!
+//! This is the drop-in binary sibling of [`FileStore`](crate::FileStore)
+//! — same surface (create / open / consumer ids / temperature /
+//! per-consumer reads / whole-dataset read / byte accounting), but the
+//! backing is a single checksummed columnar file instead of a directory
+//! of CSVs. A store created [`raw`](BinaryEncoding::Raw) additionally
+//! serves whole-matrix and per-consumer **zero-copy** views straight
+//! out of the memory mapping, which is what makes the binary cold-start
+//! loading experiment page-fault-bound instead of parse-bound.
+
+use std::path::{Path, PathBuf};
+
+use smda_format::{write_dataset, Encoding, SmcFile, SmcSummary};
+use smda_types::{ConsumerId, Dataset, Error, Result, TemperatureSeries};
+
+/// Block encoding policy for a store being created (re-exported shape
+/// of [`smda_format::Encoding`] so engine crates need no direct
+/// format dependency).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BinaryEncoding {
+    /// Raw blocks: biggest file, zero-copy mmap reads.
+    Raw,
+    /// Xor-delta bit-packed blocks with per-block raw fallback:
+    /// smallest file, decode on read.
+    #[default]
+    Packed,
+}
+
+impl From<BinaryEncoding> for Encoding {
+    fn from(e: BinaryEncoding) -> Encoding {
+        match e {
+            BinaryEncoding::Raw => Encoding::Raw,
+            BinaryEncoding::Packed => Encoding::Packed,
+        }
+    }
+}
+
+/// One `SMC1` file opened for query serving.
+#[derive(Debug)]
+pub struct BinaryStore {
+    file: SmcFile,
+}
+
+impl BinaryStore {
+    /// Materialize `ds` at `path` (conventionally `*.smc`) and open it.
+    pub fn create(
+        path: impl Into<PathBuf>,
+        ds: &Dataset,
+        encoding: BinaryEncoding,
+    ) -> Result<Self> {
+        let path = path.into();
+        write_dataset(&path, ds, encoding.into())?;
+        BinaryStore::open(path)
+    }
+
+    /// Open an existing store, validating headers, index, and
+    /// temperature checksums.
+    pub fn open(path: impl Into<PathBuf>) -> Result<Self> {
+        Ok(BinaryStore {
+            file: SmcFile::open(path.into())?,
+        })
+    }
+
+    /// The underlying validated file.
+    pub fn file(&self) -> &SmcFile {
+        &self.file
+    }
+
+    /// The store's path.
+    pub fn path(&self) -> &Path {
+        self.file.path()
+    }
+
+    /// Number of consumers.
+    pub fn len(&self) -> usize {
+        self.file.n()
+    }
+
+    /// True when the store holds no consumers.
+    pub fn is_empty(&self) -> bool {
+        self.file.n() == 0
+    }
+
+    /// Consumer ids present, ascending.
+    pub fn consumer_ids(&self) -> Result<Vec<ConsumerId>> {
+        Ok(self.file.consumer_ids())
+    }
+
+    /// The shared temperature series.
+    pub fn read_temperature(&self) -> Result<TemperatureSeries> {
+        TemperatureSeries::new(self.file.temperature().to_vec())
+    }
+
+    /// Read one consumer's readings by id.
+    pub fn read_consumer(&self, id: ConsumerId) -> Result<Vec<f64>> {
+        let mut values = Vec::new();
+        self.read_consumer_into(id, &mut values)?;
+        Ok(values)
+    }
+
+    /// [`BinaryStore::read_consumer`] into a caller-provided buffer,
+    /// reusing its capacity. Verifies the block checksum.
+    pub fn read_consumer_into(&self, id: ConsumerId, values: &mut Vec<f64>) -> Result<()> {
+        let idx = self
+            .file
+            .position(id)
+            .ok_or_else(|| Error::Invalid(format!("consumer {id} not in {:?}", self.path())))?;
+        self.file.read_consumer_into(idx, values)?;
+        Ok(())
+    }
+
+    /// Zero-copy view of one consumer's readings (raw blocks in a live
+    /// mapping only).
+    pub fn consumer_view(&self, id: ConsumerId) -> Option<&[f64]> {
+        self.file.row(self.file.position(id)?)
+    }
+
+    /// Zero-copy view of the whole store as a row-major `n × hours`
+    /// matrix (raw-contiguous files in a live mapping only).
+    pub fn matrix_view(&self) -> Option<&[f64]> {
+        self.file.rows()
+    }
+
+    /// Read the whole store into a validated dataset.
+    pub fn read_all(&self) -> Result<Dataset> {
+        self.file.read_dataset()
+    }
+
+    /// Recompute every checksum, including the whole-file digest.
+    pub fn verify(&self) -> Result<SmcSummary> {
+        self.file.verify()
+    }
+
+    /// Total bytes of the backing file (for loading-cost reports).
+    pub fn total_bytes(&self) -> Result<u64> {
+        Ok(self.file.file_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smda_types::{ConsumerSeries, HOURS_PER_YEAR};
+
+    fn tiny(n: u32) -> Dataset {
+        let temp =
+            TemperatureSeries::new((0..HOURS_PER_YEAR).map(|h| (h % 20) as f64).collect()).unwrap();
+        let consumers = (0..n)
+            .map(|i| {
+                ConsumerSeries::new(
+                    ConsumerId(i),
+                    (0..HOURS_PER_YEAR)
+                        .map(|h| (h % 24) as f64 * 0.1 + i as f64)
+                        .collect(),
+                )
+                .unwrap()
+            })
+            .collect();
+        Dataset::new(consumers, temp).unwrap()
+    }
+
+    fn tmp(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("smda-binary-{tag}-{}.smc", std::process::id()))
+    }
+
+    #[test]
+    fn mirrors_the_file_store_surface_bit_exactly() {
+        let ds = tiny(3);
+        for encoding in [BinaryEncoding::Raw, BinaryEncoding::Packed] {
+            let path = tmp(&format!("surface-{encoding:?}"));
+            let store = BinaryStore::create(&path, &ds, encoding).unwrap();
+            assert_eq!(store.len(), 3);
+            assert_eq!(
+                store.consumer_ids().unwrap(),
+                vec![ConsumerId(0), ConsumerId(1), ConsumerId(2)]
+            );
+            let got = store.read_consumer(ConsumerId(1)).unwrap();
+            assert!(got
+                .iter()
+                .zip(ds.consumers()[1].readings())
+                .all(|(a, b)| a.to_bits() == b.to_bits()));
+            let temp = store.read_temperature().unwrap();
+            assert!(temp
+                .values()
+                .iter()
+                .zip(ds.temperature().values())
+                .all(|(a, b)| a.to_bits() == b.to_bits()));
+            let all = store.read_all().unwrap();
+            assert_eq!(all.len(), 3);
+            store.verify().unwrap();
+            assert!(store.total_bytes().unwrap() > 0);
+            assert!(store.read_consumer(ConsumerId(42)).is_err());
+            std::fs::remove_file(&path).unwrap();
+        }
+    }
+
+    #[test]
+    fn raw_store_serves_zero_copy_views() {
+        let ds = tiny(2);
+        let path = tmp("views");
+        let store = BinaryStore::create(&path, &ds, BinaryEncoding::Raw).unwrap();
+        if store.file().is_mapped() {
+            let matrix = store.matrix_view().expect("raw store must serve a matrix");
+            assert_eq!(matrix.len(), 2 * HOURS_PER_YEAR);
+            let row = store.consumer_view(ConsumerId(1)).expect("row view");
+            assert_eq!(row.as_ptr(), matrix[HOURS_PER_YEAR..].as_ptr());
+        }
+        let packed_path = tmp("views-packed");
+        let packed = BinaryStore::create(&packed_path, &ds, BinaryEncoding::Packed).unwrap();
+        assert!(packed.matrix_view().is_none());
+        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_file(&packed_path).unwrap();
+    }
+}

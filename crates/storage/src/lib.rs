@@ -14,9 +14,13 @@
 //!   and cached (standing in for memory-mapped I/O; see DESIGN.md).
 //! * [`files`] — the Matlab-like file store: CSV read directly per query,
 //!   either partitioned (one file per consumer) or as one large file.
+//! * [`binary`] — the same surface over one `SMC1` binary columnar file
+//!   (`smda-format`): checksummed blocks, mmap cold starts, zero-copy
+//!   matrix views for raw-encoded files.
 //! * [`wal`] — the append-only per-shard write-ahead log backing the
 //!   streaming ingest pipeline's crash recovery (`smda-ingest`).
 
+pub mod binary;
 pub mod btree;
 pub mod buffer;
 pub mod colstore;
@@ -27,6 +31,7 @@ pub mod page;
 pub mod update;
 pub mod wal;
 
+pub use binary::{BinaryEncoding, BinaryStore};
 pub use btree::BTreeIndex;
 pub use buffer::{BufferPool, PoolStats};
 pub use colstore::{ColumnStore, ColumnStoreStats};

@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use crate::series::ConsumerId;
+
 /// Convenience alias used throughout the workspace.
 pub type Result<T> = std::result::Result<T, Error>;
 
@@ -38,6 +40,84 @@ impl fmt::Display for FrameDefect {
                 )
             }
             FrameDefect::ChecksumMismatch => write!(f, "frame checksum mismatch"),
+        }
+    }
+}
+
+/// What exactly was wrong with an `SMC1` binary file. Carried by
+/// [`Error::BadFormat`] so callers can distinguish corruption (checksum
+/// mismatches) from structural problems (truncation, bad magic, an
+/// index that points outside the file) — mirroring [`FrameDefect`] for
+/// the on-disk format the way PR 7 typed the wire format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FormatDefect {
+    /// The 4-byte header magic is not `SMC1`: not a binary store file,
+    /// or the first bytes were overwritten.
+    BadMagic,
+    /// The trailing footer magic is not `SMCE`: the file was truncated
+    /// or the tail was overwritten.
+    BadFooterMagic,
+    /// The header version is newer than this reader understands.
+    UnsupportedVersion {
+        /// Version found in the header.
+        found: u16,
+        /// Newest version this reader supports.
+        supported: u16,
+    },
+    /// The file ended before a region the metadata promises.
+    Truncated {
+        /// Bytes the region needs.
+        expected: u64,
+        /// Bytes actually present.
+        actual: u64,
+    },
+    /// The per-consumer index bytes do not match their checksum.
+    IndexChecksumMismatch,
+    /// The temperature block bytes do not match the header checksum.
+    TemperatureChecksumMismatch,
+    /// One consumer's reading block does not match its index checksum.
+    BlockChecksumMismatch {
+        /// Raw id of the consumer whose block is corrupt.
+        consumer: u32,
+    },
+    /// The whole-file footer checksum does not match the file bytes.
+    FileChecksumMismatch,
+    /// The index parsed but violates a structural invariant (ids out of
+    /// order, a block outside the data region, an unknown encoding tag,
+    /// a misaligned raw block). Carries a description of the violation.
+    CorruptIndex(String),
+}
+
+impl fmt::Display for FormatDefect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FormatDefect::BadMagic => write!(f, "bad SMC1 header magic"),
+            FormatDefect::BadFooterMagic => write!(f, "bad SMC1 footer magic"),
+            FormatDefect::UnsupportedVersion { found, supported } => {
+                write!(
+                    f,
+                    "unsupported SMC1 version {found} (newest supported: {supported})"
+                )
+            }
+            FormatDefect::Truncated { expected, actual } => {
+                write!(
+                    f,
+                    "truncated file: region needs {expected} bytes, only {actual} present"
+                )
+            }
+            FormatDefect::IndexChecksumMismatch => write!(f, "consumer index checksum mismatch"),
+            FormatDefect::TemperatureChecksumMismatch => {
+                write!(f, "temperature block checksum mismatch")
+            }
+            FormatDefect::BlockChecksumMismatch { consumer } => {
+                write!(
+                    f,
+                    "reading block checksum mismatch for consumer {}",
+                    ConsumerId(*consumer)
+                )
+            }
+            FormatDefect::FileChecksumMismatch => write!(f, "whole-file checksum mismatch"),
+            FormatDefect::CorruptIndex(why) => write!(f, "corrupt index: {why}"),
         }
     }
 }
@@ -98,6 +178,14 @@ pub enum Error {
         context: String,
         /// What exactly was wrong with the frame.
         defect: FrameDefect,
+    },
+    /// An `SMC1` binary store file could not be validated. Carries the
+    /// defect and the operation during which it was detected.
+    BadFormat {
+        /// What the reader was doing (e.g. `opening data.smc`).
+        context: String,
+        /// What exactly was wrong with the file.
+        defect: FormatDefect,
     },
     /// A malformed term in a `--faults` spec. Carries the offending
     /// term, its byte offset within the spec, and the reason it was
@@ -176,6 +264,9 @@ impl fmt::Display for Error {
             Error::NoHealthyNodes => write!(f, "no healthy node left in the cluster"),
             Error::BadFrame { context, defect } => {
                 write!(f, "bad frame while {context}: {defect}")
+            }
+            Error::BadFormat { context, defect } => {
+                write!(f, "bad SMC1 file while {context}: {defect}")
             }
             Error::FaultSpec {
                 term,
@@ -272,6 +363,38 @@ mod tests {
             defect: FrameDefect::ChecksumMismatch,
         };
         assert!(e.to_string().contains("checksum"), "{e}");
+    }
+
+    #[test]
+    fn bad_format_names_the_defect() {
+        let e = Error::BadFormat {
+            context: "opening data.smc".into(),
+            defect: FormatDefect::BlockChecksumMismatch { consumer: 7 },
+        };
+        let s = e.to_string();
+        assert!(s.contains("opening data.smc"), "{s}");
+        assert!(s.contains("H000007"), "{s}");
+        let e = Error::BadFormat {
+            context: "x".into(),
+            defect: FormatDefect::Truncated {
+                expected: 100,
+                actual: 9,
+            },
+        };
+        let s = e.to_string();
+        assert!(s.contains("100"), "{s}");
+        assert!(s.contains('9'), "{s}");
+        let e = Error::BadFormat {
+            context: "x".into(),
+            defect: FormatDefect::UnsupportedVersion {
+                found: 9,
+                supported: 1,
+            },
+        };
+        assert!(e.to_string().contains("version 9"), "{e}");
+        assert!(FormatDefect::CorruptIndex("ids out of order".into())
+            .to_string()
+            .contains("ids out of order"));
     }
 
     #[test]

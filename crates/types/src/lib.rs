@@ -28,7 +28,7 @@ pub mod series;
 
 pub use calendar::{Calendar, Weekday, DAYS_PER_YEAR, HOURS_PER_DAY, HOURS_PER_YEAR};
 pub use dataset::{Dataset, DatasetStats};
-pub use error::{Error, FrameDefect, Result};
+pub use error::{Error, FormatDefect, FrameDefect, Result};
 pub use formats::{DataFormat, FormatReader, FormatWriter};
 pub use policy::DirtyDataPolicy;
 pub use query::{Query, QueryKind, QueryResult};

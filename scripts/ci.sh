@@ -46,6 +46,9 @@ if [ "$fast" -eq 0 ]; then
     echo "== simd equivalence (lane bit-exact + fused tolerance) =="
     cargo run --release -q -p smda-bench -- --smoke --check-simd
 
+    echo "== format equivalence (SMC1 write -> mmap read -> bit-compare) =="
+    cargo run --release -q -p smda-bench -- --smoke --check-format
+
     echo "== bench history regression gate =="
     scripts/benchgate.sh
 fi

@@ -1,0 +1,234 @@
+//! Offline stand-in for the `memmap2` crate: read-only, whole-file,
+//! private memory mappings.
+//!
+//! On Linux the mapping goes through the real `mmap(2)` so a reader
+//! touching a page pays exactly one page fault and no copy — the
+//! property the `SMC1` zero-copy cold-start path is built on. The
+//! syscall is reached through a local `extern "C"` declaration against
+//! the libc every Rust binary already links; no external crate is
+//! needed. On any other target (or when the kernel refuses the
+//! mapping) the same API is served by reading the file into an owned
+//! buffer, so callers never have to branch on platform.
+
+use std::fs::File;
+use std::io::{self, Read};
+use std::ops::Deref;
+
+#[cfg(target_os = "linux")]
+mod sys {
+    use std::ffi::c_void;
+
+    pub const PROT_READ: i32 = 1;
+    pub const MAP_PRIVATE: i32 = 2;
+    pub const MAP_FAILED: *mut c_void = usize::MAX as *mut c_void;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+}
+
+/// How the bytes of a [`Mmap`] are held.
+enum Backing {
+    /// A live kernel mapping: base pointer and length handed to
+    /// `munmap` on drop.
+    #[cfg(target_os = "linux")]
+    Mapped { ptr: *const u8, len: usize },
+    /// The whole file read into an owned buffer (non-Linux targets,
+    /// zero-length files, or a refused mapping).
+    Owned(Vec<u8>),
+}
+
+/// A read-only view of an entire file, dereferencing to `&[u8]`.
+pub struct Mmap {
+    backing: Backing,
+}
+
+// SAFETY: the mapping is PROT_READ + MAP_PRIVATE over a plain file —
+// an immutable byte region with no interior mutability, safe to share
+// and send across threads exactly like the owned buffer fallback.
+unsafe impl Send for Mmap {}
+unsafe impl Sync for Mmap {}
+
+impl Mmap {
+    /// Map `file` read-only in its entirety.
+    ///
+    /// Falls back to reading the file into memory where no mapping is
+    /// possible (non-Linux targets, zero-length files, or a kernel
+    /// refusal); the returned view behaves identically either way.
+    pub fn map(file: &File) -> io::Result<Mmap> {
+        let len = file.metadata()?.len();
+        if len > usize::MAX as u64 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "file too large to map into the address space",
+            ));
+        }
+        Self::map_sized(file, len as usize)
+    }
+
+    #[cfg(target_os = "linux")]
+    fn map_sized(file: &File, len: usize) -> io::Result<Mmap> {
+        use std::os::unix::io::AsRawFd;
+        if len == 0 {
+            // A zero-length mmap is an EINVAL; an empty buffer is the
+            // same observable view.
+            return Ok(Mmap {
+                backing: Backing::Owned(Vec::new()),
+            });
+        }
+        // SAFETY: the kernel picks the address (`null`), the length and
+        // fd describe a live file borrowed for the duration of the
+        // call, and the resulting private read-only pages are released
+        // exactly once in `Drop`.
+        let ptr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr == sys::MAP_FAILED {
+            // Refused mapping (exotic filesystem, rlimit): degrade to
+            // the owned read rather than failing the open.
+            return Self::read_owned(file, len);
+        }
+        Ok(Mmap {
+            backing: Backing::Mapped {
+                ptr: ptr as *const u8,
+                len,
+            },
+        })
+    }
+
+    #[cfg(not(target_os = "linux"))]
+    fn map_sized(file: &File, len: usize) -> io::Result<Mmap> {
+        Self::read_owned(file, len)
+    }
+
+    fn read_owned(mut file: &File, len: usize) -> io::Result<Mmap> {
+        let mut buf = Vec::with_capacity(len);
+        file.read_to_end(&mut buf)?;
+        Ok(Mmap {
+            backing: Backing::Owned(buf),
+        })
+    }
+
+    /// True when the view is a live kernel mapping (reads are page
+    /// faults), false when it was read into an owned buffer.
+    pub fn is_mapped(&self) -> bool {
+        match &self.backing {
+            #[cfg(target_os = "linux")]
+            Backing::Mapped { .. } => true,
+            Backing::Owned(_) => false,
+        }
+    }
+}
+
+impl Deref for Mmap {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        match &self.backing {
+            #[cfg(target_os = "linux")]
+            // SAFETY: `ptr..ptr+len` is the live mapping established in
+            // `map_sized`, valid and immutable until `Drop` unmaps it.
+            Backing::Mapped { ptr, len } => unsafe { std::slice::from_raw_parts(*ptr, *len) },
+            Backing::Owned(buf) => buf,
+        }
+    }
+}
+
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        #[cfg(target_os = "linux")]
+        if let Backing::Mapped { ptr, len } = self.backing {
+            // SAFETY: exactly the region returned by `mmap`, unmapped
+            // exactly once.
+            unsafe {
+                sys::munmap(ptr as *mut std::ffi::c_void, len);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Mmap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mmap")
+            .field("len", &self.len())
+            .field("mapped", &self.is_mapped())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn tmp_file(tag: &str, contents: &[u8]) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!("mmap-shim-{tag}-{}", std::process::id()));
+        let mut f = File::create(&path).unwrap();
+        f.write_all(contents).unwrap();
+        path
+    }
+
+    #[test]
+    fn maps_file_contents_exactly() {
+        let path = tmp_file("basic", b"hello mapping");
+        let map = Mmap::map(&File::open(&path).unwrap()).unwrap();
+        assert_eq!(&map[..], b"hello mapping");
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn empty_file_maps_to_empty_slice() {
+        let path = tmp_file("empty", b"");
+        let map = Mmap::map(&File::open(&path).unwrap()).unwrap();
+        assert!(map.is_empty());
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn linux_uses_a_real_mapping() {
+        let path = tmp_file("real", &[7u8; 4096 * 3]);
+        let map = Mmap::map(&File::open(&path).unwrap()).unwrap();
+        if cfg!(target_os = "linux") {
+            assert!(map.is_mapped(), "non-empty file on Linux must mmap");
+        }
+        assert_eq!(map.len(), 4096 * 3);
+        assert!(map.iter().all(|&b| b == 7));
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn mapping_is_page_aligned_for_f64_views() {
+        // The zero-copy reader reinterprets 8-aligned regions as f64;
+        // the base of a mapping must therefore be at least 8-aligned.
+        let path = tmp_file("align", &1.5f64.to_bits().to_le_bytes());
+        let map = Mmap::map(&File::open(&path).unwrap()).unwrap();
+        let (prefix, vals, suffix) = unsafe { map.align_to::<u64>() };
+        assert!(prefix.is_empty() && suffix.is_empty());
+        assert_eq!(vals, &[1.5f64.to_bits()]);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn sendable_across_threads() {
+        let path = tmp_file("send", b"thread me");
+        let map = Mmap::map(&File::open(&path).unwrap()).unwrap();
+        let got = std::thread::spawn(move || map.to_vec()).join().unwrap();
+        assert_eq!(got, b"thread me");
+        std::fs::remove_file(path).unwrap();
+    }
+}
