@@ -14,6 +14,7 @@ pub mod kernels;
 pub mod layouts;
 pub mod loading;
 pub mod memory;
+pub mod oooc;
 pub mod partitioning;
 pub mod serve;
 pub mod simd;

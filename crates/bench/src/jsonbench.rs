@@ -154,6 +154,35 @@ pub fn run_json_bench_with(scale: Scale, faults: Option<FaultPlan>) -> BenchExpo
         runs.push(sink.finish(manifest));
     }
 
+    // The out-of-core twin: the same sealed file, with cold similarity
+    // forced through the banded streaming kernel regardless of size
+    // (`binary_oooc`). Its reports carry the `oooc.*` streaming
+    // counters and the `format.*` zero-copy/cache counters, under the
+    // `Matlab-oooc` label so bounded-memory cold starts are tracked
+    // separately in the history.
+    let mut oooc = NumericEngine::binary_oooc(scratch.path("matlab-oooc.smc"));
+    oooc.load(&ds)
+        .expect("binary store materializes from valid data");
+    for task in Task::ALL {
+        oooc.make_cold();
+        let sink = MetricsSink::recording();
+        let spec = RunSpec::builder(task)
+            .threads(THREADS)
+            .metrics(sink.clone())
+            .build();
+        let (cold, allocated, peak) = alloc::measure_alloc(|| {
+            let _run = sink.scope("run");
+            oooc.run(&spec)
+        });
+        cold.expect("out-of-core cold run succeeds on the sealed file");
+        record_heap(&sink, "run", allocated, peak);
+        let manifest = RunManifest::new(task.name(), "Matlab-oooc")
+            .threads(THREADS)
+            .consumers(ds.len())
+            .cold(true);
+        runs.push(sink.finish(manifest));
+    }
+
     // Cluster engines: counters (tasks scheduled, bytes shuffled, workers
     // spawned) flow in from the scheduler and worker pool; the virtual
     // makespan is recorded as an explicit sub-phase.
@@ -252,13 +281,15 @@ mod tests {
     fn export_covers_every_platform_and_task() {
         let export = run_json_bench(Scale::smoke());
         // 3 single-server platforms × 4 tasks × {warm, cold} + the
-        // binary-backed twin × 4 cold tasks + 2 cluster engines × 4 tasks.
-        assert_eq!(export.runs.len(), 3 * 4 * 2 + 4 + 2 * 4);
+        // binary-backed twin and its out-of-core twin × 4 cold tasks
+        // each + 2 cluster engines × 4 tasks.
+        assert_eq!(export.runs.len(), 3 * 4 * 2 + 4 + 4 + 2 * 4);
         for name in [
             "Matlab",
             "MADLib",
             "System C",
             "Matlab-smc",
+            "Matlab-oooc",
             "Hive",
             "Spark",
         ] {
@@ -267,13 +298,34 @@ mod tests {
                 "missing platform {name}"
             );
         }
-        // The binary twin is cold-only: every run is served off the
+        // The binary twins are cold-only: every run is served off the
         // sealed file, there is no warm session to observe.
         assert!(export
             .runs
             .iter()
-            .filter(|r| r.manifest.platform == "Matlab-smc")
+            .filter(|r| matches!(r.manifest.platform.as_str(), "Matlab-smc" | "Matlab-oooc"))
             .all(|r| r.manifest.cold));
+        // The out-of-core similarity run streamed bands and says so in
+        // the export: one oooc run, bytes through band buffers, and
+        // format-layer reads (zero-copy on a mapped file, decoded
+        // blocks on the owned fallback).
+        let oooc_sim = export
+            .runs
+            .iter()
+            .find(|r| r.manifest.platform == "Matlab-oooc" && r.manifest.task == "Similarity")
+            .expect("out-of-core similarity run present");
+        assert_eq!(oooc_sim.counter(counters::OOOC_RUNS), Some(1));
+        assert!(oooc_sim.counter(counters::OOOC_BAND_PAIRS).unwrap_or(0) > 0);
+        assert!(oooc_sim.counter(counters::OOOC_BYTES_STREAMED).unwrap_or(0) > 0);
+        assert!(
+            oooc_sim
+                .counter(counters::FORMAT_ZERO_COPY_HITS)
+                .unwrap_or(0)
+                + oooc_sim
+                    .counter(counters::FORMAT_BLOCKS_DECODED)
+                    .unwrap_or(0)
+                > 0
+        );
         // Warm sessions carry the three top-level phases.
         for report in export.runs.iter().filter(|r| !r.manifest.cold) {
             assert!(
@@ -321,7 +373,7 @@ mod tests {
         };
         let export = run_json_bench_with(Scale::smoke(), Some(plan));
         // The fault-free matrix plus one observed `load` per cluster engine.
-        assert_eq!(export.runs.len(), 3 * 4 * 2 + 4 + 2 * 4 + 2);
+        assert_eq!(export.runs.len(), 3 * 4 * 2 + 4 + 4 + 2 * 4 + 2);
 
         // The load runs carry the replica-loss injection and recovery.
         for platform in ["Hive", "Spark"] {

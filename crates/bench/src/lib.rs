@@ -28,8 +28,8 @@ pub use history::{
 pub use jsonbench::{run_json_bench, run_json_bench_with};
 pub use report::Table;
 pub use runner::{
-    check_fits, check_format, check_kernels, check_real, check_serve, check_simd, run_all,
-    run_experiment, EXPERIMENT_IDS,
+    check_fits, check_format, check_kernels, check_oooc, check_real, check_serve, check_simd,
+    run_all, run_experiment, EXPERIMENT_IDS,
 };
 pub use scale::Scale;
 pub use tilecache::{

@@ -19,9 +19,9 @@
 use std::path::{Path, PathBuf};
 
 use smda_bench::{
-    check_fits, check_format, check_kernels, check_real, check_serve, check_simd, run_all,
-    run_experiment, run_json_bench_with, Scale, DEFAULT_HISTORY_PATH, DEFAULT_TILE_CACHE_PATH,
-    EXPERIMENT_IDS, REGRESSION_THRESHOLD,
+    check_fits, check_format, check_kernels, check_oooc, check_real, check_serve, check_simd,
+    run_all, run_experiment, run_json_bench_with, Scale, DEFAULT_HISTORY_PATH,
+    DEFAULT_TILE_CACHE_PATH, EXPERIMENT_IDS, REGRESSION_THRESHOLD,
 };
 use smda_cluster::FaultPlan;
 
@@ -76,6 +76,7 @@ fn main() {
     let mut real_check = false;
     let mut simd_check = false;
     let mut format_check = false;
+    let mut oooc_check = false;
     let mut autotune = false;
     let mut history_check: Option<PathBuf> = None;
     let mut backfills: Vec<PathBuf> = Vec::new();
@@ -90,6 +91,7 @@ fn main() {
             "--check-real" => real_check = true,
             "--check-simd" => simd_check = true,
             "--check-format" => format_check = true,
+            "--check-oooc" => oooc_check = true,
             "--autotune" => autotune = true,
             "--check-history" => match args.next() {
                 Some(path) => history_check = Some(PathBuf::from(path)),
@@ -126,7 +128,7 @@ fn main() {
                 eprintln!(
                     "usage: smda-bench [--smoke|--small|--full] [--json PATH] [--faults SPEC] \
                      [--check-kernels] [--check-fits] [--check-serve] [--check-real] \
-                     [--check-simd] [--check-format] [--check-history PATH] \
+                     [--check-simd] [--check-format] [--check-oooc] [--check-history PATH] \
                      [--backfill-history FILE] \
                      [--autotune] [EXPERIMENT...]\n\
                      experiments: {}",
@@ -173,8 +175,13 @@ fn main() {
             }
         }
     }
-    let checks_requested =
-        kernels_check || fits_check || serve_check || real_check || simd_check || format_check;
+    let checks_requested = kernels_check
+        || fits_check
+        || serve_check
+        || real_check
+        || simd_check
+        || format_check
+        || oooc_check;
     if (!backfills.is_empty() || autotune)
         && json_out.is_none()
         && ids.is_empty()
@@ -270,6 +277,19 @@ fn main() {
             }
             Err(msg) => {
                 eprintln!("format check FAILED: {msg}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if oooc_check {
+        match check_oooc(scale) {
+            Ok(msg) => {
+                eprintln!("{msg}");
+                return;
+            }
+            Err(msg) => {
+                eprintln!("oooc check FAILED: {msg}");
                 std::process::exit(1);
             }
         }

@@ -7,7 +7,7 @@ use crate::report::Table;
 use crate::scale::Scale;
 
 /// All experiment ids, in the paper's presentation order.
-pub const EXPERIMENT_IDS: [&str; 21] = [
+pub const EXPERIMENT_IDS: [&str; 22] = [
     "table1",
     "fig4",
     "fig5",
@@ -29,6 +29,7 @@ pub const EXPERIMENT_IDS: [&str; 21] = [
     "serve",
     "cluster_real",
     "format",
+    "oooc",
 ];
 
 /// Run one experiment by id (composite figures run together: `fig11`
@@ -56,6 +57,7 @@ pub fn run_experiment(id: &str, scale: Scale) -> Option<Vec<Table>> {
         "serve" => experiments::serve::run(scale),
         "cluster_real" => experiments::cluster_real::run(scale),
         "format" => experiments::format::run(scale),
+        "oooc" => experiments::oooc::run(scale),
         _ => return None,
     };
     Some(tables)
@@ -661,6 +663,144 @@ pub fn check_format(scale: Scale) -> std::result::Result<String, String> {
         "format equivalence OK: n={n}, raw+packed read-back bit-identical, {zero_copy}, \
          {tasks_checked} task runs off the file bitwise equal to the reference, \
          4-way cut+merge byte-identical for both encodings"
+    ))
+}
+
+/// Out-of-core peak-heap ceiling as a divisor of the logical matrix
+/// bytes: the banded run must peak under a quarter of what the
+/// in-memory kernel would materialize.
+const OOOC_PEAK_DIVISOR: usize = 4;
+
+/// Out-of-core similarity gate (`smda-bench --check-oooc`).
+///
+/// Over one seeded dataset written to `SMC1` in both encodings: the
+/// banded out-of-core kernel must reproduce the in-memory tiled
+/// kernel's matches bit-identically (`f64::to_bits`), sequentially and
+/// through the worker pool at several widths, on both the zero-copy
+/// mapped tier and the bounded decode-cache tier. The cache is
+/// budgeted below a single band so the packed tier must evict on every
+/// band turn, and when the counting allocator is installed the
+/// sequential run's peak heap growth must stay under a quarter of the
+/// logical matrix bytes — the bounded-resident-memory contract.
+pub fn check_oooc(scale: Scale) -> std::result::Result<String, String> {
+    use smda_core::SIMILARITY_TOP_K;
+    use smda_engines::{top_k_source_with, SmcSource};
+    use smda_stats::{top_k_tiled, SeriesMatrix, SimilarityMatch, TileConfig};
+    use smda_storage::{format_metrics, BinaryEncoding, BinaryStore};
+
+    // Enough rows that the logical matrix dwarfs one band, few enough
+    // to stay a smoke check.
+    let n = scale.consumers_for_households(6_400).clamp(256, 1_024);
+    let ds = crate::data::seed_dataset(n);
+    let scratch = crate::data::Scratch::new("check-oooc");
+    let series: Vec<Vec<f64>> = ds
+        .consumers()
+        .iter()
+        .map(|c| c.readings().to_vec())
+        .collect();
+    let hours = series[0].len();
+    let logical_bytes = n * hours * std::mem::size_of::<f64>();
+
+    // The in-memory expectation; the matrix is dropped before anything
+    // is measured — the out-of-core path must reproduce it without one.
+    let matrix = SeriesMatrix::from_rows_normalized(&series);
+    let (want, _) = top_k_tiled(&matrix, SIMILARITY_TOP_K, &TileConfig::current());
+    drop(matrix);
+    drop(series);
+    let bits = |hits: &[Vec<SimilarityMatch>]| -> Vec<(usize, u64)> {
+        hits.iter()
+            .flat_map(|h| h.iter().map(|m| (m.index, m.score.to_bits())))
+            .collect()
+    };
+    let want_bits = bits(&want);
+
+    // Small bands, and a cache budgeted below one band so the decode
+    // tier can never hold a full working set resident.
+    let band_rows = 8usize;
+    let band_bytes = band_rows * hours * std::mem::size_of::<f64>();
+    let sink = smda_obs::MetricsSink::disabled();
+    let mut tier_note = "decode-cache tier only (owned fallback backing, no mmap)";
+    let mut peak_note = String::new();
+    for encoding in [BinaryEncoding::Raw, BinaryEncoding::Packed] {
+        let tag = format!("{encoding:?}").to_lowercase();
+        let path = scratch.path(&format!("{tag}.smc"));
+        let store = BinaryStore::create(&path, ds.as_ref(), encoding)
+            .map_err(|e| format!("{tag}: write+open failed: {e}"))?;
+        let before = format_metrics::snapshot();
+        let source = SmcSource::over(&store, band_rows, band_bytes / 2);
+
+        // Sequential measured run: two band buffers plus the bounded
+        // cache are the whole resident set.
+        let (got, bytes_allocated, peak) = crate::alloc::measure_alloc(|| {
+            top_k_source_with(&source, None, SIMILARITY_TOP_K, band_rows, 1, &sink)
+        });
+        let (got, stats) = got.map_err(|e| format!("{tag}: out-of-core run failed: {e}"))?;
+        if bits(&got) != want_bits {
+            return Err(format!(
+                "{tag}: out-of-core matches diverged bitwise from the in-memory kernel at n={n}"
+            ));
+        }
+        if stats.bands_loaded == 0 || stats.bytes_streamed == 0 {
+            return Err(format!(
+                "{tag}: nothing streamed — the run cannot have gone out of core"
+            ));
+        }
+
+        // Pooled parity at several widths: any band-pair schedule must
+        // keep the same bits.
+        for threads in [2usize, 4, 8] {
+            let (pooled, _) =
+                top_k_source_with(&source, None, SIMILARITY_TOP_K, band_rows, threads, &sink)
+                    .map_err(|e| format!("{tag}: pooled run failed at threads={threads}: {e}"))?;
+            if bits(&pooled) != want_bits {
+                return Err(format!(
+                    "{tag}: pooled out-of-core run diverged at threads={threads}"
+                ));
+            }
+        }
+
+        let delta = format_metrics::snapshot().since(&before);
+        if source.is_mapped() {
+            if delta.zero_copy_hits == 0 {
+                return Err(format!(
+                    "{tag}: mapped tier streamed bands without zero-copy reads"
+                ));
+            }
+            tier_note = "zero-copy mapped + bounded decode-cache tiers";
+        } else {
+            if delta.blocks_decoded == 0 {
+                return Err(format!("{tag}: cached tier decoded no blocks"));
+            }
+            if delta.cache_evictions == 0 {
+                return Err(format!(
+                    "{tag}: a cache budgeted below one band must evict, but never did"
+                ));
+            }
+        }
+
+        // The memory half of the contract. The deltas are zero under
+        // `cargo test` (no counting allocator), so gate on real readings.
+        if bytes_allocated > 0 {
+            let ceiling = logical_bytes / OOOC_PEAK_DIVISOR;
+            if peak > ceiling {
+                return Err(format!(
+                    "{tag}: out-of-core peak heap growth {peak} bytes breaches the \
+                     {ceiling}-byte ceiling (logical matrix is {logical_bytes} bytes)"
+                ));
+            }
+            peak_note = format!(
+                "; peak heap {} KiB under the {} KiB ceiling ({} KiB logical)",
+                peak / 1024,
+                ceiling / 1024,
+                logical_bytes / 1024
+            );
+        }
+    }
+
+    Ok(format!(
+        "oooc equivalence OK: n={n}, raw+packed banded runs bit-identical to the in-memory \
+         kernel (sequential and pooled 2/4/8), {tier_note}, eviction under a sub-band cache \
+         budget exercised{peak_note}"
     ))
 }
 

@@ -66,6 +66,9 @@ fn usage() {
          \n\
          commands:\n\
            generate --consumers N [--seed S] [--out DIR]   synthesize a seed dataset\n\
+                    [--smc FILE.smc [--encoding raw|packed]]\n\
+                                                           (--smc streams rows straight into an\n\
+                                                           SMC1 file: no CSV, O(1) memory in N)\n\
            amplify  --seed N --consumers M [--out DIR]     amplify via the paper's generator\n\
            run TASK --data DIR [--format f1|f2]            run histogram|three-line|par|similarity\n\
                                                            (--data also accepts an .smc file)\n\
@@ -120,12 +123,40 @@ fn out_dir(args: &[String]) -> PathBuf {
 fn generate(args: &[String]) -> Result<()> {
     let consumers = parse_usize(args, "--consumers", 100);
     let seed = parse_usize(args, "--seed", 2014) as u64;
-    let dir = out_dir(args);
-    let ds = smda_core::generator::generate_seed(&SeedConfig {
+    let config = SeedConfig {
         consumers,
         seed,
         ..Default::default()
-    })?;
+    };
+    if let Some(path) = flag(args, "--smc") {
+        // Streaming fast path: each generated household-year goes
+        // straight into the SMC1 writer and is dropped — no CSV, no
+        // in-memory dataset — so the output size is bounded by disk,
+        // not RAM. Rows are bit-identical to the materialized path.
+        let encoding = parse_encoding(args)?;
+        let start = Instant::now();
+        let mut writer = smda_format::SmcWriter::create_with(
+            &path,
+            consumers,
+            smda_types::HOURS_PER_YEAR,
+            encoding.into(),
+        )?;
+        let temp = smda_core::generator::generate_seed_streaming(&config, &mut |id, readings| {
+            writer.append_consumer(id, readings)
+        })?;
+        writer.temperature(temp.values())?;
+        let summary = writer.finish()?;
+        println!(
+            "streamed {} consumers ({} readings, {encoding:?}) to {path} ({} bytes) in {:.3}s",
+            summary.consumers,
+            summary.consumers * smda_types::HOURS_PER_YEAR,
+            summary.file_bytes,
+            start.elapsed().as_secs_f64()
+        );
+        return Ok(());
+    }
+    let dir = out_dir(args);
+    let ds = smda_core::generator::generate_seed(&config)?;
     FormatWriter::new(&dir)?.write(&ds, DataFormat::ReadingPerLine)?;
     let stats = ds.stats();
     println!(
@@ -521,6 +552,12 @@ fn ingest(args: &[String]) -> Result<()> {
     if let Some(spec) = flag(args, "--faults") {
         cfg = cfg.with_faults(smda_cluster::FaultPlan::parse(&spec)?);
     }
+    let smc_target = flag(args, "--smc").map(PathBuf::from);
+    if let Some(path) = &smc_target {
+        // Seal straight to the binary format inside the pipeline's
+        // drain — the streaming on-disk lambda hand-off.
+        cfg = cfg.with_seal_smc(path, parse_encoding(args)?);
+    }
     let handle = if args.iter().any(|a| a == "--serve") {
         let handle = Arc::new(SnapshotHandle::new());
         cfg = cfg.with_publish(handle.clone());
@@ -585,14 +622,11 @@ fn ingest(args: &[String]) -> Result<()> {
         );
     }
 
-    // Seal straight to the binary format: the on-disk lambda hand-off.
-    if let Some(path) = flag(args, "--smc") {
-        let path = PathBuf::from(path);
-        let encoding = parse_encoding(args)?;
-        let bytes = out.snapshot.write_smc(&path, encoding)?;
+    if let Some(path) = &smc_target {
         println!(
-            "sealed snapshot -> {} ({bytes} bytes, {encoding:?} blocks)",
-            path.display()
+            "sealed year -> {} ({} bytes, streamed at drain time)",
+            path.display(),
+            r.smc_bytes
         );
     }
 

@@ -16,7 +16,9 @@
 
 pub mod seed;
 
-pub use seed::{generate_seed, generate_temperature, SeedConfig, WeatherConfig};
+pub use seed::{
+    generate_seed, generate_seed_streaming, generate_temperature, SeedConfig, WeatherConfig,
+};
 
 use crate::par::fit_par_scratch;
 use crate::three_line::{fit_three_line_scratch, ThreeLineConfig};

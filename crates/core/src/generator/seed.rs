@@ -266,39 +266,55 @@ impl Default for SeedConfig {
     }
 }
 
-/// Generate the synthetic seed dataset.
-pub fn generate_seed(config: &SeedConfig) -> Result<Dataset> {
+/// Stream the seed dataset one household-year at a time: each row is
+/// handed to `sink` as it is drawn and never retained, so generating
+/// `n` consumers needs `O(hours)` working memory instead of
+/// `O(n · hours)`. The RNG draw order is exactly
+/// [`generate_seed`]'s — that function is built on this one — so the
+/// streamed rows are bit-identical to the materialized dataset's.
+/// Returns the shared temperature year.
+pub fn generate_seed_streaming(
+    config: &SeedConfig,
+    sink: &mut dyn FnMut(ConsumerId, &[f64]) -> Result<()>,
+) -> Result<TemperatureSeries> {
     let temperature = generate_temperature(&config.weather, config.seed);
     let archetypes = archetypes();
     let calendar = Calendar::default();
     let mut picker = Picker::new(config.seed.wrapping_add(1));
     let mut noise = GaussianNoise::new(0.0, config.noise_sigma, config.seed.wrapping_add(2));
+    let temps = temperature.values();
+    let mut readings = vec![0.0; HOURS_PER_YEAR];
 
-    let consumers: Vec<ConsumerSeries> = (0..config.consumers)
-        .map(|i| {
-            let arch = &archetypes[picker.index(archetypes.len())];
-            // Household-level variation: overall scale, thermal jitter.
-            let scale = picker.uniform(0.7, 1.4);
-            let heat = arch.heating_per_degree * picker.uniform(0.75, 1.25);
-            let cool = arch.cooling_per_degree * picker.uniform(0.75, 1.25);
-            let temps = temperature.values();
-            let readings: Vec<f64> = (0..HOURS_PER_YEAR)
-                .map(|h| {
-                    let hod = h % HOURS_PER_DAY;
-                    let activity = if calendar.weekday(h).is_weekend() {
-                        arch.weekend[hod]
-                    } else {
-                        arch.weekday[hod]
-                    };
-                    let t = temps[h];
-                    let hvac = heat * (arch.heating_balance - t).max(0.0)
-                        + cool * (t - arch.cooling_balance).max(0.0);
-                    (scale * activity + arch.base_load + hvac + noise.sample()).max(0.0)
-                })
-                .collect();
-            ConsumerSeries::new(ConsumerId(i as u32), readings)
-        })
-        .collect::<Result<_>>()?;
+    for i in 0..config.consumers {
+        let arch = &archetypes[picker.index(archetypes.len())];
+        // Household-level variation: overall scale, thermal jitter.
+        let scale = picker.uniform(0.7, 1.4);
+        let heat = arch.heating_per_degree * picker.uniform(0.75, 1.25);
+        let cool = arch.cooling_per_degree * picker.uniform(0.75, 1.25);
+        for (h, slot) in readings.iter_mut().enumerate() {
+            let hod = h % HOURS_PER_DAY;
+            let activity = if calendar.weekday(h).is_weekend() {
+                arch.weekend[hod]
+            } else {
+                arch.weekday[hod]
+            };
+            let t = temps[h];
+            let hvac = heat * (arch.heating_balance - t).max(0.0)
+                + cool * (t - arch.cooling_balance).max(0.0);
+            *slot = (scale * activity + arch.base_load + hvac + noise.sample()).max(0.0);
+        }
+        sink(ConsumerId(i as u32), &readings)?;
+    }
+    Ok(temperature)
+}
+
+/// Generate the synthetic seed dataset.
+pub fn generate_seed(config: &SeedConfig) -> Result<Dataset> {
+    let mut consumers: Vec<ConsumerSeries> = Vec::with_capacity(config.consumers);
+    let temperature = generate_seed_streaming(config, &mut |id, readings| {
+        consumers.push(ConsumerSeries::new(id, readings.to_vec())?);
+        Ok(())
+    })?;
     Dataset::new(consumers, temperature)
 }
 
@@ -353,6 +369,34 @@ mod tests {
         assert!(lo > 500.0, "min annual {lo} kWh too low");
         // All-electric rural households in cold climates reach 30–40 MWh.
         assert!(hi < 40_000.0, "max annual {hi} kWh too high");
+    }
+
+    #[test]
+    fn streaming_rows_are_bit_identical_to_the_dataset() {
+        let cfg = SeedConfig {
+            consumers: 7,
+            seed: 42,
+            ..Default::default()
+        };
+        let ds = generate_seed(&cfg).unwrap();
+        let mut i = 0;
+        let temp = generate_seed_streaming(&cfg, &mut |id, readings| {
+            let c = &ds.consumers()[i];
+            assert_eq!(id, c.id);
+            assert!(readings
+                .iter()
+                .zip(c.readings())
+                .all(|(a, b)| a.to_bits() == b.to_bits()));
+            i += 1;
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(i, 7);
+        assert!(temp
+            .values()
+            .iter()
+            .zip(ds.temperature().values())
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
     }
 
     #[test]

@@ -22,6 +22,7 @@ pub mod binary;
 pub mod capabilities;
 pub mod columnar;
 pub mod numeric;
+pub mod oooc;
 pub mod parallel;
 pub mod platform;
 pub mod pool;
@@ -31,6 +32,10 @@ pub use binary::BinarySource;
 pub use capabilities::{Capabilities, Support};
 pub use columnar::ColumnarEngine;
 pub use numeric::NumericEngine;
+pub use oooc::{
+    record_format_counters, run_similarity_oooc, run_similarity_oooc_default, top_k_source_with,
+    SmcSource, DEFAULT_CACHE_BYTES, OOOC_ROW_THRESHOLD,
+};
 pub use platform::{observe_session, Platform, RunResult, RunSpec, RunSpecBuilder};
 pub use pool::WorkerPool;
 pub use relational::{RelationalEngine, RelationalLayout};

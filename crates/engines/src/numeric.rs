@@ -12,12 +12,13 @@ use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use smda_core::SIMILARITY_TOP_K;
-use smda_storage::{BinaryEncoding, BinaryStore, FileLayout, FileStore};
+use smda_core::{Task, SIMILARITY_TOP_K};
+use smda_storage::{format_metrics, BinaryEncoding, BinaryStore, FileLayout, FileStore};
 use smda_types::{ConsumerId, Dataset, Error, Result};
 
 use crate::binary::BinarySource;
 use crate::capabilities::Capabilities;
+use crate::oooc::{record_format_counters, run_similarity_oooc_default, OOOC_ROW_THRESHOLD};
 use crate::parallel::{execute_task, ConsumerSource, MemorySource};
 use crate::platform::{Platform, RunResult, RunSpec};
 
@@ -38,6 +39,9 @@ pub struct NumericEngine {
     backing: Backing,
     loaded: bool,
     workspace: Option<Arc<Dataset>>,
+    /// Run cold binary similarity out-of-core regardless of row count
+    /// (the automatic switch is [`OOOC_ROW_THRESHOLD`]).
+    force_oooc: bool,
 }
 
 impl NumericEngine {
@@ -48,6 +52,7 @@ impl NumericEngine {
             backing: Backing::Csv(layout),
             loaded: false,
             workspace: None,
+            force_oooc: false,
         }
     }
 
@@ -61,6 +66,19 @@ impl NumericEngine {
             backing: Backing::Binary,
             loaded: false,
             workspace: None,
+            force_oooc: false,
+        }
+    }
+
+    /// [`NumericEngine::binary`] with cold similarity always served by
+    /// the out-of-core tier ([`crate::oooc`]): bands are streamed from
+    /// the file instead of materializing the normalized matrix, so
+    /// resident memory is bounded by the band size rather than `n`.
+    /// Output stays `to_bits`-identical to the in-memory path.
+    pub fn binary_oooc(path: impl Into<PathBuf>) -> Self {
+        NumericEngine {
+            force_oooc: true,
+            ..NumericEngine::binary(path)
         }
     }
 
@@ -204,14 +222,32 @@ impl Platform for NumericEngine {
                     // Cold, binary: map the file and read rows in place —
                     // no parse phase at all. The mapping is dropped with
                     // the run, so the next cold run faults pages again.
+                    let before = format_metrics::snapshot();
                     let store = {
                         let _open = metrics.scope("map");
                         Arc::new(self.binary_store()?)
                     };
-                    let make = move || -> Result<Box<dyn ConsumerSource>> {
-                        Ok(Box::new(BinarySource::new(store.clone())))
-                    };
-                    execute_task(&make, *task, *threads, SIMILARITY_TOP_K, metrics)?
+                    let oooc = *task == Task::Similarity
+                        && (self.force_oooc || store.len() >= OOOC_ROW_THRESHOLD);
+                    if oooc {
+                        // Past the threshold the normalized matrix no
+                        // longer fits comfortably; stream band pairs
+                        // straight off the file instead. Same bits.
+                        // (`run_similarity_oooc` records its own
+                        // format-counter delta.)
+                        run_similarity_oooc_default(&store, SIMILARITY_TOP_K, *threads, metrics)?
+                    } else {
+                        let make = {
+                            let store = store.clone();
+                            move || -> Result<Box<dyn ConsumerSource>> {
+                                Ok(Box::new(BinarySource::new(store.clone())))
+                            }
+                        };
+                        let output =
+                            execute_task(&make, *task, *threads, SIMILARITY_TOP_K, metrics)?;
+                        record_format_counters(metrics, &format_metrics::snapshot().since(&before));
+                        output
+                    }
                 }
             }
         };
@@ -348,6 +384,50 @@ mod tests {
             engine.make_cold();
         }
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn binary_oooc_matches_in_memory_engine_bit_for_bit() {
+        let ds = tiny(9);
+        let base = std::env::temp_dir().join(format!("smda-numeric-oooc-{}", std::process::id()));
+        let in_mem_path = base.with_extension("mem.smc");
+        let oooc_path = base.with_extension("oooc.smc");
+
+        let mut reference = NumericEngine::binary(&in_mem_path);
+        reference.load(&ds).unwrap();
+        let want = reference
+            .run(&RunSpec::builder(Task::Similarity).threads(2).build())
+            .unwrap();
+
+        let mut engine = NumericEngine::binary_oooc(&oooc_path);
+        engine.load(&ds).unwrap();
+        for threads in [1, 4] {
+            let got = engine
+                .run(&RunSpec::builder(Task::Similarity).threads(threads).build())
+                .unwrap();
+            assert!(
+                smda_cluster::real::task_output_bits_eq(&got.output, &want.output),
+                "out-of-core similarity diverged at {threads} threads"
+            );
+        }
+        // Non-similarity tasks and warm runs take the ordinary paths.
+        let hist = engine
+            .run(&RunSpec::builder(Task::Histogram).build())
+            .unwrap();
+        assert!(smda_cluster::real::task_output_bits_eq(
+            &hist.output,
+            &run_reference(Task::Histogram, &ds)
+        ));
+        engine.warm().unwrap();
+        let warm = engine
+            .run(&RunSpec::builder(Task::Similarity).build())
+            .unwrap();
+        assert!(smda_cluster::real::task_output_bits_eq(
+            &warm.output,
+            &want.output
+        ));
+        std::fs::remove_file(&in_mem_path).unwrap();
+        std::fs::remove_file(&oooc_path).unwrap();
     }
 
     #[test]

@@ -1,0 +1,392 @@
+//! Out-of-core similarity over a mapped `SMC1` store.
+//!
+//! The in-memory similarity path materializes the whole normalized
+//! `n × hours` matrix before scoring — `O(n · hours)` resident doubles,
+//! which at a million consumers is a 70 GB workspace. This module runs
+//! the same tiled kernels directly against the file through
+//! [`smda_stats::SeriesSource`] bands instead, so resident memory is
+//! `O(band_rows · hours + k · n)` regardless of `n`:
+//!
+//! * a **raw-contiguous** file is served by [`SmcSource`]'s mapped
+//!   tier — each band is a straight copy out of the mapping, and the
+//!   streamed pages are advised away (`madvise(MADV_DONTNEED)`) after
+//!   use so the resident set stays around one band even though the
+//!   whole file has been touched;
+//! * a **packed** file goes through the bounded
+//!   [`RowGroupCache`] — checksum-verified
+//!   decode on miss, LRU eviction, sequential prefetch.
+//!
+//! Scheduling mirrors [`top_k_matrix_with`](crate::parallel::top_k_matrix_with):
+//! band pairs are claimed dynamically by pool workers and per-worker
+//! partials merged, which keeps the output `to_bits`-identical to the
+//! in-memory tiled kernel (and to the naive scan) at every thread
+//! count, band size, and encoding.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use smda_core::{ConsumerMatches, TaskOutput};
+use smda_obs::{counters, MetricsSink};
+use smda_stats::{
+    band_count, band_pair_count, merge_partials, oooc_inverse_norms, top_k_oooc,
+    top_k_oooc_partial, top_k_oooc_scaled, top_k_oooc_scaled_partial, OoocStats, SeriesSource,
+    SimilarityMatch, TileConfig, DEFAULT_BAND_ROWS,
+};
+use smda_storage::{format_metrics, BinaryStore, FormatCounters, RowGroupCache};
+use smda_types::{Error, Result};
+
+use crate::parallel::{record_dispatch_counters, record_kernel_counters};
+use crate::pool::WorkerPool;
+
+/// Cold binary similarity runs switch to the out-of-core tier at this
+/// many consumers (≈2.3 GB of normalized matrix at 8760 hours — the
+/// point where materializing the workspace starts to dominate).
+pub const OOOC_ROW_THRESHOLD: usize = 32_768;
+
+/// Default decode-cache budget for packed stores (shared across all
+/// workers of a run).
+pub const DEFAULT_CACHE_BYTES: usize = 128 << 20;
+
+/// An open [`BinaryStore`] as a [`SeriesSource`]: the tier is picked
+/// from the file itself — zero-copy mapped bands for raw-contiguous
+/// files, the bounded decode cache for packed ones.
+pub struct SmcSource<'a> {
+    rows: usize,
+    stride: usize,
+    tier: Tier<'a>,
+}
+
+enum Tier<'a> {
+    /// Bands are copied straight out of the live mapping; the pages
+    /// behind a streamed band are then dropped from the resident set
+    /// (they re-fault losslessly from the page cache on reload).
+    Mapped {
+        store: &'a BinaryStore,
+        matrix: &'a [f64],
+    },
+    /// Bands are assembled from checksum-verified decoded row groups
+    /// held in a bounded LRU cache.
+    Cached(RowGroupCache<'a>),
+}
+
+impl<'a> SmcSource<'a> {
+    /// Wrap `store`, choosing the mapped tier when the file serves a
+    /// zero-copy matrix view and the decode cache (grouped at
+    /// `band_rows` rows, bounded by `cache_bytes`) otherwise.
+    pub fn over(store: &'a BinaryStore, band_rows: usize, cache_bytes: usize) -> SmcSource<'a> {
+        let rows = store.len();
+        let stride = store.file().hours();
+        let tier = match store.matrix_view() {
+            Some(matrix) => Tier::Mapped { store, matrix },
+            None => Tier::Cached(store.group_cache(band_rows, cache_bytes)),
+        };
+        SmcSource { rows, stride, tier }
+    }
+
+    /// True when bands come from the mapping rather than the decode
+    /// cache.
+    pub fn is_mapped(&self) -> bool {
+        matches!(self.tier, Tier::Mapped { .. })
+    }
+}
+
+impl SeriesSource for SmcSource<'_> {
+    fn rows(&self) -> usize {
+        self.rows
+    }
+
+    fn stride(&self) -> usize {
+        self.stride
+    }
+
+    fn load_band(&self, rows: Range<usize>, out: &mut Vec<f64>) -> Result<()> {
+        match &self.tier {
+            Tier::Mapped { store, matrix } => {
+                out.clear();
+                out.extend_from_slice(&matrix[rows.start * self.stride..rows.end * self.stride]);
+                // The copy is what the kernel reads; the file pages are
+                // done — drop them so RSS tracks the band, not the file.
+                store.advise_rows_dontneed(rows);
+                Ok(())
+            }
+            Tier::Cached(cache) => cache.load_rows(rows, out),
+        }
+    }
+}
+
+/// All-pairs top-k over any [`SeriesSource`], band pairs claimed
+/// dynamically by up to `threads` pool workers and per-worker partials
+/// merged — the out-of-core twin of
+/// [`top_k_matrix_with`](crate::parallel::top_k_matrix_with), with the
+/// same bit-identity guarantee and the same counters, plus the
+/// `oooc.*` streaming counters.
+pub fn top_k_source_with(
+    src: &dyn SeriesSource,
+    scaling: Option<&[f64]>,
+    k: usize,
+    band_rows: usize,
+    threads: usize,
+    metrics: &MetricsSink,
+) -> Result<(Vec<Vec<SimilarityMatch>>, OoocStats)> {
+    let cfg = TileConfig::current();
+    let band_rows = band_rows.max(1);
+    let pairs = band_pair_count(band_count(src.rows(), band_rows));
+    let parallelism = threads.min(pairs).max(1);
+    let start = Instant::now();
+    let (matches, stats) = if parallelism <= 1 {
+        let _t = metrics.scope("tile");
+        match scaling {
+            Some(inv) => top_k_oooc_scaled(src, inv, k, band_rows, &cfg)?,
+            None => top_k_oooc(src, k, band_rows, &cfg)?,
+        }
+    } else {
+        let partials = {
+            let _t = metrics.scope("tile");
+            metrics.incr(counters::WORKERS_SPAWNED, parallelism as u64);
+            let next = AtomicUsize::new(0);
+            let claim = || {
+                let t = next.fetch_add(1, Ordering::Relaxed);
+                (t < pairs).then_some(t)
+            };
+            let collected: Mutex<Vec<Result<(Vec<Vec<SimilarityMatch>>, OoocStats)>>> =
+                Mutex::new(Vec::new());
+            WorkerPool::global().broadcast(parallelism, &|_slot| {
+                let part = match scaling {
+                    Some(inv) => top_k_oooc_scaled_partial(src, inv, k, band_rows, &cfg, &claim),
+                    None => top_k_oooc_partial(src, k, band_rows, &cfg, &claim),
+                };
+                collected.lock().expect("oooc partials poisoned").push(part);
+            });
+            collected.into_inner().expect("oooc partials poisoned")
+        };
+        let tile_elapsed = start.elapsed();
+        let _t = metrics.scope("merge");
+        let mut stats = OoocStats::default();
+        let mut parts = Vec::with_capacity(partials.len());
+        for part in partials {
+            let (p, s) = part?;
+            stats.merge(&s);
+            parts.push(p);
+        }
+        let merged = merge_partials(src.rows(), parts, k);
+        record_oooc_counters(metrics, &stats, src.stride(), pairs, tile_elapsed);
+        record_dispatch_counters(metrics, scaling.is_some());
+        return Ok((merged, stats));
+    };
+    record_oooc_counters(metrics, &stats, src.stride(), pairs, start.elapsed());
+    record_dispatch_counters(metrics, scaling.is_some());
+    Ok((matches, stats))
+}
+
+fn record_oooc_counters(
+    metrics: &MetricsSink,
+    stats: &OoocStats,
+    stride: usize,
+    pairs: usize,
+    tile_elapsed: std::time::Duration,
+) {
+    record_kernel_counters(metrics, &stats.kernel, stride, tile_elapsed);
+    metrics.incr(counters::OOOC_RUNS, 1);
+    metrics.incr(counters::OOOC_BANDS_LOADED, stats.bands_loaded);
+    metrics.incr(counters::OOOC_BAND_PAIRS, pairs as u64);
+    metrics.incr(counters::OOOC_BYTES_STREAMED, stats.bytes_streamed);
+}
+
+/// Record a format-counter delta (`snapshot` before the work,
+/// `since` after) into the run's metrics, so `format.*` shows up in
+/// per-run reports and the bench export.
+pub fn record_format_counters(metrics: &MetricsSink, delta: &FormatCounters) {
+    metrics.incr(counters::FORMAT_ZERO_COPY_HITS, delta.zero_copy_hits);
+    metrics.incr(counters::FORMAT_BLOCKS_DECODED, delta.blocks_decoded);
+    metrics.incr(counters::FORMAT_CACHE_HITS, delta.cache_hits);
+    metrics.incr(counters::FORMAT_CACHE_MISSES, delta.cache_misses);
+    metrics.incr(counters::FORMAT_CACHE_EVICTIONS, delta.cache_evictions);
+}
+
+/// The full out-of-core similarity task over an open store: stream the
+/// file band-by-band (never materializing the matrix), score all pairs,
+/// and shape the result exactly like the in-memory path. Routed through
+/// the fused scaled twin when `smda_stats::fused_enabled()`, just like
+/// the in-memory dispatch, so engine-level parity holds in both tiers.
+pub fn run_similarity_oooc(
+    store: &BinaryStore,
+    k: usize,
+    band_rows: usize,
+    cache_bytes: usize,
+    threads: usize,
+    metrics: &MetricsSink,
+) -> Result<TaskOutput> {
+    let before = format_metrics::snapshot();
+    let ids = {
+        let _t = metrics.scope("plan");
+        store.consumer_ids()?
+    };
+    if store.file().hours() == 0 {
+        return Err(Error::Invalid("store has zero-length series".into()));
+    }
+    let source = SmcSource::over(store, band_rows, cache_bytes);
+    let fused = smda_stats::fused_enabled();
+    let scaling = if fused {
+        let _t = metrics.scope("norms");
+        Some(oooc_inverse_norms(&source, band_rows)?)
+    } else {
+        None
+    };
+    let matches = {
+        let _t = metrics.scope("score");
+        let (matches, _stats) =
+            top_k_source_with(&source, scaling.as_deref(), k, band_rows, threads, metrics)?;
+        matches
+    };
+    record_format_counters(metrics, &format_metrics::snapshot().since(&before));
+    Ok(TaskOutput::Similarity(
+        matches
+            .into_iter()
+            .enumerate()
+            .map(|(q, hits)| ConsumerMatches {
+                consumer: ids[q],
+                matches: hits.into_iter().map(|h| (ids[h.index], h.score)).collect(),
+            })
+            .collect(),
+    ))
+}
+
+/// [`run_similarity_oooc`] with the engine defaults
+/// ([`DEFAULT_BAND_ROWS`], [`DEFAULT_CACHE_BYTES`]).
+pub fn run_similarity_oooc_default(
+    store: &BinaryStore,
+    k: usize,
+    threads: usize,
+    metrics: &MetricsSink,
+) -> Result<TaskOutput> {
+    run_similarity_oooc(
+        store,
+        k,
+        DEFAULT_BAND_ROWS,
+        DEFAULT_CACHE_BYTES,
+        threads,
+        metrics,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parallel::top_k_matrix_with;
+    use smda_obs::MetricsSink;
+    use smda_stats::SeriesMatrixBuilder;
+    use smda_storage::BinaryEncoding;
+    use smda_types::{ConsumerId, ConsumerSeries, Dataset, TemperatureSeries, HOURS_PER_YEAR};
+    use std::path::PathBuf;
+
+    fn tmp(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("smda-eng-oooc-{tag}-{}.smc", std::process::id()))
+    }
+
+    fn pseudo_dataset(n: u32, hours: usize) -> Dataset {
+        let temp =
+            TemperatureSeries::new((0..hours).map(|h| ((h % 31) as f64) - 4.0).collect()).unwrap();
+        let consumers = (0..n)
+            .map(|i| {
+                let mut state = (i as u64).wrapping_mul(0x9e37) | 1;
+                let readings = (0..hours)
+                    .map(|_| {
+                        state ^= state << 13;
+                        state ^= state >> 7;
+                        state ^= state << 17;
+                        (state % 1000) as f64 / 250.0
+                    })
+                    .collect();
+                ConsumerSeries::new(ConsumerId(i), readings).unwrap()
+            })
+            .collect();
+        Dataset::new(consumers, temp).unwrap()
+    }
+
+    fn matches_bits(m: &[Vec<SimilarityMatch>]) -> Vec<(usize, u64)> {
+        m.iter()
+            .flat_map(|hits| hits.iter().map(|h| (h.index, h.score.to_bits())))
+            .collect()
+    }
+
+    #[test]
+    fn smc_source_matches_in_memory_on_both_encodings() {
+        let ds = pseudo_dataset(23, HOURS_PER_YEAR);
+        let mut builder = SeriesMatrixBuilder::new(23, HOURS_PER_YEAR);
+        for (i, c) in ds.consumers().iter().enumerate() {
+            builder.set_row_normalized(i, c.readings());
+        }
+        let matrix = builder.finish();
+        let sink = MetricsSink::disabled();
+        let (want, _) = top_k_matrix_with(&matrix, None, 5, 3, &sink);
+        for encoding in [BinaryEncoding::Raw, BinaryEncoding::Packed] {
+            let path = tmp(&format!("parity-{encoding:?}"));
+            let store = BinaryStore::create(&path, &ds, encoding).unwrap();
+            for band_rows in [1usize, 7, 23, 64] {
+                for threads in [1usize, 4] {
+                    let source = SmcSource::over(&store, band_rows, 1 << 20);
+                    assert_eq!(source.rows(), 23);
+                    assert_eq!(source.stride(), HOURS_PER_YEAR);
+                    let (got, stats) =
+                        top_k_source_with(&source, None, 5, band_rows, threads, &sink).unwrap();
+                    assert_eq!(
+                        matches_bits(&got),
+                        matches_bits(&want),
+                        "{encoding:?} band={band_rows} threads={threads}"
+                    );
+                    assert!(stats.bands_loaded > 0);
+                    assert!(stats.bytes_streamed > 0);
+                }
+            }
+            std::fs::remove_file(&path).unwrap();
+        }
+    }
+
+    #[test]
+    fn scaled_tier_matches_in_memory_fused() {
+        let ds = pseudo_dataset(17, HOURS_PER_YEAR);
+        let path = tmp("scaled");
+        let store = BinaryStore::create(&path, &ds, BinaryEncoding::Packed).unwrap();
+        let mut builder = SeriesMatrixBuilder::new(17, HOURS_PER_YEAR);
+        for (i, c) in ds.consumers().iter().enumerate() {
+            builder.set_row(i, c.readings());
+        }
+        let matrix = builder.finish();
+        let inv = matrix.inverse_norms();
+        let sink = MetricsSink::disabled();
+        let (want, _) = top_k_matrix_with(&matrix, Some(&inv), 4, 2, &sink);
+        let source = SmcSource::over(&store, 5, 1 << 16);
+        let oinv = oooc_inverse_norms(&source, 5).unwrap();
+        assert!(inv
+            .iter()
+            .zip(&oinv)
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
+        let (got, _) = top_k_source_with(&source, Some(&oinv), 4, 5, 3, &sink).unwrap();
+        assert_eq!(matches_bits(&got), matches_bits(&want));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn run_similarity_oooc_records_streaming_counters() {
+        let ds = pseudo_dataset(12, HOURS_PER_YEAR);
+        let path = tmp("counters");
+        let store = BinaryStore::create(&path, &ds, BinaryEncoding::Packed).unwrap();
+        let sink = MetricsSink::recording();
+        let out = run_similarity_oooc(&store, 3, 4, 1 << 20, 2, &sink).unwrap();
+        let TaskOutput::Similarity(matches) = &out else {
+            panic!("unexpected output");
+        };
+        assert_eq!(matches.len(), 12);
+        assert_eq!(matches[0].consumer, ConsumerId(0));
+        let report = sink.finish(smda_obs::RunManifest::new("similarity", "oooc"));
+        assert_eq!(report.counter(counters::OOOC_RUNS), Some(1));
+        assert!(report.counter(counters::OOOC_BANDS_LOADED).unwrap_or(0) > 0);
+        assert!(report.counter(counters::OOOC_BAND_PAIRS).unwrap_or(0) > 0);
+        assert!(report.counter(counters::OOOC_BYTES_STREAMED).unwrap_or(0) > 0);
+        assert!(report.counter(counters::FORMAT_BLOCKS_DECODED).unwrap_or(0) > 0);
+        assert!(report.counter(counters::PAIRS_SCORED).unwrap_or(0) > 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -364,7 +364,7 @@ pub fn top_k_matrix_with(
     (matches, stats)
 }
 
-fn record_kernel_counters(
+pub(crate) fn record_kernel_counters(
     metrics: &MetricsSink,
     stats: &KernelStats,
     stride: usize,
@@ -379,7 +379,7 @@ fn record_kernel_counters(
 }
 
 /// Record which kernel implementation actually scored the run.
-fn record_dispatch_counters(metrics: &MetricsSink, fused: bool) {
+pub(crate) fn record_dispatch_counters(metrics: &MetricsSink, fused: bool) {
     if smda_stats::simd::active_tier() == smda_stats::SimdTier::Avx2 {
         metrics.incr(counters::SIMD_AVX2_ACTIVE, 1);
     }

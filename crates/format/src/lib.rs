@@ -29,12 +29,16 @@
 //! not.
 
 mod block;
+pub mod cache;
 pub mod layout;
+pub mod metrics;
 pub mod ops;
 mod reader;
 mod writer;
 
+pub use cache::RowGroupCache;
 pub use layout::{SMC_FOOTER_MAGIC, SMC_MAGIC, SMC_VERSION};
+pub use metrics::FormatCounters;
 pub use reader::SmcFile;
 pub use writer::{write_dataset, Encoding, SmcSummary, SmcWriter};
 

@@ -24,6 +24,7 @@ use smda_types::{
 };
 
 use crate::block;
+use crate::cache::RowGroupCache;
 use crate::layout::{
     bad, fnv1a64, Footer, Header, IndexEntry, ENC_PACKED, ENC_RAW, FLAG_RAW_CONTIGUOUS,
     FOOTER_BYTES, HEADER_BYTES, INDEX_ENTRY_BYTES,
@@ -236,7 +237,59 @@ impl SmcFile {
             ENC_RAW => block::decode_raw(bytes, self.hours(), out)?,
             _ => block::decode_packed(bytes, self.hours(), out)?,
         }
+        crate::metrics::record_blocks_decoded(1);
         Ok(ConsumerId(entry.id))
+    }
+
+    /// Decode the consecutive consumers `rows.start..rows.end` into
+    /// `out` (cleared first), row-major: `rows.len() * hours` values.
+    /// Every block's checksum is verified — this is the band-loading
+    /// primitive of the out-of-core tier, usable on either encoding.
+    pub fn read_rows_into(&self, rows: std::ops::Range<usize>, out: &mut Vec<f64>) -> Result<()> {
+        if rows.end > self.n() || rows.start > rows.end {
+            return Err(Error::Invalid(format!(
+                "row range {rows:?} out of bounds (file has {})",
+                self.n()
+            )));
+        }
+        out.clear();
+        out.reserve(rows.len() * self.hours());
+        let count = rows.len() as u64;
+        for idx in rows {
+            let entry = self.entries[idx];
+            let bytes = self.checked_block(&entry)?;
+            match entry.encoding {
+                ENC_RAW => block::decode_raw(bytes, self.hours(), out)?,
+                _ => block::decode_packed(bytes, self.hours(), out)?,
+            }
+        }
+        crate::metrics::record_blocks_decoded(count);
+        Ok(())
+    }
+
+    /// A bounded decode cache over this file's rows: groups of
+    /// `group_rows` consecutive consumers are decoded (checksummed) on
+    /// demand, kept LRU-resident within `max_resident_bytes`, and the
+    /// next group is prefetched on a sequential miss.
+    pub fn group_cache(&self, group_rows: usize, max_resident_bytes: usize) -> RowGroupCache<'_> {
+        RowGroupCache::new(self, group_rows, max_resident_bytes)
+    }
+
+    /// Advise the kernel that the mapped bytes behind rows
+    /// `rows.start..rows.end` are no longer needed, dropping them from
+    /// this process's resident set (they re-fault from the page cache
+    /// on next access). Best-effort: returns false on owned backings,
+    /// empty or out-of-range spans, or a refusing kernel. This is what
+    /// keeps the out-of-core streaming pass's RSS bounded by a band
+    /// instead of the whole file.
+    pub fn advise_rows_dontneed(&self, rows: std::ops::Range<usize>) -> bool {
+        if rows.start >= rows.end || rows.end > self.n() {
+            return false;
+        }
+        let start = self.entries[rows.start].offset as usize;
+        let last = &self.entries[rows.end - 1];
+        let end = (last.offset + last.length) as usize;
+        self.map.advise_dontneed(start, end - start)
     }
 
     /// Zero-copy view of one consumer's readings, available when the
@@ -253,7 +306,11 @@ impl SmcFile {
         // SAFETY: any bit pattern is a valid f64; align_to only yields
         // the aligned middle.
         let (prefix, vals, _) = unsafe { bytes.align_to::<f64>() };
-        (prefix.is_empty() && vals.len() == self.hours()).then_some(vals)
+        let view = (prefix.is_empty() && vals.len() == self.hours()).then_some(vals);
+        if view.is_some() {
+            crate::metrics::record_zero_copy_hit();
+        }
+        view
     }
 
     /// Zero-copy view of the whole data region as one row-major
@@ -268,7 +325,11 @@ impl SmcFile {
         let bytes = &self.map[HEADER_BYTES..HEADER_BYTES + count * 8];
         // SAFETY: as in `row` — validated region, any bits are an f64.
         let (prefix, vals, _) = unsafe { bytes.align_to::<f64>() };
-        (prefix.is_empty() && vals.len() == count).then_some(vals)
+        let view = (prefix.is_empty() && vals.len() == count).then_some(vals);
+        if view.is_some() {
+            crate::metrics::record_zero_copy_hit();
+        }
+        view
     }
 
     /// Decode the whole file into a validated [`Dataset`]. Requires

@@ -63,7 +63,7 @@ pub use config::IngestConfig;
 pub use handle::{LiveSnapshot, SnapshotHandle};
 pub use pipeline::{run_pipeline, shard_of, IngestOutcome, IngestReport};
 pub use replay::{replay_events, throttle, ReplayConfig};
-pub use snapshot::Snapshot;
+pub use snapshot::{seal_to_smc, Snapshot};
 pub use state::{fit_detectors, ConsumerAccumulator, RunningHistogram, SealedConsumer};
 
 /// SplitMix64 finalizer — the workspace's standard stateless mixer, used

@@ -16,10 +16,31 @@ use smda_core::{ConsumerHistogram, Task, TaskOutput};
 use smda_engines::parallel::{execute_task, ConsumerSource, MemorySource};
 use smda_obs::MetricsSink;
 use smda_stats::{OnlineStats, SeriesMatrix, SeriesMatrixBuilder};
-use smda_storage::{BinaryEncoding, BinaryStore};
+use smda_storage::{BinaryEncoding, BinaryStore, BinaryWriter};
 use smda_types::{ConsumerId, Dataset, Result, TemperatureSeries, HOURS_PER_YEAR};
 
 use crate::state::SealedConsumer;
+
+/// Seal consumer-years straight to an `SMC1` file at `path` — the
+/// streaming sibling of [`Snapshot::write_smc`]: each row goes to the
+/// writer as-is and nothing is retained, so the disk hand-off needs
+/// `O(hours)` memory however many consumers sealed (no
+/// `Dataset`/`Snapshot` intermediate). The bytes written are identical
+/// to sealing the materialized snapshot. `sealed` must already be
+/// sorted by consumer id, as the pipeline leaves it. Returns the file
+/// size in bytes.
+pub fn seal_to_smc(
+    sealed: &[SealedConsumer],
+    temperature: &[f64],
+    path: impl AsRef<Path>,
+    encoding: BinaryEncoding,
+) -> Result<u64> {
+    let mut writer = BinaryWriter::create(path, sealed.len(), HOURS_PER_YEAR, encoding)?;
+    for s in sealed {
+        writer.append_consumer(s.series.id, s.series.readings())?;
+    }
+    writer.finish(temperature)
+}
 
 /// Everything the batch layer needs, finalized by the streaming layer.
 pub struct Snapshot {
@@ -166,6 +187,36 @@ mod tests {
         match out {
             TaskOutput::Histograms(hs) => assert_eq!(hs.len(), 2),
             other => panic!("unexpected output: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn direct_seal_is_byte_identical_to_snapshot_seal() {
+        let sealed = vec![sealed_consumer(2, 0.6), sealed_consumer(5, 1.4)];
+        let temps = TemperatureSeries::new(vec![7.0; HOURS_PER_YEAR]).unwrap();
+        for encoding in [BinaryEncoding::Raw, BinaryEncoding::Packed] {
+            let direct = std::env::temp_dir().join(format!(
+                "smda-seal-direct-{encoding:?}-{}.smc",
+                std::process::id()
+            ));
+            let via_snapshot = std::env::temp_dir().join(format!(
+                "smda-seal-snap-{encoding:?}-{}.smc",
+                std::process::id()
+            ));
+            let bytes = seal_to_smc(&sealed, temps.values(), &direct, encoding).unwrap();
+            let snap = Snapshot::from_sealed(
+                vec![sealed_consumer(2, 0.6), sealed_consumer(5, 1.4)],
+                temps.clone(),
+            )
+            .unwrap();
+            assert_eq!(bytes, snap.write_smc(&via_snapshot, encoding).unwrap());
+            assert_eq!(
+                std::fs::read(&direct).unwrap(),
+                std::fs::read(&via_snapshot).unwrap(),
+                "{encoding:?} direct seal must reproduce the snapshot seal byte for byte"
+            );
+            std::fs::remove_file(&direct).unwrap();
+            std::fs::remove_file(&via_snapshot).unwrap();
         }
     }
 

@@ -173,6 +173,28 @@ pub mod counters {
     pub const REAL_PARTITIONS_REPLAYED: &str = "real.partitions_replayed";
     /// Worker processes forked by the real scheduler.
     pub const REAL_WORKERS_SPAWNED: &str = "real.workers_spawned";
+    /// `SMC1` reads served as zero-copy views straight from the
+    /// memory mapping (no decode, no copy).
+    pub const FORMAT_ZERO_COPY_HITS: &str = "format.zero_copy_hits";
+    /// `SMC1` consumer blocks decoded (checksum-verified raw or
+    /// packed decode).
+    pub const FORMAT_BLOCKS_DECODED: &str = "format.blocks_decoded";
+    /// Row-group cache lookups answered from a resident group.
+    pub const FORMAT_CACHE_HITS: &str = "format.cache_hits";
+    /// Row-group cache lookups that had to decode a group.
+    pub const FORMAT_CACHE_MISSES: &str = "format.cache_misses";
+    /// Row groups evicted to stay inside the cache's byte budget.
+    pub const FORMAT_CACHE_EVICTIONS: &str = "format.cache_evictions";
+    /// Out-of-core similarity runs taken by an engine (0/1 per run).
+    pub const OOOC_RUNS: &str = "oooc.runs";
+    /// Band buffers filled from the series source by the out-of-core
+    /// scheduler (reloads included).
+    pub const OOOC_BANDS_LOADED: &str = "oooc.bands_loaded";
+    /// Band pairs scheduled across workers by the out-of-core
+    /// scheduler.
+    pub const OOOC_BAND_PAIRS: &str = "oooc.band_pairs";
+    /// `f64` bytes streamed through out-of-core band buffers.
+    pub const OOOC_BYTES_STREAMED: &str = "oooc.bytes_streamed";
 }
 
 #[cfg(test)]

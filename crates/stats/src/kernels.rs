@@ -436,16 +436,18 @@ impl KernelStats {
 /// Bounded per-query candidate buffer: holds at most the `k` best hits
 /// seen so far under the canonical order (score desc, index asc), using
 /// [`select_top_k`] itself for pruning so the kept set is exactly what a
-/// full sort would keep.
+/// full sort would keep. Shared with the out-of-core band scheduler
+/// (`crate::oooc`), whose exactness rests on the same property: the kept
+/// set is a function of the pushed *set*, not the push order.
 #[derive(Debug)]
-struct TopKBuffer {
+pub(crate) struct TopKBuffer {
     hits: Vec<SimilarityMatch>,
     k: usize,
     cap: usize,
 }
 
 impl TopKBuffer {
-    fn new(k: usize) -> TopKBuffer {
+    pub(crate) fn new(k: usize) -> TopKBuffer {
         TopKBuffer {
             hits: Vec::new(),
             k,
@@ -455,7 +457,7 @@ impl TopKBuffer {
     }
 
     #[inline]
-    fn push(&mut self, m: SimilarityMatch) {
+    pub(crate) fn push(&mut self, m: SimilarityMatch) {
         if self.k == 0 {
             return;
         }
@@ -466,7 +468,7 @@ impl TopKBuffer {
     }
 
     /// The k best hits seen, best first.
-    fn finish(mut self) -> Vec<SimilarityMatch> {
+    pub(crate) fn finish(mut self) -> Vec<SimilarityMatch> {
         select_top_k(&mut self.hits, self.k);
         self.hits
     }

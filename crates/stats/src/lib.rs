@@ -19,6 +19,7 @@ pub mod kernels;
 pub mod kmeans;
 pub mod linalg;
 pub mod online;
+pub mod oooc;
 pub mod quantile;
 pub mod regression;
 pub mod rng;
@@ -37,6 +38,11 @@ pub use kernels::{
 pub use kmeans::{KMeans, KMeansConfig};
 pub use linalg::Matrix;
 pub use online::OnlineStats;
+pub use oooc::{
+    band_count, band_pair_count, oooc_inverse_norms, top_k_oooc, top_k_oooc_partial,
+    top_k_oooc_queries, top_k_oooc_scaled, top_k_oooc_scaled_partial, OoocStats, SeriesSource,
+    SliceSource, DEFAULT_BAND_ROWS,
+};
 pub use quantile::{quantile, quantile_sorted, quantiles_sorted};
 pub use regression::{ols_multiple, ols_simple, MultipleFit, SimpleFit};
 pub use rng::{GaussianNoise, Picker};

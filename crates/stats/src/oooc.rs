@@ -1,0 +1,790 @@
+//! Out-of-core band-streaming twins of the tiled similarity kernels.
+//!
+//! The tiled kernel ([`crate::top_k_tiled`]) assumes the whole
+//! `n × stride` matrix is resident. At AMI scale that is the binding
+//! constraint — a million-consumer year is ~70 GB of `f64` — so this
+//! module re-expresses the same computation over a [`SeriesSource`]:
+//! anything that can materialize a contiguous *band* of raw rows on
+//! demand (an in-memory slice, a mapped raw-contiguous `.smc` region,
+//! or a decode-on-demand packed file behind a bounded cache).
+//!
+//! The schedule is band-pair driven. Split the `n` rows into
+//! `B = ⌈n / band_rows⌉` bands; the unordered row pairs `{i, j}` are
+//! partitioned exactly by the `B(B+1)/2` band pairs `(bi, bj)`,
+//! `bi ≤ bj`: a *diagonal* pair scores the triangle inside one band, an
+//! *off-diagonal* pair scores the full `band × band` cross product.
+//! Workers claim band pairs off a shared counter (bi-major order, so a
+//! worker's outer band stays memoized across consecutive claims), hold
+//! at most **two** band buffers, and fold scores into the same bounded
+//! per-query `TopKBuffer`s the in-memory kernel uses. Resident memory
+//! is `O(2 · band_rows · stride + k · n)` per worker instead of
+//! `O(n · stride)`.
+//!
+//! **Bit-identity** with [`crate::top_k_tiled`] is by construction, not
+//! by tolerance:
+//!
+//! 1. sources hand back the file's raw row bits; the band loader
+//!    normalizes with the exact arithmetic of
+//!    [`crate::SeriesMatrixBuilder::set_row_normalized`] (`n = norm2`,
+//!    zero rows verbatim, else `v / n` per element), so every row's
+//!    normalized bits equal the in-memory matrix row bits;
+//! 2. every pair score goes through the one canonical [`dot`] (or
+//!    [`crate::simd::dot_scaled`] for the fused twin), so pair scores
+//!    are bitwise equal;
+//! 3. the `TopKBuffer` kept set is a function of the pushed *set*, not
+//!    the push order, and [`merge_partials`](crate::merge_partials) is
+//!    exact over any partition of the scored pairs — so any band-pair
+//!    schedule that scores each unordered pair exactly once reproduces
+//!    the sequential tiled result bit for bit.
+//!
+//! The scaled (fused-tier) twin mirrors [`crate::top_k_tiled_scaled`]
+//! instead: bands stay raw, per-row inverse norms come from the same
+//! [`crate::simd::sumsq4`] pass, and it is bit-identical to the
+//! in-memory *scaled* kernel (which itself tracks the exact kernel
+//! within [`crate::simd::FUSED_REL_TOL`]).
+//!
+//! Memory model, scheduler diagram, and cache policy: DESIGN.md §16.
+
+use std::cell::Cell;
+use std::ops::Range;
+
+use smda_types::{Error, Result};
+
+use crate::kernels::{KernelStats, TileConfig, TopKBuffer};
+use crate::similarity::{dot, norm2, SimilarityMatch};
+
+/// Band height the engines use by default: 256 rows × 8760 h × 8 B
+/// ≈ 18 MB per band buffer, two buffers per worker.
+pub const DEFAULT_BAND_ROWS: usize = 256;
+
+/// Anything that can materialize contiguous bands of **raw** rows on
+/// demand: the out-of-core kernels' view of a dataset. Implementations
+/// must hand back exactly the bits the in-memory path would have been
+/// built from — normalization happens inside the kernel so that the
+/// arithmetic (and therefore every output bit) is shared.
+pub trait SeriesSource: Sync {
+    /// Number of series (rows).
+    fn rows(&self) -> usize;
+
+    /// Row length (the paper's 8760 hours).
+    fn stride(&self) -> usize;
+
+    /// Fill `out` (cleared first) with rows `rows.start..rows.end`,
+    /// row-major: exactly `rows.len() * stride()` values.
+    fn load_band(&self, rows: Range<usize>, out: &mut Vec<f64>) -> Result<()>;
+}
+
+/// A borrowed in-memory row-major matrix as a [`SeriesSource`] — the
+/// zero-I/O tier (and the reference implementation the proptests pin
+/// the file-backed tiers against).
+#[derive(Debug, Clone, Copy)]
+pub struct SliceSource<'a> {
+    data: &'a [f64],
+    rows: usize,
+    stride: usize,
+}
+
+impl<'a> SliceSource<'a> {
+    /// Wrap `data` as a `rows × stride` matrix.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * stride`.
+    pub fn new(data: &'a [f64], rows: usize, stride: usize) -> SliceSource<'a> {
+        assert_eq!(data.len(), rows * stride, "matrix shape disagrees");
+        SliceSource { data, rows, stride }
+    }
+}
+
+impl SeriesSource for SliceSource<'_> {
+    fn rows(&self) -> usize {
+        self.rows
+    }
+
+    fn stride(&self) -> usize {
+        self.stride
+    }
+
+    fn load_band(&self, rows: Range<usize>, out: &mut Vec<f64>) -> Result<()> {
+        out.clear();
+        out.extend_from_slice(&self.data[rows.start * self.stride..rows.end * self.stride]);
+        Ok(())
+    }
+}
+
+/// What the out-of-core kernel did, for observability: the shared
+/// pair-scoring stats plus how much data was streamed to do it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OoocStats {
+    /// Pair-scoring stats, same meaning as the in-memory kernel's.
+    pub kernel: KernelStats,
+    /// Band buffers filled from the source (reloads included).
+    pub bands_loaded: u64,
+    /// Total `f64` bytes streamed through band buffers.
+    pub bytes_streamed: u64,
+}
+
+impl OoocStats {
+    /// Fold another worker's stats into this one.
+    pub fn merge(&mut self, other: &OoocStats) {
+        self.kernel.pairs_scored += other.kernel.pairs_scored;
+        self.bands_loaded += other.bands_loaded;
+        self.bytes_streamed += other.bytes_streamed;
+    }
+}
+
+/// How many bands an `n`-row source splits into at `band_rows` rows
+/// per band.
+pub fn band_count(rows: usize, band_rows: usize) -> usize {
+    rows.div_ceil(band_rows.max(1))
+}
+
+/// Number of band pairs (`bi ≤ bj`) — the unit of work a parallel
+/// executor claims; pass indices `0..band_pair_count` to the partial
+/// kernels' `claim` closures.
+pub fn band_pair_count(bands: usize) -> usize {
+    bands * (bands + 1) / 2
+}
+
+/// Pairs `(bi, bj)` with `bi ≤ bj` enumerated bi-major, so consecutive
+/// indices share their outer band and a claiming worker's memoized
+/// band stays hot.
+fn band_pair_at(bands: usize, t: usize) -> (usize, usize) {
+    debug_assert!(t < band_pair_count(bands));
+    // offset(bi) = pairs before row bi = bi*bands - bi*(bi-1)/2,
+    // monotonic in bi: binary-search the row, O(log B) per claim.
+    let offset = |bi: usize| bi * bands - bi * bi.saturating_sub(1) / 2;
+    let mut lo = 0usize; // invariant: offset(lo) <= t
+    let mut hi = bands; // invariant: offset(hi) > t (t < total)
+    while lo + 1 < hi {
+        let mid = lo + (hi - lo) / 2;
+        if offset(mid) <= t {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    (lo, lo + (t - offset(lo)))
+}
+
+/// One memoized band buffer: raw (or prepared) rows `start..start+rows`.
+#[derive(Default)]
+struct Band {
+    idx: Option<usize>,
+    start: usize,
+    rows: usize,
+    data: Vec<f64>,
+}
+
+/// Load band `bi` into `band` unless it is already resident, then run
+/// `prepare` (normalization for the exact tier, nothing for the scaled
+/// tier) over the fresh rows.
+fn ensure_band<P: Fn(&mut [f64], usize, usize)>(
+    band: &mut Band,
+    src: &dyn SeriesSource,
+    band_rows: usize,
+    bi: usize,
+    prepare: &P,
+    stats: &mut OoocStats,
+) -> Result<()> {
+    if band.idx == Some(bi) {
+        return Ok(());
+    }
+    let (n, stride) = (src.rows(), src.stride());
+    let start = bi * band_rows;
+    let end = (start + band_rows).min(n);
+    src.load_band(start..end, &mut band.data)?;
+    let rows = end - start;
+    if band.data.len() != rows * stride {
+        return Err(Error::Invalid(format!(
+            "series source filled {} values for band {start}..{end} (want {})",
+            band.data.len(),
+            rows * stride
+        )));
+    }
+    prepare(&mut band.data, stride, rows);
+    band.idx = Some(bi);
+    band.start = start;
+    band.rows = rows;
+    stats.bands_loaded += 1;
+    stats.bytes_streamed += (rows * stride * 8) as u64;
+    Ok(())
+}
+
+/// Unit-normalize each of `rows` rows in place — bit-identical to
+/// [`crate::SeriesMatrixBuilder::set_row_normalized`]: zero rows stay
+/// verbatim, others divide every element by the row's [`norm2`].
+fn normalize_band(data: &mut [f64], stride: usize, rows: usize) {
+    for r in 0..rows {
+        let row = &mut data[r * stride..(r + 1) * stride];
+        let n = norm2(row);
+        if n != 0.0 {
+            for v in row.iter_mut() {
+                *v /= n;
+            }
+        }
+    }
+}
+
+/// Score the triangle inside one band (diagonal band pair), tiled the
+/// same way as the in-memory kernel's tile row: a query block stays
+/// hot while the band's remaining rows stream through.
+fn score_diagonal<S: Fn(usize, usize, &[f64], &[f64]) -> f64>(
+    band: &Band,
+    stride: usize,
+    cfg: &TileConfig,
+    bufs: &mut [TopKBuffer],
+    stats: &mut OoocStats,
+    score: &S,
+) {
+    let qb = cfg.query_block.max(1);
+    let cb = cfg.candidate_block.max(1);
+    let data = &band.data;
+    let mut q0 = 0;
+    while q0 < band.rows {
+        let q1 = (q0 + qb).min(band.rows);
+        for ii in q0..q1 {
+            for jj in (ii + 1)..q1 {
+                push_pair(
+                    band.start + ii,
+                    band.start + jj,
+                    data,
+                    data,
+                    ii,
+                    jj,
+                    stride,
+                    bufs,
+                    stats,
+                    score,
+                );
+            }
+        }
+        let mut c0 = q1;
+        while c0 < band.rows {
+            let c1 = (c0 + cb).min(band.rows);
+            for jj in c0..c1 {
+                for ii in q0..q1 {
+                    push_pair(
+                        band.start + ii,
+                        band.start + jj,
+                        data,
+                        data,
+                        ii,
+                        jj,
+                        stride,
+                        bufs,
+                        stats,
+                        score,
+                    );
+                }
+            }
+            c0 = c1;
+        }
+        q0 = q1;
+    }
+}
+
+/// Score the full cross product of two distinct bands (off-diagonal
+/// band pair): query blocks of band `a` stay hot while band `b`'s rows
+/// stream through.
+fn score_cross<S: Fn(usize, usize, &[f64], &[f64]) -> f64>(
+    a: &Band,
+    b: &Band,
+    stride: usize,
+    cfg: &TileConfig,
+    bufs: &mut [TopKBuffer],
+    stats: &mut OoocStats,
+    score: &S,
+) {
+    let qb = cfg.query_block.max(1);
+    let mut q0 = 0;
+    while q0 < a.rows {
+        let q1 = (q0 + qb).min(a.rows);
+        for jj in 0..b.rows {
+            for ii in q0..q1 {
+                push_pair(
+                    a.start + ii,
+                    b.start + jj,
+                    &a.data,
+                    &b.data,
+                    ii,
+                    jj,
+                    stride,
+                    bufs,
+                    stats,
+                    score,
+                );
+            }
+        }
+        q0 = q1;
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn push_pair<S: Fn(usize, usize, &[f64], &[f64]) -> f64>(
+    i: usize,
+    j: usize,
+    a: &[f64],
+    b: &[f64],
+    ii: usize,
+    jj: usize,
+    stride: usize,
+    bufs: &mut [TopKBuffer],
+    stats: &mut OoocStats,
+    score: &S,
+) {
+    let ra = &a[ii * stride..(ii + 1) * stride];
+    let rb = &b[jj * stride..(jj + 1) * stride];
+    let s = score(i, j, ra, rb);
+    stats.kernel.pairs_scored += 1;
+    bufs[i].push(SimilarityMatch { index: j, score: s });
+    bufs[j].push(SimilarityMatch { index: i, score: s });
+}
+
+/// Shared driver for the partial (work-claiming) out-of-core kernels.
+fn oooc_partial_with<P, S>(
+    src: &dyn SeriesSource,
+    k: usize,
+    band_rows: usize,
+    cfg: &TileConfig,
+    claim: &dyn Fn() -> Option<usize>,
+    prepare: P,
+    score: S,
+) -> Result<(Vec<Vec<SimilarityMatch>>, OoocStats)>
+where
+    P: Fn(&mut [f64], usize, usize),
+    S: Fn(usize, usize, &[f64], &[f64]) -> f64,
+{
+    let n = src.rows();
+    let stride = src.stride();
+    let band_rows = band_rows.max(1);
+    let bands = band_count(n, band_rows);
+    let total = band_pair_count(bands);
+    let mut stats = OoocStats::default();
+    let mut bufs: Vec<TopKBuffer> = (0..n).map(|_| TopKBuffer::new(k)).collect();
+    let mut a = Band::default();
+    let mut b = Band::default();
+    let mut touched = false;
+    while let Some(t) = claim() {
+        assert!(t < total, "band pair {t} out of range ({total})");
+        touched = true;
+        let (bi, bj) = band_pair_at(bands, t);
+        // Keep the outer band hot: bi-major claims mostly repeat bi, and
+        // when roles flip the other buffer may already hold it.
+        if a.idx != Some(bi) && b.idx == Some(bi) {
+            std::mem::swap(&mut a, &mut b);
+        }
+        ensure_band(&mut a, src, band_rows, bi, &prepare, &mut stats)?;
+        if bi == bj {
+            score_diagonal(&a, stride, cfg, &mut bufs, &mut stats, &score);
+        } else {
+            ensure_band(&mut b, src, band_rows, bj, &prepare, &mut stats)?;
+            score_cross(&a, &b, stride, cfg, &mut bufs, &mut stats, &score);
+        }
+    }
+    if !touched {
+        // Claimed nothing: empty partial, so merges stay cheap.
+        return Ok((vec![Vec::new(); n], stats));
+    }
+    Ok((bufs.into_iter().map(TopKBuffer::finish).collect(), stats))
+}
+
+/// One worker's share of the out-of-core kernel: repeatedly claim a
+/// band pair index in `0..band_pair_count(band_count(n, band_rows))`
+/// from `claim` and score it, returning per-query partial top-k lists
+/// plus streaming stats. Feed all workers' partials to
+/// [`merge_partials`](crate::merge_partials); the claimed indices must
+/// partition the band-pair range or pairs will be double-counted.
+///
+/// Bit-identical to [`crate::top_k_tiled`] over the matrix the source
+/// describes (see the module docs for the argument).
+pub fn top_k_oooc_partial(
+    src: &dyn SeriesSource,
+    k: usize,
+    band_rows: usize,
+    cfg: &TileConfig,
+    claim: &dyn Fn() -> Option<usize>,
+) -> Result<(Vec<Vec<SimilarityMatch>>, OoocStats)> {
+    oooc_partial_with(
+        src,
+        k,
+        band_rows,
+        cfg,
+        claim,
+        normalize_band,
+        |_, _, ra, rb| dot(ra, rb),
+    )
+}
+
+/// Fused (tolerance-tier) twin of [`top_k_oooc_partial`]: bands stay
+/// **raw** and each pair scores
+/// `dot_scaled(a, b, inv_norms[i] * inv_norms[j])` — bit-identical to
+/// [`crate::top_k_tiled_scaled`] over the same rows and inverse norms
+/// (compute them with [`oooc_inverse_norms`]).
+///
+/// # Panics
+/// Panics if `inv_norms.len() != src.rows()`.
+pub fn top_k_oooc_scaled_partial(
+    src: &dyn SeriesSource,
+    inv_norms: &[f64],
+    k: usize,
+    band_rows: usize,
+    cfg: &TileConfig,
+    claim: &dyn Fn() -> Option<usize>,
+) -> Result<(Vec<Vec<SimilarityMatch>>, OoocStats)> {
+    assert_eq!(inv_norms.len(), src.rows(), "one inverse norm per row");
+    oooc_partial_with(
+        src,
+        k,
+        band_rows,
+        cfg,
+        claim,
+        |_, _, _| {},
+        |i, j, ra, rb| crate::simd::dot_scaled(ra, rb, inv_norms[i] * inv_norms[j]),
+    )
+}
+
+/// Sequential wrapper over a claim counter covering every band pair.
+fn sequential_claim(total: usize) -> impl Fn() -> Option<usize> {
+    let next = Cell::new(0usize);
+    move || {
+        let t = next.get();
+        (t < total).then(|| {
+            next.set(t + 1);
+            t
+        })
+    }
+}
+
+/// The sequential out-of-core kernel: for every row of the source, the
+/// `k` most cosine-similar other rows, best first — bit-identical to
+/// [`crate::top_k_tiled`] over the same matrix, with resident memory
+/// bounded by two band buffers plus the top-k state.
+pub fn top_k_oooc(
+    src: &dyn SeriesSource,
+    k: usize,
+    band_rows: usize,
+    cfg: &TileConfig,
+) -> Result<(Vec<Vec<SimilarityMatch>>, OoocStats)> {
+    let total = band_pair_count(band_count(src.rows(), band_rows));
+    top_k_oooc_partial(src, k, band_rows, cfg, &sequential_claim(total))
+}
+
+/// Sequential fused twin of [`top_k_oooc`]; see
+/// [`top_k_oooc_scaled_partial`].
+///
+/// # Panics
+/// Panics if `inv_norms.len() != src.rows()`.
+pub fn top_k_oooc_scaled(
+    src: &dyn SeriesSource,
+    inv_norms: &[f64],
+    k: usize,
+    band_rows: usize,
+    cfg: &TileConfig,
+) -> Result<(Vec<Vec<SimilarityMatch>>, OoocStats)> {
+    let total = band_pair_count(band_count(src.rows(), band_rows));
+    top_k_oooc_scaled_partial(src, inv_norms, k, band_rows, cfg, &sequential_claim(total))
+}
+
+/// Per-row `1/‖row‖` computed in one streaming pass — bit-identical to
+/// [`crate::SeriesMatrix::inverse_norms`] over the same raw rows (the
+/// same [`crate::simd::sumsq4`] reduction, `0.0` for zero rows).
+pub fn oooc_inverse_norms(src: &dyn SeriesSource, band_rows: usize) -> Result<Vec<f64>> {
+    let n = src.rows();
+    let stride = src.stride();
+    let band_rows = band_rows.max(1);
+    let mut out = Vec::with_capacity(n);
+    let mut buf = Vec::new();
+    let mut start = 0;
+    while start < n {
+        let end = (start + band_rows).min(n);
+        src.load_band(start..end, &mut buf)?;
+        for r in 0..end - start {
+            let s = crate::simd::sumsq4(&buf[r * stride..(r + 1) * stride]).sqrt();
+            out.push(if s == 0.0 { 0.0 } else { 1.0 / s });
+        }
+        start = end;
+    }
+    Ok(out)
+}
+
+/// Exact top-k for a fixed set of query rows against **all** rows of
+/// the source, streaming the candidate bands exactly once: the
+/// out-of-core analogue of [`crate::top_k_query`], bit-identical to it
+/// per query over the same matrix. This is the query-workload tier the
+/// sweep uses where all-pairs would be quadratic in a million rows.
+///
+/// # Panics
+/// Panics if any query index is out of range.
+pub fn top_k_oooc_queries(
+    src: &dyn SeriesSource,
+    queries: &[usize],
+    k: usize,
+    band_rows: usize,
+) -> Result<(Vec<Vec<SimilarityMatch>>, OoocStats)> {
+    let n = src.rows();
+    let stride = src.stride();
+    let band_rows = band_rows.max(1);
+    let mut stats = OoocStats::default();
+    let mut buf = Vec::new();
+    let mut qrows: Vec<f64> = Vec::with_capacity(queries.len() * stride);
+    for &q in queries {
+        assert!(q < n, "query row {q} out of range ({n})");
+        src.load_band(q..q + 1, &mut buf)?;
+        normalize_band(&mut buf, stride, 1);
+        qrows.extend_from_slice(&buf);
+        stats.bands_loaded += 1;
+        stats.bytes_streamed += (stride * 8) as u64;
+    }
+    let mut bufs: Vec<TopKBuffer> = queries.iter().map(|_| TopKBuffer::new(k)).collect();
+    let mut start = 0;
+    while start < n {
+        let end = (start + band_rows).min(n);
+        src.load_band(start..end, &mut buf)?;
+        let rows = end - start;
+        normalize_band(&mut buf, stride, rows);
+        stats.bands_loaded += 1;
+        stats.bytes_streamed += (rows * stride * 8) as u64;
+        for jj in 0..rows {
+            let row = &buf[jj * stride..(jj + 1) * stride];
+            let j = start + jj;
+            for (slot, &q) in queries.iter().enumerate() {
+                if j == q {
+                    continue;
+                }
+                let query = &qrows[slot * stride..(slot + 1) * stride];
+                bufs[slot].push(SimilarityMatch {
+                    index: j,
+                    score: dot(query, row),
+                });
+                stats.kernel.pairs_scored += 1;
+            }
+        }
+        start = end;
+    }
+    Ok((bufs.into_iter().map(TopKBuffer::finish).collect(), stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::{top_k_query, top_k_tiled, top_k_tiled_scaled, SeriesMatrix};
+    use crate::merge_partials;
+    use proptest::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn pseudo_series(n: usize, len: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 1000) as f64 / 250.0
+        };
+        (0..n).map(|_| (0..len).map(|_| next()).collect()).collect()
+    }
+
+    fn flat(rows: &[Vec<f64>]) -> (Vec<f64>, usize) {
+        let stride = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(rows.len() * stride);
+        for r in rows {
+            data.extend_from_slice(r);
+        }
+        (data, stride)
+    }
+
+    fn assert_bit_identical(a: &[Vec<SimilarityMatch>], b: &[Vec<SimilarityMatch>]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.len(), y.len());
+            for (h, g) in x.iter().zip(y) {
+                assert_eq!(h.index, g.index);
+                assert_eq!(h.score.to_bits(), g.score.to_bits(), "score bits differ");
+            }
+        }
+    }
+
+    #[test]
+    fn band_pair_enumeration_is_a_bijection() {
+        for bands in [0usize, 1, 2, 3, 7, 16] {
+            let total = band_pair_count(bands);
+            let mut seen = Vec::new();
+            for t in 0..total {
+                seen.push(band_pair_at(bands, t));
+            }
+            let mut expect = Vec::new();
+            for bi in 0..bands {
+                for bj in bi..bands {
+                    expect.push((bi, bj));
+                }
+            }
+            assert_eq!(seen, expect, "bands={bands}");
+        }
+    }
+
+    #[test]
+    fn oooc_matches_tiled_bitwise_across_band_sizes() {
+        let cfg = TileConfig::default();
+        for n in [0usize, 1, 2, 9, 33] {
+            let rows = pseudo_series(n, 31, 11 + n as u64);
+            let m = SeriesMatrix::from_rows_normalized(&rows);
+            let (expect, expect_stats) = top_k_tiled(&m, 5, &cfg);
+            let (data, stride) = flat(&rows);
+            let src = SliceSource::new(&data, n, stride);
+            // band=1 and band >= n are the degenerate extremes.
+            for band_rows in [1usize, 3, 8, n.max(1), n + 7] {
+                let (got, stats) = top_k_oooc(&src, 5, band_rows, &cfg).unwrap();
+                assert_bit_identical(&expect, &got);
+                assert_eq!(
+                    stats.kernel.pairs_scored, expect_stats.pairs_scored,
+                    "n={n} band={band_rows}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn oooc_scaled_matches_tiled_scaled_bitwise() {
+        let cfg = TileConfig::default();
+        let rows = pseudo_series(29, 23, 77);
+        let raw = SeriesMatrix::from_rows_raw(&rows);
+        let inv = raw.inverse_norms();
+        let (expect, _) = top_k_tiled_scaled(&raw, &inv, 4, &cfg);
+        let (data, stride) = flat(&rows);
+        let src = SliceSource::new(&data, 29, stride);
+        let inv_oooc = oooc_inverse_norms(&src, 7).unwrap();
+        assert_eq!(inv.len(), inv_oooc.len());
+        for (a, b) in inv.iter().zip(&inv_oooc) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for band_rows in [1usize, 5, 64] {
+            let (got, _) = top_k_oooc_scaled(&src, &inv_oooc, 4, band_rows, &cfg).unwrap();
+            assert_bit_identical(&expect, &got);
+        }
+    }
+
+    #[test]
+    fn partial_merge_reproduces_sequential() {
+        let cfg = TileConfig::default();
+        let rows = pseudo_series(27, 19, 3);
+        let (data, stride) = flat(&rows);
+        let src = SliceSource::new(&data, 27, stride);
+        let (seq, seq_stats) = top_k_oooc(&src, 3, 4, &cfg).unwrap();
+        let total = band_pair_count(band_count(27, 4));
+        let counter = AtomicUsize::new(0);
+        let claim = || {
+            let t = counter.fetch_add(1, Ordering::Relaxed);
+            (t < total).then_some(t)
+        };
+        let mut partials = Vec::new();
+        let mut merged_stats = OoocStats::default();
+        for _ in 0..3 {
+            let (p, s) = top_k_oooc_partial(&src, 3, 4, &cfg, &claim).unwrap();
+            merged_stats.merge(&s);
+            partials.push(p);
+        }
+        let merged = merge_partials(27, partials, 3);
+        assert_bit_identical(&seq, &merged);
+        assert_eq!(
+            merged_stats.kernel.pairs_scored,
+            seq_stats.kernel.pairs_scored
+        );
+    }
+
+    #[test]
+    fn queries_match_top_k_query_bitwise() {
+        let rows = pseudo_series(23, 17, 9);
+        let m = SeriesMatrix::from_rows_normalized(&rows);
+        let (data, stride) = flat(&rows);
+        let src = SliceSource::new(&data, 23, stride);
+        let queries = [0usize, 7, 22];
+        let (got, stats) = top_k_oooc_queries(&src, &queries, 4, 5).unwrap();
+        for (slot, &q) in queries.iter().enumerate() {
+            let expect = top_k_query(&m, q, 4);
+            assert_bit_identical(
+                std::slice::from_ref(&expect),
+                std::slice::from_ref(&got[slot]),
+            );
+        }
+        assert!(stats.bands_loaded > 0);
+    }
+
+    #[test]
+    fn zero_rows_and_k_zero_behave_like_the_in_memory_kernel() {
+        let mut rows = pseudo_series(6, 9, 5);
+        rows[2].iter_mut().for_each(|v| *v = 0.0);
+        let m = SeriesMatrix::from_rows_normalized(&rows);
+        let cfg = TileConfig::default();
+        let (data, stride) = flat(&rows);
+        let src = SliceSource::new(&data, 6, stride);
+        for k in [0usize, 1, 4] {
+            let (expect, _) = top_k_tiled(&m, k, &cfg);
+            let (got, _) = top_k_oooc(&src, k, 2, &cfg).unwrap();
+            assert_bit_identical(&expect, &got);
+        }
+    }
+
+    #[test]
+    fn short_source_fill_is_an_error_not_a_panic() {
+        struct Short;
+        impl SeriesSource for Short {
+            fn rows(&self) -> usize {
+                4
+            }
+            fn stride(&self) -> usize {
+                8
+            }
+            fn load_band(&self, _rows: Range<usize>, out: &mut Vec<f64>) -> Result<()> {
+                out.clear();
+                out.push(1.0);
+                Ok(())
+            }
+        }
+        let err = top_k_oooc(&Short, 2, 2, &TileConfig::default()).unwrap_err();
+        assert!(matches!(err, Error::Invalid(_)));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// The headline pin: out-of-core ≡ in-memory, bit for bit, over
+        /// ragged sizes, band heights (incl. 1 and ≥ n), and k.
+        #[test]
+        fn prop_oooc_bit_identical_to_tiled(
+            n in 0usize..40,
+            stride in 1usize..24,
+            band_rows in 1usize..48,
+            k in 0usize..8,
+            seed in any::<u64>(),
+        ) {
+            let rows = pseudo_series(n, stride, seed);
+            let m = SeriesMatrix::from_rows_normalized(&rows);
+            let cfg = TileConfig { query_block: 3, candidate_block: 5 };
+            let (expect, _) = top_k_tiled(&m, k, &cfg);
+            let (data, _) = flat(&rows);
+            let src = SliceSource::new(&data, n, stride);
+            let (got, _) = top_k_oooc(&src, k, band_rows, &cfg).unwrap();
+            assert_bit_identical(&expect, &got);
+        }
+
+        #[test]
+        fn prop_oooc_scaled_bit_identical_to_tiled_scaled(
+            n in 1usize..32,
+            stride in 1usize..16,
+            band_rows in 1usize..40,
+            k in 0usize..6,
+            seed in any::<u64>(),
+        ) {
+            let rows = pseudo_series(n, stride, seed);
+            let raw = SeriesMatrix::from_rows_raw(&rows);
+            let inv = raw.inverse_norms();
+            let cfg = TileConfig::default();
+            let (expect, _) = top_k_tiled_scaled(&raw, &inv, k, &cfg);
+            let (data, _) = flat(&rows);
+            let src = SliceSource::new(&data, n, stride);
+            let inv2 = oooc_inverse_norms(&src, band_rows).unwrap();
+            let (got, _) = top_k_oooc_scaled(&src, &inv2, k, band_rows, &cfg).unwrap();
+            assert_bit_identical(&expect, &got);
+        }
+    }
+}

@@ -9,9 +9,10 @@
 //! out of the memory mapping, which is what makes the binary cold-start
 //! loading experiment page-fault-bound instead of parse-bound.
 
+use std::ops::Range;
 use std::path::{Path, PathBuf};
 
-use smda_format::{write_dataset, Encoding, SmcFile, SmcSummary};
+use smda_format::{write_dataset, Encoding, RowGroupCache, SmcFile, SmcSummary, SmcWriter};
 use smda_types::{ConsumerId, Dataset, Error, Result, TemperatureSeries};
 
 /// Block encoding policy for a store being created (re-exported shape
@@ -33,6 +34,43 @@ impl From<BinaryEncoding> for Encoding {
             BinaryEncoding::Raw => Encoding::Raw,
             BinaryEncoding::Packed => Encoding::Packed,
         }
+    }
+}
+
+/// Row-streaming sibling of [`BinaryStore::create`]: append one
+/// consumer-year at a time (ids ascending) and finish with the shared
+/// temperature — no [`Dataset`] intermediate, so writing an `n`-row
+/// store needs `O(hours)` memory rather than `O(n · hours)`. The bytes
+/// produced are identical to [`BinaryStore::create`] over the same
+/// rows.
+#[derive(Debug)]
+pub struct BinaryWriter {
+    inner: SmcWriter,
+}
+
+impl BinaryWriter {
+    /// Start an `n × hours` store at `path`.
+    pub fn create(
+        path: impl AsRef<Path>,
+        n: usize,
+        hours: usize,
+        encoding: BinaryEncoding,
+    ) -> Result<BinaryWriter> {
+        Ok(BinaryWriter {
+            inner: SmcWriter::create_with(path, n, hours, encoding.into())?,
+        })
+    }
+
+    /// Append the next consumer's year; ids must arrive ascending.
+    pub fn append_consumer(&mut self, id: ConsumerId, kwh: &[f64]) -> Result<()> {
+        self.inner.append_consumer(id, kwh)
+    }
+
+    /// Write the temperature block and seal the file. Returns its size
+    /// in bytes.
+    pub fn finish(mut self, temperature: &[f64]) -> Result<u64> {
+        self.inner.temperature(temperature)?;
+        Ok(self.inner.finish()?.file_bytes)
     }
 }
 
@@ -122,6 +160,27 @@ impl BinaryStore {
         self.file.rows()
     }
 
+    /// Lend a band: decode the consecutive consumers
+    /// `rows.start..rows.end` into `out` (cleared first), row-major,
+    /// verifying every block checksum — works on either encoding.
+    pub fn read_rows_into(&self, rows: Range<usize>, out: &mut Vec<f64>) -> Result<()> {
+        self.file.read_rows_into(rows, out)
+    }
+
+    /// A bounded LRU decode cache over this store's rows (see
+    /// [`RowGroupCache`]) — the band-lending tier the out-of-core
+    /// similarity kernels stream packed files through.
+    pub fn group_cache(&self, group_rows: usize, max_resident_bytes: usize) -> RowGroupCache<'_> {
+        self.file.group_cache(group_rows, max_resident_bytes)
+    }
+
+    /// Drop the mapped pages behind rows `rows.start..rows.end` from
+    /// this process's resident set (best effort; see
+    /// [`SmcFile::advise_rows_dontneed`]).
+    pub fn advise_rows_dontneed(&self, rows: Range<usize>) -> bool {
+        self.file.advise_rows_dontneed(rows)
+    }
+
     /// Read the whole store into a validated dataset.
     pub fn read_all(&self) -> Result<Dataset> {
         self.file.read_dataset()
@@ -191,6 +250,33 @@ mod tests {
             store.verify().unwrap();
             assert!(store.total_bytes().unwrap() > 0);
             assert!(store.read_consumer(ConsumerId(42)).is_err());
+            std::fs::remove_file(&path).unwrap();
+        }
+    }
+
+    #[test]
+    fn band_lending_round_trips_on_both_encodings() {
+        let ds = tiny(5);
+        for encoding in [BinaryEncoding::Raw, BinaryEncoding::Packed] {
+            let path = tmp(&format!("bands-{encoding:?}"));
+            let store = BinaryStore::create(&path, &ds, encoding).unwrap();
+            let mut band = Vec::new();
+            store.read_rows_into(1..4, &mut band).unwrap();
+            assert_eq!(band.len(), 3 * HOURS_PER_YEAR);
+            for (r, c) in ds.consumers()[1..4].iter().enumerate() {
+                let row = &band[r * HOURS_PER_YEAR..(r + 1) * HOURS_PER_YEAR];
+                assert!(row
+                    .iter()
+                    .zip(c.readings())
+                    .all(|(a, b)| a.to_bits() == b.to_bits()));
+            }
+            let cache = store.group_cache(2, 1 << 20);
+            let mut cached = Vec::new();
+            cache.load_rows(1..4, &mut cached).unwrap();
+            assert!(cached
+                .iter()
+                .zip(&band)
+                .all(|(a, b)| a.to_bits() == b.to_bits()));
             std::fs::remove_file(&path).unwrap();
         }
     }

@@ -49,6 +49,9 @@ if [ "$fast" -eq 0 ]; then
     echo "== format equivalence (SMC1 write -> mmap read -> bit-compare) =="
     cargo run --release -q -p smda-bench -- --smoke --check-format
 
+    echo "== out-of-core equivalence (banded SMC1 streaming, bounded heap) =="
+    cargo run --release -q -p smda-bench -- --smoke --check-oooc
+
     echo "== bench history regression gate =="
     scripts/benchgate.sh
 fi
